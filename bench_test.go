@@ -1,0 +1,254 @@
+// Repository-level benchmarks: one per table/figure/claim in the paper's
+// evaluation (see the experiment index in DESIGN.md). Each benchmark drives
+// the same code paths as the corresponding ceems_bench experiment; the
+// experiments print the tables, the benchmarks measure the machinery.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emissions"
+	"repro/internal/exporter"
+	"repro/internal/hw"
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/relstore"
+	"repro/internal/resourcemanager"
+	"repro/internal/rules"
+	"repro/internal/rules/ceemsrules"
+	"repro/internal/slurmsim"
+	"repro/internal/tsdb"
+)
+
+var benchStart = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// BenchmarkEq1Attribution — E2: the Eq. 1 estimator itself.
+func BenchmarkEq1Attribution(b *testing.B) {
+	est := core.IntelVariant()
+	node := core.NodeSample{
+		IPMIWatts: 850, RAPLCPUWatts: 400, RAPLDRAMWatts: 100,
+		CPURate: 48, MemBytes: 128e9, NumUnits: 8,
+	}
+	units := make([]core.UnitSample, 8)
+	for i := range units {
+		units[i] = core.UnitSample{CPURate: 6, MemBytes: 16e9}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.AttributeAll(node, units); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExporterScrape — E6: one full exporter collect+render pass on a
+// busy node (the paper's 15-20 MB / low-CPU claim).
+func BenchmarkExporterScrape(b *testing.B) {
+	node, err := hw.NewNode(hw.DefaultIntelSpec("bench"), benchStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 16; j++ {
+		node.AddWorkload(&hw.Workload{
+			ID: fmt.Sprintf("job_%d", j), CPUs: 4, MemLimit: 8 << 30,
+		})
+	}
+	node.Advance(15 * time.Second)
+	exp := exporter.New(
+		&exporter.CgroupCollector{FS: node.FS, Layout: exporter.SlurmLayout()},
+		&exporter.RAPLCollector{FS: node.FS},
+		&exporter.IPMICollector{Reader: node},
+		&exporter.NodeCollector{FS: node.FS},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(exp.Render())
+	}
+	b.SetBytes(int64(n))
+}
+
+// BenchmarkRulesEvalNode — E8: one evaluation of the full Intel Eq. 1 rule
+// group over a populated node.
+func BenchmarkRulesEvalNode(b *testing.B) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	// 8 units × (cpu + mem) + node metrics, 20 scrapes.
+	for i := int64(0); i < 20; i++ {
+		ts := i * 15000
+		for u := 0; u < 8; u++ {
+			db.Append(labels.FromStrings(labels.MetricName, "ceems_compute_unit_cpu_usage_seconds_total",
+				"uuid", fmt.Sprintf("%d", u), "instance", "n1", "nodeclass", "intel"), ts, float64(i)*30)
+			db.Append(labels.FromStrings(labels.MetricName, "ceems_compute_unit_memory_used_bytes",
+				"uuid", fmt.Sprintf("%d", u), "instance", "n1", "nodeclass", "intel"), ts, 8e9)
+		}
+		db.Append(labels.FromStrings(labels.MetricName, "ceems_ipmi_dcmi_current_watts", "instance", "n1", "nodeclass", "intel"), ts, 500)
+		db.Append(labels.FromStrings(labels.MetricName, "ceems_rapl_package_joules_total", "instance", "n1", "nodeclass", "intel", "index", "0"), ts, float64(i)*3000)
+		db.Append(labels.FromStrings(labels.MetricName, "ceems_rapl_dram_joules_total", "instance", "n1", "nodeclass", "intel", "index", "0"), ts, float64(i)*500)
+		for _, mode := range []string{"user", "system", "idle"} {
+			db.Append(labels.FromStrings(labels.MetricName, "ceems_cpu_seconds_total", "instance", "n1", "nodeclass", "intel", "mode", mode), ts, float64(i)*100)
+		}
+		for _, f := range []string{"MemTotal", "MemAvailable"} {
+			v := 256e9
+			if f == "MemAvailable" {
+				v = 192e9
+			}
+			db.Append(labels.FromStrings(labels.MetricName, "ceems_meminfo_bytes", "instance", "n1", "nodeclass", "intel", "field", f), ts, v)
+		}
+		db.Append(labels.FromStrings(labels.MetricName, "ceems_compute_units", "instance", "n1", "nodeclass", "intel"), ts, 8)
+	}
+	g := ceemsrules.IntelGroup(ceemsrules.DefaultOptions())
+	eng := rules.NewEngine(nil)
+	sink := tsdb.Open(tsdb.DefaultOptions())
+	ts := model.MillisToTime(19 * 15000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.EvalGroup(g, db, shiftedAppender{sink, int64(i)}, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type shiftedAppender struct {
+	db  *tsdb.DB
+	off int64
+}
+
+func (s shiftedAppender) Append(l labels.Labels, t int64, v float64) error {
+	return s.db.Append(l, t+s.off, v)
+}
+
+// BenchmarkTSDBIngestFleet — E7 ingest path: appending one scrape's worth
+// of samples for a 100-node fleet.
+func BenchmarkTSDBIngestFleet(b *testing.B) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	const nodes = 100
+	const seriesPerNode = 40
+	sets := make([]labels.Labels, 0, nodes*seriesPerNode)
+	for n := 0; n < nodes; n++ {
+		for s := 0; s < seriesPerNode; s++ {
+			sets = append(sets, labels.FromStrings(
+				labels.MetricName, fmt.Sprintf("metric_%d", s),
+				"instance", fmt.Sprintf("node%03d", n)))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := int64(i) * 15000
+		for _, ls := range sets {
+			db.Append(ls, ts, float64(i))
+		}
+	}
+	b.ReportMetric(float64(len(sets)), "samples/op")
+}
+
+// BenchmarkAPIServerUpdate — E7/A3: one aggregation pass of the API server
+// over a churn-heavy scheduler (the 20k jobs/day shape).
+func BenchmarkAPIServerUpdate(b *testing.B) {
+	var nodes []*hw.Node
+	for i := 0; i < 8; i++ {
+		n, _ := hw.NewNode(hw.DefaultIntelSpec(fmt.Sprintf("n%d", i)), benchStart)
+		nodes = append(nodes, n)
+	}
+	sched, err := slurmsim.NewScheduler("bench", benchStart, &slurmsim.Partition{Name: "cpu", Nodes: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		sched.Submit(slurmsim.JobSpec{
+			Name: "j", User: fmt.Sprintf("u%d", i%20), Account: fmt.Sprintf("p%d", i%5),
+			Partition: "cpu", CPUsPerNode: 8, MemPerNode: 4 << 30,
+			Duration: time.Duration(1+i%10) * time.Minute,
+		})
+	}
+	for i := 0; i < 80; i++ {
+		sched.Advance(15 * time.Second)
+	}
+	store, _ := relstore.Open("")
+	for _, s := range api.Schemas() {
+		store.CreateTable(s)
+	}
+	up := &api.Updater{
+		Store: store,
+		Fetchers: []resourcemanager.Fetcher{
+			&resourcemanager.Local{Cluster: "bench", Kind: model.ManagerSLURM, Source: sched},
+		},
+		Query:  tsdb.Open(tsdb.DefaultOptions()),
+		Factor: emissions.OWID{},
+		Zone:   "FR",
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := up.Update(ctx, benchStart.Add(time.Duration(80+i)*15*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPromQLEq1Query — E5 query path: an instant Eq. 1-style join.
+func BenchmarkPromQLEq1Query(b *testing.B) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	for n := 0; n < 50; n++ {
+		inst := fmt.Sprintf("n%02d", n)
+		for i := int64(0); i < 40; i++ {
+			db.Append(labels.FromStrings(labels.MetricName, "ipmi_watts", "instance", inst), i*15000, 500)
+			db.Append(labels.FromStrings(labels.MetricName, "rapl_cpu_joules_total", "instance", inst), i*15000, float64(i)*6000)
+			db.Append(labels.FromStrings(labels.MetricName, "rapl_dram_joules_total", "instance", inst), i*15000, float64(i)*900)
+		}
+	}
+	eng := promql.NewEngine()
+	q := `0.9 * ipmi_watts * on (instance) (rate(rapl_cpu_joules_total[2m]) / (rate(rapl_cpu_joules_total[2m]) + rate(rapl_dram_joules_total[2m])))`
+	ts := model.MillisToTime(39 * 15000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := eng.Instant(db, q, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.(promql.Vector)) != 50 {
+			b.Fatal("wrong result size")
+		}
+	}
+}
+
+// BenchmarkClusterStep — E7: one 15 s step of the full simulated platform
+// at 1/10 Jean-Zay scale (~140 nodes).
+func BenchmarkClusterStep(b *testing.B) {
+	topo := cluster.JeanZay(0.1)
+	sim, err := cluster.New(topo, cluster.DefaultOptions(), 50, 10, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sim.Step(ctx) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(ctx)
+	}
+	b.ReportMetric(float64(topo.TotalNodes()), "nodes")
+}
+
+// BenchmarkEmissionsFactor — E9: cached factor lookups.
+func BenchmarkEmissionsFactor(b *testing.B) {
+	c := &emissions.Cached{Provider: emissions.OWID{}, TTL: time.Minute}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Factor(ctx, "FR"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

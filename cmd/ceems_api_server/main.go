@@ -1,0 +1,93 @@
+// Command ceems_api_server runs the CEEMS API server standalone: it polls
+// a slurmdbd endpoint for compute units, aggregates their metrics from a
+// Prometheus backend via remote read, stores everything in its relational
+// DB (with WAL and optional continuous backup), and serves the REST API.
+//
+// Usage:
+//
+//	ceems_api_server -listen :9200 -slurmdbd http://dbd:6819 \
+//	    -prometheus http://tsdb:9090 -data-dir /var/lib/ceems \
+//	    -backup-dir /backup/ceems -admins root,ops
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/emissions"
+	"repro/internal/promapi"
+	"repro/internal/relstore"
+	"repro/internal/resourcemanager"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9200", "HTTP listen address")
+		dbd       = flag.String("slurmdbd", "", "slurmdbd base URL (required)")
+		prom      = flag.String("prometheus", "", "Prometheus/Thanos base URL for remote read (required)")
+		cluster   = flag.String("cluster", "sim", "cluster name")
+		zone      = flag.String("zone", "FR", "emission factor zone")
+		dataDir   = flag.String("data-dir", "", "DB directory (empty = in-memory)")
+		backupDir = flag.String("backup-dir", "", "continuous backup directory (empty disables)")
+		interval  = flag.Duration("update-interval", 5*time.Minute, "aggregate update interval")
+		cutoff    = flag.Duration("short-unit-cutoff", time.Minute, "TSDB cleanup cutoff (informational; cleanup needs an embedded TSDB)")
+		admins    = flag.String("admins", "", "comma-separated admin users")
+	)
+	flag.Parse()
+	if *dbd == "" || *prom == "" {
+		log.Fatal("-slurmdbd and -prometheus are required")
+	}
+	_ = cutoff
+
+	store, err := relstore.Open(*dataDir)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	defer store.Close()
+	for _, s := range api.Schemas() {
+		if err := store.CreateTable(s); err != nil {
+			log.Fatalf("schema: %v", err)
+		}
+	}
+	updater := &api.Updater{
+		Store: store,
+		Fetchers: []resourcemanager.Fetcher{
+			&resourcemanager.SlurmDBD{Cluster: *cluster, BaseURL: *dbd},
+		},
+		Query:  &promapi.RemoteQueryable{BaseURL: *prom},
+		Factor: &emissions.Cached{Provider: emissions.OWID{}},
+		Zone:   *zone,
+	}
+	server := &api.Server{Store: store, Updater: updater}
+	for _, a := range strings.Split(*admins, ",") {
+		if a != "" {
+			if err := server.AddAdmin(a); err != nil {
+				log.Fatalf("admin %s: %v", a, err)
+			}
+		}
+	}
+
+	var backup func() error
+	if *backupDir != "" {
+		if *dataDir == "" {
+			log.Fatal("-backup-dir requires -data-dir")
+		}
+		rep := &relstore.Replica{DB: store, Dir: *backupDir}
+		backup = func() error {
+			if err := store.Checkpoint(); err != nil {
+				return err
+			}
+			return rep.Sync()
+		}
+	}
+	go api.RunPeriodic(context.Background(), updater, *interval, backup)
+
+	log.Printf("ceems_api_server: cluster %s, slurmdbd %s, prometheus %s, serving %s",
+		*cluster, *dbd, *prom, *listen)
+	log.Fatal(http.ListenAndServe(*listen, server.Handler()))
+}

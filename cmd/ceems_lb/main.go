@@ -1,0 +1,60 @@
+// Command ceems_lb runs the CEEMS load balancer: a reverse proxy over one
+// or more Prometheus/Thanos backends that enforces per-compute-unit access
+// control by introspecting queries and verifying ownership against the
+// CEEMS API server.
+//
+// Usage:
+//
+//	ceems_lb -listen :9091 -backends http://tsdb-a:9090,http://tsdb-b:9090 \
+//	    -api-server http://ceems-api:9200 -strategy least-connection
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/lb"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9091", "HTTP listen address")
+		backends = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		apiURL   = flag.String("api-server", "", "CEEMS API server base URL for ownership checks (empty disables access control)")
+		strategy = flag.String("strategy", "round-robin", "round-robin or least-connection")
+		healthIv = flag.Duration("health-interval", 15*time.Second, "backend health check interval")
+	)
+	flag.Parse()
+	if *backends == "" {
+		log.Fatal("-backends required")
+	}
+
+	balancer := &lb.LB{Strategy: lb.Strategy(*strategy)}
+	for _, raw := range strings.Split(*backends, ",") {
+		b, err := lb.NewBackend(raw)
+		if err != nil {
+			log.Fatalf("backend: %v", err)
+		}
+		balancer.Backends = append(balancer.Backends, b)
+	}
+	if *apiURL != "" {
+		balancer.Checker = &lb.HTTPChecker{BaseURL: *apiURL}
+	} else {
+		log.Print("warning: running WITHOUT access control (-api-server empty)")
+	}
+	go func() {
+		tick := time.NewTicker(*healthIv)
+		defer tick.Stop()
+		for range tick.C {
+			balancer.HealthCheck(context.Background())
+		}
+	}()
+
+	log.Printf("ceems_lb: %d backends, strategy %s, serving %s",
+		len(balancer.Backends), *strategy, *listen)
+	log.Fatal(http.ListenAndServe(*listen, balancer))
+}

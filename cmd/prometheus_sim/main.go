@@ -1,0 +1,68 @@
+// Command prometheus_sim plays the Prometheus role of the stack: it
+// scrapes CEEMS exporters over HTTP, evaluates the CEEMS energy-estimation
+// recording rules, and serves the Prometheus query API plus the JSON
+// remote-read endpoint the standalone CEEMS API server consumes.
+//
+// Usage:
+//
+//	prometheus_sim -listen :9090 -targets node1:9100,node2:9100 -class intel
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/promapi"
+	"repro/internal/rules"
+	"repro/internal/rules/ceemsrules"
+	"repro/internal/scrape"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9090", "HTTP listen address")
+		targets  = flag.String("targets", "", "comma-separated exporter targets (host:port)")
+		class    = flag.String("class", "intel", "nodeclass label for the scrape group")
+		cluster  = flag.String("cluster", "sim", "cluster label")
+		interval = flag.Duration("scrape-interval", 15*time.Second, "scrape interval")
+		ruleInt  = flag.Duration("rule-interval", time.Minute, "rule evaluation interval")
+		user     = flag.String("scrape-auth-user", "", "basic auth user for scraping")
+		pass     = flag.String("scrape-auth-pass", "", "basic auth password for scraping")
+	)
+	flag.Parse()
+	if *targets == "" {
+		log.Fatal("at least one -targets entry required")
+	}
+
+	db := tsdb.Open(tsdb.DefaultOptions())
+	sm := &scrape.Manager{
+		Dest:    db,
+		Fetcher: &scrape.HTTPFetcher{Username: *user, Password: *pass},
+		Groups: []*scrape.TargetGroup{{
+			JobName:  "ceems",
+			Targets:  strings.Split(*targets, ","),
+			Labels:   map[string]string{"nodeclass": *class, "cluster": *cluster},
+			Interval: *interval,
+		}},
+	}
+	ropts := ceemsrules.DefaultOptions()
+	ropts.Interval = *ruleInt
+	rm := &rules.Manager{
+		Engine: rules.NewEngine(nil), Query: db, Dest: db,
+		Groups:  ceemsrules.AllGroups(ropts),
+		OnError: func(err error) { log.Printf("rules: %v", err) },
+	}
+	ctx := context.Background()
+	go sm.Run(ctx)
+	go rm.Run(ctx)
+
+	h := &promapi.Handler{Query: db}
+	log.Printf("prometheus_sim: scraping %s (class %s) every %v, serving %s",
+		*targets, *class, *interval, *listen)
+	log.Fatal(http.ListenAndServe(*listen, h.Mux()))
+}

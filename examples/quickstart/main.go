@@ -1,0 +1,116 @@
+// Quickstart: the minimal CEEMS pipeline on one simulated node — exporter
+// → scrape → TSDB → Eq. 1 recording rules → per-job power and energy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/exporter"
+	"repro/internal/hw"
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/rules"
+	"repro/internal/rules/ceemsrules"
+	"repro/internal/scrape"
+	"repro/internal/tsdb"
+)
+
+// directFetcher scrapes the in-process exporter.
+type directFetcher struct{ exp *exporter.Exporter }
+
+func (f directFetcher) Fetch(context.Context, string) (io.ReadCloser, error) {
+	return io.NopCloser(strings.NewReader(f.exp.Render())), nil
+}
+
+func main() {
+	// 1. A simulated Intel compute node with two jobs.
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	spec := hw.DefaultIntelSpec("node1")
+	node, err := hw.NewNode(spec, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node.AddWorkload(&hw.Workload{
+		ID: "job_101", CPUs: 48, MemLimit: 128 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.9 }, // busy solver
+	})
+	node.AddWorkload(&hw.Workload{
+		ID: "job_102", CPUs: 8, MemLimit: 32 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.2 }, // light post-processing
+	})
+
+	// 2. The CEEMS exporter with all collectors.
+	exp := exporter.New(
+		&exporter.CgroupCollector{FS: node.FS, Layout: exporter.SlurmLayout()},
+		&exporter.RAPLCollector{FS: node.FS},
+		&exporter.IPMICollector{Reader: node},
+		&exporter.NodeCollector{FS: node.FS},
+	)
+
+	// 3. Scrape into the TSDB every 15 s; evaluate Eq. 1 rules every 60 s.
+	db := tsdb.Open(tsdb.DefaultOptions())
+	clock := start
+	sm := &scrape.Manager{
+		Dest: db, Fetcher: directFetcher{exp},
+		Groups: []*scrape.TargetGroup{{
+			JobName: "ceems", Targets: []string{"node1"},
+			Labels: map[string]string{"nodeclass": "intel", "cluster": "quickstart"},
+		}},
+		Now: func() time.Time { return clock },
+	}
+	rm := &rules.Manager{
+		Engine: rules.NewEngine(nil), Query: db, Dest: db,
+		Groups: []*rules.Group{ceemsrules.IntelGroup(ceemsrules.DefaultOptions())},
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ { // 5 simulated minutes
+		node.Advance(15 * time.Second)
+		clock = clock.Add(15 * time.Second)
+		sm.ScrapeAll(ctx)
+		if i%4 == 3 {
+			if err := rm.EvalAll(clock); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 4. Query per-job power — the paper's Eq. 1 output.
+	eng := promql.NewEngine()
+	v, err := eng.Instant(db, `uuid:host_watts:intel`, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipmi, _ := node.PowerReading()
+	fmt.Printf("node IPMI power: %.1f W\n\n", ipmi)
+	fmt.Println("per-job attribution (Eq. 1):")
+	var sum float64
+	for _, s := range v.(promql.Vector) {
+		fmt.Printf("  job %-4s  %7.1f W\n", s.Labels.Get("uuid"), s.V)
+		sum += s.V
+	}
+	fmt.Printf("  %-8s  %7.1f W  (conservation: %.1f%% of IPMI)\n\n", "total", sum, sum/ipmi*100)
+
+	// 5. Energy over the window via increase-style integration.
+	m, err := eng.Range(db, `uuid:host_watts:intel`, start.Add(time.Minute), clock, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("energy over the 5-minute window:")
+	for _, sr := range m {
+		var joules float64
+		for _, p := range sr.Samples {
+			joules += p.V * 60
+		}
+		fmt.Printf("  job %-4s  %8.0f J (%.5f kWh)\n", sr.Labels.Get("uuid"), joules, joules/3.6e6)
+	}
+	_ = labels.MetricName
+	_ = model.ManagerSLURM
+}

@@ -1,0 +1,254 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/emissions"
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/relstore"
+	"repro/internal/resourcemanager"
+	"repro/internal/tsdb"
+)
+
+// Updater implements the API server's periodic aggregation pass: fetch the
+// unit list from every resource manager, estimate each unit's aggregate
+// metrics from TSDB queries over the window since the previous pass, merge
+// them into the DB, roll up users and projects, and optionally clean the
+// TSDB of short-lived units (the "Clean TSDB" arrow in Fig. 1).
+type Updater struct {
+	Store    *relstore.DB
+	Fetchers []resourcemanager.Fetcher
+	// Query is the metrics source: the hot TSDB or the Thanos fan-in.
+	Query  promql.Queryable
+	Engine *promql.Engine
+	// Factor converts energy to emissions; nil skips emissions.
+	Factor emissions.Provider
+	// Zone is the grid zone for emission factors (e.g. "FR").
+	Zone string
+	// ShortUnitCutoff: terminated units with less runtime than this get
+	// their TSDB series deleted to reduce cardinality; 0 disables.
+	ShortUnitCutoff time.Duration
+	// Cleaner is the TSDB to clean; nil disables cleanup.
+	Cleaner *tsdb.DB
+
+	lastUpdate time.Time
+	// Stats.
+	UnitsSeen      int64
+	SeriesDeleted  int64
+	UpdatesApplied int64
+}
+
+// Update runs one aggregation pass at the given (simulated or wall) time.
+func (u *Updater) Update(ctx context.Context, now time.Time) error {
+	if u.Engine == nil {
+		u.Engine = promql.NewEngine()
+	}
+	windowStart := u.lastUpdate
+	if windowStart.IsZero() {
+		windowStart = now.Add(-time.Hour)
+	}
+	var firstErr error
+	for _, f := range u.Fetchers {
+		units, err := f.FetchUnits(ctx, windowStart.Add(-time.Minute))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("api: fetch %s: %w", f.ClusterID(), err)
+			}
+			continue
+		}
+		for _, unit := range units {
+			u.UnitsSeen++
+			if err := u.updateUnit(ctx, unit, windowStart, now); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := u.rollup(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	u.lastUpdate = now
+	u.UpdatesApplied++
+	return firstErr
+}
+
+// updateUnit merges the unit's metadata and the aggregate increment for
+// the [windowStart, now] window into the store.
+func (u *Updater) updateUnit(ctx context.Context, unit model.Unit, windowStart, now time.Time) error {
+	// Preserve previously accumulated aggregates.
+	prev, found, err := u.Store.Get(TableUnits, unit.UUID)
+	if err != nil {
+		return err
+	}
+	var agg model.UsageAggregate
+	if found {
+		agg = rowToUnit(prev).Aggregate
+	}
+
+	// Clamp the query window to the unit's lifetime.
+	qStart := windowStart
+	if s := time.UnixMilli(unit.StartedAt); unit.StartedAt > 0 && s.After(qStart) {
+		qStart = s
+	}
+	qEnd := now
+	if e := time.UnixMilli(unit.EndedAt); unit.EndedAt > 0 && e.Before(qEnd) {
+		qEnd = e
+	}
+	if unit.StartedAt > 0 && qEnd.After(qStart) {
+		inc, err := u.queryIncrement(ctx, unit, qStart, qEnd)
+		if err != nil {
+			return err
+		}
+		agg.Merge(inc)
+	}
+	unit.Aggregate = agg
+
+	if err := u.Store.Upsert(TableUnits, unitToRow(unit)); err != nil {
+		return err
+	}
+
+	// Cardinality cleanup: short-lived terminated units lose their TSDB
+	// series once their aggregates are safely in the DB.
+	if u.Cleaner != nil && u.ShortUnitCutoff > 0 && unit.State.Terminated() &&
+		unit.ElapsedSec < int64(u.ShortUnitCutoff.Seconds()) {
+		n := u.Cleaner.DeleteSeries(
+			labels.MustMatcher(labels.MatchEqual, "uuid", unit.ID),
+			labels.MustMatcher(labels.MatchEqual, "cluster", unit.Cluster),
+		)
+		u.SeriesDeleted += int64(n)
+	}
+	return nil
+}
+
+// queryIncrement estimates the unit's usage over one window from TSDB.
+func (u *Updater) queryIncrement(ctx context.Context, unit model.Unit, qStart, qEnd time.Time) (model.UsageAggregate, error) {
+	var inc model.UsageAggregate
+	win := qEnd.Sub(qStart)
+	winSec := win.Seconds()
+	winStr := fmt.Sprintf("%dms", win.Milliseconds())
+	sel := fmt.Sprintf(`{uuid=%q,cluster=%q}`, unit.ID, unit.Cluster)
+
+	scalarQ := func(q string) (float64, bool) {
+		v, err := u.Engine.Instant(u.Query, q, qEnd)
+		if err != nil {
+			return 0, false
+		}
+		vec, ok := v.(promql.Vector)
+		if !ok || len(vec) == 0 {
+			return 0, false
+		}
+		s := 0.0
+		for _, smp := range vec {
+			s += smp.V
+		}
+		return s, true
+	}
+
+	// Host and total power averages over the window → energy increments.
+	hostW, _ := scalarQ(fmt.Sprintf(`avg_over_time({__name__=~"uuid:host_watts:.+",uuid=%q,cluster=%q}[%s])`, unit.ID, unit.Cluster, winStr))
+	totalW, haveTotal := scalarQ(fmt.Sprintf(`avg_over_time({__name__=~"uuid:total_watts:.+",uuid=%q,cluster=%q}[%s])`, unit.ID, unit.Cluster, winStr))
+	if !haveTotal {
+		totalW = hostW
+	}
+	inc.HostEnergyJoules = hostW * winSec
+	inc.TotalEnergyJoules = totalW * winSec
+	inc.GPUEnergyJoules = (totalW - hostW) * winSec
+	if inc.GPUEnergyJoules < 0 {
+		inc.GPUEnergyJoules = 0
+	}
+
+	// CPU time and utilization of the allocation.
+	cpuTime, _ := scalarQ(fmt.Sprintf(`increase(ceems_compute_unit_cpu_usage_seconds_total%s[%s])`, sel, winStr))
+	inc.CPUTimeSec = cpuTime
+	if unit.CPUs > 0 && winSec > 0 {
+		inc.AvgCPUUsage = cpuTime / (winSec * float64(unit.CPUs))
+	}
+	// Memory utilization fraction of the limit.
+	memUsed, _ := scalarQ(fmt.Sprintf(`avg_over_time(ceems_compute_unit_memory_used_bytes%s[%s])`, sel, winStr))
+	if unit.MemoryBytes > 0 {
+		inc.AvgCPUMemUsage = memUsed / float64(unit.MemoryBytes)
+	}
+	// GPU utilization via the per-unit util rule when present.
+	gpuUtil, haveGPU := scalarQ(fmt.Sprintf(`avg_over_time({__name__=~"uuid:gpu_util_percent:.+",uuid=%q,cluster=%q}[%s])`, unit.ID, unit.Cluster, winStr))
+	if haveGPU && unit.GPUs > 0 {
+		inc.AvgGPUUsage = gpuUtil / 100 / float64(unit.GPUs)
+	}
+	// Sample count for weighted merging.
+	nsamp, _ := scalarQ(fmt.Sprintf(`count_over_time({__name__=~"uuid:host_watts:.+",uuid=%q,cluster=%q}[%s])`, unit.ID, unit.Cluster, winStr))
+	inc.NumSamples = int64(nsamp)
+	if inc.NumSamples == 0 && inc.TotalEnergyJoules > 0 {
+		inc.NumSamples = 1
+	}
+
+	// Emissions for this window's energy.
+	if u.Factor != nil && inc.TotalEnergyJoules > 0 {
+		f, err := u.Factor.Factor(ctx, u.Zone)
+		if err == nil {
+			inc.EmissionsGrams = f.Grams(inc.TotalEnergyJoules)
+		}
+	}
+	return inc, nil
+}
+
+// rollup recomputes the user and project tables from the units table.
+func (u *Updater) rollup() error {
+	units, err := u.Store.Select(TableUnits, relstore.Query{})
+	if err != nil {
+		return err
+	}
+	type acc struct {
+		n   int64
+		agg model.UsageAggregate
+	}
+	users := map[string]*acc{}
+	projects := map[string]*acc{}
+	meta := map[string][2]string{} // key -> (cluster, name)
+	for _, row := range units {
+		unit := rowToUnit(row)
+		uk := userKey(unit.Cluster, unit.User)
+		pk := projectKey(unit.Cluster, unit.Project)
+		for _, e := range []struct {
+			m   map[string]*acc
+			key string
+			nm  string
+		}{{users, uk, unit.User}, {projects, pk, unit.Project}} {
+			a, ok := e.m[e.key]
+			if !ok {
+				a = &acc{}
+				e.m[e.key] = a
+				meta[e.key] = [2]string{unit.Cluster, e.nm}
+			}
+			a.n++
+			a.agg.Merge(unit.Aggregate)
+		}
+	}
+	for key, a := range users {
+		m := meta[key]
+		err := u.Store.Upsert(TableUsers, relstore.Row{
+			"key": key, "cluster": m[0], "user": m[1],
+			"num_units": a.n, "cpu_time_sec": a.agg.CPUTimeSec,
+			"avg_cpu_usage": a.agg.AvgCPUUsage, "avg_gpu_usage": a.agg.AvgGPUUsage,
+			"total_energy_j": a.agg.TotalEnergyJoules, "emissions_g": a.agg.EmissionsGrams,
+			"num_samples": a.agg.NumSamples,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for key, a := range projects {
+		m := meta[key]
+		err := u.Store.Upsert(TableProjects, relstore.Row{
+			"key": key, "cluster": m[0], "project": m[1],
+			"num_units": a.n, "cpu_time_sec": a.agg.CPUTimeSec,
+			"total_energy_j": a.agg.TotalEnergyJoules, "emissions_g": a.agg.EmissionsGrams,
+			"num_samples": a.agg.NumSamples,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

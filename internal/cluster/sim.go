@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/emissions"
+	"repro/internal/exporter"
+	"repro/internal/gpusim"
+	"repro/internal/hw"
+	"repro/internal/labels"
+	"repro/internal/lb"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/relstore"
+	"repro/internal/resourcemanager"
+	"repro/internal/rules"
+	"repro/internal/rules/ceemsrules"
+	"repro/internal/scrape"
+	"repro/internal/slurmsim"
+	"repro/internal/thanos"
+	"repro/internal/tsdb"
+)
+
+// simTime wraps the simulated wall clock.
+type simTime struct{ t time.Time }
+
+// Options configure the simulation cadence.
+type Options struct {
+	Start time.Time
+	// ScrapeInterval is the base tick; every subsystem cadence is a
+	// multiple of it.
+	ScrapeInterval time.Duration
+	RuleInterval   time.Duration
+	UpdateInterval time.Duration
+	ShipInterval   time.Duration
+	// ShortUnitCutoff for TSDB cardinality cleanup.
+	ShortUnitCutoff time.Duration
+	// Zone for emission factors; Factor may be nil for OWID static.
+	Zone   string
+	Factor emissions.Provider
+	// HeadRetention of the hot TSDB after block shipping.
+	HeadRetention time.Duration
+	// StoreDir persists the API store and Thanos blocks; "" keeps all in
+	// memory.
+	StoreDir string
+}
+
+// DefaultOptions returns the deployment cadence used in the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Start:           time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		ScrapeInterval:  15 * time.Second,
+		RuleInterval:    time.Minute,
+		UpdateInterval:  5 * time.Minute,
+		ShipInterval:    30 * time.Minute,
+		ShortUnitCutoff: time.Minute,
+		Zone:            "FR",
+		Factor:          emissions.OWID{},
+		HeadRetention:   2 * time.Hour,
+	}
+}
+
+// Sim is the assembled platform.
+type Sim struct {
+	Topo Topology
+	Opts Options
+
+	Sched     *slurmsim.Scheduler
+	DB        *tsdb.DB
+	Cold      *thanos.Store
+	Sidecar   *thanos.Sidecar
+	Querier   *thanos.Querier
+	Store     *relstore.DB
+	Updater   *api.Updater
+	APIServer *api.Server
+	LB        *lb.LB
+	Gen       *WorkloadGen
+
+	scrapeMgr *scrape.Manager
+	rulesMgr  *rules.Manager
+	exporters map[string]*exporter.Exporter
+	clock     time.Time
+	tick      int64
+	// Errors collects subsystem errors during stepping.
+	Errors []string
+}
+
+// exporterFetcher scrapes the in-process exporters directly, avoiding
+// thousands of real sockets while exercising the same render/parse path.
+type exporterFetcher struct{ sim *Sim }
+
+func (f *exporterFetcher) Fetch(_ context.Context, target string) (io.ReadCloser, error) {
+	exp, ok := f.sim.exporters[target]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no exporter for target %q", target)
+	}
+	return io.NopCloser(strings.NewReader(exp.Render())), nil
+}
+
+// gpuMapProvider feeds the exporter's GPU-map collector from the
+// scheduler's binding table.
+type gpuMapProvider struct {
+	sched *slurmsim.Scheduler
+	node  *hw.Node
+}
+
+func (p *gpuMapProvider) GPUOrdinalsByUnit() map[string][]exporter.GPUBinding {
+	gpus := p.node.GPUs()
+	out := map[string][]exporter.GPUBinding{}
+	for id, ords := range p.sched.GPUBindingsOnNode(p.node.Spec.Name) {
+		for _, ord := range ords {
+			uuid := ""
+			if ord < len(gpus) {
+				uuid = gpus[ord].UUID
+			}
+			out[id] = append(out[id], exporter.GPUBinding{Ordinal: ord, UUID: uuid})
+		}
+	}
+	return out
+}
+
+// New assembles a simulation of the topology.
+func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (*Sim, error) {
+	nodesByClass, err := topo.buildNodes(simTime{opts.Start})
+	if err != nil {
+		return nil, err
+	}
+	sim := &Sim{
+		Topo: topo, Opts: opts, clock: opts.Start,
+		exporters: map[string]*exporter.Exporter{},
+	}
+
+	// Partitions: one per node class present.
+	var parts []*slurmsim.Partition
+	var cpuParts, gpuParts []string
+	for _, class := range Classes() {
+		nodes := nodesByClass[class]
+		if len(nodes) == 0 {
+			continue
+		}
+		pname := "part-" + string(class)
+		parts = append(parts, &slurmsim.Partition{Name: pname, Nodes: nodes})
+		if class == ClassIntel || class == ClassAMD {
+			cpuParts = append(cpuParts, pname)
+		} else {
+			gpuParts = append(gpuParts, pname)
+		}
+	}
+	sim.Sched, err = slurmsim.NewScheduler(topo.Name, opts.Start, parts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Exporters + scrape groups per class.
+	sim.DB = tsdb.Open(tsdb.DefaultOptions())
+	var groups []*scrape.TargetGroup
+	for _, class := range Classes() {
+		nodes := nodesByClass[class]
+		if len(nodes) == 0 {
+			continue
+		}
+		var targets []string
+		for _, n := range nodes {
+			cols := []exporter.Collector{
+				&exporter.CgroupCollector{FS: n.FS, Layout: exporter.SlurmLayout()},
+				&exporter.RAPLCollector{FS: n.FS},
+				&exporter.IPMICollector{Reader: n},
+				&exporter.NodeCollector{FS: n.FS},
+			}
+			if len(n.Spec.GPUs) > 0 {
+				cols = append(cols,
+					&gpusim.DCGMCollector{Hostname: n.Spec.Name, Devices: n},
+					&exporter.GPUMapCollector{
+						Provider: &gpuMapProvider{sched: sim.Sched, node: n},
+						Manager:  model.ManagerSLURM,
+					})
+			}
+			sim.exporters[n.Spec.Name] = exporter.New(cols...)
+			targets = append(targets, n.Spec.Name)
+		}
+		groups = append(groups, &scrape.TargetGroup{
+			JobName: "ceems",
+			Targets: targets,
+			Labels: map[string]string{
+				"nodeclass": string(class),
+				"cluster":   topo.Name,
+			},
+			Interval: opts.ScrapeInterval,
+		})
+	}
+	sim.scrapeMgr = &scrape.Manager{
+		Dest: sim.DB, Fetcher: &exporterFetcher{sim: sim}, Groups: groups,
+		Now: func() time.Time { return sim.clock },
+	}
+
+	// Recording rules: all four hardware-class groups + emissions.
+	ropts := ceemsrules.DefaultOptions()
+	ropts.Interval = opts.RuleInterval
+	sim.rulesMgr = &rules.Manager{
+		Engine: rules.NewEngine(nil), Query: sim.DB, Dest: sim.DB,
+		Groups: ceemsrules.AllGroups(ropts),
+	}
+
+	// Long-term storage.
+	coldDir := ""
+	if opts.StoreDir != "" {
+		coldDir = opts.StoreDir + "/thanos"
+	}
+	sim.Cold, err = thanos.NewStore(coldDir)
+	if err != nil {
+		return nil, err
+	}
+	sim.Sidecar = &thanos.Sidecar{DB: sim.DB, Store: sim.Cold, HeadRetention: opts.HeadRetention}
+	sim.Querier = &thanos.Querier{Hot: sim.DB, Cold: sim.Cold}
+
+	// API server.
+	storeDir := ""
+	if opts.StoreDir != "" {
+		storeDir = opts.StoreDir + "/apidb"
+	}
+	sim.Store, err = relstore.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range api.Schemas() {
+		if err := sim.Store.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	factor := opts.Factor
+	if factor == nil {
+		factor = emissions.OWID{}
+	}
+	sim.Updater = &api.Updater{
+		Store: sim.Store,
+		Fetchers: []resourcemanager.Fetcher{
+			&resourcemanager.Local{Cluster: topo.Name, Kind: model.ManagerSLURM, Source: sim.Sched},
+		},
+		Query:           sim.Querier,
+		Factor:          factor,
+		Zone:            opts.Zone,
+		ShortUnitCutoff: opts.ShortUnitCutoff,
+		Cleaner:         sim.DB,
+	}
+	sim.APIServer = &api.Server{Store: sim.Store, Updater: sim.Updater}
+
+	// Load balancer over the (single, in this sim) query backend; the
+	// backend handler is installed by callers that serve HTTP. Ownership
+	// checks go straight to the API server.
+	sim.LB = &lb.LB{
+		Strategy: lb.RoundRobin,
+		Checker:  &lb.APIServerChecker{Server: sim.APIServer},
+	}
+
+	sim.Gen = NewWorkloadGen(topo.Seed, users, projects, jobsPerDay, cpuParts, gpuParts)
+	return sim, nil
+}
+
+// Now returns the simulated time.
+func (s *Sim) Now() time.Time { return s.clock }
+
+// Step advances one scrape interval: submit workload, advance hardware and
+// scheduler, scrape all nodes, ingest the emission factor, and run the
+// slower loops (rules, updater, sidecar) when their cadence divides the
+// tick.
+func (s *Sim) Step(ctx context.Context) {
+	s.tick++
+	dt := s.Opts.ScrapeInterval
+	s.clock = s.clock.Add(dt)
+
+	s.Gen.Tick(s.Sched, dt)
+	s.Sched.Advance(dt)
+	s.scrapeMgr.ScrapeAll(ctx)
+
+	// Emission factor as a series (so rules can join against it).
+	if f, err := s.Opts.Factor.Factor(ctx, s.Opts.Zone); err == nil {
+		s.DB.Append(
+			labels.FromStrings(labels.MetricName, "ceems_emission_factor_gco2_kwh", "zone", s.Opts.Zone),
+			s.clock.UnixMilli(), f.GramsPerKWh)
+	}
+
+	if s.every(s.Opts.RuleInterval) {
+		if err := s.rulesMgr.EvalAll(s.clock); err != nil {
+			s.recordError("rules", err)
+		}
+	}
+	if s.every(s.Opts.UpdateInterval) {
+		if err := s.Updater.Update(ctx, s.clock); err != nil {
+			s.recordError("updater", err)
+		}
+	}
+	if s.every(s.Opts.ShipInterval) {
+		if err := s.Sidecar.Ship(s.clock); err != nil {
+			s.recordError("sidecar", err)
+		}
+	}
+}
+
+// every reports whether the cadence fires on this tick.
+func (s *Sim) every(interval time.Duration) bool {
+	if interval <= 0 {
+		return false
+	}
+	ticks := int64(interval / s.Opts.ScrapeInterval)
+	if ticks <= 0 {
+		ticks = 1
+	}
+	return s.tick%ticks == 0
+}
+
+func (s *Sim) recordError(sub string, err error) {
+	if len(s.Errors) < 100 {
+		s.Errors = append(s.Errors, fmt.Sprintf("%s: %v", sub, err))
+	}
+}
+
+// RunFor advances the simulation by the given simulated duration.
+func (s *Sim) RunFor(ctx context.Context, d time.Duration) {
+	steps := int(d / s.Opts.ScrapeInterval)
+	for i := 0; i < steps; i++ {
+		s.Step(ctx)
+	}
+}
+
+// FinalizeUpdate forces a final aggregate pass (e.g. before reading
+// results at the end of an experiment).
+func (s *Sim) FinalizeUpdate(ctx context.Context) error {
+	return s.Updater.Update(ctx, s.clock)
+}
+
+// Engine returns a PromQL engine bound to the fan-in querier for ad-hoc
+// queries against the simulation.
+func (s *Sim) Engine() (*promql.Engine, promql.Queryable) {
+	return promql.NewEngine(), s.Querier
+}

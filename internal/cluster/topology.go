@@ -1,0 +1,146 @@
+// Package cluster assembles the full CEEMS deployment over a simulated
+// HPC platform: a Jean-Zay-like topology of Intel/AMD/GPU nodes under a
+// SLURM scheduler, per-node CEEMS + DCGM exporters, the hot TSDB with its
+// scrape loops and recording rules, Thanos long-term storage, the CEEMS
+// API server with its relational store and Litestream-style replica, the
+// load balancer, and a synthetic workload generator calibrated to the
+// paper's ~20k jobs/day churn. It is the engine behind the E1/E3/E4/E7
+// experiments and the cluster_sim binary.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// NodeClass identifies the four hardware groups of §III.A.
+type NodeClass string
+
+const (
+	ClassIntel       NodeClass = "intel"  // RAPL pkg+dram, IPMI covers node
+	ClassAMD         NodeClass = "amd"    // RAPL pkg only
+	ClassGPUIncluded NodeClass = "gpuinc" // BMC reading includes GPUs
+	ClassGPUExcluded NodeClass = "gpuexc" // BMC reading excludes GPUs
+)
+
+// Classes lists all node classes.
+func Classes() []NodeClass {
+	return []NodeClass{ClassIntel, ClassAMD, ClassGPUIncluded, ClassGPUExcluded}
+}
+
+// Topology describes how many nodes of each class to build.
+type Topology struct {
+	Name             string
+	IntelNodes       int
+	AMDNodes         int
+	GPUIncludedNodes int
+	GPUExcludedNodes int
+	// GPUsPerNode on the GPU classes (Jean-Zay: 4 or 8).
+	GPUsPerNode int
+	// Kinds cycled across GPU nodes (V100/A100/H100 partitions).
+	GPUKinds []model.GPUKind
+	Seed     int64
+}
+
+// JeanZay returns the paper's deployment scaled by the given factor:
+// at scale=1 approximately 1400 nodes with >3500 GPUs across V100, A100
+// and H100 partitions.
+func JeanZay(scale float64) Topology {
+	n := func(full int) int {
+		v := int(float64(full) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Topology{
+		Name:             "jean-zay",
+		IntelNodes:       n(720),
+		AMDNodes:         n(240),
+		GPUIncludedNodes: n(260),
+		GPUExcludedNodes: n(180),
+		GPUsPerNode:      8,
+		GPUKinds:         []model.GPUKind{model.GPUV100, model.GPUA100, model.GPUH100},
+		Seed:             42,
+	}
+}
+
+// TotalNodes returns the node count.
+func (t Topology) TotalNodes() int {
+	return t.IntelNodes + t.AMDNodes + t.GPUIncludedNodes + t.GPUExcludedNodes
+}
+
+// TotalGPUs returns the GPU count.
+func (t Topology) TotalGPUs() int {
+	return (t.GPUIncludedNodes + t.GPUExcludedNodes) * t.gpusPerNode()
+}
+
+func (t Topology) gpusPerNode() int {
+	if t.GPUsPerNode <= 0 {
+		return 4
+	}
+	return t.GPUsPerNode
+}
+
+// Validate checks the topology.
+func (t Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("cluster: topology name required")
+	}
+	if t.TotalNodes() == 0 {
+		return fmt.Errorf("cluster: topology has no nodes")
+	}
+	if (t.GPUIncludedNodes > 0 || t.GPUExcludedNodes > 0) && len(t.GPUKinds) == 0 {
+		return fmt.Errorf("cluster: GPU nodes need at least one GPU kind")
+	}
+	return nil
+}
+
+// buildNodes materializes the hardware, returning nodes grouped by class.
+func (t Topology) buildNodes(start simTime) (map[NodeClass][]*hw.Node, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[NodeClass][]*hw.Node{}
+	mk := func(class NodeClass, i int) (hw.NodeSpec, error) {
+		name := fmt.Sprintf("%s-%s-%04d", t.Name, class, i)
+		var spec hw.NodeSpec
+		switch class {
+		case ClassIntel:
+			spec = hw.DefaultIntelSpec(name)
+		case ClassAMD:
+			spec = hw.DefaultAMDSpec(name)
+		case ClassGPUIncluded, ClassGPUExcluded:
+			kind := t.GPUKinds[i%len(t.GPUKinds)]
+			kinds := make([]model.GPUKind, t.gpusPerNode())
+			for k := range kinds {
+				kinds[k] = kind
+			}
+			spec = hw.DefaultGPUSpec(name, class == ClassGPUIncluded, kinds...)
+		default:
+			return spec, fmt.Errorf("cluster: unknown class %s", class)
+		}
+		spec.Seed = t.Seed + int64(i)*7919
+		return spec, nil
+	}
+	counts := map[NodeClass]int{
+		ClassIntel: t.IntelNodes, ClassAMD: t.AMDNodes,
+		ClassGPUIncluded: t.GPUIncludedNodes, ClassGPUExcluded: t.GPUExcludedNodes,
+	}
+	for _, class := range Classes() {
+		for i := 0; i < counts[class]; i++ {
+			spec, err := mk(class, i)
+			if err != nil {
+				return nil, err
+			}
+			n, err := hw.NewNode(spec, start.t)
+			if err != nil {
+				return nil, err
+			}
+			out[class] = append(out[class], n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package config defines the single-YAML-file configuration shared by all
+// CEEMS components (paper §II.D: "All the CEEMS components can be
+// configured in a single YAML file where each component will read its
+// relevant configuration").
+package config
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/yamlite"
+)
+
+// Config is the root of the unified configuration file.
+type Config struct {
+	Cluster   ClusterConfig   `yaml:"cluster"`
+	Exporter  ExporterConfig  `yaml:"exporter"`
+	TSDB      TSDBConfig      `yaml:"tsdb"`
+	Thanos    ThanosConfig    `yaml:"thanos"`
+	APIServer APIServerConfig `yaml:"api_server"`
+	LB        LBConfig        `yaml:"lb"`
+	Emissions EmissionsConfig `yaml:"emissions"`
+	Sim       SimConfig       `yaml:"sim"`
+}
+
+// ClusterConfig describes the monitored cluster.
+type ClusterConfig struct {
+	Name string `yaml:"name"`
+	// Zone is the grid zone for emission factors.
+	Zone string `yaml:"zone"`
+}
+
+// ExporterConfig configures the per-node exporter.
+type ExporterConfig struct {
+	Listen string `yaml:"listen"`
+	// Collectors to disable (all enabled by default).
+	DisableCollectors []string `yaml:"disable_collectors"`
+	BasicAuthUser     string   `yaml:"basic_auth_user"`
+	BasicAuthPassword string   `yaml:"basic_auth_password"`
+}
+
+// TSDBConfig configures the hot TSDB and scraping.
+type TSDBConfig struct {
+	ScrapeInterval  time.Duration `yaml:"scrape_interval"`
+	RuleInterval    time.Duration `yaml:"rule_interval"`
+	RetentionPeriod time.Duration `yaml:"retention"`
+	RateWindow      string        `yaml:"rate_window"`
+}
+
+// ThanosConfig configures long-term storage.
+type ThanosConfig struct {
+	Dir           string        `yaml:"dir"`
+	ShipInterval  time.Duration `yaml:"ship_interval"`
+	HeadRetention time.Duration `yaml:"head_retention"`
+	Downsample    time.Duration `yaml:"downsample"`
+}
+
+// APIServerConfig configures the CEEMS API server.
+type APIServerConfig struct {
+	Listen          string        `yaml:"listen"`
+	DataDir         string        `yaml:"data_dir"`
+	BackupDir       string        `yaml:"backup_dir"`
+	UpdateInterval  time.Duration `yaml:"update_interval"`
+	BackupInterval  time.Duration `yaml:"backup_interval"`
+	ShortUnitCutoff time.Duration `yaml:"short_unit_cutoff"`
+	AdminUsers      []string      `yaml:"admin_users"`
+}
+
+// LBConfig configures the load balancer.
+type LBConfig struct {
+	Listen   string   `yaml:"listen"`
+	Backends []string `yaml:"backends"`
+	Strategy string   `yaml:"strategy"`
+}
+
+// EmissionsConfig selects emission factor providers in priority order.
+type EmissionsConfig struct {
+	Providers  []string      `yaml:"providers"` // "rte", "emaps", "owid"
+	RTEURL     string        `yaml:"rte_url"`
+	EMapsURL   string        `yaml:"emaps_url"`
+	EMapsToken string        `yaml:"emaps_token"`
+	CacheTTL   time.Duration `yaml:"cache_ttl"`
+}
+
+// SimConfig parameterizes the simulated platform (cluster_sim only).
+type SimConfig struct {
+	IntelNodes       int     `yaml:"intel_nodes"`
+	AMDNodes         int     `yaml:"amd_nodes"`
+	GPUIncludedNodes int     `yaml:"gpu_included_nodes"`
+	GPUExcludedNodes int     `yaml:"gpu_excluded_nodes"`
+	Users            int     `yaml:"users"`
+	Projects         int     `yaml:"projects"`
+	JobsPerDay       float64 `yaml:"jobs_per_day"`
+	Seed             int64   `yaml:"seed"`
+}
+
+// Default returns a config with sane defaults for a small simulation.
+func Default() Config {
+	return Config{
+		Cluster: ClusterConfig{Name: "sim", Zone: "FR"},
+		TSDB: TSDBConfig{
+			ScrapeInterval: 15 * time.Second, RuleInterval: time.Minute,
+			RetentionPeriod: 15 * 24 * time.Hour, RateWindow: "2m",
+		},
+		Thanos: ThanosConfig{ShipInterval: 30 * time.Minute, HeadRetention: 2 * time.Hour},
+		APIServer: APIServerConfig{
+			UpdateInterval: 5 * time.Minute, BackupInterval: time.Hour,
+			ShortUnitCutoff: time.Minute,
+		},
+		LB:        LBConfig{Strategy: "round-robin"},
+		Emissions: EmissionsConfig{Providers: []string{"owid"}, CacheTTL: 5 * time.Minute},
+		Sim: SimConfig{
+			IntelNodes: 4, AMDNodes: 2, GPUIncludedNodes: 1, GPUExcludedNodes: 1,
+			Users: 8, Projects: 3, JobsPerDay: 600, Seed: 1,
+		},
+	}
+}
+
+// Load reads and validates a config file, applying defaults for absent
+// fields.
+func Load(path string) (Config, error) {
+	cfg := Default()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	if err := yamlite.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return cfg, cfg.Validate()
+}
+
+// Parse decodes a config from bytes (for tests and embedded defaults).
+func Parse(data []byte) (Config, error) {
+	cfg := Default()
+	if err := yamlite.Unmarshal(data, &cfg); err != nil {
+		return cfg, err
+	}
+	return cfg, cfg.Validate()
+}
+
+// Validate checks cross-field invariants.
+func (c Config) Validate() error {
+	if c.Cluster.Name == "" {
+		return fmt.Errorf("config: cluster.name required")
+	}
+	if c.TSDB.ScrapeInterval <= 0 {
+		return fmt.Errorf("config: tsdb.scrape_interval must be positive")
+	}
+	if c.TSDB.RuleInterval < c.TSDB.ScrapeInterval {
+		return fmt.Errorf("config: tsdb.rule_interval must be >= scrape_interval")
+	}
+	switch c.LB.Strategy {
+	case "", "round-robin", "least-connection":
+	default:
+		return fmt.Errorf("config: lb.strategy must be round-robin or least-connection")
+	}
+	for _, p := range c.Emissions.Providers {
+		switch p {
+		case "owid", "rte", "emaps":
+		default:
+			return fmt.Errorf("config: unknown emissions provider %q", p)
+		}
+	}
+	if c.Sim.JobsPerDay < 0 {
+		return fmt.Errorf("config: sim.jobs_per_day must be non-negative")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const sampleYAML = `
+cluster:
+  name: jean-zay
+  zone: FR
+exporter:
+  listen: ":9100"
+  disable_collectors: [gpumap]
+  basic_auth_user: ceems
+  basic_auth_password: secret
+tsdb:
+  scrape_interval: 15s
+  rule_interval: 1m
+  retention: 360h
+  rate_window: 2m
+thanos:
+  dir: /var/lib/thanos
+  ship_interval: 30m
+  head_retention: 2h
+api_server:
+  listen: ":9200"
+  update_interval: 5m
+  short_unit_cutoff: 1m
+  admin_users: [root, ops]
+lb:
+  listen: ":9090"
+  backends: ["http://tsdb-a:9090", "http://tsdb-b:9090"]
+  strategy: least-connection
+emissions:
+  providers: [rte, owid]
+  rte_url: "http://rte-mock:8080"
+  cache_ttl: 5m
+sim:
+  intel_nodes: 10
+  users: 16
+  jobs_per_day: 5000
+`
+
+func TestParseFull(t *testing.T) {
+	cfg, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Cluster.Name != "jean-zay" || cfg.Cluster.Zone != "FR" {
+		t.Errorf("cluster = %+v", cfg.Cluster)
+	}
+	if cfg.Exporter.BasicAuthUser != "ceems" || len(cfg.Exporter.DisableCollectors) != 1 {
+		t.Errorf("exporter = %+v", cfg.Exporter)
+	}
+	if cfg.TSDB.ScrapeInterval != 15*time.Second || cfg.TSDB.RetentionPeriod != 360*time.Hour {
+		t.Errorf("tsdb = %+v", cfg.TSDB)
+	}
+	if cfg.LB.Strategy != "least-connection" || len(cfg.LB.Backends) != 2 {
+		t.Errorf("lb = %+v", cfg.LB)
+	}
+	if len(cfg.Emissions.Providers) != 2 || cfg.Emissions.Providers[0] != "rte" {
+		t.Errorf("emissions = %+v", cfg.Emissions)
+	}
+	if len(cfg.APIServer.AdminUsers) != 2 {
+		t.Errorf("admins = %v", cfg.APIServer.AdminUsers)
+	}
+	// Defaults fill unspecified fields.
+	if cfg.Sim.Projects != 3 {
+		t.Errorf("default projects = %d", cfg.Sim.Projects)
+	}
+	if cfg.Sim.IntelNodes != 10 || cfg.Sim.JobsPerDay != 5000 {
+		t.Errorf("sim overrides lost: %+v", cfg.Sim)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []string{
+		"cluster:\n  name: \"\"",
+		"cluster:\n  name: x\ntsdb:\n  scrape_interval: 0s",
+		"cluster:\n  name: x\ntsdb:\n  scrape_interval: 1m\n  rule_interval: 15s",
+		"cluster:\n  name: x\nlb:\n  strategy: random",
+		"cluster:\n  name: x\nemissions:\n  providers: [carrier-pigeon]",
+		"cluster:\n  name: x\nsim:\n  jobs_per_day: -5",
+	}
+	for i, y := range bad {
+		if _, err := Parse([]byte(y)); err == nil {
+			t.Errorf("case %d accepted: %s", i, y)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ceems.yaml")
+	if err := os.WriteFile(path, []byte(sampleYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if cfg.Cluster.Name != "jean-zay" {
+		t.Error("file config not applied")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

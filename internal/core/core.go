@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution in library form:
+// the configurable compute-unit energy estimation model (Eq. 1) that splits
+// node-level power measurements (IPMI-DCMI, RAPL) among the workloads
+// running on the node, and its variants for the hardware classes found on
+// Jean-Zay (§III.A). The same formulas are also shipped as Prometheus
+// recording rules in the ceemsrules subpackage; this package is the
+// reference implementation the rules are validated against.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeSample is the node-level view at one instant, derived from exporter
+// metrics: IPMI power, RAPL domain powers (rates of the energy counters),
+// total node activity.
+type NodeSample struct {
+	// IPMIWatts is the whole-node wall power from IPMI-DCMI.
+	IPMIWatts float64
+	// RAPLCPUWatts is the summed package-domain power (rate of the RAPL
+	// counters).
+	RAPLCPUWatts float64
+	// RAPLDRAMWatts is the summed dram-domain power; 0 on AMD nodes that
+	// expose no dram domain.
+	RAPLDRAMWatts float64
+	// CPURate is the node's busy CPU-seconds per second (i.e. busy CPUs).
+	CPURate float64
+	// MemBytes is the node's used memory in bytes.
+	MemBytes float64
+	// GPUWatts is the summed GPU board power of the node (from DCGM/SMI).
+	GPUWatts float64
+	// NumUnits is the number of compute units running on the node.
+	NumUnits int
+}
+
+// UnitSample is one compute unit's activity at the same instant.
+type UnitSample struct {
+	// CPURate is the unit's busy CPU-seconds per second.
+	CPURate float64
+	// MemBytes is the unit's resident memory.
+	MemBytes float64
+	// GPUWatts is the summed board power of GPUs bound to the unit.
+	GPUWatts float64
+}
+
+// Estimator is the configurable Eq. 1 power attribution model. The zero
+// value is not valid; use NewEstimator or the presets.
+type Estimator struct {
+	// NetworkFraction is the share of node power attributed to network
+	// devices and split equally among units (0.1 in the paper, citing
+	// Dayarathna et al.).
+	NetworkFraction float64
+	// UseDRAMSplit splits the residual power between CPU and DRAM by RAPL
+	// ratio (Eq. 1); false attributes it all via CPU time (the AMD
+	// variant, where no DRAM counter exists).
+	UseDRAMSplit bool
+	// SubtractGPU removes measured GPU power from the IPMI reading before
+	// the split, for node types whose BMC includes GPU power (§III.A).
+	SubtractGPU bool
+}
+
+// NewEstimator returns the paper's Eq. 1 configuration: 10% network share,
+// CPU/DRAM split by RAPL ratio.
+func NewEstimator() Estimator {
+	return Estimator{NetworkFraction: 0.1, UseDRAMSplit: true}
+}
+
+// IntelVariant is Eq. 1 exactly as printed (RAPL CPU+DRAM available).
+func IntelVariant() Estimator { return NewEstimator() }
+
+// AMDVariant handles nodes whose RAPL exposes only the package domain: the
+// whole 90% residual follows CPU-time shares.
+func AMDVariant() Estimator {
+	return Estimator{NetworkFraction: 0.1, UseDRAMSplit: false}
+}
+
+// GPUInIPMIVariant first subtracts measured GPU power from the IPMI
+// reading, then applies Eq. 1 to the remainder; GPU energy is attributed
+// directly from the device metrics.
+func GPUInIPMIVariant() Estimator {
+	return Estimator{NetworkFraction: 0.1, UseDRAMSplit: true, SubtractGPU: true}
+}
+
+// ErrInvalidSample indicates non-physical inputs.
+var ErrInvalidSample = errors.New("core: invalid sample")
+
+// HostPower returns the host-side (CPU+DRAM+network share) power of one
+// unit per Eq. 1:
+//
+//	P_unit = 0.9·P_ipmi·(P_rapl_cpu/(P_rapl_cpu+P_rapl_dram))·(T_unit/T_node)
+//	       + 0.9·P_ipmi·(P_rapl_dram/(P_rapl_cpu+P_rapl_dram))·(M_unit/M_node)
+//	       + 0.1·P_ipmi·(1/N_units)
+//
+// (coefficients 0.9/0.1 generalize to 1-NetworkFraction/NetworkFraction).
+func (e Estimator) HostPower(node NodeSample, unit UnitSample) (float64, error) {
+	if node.IPMIWatts < 0 || node.CPURate < 0 || unit.CPURate < 0 {
+		return 0, fmt.Errorf("%w: negative power or rate", ErrInvalidSample)
+	}
+	if node.NumUnits <= 0 {
+		return 0, fmt.Errorf("%w: node reports no units", ErrInvalidSample)
+	}
+	ipmi := node.IPMIWatts
+	if e.SubtractGPU {
+		ipmi -= node.GPUWatts
+		if ipmi < 0 {
+			ipmi = 0
+		}
+	}
+	residual := (1 - e.NetworkFraction) * ipmi
+
+	cpuShare := 0.0
+	if node.CPURate > 0 {
+		cpuShare = unit.CPURate / node.CPURate
+		if cpuShare > 1 {
+			cpuShare = 1
+		}
+	}
+	memShare := 0.0
+	if node.MemBytes > 0 {
+		memShare = unit.MemBytes / node.MemBytes
+		if memShare > 1 {
+			memShare = 1
+		}
+	}
+
+	var hostW float64
+	if e.UseDRAMSplit && node.RAPLCPUWatts+node.RAPLDRAMWatts > 0 {
+		cpuFrac := node.RAPLCPUWatts / (node.RAPLCPUWatts + node.RAPLDRAMWatts)
+		hostW = residual*cpuFrac*cpuShare + residual*(1-cpuFrac)*memShare
+	} else {
+		hostW = residual * cpuShare
+	}
+	hostW += e.NetworkFraction * ipmi / float64(node.NumUnits)
+	return hostW, nil
+}
+
+// TotalPower returns host power plus the unit's directly-measured GPU
+// power. On nodes where IPMI excludes GPUs (SubtractGPU=false with
+// separate GPU measurement) this is simply additive; with SubtractGPU the
+// GPU power was removed from the host side first, so adding the device
+// measurement never double-counts.
+func (e Estimator) TotalPower(node NodeSample, unit UnitSample) (float64, error) {
+	host, err := e.HostPower(node, unit)
+	if err != nil {
+		return 0, err
+	}
+	return host + unit.GPUWatts, nil
+}
+
+// AttributeAll applies the estimator to every unit of a node and returns
+// the per-unit host powers. When the units are the node's only activity,
+// the results sum to the (GPU-adjusted) IPMI power — the conservation
+// property the tests assert.
+func (e Estimator) AttributeAll(node NodeSample, units []UnitSample) ([]float64, error) {
+	out := make([]float64, len(units))
+	for i, u := range units {
+		p, err := e.HostPower(node, u)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// EqualSplit is the naive baseline for ablation A1: node power divided
+// equally among units, ignoring activity.
+func EqualSplit(node NodeSample, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return node.IPMIWatts / float64(n)
+}
+
+// MemoryOnlySplit is the second ablation baseline: attribution purely by
+// memory occupancy.
+func MemoryOnlySplit(node NodeSample, unit UnitSample) float64 {
+	if node.MemBytes <= 0 {
+		return 0
+	}
+	share := unit.MemBytes / node.MemBytes
+	if share > 1 {
+		share = 1
+	}
+	return node.IPMIWatts * share
+}
+
+// RAPLOnlyPower estimates unit power from RAPL domains alone (no IPMI) —
+// ablation A2. It misses PSU losses, fans and other components, which is
+// the coverage gap the paper's IPMI+RAPL mix closes.
+func RAPLOnlyPower(node NodeSample, unit UnitSample) float64 {
+	cpuShare := 0.0
+	if node.CPURate > 0 {
+		cpuShare = unit.CPURate / node.CPURate
+		if cpuShare > 1 {
+			cpuShare = 1
+		}
+	}
+	memShare := 0.0
+	if node.MemBytes > 0 {
+		memShare = unit.MemBytes / node.MemBytes
+		if memShare > 1 {
+			memShare = 1
+		}
+	}
+	return node.RAPLCPUWatts*cpuShare + node.RAPLDRAMWatts*memShare
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// paperNode is the worked example: 850 W at the wall, RAPL sees 400 W CPU
+// and 100 W DRAM, 48 of 64 CPUs busy, half the memory used, 3 jobs.
+func paperNode() NodeSample {
+	return NodeSample{
+		IPMIWatts: 850, RAPLCPUWatts: 400, RAPLDRAMWatts: 100,
+		CPURate: 48, MemBytes: 128e9, NumUnits: 3,
+	}
+}
+
+func TestEq1HandComputed(t *testing.T) {
+	e := NewEstimator()
+	node := paperNode()
+	unit := UnitSample{CPURate: 24, MemBytes: 64e9} // half of node activity
+	got, err := e.HostPower(node, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By hand: residual = 0.9*850 = 765. cpuFrac = 400/500 = 0.8.
+	// cpu term = 765*0.8*(24/48) = 306. dram term = 765*0.2*(0.5) = 76.5.
+	// net term = 0.1*850/3 = 28.333...
+	want := 306 + 76.5 + 85.0/3
+	if !approx(got, want, 1e-9) {
+		t.Errorf("HostPower = %v, want %v", got, want)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Units covering ALL node activity: attribution sums to IPMI power.
+	e := NewEstimator()
+	node := paperNode()
+	units := []UnitSample{
+		{CPURate: 24, MemBytes: 64e9},
+		{CPURate: 16, MemBytes: 32e9},
+		{CPURate: 8, MemBytes: 32e9},
+	}
+	powers, err := e.AttributeAll(node, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range powers {
+		sum += p
+	}
+	if !approx(sum, node.IPMIWatts, 1e-9) {
+		t.Errorf("sum of attributions = %v, want %v", sum, node.IPMIWatts)
+	}
+}
+
+func TestAMDVariantIgnoresDRAM(t *testing.T) {
+	e := AMDVariant()
+	node := paperNode()
+	node.RAPLDRAMWatts = 0 // AMD: no dram domain
+	unit := UnitSample{CPURate: 24, MemBytes: 64e9}
+	got, err := e.HostPower(node, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*850*0.5 + 0.1*850/3
+	if !approx(got, want, 1e-9) {
+		t.Errorf("AMD HostPower = %v, want %v", got, want)
+	}
+	// Memory changes do not affect the AMD variant.
+	unit.MemBytes = 0
+	got2, _ := e.HostPower(node, unit)
+	if got2 != got {
+		t.Error("AMD variant should ignore memory share")
+	}
+}
+
+func TestGPUInIPMIVariant(t *testing.T) {
+	e := GPUInIPMIVariant()
+	node := paperNode()
+	node.IPMIWatts = 850 + 400 // BMC sees one busy A100
+	node.GPUWatts = 400
+	unit := UnitSample{CPURate: 24, MemBytes: 64e9, GPUWatts: 400}
+	host, err := e.HostPower(node, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After subtracting GPU power the host side equals the plain case.
+	plain, _ := NewEstimator().HostPower(paperNode(), UnitSample{CPURate: 24, MemBytes: 64e9})
+	if !approx(host, plain, 1e-9) {
+		t.Errorf("GPU-adjusted host = %v, want %v", host, plain)
+	}
+	total, _ := e.TotalPower(node, unit)
+	if !approx(total, host+400, 1e-9) {
+		t.Errorf("total = %v", total)
+	}
+	// GPU power exceeding IPMI clamps to zero rather than negative.
+	node.GPUWatts = 5000
+	host2, _ := e.HostPower(node, unit)
+	if host2 < 0 {
+		t.Errorf("negative host power: %v", host2)
+	}
+}
+
+func TestZeroActivityNode(t *testing.T) {
+	e := NewEstimator()
+	node := NodeSample{IPMIWatts: 300, NumUnits: 1}
+	unit := UnitSample{}
+	got, err := e.HostPower(node, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the equally-split network share remains defined.
+	if !approx(got, 30, 1e-9) {
+		t.Errorf("idle node power = %v, want 30", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := NewEstimator()
+	if _, err := e.HostPower(NodeSample{IPMIWatts: -1, NumUnits: 1}, UnitSample{}); err == nil {
+		t.Error("negative IPMI accepted")
+	}
+	if _, err := e.HostPower(NodeSample{IPMIWatts: 100}, UnitSample{}); err == nil {
+		t.Error("zero units accepted")
+	}
+	if _, err := e.HostPower(paperNode(), UnitSample{CPURate: -5}); err == nil {
+		t.Error("negative unit rate accepted")
+	}
+}
+
+func TestSharesClamped(t *testing.T) {
+	e := NewEstimator()
+	node := paperNode()
+	// Unit claims more activity than the node reports (measurement skew).
+	unit := UnitSample{CPURate: 100, MemBytes: 1e12}
+	got, err := e.HostPower(node, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPossible := 0.9*850 + 0.1*850/3
+	if got > maxPossible+1e-9 {
+		t.Errorf("unclamped attribution: %v > %v", got, maxPossible)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	node := paperNode()
+	if got := EqualSplit(node, 3); !approx(got, 850.0/3, 1e-12) {
+		t.Errorf("EqualSplit = %v", got)
+	}
+	if got := EqualSplit(node, 0); got != 0 {
+		t.Errorf("EqualSplit(0) = %v", got)
+	}
+	unit := UnitSample{CPURate: 24, MemBytes: 64e9}
+	if got := MemoryOnlySplit(node, unit); !approx(got, 425, 1e-9) {
+		t.Errorf("MemoryOnlySplit = %v", got)
+	}
+	rapl := RAPLOnlyPower(node, unit)
+	// 400*0.5 + 100*0.5 = 250.
+	if !approx(rapl, 250, 1e-9) {
+		t.Errorf("RAPLOnlyPower = %v", rapl)
+	}
+	// RAPL-only always under-reports vs the IPMI-based estimate: the
+	// coverage gap of ablation A2.
+	eq1, _ := NewEstimator().HostPower(node, unit)
+	if rapl >= eq1 {
+		t.Errorf("RAPL-only (%v) should be below Eq.1 (%v)", rapl, eq1)
+	}
+}
+
+// Property: conservation holds for any unit decomposition that covers the
+// node's activity exactly.
+func TestConservationProperty(t *testing.T) {
+	f := func(splits []uint8, ipmi uint16, raplCPU uint16, raplDRAM uint16) bool {
+		if len(splits) == 0 {
+			splits = []uint8{1}
+		}
+		if len(splits) > 16 {
+			splits = splits[:16]
+		}
+		node := NodeSample{
+			IPMIWatts:     float64(ipmi%2000) + 50,
+			RAPLCPUWatts:  float64(raplCPU%500) + 1,
+			RAPLDRAMWatts: float64(raplDRAM % 200),
+			CPURate:       64,
+			MemBytes:      256e9,
+			NumUnits:      len(splits),
+		}
+		// Build unit shares that sum exactly to the node totals.
+		total := 0.0
+		weights := make([]float64, len(splits))
+		for i, s := range splits {
+			weights[i] = float64(s) + 1
+			total += weights[i]
+		}
+		units := make([]UnitSample, len(splits))
+		for i, w := range weights {
+			units[i] = UnitSample{
+				CPURate:  node.CPURate * w / total,
+				MemBytes: node.MemBytes * w / total,
+			}
+		}
+		e := NewEstimator()
+		powers, err := e.AttributeAll(node, units)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range powers {
+			sum += p
+		}
+		return approx(sum, node.IPMIWatts, 1e-6*node.IPMIWatts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: attribution is monotone in unit activity.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		node := paperNode()
+		lo := UnitSample{CPURate: float64(a%48) / 2, MemBytes: 10e9}
+		hi := UnitSample{CPURate: lo.CPURate + float64(b%10) + 1, MemBytes: 10e9}
+		e := NewEstimator()
+		pl, err1 := e.HostPower(node, lo)
+		ph, err2 := e.HostPower(node, hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ph >= pl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEq1Attribution(b *testing.B) {
+	e := NewEstimator()
+	node := paperNode()
+	units := []UnitSample{
+		{CPURate: 24, MemBytes: 64e9},
+		{CPURate: 16, MemBytes: 32e9},
+		{CPURate: 8, MemBytes: 32e9},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AttributeAll(node, units); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package expofmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/labels"
+)
+
+func writeOne(t *testing.T, f *Family) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFamily(f); err != nil {
+		t.Fatalf("WriteFamily: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.String()
+}
+
+func TestWriteBasic(t *testing.T) {
+	f := &Family{
+		Name: "node_cpu_seconds_total",
+		Help: "Total CPU time.",
+		Type: TypeCounter,
+		Metrics: []Metric{
+			{Labels: labels.FromStrings("cpu", "0", "mode", "user"), Value: 12.5},
+		},
+	}
+	out := writeOne(t, f)
+	want := "# HELP node_cpu_seconds_total Total CPU time.\n" +
+		"# TYPE node_cpu_seconds_total counter\n" +
+		`node_cpu_seconds_total{cpu="0",mode="user"} 12.5` + "\n"
+	if out != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestWriteNoLabelsAndTimestamp(t *testing.T) {
+	f := &Family{Name: "up", Type: TypeGauge, Metrics: []Metric{{Value: 1, TS: 1700000000000}}}
+	out := writeOne(t, f)
+	if !strings.Contains(out, "up 1 1700000000000\n") {
+		t.Errorf("missing timestamped sample: %s", out)
+	}
+}
+
+func TestWriteSpecialValues(t *testing.T) {
+	f := &Family{Name: "m", Metrics: []Metric{
+		{Value: math.NaN()}, {Value: math.Inf(1)}, {Value: math.Inf(-1)},
+	}}
+	out := writeOne(t, f)
+	for _, want := range []string{"m NaN", "m +Inf", "m -Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	in := `# HELP http_requests_total Requests.
+# TYPE http_requests_total counter
+http_requests_total{method="get",code="200"} 1027 1395066363000
+http_requests_total{method="post",code="400"} 3
+# TYPE temp gauge
+temp 36.6
+`
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("want 2 families, got %d", len(fams))
+	}
+	f := fams[0]
+	if f.Name != "http_requests_total" || f.Type != TypeCounter || f.Help != "Requests." {
+		t.Errorf("family meta wrong: %+v", f)
+	}
+	if len(f.Metrics) != 2 {
+		t.Fatalf("want 2 metrics, got %d", len(f.Metrics))
+	}
+	m := f.Metrics[0]
+	if m.Value != 1027 || m.TS != 1395066363000 {
+		t.Errorf("metric 0 = %+v", m)
+	}
+	if m.Labels.Get("method") != "get" || m.Labels.Name() != "http_requests_total" {
+		t.Errorf("labels wrong: %v", m.Labels)
+	}
+	if fams[1].Metrics[0].Value != 36.6 {
+		t.Errorf("gauge value wrong")
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	in := `m{path="C:\\dir",msg="line\nbreak",q="say \"hi\""} 1` + "\n"
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ls := fams[0].Metrics[0].Labels
+	if ls.Get("path") != `C:\dir` {
+		t.Errorf("path = %q", ls.Get("path"))
+	}
+	if ls.Get("msg") != "line\nbreak" {
+		t.Errorf("msg = %q", ls.Get("msg"))
+	}
+	if ls.Get("q") != `say "hi"` {
+		t.Errorf("q = %q", ls.Get("q"))
+	}
+}
+
+func TestParseSpecialFloats(t *testing.T) {
+	in := "a NaN\nb +Inf\nc -Inf\nd 1e9\n"
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !math.IsNaN(fams[0].Metrics[0].Value) {
+		t.Error("NaN not parsed")
+	}
+	if !math.IsInf(fams[1].Metrics[0].Value, 1) || !math.IsInf(fams[2].Metrics[0].Value, -1) {
+		t.Error("Inf not parsed")
+	}
+	if fams[3].Metrics[0].Value != 1e9 {
+		t.Error("scientific notation not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"metric{a=\"b\" 1\n",      // unterminated label block
+		"metric{a=b} 1\n",         // unquoted value
+		"metric 1 2 3\n",          // too many fields
+		"metric{=\"v\"} 1\n",      // empty label name
+		"m{a=\"v\"} notanum\n",    // bad value
+		"1metric 5\n",             // bad metric name
+		"m{a=\"v\"} 1 notatime\n", // bad timestamp
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestParseSkipsBlanksAndComments(t *testing.T) {
+	in := "\n# just a comment\n\nm 1\n"
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil || len(fams) != 1 {
+		t.Fatalf("fams=%d err=%v", len(fams), err)
+	}
+}
+
+func TestParseLabelBlockWithSpaces(t *testing.T) {
+	in := `m{ a="1" , b="2" } 3` + "\n"
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ls := fams[0].Metrics[0].Labels
+	if ls.Get("a") != "1" || ls.Get("b") != "2" {
+		t.Errorf("labels = %v", ls)
+	}
+}
+
+// Property: write→parse round-trips value and labels for well-formed input.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(v float64, lv string, ts int64) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		fam := &Family{
+			Name: "round_trip_metric",
+			Type: TypeGauge,
+			Metrics: []Metric{{
+				Labels: labels.FromStrings("l", lv),
+				Value:  v,
+				TS:     ts,
+			}},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFamily(fam); err != nil {
+			return false
+		}
+		w.Flush()
+		got, err := Parse(&buf)
+		if err != nil || len(got) != 1 || len(got[0].Metrics) != 1 {
+			return false
+		}
+		m := got[0].Metrics[0]
+		if m.Labels.Get("l") != lv {
+			return false
+		}
+		if m.TS != ts {
+			return false
+		}
+		if math.IsNaN(v) {
+			return math.IsNaN(m.Value)
+		}
+		return m.Value == v
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	if !validMetricName("node_rapl:energy_joules_total") {
+		t.Error("colon should be valid in metric name")
+	}
+	if validLabelName("with:colon") {
+		t.Error("colon invalid in label name")
+	}
+	if validMetricName("") || validLabelName("") {
+		t.Error("empty names invalid")
+	}
+}

@@ -1,0 +1,373 @@
+package exporter
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expofmt"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// busyNode returns a node with one running 16-cpu workload, advanced 60s.
+func busyNode(t *testing.T) *hw.Node {
+	t.Helper()
+	spec := hw.DefaultIntelSpec("n1")
+	spec.NoiseFrac = 0
+	n, err := hw.NewNode(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.AddWorkload(&hw.Workload{
+		ID: "job_42", CPUs: 16, MemLimit: 32 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n.Advance(15 * time.Second)
+	}
+	return n
+}
+
+func familiesByName(fams []*expofmt.Family) map[string]*expofmt.Family {
+	m := map[string]*expofmt.Family{}
+	for _, f := range fams {
+		m[f.Name] = f
+	}
+	return m
+}
+
+func TestCgroupCollector(t *testing.T) {
+	n := busyNode(t)
+	c := &CgroupCollector{FS: n.FS, Layout: SlurmLayout()}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	m := familiesByName(fams)
+	cpu := m["ceems_compute_unit_cpu_usage_seconds_total"]
+	if len(cpu.Metrics) != 1 {
+		t.Fatalf("cpu metrics = %d", len(cpu.Metrics))
+	}
+	// 0.5 util * 16 cpus * 60 s = 480 s.
+	if got := cpu.Metrics[0].Value; got < 479 || got > 481 {
+		t.Errorf("cpu usage = %v, want ~480", got)
+	}
+	if cpu.Metrics[0].Labels.Get("uuid") != "42" {
+		t.Errorf("uuid = %q", cpu.Metrics[0].Labels.Get("uuid"))
+	}
+	if cpu.Metrics[0].Labels.Get("manager") != "slurm" {
+		t.Errorf("manager = %q", cpu.Metrics[0].Labels.Get("manager"))
+	}
+	if m["ceems_compute_unit_memory_limit_bytes"].Metrics[0].Value != float64(int64(32<<30)) {
+		t.Error("memory limit wrong")
+	}
+	if m["ceems_compute_units"].Metrics[0].Value != 1 {
+		t.Error("unit count wrong")
+	}
+}
+
+func TestCgroupCollectorEmptyRoot(t *testing.T) {
+	spec := hw.DefaultIntelSpec("n1")
+	n, _ := hw.NewNode(spec, t0)
+	c := &CgroupCollector{FS: n.FS, Layout: SlurmLayout()}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatalf("empty root should not error: %v", err)
+	}
+	m := familiesByName(fams)
+	if m["ceems_compute_units"].Metrics[0].Value != 0 {
+		t.Error("unit count should be 0")
+	}
+}
+
+func TestRAPLCollector(t *testing.T) {
+	n := busyNode(t)
+	c := &RAPLCollector{FS: n.FS}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	m := familiesByName(fams)
+	pkg := m["ceems_rapl_package_joules_total"]
+	dram := m["ceems_rapl_dram_joules_total"]
+	if len(pkg.Metrics) != 2 {
+		t.Fatalf("package domains = %d, want 2", len(pkg.Metrics))
+	}
+	if len(dram.Metrics) != 2 {
+		t.Fatalf("dram domains = %d, want 2", len(dram.Metrics))
+	}
+	if pkg.Metrics[0].Value <= 0 {
+		t.Error("package energy should be positive")
+	}
+	// AMD node: no dram metrics.
+	amdSpec := hw.DefaultAMDSpec("a1")
+	amd, _ := hw.NewNode(amdSpec, t0)
+	fams, _ = (&RAPLCollector{FS: amd.FS}).Collect()
+	m = familiesByName(fams)
+	if len(m["ceems_rapl_dram_joules_total"].Metrics) != 0 {
+		t.Error("AMD node should expose no dram domain")
+	}
+}
+
+func TestIPMICollector(t *testing.T) {
+	n := busyNode(t)
+	c := &IPMICollector{Reader: n}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fams[0].Metrics[0].Value
+	if v < 100 || v > 1000 {
+		t.Errorf("ipmi watts = %v", v)
+	}
+}
+
+type failingIPMI struct{}
+
+func (failingIPMI) PowerReading() (float64, error) { return 0, errors.New("bmc timeout") }
+
+func TestIPMICollectorError(t *testing.T) {
+	c := &IPMICollector{Reader: failingIPMI{}}
+	if _, err := c.Collect(); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNodeCollector(t *testing.T) {
+	n := busyNode(t)
+	c := &NodeCollector{FS: n.FS}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := familiesByName(fams)
+	cpu := m["ceems_cpu_seconds_total"]
+	var user, idle float64
+	for _, metric := range cpu.Metrics {
+		switch metric.Labels.Get("mode") {
+		case "user":
+			user = metric.Value
+		case "idle":
+			idle = metric.Value
+		}
+	}
+	if user <= 0 || idle <= 0 {
+		t.Errorf("cpu modes: user=%v idle=%v", user, idle)
+	}
+	mem := m["ceems_meminfo_bytes"]
+	var total float64
+	for _, metric := range mem.Metrics {
+		if metric.Labels.Get("field") == "MemTotal" {
+			total = metric.Value
+		}
+	}
+	if total != float64(int64(256<<30)) {
+		t.Errorf("MemTotal = %v", total)
+	}
+}
+
+type stubGPUProvider map[string][]GPUBinding
+
+func (s stubGPUProvider) GPUOrdinalsByUnit() map[string][]GPUBinding { return s }
+
+func TestGPUMapCollector(t *testing.T) {
+	c := &GPUMapCollector{
+		Provider: stubGPUProvider{"77": {{Ordinal: 0, UUID: "GPU-abc"}, {Ordinal: 2, UUID: "GPU-def"}}},
+		Manager:  model.ManagerSLURM,
+	}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams[0].Metrics) != 2 {
+		t.Fatalf("bindings = %d", len(fams[0].Metrics))
+	}
+	ls := fams[0].Metrics[0].Labels
+	if ls.Get("uuid") != "77" || ls.Get("manager") != "slurm" {
+		t.Errorf("labels = %v", ls)
+	}
+}
+
+func TestExporterGather(t *testing.T) {
+	n := busyNode(t)
+	e := New(
+		&CgroupCollector{FS: n.FS, Layout: SlurmLayout()},
+		&RAPLCollector{FS: n.FS},
+		&IPMICollector{Reader: n},
+		&NodeCollector{FS: n.FS},
+	)
+	fams := familiesByName(e.Gather())
+	for _, want := range []string{
+		"ceems_compute_unit_cpu_usage_seconds_total",
+		"ceems_rapl_package_joules_total",
+		"ceems_ipmi_dcmi_current_watts",
+		"ceems_cpu_seconds_total",
+		"ceems_exporter_collector_up",
+		"ceems_exporter_scrapes_total",
+		"ceems_exporter_memory_bytes",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("missing family %s", want)
+		}
+	}
+	for _, m := range fams["ceems_exporter_collector_up"].Metrics {
+		if m.Value != 1 {
+			t.Errorf("collector %s down", m.Labels.Get("collector"))
+		}
+	}
+}
+
+func TestExporterCollectorFailureIsolated(t *testing.T) {
+	n := busyNode(t)
+	e := New(
+		&IPMICollector{Reader: failingIPMI{}},
+		&RAPLCollector{FS: n.FS},
+	)
+	fams := familiesByName(e.Gather())
+	if _, ok := fams["ceems_rapl_package_joules_total"]; !ok {
+		t.Error("healthy collector suppressed by failing one")
+	}
+	for _, m := range fams["ceems_exporter_collector_up"].Metrics {
+		want := 1.0
+		if m.Labels.Get("collector") == "ipmi" {
+			want = 0
+		}
+		if m.Value != want {
+			t.Errorf("collector_up{%s} = %v", m.Labels.Get("collector"), m.Value)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	n := busyNode(t)
+	e := New(&RAPLCollector{FS: n.FS}, &NodeCollector{FS: n.FS})
+	if err := e.SetEnabled("rapl", false); err != nil {
+		t.Fatal(err)
+	}
+	fams := familiesByName(e.Gather())
+	if _, ok := fams["ceems_rapl_package_joules_total"]; ok {
+		t.Error("disabled collector still collected")
+	}
+	if err := e.SetEnabled("rapl", true); err != nil {
+		t.Fatal(err)
+	}
+	fams = familiesByName(e.Gather())
+	if _, ok := fams["ceems_rapl_package_joules_total"]; !ok {
+		t.Error("re-enabled collector missing")
+	}
+	if err := e.SetEnabled("nope", true); err == nil {
+		t.Error("unknown collector accepted")
+	}
+	names := e.CollectorNames()
+	if len(names) != 2 || names[0] != "node" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestHTTPEndpointAndAuth(t *testing.T) {
+	n := busyNode(t)
+	e := New(&RAPLCollector{FS: n.FS})
+	e.Username = "ceems"
+	e.Password = "s3cret"
+	srv := httptest.NewServer(e)
+	defer srv.Close()
+
+	// Unauthenticated request rejected.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 {
+		t.Errorf("unauth status = %d", resp.StatusCode)
+	}
+
+	// Authenticated request succeeds and parses.
+	hr, err := httpGet(srv.URL+"/metrics", "ceems", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != 200 {
+		t.Fatalf("auth status = %d", hr.StatusCode)
+	}
+	body, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if !strings.Contains(string(body), "ceems_rapl_package_joules_total") {
+		t.Error("payload missing rapl metric")
+	}
+	fams, err := expofmt.Parse(strings.NewReader(string(body)))
+	if err != nil || len(fams) == 0 {
+		t.Errorf("payload unparseable: %v", err)
+	}
+
+	// Wrong password rejected.
+	hr2, err := httpGet(srv.URL+"/metrics", "ceems", "wrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr2.Body.Close()
+	if hr2.StatusCode != 401 {
+		t.Errorf("wrong-password status = %d", hr2.StatusCode)
+	}
+
+	// Unknown path 404s.
+	hr3, err := httpGet(srv.URL+"/other", "ceems", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr3.Body.Close()
+	if hr3.StatusCode != 404 {
+		t.Errorf("bad path status = %d", hr3.StatusCode)
+	}
+}
+
+// httpGet issues a GET with basic auth.
+func httpGet(url, user, pass string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.SetBasicAuth(user, pass)
+	return http.DefaultClient.Do(req)
+}
+
+func TestRender(t *testing.T) {
+	n := busyNode(t)
+	e := New(&IPMICollector{Reader: n})
+	out := e.Render()
+	if !strings.Contains(out, "ceems_ipmi_dcmi_current_watts") {
+		t.Errorf("render = %s", out)
+	}
+}
+
+func BenchmarkExporterScrape(b *testing.B) {
+	spec := hw.DefaultIntelSpec("bench")
+	n, _ := hw.NewNode(spec, t0)
+	for j := 0; j < 16; j++ {
+		n.AddWorkload(&hw.Workload{
+			ID: "job_" + string(rune('a'+j)), CPUs: 4, MemLimit: 8 << 30,
+		})
+	}
+	n.Advance(15 * time.Second)
+	e := New(
+		&CgroupCollector{FS: n.FS, Layout: SlurmLayout()},
+		&RAPLCollector{FS: n.FS},
+		&IPMICollector{Reader: n},
+		&NodeCollector{FS: n.FS},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Render()
+	}
+}

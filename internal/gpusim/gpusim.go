@@ -1,0 +1,124 @@
+// Package gpusim emulates the vendor GPU metric exporters CEEMS deploys
+// alongside its own exporter: NVIDIA's DCGM exporter and AMD's SMI
+// exporter (paper §II.B.a: "either DCGM exporter or AMD SMI exporter must
+// be deployed alongside the CEEMS exporter"). Each renders the metrics of
+// the simulated GPU devices of one node in the vendor's native metric
+// naming, so downstream recording rules exercise the same relabelling CEEMS
+// needs on real clusters.
+package gpusim
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/expofmt"
+	"repro/internal/hw"
+	"repro/internal/labels"
+)
+
+// DeviceProvider yields the current GPU devices; *hw.Node satisfies it via
+// the adapter below.
+type DeviceProvider interface {
+	GPUs() []*hw.GPU
+}
+
+// DCGMCollector renders NVIDIA DCGM-exporter-compatible metric families.
+type DCGMCollector struct {
+	Hostname string
+	Devices  DeviceProvider
+}
+
+// Name identifies the collector.
+func (c *DCGMCollector) Name() string { return "dcgm" }
+
+// Collect renders the DCGM metric families.
+func (c *DCGMCollector) Collect() ([]*expofmt.Family, error) {
+	gpus := c.Devices.GPUs()
+	power := &expofmt.Family{Name: "DCGM_FI_DEV_POWER_USAGE", Type: expofmt.TypeGauge,
+		Help: "Power draw (in W)."}
+	util := &expofmt.Family{Name: "DCGM_FI_DEV_GPU_UTIL", Type: expofmt.TypeGauge,
+		Help: "GPU utilization (in %)."}
+	fbUsed := &expofmt.Family{Name: "DCGM_FI_DEV_FB_USED", Type: expofmt.TypeGauge,
+		Help: "Framebuffer memory used (in MiB)."}
+	energy := &expofmt.Family{Name: "DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION", Type: expofmt.TypeCounter,
+		Help: "Total energy consumption since boot (in mJ)."}
+	for _, g := range gpus {
+		if g.Kind.Vendor() != "nvidia" {
+			continue
+		}
+		ls := labels.FromStrings(
+			"gpu", fmt.Sprintf("%d", g.Index),
+			"UUID", g.UUID,
+			"modelName", "NVIDIA "+string(g.Kind),
+			"Hostname", c.Hostname,
+		)
+		power.Metrics = append(power.Metrics, expofmt.Metric{Labels: ls, Value: g.PowerWatts()})
+		util.Metrics = append(util.Metrics, expofmt.Metric{Labels: ls, Value: g.Util() * 100})
+		fbUsed.Metrics = append(fbUsed.Metrics, expofmt.Metric{Labels: ls, Value: float64(g.MemUsedBytes()) / (1 << 20)})
+		energy.Metrics = append(energy.Metrics, expofmt.Metric{Labels: ls, Value: g.EnergyMilliJoules()})
+	}
+	return []*expofmt.Family{power, util, fbUsed, energy}, nil
+}
+
+// AMDSMICollector renders AMD SMI-exporter-compatible metric families.
+type AMDSMICollector struct {
+	Hostname string
+	Devices  DeviceProvider
+}
+
+// Name identifies the collector.
+func (c *AMDSMICollector) Name() string { return "amd_smi" }
+
+// Collect renders the AMD SMI metric families.
+func (c *AMDSMICollector) Collect() ([]*expofmt.Family, error) {
+	gpus := c.Devices.GPUs()
+	power := &expofmt.Family{Name: "amd_gpu_power", Type: expofmt.TypeGauge,
+		Help: "GPU power (in W)."}
+	util := &expofmt.Family{Name: "amd_gpu_use_percent", Type: expofmt.TypeGauge,
+		Help: "GPU utilization (in %)."}
+	mem := &expofmt.Family{Name: "amd_gpu_memory_use_percent", Type: expofmt.TypeGauge,
+		Help: "GPU memory utilization (in %)."}
+	for _, g := range gpus {
+		if g.Kind.Vendor() != "amd" {
+			continue
+		}
+		ls := labels.FromStrings(
+			"gpu_id", fmt.Sprintf("%d", g.Index),
+			"gpu_uuid", g.UUID,
+			"productname", "AMD Instinct "+string(g.Kind),
+			"hostname", c.Hostname,
+		)
+		power.Metrics = append(power.Metrics, expofmt.Metric{Labels: ls, Value: g.PowerWatts()})
+		util.Metrics = append(util.Metrics, expofmt.Metric{Labels: ls, Value: g.Util() * 100})
+		mem.Metrics = append(mem.Metrics, expofmt.Metric{
+			Labels: ls,
+			Value:  100 * float64(g.MemUsedBytes()) / float64(g.Kind.MemoryBytes()),
+		})
+	}
+	return []*expofmt.Family{power, util, mem}, nil
+}
+
+// collector is the shared shape of the two collectors.
+type collector interface {
+	Collect() ([]*expofmt.Family, error)
+}
+
+// Handler returns an HTTP handler serving the collector's metrics in
+// exposition format, mirroring the standalone vendor exporters.
+func Handler(c collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fams, err := c.Collect()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		enc := expofmt.NewWriter(w)
+		for _, f := range fams {
+			if err := enc.WriteFamily(f); err != nil {
+				return
+			}
+		}
+		enc.Flush()
+	})
+}

@@ -1,0 +1,123 @@
+package gpusim
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expofmt"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func gpuNode(t *testing.T, kinds ...model.GPUKind) *hw.Node {
+	t.Helper()
+	spec := hw.DefaultGPUSpec("g1", true, kinds...)
+	spec.NoiseFrac = 0
+	n, err := hw.NewNode(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddWorkload(&hw.Workload{
+		ID: "job_1", CPUs: 4, MemLimit: 8 << 30, GPUOrdinals: []int{0},
+		GPUUtil: func(time.Duration) float64 { return 0.5 },
+	})
+	n.Advance(15 * time.Second)
+	return n
+}
+
+func TestDCGMCollector(t *testing.T) {
+	n := gpuNode(t, model.GPUA100, model.GPUA100)
+	c := &DCGMCollector{Hostname: "g1", Devices: n}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*expofmt.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	power := byName["DCGM_FI_DEV_POWER_USAGE"]
+	if len(power.Metrics) != 2 {
+		t.Fatalf("power metrics = %d", len(power.Metrics))
+	}
+	// GPU 0 at 50% util: idle + 0.5*(max-idle) = 50 + 175 = 225.
+	if got := power.Metrics[0].Value; got != 225 {
+		t.Errorf("gpu0 power = %v, want 225", got)
+	}
+	if power.Metrics[0].Labels.Get("gpu") != "0" || power.Metrics[0].Labels.Get("modelName") != "NVIDIA A100" {
+		t.Errorf("labels = %v", power.Metrics[0].Labels)
+	}
+	util := byName["DCGM_FI_DEV_GPU_UTIL"]
+	if util.Metrics[0].Value != 50 || util.Metrics[1].Value != 0 {
+		t.Errorf("utils = %v, %v", util.Metrics[0].Value, util.Metrics[1].Value)
+	}
+	energy := byName["DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION"]
+	if energy.Metrics[0].Value != 225*15*1000 {
+		t.Errorf("energy = %v mJ", energy.Metrics[0].Value)
+	}
+}
+
+func TestDCGMSkipsAMD(t *testing.T) {
+	n := gpuNode(t, model.GPUMI250)
+	fams, _ := (&DCGMCollector{Hostname: "g1", Devices: n}).Collect()
+	for _, f := range fams {
+		if len(f.Metrics) != 0 {
+			t.Errorf("DCGM exported AMD device in %s", f.Name)
+		}
+	}
+}
+
+func TestAMDSMICollector(t *testing.T) {
+	n := gpuNode(t, model.GPUMI250)
+	c := &AMDSMICollector{Hostname: "g1", Devices: n}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*expofmt.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	power := byName["amd_gpu_power"]
+	if len(power.Metrics) != 1 {
+		t.Fatalf("amd power metrics = %d", len(power.Metrics))
+	}
+	// MI250 at 50%: 90 + 0.5*(560-90) = 325.
+	if power.Metrics[0].Value != 325 {
+		t.Errorf("amd power = %v, want 325", power.Metrics[0].Value)
+	}
+	if byName["amd_gpu_use_percent"].Metrics[0].Value != 50 {
+		t.Error("amd util wrong")
+	}
+	// Skips NVIDIA.
+	n2 := gpuNode(t, model.GPUV100)
+	fams, _ = (&AMDSMICollector{Hostname: "g1", Devices: n2}).Collect()
+	for _, f := range fams {
+		if len(f.Metrics) != 0 {
+			t.Error("AMD SMI exported NVIDIA device")
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	n := gpuNode(t, model.GPUH100)
+	srv := httptest.NewServer(Handler(&DCGMCollector{Hostname: "g1", Devices: n}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "DCGM_FI_DEV_POWER_USAGE") {
+		t.Errorf("payload = %s", body)
+	}
+	if _, err := expofmt.Parse(strings.NewReader(string(body))); err != nil {
+		t.Errorf("payload unparseable: %v", err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package grafana stands in for Grafana in the stack: datasources that
+// speak the same two protocols Grafana uses against CEEMS — the Prometheus
+// query API (through the CEEMS load balancer, with the X-Grafana-User
+// header attached to every request, paper §II.B.c) and the CEEMS API
+// server's JSON endpoints — plus a panel/dashboard engine that renders the
+// three dashboard types of the paper's Fig. 2 as text: aggregate user
+// stats (2a), the per-job table (2b), and time-series charts (2c).
+package grafana
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/model"
+)
+
+// PromDS is the Prometheus-protocol datasource. BaseURL typically points
+// at the CEEMS load balancer, which enforces access control using the
+// user identity this datasource forwards.
+type PromDS struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// InstantResult is one sample of an instant query.
+type InstantResult struct {
+	Metric map[string]string
+	Value  float64
+	TS     time.Time
+}
+
+// RangeResult is one series of a range query.
+type RangeResult struct {
+	Metric map[string]string
+	Points []Point
+}
+
+// Point is one (time, value) pair.
+type Point struct {
+	TS    time.Time
+	Value float64
+}
+
+type promEnvelope struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Data   struct {
+		ResultType string          `json:"resultType"`
+		Result     json.RawMessage `json:"result"`
+	} `json:"data"`
+}
+
+func (ds *PromDS) client() *http.Client {
+	if ds.Client != nil {
+		return ds.Client
+	}
+	return http.DefaultClient
+}
+
+func (ds *PromDS) do(user, path string, params url.Values) (*promEnvelope, error) {
+	req, err := http.NewRequest(http.MethodGet, ds.BaseURL+path+"?"+params.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	// The header Grafana attaches to every datasource request.
+	req.Header.Set("X-Grafana-User", user)
+	resp, err := ds.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var env promEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("grafana: bad response (%d): %s", resp.StatusCode, truncate(string(body), 200))
+	}
+	if env.Status != "success" {
+		return nil, fmt.Errorf("grafana: query failed (%d): %s", resp.StatusCode, firstNonEmpty(env.Error, truncate(string(body), 200)))
+	}
+	return &env, nil
+}
+
+// Instant runs an instant query as the given user.
+func (ds *PromDS) Instant(user, query string, ts time.Time) ([]InstantResult, error) {
+	params := url.Values{"query": {query}, "time": {formatTS(ts)}}
+	env, err := ds.do(user, "/api/v1/query", params)
+	if err != nil {
+		return nil, err
+	}
+	var raw []struct {
+		Metric map[string]string `json:"metric"`
+		Value  [2]any            `json:"value"`
+	}
+	if err := json.Unmarshal(env.Data.Result, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]InstantResult, len(raw))
+	for i, r := range raw {
+		v, t := decodePoint(r.Value)
+		out[i] = InstantResult{Metric: r.Metric, Value: v, TS: t}
+	}
+	return out, nil
+}
+
+// Range runs a range query as the given user.
+func (ds *PromDS) Range(user, query string, start, end time.Time, step time.Duration) ([]RangeResult, error) {
+	params := url.Values{
+		"query": {query},
+		"start": {formatTS(start)}, "end": {formatTS(end)},
+		"step": {fmt.Sprintf("%g", step.Seconds())},
+	}
+	env, err := ds.do(user, "/api/v1/query_range", params)
+	if err != nil {
+		return nil, err
+	}
+	var raw []struct {
+		Metric map[string]string `json:"metric"`
+		Values [][2]any          `json:"values"`
+	}
+	if err := json.Unmarshal(env.Data.Result, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]RangeResult, len(raw))
+	for i, r := range raw {
+		out[i].Metric = r.Metric
+		for _, p := range r.Values {
+			v, t := decodePoint(p)
+			out[i].Points = append(out[i].Points, Point{TS: t, Value: v})
+		}
+	}
+	return out, nil
+}
+
+func decodePoint(p [2]any) (float64, time.Time) {
+	sec, _ := p[0].(float64)
+	vs, _ := p[1].(string)
+	v, _ := strconv.ParseFloat(vs, 64)
+	return v, time.UnixMilli(int64(sec * 1000))
+}
+
+func formatTS(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMilli())/1000, 'f', 3, 64)
+}
+
+// CEEMSDS is the CEEMS API server JSON datasource ("JSON DS" in Fig. 1).
+type CEEMSDS struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+func (ds *CEEMSDS) get(user, path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, ds.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Grafana-User", user)
+	client := ds.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("grafana: ceems ds %s: %d: %s", path, resp.StatusCode, truncate(string(body), 200))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Units lists compute units visible to the user.
+func (ds *CEEMSDS) Units(user, query string) ([]model.Unit, error) {
+	var units []model.Unit
+	path := "/api/v1/units"
+	if query != "" {
+		path += "?" + query
+	}
+	return units, ds.get(user, path, &units)
+}
+
+// UserUsage returns the user rollup rows visible to the user.
+func (ds *CEEMSDS) UserUsage(user string) ([]map[string]any, error) {
+	var rows []map[string]any
+	return rows, ds.get(user, "/api/v1/users", &rows)
+}
+
+// ProjectUsage returns the project rollup rows visible to the user.
+func (ds *CEEMSDS) ProjectUsage(user string) ([]map[string]any, error) {
+	var rows []map[string]any
+	return rows, ds.get(user, "/api/v1/projects", &rows)
+}
+
+// RenderUserOverview renders the Fig. 2a panel: aggregate usage metrics of
+// one user (CPU/GPU usage, energy, emissions).
+func RenderUserOverview(w io.Writer, ds *CEEMSDS, user string) error {
+	rows, err := ds.UserUsage(user)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== User overview: %s ==\n", user)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CLUSTER\tUNITS\tCPU-HOURS\tAVG CPU%\tAVG GPU%\tENERGY kWh\tEMISSIONS g")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%.0f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\n",
+			r["cluster"], num(r["num_units"]),
+			num(r["cpu_time_sec"])/3600,
+			num(r["avg_cpu_usage"])*100,
+			num(r["avg_gpu_usage"])*100,
+			num(r["total_energy_j"])/3.6e6,
+			num(r["emissions_g"]))
+	}
+	return tw.Flush()
+}
+
+// RenderJobList renders the Fig. 2b panel: the user's compute units with
+// per-unit aggregate metrics.
+func RenderJobList(w io.Writer, ds *CEEMSDS, user string) error {
+	units, err := ds.Units(user, "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Compute units of %s ==\n", user)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "UUID\tNAME\tPARTITION\tSTATE\tELAPSED\tCPUS\tAVG CPU%\tAVG MEM%\tENERGY kWh\tCO2 g")
+	for _, u := range units {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%.1f\t%.1f\t%.4f\t%.2f\n",
+			u.UUID, u.Name, u.Partition, u.State,
+			(time.Duration(u.ElapsedSec) * time.Second).String(),
+			u.CPUs,
+			u.Aggregate.AvgCPUUsage*100,
+			u.Aggregate.AvgCPUMemUsage*100,
+			u.Aggregate.TotalEnergyKWh(),
+			u.Aggregate.EmissionsGrams)
+	}
+	return tw.Flush()
+}
+
+// RenderTimeSeries renders a Fig. 2c style panel: one query's series over
+// a window drawn as unicode sparklines.
+func RenderTimeSeries(w io.Writer, ds *PromDS, user, title, query string, start, end time.Time, step time.Duration) error {
+	series, err := ds.Range(user, query, start, end, step)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== %s ==\nquery: %s\n", title, query)
+	for _, s := range series {
+		name := s.Metric["uuid"]
+		if name == "" {
+			name = s.Metric["__name__"]
+		}
+		if name == "" {
+			name = "series"
+		}
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, p := range s.Points {
+			mn = math.Min(mn, p.Value)
+			mx = math.Max(mx, p.Value)
+		}
+		fmt.Fprintf(w, "%-20s %s  [min %.2f  max %.2f]\n", name, Sparkline(s.Points, 60), mn, mx)
+	}
+	if len(series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+	}
+	return nil
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders points as a fixed-width unicode sparkline.
+func Sparkline(points []Point, width int) string {
+	if len(points) == 0 || width <= 0 {
+		return ""
+	}
+	// Resample to width buckets.
+	vals := make([]float64, width)
+	counts := make([]int, width)
+	for i, p := range points {
+		b := i * width / len(points)
+		vals[b] += p.Value
+		counts[b]++
+	}
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i := range vals {
+		if counts[i] > 0 {
+			vals[i] /= float64(counts[i])
+			mn = math.Min(mn, vals[i])
+			mx = math.Max(mx, vals[i])
+		}
+	}
+	var b strings.Builder
+	for i := range vals {
+		if counts[i] == 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if mx > mn {
+			idx = int((vals[i] - mn) / (mx - mn) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func num(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	case json.Number:
+		f, _ := x.Float64()
+		return f
+	}
+	return 0
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func firstNonEmpty(ss ...string) string {
+	for _, s := range ss {
+		if s != "" {
+			return s
+		}
+	}
+	return ""
+}

@@ -1,0 +1,537 @@
+// Package hw simulates compute-node hardware for the CEEMS stack: CPU
+// packages with RAPL energy counters, DRAM, a BMC reporting IPMI-DCMI power
+// readings, GPUs, and the kernel accounting files (cgroups v2, /proc/stat,
+// /proc/meminfo) that the CEEMS exporter collectors read.
+//
+// The simulation substitutes for the paper's physical Jean-Zay nodes: a
+// power model converts workload activity into RAPL counter increments and
+// IPMI readings with realistic structure — RAPL covers only CPU and DRAM
+// domains, IPMI covers the whole node (PSU losses, fans, optionally GPUs),
+// AMD nodes lack the DRAM RAPL domain, and readings carry measurement
+// noise. The node also tracks exact per-workload ground-truth energy so
+// experiments can quantify the error of the paper's Eq. 1 attribution.
+package hw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sysfs"
+)
+
+// RAPL counters wrap at this value (µJ), as on real Intel hardware.
+const RAPLMaxEnergyUJ = 262143328850
+
+// Jiffies per second used for /proc/stat (USER_HZ).
+const UserHZ = 100
+
+// Vendor identifies the CPU vendor, which controls RAPL domain layout.
+type Vendor string
+
+const (
+	VendorIntel Vendor = "intel" // package + dram RAPL domains
+	VendorAMD   Vendor = "amd"   // package domain only
+)
+
+// NodeSpec describes the hardware of one simulated compute node.
+type NodeSpec struct {
+	Name           string
+	Vendor         Vendor
+	Sockets        int
+	CoresPerSocket int
+	MemBytes       int64
+	// Power model parameters (all watts).
+	CPUIdleWattsPerSocket float64 // package power at 0% utilization
+	CPUMaxWattsPerSocket  float64 // package power at 100% utilization
+	DRAMIdleWatts         float64 // whole-node DRAM floor
+	DRAMMaxWatts          float64 // whole-node DRAM at full occupancy
+	OtherWatts            float64 // fans, board, NICs — seen only by IPMI
+	PSUEfficiency         float64 // wall power = component power / efficiency
+	// GPUs installed in the node, by kind; empty for CPU-only nodes.
+	GPUs []model.GPUKind
+	// IPMIIncludesGPU mirrors the two Jean-Zay GPU server types: on some,
+	// the BMC reading includes GPU power; on others it does not (§III.A).
+	IPMIIncludesGPU bool
+	// NoiseFrac adds multiplicative measurement noise to IPMI readings
+	// (e.g. 0.02 for ±2%); RAPL counters are exact, as in hardware.
+	NoiseFrac float64
+	// Seed makes the node's noise stream deterministic.
+	Seed int64
+}
+
+// TotalCPUs returns the number of logical CPUs.
+func (s NodeSpec) TotalCPUs() int { return s.Sockets * s.CoresPerSocket }
+
+// Validate checks the spec for physical plausibility.
+func (s NodeSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("hw: node name required")
+	case s.Sockets <= 0 || s.CoresPerSocket <= 0:
+		return fmt.Errorf("hw: node %s: sockets and cores must be positive", s.Name)
+	case s.MemBytes <= 0:
+		return fmt.Errorf("hw: node %s: memory must be positive", s.Name)
+	case s.CPUMaxWattsPerSocket < s.CPUIdleWattsPerSocket:
+		return fmt.Errorf("hw: node %s: max CPU power below idle", s.Name)
+	case s.PSUEfficiency <= 0 || s.PSUEfficiency > 1:
+		return fmt.Errorf("hw: node %s: PSU efficiency must be in (0,1]", s.Name)
+	}
+	return nil
+}
+
+// DefaultIntelSpec returns a typical dual-socket Intel node (64 cores,
+// 256 GiB), modelled on Jean-Zay CPU nodes.
+func DefaultIntelSpec(name string) NodeSpec {
+	return NodeSpec{
+		Name: name, Vendor: VendorIntel,
+		Sockets: 2, CoresPerSocket: 32, MemBytes: 256 << 30,
+		CPUIdleWattsPerSocket: 45, CPUMaxWattsPerSocket: 205,
+		DRAMIdleWatts: 12, DRAMMaxWatts: 48,
+		OtherWatts: 60, PSUEfficiency: 0.92, NoiseFrac: 0.02,
+	}
+}
+
+// DefaultAMDSpec returns a typical dual-socket AMD node (128 cores), which
+// exposes no DRAM RAPL domain.
+func DefaultAMDSpec(name string) NodeSpec {
+	return NodeSpec{
+		Name: name, Vendor: VendorAMD,
+		Sockets: 2, CoresPerSocket: 64, MemBytes: 512 << 30,
+		CPUIdleWattsPerSocket: 65, CPUMaxWattsPerSocket: 280,
+		DRAMIdleWatts: 18, DRAMMaxWatts: 70,
+		OtherWatts: 70, PSUEfficiency: 0.93, NoiseFrac: 0.02,
+	}
+}
+
+// DefaultGPUSpec returns a GPU node with the given accelerators.
+func DefaultGPUSpec(name string, ipmiIncludesGPU bool, kinds ...model.GPUKind) NodeSpec {
+	s := DefaultIntelSpec(name)
+	s.Sockets = 2
+	s.CoresPerSocket = 24
+	s.GPUs = kinds
+	s.IPMIIncludesGPU = ipmiIncludesGPU
+	s.OtherWatts = 90
+	return s
+}
+
+// Workload is a running compute unit placed on the node: the hardware-level
+// view of a SLURM job step, a VM or a pod. Utilization profiles are
+// functions of elapsed runtime so job generators can shape phases
+// (ramp-up, steady, I/O waits).
+type Workload struct {
+	// ID is the cgroup leaf name, e.g. "job_1234".
+	ID string
+	// CgroupPath is the absolute cgroup directory; the resource-manager
+	// simulator sets it according to its own layout.
+	CgroupPath  string
+	CPUs        int
+	MemLimit    int64
+	GPUOrdinals []int
+	// CPUUtil returns utilization of the allocation in [0,1] at elapsed
+	// runtime; nil means 100%.
+	CPUUtil func(elapsed time.Duration) float64
+	// MemUtil returns the fraction of MemLimit resident; nil means 50%.
+	MemUtil func(elapsed time.Duration) float64
+	// GPUUtil returns GPU utilization in [0,1]; nil means CPUUtil.
+	GPUUtil func(elapsed time.Duration) float64
+
+	started     time.Time
+	cpuUsageSec float64
+	memCurrent  int64
+}
+
+// WorkloadEnergy is the simulator's exact ground-truth energy attribution
+// for one workload, used to evaluate estimation error (ablation A1).
+type WorkloadEnergy struct {
+	HostJoules float64 // CPU+DRAM+share of other, at the wall
+	GPUJoules  float64
+	CPUSeconds float64
+}
+
+// GPU is one simulated accelerator device.
+type GPU struct {
+	Index int
+	Kind  model.GPUKind
+	UUID  string
+
+	util     float64
+	memUsed  int64
+	powerW   float64
+	energyMJ float64 // DCGM-style total energy counter in millijoules
+}
+
+// Util returns current utilization [0,1].
+func (g *GPU) Util() float64 { return g.util }
+
+// PowerWatts returns the current board power draw.
+func (g *GPU) PowerWatts() float64 { return g.powerW }
+
+// EnergyMilliJoules returns the cumulative energy counter.
+func (g *GPU) EnergyMilliJoules() float64 { return g.energyMJ }
+
+// MemUsedBytes returns current device memory usage.
+func (g *GPU) MemUsedBytes() int64 { return g.memUsed }
+
+// Node is a simulated compute node. Advance drives it forward in time;
+// all other methods are safe to call concurrently with Advance.
+type Node struct {
+	Spec NodeSpec
+	FS   *sysfs.MemFS
+
+	mu        sync.Mutex
+	now       time.Time
+	workloads map[string]*Workload
+	gpus      []*GPU
+	// Energy counters.
+	raplCPUuj  []float64 // per socket, wraps at RAPLMaxEnergyUJ
+	raplDRAMuj []float64
+	ipmiWatts  float64
+	// Node-wide accounting.
+	cpuTotalSec float64 // node active cpu-seconds (all workloads + OS)
+	idleSec     float64
+	memUsed     int64
+	// Ground truth.
+	truth map[string]*WorkloadEnergy
+	rng   *rand.Rand
+	// Last instantaneous component powers (diagnostics + truth split).
+	lastCPUPowerW, lastDRAMPowerW, lastGPUPowerW float64
+}
+
+// NewNode builds a node at the given start time and writes the initial
+// pseudo-file tree.
+func NewNode(spec NodeSpec, start time.Time) (*Node, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Spec:       spec,
+		FS:         sysfs.NewMemFS(),
+		now:        start,
+		workloads:  map[string]*Workload{},
+		raplCPUuj:  make([]float64, spec.Sockets),
+		raplDRAMuj: make([]float64, spec.Sockets),
+		truth:      map[string]*WorkloadEnergy{},
+		rng:        rand.New(rand.NewSource(spec.Seed ^ int64(len(spec.Name)))),
+	}
+	for i, kind := range spec.GPUs {
+		n.gpus = append(n.gpus, &GPU{
+			Index: i, Kind: kind,
+			UUID: fmt.Sprintf("GPU-%s-%s-%d", strings.ToLower(string(kind)), spec.Name, i),
+		})
+	}
+	// Start counters at random offsets so wrap handling is exercised.
+	for s := 0; s < spec.Sockets; s++ {
+		n.raplCPUuj[s] = float64(n.rng.Int63n(RAPLMaxEnergyUJ))
+		n.raplDRAMuj[s] = float64(n.rng.Int63n(RAPLMaxEnergyUJ))
+	}
+	n.writeStatic()
+	n.writeDynamic(0)
+	return n, nil
+}
+
+// Now returns the node's current simulated time.
+func (n *Node) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// GPUs returns the node's GPU devices.
+func (n *Node) GPUs() []*GPU {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*GPU(nil), n.gpus...)
+}
+
+// AddWorkload places a workload on the node. The cgroup files appear on the
+// next Advance.
+func (n *Node) AddWorkload(w *Workload) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.workloads[w.ID]; dup {
+		return fmt.Errorf("hw: node %s: duplicate workload %s", n.Spec.Name, w.ID)
+	}
+	needCPU := w.CPUs
+	for _, ex := range n.workloads {
+		needCPU += ex.CPUs
+	}
+	if needCPU > n.Spec.TotalCPUs() {
+		return fmt.Errorf("hw: node %s: CPU oversubscription (%d > %d)", n.Spec.Name, needCPU, n.Spec.TotalCPUs())
+	}
+	for _, ord := range w.GPUOrdinals {
+		if ord < 0 || ord >= len(n.gpus) {
+			return fmt.Errorf("hw: node %s: no GPU ordinal %d", n.Spec.Name, ord)
+		}
+	}
+	if w.CgroupPath == "" {
+		w.CgroupPath = "/sys/fs/cgroup/system.slice/slurmstepd.scope/" + w.ID
+	}
+	w.started = n.now
+	n.workloads[w.ID] = w
+	n.truth[w.ID] = &WorkloadEnergy{}
+	return nil
+}
+
+// RemoveWorkload removes a workload and deletes its cgroup tree, returning
+// its ground-truth energy. Unknown IDs return a zero value.
+func (n *Node) RemoveWorkload(id string) WorkloadEnergy {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	w, ok := n.workloads[id]
+	if !ok {
+		return WorkloadEnergy{}
+	}
+	n.FS.RemoveAll(w.CgroupPath)
+	delete(n.workloads, id)
+	te := n.truth[id]
+	delete(n.truth, id)
+	if te == nil {
+		return WorkloadEnergy{}
+	}
+	return *te
+}
+
+// Truth returns a copy of the ground-truth energy for a running workload.
+func (n *Node) Truth(id string) (WorkloadEnergy, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	te, ok := n.truth[id]
+	if !ok {
+		return WorkloadEnergy{}, false
+	}
+	return *te, true
+}
+
+// NumWorkloads returns the count of running workloads.
+func (n *Node) NumWorkloads() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.workloads)
+}
+
+// PowerReading implements the IPMI-DCMI power reading "command". Like the
+// real interface it is cheap to call but only refreshed by the BMC once per
+// simulation step.
+func (n *Node) PowerReading() (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ipmiWatts, nil
+}
+
+// Advance steps the simulation by dt: workloads accumulate CPU time and
+// memory, energy counters integrate the power model, and the pseudo-files
+// are rewritten.
+func (n *Node) Advance(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now = n.now.Add(dt)
+	dtSec := dt.Seconds()
+	totalCPUs := float64(n.Spec.TotalCPUs())
+
+	// Per-workload activity this step.
+	type activity struct {
+		w       *Workload
+		cpuSec  float64
+		mem     int64
+		gpuUtil float64
+	}
+	acts := make([]activity, 0, len(n.workloads))
+	var activeSec float64
+	var memUsed int64
+	for _, w := range n.workloads {
+		elapsed := n.now.Sub(w.started)
+		cu := 1.0
+		if w.CPUUtil != nil {
+			cu = clamp01(w.CPUUtil(elapsed))
+		}
+		mu := 0.5
+		if w.MemUtil != nil {
+			mu = clamp01(w.MemUtil(elapsed))
+		}
+		gu := cu
+		if w.GPUUtil != nil {
+			gu = clamp01(w.GPUUtil(elapsed))
+		}
+		cpuSec := cu * float64(w.CPUs) * dtSec
+		mem := int64(mu * float64(w.MemLimit))
+		w.cpuUsageSec += cpuSec
+		w.memCurrent = mem
+		activeSec += cpuSec
+		memUsed += mem
+		acts = append(acts, activity{w: w, cpuSec: cpuSec, mem: mem, gpuUtil: gu})
+	}
+	// OS baseline: 0.4% of the node's CPUs are always busy.
+	osSec := 0.004 * totalCPUs * dtSec
+	activeSec += osSec
+	if activeSec > totalCPUs*dtSec {
+		activeSec = totalCPUs * dtSec
+	}
+	n.cpuTotalSec += activeSec
+	n.idleSec += totalCPUs*dtSec - activeSec
+	n.memUsed = memUsed
+
+	// Power model.
+	util := activeSec / (totalCPUs * dtSec)
+	cpuPowerW := 0.0
+	for s := 0; s < n.Spec.Sockets; s++ {
+		p := n.Spec.CPUIdleWattsPerSocket +
+			(n.Spec.CPUMaxWattsPerSocket-n.Spec.CPUIdleWattsPerSocket)*util
+		n.raplCPUuj[s] = wrapUJ(n.raplCPUuj[s] + p*dtSec*1e6)
+		cpuPowerW += p
+	}
+	memFrac := float64(memUsed) / float64(n.Spec.MemBytes)
+	dramPowerW := n.Spec.DRAMIdleWatts + (n.Spec.DRAMMaxWatts-n.Spec.DRAMIdleWatts)*clamp01(memFrac)
+	for s := 0; s < n.Spec.Sockets; s++ {
+		n.raplDRAMuj[s] = wrapUJ(n.raplDRAMuj[s] + dramPowerW/float64(n.Spec.Sockets)*dtSec*1e6)
+	}
+
+	// GPUs: utilization is the max over bound workloads (a device runs one
+	// kernel stream at a time; concurrent use shows as high util).
+	gpuPowerW := 0.0
+	gpuUtilByOrd := make([]float64, len(n.gpus))
+	for _, a := range acts {
+		for _, ord := range a.w.GPUOrdinals {
+			if a.gpuUtil > gpuUtilByOrd[ord] {
+				gpuUtilByOrd[ord] = a.gpuUtil
+			}
+		}
+	}
+	for i, g := range n.gpus {
+		g.util = gpuUtilByOrd[i]
+		g.powerW = g.Kind.IdlePowerWatts() +
+			(g.Kind.MaxPowerWatts()-g.Kind.IdlePowerWatts())*g.util
+		g.energyMJ += g.powerW * dtSec * 1000
+		g.memUsed = int64(g.util * float64(g.Kind.MemoryBytes()) * 0.9)
+		gpuPowerW += g.powerW
+	}
+
+	// IPMI: whole node at the wall, with optional GPU inclusion and noise.
+	components := cpuPowerW + dramPowerW + n.Spec.OtherWatts
+	if n.Spec.IPMIIncludesGPU {
+		components += gpuPowerW
+	}
+	wall := components / n.Spec.PSUEfficiency
+	if n.Spec.NoiseFrac > 0 {
+		wall *= 1 + n.Spec.NoiseFrac*(2*n.rng.Float64()-1)
+	}
+	n.ipmiWatts = wall
+	n.lastCPUPowerW, n.lastDRAMPowerW, n.lastGPUPowerW = cpuPowerW, dramPowerW, gpuPowerW
+
+	// Ground-truth attribution: CPU power by active cpu-seconds, DRAM by
+	// resident bytes, other+PSU loss by equal share — the best possible
+	// per-process decomposition of this power model.
+	wallNoGPU := (cpuPowerW + dramPowerW + n.Spec.OtherWatts) / n.Spec.PSUEfficiency
+	nw := float64(len(acts))
+	for _, a := range acts {
+		te := n.truth[a.w.ID]
+		var cpuShare, memShare float64
+		if activeSec > 0 {
+			cpuShare = a.cpuSec / activeSec
+		}
+		if memUsed > 0 {
+			memShare = float64(a.mem) / float64(memUsed)
+		}
+		hostW := cpuPowerW*cpuShare + dramPowerW*memShare + n.Spec.OtherWatts/math.Max(nw, 1)
+		// Scale to the wall (PSU losses follow the components).
+		hostW *= wallNoGPU / (cpuPowerW + dramPowerW + n.Spec.OtherWatts)
+		te.HostJoules += hostW * dtSec
+		te.CPUSeconds += a.cpuSec
+		for _, ord := range a.w.GPUOrdinals {
+			te.GPUJoules += n.gpus[ord].powerW * dtSec
+		}
+	}
+
+	n.writeDynamic(dtSec)
+}
+
+func clamp01(v float64) float64 { return math.Max(0, math.Min(1, v)) }
+
+func wrapUJ(v float64) float64 {
+	for v >= RAPLMaxEnergyUJ {
+		v -= RAPLMaxEnergyUJ
+	}
+	return v
+}
+
+// writeStatic writes files that never change.
+func (n *Node) writeStatic() {
+	for s := 0; s < n.Spec.Sockets; s++ {
+		base := fmt.Sprintf("/sys/class/powercap/intel-rapl:%d", s)
+		n.FS.WriteString(base+"/name", fmt.Sprintf("package-%d\n", s))
+		n.FS.WriteString(base+"/max_energy_range_uj", fmt.Sprintf("%d\n", int64(RAPLMaxEnergyUJ)))
+		if n.Spec.Vendor == VendorIntel {
+			sub := fmt.Sprintf("%s/intel-rapl:%d:0", base, s)
+			n.FS.WriteString(sub+"/name", "dram\n")
+			n.FS.WriteString(sub+"/max_energy_range_uj", fmt.Sprintf("%d\n", int64(RAPLMaxEnergyUJ)))
+		}
+	}
+	n.FS.WriteString("/proc/meminfo_total_kb", fmt.Sprintf("%d\n", n.Spec.MemBytes/1024))
+}
+
+// writeDynamic refreshes all time-varying files. Caller holds n.mu.
+func (n *Node) writeDynamic(dtSec float64) {
+	// RAPL counters.
+	for s := 0; s < n.Spec.Sockets; s++ {
+		base := fmt.Sprintf("/sys/class/powercap/intel-rapl:%d", s)
+		n.FS.WriteString(base+"/energy_uj", fmt.Sprintf("%d\n", uint64(n.raplCPUuj[s])))
+		if n.Spec.Vendor == VendorIntel {
+			n.FS.WriteString(fmt.Sprintf("%s/intel-rapl:%d:0/energy_uj", base, s),
+				fmt.Sprintf("%d\n", uint64(n.raplDRAMuj[s])))
+		}
+	}
+	// /proc/stat: aggregate cpu line in jiffies. user≈80% of active,
+	// system≈20%.
+	userJ := uint64(n.cpuTotalSec * 0.8 * UserHZ)
+	sysJ := uint64(n.cpuTotalSec * 0.2 * UserHZ)
+	idleJ := uint64(n.idleSec * UserHZ)
+	n.FS.WriteString("/proc/stat",
+		fmt.Sprintf("cpu  %d 0 %d %d 0 0 0 0 0 0\n", userJ, sysJ, idleJ))
+	// /proc/meminfo.
+	availKB := (n.Spec.MemBytes - n.memUsed) / 1024
+	n.FS.WriteString("/proc/meminfo", fmt.Sprintf(
+		"MemTotal:       %d kB\nMemFree:        %d kB\nMemAvailable:   %d kB\n",
+		n.Spec.MemBytes/1024, availKB, availKB))
+	// Cgroup trees.
+	ids := make([]string, 0, len(n.workloads))
+	for id := range n.workloads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := n.workloads[id]
+		usageUsec := uint64(w.cpuUsageSec * 1e6)
+		n.FS.WriteString(w.CgroupPath+"/cpu.stat", fmt.Sprintf(
+			"usage_usec %d\nuser_usec %d\nsystem_usec %d\n",
+			usageUsec, usageUsec*8/10, usageUsec*2/10))
+		n.FS.WriteString(w.CgroupPath+"/memory.current", fmt.Sprintf("%d\n", w.memCurrent))
+		n.FS.WriteString(w.CgroupPath+"/memory.max", fmt.Sprintf("%d\n", w.MemLimit))
+		n.FS.WriteString(w.CgroupPath+"/cgroup.procs", "1\n")
+		n.FS.WriteString(w.CgroupPath+"/cpuset.cpus.effective",
+			fmt.Sprintf("0-%d\n", w.CPUs-1))
+	}
+}
+
+// FlushFiles rewrites the dynamic pseudo-files immediately, so cgroup
+// trees of freshly-placed workloads exist before the next Advance.
+func (n *Node) FlushFiles() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.writeDynamic(0)
+}
+
+// ComponentPowers returns the last instantaneous component powers
+// (CPU, DRAM, GPU watts) for diagnostics and ablation baselines.
+func (n *Node) ComponentPowers() (cpu, dram, gpu float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastCPUPowerW, n.lastDRAMPowerW, n.lastGPUPowerW
+}

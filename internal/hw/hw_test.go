@@ -1,0 +1,360 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sysfs"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestNode(t *testing.T, spec NodeSpec) *Node {
+	t.Helper()
+	n, err := NewNode(spec, t0)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultIntelSpec("n1")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []NodeSpec{
+		{},
+		{Name: "x", Sockets: 0, CoresPerSocket: 8, MemBytes: 1, PSUEfficiency: 0.9},
+		{Name: "x", Sockets: 1, CoresPerSocket: 8, MemBytes: 0, PSUEfficiency: 0.9},
+		{Name: "x", Sockets: 1, CoresPerSocket: 8, MemBytes: 1, PSUEfficiency: 1.5},
+		{Name: "x", Sockets: 1, CoresPerSocket: 8, MemBytes: 1, PSUEfficiency: 0.9,
+			CPUIdleWattsPerSocket: 100, CPUMaxWattsPerSocket: 50},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestStaticFiles(t *testing.T) {
+	n := newTestNode(t, DefaultIntelSpec("n1"))
+	for _, p := range []string{
+		"/sys/class/powercap/intel-rapl:0/name",
+		"/sys/class/powercap/intel-rapl:0/energy_uj",
+		"/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name",
+		"/sys/class/powercap/intel-rapl:1/energy_uj",
+		"/proc/stat",
+		"/proc/meminfo",
+	} {
+		if !n.FS.Exists(p) {
+			t.Errorf("missing %s", p)
+		}
+	}
+	// AMD nodes must not have a DRAM domain.
+	amd := newTestNode(t, DefaultAMDSpec("a1"))
+	if amd.FS.Exists("/sys/class/powercap/intel-rapl:0/intel-rapl:0:0/name") {
+		t.Error("AMD node has DRAM RAPL domain")
+	}
+}
+
+func TestRAPLCountersAdvance(t *testing.T) {
+	spec := DefaultIntelSpec("n1")
+	spec.NoiseFrac = 0
+	n := newTestNode(t, spec)
+	before, err := sysfs.ReadUint64(n.FS, "/sys/class/powercap/intel-rapl:0/energy_uj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Advance(15 * time.Second)
+	after, err := sysfs.ReadUint64(n.FS, "/sys/class/powercap/intel-rapl:0/energy_uj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-idle node: per-socket power ≈ idle (45 W) + small OS activity.
+	deltaJ := float64(after-before) / 1e6
+	watts := deltaJ / 15
+	if watts < 40 || watts > 60 {
+		t.Errorf("idle package power = %.1f W, want ~45", watts)
+	}
+}
+
+func TestRAPLWrap(t *testing.T) {
+	spec := DefaultIntelSpec("n1")
+	spec.Seed = 42
+	n := newTestNode(t, spec)
+	// Force the counter near the wrap boundary.
+	n.mu.Lock()
+	n.raplCPUuj[0] = RAPLMaxEnergyUJ - 100
+	n.mu.Unlock()
+	n.Advance(15 * time.Second)
+	v, _ := sysfs.ReadUint64(n.FS, "/sys/class/powercap/intel-rapl:0/energy_uj")
+	if float64(v) >= RAPLMaxEnergyUJ {
+		t.Errorf("counter did not wrap: %d", v)
+	}
+}
+
+func TestWorkloadAccounting(t *testing.T) {
+	spec := DefaultIntelSpec("n1")
+	spec.NoiseFrac = 0
+	n := newTestNode(t, spec)
+	w := &Workload{
+		ID: "job_1", CPUs: 16, MemLimit: 64 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.75 },
+		MemUtil: func(time.Duration) float64 { return 0.5 },
+	}
+	if err := n.AddWorkload(w); err != nil {
+		t.Fatalf("AddWorkload: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		n.Advance(15 * time.Second)
+	}
+	// cpu.stat: 0.75 * 16 cpus * 60 s = 720 s = 7.2e8 usec.
+	kv, err := sysfs.ReadKVFile(n.FS, w.CgroupPath+"/cpu.stat")
+	if err != nil {
+		t.Fatalf("cpu.stat: %v", err)
+	}
+	if got := float64(kv["usage_usec"]) / 1e6; math.Abs(got-720) > 1 {
+		t.Errorf("cgroup cpu usage = %v s, want 720", got)
+	}
+	mem, _ := sysfs.ReadUint64(n.FS, w.CgroupPath+"/memory.current")
+	if got := int64(mem); got != 32<<30 {
+		t.Errorf("memory.current = %d, want %d", got, int64(32<<30))
+	}
+	// Ground truth accumulated.
+	te, ok := n.Truth("job_1")
+	if !ok || te.CPUSeconds < 719 || te.CPUSeconds > 721 {
+		t.Errorf("truth cpu sec = %+v", te)
+	}
+	if te.HostJoules <= 0 {
+		t.Error("truth host energy not accumulated")
+	}
+	// Removal deletes the cgroup and returns the truth.
+	got := n.RemoveWorkload("job_1")
+	if got.CPUSeconds != te.CPUSeconds {
+		t.Errorf("removed truth mismatch")
+	}
+	if n.FS.Exists(w.CgroupPath + "/cpu.stat") {
+		t.Error("cgroup not removed")
+	}
+}
+
+func TestOversubscriptionRejected(t *testing.T) {
+	n := newTestNode(t, DefaultIntelSpec("n1")) // 64 cpus
+	if err := n.AddWorkload(&Workload{ID: "a", CPUs: 60, MemLimit: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddWorkload(&Workload{ID: "b", CPUs: 8, MemLimit: 1 << 30}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if err := n.AddWorkload(&Workload{ID: "a", CPUs: 1, MemLimit: 1}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestGPUWorkload(t *testing.T) {
+	spec := DefaultGPUSpec("g1", true, model.GPUA100, model.GPUA100)
+	spec.NoiseFrac = 0
+	n := newTestNode(t, spec)
+	w := &Workload{
+		ID: "job_g", CPUs: 8, MemLimit: 32 << 30, GPUOrdinals: []int{1},
+		CPUUtil: func(time.Duration) float64 { return 0.2 },
+		GPUUtil: func(time.Duration) float64 { return 1.0 },
+	}
+	if err := n.AddWorkload(w); err != nil {
+		t.Fatal(err)
+	}
+	n.Advance(15 * time.Second)
+	gpus := n.GPUs()
+	if gpus[0].Util() != 0 || gpus[1].Util() != 1 {
+		t.Errorf("gpu utils = %v, %v", gpus[0].Util(), gpus[1].Util())
+	}
+	if gpus[1].PowerWatts() != model.GPUA100.MaxPowerWatts() {
+		t.Errorf("busy gpu power = %v", gpus[1].PowerWatts())
+	}
+	if gpus[0].PowerWatts() != model.GPUA100.IdlePowerWatts() {
+		t.Errorf("idle gpu power = %v", gpus[0].PowerWatts())
+	}
+	// Energy counter: 400 W * 15 s * 1000 mJ.
+	wantMJ := model.GPUA100.MaxPowerWatts() * 15 * 1000
+	if math.Abs(gpus[1].EnergyMilliJoules()-wantMJ) > 1 {
+		t.Errorf("gpu energy = %v mJ, want %v", gpus[1].EnergyMilliJoules(), wantMJ)
+	}
+	// Truth includes GPU energy.
+	te, _ := n.Truth("job_g")
+	if math.Abs(te.GPUJoules-model.GPUA100.MaxPowerWatts()*15) > 0.1 {
+		t.Errorf("truth gpu joules = %v", te.GPUJoules)
+	}
+	// Bad ordinal rejected.
+	if err := n.AddWorkload(&Workload{ID: "bad", CPUs: 1, MemLimit: 1, GPUOrdinals: []int{7}}); err == nil {
+		t.Error("bad GPU ordinal accepted")
+	}
+}
+
+func TestIPMIIncludesGPUVariants(t *testing.T) {
+	run := func(include bool) float64 {
+		spec := DefaultGPUSpec("g", include, model.GPUH100)
+		spec.NoiseFrac = 0
+		n, _ := NewNode(spec, t0)
+		n.AddWorkload(&Workload{
+			ID: "j", CPUs: 4, MemLimit: 1 << 30, GPUOrdinals: []int{0},
+			GPUUtil: func(time.Duration) float64 { return 1 },
+		})
+		n.Advance(15 * time.Second)
+		w, _ := n.PowerReading()
+		return w
+	}
+	with := run(true)
+	without := run(false)
+	// H100 at full power adds ~700 W (divided by PSU efficiency).
+	if with-without < 600 {
+		t.Errorf("IPMI GPU inclusion delta = %v, want > 600", with-without)
+	}
+}
+
+func TestIPMIPSUandNoise(t *testing.T) {
+	spec := DefaultIntelSpec("n1")
+	spec.NoiseFrac = 0
+	n := newTestNode(t, spec)
+	n.Advance(15 * time.Second)
+	ipmi, err := n.PowerReading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, dram, _ := n.ComponentPowers()
+	want := (cpu + dram + spec.OtherWatts) / spec.PSUEfficiency
+	if math.Abs(ipmi-want) > 0.001 {
+		t.Errorf("ipmi = %v, want %v", ipmi, want)
+	}
+	// IPMI must exceed RAPL-covered components (the gap Eq. 1 bridges).
+	if ipmi <= cpu+dram {
+		t.Error("IPMI should exceed RAPL domains")
+	}
+	// With noise, readings vary but stay within the band.
+	spec2 := DefaultIntelSpec("n2")
+	spec2.NoiseFrac = 0.02
+	n2 := newTestNode(t, spec2)
+	for i := 0; i < 10; i++ {
+		n2.Advance(15 * time.Second)
+		r, _ := n2.PowerReading()
+		c2, d2, _ := n2.ComponentPowers()
+		base := (c2 + d2 + spec2.OtherWatts) / spec2.PSUEfficiency
+		if math.Abs(r-base)/base > 0.021 {
+			t.Errorf("noise out of band: %v vs %v", r, base)
+		}
+	}
+}
+
+func TestProcStat(t *testing.T) {
+	spec := DefaultIntelSpec("n1")
+	spec.NoiseFrac = 0
+	n := newTestNode(t, spec)
+	n.AddWorkload(&Workload{ID: "j", CPUs: 32, MemLimit: 1 << 30,
+		CPUUtil: func(time.Duration) float64 { return 1 }})
+	n.Advance(60 * time.Second)
+	data, err := n.FS.ReadFile("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(line, "cpu ") {
+		t.Fatalf("proc/stat = %q", line)
+	}
+	fields := strings.Fields(line)
+	// user + system jiffies ≈ (32 busy + 0.256 OS) cpus * 60 s * 100 Hz.
+	var user, system uint64
+	for i, f := range fields {
+		v := uint64(0)
+		for _, c := range f {
+			if c >= '0' && c <= '9' {
+				v = v*10 + uint64(c-'0')
+			}
+		}
+		if i == 1 {
+			user = v
+		}
+		if i == 3 {
+			system = v
+		}
+	}
+	totalSec := float64(user+system) / UserHZ
+	if totalSec < 1900 || totalSec > 2000 {
+		t.Errorf("proc/stat active sec = %v, want ~1935", totalSec)
+	}
+}
+
+// Property: total reported energy is conserved — the integral of IPMI power
+// equals component power / PSU efficiency within noise bounds, for any
+// workload mix.
+func TestEnergyConservationProperty(t *testing.T) {
+	f := func(cpuFrac, memFrac uint8, nj uint8) bool {
+		spec := DefaultIntelSpec("p")
+		spec.NoiseFrac = 0
+		n, err := NewNode(spec, t0)
+		if err != nil {
+			return false
+		}
+		jobs := int(nj%4) + 1
+		cpusEach := spec.TotalCPUs() / jobs
+		cf := float64(cpuFrac%101) / 100
+		mf := float64(memFrac%101) / 100
+		for j := 0; j < jobs; j++ {
+			err := n.AddWorkload(&Workload{
+				ID: "j" + string(rune('0'+j)), CPUs: cpusEach,
+				MemLimit: spec.MemBytes / int64(jobs),
+				CPUUtil:  func(time.Duration) float64 { return cf },
+				MemUtil:  func(time.Duration) float64 { return mf },
+			})
+			if err != nil {
+				return false
+			}
+		}
+		var ipmiJoules float64
+		for i := 0; i < 8; i++ {
+			n.Advance(15 * time.Second)
+			w, _ := n.PowerReading()
+			ipmiJoules += w * 15
+		}
+		// Sum of per-workload truth + unattributed OS share must not
+		// exceed the IPMI integral, and must be close to it (workloads
+		// dominate; OS baseline is tiny but has no truth entry).
+		var truthJ float64
+		for j := 0; j < jobs; j++ {
+			te, ok := n.Truth("j" + string(rune('0'+j)))
+			if !ok {
+				return false
+			}
+			truthJ += te.HostJoules
+		}
+		if truthJ > ipmiJoules*1.001 {
+			return false
+		}
+		// OS baseline + idle-power share not attributed to jobs: the gap
+		// must stay under 40% even at low utilization (idle power of
+		// unused capacity is attributed via cpu share).
+		return truthJ > ipmiJoules*0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	spec := DefaultIntelSpec("bench")
+	n, _ := NewNode(spec, t0)
+	for j := 0; j < 8; j++ {
+		n.AddWorkload(&Workload{
+			ID: "job_" + string(rune('0'+j)), CPUs: 8, MemLimit: 16 << 30,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Advance(15 * time.Second)
+	}
+}

@@ -1,0 +1,185 @@
+// Package k8ssim simulates a Kubernetes node pool managed through kubelet:
+// pods are workloads whose cgroups live under kubepods.slice with pod-UID
+// slice names, matching the CEEMS exporter's k8s cgroup layout. Together
+// with openstacksim it demonstrates the stack's resource-manager
+// agnosticism (and the paper's Kubernetes future work).
+package k8ssim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// PodSpec describes a pod submission.
+type PodSpec struct {
+	Name       string
+	Namespace  string // doubles as the accounting project
+	User       string // service-account-ish owner
+	CPURequest int    // whole cores (millicore granularity not modelled)
+	MemBytes   int64
+	// Duration of the pod's work; 0 means run until Evict.
+	Duration time.Duration
+	CPUUtil  func(elapsed time.Duration) float64
+	MemUtil  func(elapsed time.Duration) float64
+}
+
+// Pod is a scheduled or finished pod.
+type Pod struct {
+	UID  string
+	Spec PodSpec
+
+	State     model.UnitState
+	CreatedAt time.Time
+	StartedAt time.Time
+	EndedAt   time.Time
+	Node      string
+}
+
+// Manager is the simulated scheduler + kubelet pool.
+type Manager struct {
+	Cluster string
+
+	mu     sync.Mutex
+	now    time.Time
+	nodes  []*hw.Node
+	free   map[string]int
+	nextID int
+	pods   map[string]*Pod
+	gone   []*Pod
+}
+
+// NewManager creates a pool over worker nodes.
+func NewManager(cluster string, start time.Time, nodes ...*hw.Node) *Manager {
+	m := &Manager{
+		Cluster: cluster, now: start, nodes: nodes,
+		free: map[string]int{}, pods: map[string]*Pod{},
+	}
+	for _, n := range nodes {
+		m.free[n.Spec.Name] = n.Spec.TotalCPUs()
+	}
+	return m
+}
+
+func cgroupPath(uid string) string {
+	return fmt.Sprintf("/sys/fs/cgroup/kubepods.slice/kubepods-pod%s.slice", uid)
+}
+
+// Run schedules a pod on the first node with capacity.
+func (m *Manager) Run(spec PodSpec) (*Pod, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if spec.CPURequest <= 0 {
+		return nil, fmt.Errorf("k8ssim: pod must request CPU")
+	}
+	for _, n := range m.nodes {
+		if m.free[n.Spec.Name] < spec.CPURequest {
+			continue
+		}
+		m.nextID++
+		uid := fmt.Sprintf("%08x", m.nextID)
+		p := &Pod{
+			UID: uid, Spec: spec, State: model.UnitRunning,
+			CreatedAt: m.now, StartedAt: m.now, Node: n.Spec.Name,
+		}
+		err := n.AddWorkload(&hw.Workload{
+			ID:         "pod-" + uid,
+			CgroupPath: cgroupPath(uid),
+			CPUs:       spec.CPURequest,
+			MemLimit:   spec.MemBytes,
+			CPUUtil:    spec.CPUUtil,
+			MemUtil:    spec.MemUtil,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.FlushFiles()
+		m.free[n.Spec.Name] -= spec.CPURequest
+		m.pods[uid] = p
+		return p, nil
+	}
+	return nil, fmt.Errorf("k8ssim: no node with %d free cores", spec.CPURequest)
+}
+
+// Evict terminates a pod early.
+func (m *Manager) Evict(uid string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.finishLocked(uid, model.UnitCancelled)
+}
+
+func (m *Manager) finishLocked(uid string, state model.UnitState) error {
+	p, ok := m.pods[uid]
+	if !ok {
+		return fmt.Errorf("k8ssim: no pod %s", uid)
+	}
+	for _, n := range m.nodes {
+		if n.Spec.Name == p.Node {
+			n.RemoveWorkload("pod-" + uid)
+			m.free[n.Spec.Name] += p.Spec.CPURequest
+		}
+	}
+	p.State = state
+	p.EndedAt = m.now
+	delete(m.pods, uid)
+	m.gone = append(m.gone, p)
+	return nil
+}
+
+// Advance steps the nodes and completes pods whose duration elapsed.
+func (m *Manager) Advance(dt time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(dt)
+	for _, n := range m.nodes {
+		n.Advance(dt)
+	}
+	for uid, p := range m.pods {
+		if p.Spec.Duration > 0 && m.now.Sub(p.StartedAt) >= p.Spec.Duration {
+			m.finishLocked(uid, model.UnitCompleted)
+		}
+	}
+}
+
+// Units converts pods to the unified compute-unit schema.
+func (m *Manager) Units(cutoff time.Time) []model.Unit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []model.Unit
+	conv := func(p *Pod) model.Unit {
+		u := model.Unit{
+			UUID:        model.UnitUUID(m.Cluster, model.ManagerK8s, p.UID),
+			ID:          p.UID,
+			Cluster:     m.Cluster,
+			Manager:     model.ManagerK8s,
+			Name:        p.Spec.Name,
+			User:        p.Spec.User,
+			Project:     p.Spec.Namespace,
+			State:       p.State,
+			CreatedAt:   p.CreatedAt.UnixMilli(),
+			StartedAt:   p.StartedAt.UnixMilli(),
+			CPUs:        p.Spec.CPURequest,
+			MemoryBytes: p.Spec.MemBytes,
+			Nodes:       []string{p.Node},
+		}
+		end := m.now
+		if !p.EndedAt.IsZero() {
+			end = p.EndedAt
+			u.EndedAt = p.EndedAt.UnixMilli()
+		}
+		u.ElapsedSec = int64(end.Sub(p.StartedAt).Seconds())
+		return u
+	}
+	for _, p := range m.pods {
+		out = append(out, conv(p))
+	}
+	for _, p := range m.gone {
+		if !p.EndedAt.Before(cutoff) {
+			out = append(out, conv(p))
+		}
+	}
+	return out
+}

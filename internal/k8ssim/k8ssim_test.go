@@ -1,0 +1,110 @@
+package k8ssim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/exporter"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newNode(t *testing.T, name string) *hw.Node {
+	t.Helper()
+	spec := hw.DefaultIntelSpec(name)
+	spec.NoiseFrac = 0
+	n, err := hw.NewNode(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunPodLifecycle(t *testing.T) {
+	node := newNode(t, "w1")
+	m := NewManager("k8s", t0, node)
+	p, err := m.Run(PodSpec{
+		Name: "train", Namespace: "ml", User: "svc-ml",
+		CPURequest: 8, MemBytes: 16 << 30, Duration: 30 * time.Second,
+		CPUUtil: func(time.Duration) float64 { return 1.0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "/sys/fs/cgroup/kubepods.slice/kubepods-pod" + p.UID + ".slice/cpu.stat"
+	if !node.FS.Exists(path) {
+		t.Errorf("missing cgroup %s", path)
+	}
+	m.Advance(15 * time.Second)
+	// The k8s cgroup collector sees the pod.
+	c := &exporter.CgroupCollector{FS: node.FS, Layout: exporter.K8sLayout()}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, f := range fams {
+		if f.Name != "ceems_compute_unit_cpu_usage_seconds_total" {
+			continue
+		}
+		for _, metric := range f.Metrics {
+			if metric.Labels.Get("uuid") == p.UID && metric.Labels.Get("manager") == "k8s" {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Error("k8s collector missed the pod")
+	}
+	// Auto-completion after Duration.
+	m.Advance(30 * time.Second)
+	if p.State != model.UnitCompleted {
+		t.Errorf("pod state = %s", p.State)
+	}
+	if node.FS.Exists(path) {
+		t.Error("cgroup survived completion")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	node := newNode(t, "w1")
+	m := NewManager("k8s", t0, node)
+	p, _ := m.Run(PodSpec{Name: "x", Namespace: "ns", User: "u", CPURequest: 4, MemBytes: 1 << 30})
+	if err := m.Evict(p.UID); err != nil {
+		t.Fatal(err)
+	}
+	if p.State != model.UnitCancelled {
+		t.Errorf("state = %s", p.State)
+	}
+	if err := m.Evict(p.UID); err == nil {
+		t.Error("double evict accepted")
+	}
+}
+
+func TestCapacityAndErrors(t *testing.T) {
+	node := newNode(t, "w1")
+	m := NewManager("k8s", t0, node)
+	if _, err := m.Run(PodSpec{CPURequest: 0}); err == nil {
+		t.Error("zero-cpu pod accepted")
+	}
+	if _, err := m.Run(PodSpec{Name: "big", Namespace: "n", User: "u", CPURequest: 65, MemBytes: 1}); err == nil {
+		t.Error("oversized pod accepted")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	node := newNode(t, "w1")
+	m := NewManager("k8s", t0, node)
+	m.Run(PodSpec{Name: "a", Namespace: "ml", User: "svc", CPURequest: 2, MemBytes: 1 << 30})
+	m.Advance(time.Minute)
+	units := m.Units(t0)
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	u := units[0]
+	if u.Manager != model.ManagerK8s || u.Project != "ml" || u.ElapsedSec != 60 {
+		t.Errorf("unit = %+v", u)
+	}
+}

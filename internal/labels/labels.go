@@ -1,0 +1,373 @@
+// Package labels implements immutable metric label sets, matchers and
+// hashing, modelled after the Prometheus data model. A Labels value is a
+// sorted list of name/value pairs; the metric name itself is carried under
+// the reserved label name "__name__".
+package labels
+
+import (
+	"fmt"
+	"hash/fnv"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricName is the reserved label name holding the metric name.
+const MetricName = "__name__"
+
+// Label is a single name/value pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Labels is a sorted (by name) set of labels. The zero value is the empty
+// label set. Labels must be treated as immutable once built.
+type Labels []Label
+
+// New returns a sorted label set from the given pairs. Duplicate names keep
+// the last value.
+func New(ls ...Label) Labels {
+	set := make(map[string]string, len(ls))
+	for _, l := range ls {
+		set[l.Name] = l.Value
+	}
+	return FromMap(set)
+}
+
+// FromMap builds a sorted Labels from a map.
+func FromMap(m map[string]string) Labels {
+	ls := make(Labels, 0, len(m))
+	for n, v := range m {
+		ls = append(ls, Label{Name: n, Value: v})
+	}
+	sort.Sort(ls)
+	return ls
+}
+
+// FromStrings builds Labels from alternating name, value strings. It panics
+// on an odd number of arguments; this is a programmer error.
+func FromStrings(ss ...string) Labels {
+	if len(ss)%2 != 0 {
+		panic("labels.FromStrings: odd number of arguments")
+	}
+	ls := make(Labels, 0, len(ss)/2)
+	for i := 0; i < len(ss); i += 2 {
+		ls = append(ls, Label{Name: ss[i], Value: ss[i+1]})
+	}
+	sort.Sort(ls)
+	return ls
+}
+
+func (ls Labels) Len() int           { return len(ls) }
+func (ls Labels) Swap(i, j int)      { ls[i], ls[j] = ls[j], ls[i] }
+func (ls Labels) Less(i, j int) bool { return ls[i].Name < ls[j].Name }
+
+// Get returns the value of the label with the given name, or "".
+func (ls Labels) Get(name string) string {
+	// Binary search: labels are sorted by name.
+	i := sort.Search(len(ls), func(i int) bool { return ls[i].Name >= name })
+	if i < len(ls) && ls[i].Name == name {
+		return ls[i].Value
+	}
+	return ""
+}
+
+// Has reports whether the label name is present.
+func (ls Labels) Has(name string) bool {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i].Name >= name })
+	return i < len(ls) && ls[i].Name == name
+}
+
+// Name returns the metric name (the __name__ label).
+func (ls Labels) Name() string { return ls.Get(MetricName) }
+
+// Map returns the labels as a fresh map.
+func (ls Labels) Map() map[string]string {
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Name] = l.Value
+	}
+	return m
+}
+
+// Copy returns an independent copy of the label set.
+func (ls Labels) Copy() Labels {
+	out := make(Labels, len(ls))
+	copy(out, ls)
+	return out
+}
+
+// Equal reports whether two label sets are identical.
+func (ls Labels) Equal(o Labels) bool {
+	if len(ls) != len(o) {
+		return false
+	}
+	for i := range ls {
+		if ls[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders label sets lexicographically.
+func Compare(a, b Labels) int {
+	l := len(a)
+	if len(b) < l {
+		l = len(b)
+	}
+	for i := 0; i < l; i++ {
+		if a[i].Name != b[i].Name {
+			if a[i].Name < b[i].Name {
+				return -1
+			}
+			return 1
+		}
+		if a[i].Value != b[i].Value {
+			if a[i].Value < b[i].Value {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// Hash returns a stable 64-bit hash of the label set. Separator bytes 0xFF
+// cannot appear in valid UTF-8 label content, which keeps the encoding
+// unambiguous.
+func (ls Labels) Hash() uint64 {
+	h := fnv.New64a()
+	var sep = []byte{0xFF}
+	for _, l := range ls {
+		h.Write([]byte(l.Name))
+		h.Write(sep)
+		h.Write([]byte(l.Value))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}
+
+// HashWithout hashes the label set ignoring the given names (used by
+// aggregation "without").
+func (ls Labels) HashWithout(names ...string) uint64 {
+	h := fnv.New64a()
+	var sep = []byte{0xFF}
+outer:
+	for _, l := range ls {
+		if l.Name == MetricName {
+			continue
+		}
+		for _, n := range names {
+			if l.Name == n {
+				continue outer
+			}
+		}
+		h.Write([]byte(l.Name))
+		h.Write(sep)
+		h.Write([]byte(l.Value))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}
+
+// HashFor hashes only the given label names (used by aggregation "by").
+func (ls Labels) HashFor(names ...string) uint64 {
+	h := fnv.New64a()
+	var sep = []byte{0xFF}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		h.Write([]byte(n))
+		h.Write(sep)
+		h.Write([]byte(ls.Get(n)))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}
+
+// WithoutNames returns a copy dropping the given names plus __name__.
+func (ls Labels) WithoutNames(names ...string) Labels {
+	out := make(Labels, 0, len(ls))
+outer:
+	for _, l := range ls {
+		if l.Name == MetricName {
+			continue
+		}
+		for _, n := range names {
+			if l.Name == n {
+				continue outer
+			}
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// KeepNames returns a copy retaining only the given names.
+func (ls Labels) KeepNames(names ...string) Labels {
+	out := make(Labels, 0, len(names))
+	for _, l := range ls {
+		for _, n := range names {
+			if l.Name == n {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the labels in the canonical {a="b", c="d"} form with the
+// metric name, if any, prefixed.
+func (ls Labels) String() string {
+	var b strings.Builder
+	name := ls.Name()
+	b.WriteString(name)
+	b.WriteByte('{')
+	first := true
+	for _, l := range ls {
+		if l.Name == MetricName {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Builder incrementally constructs a label set, typically by modifying a
+// base set.
+type Builder struct {
+	base Labels
+	add  []Label
+	del  []string
+}
+
+// NewBuilder returns a Builder seeded with base.
+func NewBuilder(base Labels) *Builder {
+	return &Builder{base: base}
+}
+
+// Set adds or replaces a label. Setting an empty value deletes the label.
+func (b *Builder) Set(name, value string) *Builder {
+	if value == "" {
+		return b.Del(name)
+	}
+	for i := range b.add {
+		if b.add[i].Name == name {
+			b.add[i].Value = value
+			return b
+		}
+	}
+	b.add = append(b.add, Label{Name: name, Value: value})
+	return b
+}
+
+// Del marks a label for deletion.
+func (b *Builder) Del(names ...string) *Builder {
+	b.del = append(b.del, names...)
+	return b
+}
+
+// Labels materializes the built label set.
+func (b *Builder) Labels() Labels {
+	m := b.base.Map()
+	for _, n := range b.del {
+		delete(m, n)
+	}
+	for _, l := range b.add {
+		m[l.Name] = l.Value
+	}
+	return FromMap(m)
+}
+
+// MatchType enumerates matcher operators.
+type MatchType int
+
+const (
+	MatchEqual     MatchType = iota // =
+	MatchNotEqual                   // !=
+	MatchRegexp                     // =~
+	MatchNotRegexp                  // !~
+)
+
+func (t MatchType) String() string {
+	switch t {
+	case MatchEqual:
+		return "="
+	case MatchNotEqual:
+		return "!="
+	case MatchRegexp:
+		return "=~"
+	case MatchNotRegexp:
+		return "!~"
+	}
+	return "?"
+}
+
+// Matcher tests a single label against a value or anchored regexp.
+type Matcher struct {
+	Type  MatchType
+	Name  string
+	Value string
+	re    *regexp.Regexp
+}
+
+// NewMatcher builds a matcher; regexp values are anchored (^...$) as in
+// Prometheus.
+func NewMatcher(t MatchType, name, value string) (*Matcher, error) {
+	m := &Matcher{Type: t, Name: name, Value: value}
+	if t == MatchRegexp || t == MatchNotRegexp {
+		re, err := regexp.Compile("^(?:" + value + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("labels: bad matcher regexp %q: %w", value, err)
+		}
+		m.re = re
+	}
+	return m, nil
+}
+
+// MustMatcher is NewMatcher that panics on error, for static matchers.
+func MustMatcher(t MatchType, name, value string) *Matcher {
+	m, err := NewMatcher(t, name, value)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Matches reports whether the value satisfies the matcher.
+func (m *Matcher) Matches(v string) bool {
+	switch m.Type {
+	case MatchEqual:
+		return v == m.Value
+	case MatchNotEqual:
+		return v != m.Value
+	case MatchRegexp:
+		return m.re.MatchString(v)
+	case MatchNotRegexp:
+		return !m.re.MatchString(v)
+	}
+	return false
+}
+
+func (m *Matcher) String() string {
+	return fmt.Sprintf("%s%s%q", m.Name, m.Type, m.Value)
+}
+
+// MatchLabels reports whether all matchers are satisfied by the label set.
+// A matcher on an absent label sees the empty string, as in Prometheus.
+func MatchLabels(ls Labels, ms ...*Matcher) bool {
+	for _, m := range ms {
+		if !m.Matches(ls.Get(m.Name)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,377 @@
+// Package lb implements the CEEMS load balancer (paper §II.B.c): a reverse
+// proxy in front of one or more Prometheus/Thanos backends that adds the
+// access control Grafana lacks. Every query is introspected — the compute
+// unit identifiers are extracted from the PromQL expression itself — and
+// the requesting user (from the X-Grafana-User header Grafana attaches) is
+// checked for ownership against the CEEMS API server, either through its
+// DB directly or over its verification endpoint. As a load balancer it
+// supports the classic round-robin and least-connection strategies.
+package lb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/labels"
+	"repro/internal/promql"
+)
+
+// OwnershipChecker answers whether a user may see a compute unit's
+// metrics.
+type OwnershipChecker interface {
+	// Owns reports whether user owns the unit with the given (bare or
+	// fully-qualified) identifier.
+	Owns(ctx context.Context, user, uuid string) (bool, error)
+	// IsAdmin reports whether the user bypasses ownership checks.
+	IsAdmin(ctx context.Context, user string) bool
+}
+
+// APIServerChecker adapts the in-process API server as the checker — the
+// "directly querying the CEEMS API server's DB" path of the paper.
+type APIServerChecker struct {
+	Server interface {
+		OwnsUnit(user, uuid string) (bool, error)
+		IsAdmin(user string) bool
+	}
+}
+
+// Owns implements OwnershipChecker.
+func (c *APIServerChecker) Owns(_ context.Context, user, uuid string) (bool, error) {
+	return c.Server.OwnsUnit(user, uuid)
+}
+
+// IsAdmin implements OwnershipChecker.
+func (c *APIServerChecker) IsAdmin(_ context.Context, user string) bool {
+	return c.Server.IsAdmin(user)
+}
+
+// HTTPChecker queries the API server's verify endpoint — the fallback
+// "when the DB file is not accessible".
+type HTTPChecker struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// Owns implements OwnershipChecker via GET /api/v1/units/verify.
+func (c *HTTPChecker) Owns(ctx context.Context, user, uuid string) (bool, error) {
+	u := fmt.Sprintf("%s/api/v1/units/verify?user=%s&uuid=%s",
+		c.BaseURL, url.QueryEscape(user), url.QueryEscape(uuid))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("X-Grafana-User", user)
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusForbidden:
+		return false, nil
+	}
+	return false, fmt.Errorf("lb: verify endpoint returned %s", resp.Status)
+}
+
+// IsAdmin implements OwnershipChecker; admin resolution happens inside the
+// verify endpoint, so the HTTP checker never grants a local bypass.
+func (c *HTTPChecker) IsAdmin(context.Context, string) bool { return false }
+
+// Strategy selects how backends are balanced.
+type Strategy string
+
+const (
+	RoundRobin      Strategy = "round-robin"
+	LeastConnection Strategy = "least-connection"
+)
+
+// Backend is one Prometheus/Thanos instance behind the LB.
+type Backend struct {
+	URL *url.URL
+
+	healthy atomic.Bool
+	active  atomic.Int64 // in-flight requests
+	served  atomic.Int64 // total requests proxied
+}
+
+// NewBackend parses the base URL and returns a healthy backend.
+func NewBackend(raw string) (*Backend, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("lb: bad backend url %q: %w", raw, err)
+	}
+	b := &Backend{URL: u}
+	b.healthy.Store(true)
+	return b, nil
+}
+
+// Healthy reports the backend's health flag.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// SetHealthy updates the health flag (driven by health checks).
+func (b *Backend) SetHealthy(v bool) { b.healthy.Store(v) }
+
+// Served returns how many requests this backend has handled.
+func (b *Backend) Served() int64 { return b.served.Load() }
+
+// Active returns the number of in-flight requests.
+func (b *Backend) Active() int64 { return b.active.Load() }
+
+// LB is the load balancer handler.
+type LB struct {
+	Backends []*Backend
+	Strategy Strategy
+	Checker  OwnershipChecker
+	// Transport issues the proxied requests; defaults to
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+
+	rrNext atomic.Uint64
+	mu     sync.Mutex
+	denied int64
+}
+
+// Denied returns how many queries were rejected by access control.
+func (lb *LB) Denied() int64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.denied
+}
+
+// pick selects a backend per the strategy; nil when none are healthy.
+func (lb *LB) pick() *Backend {
+	var candidates []*Backend
+	for _, b := range lb.Backends {
+		if b.Healthy() {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch lb.Strategy {
+	case LeastConnection:
+		best := candidates[0]
+		for _, b := range candidates[1:] {
+			if b.Active() < best.Active() {
+				best = b
+			}
+		}
+		return best
+	default: // round-robin
+		n := lb.rrNext.Add(1)
+		return candidates[(n-1)%uint64(len(candidates))]
+	}
+}
+
+// ExtractUUIDs parses the PromQL expression and collects every compute
+// unit identifier it references via uuid label matchers. Equality matchers
+// contribute their value; anchored alternation regexps ("123|456")
+// contribute each alternative. Regexps that cannot be enumerated return an
+// error — the LB fails closed.
+func ExtractUUIDs(query string) ([]string, error) {
+	expr, err := promql.ParseExpr(query)
+	if err != nil {
+		return nil, fmt.Errorf("lb: unparseable query: %w", err)
+	}
+	set := map[string]struct{}{}
+	var visitErr error
+	walk(expr, func(vs *promql.VectorSelector) {
+		for _, m := range vs.Matchers {
+			if m.Name != "uuid" {
+				continue
+			}
+			switch m.Type {
+			case labels.MatchEqual:
+				set[m.Value] = struct{}{}
+			case labels.MatchRegexp:
+				alts, ok := enumerateAlternation(m.Value)
+				if !ok {
+					visitErr = fmt.Errorf("lb: uuid regexp %q is not enumerable", m.Value)
+					return
+				}
+				for _, a := range alts {
+					set[a] = struct{}{}
+				}
+			default:
+				visitErr = fmt.Errorf("lb: negative uuid matchers are not allowed")
+			}
+		}
+	})
+	if visitErr != nil {
+		return nil, visitErr
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walk visits every vector selector in the expression tree.
+func walk(e promql.Expr, fn func(*promql.VectorSelector)) {
+	switch t := e.(type) {
+	case *promql.VectorSelector:
+		fn(t)
+	case *promql.MatrixSelector:
+		fn(t.VS)
+	case *promql.ParenExpr:
+		walk(t.Expr, fn)
+	case *promql.UnaryExpr:
+		walk(t.Expr, fn)
+	case *promql.AggregateExpr:
+		walk(t.Expr, fn)
+		if t.Param != nil {
+			walk(t.Param, fn)
+		}
+	case *promql.BinaryExpr:
+		walk(t.LHS, fn)
+		walk(t.RHS, fn)
+	case *promql.Call:
+		for _, a := range t.Args {
+			walk(a, fn)
+		}
+	}
+}
+
+// enumerateAlternation splits a plain alternation regexp ("a|b|c") into
+// its literals; it refuses patterns with other regexp metacharacters.
+func enumerateAlternation(pattern string) ([]string, bool) {
+	if strings.ContainsAny(pattern, `.*+?()[]{}^$\`) {
+		return nil, false
+	}
+	parts := strings.Split(pattern, "|")
+	for _, p := range parts {
+		if p == "" {
+			return nil, false
+		}
+	}
+	return parts, true
+}
+
+// ServeHTTP authorizes and proxies one query request.
+func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	user := r.Header.Get("X-Grafana-User")
+	if user == "" {
+		http.Error(w, "missing X-Grafana-User header", http.StatusUnauthorized)
+		return
+	}
+	query := r.URL.Query().Get("query")
+	if query != "" && !lb.authorize(w, r, user, query) {
+		return
+	}
+	backend := lb.pick()
+	if backend == nil {
+		http.Error(w, "no healthy backends", http.StatusBadGateway)
+		return
+	}
+	lb.proxy(w, r, backend)
+}
+
+// authorize checks every uuid in the query; it writes the error response
+// and returns false on denial.
+func (lb *LB) authorize(w http.ResponseWriter, r *http.Request, user, query string) bool {
+	if lb.Checker == nil {
+		return true
+	}
+	if lb.Checker.IsAdmin(r.Context(), user) {
+		return true
+	}
+	uuids, err := ExtractUUIDs(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	for _, uuid := range uuids {
+		owns, err := lb.Checker.Owns(r.Context(), user, uuid)
+		if err != nil {
+			http.Error(w, "ownership check failed", http.StatusBadGateway)
+			return false
+		}
+		if !owns {
+			lb.mu.Lock()
+			lb.denied++
+			lb.mu.Unlock()
+			http.Error(w, fmt.Sprintf("user %s does not own unit %s", user, uuid), http.StatusForbidden)
+			return false
+		}
+	}
+	return true
+}
+
+// proxy forwards the request to the backend and streams the response.
+func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) {
+	b.active.Add(1)
+	defer b.active.Add(-1)
+	b.served.Add(1)
+
+	out := r.Clone(r.Context())
+	out.URL.Scheme = b.URL.Scheme
+	out.URL.Host = b.URL.Host
+	out.URL.Path = singleJoin(b.URL.Path, r.URL.Path)
+	out.RequestURI = ""
+	out.Host = ""
+
+	transport := lb.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	resp, err := transport.RoundTrip(out)
+	if err != nil {
+		b.SetHealthy(false)
+		http.Error(w, "backend error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func singleJoin(a, b string) string {
+	switch {
+	case strings.HasSuffix(a, "/") && strings.HasPrefix(b, "/"):
+		return a + b[1:]
+	case !strings.HasSuffix(a, "/") && !strings.HasPrefix(b, "/") && a != "":
+		return a + "/" + b
+	}
+	return a + b
+}
+
+// HealthCheck probes every backend's /-/healthy endpoint once, updating
+// flags; production deployments run it on a ticker.
+func (lb *LB) HealthCheck(ctx context.Context) {
+	client := &http.Client{Transport: lb.Transport}
+	for _, b := range lb.Backends {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL.String()+"/-/healthy", nil)
+		if err != nil {
+			b.SetHealthy(false)
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			b.SetHealthy(false)
+			continue
+		}
+		resp.Body.Close()
+		b.SetHealthy(resp.StatusCode == http.StatusOK)
+	}
+}

@@ -1,0 +1,307 @@
+package lb
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubChecker owns units by prefix: user "alice" owns uuids starting "a".
+type stubChecker struct {
+	admins map[string]bool
+	calls  int
+	mu     sync.Mutex
+}
+
+func (s *stubChecker) Owns(_ context.Context, user, uuid string) (bool, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return len(uuid) > 0 && len(user) > 0 && uuid[0] == user[0], nil
+}
+
+func (s *stubChecker) IsAdmin(_ context.Context, user string) bool { return s.admins[user] }
+
+func newTestLB(t *testing.T, strategy Strategy, nBackends int) (*LB, []*httptest.Server, *[]int) {
+	t.Helper()
+	var servers []*httptest.Server
+	counts := make([]int, nBackends)
+	var mu sync.Mutex
+	lb := &LB{Strategy: strategy, Checker: &stubChecker{admins: map[string]bool{"root": true}}}
+	for i := 0; i < nBackends; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+			w.Write([]byte(`{"status":"success"}`))
+		}))
+		servers = append(servers, srv)
+		b, err := NewBackend(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb.Backends = append(lb.Backends, b)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return lb, servers, &counts
+}
+
+func get(t *testing.T, lb *LB, path, user string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if user != "" {
+		req.Header.Set("X-Grafana-User", user)
+	}
+	rec := httptest.NewRecorder()
+	lb.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestExtractUUIDs(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{`ceems_compute_unit_cpu_usage_seconds_total{uuid="123"}`, []string{"123"}},
+		{`rate(metric{uuid="1"}[5m]) + metric2{uuid="2"}`, []string{"1", "2"}},
+		{`sum by (uuid) (metric{uuid=~"1|2|3"})`, []string{"1", "2", "3"}},
+		{`up`, nil},
+		{`topk(3, m{uuid="9"})`, []string{"9"}},
+	}
+	for _, c := range cases {
+		got, err := ExtractUUIDs(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("ExtractUUIDs(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Unenumerable / negative matchers fail closed.
+	for _, q := range []string{
+		`m{uuid=~"1.*"}`,
+		`m{uuid!~"x"}`,
+		`m{uuid!="1"}`,
+	} {
+		if _, err := ExtractUUIDs(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+	if _, err := ExtractUUIDs(`not a query{{`); err == nil {
+		t.Error("unparseable query accepted")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	lb, _, _ := newTestLB(t, RoundRobin, 1)
+
+	// Owner allowed.
+	rec := get(t, lb, `/api/v1/query?query=m{uuid="a1"}`, "alice")
+	if rec.Code != 200 {
+		t.Errorf("owner query = %d: %s", rec.Code, rec.Body)
+	}
+	// Cross-user denied.
+	rec = get(t, lb, `/api/v1/query?query=m{uuid="b7"}`, "alice")
+	if rec.Code != 403 {
+		t.Errorf("cross-user = %d", rec.Code)
+	}
+	if lb.Denied() != 1 {
+		t.Errorf("denied = %d", lb.Denied())
+	}
+	// Admin bypass.
+	rec = get(t, lb, `/api/v1/query?query=m{uuid="b7"}`, "root")
+	if rec.Code != 200 {
+		t.Errorf("admin = %d", rec.Code)
+	}
+	// Missing identity.
+	rec = get(t, lb, `/api/v1/query?query=up`, "")
+	if rec.Code != 401 {
+		t.Errorf("anonymous = %d", rec.Code)
+	}
+	// Query without uuid matchers passes (node-level dashboards).
+	rec = get(t, lb, `/api/v1/query?query=up`, "alice")
+	if rec.Code != 200 {
+		t.Errorf("uuid-less query = %d", rec.Code)
+	}
+	// Multi-uuid query with one foreign uuid denied.
+	rec = get(t, lb, `/api/v1/query?query=m{uuid=~"a1|b2"}`, "alice")
+	if rec.Code != 403 {
+		t.Errorf("mixed uuids = %d", rec.Code)
+	}
+	// Unenumerable regexp rejected as bad request.
+	rec = get(t, lb, `/api/v1/query?query=m{uuid=~"a.*"}`, "alice")
+	if rec.Code != 400 {
+		t.Errorf("wildcard uuid = %d", rec.Code)
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	lb, _, counts := newTestLB(t, RoundRobin, 3)
+	for i := 0; i < 30; i++ {
+		if rec := get(t, lb, "/api/v1/query?query=up", "alice"); rec.Code != 200 {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	for i, c := range *counts {
+		if c != 10 {
+			t.Errorf("backend %d served %d, want 10", i, c)
+		}
+	}
+	// Served counters agree.
+	for _, b := range lb.Backends {
+		if b.Served() != 10 {
+			t.Errorf("Served = %d", b.Served())
+		}
+	}
+}
+
+func TestUnhealthySkipped(t *testing.T) {
+	lb, _, counts := newTestLB(t, RoundRobin, 2)
+	lb.Backends[0].SetHealthy(false)
+	for i := 0; i < 6; i++ {
+		get(t, lb, "/api/v1/query?query=up", "alice")
+	}
+	if (*counts)[0] != 0 || (*counts)[1] != 6 {
+		t.Errorf("counts = %v", *counts)
+	}
+	// All unhealthy → 502.
+	lb.Backends[1].SetHealthy(false)
+	rec := get(t, lb, "/api/v1/query?query=up", "alice")
+	if rec.Code != 502 {
+		t.Errorf("no-backend status = %d", rec.Code)
+	}
+}
+
+func TestLeastConnection(t *testing.T) {
+	// Backend 0 is slow; least-connection should route new requests to
+	// backend 1 while 0 is busy.
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+		w.Write([]byte("slow"))
+	}))
+	defer slow.Close()
+	var fastCount int
+	var mu sync.Mutex
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		fastCount++
+		mu.Unlock()
+		w.Write([]byte("fast"))
+	}))
+	defer fast.Close()
+
+	b0, _ := NewBackend(slow.URL)
+	b1, _ := NewBackend(fast.URL)
+	lb := &LB{Backends: []*Backend{b0, b1}, Strategy: LeastConnection}
+
+	// Occupy the slow backend.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, lb, "/api/v1/query?query=up", "alice")
+	}()
+	// Wait until the slow request is in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for b0.Active() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b0.Active() != 1 {
+		t.Fatal("slow request never started")
+	}
+	for i := 0; i < 5; i++ {
+		get(t, lb, "/api/v1/query?query=up", "alice")
+	}
+	close(release)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if fastCount != 5 {
+		t.Errorf("fast backend served %d, want 5", fastCount)
+	}
+}
+
+func TestHealthCheck(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/-/healthy" {
+			w.WriteHeader(200)
+			return
+		}
+		w.WriteHeader(404)
+	}))
+	defer healthy.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(500)
+	}))
+	b0, _ := NewBackend(healthy.URL)
+	b1, _ := NewBackend(dead.URL)
+	dead.Close() // connection refused
+	lb := &LB{Backends: []*Backend{b0, b1}}
+	lb.HealthCheck(context.Background())
+	if !b0.Healthy() {
+		t.Error("healthy backend marked down")
+	}
+	if b1.Healthy() {
+		t.Error("dead backend marked up")
+	}
+}
+
+func TestHTTPChecker(t *testing.T) {
+	api := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		uuid := r.URL.Query().Get("uuid")
+		if uuid == "mine" {
+			w.WriteHeader(200)
+		} else {
+			w.WriteHeader(403)
+		}
+	}))
+	defer api.Close()
+	c := &HTTPChecker{BaseURL: api.URL}
+	owns, err := c.Owns(context.Background(), "u", "mine")
+	if err != nil || !owns {
+		t.Errorf("Owns(mine) = %v, %v", owns, err)
+	}
+	owns, err = c.Owns(context.Background(), "u", "other")
+	if err != nil || owns {
+		t.Errorf("Owns(other) = %v, %v", owns, err)
+	}
+	if c.IsAdmin(context.Background(), "root") {
+		t.Error("HTTP checker should not grant admin locally")
+	}
+}
+
+func TestBadBackendURL(t *testing.T) {
+	if _, err := NewBackend("://bad"); err == nil {
+		t.Error("bad URL accepted")
+	}
+}
+
+func BenchmarkLBAuthorizedProxy(b *testing.B) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	be, _ := NewBackend(srv.URL)
+	lb := &LB{Backends: []*Backend{be}, Checker: &stubChecker{}}
+	req := httptest.NewRequest(http.MethodGet, `/api/v1/query?query=m{uuid="a1"}`, nil)
+	req.Header.Set("X-Grafana-User", "alice")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		lb.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

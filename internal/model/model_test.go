@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversionRoundTrip(t *testing.T) {
+	now := time.Now().Truncate(time.Millisecond)
+	ms := TimeToMillis(now)
+	back := MillisToTime(ms)
+	if !back.Equal(now) {
+		t.Errorf("round trip: %v != %v", back, now)
+	}
+}
+
+func TestDurationMillis(t *testing.T) {
+	if DurationMillis(1500*time.Millisecond) != 1500 {
+		t.Error("DurationMillis wrong")
+	}
+}
+
+func TestUnitStateTerminated(t *testing.T) {
+	for _, s := range []UnitState{UnitCompleted, UnitFailed, UnitCancelled, UnitTimeout} {
+		if !s.Terminated() {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []UnitState{UnitPending, UnitRunning} {
+		if s.Terminated() {
+			t.Errorf("%s should not be terminal", s)
+		}
+	}
+}
+
+func TestUnitUUID(t *testing.T) {
+	got := UnitUUID("jz", ManagerSLURM, "1234")
+	if got != "jz/slurm/1234" {
+		t.Errorf("UnitUUID = %q", got)
+	}
+}
+
+func TestAggregateMergeWeighted(t *testing.T) {
+	a := UsageAggregate{AvgCPUUsage: 0.5, NumSamples: 10, TotalEnergyJoules: 100}
+	b := UsageAggregate{AvgCPUUsage: 1.0, NumSamples: 30, TotalEnergyJoules: 50}
+	a.Merge(b)
+	if math.Abs(a.AvgCPUUsage-0.875) > 1e-12 {
+		t.Errorf("weighted mean = %v, want 0.875", a.AvgCPUUsage)
+	}
+	if a.TotalEnergyJoules != 150 {
+		t.Errorf("energy sum = %v", a.TotalEnergyJoules)
+	}
+	if a.NumSamples != 40 {
+		t.Errorf("samples = %v", a.NumSamples)
+	}
+}
+
+func TestAggregateMergeEmpty(t *testing.T) {
+	var a UsageAggregate
+	a.Merge(UsageAggregate{})
+	if a.AvgCPUUsage != 0 || a.NumSamples != 0 {
+		t.Error("merging empties should stay zero")
+	}
+}
+
+func TestTotalEnergyKWh(t *testing.T) {
+	u := UsageAggregate{TotalEnergyJoules: 3.6e6}
+	if u.TotalEnergyKWh() != 1.0 {
+		t.Errorf("3.6 MJ should be 1 kWh, got %v", u.TotalEnergyKWh())
+	}
+}
+
+func TestGPUKindProperties(t *testing.T) {
+	if GPUMI250.Vendor() != "amd" {
+		t.Error("MI250 vendor")
+	}
+	if GPUA100.Vendor() != "nvidia" {
+		t.Error("A100 vendor")
+	}
+	for _, k := range []GPUKind{GPUV100, GPUA100, GPUH100, GPUMI250} {
+		if k.MaxPowerWatts() <= k.IdlePowerWatts() {
+			t.Errorf("%s: max power must exceed idle", k)
+		}
+		if k.MemoryBytes() <= 0 {
+			t.Errorf("%s: memory must be positive", k)
+		}
+	}
+}
+
+// Property: Merge is associative in totals and sample counts.
+func TestMergeTotalsProperty(t *testing.T) {
+	f := func(e1, e2, e3 float64, n1, n2, n3 uint16) bool {
+		mk := func(e float64, n uint16) UsageAggregate {
+			// Constrain to physically plausible joule counts to avoid
+			// float64 overflow, which is out of scope for the invariant.
+			v := math.Mod(math.Abs(e), 1e12)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			return UsageAggregate{TotalEnergyJoules: v, NumSamples: int64(n)}
+		}
+		// (a+b)+c
+		x := mk(e1, n1)
+		x.Merge(mk(e2, n2))
+		x.Merge(mk(e3, n3))
+		// a+(b+c)
+		y := mk(e2, n2)
+		y.Merge(mk(e3, n3))
+		z := mk(e1, n1)
+		z.Merge(y)
+		scale := math.Max(math.Abs(x.TotalEnergyJoules), 1)
+		return math.Abs(x.TotalEnergyJoules-z.TotalEnergyJoules)/scale < 1e-9 &&
+			x.NumSamples == z.NumSamples
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted mean stays within the min/max of its inputs.
+func TestMergeMeanBoundsProperty(t *testing.T) {
+	f := func(u1, u2 float64, n1, n2 uint8) bool {
+		if n1 == 0 && n2 == 0 {
+			return true
+		}
+		c1 := math.Mod(math.Abs(u1), 1)
+		c2 := math.Mod(math.Abs(u2), 1)
+		a := UsageAggregate{AvgCPUUsage: c1, NumSamples: int64(n1)}
+		a.Merge(UsageAggregate{AvgCPUUsage: c2, NumSamples: int64(n2)})
+		lo, hi := math.Min(c1, c2), math.Max(c1, c2)
+		// Zero-sample inputs contribute nothing; mean of remaining stays in bounds.
+		if n1 == 0 {
+			lo, hi = c2, c2
+		}
+		if n2 == 0 {
+			lo, hi = c1, c1
+		}
+		return a.AvgCPUUsage >= lo-1e-9 && a.AvgCPUUsage <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package openstacksim simulates an Openstack compute host managed through
+// libvirt: VMs are long-lived workloads whose cgroups live under
+// machine.slice with qemu scope names, which is exactly the layout the
+// CEEMS exporter's libvirt cgroup collector walks. It demonstrates the
+// paper's resource-manager-agnostic claim (and its "extending CEEMS to
+// Openstack" future work) with the same hardware substrate as SLURM.
+package openstacksim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// VMSpec describes a VM boot request (flavor-style sizing).
+type VMSpec struct {
+	Name     string
+	User     string // keystone user
+	Project  string // keystone project/tenant
+	VCPUs    int
+	MemBytes int64
+	// Utilization profiles, as for batch jobs.
+	CPUUtil func(elapsed time.Duration) float64
+	MemUtil func(elapsed time.Duration) float64
+}
+
+// VM is a running or terminated virtual machine.
+type VM struct {
+	ID   string // uuid-ish instance id
+	Spec VMSpec
+
+	State     model.UnitState
+	CreatedAt time.Time
+	StartedAt time.Time
+	EndedAt   time.Time
+	Host      string
+}
+
+// Manager is the simulated compute service over a set of hypervisor nodes.
+type Manager struct {
+	Cluster string
+
+	mu     sync.Mutex
+	now    time.Time
+	hosts  []*hw.Node
+	free   map[string]int // vcpus free per host
+	nextID int
+	vms    map[string]*VM
+	gone   []*VM
+}
+
+// NewManager creates the service over hypervisor nodes.
+func NewManager(cluster string, start time.Time, hosts ...*hw.Node) *Manager {
+	m := &Manager{
+		Cluster: cluster, now: start, hosts: hosts,
+		free: map[string]int{}, vms: map[string]*VM{},
+	}
+	for _, h := range hosts {
+		m.free[h.Spec.Name] = h.Spec.TotalCPUs()
+	}
+	return m
+}
+
+// cgroupPath is the libvirt layout the exporter's collector matches.
+func cgroupPath(id string) string {
+	return fmt.Sprintf("/sys/fs/cgroup/machine.slice/machine-qemu-%s.scope", id)
+}
+
+// Boot schedules a VM on the first host with capacity.
+func (m *Manager) Boot(spec VMSpec) (*VM, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if spec.VCPUs <= 0 {
+		return nil, fmt.Errorf("openstacksim: VM must request vCPUs")
+	}
+	for _, h := range m.hosts {
+		if m.free[h.Spec.Name] < spec.VCPUs {
+			continue
+		}
+		m.nextID++
+		id := fmt.Sprintf("%08d", m.nextID)
+		vm := &VM{
+			ID: id, Spec: spec, State: model.UnitRunning,
+			CreatedAt: m.now, StartedAt: m.now, Host: h.Spec.Name,
+		}
+		err := h.AddWorkload(&hw.Workload{
+			ID:         "machine-qemu-" + id,
+			CgroupPath: cgroupPath(id),
+			CPUs:       spec.VCPUs,
+			MemLimit:   spec.MemBytes,
+			CPUUtil:    spec.CPUUtil,
+			MemUtil:    spec.MemUtil,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.FlushFiles()
+		m.free[h.Spec.Name] -= spec.VCPUs
+		m.vms[id] = vm
+		return vm, nil
+	}
+	return nil, fmt.Errorf("openstacksim: no host with %d free vCPUs", spec.VCPUs)
+}
+
+// Delete terminates a VM.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vm, ok := m.vms[id]
+	if !ok {
+		return fmt.Errorf("openstacksim: no VM %s", id)
+	}
+	for _, h := range m.hosts {
+		if h.Spec.Name == vm.Host {
+			h.RemoveWorkload("machine-qemu-" + id)
+			m.free[h.Spec.Name] += vm.Spec.VCPUs
+		}
+	}
+	vm.State = model.UnitCompleted
+	vm.EndedAt = m.now
+	delete(m.vms, id)
+	m.gone = append(m.gone, vm)
+	return nil
+}
+
+// Advance steps the hypervisors forward.
+func (m *Manager) Advance(dt time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(dt)
+	for _, h := range m.hosts {
+		h.Advance(dt)
+	}
+}
+
+// Units converts VMs to the unified compute-unit schema.
+func (m *Manager) Units(cutoff time.Time) []model.Unit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []model.Unit
+	conv := func(vm *VM) model.Unit {
+		u := model.Unit{
+			UUID:        model.UnitUUID(m.Cluster, model.ManagerOpenstack, vm.ID),
+			ID:          vm.ID,
+			Cluster:     m.Cluster,
+			Manager:     model.ManagerOpenstack,
+			Name:        vm.Spec.Name,
+			User:        vm.Spec.User,
+			Project:     vm.Spec.Project,
+			State:       vm.State,
+			CreatedAt:   vm.CreatedAt.UnixMilli(),
+			StartedAt:   vm.StartedAt.UnixMilli(),
+			CPUs:        vm.Spec.VCPUs,
+			MemoryBytes: vm.Spec.MemBytes,
+			Nodes:       []string{vm.Host},
+		}
+		end := m.now
+		if !vm.EndedAt.IsZero() {
+			end = vm.EndedAt
+			u.EndedAt = vm.EndedAt.UnixMilli()
+		}
+		u.ElapsedSec = int64(end.Sub(vm.StartedAt).Seconds())
+		return u
+	}
+	for _, vm := range m.vms {
+		out = append(out, conv(vm))
+	}
+	for _, vm := range m.gone {
+		if !vm.EndedAt.Before(cutoff) {
+			out = append(out, conv(vm))
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package openstacksim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/exporter"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newHost(t *testing.T, name string) *hw.Node {
+	t.Helper()
+	spec := hw.DefaultIntelSpec(name)
+	spec.NoiseFrac = 0
+	n, err := hw.NewNode(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBootAndDelete(t *testing.T) {
+	host := newHost(t, "hv1")
+	m := NewManager("cloud", t0, host)
+	vm, err := m.Boot(VMSpec{
+		Name: "web", User: "alice", Project: "tenant1",
+		VCPUs: 8, MemBytes: 16 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.6 },
+	})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if vm.State != model.UnitRunning || vm.Host != "hv1" {
+		t.Errorf("vm = %+v", vm)
+	}
+	// Cgroup in the libvirt layout.
+	path := "/sys/fs/cgroup/machine.slice/machine-qemu-" + vm.ID + ".scope/cpu.stat"
+	if !host.FS.Exists(path) {
+		t.Errorf("missing cgroup %s", path)
+	}
+	m.Advance(time.Minute)
+	// The exporter's libvirt collector sees the VM.
+	c := &exporter.CgroupCollector{FS: host.FS, Layout: exporter.LibvirtLayout()}
+	fams, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "ceems_compute_unit_cpu_usage_seconds_total" {
+			for _, metric := range f.Metrics {
+				if metric.Labels.Get("uuid") == vm.ID && metric.Labels.Get("manager") == "openstack" {
+					found = true
+					if metric.Value < 250 || metric.Value > 350 {
+						t.Errorf("vm cpu usage = %v, want ~288", metric.Value)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("libvirt collector did not find the VM")
+	}
+
+	if err := m.Delete(vm.ID); err != nil {
+		t.Fatal(err)
+	}
+	if host.FS.Exists(path) {
+		t.Error("cgroup survived deletion")
+	}
+	if err := m.Delete(vm.ID); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	host := newHost(t, "hv1") // 64 cpus
+	m := NewManager("cloud", t0, host)
+	if _, err := m.Boot(VMSpec{Name: "big", User: "u", Project: "p", VCPUs: 64, MemBytes: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(VMSpec{Name: "extra", User: "u", Project: "p", VCPUs: 1, MemBytes: 1 << 30}); err == nil {
+		t.Error("over-capacity boot accepted")
+	}
+	if _, err := m.Boot(VMSpec{Name: "zero", User: "u", Project: "p"}); err == nil {
+		t.Error("zero-vcpu boot accepted")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	host := newHost(t, "hv1")
+	m := NewManager("cloud", t0, host)
+	vm, _ := m.Boot(VMSpec{Name: "web", User: "alice", Project: "t1", VCPUs: 4, MemBytes: 8 << 30})
+	m.Advance(30 * time.Second)
+	units := m.Units(t0)
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	u := units[0]
+	if u.Manager != model.ManagerOpenstack || u.Project != "t1" || u.ElapsedSec != 30 {
+		t.Errorf("unit = %+v", u)
+	}
+	m.Delete(vm.ID)
+	m.Advance(time.Hour)
+	units = m.Units(t0)
+	if len(units) != 1 || units[0].State != model.UnitCompleted {
+		t.Errorf("terminated unit = %+v", units)
+	}
+	// Cutoff excludes old terminations.
+	units = m.Units(m.now.Add(time.Hour))
+	if len(units) != 0 {
+		t.Errorf("cutoff failed: %+v", units)
+	}
+}

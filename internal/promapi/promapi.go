@@ -1,0 +1,189 @@
+// Package promapi serves the Prometheus HTTP query API
+// (/api/v1/query, /api/v1/query_range, /-/healthy) over any
+// promql.Queryable — the hot TSDB, the Thanos fan-in querier, or anything
+// else. Grafana's datasource and the CEEMS load balancer both speak this
+// protocol, so the LB can sit in front of this handler unchanged.
+package promapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/promql"
+)
+
+// Handler serves the query API.
+type Handler struct {
+	Engine *promql.Engine
+	Query  promql.Queryable
+	// Now supplies the default evaluation time; nil means time.Now.
+	Now func() time.Time
+}
+
+// Mux returns the route tree.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/query", h.handleQuery)
+	mux.HandleFunc("/api/v1/query_range", h.handleQueryRange)
+	mux.HandleFunc("/api/v1/read", h.handleRead)
+	mux.HandleFunc("/-/healthy", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+// apiResponse is the Prometheus envelope.
+type apiResponse struct {
+	Status string  `json:"status"`
+	Data   apiData `json:"data,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+type apiData struct {
+	ResultType string `json:"resultType"`
+	Result     any    `json:"result"`
+}
+
+// vectorSample mirrors Prometheus's instant-vector JSON shape.
+type vectorSample struct {
+	Metric map[string]string `json:"metric"`
+	Value  [2]any            `json:"value"` // [unix_seconds, "value"]
+}
+
+// matrixSeries mirrors the range-vector shape.
+type matrixSeries struct {
+	Metric map[string]string `json:"metric"`
+	Values [][2]any          `json:"values"`
+}
+
+func (h *Handler) engine() *promql.Engine {
+	if h.Engine != nil {
+		return h.Engine
+	}
+	return promql.NewEngine()
+}
+
+func (h *Handler) now() time.Time {
+	if h.Now != nil {
+		return h.Now()
+	}
+	return time.Now()
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("query")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "query parameter required")
+		return
+	}
+	ts := h.now()
+	if v := r.URL.Query().Get("time"); v != "" {
+		t, err := parseTime(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ts = t
+	}
+	val, err := h.engine().Instant(h.Query, q, ts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	switch tv := val.(type) {
+	case promql.Vector:
+		out := make([]vectorSample, len(tv))
+		for i, s := range tv {
+			out[i] = vectorSample{
+				Metric: s.Labels.Map(),
+				Value:  [2]any{float64(s.T) / 1000, formatVal(s.V)},
+			}
+		}
+		writeOK(w, "vector", out)
+	case promql.Scalar:
+		writeOK(w, "scalar", [2]any{float64(tv.T) / 1000, formatVal(tv.V)})
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, "unsupported result type")
+	}
+}
+
+func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	q := qs.Get("query")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "query parameter required")
+		return
+	}
+	start, err1 := parseTime(qs.Get("start"))
+	end, err2 := parseTime(qs.Get("end"))
+	step, err3 := parseStep(qs.Get("step"))
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	m, err := h.engine().Range(h.Query, q, start, end, step)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	out := make([]matrixSeries, len(m))
+	for i, sr := range m {
+		vals := make([][2]any, len(sr.Samples))
+		for j, smp := range sr.Samples {
+			vals[j] = [2]any{float64(smp.T) / 1000, formatVal(smp.V)}
+		}
+		out[i] = matrixSeries{Metric: sr.Labels.Map(), Values: vals}
+	}
+	writeOK(w, "matrix", out)
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, fmt.Errorf("promapi: missing time parameter")
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return model.MillisToTime(int64(f * 1000)), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("promapi: bad time %q", s)
+	}
+	return t, nil
+}
+
+func parseStep(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("promapi: missing step parameter")
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(f * float64(time.Second)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("promapi: bad step %q", s)
+	}
+	return d, nil
+}
+
+func formatVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeOK(w http.ResponseWriter, typ string, result any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(apiResponse{
+		Status: "success",
+		Data:   apiData{ResultType: typ, Result: result},
+	})
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiResponse{Status: "error", Error: msg})
+}

@@ -1,0 +1,150 @@
+package promapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/tsdb"
+)
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	db := tsdb.Open(tsdb.DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "up", "instance", "n1")
+	for i := int64(0); i <= 40; i++ {
+		if err := db.Append(ls, i*15000, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counter := labels.FromStrings(labels.MetricName, "reqs_total", "instance", "n1")
+	for i := int64(0); i <= 40; i++ {
+		db.Append(counter, i*15000, float64(i)*150)
+	}
+	return &Handler{Query: db, Now: func() time.Time { return time.UnixMilli(600_000) }}
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, apiResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp apiResponse
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	return rec, resp
+}
+
+func TestInstantQuery(t *testing.T) {
+	h := testHandler(t).Mux()
+	rec, resp := get(t, h, "/api/v1/query?query=up")
+	if rec.Code != 200 || resp.Status != "success" {
+		t.Fatalf("status = %d, %s", rec.Code, resp.Error)
+	}
+	if resp.Data.ResultType != "vector" {
+		t.Errorf("resultType = %s", resp.Data.ResultType)
+	}
+	result := resp.Data.Result.([]any)
+	if len(result) != 1 {
+		t.Fatalf("result = %v", result)
+	}
+	entry := result[0].(map[string]any)
+	metric := entry["metric"].(map[string]any)
+	if metric["instance"] != "n1" || metric["__name__"] != "up" {
+		t.Errorf("metric = %v", metric)
+	}
+	val := entry["value"].([]any)
+	if val[1] != "1" {
+		t.Errorf("value = %v", val)
+	}
+}
+
+func TestInstantQueryWithExplicitTime(t *testing.T) {
+	h := testHandler(t).Mux()
+	_, resp := get(t, h, "/api/v1/query?query=reqs_total&time=300")
+	result := resp.Data.Result.([]any)
+	val := result[0].(map[string]any)["value"].([]any)
+	if val[1] != "3000" { // i=20 → 3000
+		t.Errorf("value at t=300 = %v", val)
+	}
+}
+
+func TestScalarQuery(t *testing.T) {
+	h := testHandler(t).Mux()
+	_, resp := get(t, h, "/api/v1/query?query=1%2B2")
+	if resp.Data.ResultType != "scalar" {
+		t.Fatalf("resultType = %s", resp.Data.ResultType)
+	}
+	val := resp.Data.Result.([]any)
+	if val[1] != "3" {
+		t.Errorf("scalar = %v", val)
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	h := testHandler(t).Mux()
+	rec, resp := get(t, h, "/api/v1/query_range?query=up&start=0&end=600&step=60")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, resp.Error)
+	}
+	if resp.Data.ResultType != "matrix" {
+		t.Errorf("resultType = %s", resp.Data.ResultType)
+	}
+	series := resp.Data.Result.([]any)
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	values := series[0].(map[string]any)["values"].([]any)
+	if len(values) != 11 {
+		t.Errorf("steps = %d, want 11", len(values))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := testHandler(t).Mux()
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/api/v1/query", 400},
+		{"/api/v1/query?query=sum(", 422},
+		{"/api/v1/query?query=up&time=bogus", 400},
+		{"/api/v1/query_range?query=up", 400},
+		{"/api/v1/query_range?query=up&start=0&end=600&step=bogus", 400},
+		{"/api/v1/query_range?query=up&start=0&end=600", 400},
+	}
+	for _, c := range cases {
+		rec, resp := get(t, h, c.path)
+		if rec.Code != c.code {
+			t.Errorf("%s = %d, want %d (%s)", c.path, rec.Code, c.code, resp.Error)
+		}
+		if resp.Status != "error" {
+			t.Errorf("%s: status = %q", c.path, resp.Status)
+		}
+	}
+}
+
+func TestHealthy(t *testing.T) {
+	h := testHandler(t).Mux()
+	rec, _ := get(t, h, "/-/healthy")
+	if rec.Code != 200 {
+		t.Errorf("healthy = %d", rec.Code)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := parseTime("2026-01-01T00:00:00Z"); err != nil {
+		t.Errorf("RFC3339 time rejected: %v", err)
+	}
+	if _, err := parseTime(""); err == nil {
+		t.Error("empty time accepted")
+	}
+	if d, err := parseStep("1m"); err != nil || d != time.Minute {
+		t.Errorf("duration step = %v, %v", d, err)
+	}
+	if d, err := parseStep("30"); err != nil || d != 30*time.Second {
+		t.Errorf("numeric step = %v, %v", d, err)
+	}
+}

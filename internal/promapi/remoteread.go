@@ -1,0 +1,161 @@
+package promapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// Remote read: a JSON equivalent of Prometheus's remote-read protocol so a
+// standalone CEEMS API server can use a remote TSDB as its promql
+// Queryable. POST /api/v1/read with a readRequest returns full series.
+
+// readRequest is the wire format of a remote Select.
+type readRequest struct {
+	MinTime  int64         `json:"min_time"`
+	MaxTime  int64         `json:"max_time"`
+	Matchers []readMatcher `json:"matchers"`
+}
+
+type readMatcher struct {
+	Type  string `json:"type"` // "=", "!=", "=~", "!~"
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+type readResponse struct {
+	Series []readSeries `json:"series"`
+	Error  string       `json:"error,omitempty"`
+}
+
+type readSeries struct {
+	Labels  map[string]string `json:"labels"`
+	Samples [][2]float64      `json:"samples"` // [unix_ms, value]
+}
+
+// handleRead serves POST /api/v1/read.
+func (h *Handler) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req readRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeReadErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ms := make([]*labels.Matcher, 0, len(req.Matchers))
+	for _, rm := range req.Matchers {
+		var t labels.MatchType
+		switch rm.Type {
+		case "=":
+			t = labels.MatchEqual
+		case "!=":
+			t = labels.MatchNotEqual
+		case "=~":
+			t = labels.MatchRegexp
+		case "!~":
+			t = labels.MatchNotRegexp
+		default:
+			writeReadErr(w, http.StatusBadRequest, fmt.Sprintf("bad matcher type %q", rm.Type))
+			return
+		}
+		m, err := labels.NewMatcher(t, rm.Name, rm.Value)
+		if err != nil {
+			writeReadErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ms = append(ms, m)
+	}
+	series, err := h.Query.Select(req.MinTime, req.MaxTime, ms...)
+	if err != nil {
+		writeReadErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := readResponse{Series: make([]readSeries, len(series))}
+	for i, sr := range series {
+		out := readSeries{Labels: sr.Labels.Map(), Samples: make([][2]float64, len(sr.Samples))}
+		for j, s := range sr.Samples {
+			out.Samples[j] = [2]float64{float64(s.T), s.V}
+		}
+		resp.Series[i] = out
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func writeReadErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(readResponse{Error: msg})
+}
+
+// RemoteQueryable is a promql.Queryable backed by a remote /api/v1/read
+// endpoint; the standalone CEEMS API server uses it to aggregate against a
+// separately-deployed TSDB.
+type RemoteQueryable struct {
+	BaseURL string
+	Client  *http.Client
+	Timeout time.Duration
+}
+
+// Select implements promql.Queryable over HTTP.
+func (rq *RemoteQueryable) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	req := readRequest{MinTime: mint, MaxTime: maxt}
+	for _, m := range ms {
+		req.Matchers = append(req.Matchers, readMatcher{
+			Type: m.Type.String(), Name: m.Name, Value: m.Value,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	timeout := rq.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, rq.BaseURL+"/api/v1/read", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := rq.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("promapi: remote read: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var rr readResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return nil, fmt.Errorf("promapi: remote read decode: %w", err)
+	}
+	if rr.Error != "" {
+		return nil, fmt.Errorf("promapi: remote read: %s", rr.Error)
+	}
+	out := make([]model.Series, len(rr.Series))
+	for i, sr := range rr.Series {
+		s := model.Series{Labels: labels.FromMap(sr.Labels)}
+		for _, p := range sr.Samples {
+			s.Samples = append(s.Samples, model.Sample{T: int64(p[0]), V: p[1]})
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package promapi
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/promql"
+)
+
+func TestRemoteReadRoundTrip(t *testing.T) {
+	h := testHandler(t)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	rq := &RemoteQueryable{BaseURL: srv.URL}
+	series, err := rq.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "reqs_total"))
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if len(series[0].Samples) != 41 {
+		t.Errorf("samples = %d, want 41", len(series[0].Samples))
+	}
+	if series[0].Labels.Name() != "reqs_total" {
+		t.Errorf("labels = %v", series[0].Labels)
+	}
+	// Time bounds respected.
+	series, _ = rq.Select(0, 60_000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "reqs_total"))
+	if len(series[0].Samples) != 5 {
+		t.Errorf("bounded samples = %d, want 5", len(series[0].Samples))
+	}
+}
+
+// The remote queryable must work as a PromQL backend end-to-end.
+func TestRemoteQueryableWithEngine(t *testing.T) {
+	h := testHandler(t)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	rq := &RemoteQueryable{BaseURL: srv.URL}
+	eng := promql.NewEngine()
+	v, err := eng.Instant(rq, `rate(reqs_total[2m])`, time.UnixMilli(600_000))
+	if err != nil {
+		t.Fatalf("Instant over remote: %v", err)
+	}
+	vec := v.(promql.Vector)
+	if len(vec) != 1 || vec[0].V != 10 {
+		t.Errorf("remote rate = %+v, want 10", vec)
+	}
+}
+
+func TestRemoteReadErrors(t *testing.T) {
+	h := testHandler(t)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	// GET rejected.
+	resp, err := srv.Client().Get(srv.URL + "/api/v1/read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET read = %d", resp.StatusCode)
+	}
+	// Unreachable server errors cleanly.
+	dead := &RemoteQueryable{BaseURL: "http://127.0.0.1:1", Timeout: time.Second}
+	if _, err := dead.Select(0, 1, labels.MustMatcher(labels.MatchEqual, "a", "b")); err == nil {
+		t.Error("dead server Select succeeded")
+	}
+}

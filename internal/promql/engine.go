@@ -1,0 +1,651 @@
+package promql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// Value is a PromQL evaluation result: Scalar, Vector, Matrix or String.
+type Value interface {
+	Type() ValueType
+}
+
+// Scalar is a single float at an evaluation timestamp.
+type Scalar struct {
+	T int64
+	V float64
+}
+
+func (Scalar) Type() ValueType { return ValueScalar }
+
+// Sample is one labelled value of an instant vector.
+type Sample struct {
+	Labels labels.Labels
+	T      int64
+	V      float64
+}
+
+// Vector is the result of an instant-vector expression.
+type Vector []Sample
+
+func (Vector) Type() ValueType { return ValueVector }
+
+// Matrix is a set of series over time: the result of a range query or a
+// range selector.
+type Matrix []model.Series
+
+func (Matrix) Type() ValueType { return ValueMatrix }
+
+// String is a string literal value.
+type String struct {
+	V string
+}
+
+func (String) Type() ValueType { return ValueString }
+
+// Queryable abstracts the storage the engine reads from; *tsdb.DB and the
+// Thanos fan-in querier implement it.
+type Queryable interface {
+	Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error)
+}
+
+// Engine evaluates PromQL expressions against a Queryable.
+type Engine struct {
+	// LookbackDelta bounds how far an instant selector reaches back for the
+	// most recent sample; Prometheus defaults to 5 minutes.
+	LookbackDelta time.Duration
+	// MaxSamples guards against runaway queries; 0 means unlimited.
+	MaxSamples int
+}
+
+// NewEngine returns an Engine with Prometheus-like defaults.
+func NewEngine() *Engine {
+	return &Engine{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000}
+}
+
+// Instant evaluates the expression at a single timestamp.
+func (e *Engine) Instant(q Queryable, input string, ts time.Time) (Value, error) {
+	expr, err := ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.InstantExpr(q, expr, ts)
+}
+
+// InstantExpr is Instant for a pre-parsed expression.
+func (e *Engine) InstantExpr(q Queryable, expr Expr, ts time.Time) (Value, error) {
+	ev := &evaluator{engine: e, q: q, ts: model.TimeToMillis(ts)}
+	return ev.eval(expr)
+}
+
+// Range evaluates the expression at every step in [start, end] and returns
+// a Matrix keyed by result labels.
+func (e *Engine) Range(q Queryable, input string, start, end time.Time, step time.Duration) (Matrix, error) {
+	expr, err := ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.RangeExpr(q, expr, start, end, step)
+}
+
+// RangeExpr is Range for a pre-parsed expression.
+func (e *Engine) RangeExpr(q Queryable, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("promql: step must be positive")
+	}
+	if expr.Type() == ValueMatrix {
+		return nil, fmt.Errorf("promql: range queries require scalar or instant-vector expressions")
+	}
+	acc := map[uint64]*model.Series{}
+	var order []uint64
+	for ts := start; !ts.After(end); ts = ts.Add(step) {
+		v, err := e.InstantExpr(q, expr, ts)
+		if err != nil {
+			return nil, err
+		}
+		var vec Vector
+		switch tv := v.(type) {
+		case Vector:
+			vec = tv
+		case Scalar:
+			vec = Vector{{Labels: labels.Labels{}, T: tv.T, V: tv.V}}
+		default:
+			return nil, fmt.Errorf("promql: unexpected %s result in range query", v.Type())
+		}
+		for _, s := range vec {
+			h := s.Labels.Hash()
+			sr, ok := acc[h]
+			if !ok {
+				sr = &model.Series{Labels: s.Labels}
+				acc[h] = sr
+				order = append(order, h)
+			}
+			sr.Samples = append(sr.Samples, model.Sample{T: s.T, V: s.V})
+		}
+	}
+	out := make(Matrix, 0, len(order))
+	for _, h := range order {
+		out = append(out, *acc[h])
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+// evaluator evaluates one expression tree at one timestamp.
+type evaluator struct {
+	engine *Engine
+	q      Queryable
+	ts     int64 // evaluation time in ms
+}
+
+func (ev *evaluator) eval(expr Expr) (Value, error) {
+	switch e := expr.(type) {
+	case *NumberLiteral:
+		return Scalar{T: ev.ts, V: e.Val}, nil
+	case *StringLiteral:
+		return String{V: e.Val}, nil
+	case *ParenExpr:
+		return ev.eval(e.Expr)
+	case *UnaryExpr:
+		v, err := ev.eval(e.Expr)
+		if err != nil {
+			return nil, err
+		}
+		switch tv := v.(type) {
+		case Scalar:
+			return Scalar{T: tv.T, V: -tv.V}, nil
+		case Vector:
+			out := make(Vector, len(tv))
+			for i, s := range tv {
+				out[i] = Sample{Labels: dropName(s.Labels), T: s.T, V: -s.V}
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("promql: unary minus undefined on %s", v.Type())
+	case *VectorSelector:
+		return ev.vectorSelector(e)
+	case *MatrixSelector:
+		return ev.matrixSelector(e)
+	case *Call:
+		return e.Func.Call(ev, e.Args)
+	case *AggregateExpr:
+		return ev.aggregate(e)
+	case *BinaryExpr:
+		return ev.binary(e)
+	}
+	return nil, fmt.Errorf("promql: unhandled expression %T", expr)
+}
+
+// vectorSelector returns, per matching series, the most recent sample
+// within the lookback window ending at the (offset-adjusted) eval time.
+func (ev *evaluator) vectorSelector(vs *VectorSelector) (Vector, error) {
+	ts := ev.ts - model.DurationMillis(vs.Offset)
+	mint := ts - model.DurationMillis(ev.engine.LookbackDelta)
+	series, err := ev.q.Select(mint, ts, vs.Matchers...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Vector, 0, len(series))
+	for _, s := range series {
+		if len(s.Samples) == 0 {
+			continue
+		}
+		last := s.Samples[len(s.Samples)-1]
+		if model.IsStaleNaN(last.V) {
+			// The series disappeared from its source; staleness markers
+			// end its visibility immediately.
+			continue
+		}
+		out = append(out, Sample{Labels: s.Labels, T: ev.ts, V: last.V})
+	}
+	return out, nil
+}
+
+// matrixSelector returns all samples per series in the range window ending
+// at the (offset-adjusted) eval time.
+func (ev *evaluator) matrixSelector(ms *MatrixSelector) (Matrix, error) {
+	ts := ev.ts - model.DurationMillis(ms.VS.Offset)
+	mint := ts - model.DurationMillis(ms.Range)
+	series, err := ev.q.Select(mint+1, ts, ms.VS.Matchers...) // window is (ts-range, ts]
+	if err != nil {
+		return nil, err
+	}
+	// Drop staleness markers: range functions must not see them as values.
+	out := make(Matrix, 0, len(series))
+	for _, s := range series {
+		kept := s.Samples
+		hasStale := false
+		for _, smp := range kept {
+			if model.IsStaleNaN(smp.V) {
+				hasStale = true
+				break
+			}
+		}
+		if hasStale {
+			filtered := make([]model.Sample, 0, len(kept))
+			for _, smp := range kept {
+				if !model.IsStaleNaN(smp.V) {
+					filtered = append(filtered, smp)
+				}
+			}
+			kept = filtered
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		out = append(out, model.Series{Labels: s.Labels, Samples: kept})
+	}
+	return out, nil
+}
+
+// dropName removes the metric name, as PromQL does for derived values.
+func dropName(ls labels.Labels) labels.Labels {
+	if !ls.Has(labels.MetricName) {
+		return ls
+	}
+	return ls.WithoutNames()
+}
+
+// aggregate implements sum/avg/min/max/count/stddev/stdvar/topk/bottomk/
+// group/quantile with by/without grouping.
+func (ev *evaluator) aggregate(agg *AggregateExpr) (Value, error) {
+	val, err := ev.eval(agg.Expr)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := val.(Vector)
+	if !ok {
+		return nil, fmt.Errorf("promql: aggregation over %s not allowed", val.Type())
+	}
+	var param float64
+	if agg.Param != nil {
+		pv, err := ev.eval(agg.Param)
+		if err != nil {
+			return nil, err
+		}
+		ps, ok := pv.(Scalar)
+		if !ok {
+			return nil, fmt.Errorf("promql: aggregation parameter must be scalar")
+		}
+		param = ps.V
+	}
+
+	type group struct {
+		labels  labels.Labels
+		values  []float64
+		samples []Sample // retained for topk/bottomk
+	}
+	groups := map[uint64]*group{}
+	var order []uint64
+	for _, s := range vec {
+		var h uint64
+		if agg.Without {
+			h = s.Labels.HashWithout(agg.Grouping...)
+		} else {
+			h = s.Labels.HashFor(agg.Grouping...)
+		}
+		g, ok := groups[h]
+		if !ok {
+			var gl labels.Labels
+			if agg.Without {
+				gl = s.Labels.WithoutNames(agg.Grouping...)
+			} else {
+				gl = s.Labels.KeepNames(agg.Grouping...)
+			}
+			g = &group{labels: gl}
+			groups[h] = g
+			order = append(order, h)
+		}
+		g.values = append(g.values, s.V)
+		g.samples = append(g.samples, s)
+	}
+
+	out := make(Vector, 0, len(groups))
+	for _, h := range order {
+		g := groups[h]
+		switch agg.Op {
+		case TOPK, BOTTOMK:
+			k := int(param)
+			if k <= 0 {
+				continue
+			}
+			sorted := append([]Sample(nil), g.samples...)
+			sort.Slice(sorted, func(i, j int) bool {
+				if agg.Op == TOPK {
+					return sorted[i].V > sorted[j].V
+				}
+				return sorted[i].V < sorted[j].V
+			})
+			if k > len(sorted) {
+				k = len(sorted)
+			}
+			// topk keeps original series labels.
+			out = append(out, sorted[:k]...)
+			continue
+		}
+		v, err := aggValue(agg.Op, g.values, param)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sample{Labels: g.labels, T: ev.ts, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+func aggValue(op ItemType, vals []float64, param float64) (float64, error) {
+	switch op {
+	case SUM:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	case AVG:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals)), nil
+	case MIN:
+		m := math.Inf(1)
+		for _, v := range vals {
+			if v < m || math.IsNaN(m) {
+				m = v
+			}
+		}
+		return m, nil
+	case MAX:
+		m := math.Inf(-1)
+		for _, v := range vals {
+			if v > m || math.IsNaN(m) {
+				m = v
+			}
+		}
+		return m, nil
+	case COUNT:
+		return float64(len(vals)), nil
+	case GROUP:
+		return 1, nil
+	case STDDEV, STDVAR:
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		acc := 0.0
+		for _, v := range vals {
+			acc += (v - mean) * (v - mean)
+		}
+		acc /= float64(len(vals))
+		if op == STDDEV {
+			return math.Sqrt(acc), nil
+		}
+		return acc, nil
+	case QUANTILE:
+		return quantile(param, vals), nil
+	}
+	return 0, fmt.Errorf("promql: unsupported aggregation %s", itemName(op))
+}
+
+// quantile computes the φ-quantile with linear interpolation, matching
+// Prometheus semantics.
+func quantile(phi float64, vals []float64) float64 {
+	if len(vals) == 0 || math.IsNaN(phi) {
+		return math.NaN()
+	}
+	if phi < 0 {
+		return math.Inf(-1)
+	}
+	if phi > 1 {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	rank := phi * (n - 1)
+	lower := int(math.Floor(rank))
+	upper := int(math.Ceil(rank))
+	if lower == upper {
+		return sorted[lower]
+	}
+	w := rank - float64(lower)
+	return sorted[lower]*(1-w) + sorted[upper]*w
+}
+
+// binary evaluates a binary operator expression.
+func (ev *evaluator) binary(b *BinaryExpr) (Value, error) {
+	lv, err := ev.eval(b.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := ev.eval(b.RHS)
+	if err != nil {
+		return nil, err
+	}
+	switch l := lv.(type) {
+	case Scalar:
+		switch r := rv.(type) {
+		case Scalar:
+			v, keep := binOp(b.Op, l.V, r.V, b.ReturnBool)
+			if !keep {
+				v = 0 // scalar comparisons always use bool (checked at parse)
+			}
+			return Scalar{T: ev.ts, V: v}, nil
+		case Vector:
+			return ev.scalarVector(b, l.V, r, true)
+		}
+	case Vector:
+		switch r := rv.(type) {
+		case Scalar:
+			return ev.scalarVector(b, r.V, l, false)
+		case Vector:
+			if isSetOp(b.Op) {
+				return ev.setOp(b, l, r)
+			}
+			return ev.vectorVector(b, l, r)
+		}
+	}
+	return nil, fmt.Errorf("promql: binary op %s undefined between %s and %s",
+		itemName(b.Op), lv.Type(), rv.Type())
+}
+
+// scalarVector applies op between a scalar and each vector element.
+// scalarLeft indicates the scalar was the left operand.
+func (ev *evaluator) scalarVector(b *BinaryExpr, sc float64, vec Vector, scalarLeft bool) (Vector, error) {
+	out := make(Vector, 0, len(vec))
+	for _, s := range vec {
+		l, r := sc, s.V
+		if !scalarLeft {
+			l, r = s.V, sc
+		}
+		v, keep := binOp(b.Op, l, r, b.ReturnBool)
+		if isComparison(b.Op) && !b.ReturnBool {
+			if !keep {
+				continue
+			}
+			v = s.V // filter semantics: keep original value
+		}
+		out = append(out, Sample{Labels: dropName(s.Labels), T: ev.ts, V: v})
+	}
+	return out, nil
+}
+
+// matchKey hashes the matching labels of a sample per the VectorMatching.
+func matchKey(vm *VectorMatching, ls labels.Labels) uint64 {
+	if vm == nil {
+		return ls.HashWithout() // all labels except __name__
+	}
+	if vm.On {
+		return ls.HashFor(vm.Labels...)
+	}
+	return ls.HashWithout(vm.Labels...)
+}
+
+func (ev *evaluator) vectorVector(b *BinaryExpr, lhs, rhs Vector) (Vector, error) {
+	vm := b.Matching
+	// Identify the "one" side for many-to-one / one-to-many.
+	oneSide, manySide := rhs, lhs
+	swapped := false
+	if vm != nil && vm.Card == CardOneToMany {
+		oneSide, manySide = lhs, rhs
+		swapped = true
+	}
+	oneByKey := make(map[uint64]Sample, len(oneSide))
+	for _, s := range oneSide {
+		k := matchKey(vm, s.Labels)
+		if prev, dup := oneByKey[k]; dup {
+			return nil, fmt.Errorf("promql: many-to-many matching: duplicate series %s and %s on 'one' side",
+				prev.Labels, s.Labels)
+		}
+		oneByKey[k] = s
+	}
+	card := CardOneToOne
+	if vm != nil {
+		card = vm.Card
+	}
+	seen := map[uint64]bool{}
+	out := make(Vector, 0, len(manySide))
+	for _, ms := range manySide {
+		k := matchKey(vm, ms.Labels)
+		os, ok := oneByKey[k]
+		if !ok {
+			continue
+		}
+		if card == CardOneToOne {
+			if seen[k] {
+				return nil, fmt.Errorf("promql: one-to-one matching: multiple matches for %s; use group_left/group_right", ms.Labels)
+			}
+			seen[k] = true
+		}
+		l, r := ms.V, os.V
+		if swapped != (vm != nil && vm.Card == CardOneToMany) {
+			// unreachable; kept for clarity
+		}
+		if !swapped {
+			// manySide is LHS
+		} else {
+			l, r = os.V, ms.V
+		}
+		v, keep := binOp(b.Op, l, r, b.ReturnBool)
+		if isComparison(b.Op) && !b.ReturnBool {
+			if !keep {
+				continue
+			}
+			v = l
+		}
+		// Result labels: matching labels of the many side (minus name),
+		// plus any group_left/right include labels from the one side.
+		rl := resultLabels(vm, ms.Labels, os.Labels)
+		out = append(out, Sample{Labels: rl, T: ev.ts, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+func resultLabels(vm *VectorMatching, many, one labels.Labels) labels.Labels {
+	if vm == nil {
+		return many.WithoutNames()
+	}
+	var base labels.Labels
+	if vm.Card == CardOneToOne {
+		if vm.On {
+			base = many.KeepNames(vm.Labels...)
+		} else {
+			base = many.WithoutNames(vm.Labels...)
+		}
+		return base
+	}
+	// group_left/right: keep all labels of the many side (minus name).
+	b := labels.NewBuilder(many.WithoutNames())
+	for _, inc := range vm.Include {
+		if v := one.Get(inc); v != "" {
+			b.Set(inc, v)
+		} else {
+			b.Del(inc)
+		}
+	}
+	return b.Labels()
+}
+
+// setOp implements and/or/unless.
+func (ev *evaluator) setOp(b *BinaryExpr, lhs, rhs Vector) (Vector, error) {
+	vm := b.Matching
+	rkeys := make(map[uint64]bool, len(rhs))
+	for _, s := range rhs {
+		rkeys[matchKey(vm, s.Labels)] = true
+	}
+	var out Vector
+	switch b.Op {
+	case AND:
+		for _, s := range lhs {
+			if rkeys[matchKey(vm, s.Labels)] {
+				out = append(out, s)
+			}
+		}
+	case UNLESS:
+		for _, s := range lhs {
+			if !rkeys[matchKey(vm, s.Labels)] {
+				out = append(out, s)
+			}
+		}
+	case OR:
+		lkeys := make(map[uint64]bool, len(lhs))
+		for _, s := range lhs {
+			lkeys[matchKey(vm, s.Labels)] = true
+			out = append(out, s)
+		}
+		for _, s := range rhs {
+			if !lkeys[matchKey(vm, s.Labels)] {
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// binOp applies the operator; for comparisons it returns (lhs, matched)
+// unless returnBool, in which case it returns (0|1, true).
+func binOp(op ItemType, l, r float64, returnBool bool) (float64, bool) {
+	switch op {
+	case ADD:
+		return l + r, true
+	case SUB:
+		return l - r, true
+	case MUL:
+		return l * r, true
+	case DIV:
+		return l / r, true
+	case MOD:
+		return math.Mod(l, r), true
+	case POW:
+		return math.Pow(l, r), true
+	}
+	var match bool
+	switch op {
+	case EQL:
+		match = l == r
+	case NEQ:
+		match = l != r
+	case LTE:
+		match = l <= r
+	case LSS:
+		match = l < r
+	case GTE:
+		match = l >= r
+	case GTR:
+		match = l > r
+	}
+	if returnBool {
+		if match {
+			return 1, true
+		}
+		return 0, true
+	}
+	return l, match
+}

@@ -1,0 +1,556 @@
+package promql
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// Function describes a callable PromQL function.
+type Function struct {
+	Name       string
+	ArgTypes   []ValueType // fixed prefix; Variadic extends the last type
+	MinArgs    int
+	MaxArgs    int
+	ReturnType ValueType
+	Call       func(ev *evaluator, args []Expr) (Value, error)
+}
+
+// ArgType returns the expected type of argument i.
+func (f *Function) ArgType(i int) ValueType {
+	if i < len(f.ArgTypes) {
+		return f.ArgTypes[i]
+	}
+	return f.ArgTypes[len(f.ArgTypes)-1]
+}
+
+// Functions is the registry of supported functions.
+var Functions = map[string]*Function{}
+
+func register(f *Function) { Functions[f.Name] = f }
+
+func init() {
+	// Range-vector functions.
+	for _, def := range []struct {
+		name string
+		fn   func(samples []model.Sample, rangeMs int64) (float64, bool)
+	}{
+		{"rate", funcRate},
+		{"irate", funcIrate},
+		{"increase", funcIncrease},
+		{"delta", funcDelta},
+		{"idelta", funcIdelta},
+		{"deriv", funcDeriv},
+		{"changes", funcChanges},
+		{"resets", funcResets},
+		{"avg_over_time", overTime(func(vs []float64) float64 {
+			s := 0.0
+			for _, v := range vs {
+				s += v
+			}
+			return s / float64(len(vs))
+		})},
+		{"sum_over_time", overTime(func(vs []float64) float64 {
+			s := 0.0
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		})},
+		{"min_over_time", overTime(func(vs []float64) float64 {
+			m := math.Inf(1)
+			for _, v := range vs {
+				if v < m {
+					m = v
+				}
+			}
+			return m
+		})},
+		{"max_over_time", overTime(func(vs []float64) float64 {
+			m := math.Inf(-1)
+			for _, v := range vs {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		})},
+		{"count_over_time", overTime(func(vs []float64) float64 { return float64(len(vs)) })},
+		{"last_over_time", overTime(func(vs []float64) float64 { return vs[len(vs)-1] })},
+		{"stddev_over_time", overTime(func(vs []float64) float64 {
+			mean := 0.0
+			for _, v := range vs {
+				mean += v
+			}
+			mean /= float64(len(vs))
+			acc := 0.0
+			for _, v := range vs {
+				acc += (v - mean) * (v - mean)
+			}
+			return math.Sqrt(acc / float64(len(vs)))
+		})},
+	} {
+		fn := def.fn
+		register(&Function{
+			Name: def.name, ArgTypes: []ValueType{ValueMatrix},
+			MinArgs: 1, MaxArgs: 1, ReturnType: ValueVector,
+			Call: rangeFunc(fn),
+		})
+	}
+
+	register(&Function{
+		Name: "quantile_over_time", ArgTypes: []ValueType{ValueScalar, ValueMatrix},
+		MinArgs: 2, MaxArgs: 2, ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			pv, err := ev.eval(args[0])
+			if err != nil {
+				return nil, err
+			}
+			phi := pv.(Scalar).V
+			return applyRange(ev, args[1], func(samples []model.Sample, _ int64) (float64, bool) {
+				vs := make([]float64, len(samples))
+				for i, s := range samples {
+					vs[i] = s.V
+				}
+				return quantile(phi, vs), true
+			})
+		},
+	})
+
+	// Instant-vector math functions.
+	for _, def := range []struct {
+		name string
+		fn   func(float64) float64
+	}{
+		{"abs", math.Abs}, {"ceil", math.Ceil}, {"floor", math.Floor},
+		{"exp", math.Exp}, {"ln", math.Log}, {"log2", math.Log2},
+		{"log10", math.Log10}, {"sqrt", math.Sqrt},
+	} {
+		fn := def.fn
+		register(&Function{
+			Name: def.name, ArgTypes: []ValueType{ValueVector},
+			MinArgs: 1, MaxArgs: 1, ReturnType: ValueVector,
+			Call: vectorMap(fn),
+		})
+	}
+
+	register(&Function{
+		Name: "round", ArgTypes: []ValueType{ValueVector, ValueScalar},
+		MinArgs: 1, MaxArgs: 2, ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			nearest := 1.0
+			if len(args) == 2 {
+				sv, err := ev.eval(args[1])
+				if err != nil {
+					return nil, err
+				}
+				nearest = sv.(Scalar).V
+			}
+			return mapVector(ev, args[0], func(v float64) float64 {
+				return math.Round(v/nearest) * nearest
+			})
+		},
+	})
+	register(&Function{
+		Name: "clamp", ArgTypes: []ValueType{ValueVector, ValueScalar, ValueScalar},
+		MinArgs: 3, MaxArgs: 3, ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			lo, err := evalScalar(ev, args[1])
+			if err != nil {
+				return nil, err
+			}
+			hi, err := evalScalar(ev, args[2])
+			if err != nil {
+				return nil, err
+			}
+			return mapVector(ev, args[0], func(v float64) float64 {
+				return math.Max(lo, math.Min(hi, v))
+			})
+		},
+	})
+	register(&Function{
+		Name: "clamp_min", ArgTypes: []ValueType{ValueVector, ValueScalar},
+		MinArgs: 2, MaxArgs: 2, ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			lo, err := evalScalar(ev, args[1])
+			if err != nil {
+				return nil, err
+			}
+			return mapVector(ev, args[0], func(v float64) float64 { return math.Max(lo, v) })
+		},
+	})
+	register(&Function{
+		Name: "clamp_max", ArgTypes: []ValueType{ValueVector, ValueScalar},
+		MinArgs: 2, MaxArgs: 2, ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			hi, err := evalScalar(ev, args[1])
+			if err != nil {
+				return nil, err
+			}
+			return mapVector(ev, args[0], func(v float64) float64 { return math.Min(hi, v) })
+		},
+	})
+
+	register(&Function{
+		Name: "time", ArgTypes: []ValueType{}, MinArgs: 0, MaxArgs: 0,
+		ReturnType: ValueScalar,
+		Call: func(ev *evaluator, _ []Expr) (Value, error) {
+			return Scalar{T: ev.ts, V: float64(ev.ts) / 1000}, nil
+		},
+	})
+	register(&Function{
+		Name: "timestamp", ArgTypes: []ValueType{ValueVector}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			v, err := ev.eval(args[0])
+			if err != nil {
+				return nil, err
+			}
+			vec := v.(Vector)
+			out := make(Vector, len(vec))
+			for i, s := range vec {
+				out[i] = Sample{Labels: dropName(s.Labels), T: s.T, V: float64(s.T) / 1000}
+			}
+			return out, nil
+		},
+	})
+	register(&Function{
+		Name: "scalar", ArgTypes: []ValueType{ValueVector}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueScalar,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			v, err := ev.eval(args[0])
+			if err != nil {
+				return nil, err
+			}
+			vec := v.(Vector)
+			if len(vec) != 1 {
+				return Scalar{T: ev.ts, V: math.NaN()}, nil
+			}
+			return Scalar{T: ev.ts, V: vec[0].V}, nil
+		},
+	})
+	register(&Function{
+		Name: "vector", ArgTypes: []ValueType{ValueScalar}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			s, err := evalScalar(ev, args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Vector{{Labels: labels.Labels{}, T: ev.ts, V: s}}, nil
+		},
+	})
+	register(&Function{
+		Name: "absent", ArgTypes: []ValueType{ValueVector}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueVector,
+		Call: func(ev *evaluator, args []Expr) (Value, error) {
+			v, err := ev.eval(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if len(v.(Vector)) > 0 {
+				return Vector{}, nil
+			}
+			return Vector{{Labels: labels.Labels{}, T: ev.ts, V: 1}}, nil
+		},
+	})
+	register(&Function{
+		Name: "sort", ArgTypes: []ValueType{ValueVector}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueVector,
+		Call:       sortFunc(false),
+	})
+	register(&Function{
+		Name: "sort_desc", ArgTypes: []ValueType{ValueVector}, MinArgs: 1, MaxArgs: 1,
+		ReturnType: ValueVector,
+		Call:       sortFunc(true),
+	})
+	register(&Function{
+		Name:     "label_replace",
+		ArgTypes: []ValueType{ValueVector, ValueString, ValueString, ValueString, ValueString},
+		MinArgs:  5, MaxArgs: 5, ReturnType: ValueVector,
+		Call: funcLabelReplace,
+	})
+	register(&Function{
+		Name:     "label_join",
+		ArgTypes: []ValueType{ValueVector, ValueString, ValueString, ValueString},
+		MinArgs:  3, MaxArgs: 16, ReturnType: ValueVector,
+		Call: funcLabelJoin,
+	})
+}
+
+func evalScalar(ev *evaluator, e Expr) (float64, error) {
+	v, err := ev.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	s, ok := v.(Scalar)
+	if !ok {
+		return 0, fmt.Errorf("promql: expected scalar, got %s", v.Type())
+	}
+	return s.V, nil
+}
+
+// rangeFunc adapts a per-series range computation into a Call.
+func rangeFunc(fn func([]model.Sample, int64) (float64, bool)) func(*evaluator, []Expr) (Value, error) {
+	return func(ev *evaluator, args []Expr) (Value, error) {
+		return applyRange(ev, args[0], fn)
+	}
+}
+
+func applyRange(ev *evaluator, arg Expr, fn func([]model.Sample, int64) (float64, bool)) (Value, error) {
+	ms, ok := arg.(*MatrixSelector)
+	if !ok {
+		if p, isParen := arg.(*ParenExpr); isParen {
+			return applyRange(ev, p.Expr, fn)
+		}
+		return nil, fmt.Errorf("promql: range function requires a range selector argument")
+	}
+	mv, err := ev.matrixSelector(ms)
+	if err != nil {
+		return nil, err
+	}
+	rangeMs := model.DurationMillis(ms.Range)
+	out := make(Vector, 0, len(mv))
+	for _, s := range mv {
+		v, ok := fn(s.Samples, rangeMs)
+		if !ok {
+			continue
+		}
+		out = append(out, Sample{Labels: dropName(s.Labels), T: ev.ts, V: v})
+	}
+	return out, nil
+}
+
+// overTime wraps a simple value aggregation as a range function.
+func overTime(agg func([]float64) float64) func([]model.Sample, int64) (float64, bool) {
+	return func(samples []model.Sample, _ int64) (float64, bool) {
+		if len(samples) == 0 {
+			return 0, false
+		}
+		vs := make([]float64, len(samples))
+		for i, s := range samples {
+			vs[i] = s.V
+		}
+		return agg(vs), true
+	}
+}
+
+// counterDelta returns the reset-adjusted increase over the samples.
+func counterDelta(samples []model.Sample) float64 {
+	d := samples[len(samples)-1].V - samples[0].V
+	prev := samples[0].V
+	for _, s := range samples[1:] {
+		if s.V < prev {
+			d += prev // counter reset: add the value lost at the reset
+		}
+		prev = s.V
+	}
+	return d
+}
+
+// funcRate computes the per-second reset-adjusted rate over the sample
+// window. Unlike Prometheus it does not extrapolate to the window
+// boundaries; the denominator is the observed sample span. This keeps
+// rate × span == increase exactly, which the energy-conservation tests
+// rely on.
+func funcRate(samples []model.Sample, rangeMs int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	span := float64(samples[len(samples)-1].T-samples[0].T) / 1000
+	if span <= 0 {
+		return 0, false
+	}
+	return counterDelta(samples) / span, true
+}
+
+func funcIncrease(samples []model.Sample, rangeMs int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	return counterDelta(samples), true
+}
+
+func funcIrate(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	a, b := samples[len(samples)-2], samples[len(samples)-1]
+	span := float64(b.T-a.T) / 1000
+	if span <= 0 {
+		return 0, false
+	}
+	d := b.V - a.V
+	if d < 0 { // reset between the two points
+		d = b.V
+	}
+	return d / span, true
+}
+
+func funcDelta(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	return samples[len(samples)-1].V - samples[0].V, true
+}
+
+func funcIdelta(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	return samples[len(samples)-1].V - samples[len(samples)-2].V, true
+}
+
+// funcDeriv computes the least-squares slope per second.
+func funcDeriv(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	// Center timestamps to reduce float error.
+	t0 := samples[0].T
+	var n, sumX, sumY, sumXY, sumX2 float64
+	for _, s := range samples {
+		x := float64(s.T-t0) / 1000
+		n++
+		sumX += x
+		sumY += s.V
+		sumXY += x * s.V
+		sumX2 += x * x
+	}
+	det := n*sumX2 - sumX*sumX
+	if det == 0 {
+		return 0, false
+	}
+	return (n*sumXY - sumX*sumY) / det, true
+}
+
+func funcChanges(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	changes := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].V != samples[i-1].V &&
+			!(math.IsNaN(samples[i].V) && math.IsNaN(samples[i-1].V)) {
+			changes++
+		}
+	}
+	return float64(changes), true
+}
+
+func funcResets(samples []model.Sample, _ int64) (float64, bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	resets := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].V < samples[i-1].V {
+			resets++
+		}
+	}
+	return float64(resets), true
+}
+
+func vectorMap(fn func(float64) float64) func(*evaluator, []Expr) (Value, error) {
+	return func(ev *evaluator, args []Expr) (Value, error) {
+		return mapVector(ev, args[0], fn)
+	}
+}
+
+func mapVector(ev *evaluator, arg Expr, fn func(float64) float64) (Value, error) {
+	v, err := ev.eval(arg)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := v.(Vector)
+	if !ok {
+		return nil, fmt.Errorf("promql: expected instant vector, got %s", v.Type())
+	}
+	out := make(Vector, len(vec))
+	for i, s := range vec {
+		out[i] = Sample{Labels: dropName(s.Labels), T: s.T, V: fn(s.V)}
+	}
+	return out, nil
+}
+
+func sortFunc(desc bool) func(*evaluator, []Expr) (Value, error) {
+	return func(ev *evaluator, args []Expr) (Value, error) {
+		v, err := ev.eval(args[0])
+		if err != nil {
+			return nil, err
+		}
+		vec := append(Vector(nil), v.(Vector)...)
+		sort.SliceStable(vec, func(i, j int) bool {
+			if desc {
+				return vec[i].V > vec[j].V
+			}
+			return vec[i].V < vec[j].V
+		})
+		return vec, nil
+	}
+}
+
+func funcLabelReplace(ev *evaluator, args []Expr) (Value, error) {
+	v, err := ev.eval(args[0])
+	if err != nil {
+		return nil, err
+	}
+	dst := args[1].(*StringLiteral).Val
+	repl := args[2].(*StringLiteral).Val
+	src := args[3].(*StringLiteral).Val
+	pattern := args[4].(*StringLiteral).Val
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("promql: label_replace: bad regexp %q: %w", pattern, err)
+	}
+	vec := v.(Vector)
+	out := make(Vector, len(vec))
+	for i, s := range vec {
+		srcVal := s.Labels.Get(src)
+		idx := re.FindStringSubmatchIndex(srcVal)
+		ls := s.Labels
+		if idx != nil {
+			res := re.ExpandString(nil, repl, srcVal, idx)
+			ls = labels.NewBuilder(s.Labels).Set(dst, string(res)).Labels()
+		}
+		out[i] = Sample{Labels: ls, T: s.T, V: s.V}
+	}
+	return out, nil
+}
+
+func funcLabelJoin(ev *evaluator, args []Expr) (Value, error) {
+	v, err := ev.eval(args[0])
+	if err != nil {
+		return nil, err
+	}
+	dst := args[1].(*StringLiteral).Val
+	sep := args[2].(*StringLiteral).Val
+	var srcs []string
+	for _, a := range args[3:] {
+		srcs = append(srcs, a.(*StringLiteral).Val)
+	}
+	vec := v.(Vector)
+	out := make(Vector, len(vec))
+	for i, s := range vec {
+		parts := make([]string, len(srcs))
+		for j, src := range srcs {
+			parts[j] = s.Labels.Get(src)
+		}
+		joined := ""
+		for j, p := range parts {
+			if j > 0 {
+				joined += sep
+			}
+			joined += p
+		}
+		out[i] = Sample{
+			Labels: labels.NewBuilder(s.Labels).Set(dst, joined).Labels(),
+			T:      s.T, V: s.V,
+		}
+	}
+	return out, nil
+}

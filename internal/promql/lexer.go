@@ -1,0 +1,435 @@
+package promql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// ItemType identifies lexical token kinds.
+type ItemType int
+
+const (
+	ERROR ItemType = iota
+	EOF
+	IDENT
+	NUMBER
+	STRING
+	DURATION
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA
+	COLON
+
+	ASSIGN   // =
+	EQL      // ==
+	NEQ      // !=
+	LTE      // <=
+	LSS      // <
+	GTE      // >=
+	GTR      // >
+	EQLRegex // =~
+	NEQRegex // !~
+	ADD      // +
+	SUB      // -
+	MUL      // *
+	DIV      // /
+	MOD      // %
+	POW      // ^
+
+	// Keywords
+	AND
+	OR
+	UNLESS
+	BY
+	WITHOUT
+	ON
+	IGNORING
+	GroupLeft
+	GroupRight
+	OFFSET
+	BOOL
+
+	// Aggregators
+	SUM
+	AVG
+	MIN
+	MAX
+	COUNT
+	STDDEV
+	STDVAR
+	TOPK
+	BOTTOMK
+	GROUP
+	QUANTILE
+)
+
+var keywords = map[string]ItemType{
+	"and": AND, "or": OR, "unless": UNLESS,
+	"by": BY, "without": WITHOUT, "on": ON, "ignoring": IGNORING,
+	"group_left": GroupLeft, "group_right": GroupRight,
+	"offset": OFFSET, "bool": BOOL,
+	"sum": SUM, "avg": AVG, "min": MIN, "max": MAX, "count": COUNT,
+	"stddev": STDDEV, "stdvar": STDVAR, "topk": TOPK, "bottomk": BOTTOMK,
+	"group": GROUP, "quantile": QUANTILE,
+}
+
+var itemNames = map[ItemType]string{
+	ERROR: "error", EOF: "eof", IDENT: "identifier", NUMBER: "number",
+	STRING: "string", DURATION: "duration",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", COLON: ":",
+	ASSIGN: "=", EQL: "==", NEQ: "!=", LTE: "<=", LSS: "<", GTE: ">=",
+	GTR: ">", EQLRegex: "=~", NEQRegex: "!~",
+	ADD: "+", SUB: "-", MUL: "*", DIV: "/", MOD: "%", POW: "^",
+	AND: "and", OR: "or", UNLESS: "unless", BY: "by", WITHOUT: "without",
+	ON: "on", IGNORING: "ignoring", GroupLeft: "group_left",
+	GroupRight: "group_right", OFFSET: "offset", BOOL: "bool",
+	SUM: "sum", AVG: "avg", MIN: "min", MAX: "max", COUNT: "count",
+	STDDEV: "stddev", STDVAR: "stdvar", TOPK: "topk", BOTTOMK: "bottomk",
+	GROUP: "group", QUANTILE: "quantile",
+}
+
+func itemName(t ItemType) string {
+	if n, ok := itemNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("item(%d)", int(t))
+}
+
+// isAggregator reports whether the token is an aggregation operator.
+func isAggregator(t ItemType) bool {
+	switch t {
+	case SUM, AVG, MIN, MAX, COUNT, STDDEV, STDVAR, TOPK, BOTTOMK, GROUP, QUANTILE:
+		return true
+	}
+	return false
+}
+
+// item is one lexical token.
+type item struct {
+	typ ItemType
+	val string
+	pos int
+}
+
+func (i item) String() string { return fmt.Sprintf("%s(%q)", itemName(i.typ), i.val) }
+
+// lexer tokenizes a PromQL expression string.
+type lexer struct {
+	input string
+	pos   int
+	items []item
+	err   error
+}
+
+// lex tokenizes the whole input eagerly.
+func lex(input string) ([]item, error) {
+	l := &lexer{input: input}
+	for l.err == nil {
+		it := l.next()
+		l.items = append(l.items, it)
+		if it.typ == EOF || it.typ == ERROR {
+			break
+		}
+	}
+	if l.err != nil {
+		return nil, l.err
+	}
+	last := l.items[len(l.items)-1]
+	if last.typ == ERROR {
+		return nil, fmt.Errorf("promql: lex error at %d: %s", last.pos, last.val)
+	}
+	return l.items, nil
+}
+
+func (l *lexer) next() item {
+	// Skip whitespace and comments.
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.input) {
+		return item{typ: EOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return item{LPAREN, "(", start}
+	case c == ')':
+		l.pos++
+		return item{RPAREN, ")", start}
+	case c == '{':
+		l.pos++
+		return item{LBRACE, "{", start}
+	case c == '}':
+		l.pos++
+		return item{RBRACE, "}", start}
+	case c == '[':
+		l.pos++
+		return item{LBRACKET, "[", start}
+	case c == ']':
+		l.pos++
+		return item{RBRACKET, "]", start}
+	case c == ',':
+		l.pos++
+		return item{COMMA, ",", start}
+	case c == ':':
+		l.pos++
+		return item{COLON, ":", start}
+	case c == '+':
+		l.pos++
+		return item{ADD, "+", start}
+	case c == '-':
+		l.pos++
+		return item{SUB, "-", start}
+	case c == '*':
+		l.pos++
+		return item{MUL, "*", start}
+	case c == '/':
+		l.pos++
+		return item{DIV, "/", start}
+	case c == '%':
+		l.pos++
+		return item{MOD, "%", start}
+	case c == '^':
+		l.pos++
+		return item{POW, "^", start}
+	case c == '=':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return item{EQL, "==", start}
+		}
+		if l.peek() == '~' {
+			l.pos++
+			return item{EQLRegex, "=~", start}
+		}
+		return item{ASSIGN, "=", start}
+	case c == '!':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return item{NEQ, "!=", start}
+		}
+		if l.peek() == '~' {
+			l.pos++
+			return item{NEQRegex, "!~", start}
+		}
+		return item{ERROR, "unexpected '!'", start}
+	case c == '<':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return item{LTE, "<=", start}
+		}
+		return item{LSS, "<", start}
+	case c == '>':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return item{GTE, ">=", start}
+		}
+		return item{GTR, ">", start}
+	case c == '"' || c == '\'':
+		return l.lexString(c)
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9':
+		return l.lexNumberOrDuration()
+	case isAlpha(rune(c)):
+		return l.lexIdent()
+	}
+	return item{ERROR, fmt.Sprintf("unexpected character %q", c), start}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos < len(l.input) {
+		return l.input[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) lexString(quote byte) item {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\\' && l.pos+1 < len(l.input) {
+			l.pos++
+			switch l.input[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case quote:
+				b.WriteByte(quote)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(l.input[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == quote {
+			l.pos++
+			return item{STRING, b.String(), start}
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return item{ERROR, "unterminated string", start}
+}
+
+func (l *lexer) lexNumberOrDuration() item {
+	start := l.pos
+	// Hex?
+	if l.input[l.pos] == '0' && l.pos+1 < len(l.input) && (l.input[l.pos+1] == 'x' || l.input[l.pos+1] == 'X') {
+		l.pos += 2
+		for l.pos < len(l.input) && isHex(l.input[l.pos]) {
+			l.pos++
+		}
+		return item{NUMBER, l.input[start:l.pos], start}
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			// Exponent only if followed by digit or sign+digit.
+			if l.pos+1 < len(l.input) && (isDigit(l.input[l.pos+1]) ||
+				(l.input[l.pos+1] == '+' || l.input[l.pos+1] == '-') && l.pos+2 < len(l.input) && isDigit(l.input[l.pos+2])) {
+				seenExp = true
+				l.pos++
+				if l.input[l.pos] == '+' || l.input[l.pos] == '-' {
+					l.pos++
+				}
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	// Duration suffix? (e.g. 5m, 1h30m, 90s, 2d, 1w, 1y, 100ms)
+	if !seenDot && !seenExp && l.pos < len(l.input) && isDurUnit(l.input[l.pos]) {
+		for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || isDurUnit(l.input[l.pos])) {
+			l.pos++
+		}
+		return item{DURATION, l.input[start:l.pos], start}
+	}
+	return item{NUMBER, l.input[start:l.pos], start}
+}
+
+func (l *lexer) lexIdent() item {
+	start := l.pos
+	for l.pos < len(l.input) {
+		c := rune(l.input[l.pos])
+		if isAlpha(c) || unicode.IsDigit(c) || c == ':' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	word := l.input[start:l.pos]
+	if t, ok := keywords[strings.ToLower(word)]; ok {
+		return item{t, word, start}
+	}
+	// Special float words.
+	switch strings.ToLower(word) {
+	case "nan", "inf":
+		return item{NUMBER, word, start}
+	}
+	return item{IDENT, word, start}
+}
+
+func isAlpha(c rune) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isDurUnit(c byte) bool {
+	switch c {
+	case 's', 'm', 'h', 'd', 'w', 'y':
+		return true
+	}
+	return false
+}
+
+// parseDuration parses PromQL duration literals like "1h30m", "15s", "100ms".
+func parseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("promql: empty duration")
+	}
+	var total time.Duration
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && isDigit(s[j]) {
+			j++
+		}
+		if j == i {
+			return 0, fmt.Errorf("promql: bad duration %q", s)
+		}
+		n := int64(0)
+		for _, c := range s[i:j] {
+			n = n*10 + int64(c-'0')
+		}
+		if j >= len(s) {
+			return 0, fmt.Errorf("promql: missing unit in duration %q", s)
+		}
+		var unit time.Duration
+		var ul int
+		switch {
+		case strings.HasPrefix(s[j:], "ms"):
+			unit, ul = time.Millisecond, 2
+		case s[j] == 's':
+			unit, ul = time.Second, 1
+		case s[j] == 'm':
+			unit, ul = time.Minute, 1
+		case s[j] == 'h':
+			unit, ul = time.Hour, 1
+		case s[j] == 'd':
+			unit, ul = 24*time.Hour, 1
+		case s[j] == 'w':
+			unit, ul = 7*24*time.Hour, 1
+		case s[j] == 'y':
+			unit, ul = 365*24*time.Hour, 1
+		default:
+			return 0, fmt.Errorf("promql: bad duration unit in %q", s)
+		}
+		total += time.Duration(n) * unit
+		i = j + ul
+	}
+	return total, nil
+}

@@ -1,0 +1,452 @@
+package promql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/labels"
+)
+
+// ParseExpr parses a PromQL expression string into an AST.
+func ParseExpr(input string) (Expr, error) {
+	items, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{items: items, input: input}
+	expr, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().typ != EOF {
+		return nil, p.errorf("unexpected %s after expression", p.cur())
+	}
+	return expr, nil
+}
+
+type parser struct {
+	items []item
+	pos   int
+	input string
+}
+
+func (p *parser) cur() item  { return p.items[p.pos] }
+func (p *parser) next() item { it := p.items[p.pos]; p.pos++; return it }
+func (p *parser) backup()    { p.pos-- }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("promql: parse error in %q at token %d: %s", p.input, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(t ItemType) (item, error) {
+	it := p.next()
+	if it.typ != t {
+		return it, p.errorf("expected %s, got %s", itemName(t), it)
+	}
+	return it, nil
+}
+
+// Operator precedences; higher binds tighter.
+func precedence(t ItemType) int {
+	switch t {
+	case OR:
+		return 1
+	case AND, UNLESS:
+		return 2
+	case EQL, NEQ, LTE, LSS, GTE, GTR:
+		return 3
+	case ADD, SUB:
+		return 4
+	case MUL, DIV, MOD:
+		return 5
+	case POW:
+		return 6
+	}
+	return 0
+}
+
+func isBinary(t ItemType) bool { return precedence(t) > 0 }
+
+func isComparison(t ItemType) bool {
+	switch t {
+	case EQL, NEQ, LTE, LSS, GTE, GTR:
+		return true
+	}
+	return false
+}
+
+func isSetOp(t ItemType) bool { return t == AND || t == OR || t == UNLESS }
+
+// parseExpr is a precedence-climbing expression parser.
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().typ
+		if !isBinary(op) || precedence(op) < minPrec {
+			return lhs, nil
+		}
+		p.next()
+
+		be := &BinaryExpr{Op: op, LHS: lhs}
+		if p.cur().typ == BOOL {
+			if !isComparison(op) {
+				return nil, p.errorf("bool modifier only allowed on comparison operators")
+			}
+			p.next()
+			be.ReturnBool = true
+		}
+		// on/ignoring vector matching.
+		if p.cur().typ == ON || p.cur().typ == IGNORING {
+			vm := &VectorMatching{On: p.cur().typ == ON}
+			p.next()
+			ls, err := p.parseLabelList()
+			if err != nil {
+				return nil, err
+			}
+			vm.Labels = ls
+			if p.cur().typ == GroupLeft || p.cur().typ == GroupRight {
+				if p.cur().typ == GroupLeft {
+					vm.Card = CardManyToOne
+				} else {
+					vm.Card = CardOneToMany
+				}
+				p.next()
+				if p.cur().typ == LPAREN {
+					inc, err := p.parseLabelList()
+					if err != nil {
+						return nil, err
+					}
+					vm.Include = inc
+				}
+			}
+			be.Matching = vm
+		}
+		// Right-hand side: POW is right-associative.
+		nextMin := precedence(op) + 1
+		if op == POW {
+			nextMin = precedence(op)
+		}
+		rhs, err := p.parseExpr(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		be.RHS = rhs
+		if err := p.checkBinary(be); err != nil {
+			return nil, err
+		}
+		lhs = be
+	}
+}
+
+func (p *parser) checkBinary(b *BinaryExpr) error {
+	lt, rt := b.LHS.Type(), b.RHS.Type()
+	if lt == ValueMatrix || rt == ValueMatrix {
+		return p.errorf("binary operators not defined on range vectors")
+	}
+	if isSetOp(b.Op) && (lt != ValueVector || rt != ValueVector) {
+		return p.errorf("set operators only defined between instant vectors")
+	}
+	if lt == ValueScalar && rt == ValueScalar && isComparison(b.Op) && !b.ReturnBool {
+		return p.errorf("comparisons between scalars must use bool modifier")
+	}
+	return nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().typ {
+	case ADD:
+		p.next()
+		return p.parseUnary()
+	case SUB:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumberLiteral); ok {
+			return &NumberLiteral{Val: -n.Val}, nil
+		}
+		return &UnaryExpr{Op: SUB, Expr: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression plus [range] and offset.
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Range selector.
+	if p.cur().typ == LBRACKET {
+		vs, ok := e.(*VectorSelector)
+		if !ok {
+			return nil, p.errorf("range selector only allowed after a vector selector")
+		}
+		p.next()
+		d, err := p.expect(DURATION)
+		if err != nil {
+			return nil, err
+		}
+		dur, err := parseDuration(d.val)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		e = &MatrixSelector{VS: vs, Range: dur}
+	}
+	// Offset modifier.
+	if p.cur().typ == OFFSET {
+		p.next()
+		d, err := p.expect(DURATION)
+		if err != nil {
+			return nil, err
+		}
+		dur, err := parseDuration(d.val)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		switch v := e.(type) {
+		case *VectorSelector:
+			v.Offset = dur
+		case *MatrixSelector:
+			v.VS.Offset = dur
+		default:
+			return nil, p.errorf("offset only allowed after selectors")
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	it := p.cur()
+	switch it.typ {
+	case NUMBER:
+		p.next()
+		v, err := parseNumber(it.val)
+		if err != nil {
+			return nil, p.errorf("bad number %q", it.val)
+		}
+		return &NumberLiteral{Val: v}, nil
+	case STRING:
+		p.next()
+		return &StringLiteral{Val: it.val}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &ParenExpr{Expr: e}, nil
+	case LBRACE:
+		// Selector without metric name: {job="x"}.
+		return p.parseVectorSelector("")
+	case IDENT:
+		p.next()
+		if p.cur().typ == LPAREN {
+			return p.parseCall(it.val)
+		}
+		if p.cur().typ == LBRACE {
+			return p.parseVectorSelector(it.val)
+		}
+		return makeSelector(it.val, nil)
+	default:
+		if isAggregator(it.typ) {
+			return p.parseAggregate()
+		}
+		return nil, p.errorf("unexpected %s", it)
+	}
+}
+
+func parseNumber(s string) (float64, error) {
+	switch strings.ToLower(s) {
+	case "nan":
+		return strconv.ParseFloat("NaN", 64)
+	case "inf":
+		return strconv.ParseFloat("Inf", 64)
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		n, err := strconv.ParseInt(s, 0, 64)
+		return float64(n), err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func makeSelector(name string, ms []*labels.Matcher) (*VectorSelector, error) {
+	vs := &VectorSelector{Name: name, Matchers: ms}
+	if name != "" {
+		vs.Matchers = append(vs.Matchers, labels.MustMatcher(labels.MatchEqual, labels.MetricName, name))
+	}
+	if len(vs.Matchers) == 0 {
+		return nil, fmt.Errorf("promql: vector selector must have at least one matcher")
+	}
+	return vs, nil
+}
+
+func (p *parser) parseVectorSelector(name string) (Expr, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	var ms []*labels.Matcher
+	for p.cur().typ != RBRACE {
+		ln := p.next()
+		// Keywords are valid label names inside matchers (e.g. {on="x"}).
+		if ln.typ != IDENT && itemNames[ln.typ] != strings.ToLower(ln.val) {
+			return nil, p.errorf("expected label name, got %s", ln)
+		}
+		var mt labels.MatchType
+		switch p.next().typ {
+		case ASSIGN:
+			mt = labels.MatchEqual
+		case NEQ:
+			mt = labels.MatchNotEqual
+		case EQLRegex:
+			mt = labels.MatchRegexp
+		case NEQRegex:
+			mt = labels.MatchNotRegexp
+		default:
+			p.backup()
+			return nil, p.errorf("expected matcher operator, got %s", p.cur())
+		}
+		val, err := p.expect(STRING)
+		if err != nil {
+			return nil, err
+		}
+		m, err := labels.NewMatcher(mt, ln.val, val.val)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		ms = append(ms, m)
+		if p.cur().typ == COMMA {
+			p.next()
+		}
+	}
+	p.next() // consume RBRACE
+	vs, err := makeSelector(name, ms)
+	if err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	return vs, nil
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	fn, ok := Functions[name]
+	if !ok {
+		return nil, p.errorf("unknown function %q", name)
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().typ != RPAREN {
+		a, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.cur().typ == COMMA {
+			p.next()
+		} else if p.cur().typ != RPAREN {
+			return nil, p.errorf("expected , or ) in call to %s", name)
+		}
+	}
+	p.next() // RPAREN
+	if len(args) < fn.MinArgs || len(args) > fn.MaxArgs {
+		return nil, p.errorf("wrong number of arguments for %s: got %d, want %d..%d",
+			name, len(args), fn.MinArgs, fn.MaxArgs)
+	}
+	for i, a := range args {
+		want := fn.ArgType(i)
+		if a.Type() != want {
+			return nil, p.errorf("argument %d of %s must be %s, got %s", i+1, name, want, a.Type())
+		}
+	}
+	return &Call{Func: fn, Args: args}, nil
+}
+
+func (p *parser) parseAggregate() (Expr, error) {
+	op := p.next().typ
+	agg := &AggregateExpr{Op: op}
+	// Modifier may precede or follow the argument list.
+	if p.cur().typ == BY || p.cur().typ == WITHOUT {
+		agg.Without = p.cur().typ == WITHOUT
+		p.next()
+		ls, err := p.parseLabelList()
+		if err != nil {
+			return nil, err
+		}
+		agg.Grouping = ls
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	first, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().typ == COMMA {
+		// topk(k, expr) form: first was the parameter.
+		p.next()
+		second, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		agg.Param = first
+		agg.Expr = second
+	} else {
+		agg.Expr = first
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if len(agg.Grouping) == 0 && !agg.Without {
+		if p.cur().typ == BY || p.cur().typ == WITHOUT {
+			agg.Without = p.cur().typ == WITHOUT
+			p.next()
+			ls, err := p.parseLabelList()
+			if err != nil {
+				return nil, err
+			}
+			agg.Grouping = ls
+		}
+	}
+	if (op == TOPK || op == BOTTOMK || op == QUANTILE) && agg.Param == nil {
+		return nil, p.errorf("%s requires a parameter", itemName(op))
+	}
+	if agg.Param != nil && agg.Param.Type() != ValueScalar {
+		return nil, p.errorf("aggregation parameter must be a scalar")
+	}
+	if agg.Expr.Type() != ValueVector {
+		return nil, p.errorf("aggregation operand must be an instant vector")
+	}
+	return agg, nil
+}
+
+// parseLabelList parses "(a, b, c)" and returns the names.
+func (p *parser) parseLabelList() ([]string, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var out []string
+	for p.cur().typ != RPAREN {
+		it := p.next()
+		if it.typ != IDENT && itemNames[it.typ] != strings.ToLower(it.val) {
+			return nil, p.errorf("expected label name in grouping, got %s", it)
+		}
+		out = append(out, it.val)
+		if p.cur().typ == COMMA {
+			p.next()
+		}
+	}
+	p.next() // RPAREN
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package promql
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+func TestUnaryMinusVector(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `-temperature`, 600)
+	if len(vec) != 2 || vec[0].V != -7 {
+		t.Errorf("unary minus = %+v", vec)
+	}
+	if vec[0].Labels.Has(labels.MetricName) {
+		t.Error("unary minus kept metric name")
+	}
+	if got := evalScalarAt(t, db, `-(3)`, 600); got != -3 {
+		t.Errorf("-(3) = %v", got)
+	}
+}
+
+func TestGroupLeftIncludeLabels(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	// Per-unit metric and node metadata carrying an extra label to pull in.
+	db.Append(labels.FromStrings(labels.MetricName, "unit_cpu", "uuid", "1", "instance", "n1"), 1000, 4)
+	db.Append(labels.FromStrings(labels.MetricName, "unit_cpu", "uuid", "2", "instance", "n1"), 1000, 8)
+	db.Append(labels.FromStrings(labels.MetricName, "node_meta", "instance", "n1", "rack", "r7"), 1000, 1)
+	vec := evalAt(t, db, `unit_cpu * on (instance) group_left (rack) node_meta`, 1)
+	if len(vec) != 2 {
+		t.Fatalf("group_left include = %+v", vec)
+	}
+	for _, s := range vec {
+		if s.Labels.Get("rack") != "r7" {
+			t.Errorf("include label missing: %v", s.Labels)
+		}
+		if !s.Labels.Has("uuid") {
+			t.Errorf("many-side label lost: %v", s.Labels)
+		}
+	}
+}
+
+func TestGroupRight(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	db.Append(labels.FromStrings(labels.MetricName, "one_side", "instance", "n1"), 1000, 100)
+	db.Append(labels.FromStrings(labels.MetricName, "many_side", "instance", "n1", "k", "a"), 1000, 1)
+	db.Append(labels.FromStrings(labels.MetricName, "many_side", "instance", "n1", "k", "b"), 1000, 2)
+	vec := evalAt(t, db, `one_side * on (instance) group_right many_side`, 1)
+	if len(vec) != 2 {
+		t.Fatalf("group_right = %+v", vec)
+	}
+	// Result keeps the many (RHS) side labels.
+	if !vec[0].Labels.Has("k") {
+		t.Errorf("labels = %v", vec[0].Labels)
+	}
+	if vec[0].V != 100 && vec[0].V != 200 {
+		t.Errorf("values = %+v", vec)
+	}
+}
+
+func TestSetOpsWithOnMatching(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `http_requests_total and on (job) temperature`, 600)
+	if len(vec) != 0 {
+		t.Errorf("and on(job): %+v", vec)
+	}
+	vec = evalAt(t, db, `http_requests_total unless on (instance) http_requests_total{instance="a"}`, 600)
+	if len(vec) != 1 || vec[0].Labels.Get("instance") != "b" {
+		t.Errorf("unless on: %+v", vec)
+	}
+}
+
+func TestOffsetOnMatrix(t *testing.T) {
+	db := testStorage(t)
+	// rate over a window ending 5m earlier.
+	vec := evalAt(t, db, `rate(http_requests_total{instance="a"}[2m] offset 5m)`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 10) {
+		t.Errorf("offset matrix rate = %+v", vec)
+	}
+}
+
+func TestComparisonOperatorsVectorVector(t *testing.T) {
+	db := testStorage(t)
+	// a(6000) < b(12000): filter keeps the lhs sample where true.
+	vec := evalAt(t, db, `http_requests_total{instance="a"} < on () group_left http_requests_total{instance="b"}`, 600)
+	if len(vec) != 1 || vec[0].V != 6000 {
+		t.Errorf("vector< = %+v", vec)
+	}
+	vec = evalAt(t, db, `http_requests_total{instance="a"} > bool on () group_left http_requests_total{instance="b"}`, 600)
+	if len(vec) != 1 || vec[0].V != 0 {
+		t.Errorf("vector> bool = %+v", vec)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	if !math.IsNaN(quantile(0.5, nil)) {
+		t.Error("quantile of empty should be NaN")
+	}
+	vals := []float64{1, 2, 3, 4}
+	if got := quantile(0, vals); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := quantile(1, vals); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if !math.IsInf(quantile(-0.1, vals), -1) || !math.IsInf(quantile(1.1, vals), 1) {
+		t.Error("out-of-range phi should be ±Inf")
+	}
+}
+
+func TestStddevOverTimeAndLabelJoin(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `stddev_over_time(temperature{zone="dc1"}[2m])`, 600)
+	if len(vec) != 1 || vec[0].V != 0 {
+		t.Errorf("stddev of constant = %+v", vec)
+	}
+	vec = evalAt(t, db, `label_join(temperature, "combo", "-", "zone", "__name__")`, 600)
+	if len(vec) != 2 || vec[0].Labels.Get("combo") != "dc1-temperature" {
+		t.Errorf("label_join = %+v", vec)
+	}
+}
+
+func TestTimestampFunction(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `timestamp(temperature{zone="dc1"})`, 600)
+	if len(vec) != 1 || vec[0].V != 600 {
+		t.Errorf("timestamp = %+v", vec)
+	}
+}
+
+func TestAggregateWithoutKeepsOtherLabels(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `max without (zone) (temperature)`, 600)
+	if len(vec) != 1 || vec[0].V != 40 {
+		t.Errorf("max without = %+v", vec)
+	}
+	if vec[0].Labels.Has("zone") || vec[0].Labels.Has(labels.MetricName) {
+		t.Errorf("labels = %v", vec[0].Labels)
+	}
+}
+
+func TestTopkPreservesSeriesLabels(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `topk(2, http_requests_total)`, 600)
+	if len(vec) != 2 {
+		t.Fatalf("topk(2) = %+v", vec)
+	}
+	// topk keeps full original labels including __name__.
+	if vec[0].Labels.Name() != "http_requests_total" {
+		t.Errorf("topk dropped name: %v", vec[0].Labels)
+	}
+	// k larger than set size returns everything.
+	vec = evalAt(t, db, `topk(10, http_requests_total)`, 600)
+	if len(vec) != 2 {
+		t.Errorf("topk(10) = %d", len(vec))
+	}
+	// k <= 0 yields nothing.
+	vec = evalAt(t, db, `topk(0, http_requests_total)`, 600)
+	if len(vec) != 0 {
+		t.Errorf("topk(0) = %+v", vec)
+	}
+}
+
+func TestRangeQueryErrors(t *testing.T) {
+	db := testStorage(t)
+	eng := NewEngine()
+	if _, err := eng.Range(db, `up`, time.Unix(10, 0), time.Unix(0, 0), -time.Second); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := eng.Range(db, `up[5m]`, time.Unix(0, 0), time.Unix(10, 0), time.Second); err == nil {
+		t.Error("matrix range query accepted")
+	}
+	if _, err := eng.Range(db, `sum(`, time.Unix(0, 0), time.Unix(10, 0), time.Second); err == nil {
+		t.Error("parse error swallowed")
+	}
+}
+
+func TestVectorSelectorStaleSkipped(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "m")
+	db.Append(ls, 1000, 5)
+	db.Append(ls, 2000, model.StaleNaN())
+	vec := evalAt(t, db, `m`, 3)
+	if len(vec) != 0 {
+		t.Errorf("stale series returned: %+v", vec)
+	}
+	// Range function over stale+live samples only sees live ones.
+	db.Append(ls, 3000, 7)
+	vec = evalAt(t, db, `count_over_time(m[10s])`, 4)
+	if len(vec) != 1 || vec[0].V != 2 {
+		t.Errorf("count over stale window = %+v", vec)
+	}
+}
+
+func TestParenAndPrecedenceCombos(t *testing.T) {
+	db := testStorage(t)
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{`2 * 3 + 4`, 10},
+		{`2 + 3 * 4`, 14},
+		{`(2 + 3) * 4`, 20},
+		{`2 ^ 2 ^ 3`, 256}, // right assoc: 2^(2^3)
+		// Divergence from Prometheus: unary minus folds into the number
+		// literal before ^ applies, so -2^2 = (-2)^2 = 4 here (Prometheus
+		// parses it as -(2^2) = -4). Parenthesize to disambiguate.
+		{`-2 ^ 2`, 4},
+		{`-(2 ^ 2)`, -4},
+		{`10 % 3 + 1`, 2},
+	}
+	for _, c := range cases {
+		if got := evalScalarAt(t, db, c.q, 600); !approx(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package promql
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+// testStorage builds a DB with a fixed scrape pattern: samples every 15s
+// from t=0 to t=10min for several series.
+func testStorage(t testing.TB) *tsdb.DB {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	add := func(lset labels.Labels, f func(step int64) float64) {
+		for i := int64(0); i <= 40; i++ {
+			if err := db.Append(lset, i*15000, f(i)); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+	// Counter increasing 10/s => 150 per 15s step.
+	add(labels.FromStrings(labels.MetricName, "http_requests_total", "job", "api", "instance", "a"),
+		func(i int64) float64 { return float64(i) * 150 })
+	// Counter increasing 20/s.
+	add(labels.FromStrings(labels.MetricName, "http_requests_total", "job", "api", "instance", "b"),
+		func(i int64) float64 { return float64(i) * 300 })
+	// Gauge constant 7.
+	add(labels.FromStrings(labels.MetricName, "temperature", "zone", "dc1"),
+		func(i int64) float64 { return 7 })
+	// Gauge ramp 0..40.
+	add(labels.FromStrings(labels.MetricName, "temperature", "zone", "dc2"),
+		func(i int64) float64 { return float64(i) })
+	// Counter with a reset at i=20.
+	add(labels.FromStrings(labels.MetricName, "resetting_total", "job", "api"),
+		func(i int64) float64 {
+			if i < 20 {
+				return float64(i) * 10
+			}
+			return float64(i-20) * 10
+		})
+	// Per-node RAPL-style counters for join tests.
+	add(labels.FromStrings(labels.MetricName, "rapl_cpu_joules_total", "node", "n1"),
+		func(i int64) float64 { return float64(i) * 100 * 15 }) // 100 W
+	add(labels.FromStrings(labels.MetricName, "rapl_dram_joules_total", "node", "n1"),
+		func(i int64) float64 { return float64(i) * 25 * 15 }) // 25 W
+	add(labels.FromStrings(labels.MetricName, "node_cpus", "node", "n1"),
+		func(i int64) float64 { return 64 })
+	return db
+}
+
+func evalAt(t testing.TB, db *tsdb.DB, q string, atSec int64) Vector {
+	t.Helper()
+	eng := NewEngine()
+	v, err := eng.Instant(db, q, model.MillisToTime(atSec*1000))
+	if err != nil {
+		t.Fatalf("Instant(%q): %v", q, err)
+	}
+	vec, ok := v.(Vector)
+	if !ok {
+		t.Fatalf("Instant(%q) returned %s, want vector", q, v.Type())
+	}
+	return vec
+}
+
+func evalScalarAt(t testing.TB, db *tsdb.DB, q string, atSec int64) float64 {
+	t.Helper()
+	eng := NewEngine()
+	v, err := eng.Instant(db, q, model.MillisToTime(atSec*1000))
+	if err != nil {
+		t.Fatalf("Instant(%q): %v", q, err)
+	}
+	s, ok := v.(Scalar)
+	if !ok {
+		t.Fatalf("Instant(%q) returned %s, want scalar", q, v.Type())
+	}
+	return s.V
+}
+
+func approx(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestVectorSelector(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `http_requests_total`, 600)
+	if len(vec) != 2 {
+		t.Fatalf("got %d series", len(vec))
+	}
+	// At t=600s (i=40): a=6000, b=12000.
+	if vec[0].V != 6000 || vec[1].V != 12000 {
+		t.Errorf("values = %v, %v", vec[0].V, vec[1].V)
+	}
+	// Lookback: query beyond last sample but within 5m.
+	vec = evalAt(t, db, `http_requests_total{instance="a"}`, 600+200)
+	if len(vec) != 1 || vec[0].V != 6000 {
+		t.Errorf("lookback failed: %+v", vec)
+	}
+	// Beyond lookback: empty.
+	vec = evalAt(t, db, `http_requests_total{instance="a"}`, 600+400)
+	if len(vec) != 0 {
+		t.Errorf("expected staleness after lookback, got %+v", vec)
+	}
+}
+
+func TestSelectorMatchers(t *testing.T) {
+	db := testStorage(t)
+	if vec := evalAt(t, db, `http_requests_total{instance=~"a|b"}`, 600); len(vec) != 2 {
+		t.Errorf("regex matcher: %d", len(vec))
+	}
+	if vec := evalAt(t, db, `http_requests_total{instance!="a"}`, 600); len(vec) != 1 {
+		t.Errorf("neq matcher: %d", len(vec))
+	}
+	if vec := evalAt(t, db, `{__name__=~"temp.*"}`, 600); len(vec) != 2 {
+		t.Errorf("name regex: %d", len(vec))
+	}
+}
+
+func TestOffset(t *testing.T) {
+	db := testStorage(t)
+	// At 600s offset 300s → value at 300s (i=20): a=3000.
+	vec := evalAt(t, db, `http_requests_total{instance="a"} offset 5m`, 600)
+	if len(vec) != 1 || vec[0].V != 3000 {
+		t.Errorf("offset: %+v", vec)
+	}
+}
+
+func TestRateIncrease(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `rate(http_requests_total{instance="a"}[2m])`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 10) {
+		t.Errorf("rate = %+v, want 10", vec)
+	}
+	// Metric name must be dropped.
+	if vec[0].Labels.Has(labels.MetricName) {
+		t.Error("rate kept __name__")
+	}
+	vec = evalAt(t, db, `increase(http_requests_total{instance="a"}[2m])`, 600)
+	// Window (480,600]: samples at 495..600 → 8 samples, delta = 7 steps * 150 = 1050.
+	if len(vec) != 1 || !approx(vec[0].V, 1050) {
+		t.Errorf("increase = %+v, want 1050", vec)
+	}
+}
+
+func TestRateWithReset(t *testing.T) {
+	db := testStorage(t)
+	// Window (270, 330] covers the reset at i=20 (t=300s): samples are
+	// 190 (t=285), 0 (t=300), 10, 20. Reset-adjusted delta:
+	// 20 - 190 + 190 (value lost at reset) = 20.
+	vec := evalAt(t, db, `increase(resetting_total[60s])`, 330)
+	if len(vec) != 1 || !approx(vec[0].V, 20) {
+		t.Errorf("increase over reset = %+v, want 20", vec)
+	}
+	if v := evalAt(t, db, `resets(resetting_total[10m])`, 600); len(v) != 1 || v[0].V != 1 {
+		t.Errorf("resets = %+v", v)
+	}
+}
+
+func TestIrateIdelta(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `irate(http_requests_total{instance="b"}[1m])`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 20) {
+		t.Errorf("irate = %+v, want 20", vec)
+	}
+	vec = evalAt(t, db, `idelta(temperature{zone="dc2"}[1m])`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 1) {
+		t.Errorf("idelta = %+v, want 1", vec)
+	}
+}
+
+func TestOverTimeFunctions(t *testing.T) {
+	db := testStorage(t)
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		// Window (540,600] has i=37..40 → values 37,38,39,40.
+		{`avg_over_time(temperature{zone="dc2"}[1m])`, 38.5},
+		{`sum_over_time(temperature{zone="dc2"}[1m])`, 154},
+		{`min_over_time(temperature{zone="dc2"}[1m])`, 37},
+		{`max_over_time(temperature{zone="dc2"}[1m])`, 40},
+		{`count_over_time(temperature{zone="dc2"}[1m])`, 4},
+		{`last_over_time(temperature{zone="dc2"}[1m])`, 40},
+		{`quantile_over_time(0.5, temperature{zone="dc2"}[1m])`, 38.5},
+	}
+	for _, c := range cases {
+		vec := evalAt(t, db, c.q, 600)
+		if len(vec) != 1 || !approx(vec[0].V, c.want) {
+			t.Errorf("%s = %+v, want %v", c.q, vec, c.want)
+		}
+	}
+}
+
+func TestDeriv(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `deriv(temperature{zone="dc2"}[2m])`, 600)
+	// Ramp of 1 per 15s = 1/15 per second.
+	if len(vec) != 1 || !approx(vec[0].V, 1.0/15) {
+		t.Errorf("deriv = %+v, want %v", vec, 1.0/15)
+	}
+}
+
+func TestChanges(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `changes(temperature{zone="dc1"}[5m])`, 600)
+	if len(vec) != 1 || vec[0].V != 0 {
+		t.Errorf("changes constant = %+v", vec)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	db := testStorage(t)
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{`sum(http_requests_total)`, 18000},
+		{`avg(http_requests_total)`, 9000},
+		{`min(http_requests_total)`, 6000},
+		{`max(http_requests_total)`, 12000},
+		{`count(http_requests_total)`, 2},
+		{`stddev(http_requests_total)`, 3000},
+		{`stdvar(http_requests_total)`, 9000000},
+		{`quantile(0.5, http_requests_total)`, 9000},
+	}
+	for _, c := range cases {
+		vec := evalAt(t, db, c.q, 600)
+		if len(vec) != 1 || !approx(vec[0].V, c.want) {
+			t.Errorf("%s = %+v, want %v", c.q, vec, c.want)
+		}
+		if len(vec) == 1 && len(vec[0].Labels) != 0 {
+			t.Errorf("%s: aggregate labels should be empty, got %v", c.q, vec[0].Labels)
+		}
+	}
+}
+
+func TestAggregationGrouping(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `sum by (instance) (http_requests_total)`, 600)
+	if len(vec) != 2 {
+		t.Fatalf("by grouping: %d groups", len(vec))
+	}
+	if vec[0].Labels.Get("instance") != "a" || vec[0].V != 6000 {
+		t.Errorf("group a = %+v", vec[0])
+	}
+	// Trailing modifier form.
+	vec2 := evalAt(t, db, `sum(http_requests_total) by (instance)`, 600)
+	if len(vec2) != 2 || vec2[0].V != vec[0].V {
+		t.Errorf("trailing by differs: %+v", vec2)
+	}
+	// without drops the label (and name).
+	vec3 := evalAt(t, db, `sum without (instance) (http_requests_total)`, 600)
+	if len(vec3) != 1 || vec3[0].V != 18000 || vec3[0].Labels.Get("job") != "api" {
+		t.Errorf("without = %+v", vec3)
+	}
+}
+
+func TestTopkBottomk(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `topk(1, http_requests_total)`, 600)
+	if len(vec) != 1 || vec[0].V != 12000 || vec[0].Labels.Get("instance") != "b" {
+		t.Errorf("topk = %+v", vec)
+	}
+	vec = evalAt(t, db, `bottomk(1, http_requests_total)`, 600)
+	if len(vec) != 1 || vec[0].V != 6000 {
+		t.Errorf("bottomk = %+v", vec)
+	}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	db := testStorage(t)
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{`1 + 2 * 3`, 7},
+		{`(1 + 2) * 3`, 9},
+		{`2 ^ 3 ^ 2`, 512}, // right-assoc
+		{`7 % 3`, 1},
+		{`-3 + 4`, 1},
+		{`10 / 4`, 2.5},
+		{`1 == bool 1`, 1},
+		{`1 > bool 2`, 0},
+	}
+	for _, c := range cases {
+		if got := evalScalarAt(t, db, c.q, 600); !approx(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestVectorScalarOps(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `http_requests_total / 1000`, 600)
+	if len(vec) != 2 || !approx(vec[0].V, 6) || !approx(vec[1].V, 12) {
+		t.Errorf("div = %+v", vec)
+	}
+	if vec[0].Labels.Has(labels.MetricName) {
+		t.Error("binop kept metric name")
+	}
+	// Comparison filter semantics.
+	vec = evalAt(t, db, `http_requests_total > 10000`, 600)
+	if len(vec) != 1 || vec[0].V != 12000 {
+		t.Errorf("filter = %+v", vec)
+	}
+	// bool modifier.
+	vec = evalAt(t, db, `http_requests_total > bool 10000`, 600)
+	if len(vec) != 2 || vec[0].V != 0 || vec[1].V != 1 {
+		t.Errorf("bool = %+v", vec)
+	}
+	// Scalar on the left.
+	vec = evalAt(t, db, `100000 - http_requests_total`, 600)
+	if len(vec) != 2 || vec[0].V != 94000 {
+		t.Errorf("scalar-left = %+v", vec)
+	}
+}
+
+func TestVectorVectorMatching(t *testing.T) {
+	db := testStorage(t)
+	// Same labels: one-to-one.
+	vec := evalAt(t, db, `http_requests_total + http_requests_total`, 600)
+	if len(vec) != 2 || vec[0].V != 12000 || vec[1].V != 24000 {
+		t.Errorf("self add = %+v", vec)
+	}
+	// Join on node between different metrics.
+	vec = evalAt(t, db,
+		`rate(rapl_cpu_joules_total[2m]) / (rate(rapl_cpu_joules_total[2m]) + rate(rapl_dram_joules_total[2m]))`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 0.8) {
+		t.Errorf("rapl ratio = %+v, want 0.8", vec)
+	}
+	// on() matching.
+	vec = evalAt(t, db, `rate(rapl_cpu_joules_total[2m]) * on (node) node_cpus`, 600)
+	if len(vec) != 1 || !approx(vec[0].V, 6400) {
+		t.Errorf("on-match = %+v", vec)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `http_requests_total and http_requests_total{instance="a"}`, 600)
+	if len(vec) != 1 || vec[0].Labels.Get("instance") != "a" {
+		t.Errorf("and = %+v", vec)
+	}
+	vec = evalAt(t, db, `http_requests_total unless http_requests_total{instance="a"}`, 600)
+	if len(vec) != 1 || vec[0].Labels.Get("instance") != "b" {
+		t.Errorf("unless = %+v", vec)
+	}
+	vec = evalAt(t, db, `temperature{zone="dc1"} or temperature{zone="dc2"}`, 600)
+	if len(vec) != 2 {
+		t.Errorf("or = %+v", vec)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `clamp_max(temperature, 10)`, 600)
+	if len(vec) != 2 || vec[0].V != 7 || vec[1].V != 10 {
+		t.Errorf("clamp_max = %+v", vec)
+	}
+	vec = evalAt(t, db, `abs(temperature - 100)`, 600)
+	if len(vec) != 2 || vec[0].V != 93 || vec[1].V != 60 {
+		t.Errorf("abs = %+v", vec)
+	}
+	if got := evalScalarAt(t, db, `scalar(temperature{zone="dc1"})`, 600); got != 7 {
+		t.Errorf("scalar() = %v", got)
+	}
+	if got := evalScalarAt(t, db, `scalar(temperature)`, 600); !math.IsNaN(got) {
+		t.Errorf("scalar(multi) = %v, want NaN", got)
+	}
+	vec = evalAt(t, db, `vector(42)`, 600)
+	if len(vec) != 1 || vec[0].V != 42 {
+		t.Errorf("vector() = %+v", vec)
+	}
+	if got := evalScalarAt(t, db, `time()`, 600); got != 600 {
+		t.Errorf("time() = %v", got)
+	}
+	vec = evalAt(t, db, `absent(nonexistent_metric)`, 600)
+	if len(vec) != 1 || vec[0].V != 1 {
+		t.Errorf("absent = %+v", vec)
+	}
+	vec = evalAt(t, db, `absent(temperature)`, 600)
+	if len(vec) != 0 {
+		t.Errorf("absent(present) = %+v", vec)
+	}
+}
+
+func TestLabelReplace(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `label_replace(temperature, "site", "$1", "zone", "dc(.*)")`, 600)
+	if len(vec) != 2 {
+		t.Fatalf("label_replace: %d", len(vec))
+	}
+	if vec[0].Labels.Get("site") != "1" || vec[1].Labels.Get("site") != "2" {
+		t.Errorf("label_replace = %v, %v", vec[0].Labels, vec[1].Labels)
+	}
+	// Non-matching regex leaves labels untouched.
+	vec = evalAt(t, db, `label_replace(temperature, "site", "$1", "zone", "xx(.*)")`, 600)
+	if vec[0].Labels.Has("site") {
+		t.Error("label_replace added label despite no match")
+	}
+}
+
+func TestSortFunctions(t *testing.T) {
+	db := testStorage(t)
+	vec := evalAt(t, db, `sort_desc(http_requests_total)`, 600)
+	if vec[0].V != 12000 || vec[1].V != 6000 {
+		t.Errorf("sort_desc = %+v", vec)
+	}
+	vec = evalAt(t, db, `sort(http_requests_total)`, 600)
+	if vec[0].V != 6000 || vec[1].V != 12000 {
+		t.Errorf("sort = %+v", vec)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	db := testStorage(t)
+	eng := NewEngine()
+	m, err := eng.Range(db, `sum(http_requests_total)`,
+		model.MillisToTime(0), model.MillisToTime(600*1000), time.Minute)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("range series = %d", len(m))
+	}
+	if len(m[0].Samples) != 11 {
+		t.Fatalf("range steps = %d, want 11", len(m[0].Samples))
+	}
+	// At t=0: 0; at t=60 (i=4): 600+1200=1800.
+	if m[0].Samples[0].V != 0 || m[0].Samples[1].V != 1800 {
+		t.Errorf("range values = %+v", m[0].Samples[:2])
+	}
+}
+
+func TestRangeQueryScalar(t *testing.T) {
+	db := testStorage(t)
+	eng := NewEngine()
+	m, err := eng.Range(db, `42`, model.MillisToTime(0), model.MillisToTime(120*1000), time.Minute)
+	if err != nil {
+		t.Fatalf("Range scalar: %v", err)
+	}
+	if len(m) != 1 || len(m[0].Samples) != 3 || m[0].Samples[2].V != 42 {
+		t.Errorf("scalar range = %+v", m)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`sum(`,
+		`rate(http_requests_total)`,              // missing range
+		`rate(http_requests_total[5m]`,           // unclosed paren
+		`http_requests_total[5m] + 1`,            // binop on matrix
+		`foo{bar=}`,                              // missing matcher value
+		`foo and 1`,                              // set op with scalar
+		`1 == 2`,                                 // scalar comparison without bool
+		`unknown_func(foo)`,                      // unknown function
+		`topk(http_requests_total)`,              // missing param
+		`label_replace(foo, "a", "b", "c", "(")`, // bad regex (eval-time ok at parse) -- parse ok
+		`foo offset`,                             // missing duration
+		`foo[]`,                                  // empty range
+		`{}`,                                     // empty selector
+		`sum(foo) bar`,                           // trailing garbage
+	}
+	for _, q := range bad {
+		if strings.HasPrefix(q, "label_replace") {
+			continue // parse succeeds; error surfaces at eval time
+		}
+		if _, err := ParseExpr(q); err == nil {
+			t.Errorf("expected parse error for %q", q)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := testStorage(t)
+	eng := NewEngine()
+	if _, err := eng.Instant(db, `label_replace(temperature, "site", "$1", "zone", "(")`, time.Unix(600, 0)); err == nil {
+		t.Error("expected bad-regex eval error")
+	}
+	// Many-to-many matching error.
+	if _, err := eng.Instant(db, `http_requests_total + on (job) http_requests_total`, time.Unix(600, 0)); err == nil {
+		t.Error("expected many-to-many error")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]time.Duration{
+		"15s": 15 * time.Second, "5m": 5 * time.Minute, "1h30m": 90 * time.Minute,
+		"2d": 48 * time.Hour, "1w": 7 * 24 * time.Hour, "100ms": 100 * time.Millisecond,
+	}
+	for in, want := range cases {
+		got, err := parseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "5", "x", "5q"} {
+		if _, err := parseDuration(in); err == nil {
+			t.Errorf("parseDuration(%q) should fail", in)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	// String round-trip: parse → String → parse again must succeed.
+	exprs := []string{
+		`rate(http_requests_total{job="api"}[5m])`,
+		`sum by (instance) (rate(x_total[1m]))`,
+		`a / (a + b) * 100`,
+		`topk(3, metric)`,
+		`label_replace(m, "a", "$1", "b", "(.*)")`,
+	}
+	for _, q := range exprs {
+		e, err := ParseExpr(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := ParseExpr(e.String()); err != nil {
+			t.Errorf("re-parse of %q (%q) failed: %v", q, e.String(), err)
+		}
+	}
+}
+
+func BenchmarkInstantSimple(b *testing.B) {
+	db := testStorage(b)
+	eng := NewEngine()
+	ts := model.MillisToTime(600 * 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Instant(db, `sum(rate(http_requests_total[2m]))`, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	q := `0.9 * ipmi_watts * (rapl_cpu / (rapl_cpu + rapl_dram)) * (job_cpu / node_cpu)`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

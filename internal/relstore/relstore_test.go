@@ -1,0 +1,433 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func unitsSchema() Schema {
+	return Schema{
+		Name: "units",
+		Columns: []Column{
+			{Name: "uuid", Type: ColText},
+			{Name: "user", Type: ColText},
+			{Name: "project", Type: ColText},
+			{Name: "cpus", Type: ColInt},
+			{Name: "energy_j", Type: ColFloat},
+			{Name: "running", Type: ColBool},
+		},
+		PrimaryKey: "uuid",
+		Indexes:    []string{"user", "project"},
+	}
+}
+
+func openMem(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(unitsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func seedUnits(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := db.Upsert("units", Row{
+			"uuid":     fmt.Sprintf("u%03d", i),
+			"user":     fmt.Sprintf("user%d", i%4),
+			"project":  fmt.Sprintf("proj%d", i%2),
+			"cpus":     int64(4 * (i + 1)),
+			"energy_j": float64(i) * 100,
+			"running":  i%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := unitsSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	bad := []Schema{
+		{},
+		{Name: "t", Columns: []Column{{Name: "a", Type: ColInt}}, PrimaryKey: "b"},
+		{Name: "t", Columns: []Column{{Name: "a", Type: "weird"}}, PrimaryKey: "a"},
+		{Name: "t", Columns: []Column{{Name: "a", Type: ColInt}, {Name: "a", Type: ColInt}}, PrimaryKey: "a"},
+		{Name: "t", Columns: []Column{{Name: "a", Type: ColInt}}, PrimaryKey: "a", Indexes: []string{"zz"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestUpsertGetDelete(t *testing.T) {
+	db := openMem(t)
+	seedUnits(t, db, 5)
+	row, ok, err := db.Get("units", "u002")
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if row["cpus"].(int64) != 12 || row["user"].(string) != "user2" {
+		t.Errorf("row = %v", row)
+	}
+	// Upsert replaces.
+	db.Upsert("units", Row{"uuid": "u002", "user": "other", "cpus": int64(1)})
+	row, _, _ = db.Get("units", "u002")
+	if row["user"].(string) != "other" {
+		t.Errorf("upsert did not replace: %v", row)
+	}
+	// Delete.
+	existed, err := db.Delete("units", "u002")
+	if err != nil || !existed {
+		t.Fatalf("Delete: %v %v", existed, err)
+	}
+	if _, ok, _ := db.Get("units", "u002"); ok {
+		t.Error("row survived delete")
+	}
+	existed, _ = db.Delete("units", "u002")
+	if existed {
+		t.Error("double delete reported existence")
+	}
+}
+
+func TestUpsertErrors(t *testing.T) {
+	db := openMem(t)
+	if err := db.Upsert("nope", Row{"uuid": "x"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := db.Upsert("units", Row{"user": "x"}); err == nil {
+		t.Error("missing PK accepted")
+	}
+	if err := db.Upsert("units", Row{"uuid": "x", "ghost": 1}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := db.Upsert("units", Row{"uuid": "x", "cpus": "many"}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := db.Upsert("units", Row{"uuid": "x", "cpus": 3.5}); err == nil {
+		t.Error("fractional int accepted")
+	}
+	// int and whole float64 are coerced.
+	if err := db.Upsert("units", Row{"uuid": "x", "cpus": 4, "energy_j": 5}); err != nil {
+		t.Errorf("coercion failed: %v", err)
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	db := openMem(t)
+	seedUnits(t, db, 20)
+	cases := []struct {
+		q    Query
+		want int
+	}{
+		{Query{Where: []Cond{{"user", OpEq, "user1"}}}, 5},
+		{Query{Where: []Cond{{"user", OpEq, "user1"}, {"project", OpEq, "proj1"}}}, 5},
+		{Query{Where: []Cond{{"cpus", OpGt, int64(40)}}}, 10},
+		{Query{Where: []Cond{{"cpus", OpGe, int64(40)}}}, 11},
+		{Query{Where: []Cond{{"energy_j", OpLt, 500.0}}}, 5},
+		{Query{Where: []Cond{{"running", OpEq, true}}}, 7},
+		{Query{Where: []Cond{{"uuid", OpHas, "01"}}}, 11}, // u001, u010..u019
+		{Query{Where: []Cond{{"user", OpNe, "user0"}}}, 15},
+		{Query{}, 20},
+	}
+	for i, c := range cases {
+		rows, err := db.Select("units", c.q)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(rows) != c.want {
+			t.Errorf("case %d: got %d rows, want %d", i, len(rows), c.want)
+		}
+	}
+}
+
+func TestSelectOrderLimitOffset(t *testing.T) {
+	db := openMem(t)
+	seedUnits(t, db, 10)
+	rows, err := db.Select("units", Query{OrderBy: "energy_j", Desc: true, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0]["energy_j"].(float64) != 900 {
+		t.Errorf("desc order = %v", rows)
+	}
+	rows, _ = db.Select("units", Query{OrderBy: "energy_j", Offset: 8})
+	if len(rows) != 2 || rows[0]["energy_j"].(float64) != 800 {
+		t.Errorf("offset = %v", rows)
+	}
+	rows, _ = db.Select("units", Query{Offset: 100})
+	if len(rows) != 0 {
+		t.Errorf("overlarge offset = %v", rows)
+	}
+	if _, err := db.Select("units", Query{OrderBy: "ghost"}); err == nil {
+		t.Error("order by unknown column accepted")
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	db := openMem(t)
+	if _, err := db.Select("ghost", Query{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Select("units", Query{Where: []Cond{{"ghost", OpEq, 1}}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Select("units", Query{Where: []Cond{{"cpus", OpHas, "x"}}}); err == nil {
+		t.Error("contains on int accepted")
+	}
+}
+
+func TestIndexConsistencyAfterUpdate(t *testing.T) {
+	db := openMem(t)
+	db.Upsert("units", Row{"uuid": "a", "user": "alice"})
+	db.Upsert("units", Row{"uuid": "a", "user": "bob"})
+	rows, _ := db.Select("units", Query{Where: []Cond{{"user", OpEq, "alice"}}})
+	if len(rows) != 0 {
+		t.Errorf("stale index entry: %v", rows)
+	}
+	rows, _ = db.Select("units", Query{Where: []Cond{{"user", OpEq, "bob"}}})
+	if len(rows) != 1 {
+		t.Errorf("missing index entry: %v", rows)
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := openMem(t)
+	seedUnits(t, db, 12)
+	n, err := db.Count("units", Cond{"project", OpEq, "proj0"})
+	if err != nil || n != 6 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestCreateTableIdempotent(t *testing.T) {
+	db := openMem(t)
+	if err := db.CreateTable(unitsSchema()); err != nil {
+		t.Errorf("re-create same schema: %v", err)
+	}
+	s := unitsSchema()
+	s.PrimaryKey = "user"
+	if err := db.CreateTable(s); err == nil {
+		t.Error("conflicting schema accepted")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(unitsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	seedUnits(t, db, 8)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Select("units", Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("recovered %d rows, want 8", len(rows))
+	}
+	// Indexes rebuilt.
+	rows, _ = db2.Select("units", Query{Where: []Cond{{"user", OpEq, "user1"}}})
+	if len(rows) != 2 {
+		t.Errorf("index after recovery = %d", len(rows))
+	}
+	// Types preserved (not float64 from JSON).
+	if _, ok := rows[0]["cpus"].(int64); !ok {
+		t.Errorf("cpus type = %T", rows[0]["cpus"])
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	db.CreateTable(unitsSchema())
+	seedUnits(t, db, 5)
+	if db.WALRecords() == 0 {
+		t.Fatal("no WAL records before checkpoint")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WALRecords() != 0 {
+		t.Errorf("WAL not truncated: %d", db.WALRecords())
+	}
+	// More writes post-checkpoint, then reopen: snapshot + wal replay.
+	db.Upsert("units", Row{"uuid": "post", "user": "x"})
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	n, _ := db2.Count("units")
+	if n != 6 {
+		t.Errorf("rows after checkpoint+wal recovery = %d, want 6", n)
+	}
+}
+
+func TestTornWALTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	db.CreateTable(unitsSchema())
+	seedUnits(t, db, 3)
+	db.Close()
+	// Append garbage (torn write).
+	f, err := os.OpenFile(filepath.Join(dir, "wal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":999,"op":"upsert","table":"uni`)
+	f.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail broke open: %v", err)
+	}
+	defer db2.Close()
+	n, _ := db2.Count("units")
+	if n != 3 {
+		t.Errorf("rows = %d, want 3", n)
+	}
+}
+
+func TestReplicaSyncAndRestore(t *testing.T) {
+	srcDir := t.TempDir()
+	backupDir := t.TempDir()
+	restoreDir := t.TempDir()
+
+	db, _ := Open(srcDir)
+	db.CreateTable(unitsSchema())
+	seedUnits(t, db, 6)
+	db.Checkpoint()
+	db.Upsert("units", Row{"uuid": "late", "user": "tail"})
+
+	rep := &Replica{DB: db, Dir: backupDir}
+	if err := rep.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if rep.Syncs() != 1 {
+		t.Error("sync count")
+	}
+
+	restored, err := Restore(backupDir, restoreDir)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer restored.Close()
+	n, _ := restored.Count("units")
+	if n != 7 {
+		t.Errorf("restored rows = %d, want 7 (snapshot + wal tail)", n)
+	}
+	row, ok, _ := restored.Get("units", "late")
+	if !ok || row["user"].(string) != "tail" {
+		t.Errorf("wal-tail row missing: %v", row)
+	}
+	db.Close()
+}
+
+func TestReplicaMemoryStoreRejected(t *testing.T) {
+	db, _ := Open("")
+	rep := &Replica{DB: db, Dir: t.TempDir()}
+	if err := rep.Sync(); err == nil {
+		t.Error("memory-store replication accepted")
+	}
+}
+
+// Property: Upsert→Get round-trips typed values exactly.
+func TestUpsertGetProperty(t *testing.T) {
+	db := openMem(t)
+	f := func(id string, cpus int64, energy float64, run bool) bool {
+		if id == "" {
+			return true
+		}
+		row := Row{"uuid": id, "cpus": cpus, "energy_j": energy, "running": run}
+		if db.Upsert("units", row) != nil {
+			return false
+		}
+		got, ok, err := db.Get("units", id)
+		if err != nil || !ok {
+			return false
+		}
+		if got["cpus"].(int64) != cpus || got["running"].(bool) != run {
+			return false
+		}
+		ge := got["energy_j"].(float64)
+		return ge == energy || (ge != ge && energy != energy) // NaN-safe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select with an indexed equality equals a full-scan filter.
+func TestIndexEquivalenceProperty(t *testing.T) {
+	db := openMem(t)
+	seedUnits(t, db, 50)
+	f := func(u uint8) bool {
+		user := fmt.Sprintf("user%d", u%6)
+		indexed, err := db.Select("units", Query{Where: []Cond{{"user", OpEq, user}}})
+		if err != nil {
+			return false
+		}
+		// Full scan: inequality condition first prevents index use.
+		scanned, err := db.Select("units", Query{Where: []Cond{
+			{"cpus", OpGt, int64(-1)}, {"user", OpEq, user}}})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(indexed, scanned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpsert(b *testing.B) {
+	db, _ := Open("")
+	db.CreateTable(unitsSchema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Upsert("units", Row{
+			"uuid": fmt.Sprintf("u%d", i%10000), "user": "u", "cpus": int64(i),
+		})
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	db, _ := Open("")
+	db.CreateTable(unitsSchema())
+	for i := 0; i < 10000; i++ {
+		db.Upsert("units", Row{
+			"uuid": fmt.Sprintf("u%d", i), "user": fmt.Sprintf("user%d", i%100),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Select("units", Query{Where: []Cond{{"user", OpEq, "user42"}}})
+	}
+}

@@ -1,0 +1,203 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// appendWALLocked writes one WAL record; caller holds db.mu. Memory-only
+// stores skip the WAL entirely.
+func (db *DB) appendWALLocked(rec walRecord) error {
+	if db.walF == nil {
+		return nil
+	}
+	db.seq++
+	rec.Seq = db.seq
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := db.walF.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("relstore: wal append: %w", err)
+	}
+	db.walN++
+	return nil
+}
+
+// snapshot is the on-disk checkpoint format.
+type snapshot struct {
+	Seq    uint64               `json:"seq"`
+	Tables map[string]snapTable `json:"tables"`
+}
+
+type snapTable struct {
+	Schema Schema         `json:"schema"`
+	Rows   map[string]Row `json:"rows"`
+}
+
+// Checkpoint writes a full snapshot and truncates the WAL. It is the
+// equivalent of a SQLite WAL checkpoint and also serves as the "in-built
+// punctual backup solution" of the CEEMS API server when pointed at a
+// backup directory via the replica.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return nil
+	}
+	if err := db.writeSnapshotLocked(filepath.Join(db.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the WAL: close, recreate.
+	if db.walF != nil {
+		if err := db.walF.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(db.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	db.walF = f
+	db.walN = 0
+	return nil
+}
+
+// WALRecords returns the number of records in the current WAL segment.
+func (db *DB) WALRecords() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walN
+}
+
+func (db *DB) writeSnapshotLocked(path string) error {
+	snap := snapshot{Seq: db.seq, Tables: map[string]snapTable{}}
+	for name, t := range db.tables {
+		snap.Tables[name] = snapTable{Schema: t.schema, Rows: t.rows}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (db *DB) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("relstore: corrupt snapshot: %w", err)
+	}
+	db.seq = snap.Seq
+	for name, st := range snap.Tables {
+		db.createTableLocked(st.Schema)
+		t := db.tables[name]
+		for pk, row := range st.Rows {
+			norm, err := normalizeRow(st.Schema, row)
+			if err != nil {
+				return fmt.Errorf("relstore: snapshot row %s/%s: %w", name, pk, err)
+			}
+			db.upsertLocked(t, pk, norm)
+		}
+	}
+	return nil
+}
+
+// replayWAL applies WAL records on top of the loaded snapshot. Records at
+// or before the snapshot sequence are skipped; a trailing partial line
+// (torn write) is tolerated.
+func (db *DB) replayWAL(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail write: stop replaying, keep what we have.
+			break
+		}
+		if rec.Seq <= db.seq {
+			continue
+		}
+		db.seq = rec.Seq
+		db.walN++
+		switch rec.Op {
+		case "create":
+			if rec.Schema != nil {
+				if _, exists := db.tables[rec.Table]; !exists {
+					db.createTableLocked(*rec.Schema)
+				}
+			}
+		case "upsert":
+			t, ok := db.tables[rec.Table]
+			if !ok {
+				continue
+			}
+			norm, err := normalizeRow(t.schema, rec.Row)
+			if err != nil {
+				continue
+			}
+			db.upsertLocked(t, rec.PK, norm)
+		case "delete":
+			t, ok := db.tables[rec.Table]
+			if !ok {
+				continue
+			}
+			if old, exists := t.rows[rec.PK]; exists {
+				for col, vm := range t.indexes {
+					if ov, ok := old[col]; ok {
+						key := encodeKey(ov)
+						delete(vm[key], rec.PK)
+						if len(vm[key]) == 0 {
+							delete(vm, key)
+						}
+					}
+				}
+				delete(t.rows, rec.PK)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// normalizeRow coerces all values of a JSON-decoded row to schema types.
+func normalizeRow(s Schema, row Row) (Row, error) {
+	out := make(Row, len(row))
+	for _, c := range s.Columns {
+		v, ok := row[c.Name]
+		if !ok {
+			continue
+		}
+		nv, err := normalize(c.Type, v)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Name] = nv
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package resourcemanager
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+type stubSource []model.Unit
+
+func (s stubSource) Units(cutoff time.Time) []model.Unit {
+	var out []model.Unit
+	for _, u := range s {
+		if u.EndedAt == 0 || u.EndedAt >= cutoff.UnixMilli() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func TestLocalFetcher(t *testing.T) {
+	src := stubSource{
+		{UUID: "c/slurm/1", ID: "1", User: "a", EndedAt: 0},
+		{UUID: "c/slurm/2", ID: "2", User: "b", EndedAt: 1000},
+	}
+	f := &Local{Cluster: "c", Kind: model.ManagerSLURM, Source: src}
+	if f.ClusterID() != "c" || f.Manager() != model.ManagerSLURM {
+		t.Error("metadata wrong")
+	}
+	units, err := f.FetchUnits(context.Background(), time.UnixMilli(0))
+	if err != nil || len(units) != 2 {
+		t.Fatalf("units = %d, %v", len(units), err)
+	}
+	units, _ = f.FetchUnits(context.Background(), time.UnixMilli(5000))
+	if len(units) != 1 {
+		t.Errorf("cutoff units = %d", len(units))
+	}
+}
+
+func TestSlurmDBDFetcherErrors(t *testing.T) {
+	// Server returning garbage.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer bad.Close()
+	f := &SlurmDBD{Cluster: "c", BaseURL: bad.URL}
+	if _, err := f.FetchUnits(context.Background(), time.Unix(0, 0)); err == nil {
+		t.Error("garbage response accepted")
+	}
+	// Server returning 500.
+	srvErr := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", 500)
+	}))
+	defer srvErr.Close()
+	f = &SlurmDBD{Cluster: "c", BaseURL: srvErr.URL}
+	if _, err := f.FetchUnits(context.Background(), time.Unix(0, 0)); err == nil {
+		t.Error("500 accepted")
+	}
+	// Unreachable server.
+	f = &SlurmDBD{Cluster: "c", BaseURL: "http://127.0.0.1:1"}
+	if _, err := f.FetchUnits(context.Background(), time.Unix(0, 0)); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestSlurmDBDFetcherPassesSince(t *testing.T) {
+	var gotSince string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotSince = r.URL.Query().Get("since")
+		json.NewEncoder(w).Encode([]model.Unit{{UUID: "c/slurm/9", ID: "9"}})
+	}))
+	defer srv.Close()
+	f := &SlurmDBD{Cluster: "c", BaseURL: srv.URL}
+	units, err := f.FetchUnits(context.Background(), time.UnixMilli(123456))
+	if err != nil || len(units) != 1 {
+		t.Fatalf("units = %d, %v", len(units), err)
+	}
+	if gotSince != "123456" {
+		t.Errorf("since = %q", gotSince)
+	}
+}

@@ -1,0 +1,249 @@
+// Package ceemsrules ships the CEEMS energy-estimation recording rules:
+// the paper's Eq. 1 and its per-hardware-class variants (§III.A), written
+// against the metric names of the CEEMS exporter and the vendor GPU
+// exporters. Each node class gets its own rule group, mirroring the
+// paper's "different Prometheus recording rules for different compute node
+// groups"; the groups are validated against the core.Estimator reference
+// implementation in the tests.
+package ceemsrules
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Options parameterize the generated rules.
+type Options struct {
+	// RateWindow is the range window for counter rates, e.g. "2m".
+	RateWindow string
+	// Interval is the evaluation interval of the groups.
+	Interval time.Duration
+	// NetworkFraction is Eq. 1's equally-split share (0.1 in the paper).
+	NetworkFraction float64
+}
+
+// DefaultOptions matches the paper's deployment.
+func DefaultOptions() Options {
+	return Options{RateWindow: "2m", Interval: time.Minute, NetworkFraction: 0.1}
+}
+
+// common returns the shared intermediate rules (node rates and unit
+// shares) for a node group selected by the cluster group label
+// nodeclass=<class>.
+func common(o Options, class string) []rules.Rule {
+	sel := func(metric string) string {
+		return fmt.Sprintf(`%s{nodeclass="%s"}`, metric, class)
+	}
+	w := o.RateWindow
+	return []rules.Rule{
+		{
+			Record: "instance:rapl_cpu_watts:" + class,
+			Expr:   fmt.Sprintf(`sum by (instance) (rate(%s[%s]))`, sel("ceems_rapl_package_joules_total"), w),
+		},
+		{
+			Record: "instance:rapl_dram_watts:" + class,
+			Expr:   fmt.Sprintf(`sum by (instance) (rate(%s[%s]))`, sel("ceems_rapl_dram_joules_total"), w),
+		},
+		{
+			Record: "instance:node_cpu_rate:" + class,
+			Expr: fmt.Sprintf(`sum by (instance) (rate(%s[%s]))`,
+				fmt.Sprintf(`ceems_cpu_seconds_total{nodeclass="%s",mode=~"user|system"}`, class), w),
+		},
+		{
+			Record: "instance:node_mem_used_bytes:" + class,
+			Expr: fmt.Sprintf(
+				`sum by (instance) (ceems_meminfo_bytes{nodeclass="%s",field="MemTotal"}) - sum by (instance) (ceems_meminfo_bytes{nodeclass="%s",field="MemAvailable"})`,
+				class, class),
+		},
+		{
+			Record: "uuid:cpu_share:" + class,
+			Expr: fmt.Sprintf(
+				`rate(%s[%s]) / on (instance) group_left instance:node_cpu_rate:%s`,
+				sel("ceems_compute_unit_cpu_usage_seconds_total"), w, class),
+		},
+		{
+			Record: "uuid:mem_share:" + class,
+			Expr: fmt.Sprintf(
+				`%s / on (instance) group_left instance:node_mem_used_bytes:%s`,
+				sel("ceems_compute_unit_memory_used_bytes"), class),
+		},
+	}
+}
+
+// hostPowerRules builds the Eq. 1 split on top of the common rules.
+// ipmiExpr is the node power expression — raw IPMI, or IPMI minus GPU for
+// classes whose BMC includes accelerators. dramSplit selects the Intel
+// (true) or AMD (false) variant.
+func hostPowerRules(o Options, class, ipmiExpr string, dramSplit bool) []rules.Rule {
+	resid := 1 - o.NetworkFraction
+	out := []rules.Rule{
+		{
+			Record: "instance:node_watts:" + class,
+			Expr:   ipmiExpr,
+		},
+		{
+			Record: "instance:net_watts_per_unit:" + class,
+			Expr: fmt.Sprintf(
+				`%g * instance:node_watts:%s / on (instance) group_left sum by (instance) (ceems_compute_units{nodeclass="%s"})`,
+				o.NetworkFraction, class, class),
+		},
+		{
+			// Fans the per-unit network share out to unit label sets by
+			// piggybacking on cpu_share's labels.
+			Record: "uuid:net_share_helper:" + class,
+			Expr: fmt.Sprintf(
+				`uuid:cpu_share:%s * 0 + on (instance) group_left instance:net_watts_per_unit:%s`,
+				class, class),
+		},
+	}
+	if dramSplit {
+		out = append(out,
+			rules.Rule{
+				Record: "instance:cpu_watts:" + class,
+				Expr: fmt.Sprintf(
+					`%g * instance:node_watts:%s * on (instance) (instance:rapl_cpu_watts:%s / (instance:rapl_cpu_watts:%s + instance:rapl_dram_watts:%s))`,
+					resid, class, class, class, class),
+			},
+			rules.Rule{
+				Record: "instance:dram_watts:" + class,
+				Expr: fmt.Sprintf(
+					`%g * instance:node_watts:%s * on (instance) (instance:rapl_dram_watts:%s / (instance:rapl_cpu_watts:%s + instance:rapl_dram_watts:%s))`,
+					resid, class, class, class, class),
+			},
+			rules.Rule{
+				Record: "uuid:host_watts:" + class,
+				Expr: fmt.Sprintf(
+					`uuid:cpu_share:%s * on (instance) group_left instance:cpu_watts:%s + on (uuid, instance) group_left uuid:mem_share:%s * on (instance) group_left instance:dram_watts:%s + on (uuid, instance) group_left uuid:net_share_helper:%s`,
+					class, class, class, class, class),
+			},
+		)
+	} else {
+		out = append(out, rules.Rule{
+			Record: "uuid:host_watts:" + class,
+			Expr: fmt.Sprintf(
+				`%g * uuid:cpu_share:%s * on (instance) group_left instance:node_watts:%s + on (uuid, instance) group_left uuid:net_share_helper:%s`,
+				resid, class, class, class),
+		})
+	}
+	return out
+}
+
+// IntelGroup is the full Eq. 1 for Intel CPU nodes (RAPL package + dram,
+// IPMI covers the node).
+func IntelGroup(o Options) *rules.Group {
+	const class = "intel"
+	rs := common(o, class)
+	rs = append(rs, hostPowerRules(o, class,
+		fmt.Sprintf(`sum by (instance) (ceems_ipmi_dcmi_current_watts{nodeclass="%s"})`, class), true)...)
+	rs = append(rs, rules.Rule{
+		Record: "uuid:total_watts:" + class,
+		Expr:   "uuid:host_watts:" + class,
+	})
+	return &rules.Group{Name: "ceems-" + class, Interval: o.Interval, Rules: rs}
+}
+
+// AMDGroup is the CPU-share-only variant for AMD nodes lacking the DRAM
+// RAPL domain.
+func AMDGroup(o Options) *rules.Group {
+	const class = "amd"
+	rs := common(o, class)
+	rs = append(rs, hostPowerRules(o, class,
+		fmt.Sprintf(`sum by (instance) (ceems_ipmi_dcmi_current_watts{nodeclass="%s"})`, class), false)...)
+	rs = append(rs, rules.Rule{
+		Record: "uuid:total_watts:" + class,
+		Expr:   "uuid:host_watts:" + class,
+	})
+	return &rules.Group{Name: "ceems-" + class, Interval: o.Interval, Rules: rs}
+}
+
+// gpuRules attributes device power to units through the unit→GPU index map
+// the exporter publishes (paper §II.A.d).
+func gpuRules(class string) []rules.Rule {
+	return []rules.Rule{
+		{
+			Record: "instance:gpu_watts:" + class,
+			Expr: fmt.Sprintf(
+				`sum by (instance) (DCGM_FI_DEV_POWER_USAGE{nodeclass="%s"})`, class),
+		},
+		{
+			Record: "uuid:gpu_watts:" + class,
+			Expr: fmt.Sprintf(
+				`sum by (uuid, instance, cluster) (ceems_compute_unit_gpu_index_flag{nodeclass="%s"} * on (instance, index) group_left label_replace(DCGM_FI_DEV_POWER_USAGE{nodeclass="%s"}, "index", "$1", "gpu", "(.+)"))`,
+				class, class),
+		},
+		{
+			// Summed device utilization per unit (percent); the API server
+			// divides by the unit's GPU count for the mean.
+			Record: "uuid:gpu_util_percent:" + class,
+			Expr: fmt.Sprintf(
+				`sum by (uuid, instance, cluster) (ceems_compute_unit_gpu_index_flag{nodeclass="%s"} * on (instance, index) group_left label_replace(DCGM_FI_DEV_GPU_UTIL{nodeclass="%s"}, "index", "$1", "gpu", "(.+)"))`,
+				class, class),
+		},
+	}
+}
+
+// GPUExcludedGroup handles GPU nodes whose IPMI reading does NOT include
+// GPU power: Eq. 1 splits the host power, device power adds on top.
+func GPUExcludedGroup(o Options) *rules.Group {
+	const class = "gpuexc"
+	rs := common(o, class)
+	rs = append(rs, gpuRules(class)...)
+	rs = append(rs, hostPowerRules(o, class,
+		fmt.Sprintf(`sum by (instance) (ceems_ipmi_dcmi_current_watts{nodeclass="%s"})`, class), true)...)
+	rs = append(rs, rules.Rule{
+		Record: "uuid:total_watts:" + class,
+		Expr: fmt.Sprintf(
+			`(uuid:host_watts:%s + on (uuid, instance) group_left uuid:gpu_watts:%s) or uuid:host_watts:%s`,
+			class, class, class),
+	})
+	return &rules.Group{Name: "ceems-" + class, Interval: o.Interval, Rules: rs}
+}
+
+// GPUIncludedGroup handles GPU nodes whose IPMI reading includes GPU
+// power: device power is subtracted before the Eq. 1 split, then
+// re-attributed per unit from the device metrics.
+func GPUIncludedGroup(o Options) *rules.Group {
+	const class = "gpuinc"
+	rs := common(o, class)
+	rs = append(rs, gpuRules(class)...)
+	ipmi := fmt.Sprintf(
+		`clamp_min(sum by (instance) (ceems_ipmi_dcmi_current_watts{nodeclass="%s"}) - instance:gpu_watts:%s, 0)`,
+		class, class)
+	rs = append(rs, hostPowerRules(o, class, ipmi, true)...)
+	rs = append(rs, rules.Rule{
+		Record: "uuid:total_watts:" + class,
+		Expr: fmt.Sprintf(
+			`(uuid:host_watts:%s + on (uuid, instance) group_left uuid:gpu_watts:%s) or uuid:host_watts:%s`,
+			class, class, class),
+	})
+	return &rules.Group{Name: "ceems-" + class, Interval: o.Interval, Rules: rs}
+}
+
+// EmissionsGroup converts per-unit power into emission rates using the
+// ingested grid factor series ceems_emission_factor_gco2_kwh{zone=...}.
+func EmissionsGroup(o Options, classes ...string) *rules.Group {
+	var rs []rules.Rule
+	for _, class := range classes {
+		rs = append(rs, rules.Rule{
+			// g/h = W/1000 (kW) * factor (g/kWh).
+			Record: "uuid:emissions_grams_per_hour:" + class,
+			Expr: fmt.Sprintf(
+				`uuid:total_watts:%s * on () group_left ceems_emission_factor_gco2_kwh / 1000`, class),
+		})
+	}
+	return &rules.Group{Name: "ceems-emissions", Interval: o.Interval, Rules: rs}
+}
+
+// AllGroups returns every rule group for a cluster with all four node
+// classes plus emissions.
+func AllGroups(o Options) []*rules.Group {
+	return []*rules.Group{
+		IntelGroup(o),
+		AMDGroup(o),
+		GPUExcludedGroup(o),
+		GPUIncludedGroup(o),
+		EmissionsGroup(o, "intel", "amd", "gpuexc", "gpuinc"),
+	}
+}

@@ -1,0 +1,289 @@
+package ceemsrules
+
+import (
+	"context"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exporter"
+	"repro/internal/gpusim"
+	"repro/internal/hw"
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/rules"
+	"repro/internal/scrape"
+	"repro/internal/tsdb"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// exporterFetcher scrapes in-process exporters by target name.
+type exporterFetcher map[string]*exporter.Exporter
+
+func (f exporterFetcher) Fetch(_ context.Context, target string) (io.ReadCloser, error) {
+	return io.NopCloser(strings.NewReader(f[target].Render())), nil
+}
+
+type stubBindings map[string][]exporter.GPUBinding
+
+func (s stubBindings) GPUOrdinalsByUnit() map[string][]exporter.GPUBinding { return s }
+
+// simEnv wires node→exporter→scrape→tsdb→rules with a virtual clock.
+type simEnv struct {
+	node  *hw.Node
+	db    *tsdb.DB
+	sm    *scrape.Manager
+	rm    *rules.Manager
+	clock time.Time
+}
+
+func newSimEnv(t *testing.T, spec hw.NodeSpec, class string, groups []*rules.Group, gpuProv exporter.GPUOrdinalProvider) *simEnv {
+	t.Helper()
+	spec.NoiseFrac = 0
+	node, err := hw.NewNode(spec, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectors := []exporter.Collector{
+		&exporter.CgroupCollector{FS: node.FS, Layout: exporter.SlurmLayout()},
+		&exporter.RAPLCollector{FS: node.FS},
+		&exporter.IPMICollector{Reader: node},
+		&exporter.NodeCollector{FS: node.FS},
+	}
+	if len(spec.GPUs) > 0 {
+		collectors = append(collectors, &gpusim.DCGMCollector{Hostname: spec.Name, Devices: node})
+		if gpuProv != nil {
+			collectors = append(collectors, &exporter.GPUMapCollector{Provider: gpuProv, Manager: model.ManagerSLURM})
+		}
+	}
+	exp := exporter.New(collectors...)
+	db := tsdb.Open(tsdb.DefaultOptions())
+	env := &simEnv{node: node, db: db, clock: t0}
+	env.sm = &scrape.Manager{
+		Dest:    db,
+		Fetcher: exporterFetcher{spec.Name: exp},
+		Groups: []*scrape.TargetGroup{{
+			JobName: "ceems", Targets: []string{spec.Name},
+			Labels: map[string]string{"nodeclass": class},
+		}},
+		Now: func() time.Time { return env.clock },
+	}
+	env.rm = &rules.Manager{Engine: rules.NewEngine(nil), Query: db, Dest: db, Groups: groups}
+	return env
+}
+
+// run advances the sim n steps of 15s, scraping each step, then evaluates
+// the rules at the final clock.
+func (e *simEnv) run(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e.node.Advance(15 * time.Second)
+		e.clock = e.clock.Add(15 * time.Second)
+		e.sm.ScrapeAll(context.Background())
+	}
+	if err := e.rm.EvalAll(e.clock); err != nil {
+		t.Fatalf("rules eval: %v", err)
+	}
+}
+
+// lastValue reads the newest sample of each series of a metric, keyed by
+// the uuid label ("" for instance-level records).
+func (e *simEnv) lastValue(t *testing.T, metric string) map[string]float64 {
+	t.Helper()
+	series, err := e.db.Select(0, 1<<62, labels.MustMatcher(labels.MatchEqual, labels.MetricName, metric))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, s := range series {
+		out[s.Labels.Get("uuid")] = s.Samples[len(s.Samples)-1].V
+	}
+	return out
+}
+
+func TestAllGroupsValidate(t *testing.T) {
+	for _, g := range AllGroups(DefaultOptions()) {
+		if err := g.Validate(); err != nil {
+			t.Errorf("group %s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestIntelEq1AgainstReference(t *testing.T) {
+	env := newSimEnv(t, hw.DefaultIntelSpec("n1"), "intel",
+		[]*rules.Group{IntelGroup(DefaultOptions())}, nil)
+	env.node.AddWorkload(&hw.Workload{
+		ID: "job_1", CPUs: 32, MemLimit: 128 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.9 },
+		MemUtil: func(time.Duration) float64 { return 0.6 },
+	})
+	env.node.AddWorkload(&hw.Workload{
+		ID: "job_2", CPUs: 16, MemLimit: 64 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.4 },
+		MemUtil: func(time.Duration) float64 { return 0.3 },
+	})
+	env.run(t, 12) // 3 minutes: rate windows fully populated
+
+	hostW := env.lastValue(t, "uuid:host_watts:intel")
+	if len(hostW) != 2 {
+		t.Fatalf("host watts series = %v", hostW)
+	}
+
+	// Reference: compute the same quantities with core.Estimator from the
+	// simulator's raw state.
+	ipmi, _ := env.node.PowerReading()
+	cpuW, dramW, _ := env.node.ComponentPowers()
+	node := core.NodeSample{
+		IPMIWatts: ipmi, RAPLCPUWatts: cpuW, RAPLDRAMWatts: dramW,
+		CPURate:  0.9*32 + 0.4*16 + 0.004*64, // workloads + OS baseline
+		MemBytes: 0.6*128*float64(1<<30) + 0.3*64*float64(1<<30),
+		NumUnits: 2,
+	}
+	est := core.IntelVariant()
+	ref1, _ := est.HostPower(node, core.UnitSample{CPURate: 0.9 * 32, MemBytes: 0.6 * 128 * float64(1<<30)})
+	ref2, _ := est.HostPower(node, core.UnitSample{CPURate: 0.4 * 16, MemBytes: 0.3 * 64 * float64(1<<30)})
+
+	if rel(hostW["1"], ref1) > 0.03 {
+		t.Errorf("job_1: rules=%v reference=%v", hostW["1"], ref1)
+	}
+	if rel(hostW["2"], ref2) > 0.03 {
+		t.Errorf("job_2: rules=%v reference=%v", hostW["2"], ref2)
+	}
+
+	// Conservation: Σ per-unit power ≈ IPMI power (OS baseline steals a
+	// sliver of the CPU share).
+	sum := hostW["1"] + hostW["2"]
+	if rel(sum, ipmi) > 0.03 {
+		t.Errorf("conservation: sum=%v ipmi=%v", sum, ipmi)
+	}
+
+	// Against simulator ground truth: Eq. 1 should land within 15%.
+	te1, _ := env.node.Truth("job_1")
+	tr1 := te1.HostJoules / env.clock.Sub(t0).Seconds()
+	if rel(hostW["1"], tr1) > 0.15 {
+		t.Errorf("truth check: rules=%v truth=%v", hostW["1"], tr1)
+	}
+}
+
+func TestAMDVariantAgainstReference(t *testing.T) {
+	env := newSimEnv(t, hw.DefaultAMDSpec("a1"), "amd",
+		[]*rules.Group{AMDGroup(DefaultOptions())}, nil)
+	env.node.AddWorkload(&hw.Workload{
+		ID: "job_9", CPUs: 64, MemLimit: 128 << 30,
+		CPUUtil: func(time.Duration) float64 { return 0.7 },
+	})
+	env.run(t, 12)
+
+	hostW := env.lastValue(t, "uuid:host_watts:amd")
+	if len(hostW) != 1 {
+		t.Fatalf("amd host watts = %v", hostW)
+	}
+	ipmi, _ := env.node.PowerReading()
+	node := core.NodeSample{
+		IPMIWatts: ipmi,
+		CPURate:   0.7*64 + 0.004*128,
+		NumUnits:  1,
+	}
+	ref, _ := core.AMDVariant().HostPower(node, core.UnitSample{CPURate: 0.7 * 64})
+	if rel(hostW["9"], ref) > 0.03 {
+		t.Errorf("amd: rules=%v reference=%v", hostW["9"], ref)
+	}
+}
+
+func TestGPUVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		included bool
+		class    string
+		group    func(Options) *rules.Group
+	}{
+		{"ipmi-includes-gpu", true, "gpuinc", GPUIncludedGroup},
+		{"ipmi-excludes-gpu", false, "gpuexc", GPUExcludedGroup},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := hw.DefaultGPUSpec("g1", tc.included, model.GPUA100, model.GPUA100)
+			bindings := stubBindings{
+				"5": {{Ordinal: 0, UUID: "GPU-a"}},
+			}
+			env := newSimEnv(t, spec, tc.class,
+				[]*rules.Group{tc.group(DefaultOptions())}, bindings)
+			env.node.AddWorkload(&hw.Workload{
+				ID: "job_5", CPUs: 8, MemLimit: 32 << 30, GPUOrdinals: []int{0},
+				CPUUtil: func(time.Duration) float64 { return 0.5 },
+				GPUUtil: func(time.Duration) float64 { return 1.0 },
+			})
+			env.node.AddWorkload(&hw.Workload{
+				ID: "job_6", CPUs: 8, MemLimit: 32 << 30,
+				CPUUtil: func(time.Duration) float64 { return 0.5 },
+			})
+			env.run(t, 12)
+
+			gpuW := env.lastValue(t, "uuid:gpu_watts:"+tc.class)
+			if rel(gpuW["5"], model.GPUA100.MaxPowerWatts()) > 0.01 {
+				t.Errorf("gpu attribution = %v, want %v", gpuW["5"], model.GPUA100.MaxPowerWatts())
+			}
+			if _, ok := gpuW["6"]; ok {
+				t.Error("CPU-only job received GPU power")
+			}
+			totalW := env.lastValue(t, "uuid:total_watts:"+tc.class)
+			if len(totalW) != 2 {
+				t.Fatalf("total series = %v", totalW)
+			}
+			// GPU job total must include its device power; CPU job not.
+			if totalW["5"] < model.GPUA100.MaxPowerWatts() {
+				t.Errorf("gpu job total %v missing device power", totalW["5"])
+			}
+			if totalW["6"] > totalW["5"] {
+				t.Error("cpu-only job attributed more than gpu job")
+			}
+			// Conservation: totals ≈ ipmi plus the power of the bound GPU
+			// (when the BMC excludes GPUs), minus the idle power of the
+			// unbound GPU (when it includes them) — idle accelerators
+			// belong to no compute unit, so their draw is unattributable.
+			ipmi, _ := env.node.PowerReading()
+			gpus := env.node.GPUs()
+			boundW, idleUnboundW := gpus[0].PowerWatts(), gpus[1].PowerWatts()
+			wantTotal := ipmi - idleUnboundW
+			if !tc.included {
+				wantTotal = ipmi + boundW
+			}
+			sum := totalW["5"] + totalW["6"]
+			if rel(sum, wantTotal) > 0.03 {
+				t.Errorf("conservation: sum=%v want=%v (ipmi=%v bound=%v idle=%v)",
+					sum, wantTotal, ipmi, boundW, idleUnboundW)
+			}
+		})
+	}
+}
+
+func TestEmissionsGroup(t *testing.T) {
+	env := newSimEnv(t, hw.DefaultIntelSpec("n1"), "intel",
+		[]*rules.Group{IntelGroup(DefaultOptions()), EmissionsGroup(DefaultOptions(), "intel")}, nil)
+	env.node.AddWorkload(&hw.Workload{
+		ID: "job_1", CPUs: 64, MemLimit: 128 << 30,
+		CPUUtil: func(time.Duration) float64 { return 1.0 },
+	})
+	// Ingest the grid factor series (56 g/kWh, France).
+	factor := labels.FromStrings(labels.MetricName, "ceems_emission_factor_gco2_kwh", "zone", "FR")
+	for i := 0; i <= 13; i++ {
+		env.db.Append(factor, t0.Add(time.Duration(i)*15*time.Second).UnixMilli(), 56)
+	}
+	env.run(t, 12)
+	em := env.lastValue(t, "uuid:emissions_grams_per_hour:intel")
+	total := env.lastValue(t, "uuid:total_watts:intel")
+	want := total["1"] / 1000 * 56
+	if rel(em["1"], want) > 0.01 {
+		t.Errorf("emissions = %v, want %v", em["1"], want)
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

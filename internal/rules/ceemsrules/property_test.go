@@ -1,0 +1,87 @@
+package ceemsrules
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rules"
+)
+
+// Property: for ANY random workload mix on an Intel node, the Eq. 1
+// recording rules conserve node power — Σ uuid:host_watts ≈ IPMI — and
+// attribution is ordered by activity (a strictly busier job never gets
+// less power). This is the randomized generalization of the deterministic
+// reference test.
+func TestEq1RulesConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed pipeline property test")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			spec := hw.DefaultIntelSpec("prop")
+			spec.NoiseFrac = 0
+			env := newSimEnv(t, spec, "intel",
+				[]*rules.Group{IntelGroup(DefaultOptions())}, nil)
+
+			nJobs := 1 + rng.Intn(6)
+			cpusLeft := spec.TotalCPUs()
+			type jobInfo struct {
+				id   string
+				util float64
+				cpus int
+			}
+			var jobs []jobInfo
+			for j := 0; j < nJobs; j++ {
+				maxCPU := cpusLeft - (nJobs - j - 1) // leave ≥1 cpu per later job
+				if maxCPU < 1 {
+					break
+				}
+				cpus := 1 + rng.Intn(maxCPU)
+				cpusLeft -= cpus
+				util := 0.05 + 0.9*rng.Float64()
+				id := string(rune('1' + j))
+				err := env.node.AddWorkload(&hw.Workload{
+					ID: "job_" + id, CPUs: cpus,
+					MemLimit: spec.MemBytes / int64(nJobs),
+					CPUUtil:  func(time.Duration) float64 { return util },
+					MemUtil:  func(time.Duration) float64 { return 0.1 + 0.8*rng.Float64() },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs, jobInfo{id: id, util: util * float64(cpus)})
+			}
+			env.run(t, 12)
+
+			hostW := env.lastValue(t, "uuid:host_watts:intel")
+			if len(hostW) != len(jobs) {
+				t.Fatalf("series = %d, want %d", len(hostW), len(jobs))
+			}
+			ipmi, _ := env.node.PowerReading()
+			var sum float64
+			for _, w := range hostW {
+				if w < 0 {
+					t.Fatalf("negative attribution: %v", hostW)
+				}
+				sum += w
+			}
+			if rel(sum, ipmi) > 0.03 {
+				t.Errorf("seed %d: conservation broken: sum=%.1f ipmi=%.1f", seed, sum, ipmi)
+			}
+			// Activity ordering: job with 2x+ the active-cpu rate of
+			// another must not receive less power.
+			for _, a := range jobs {
+				for _, b := range jobs {
+					if a.util > 2*b.util && hostW[a.id] < hostW[b.id]*0.95 {
+						t.Errorf("seed %d: ordering violated: job %s (%.1f active cpus, %.1f W) vs job %s (%.1f, %.1f W)",
+							seed, a.id, a.util, hostW[a.id], b.id, b.util, hostW[b.id])
+					}
+				}
+			}
+		})
+	}
+}

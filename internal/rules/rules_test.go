@@ -1,0 +1,220 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/tsdb"
+)
+
+func seedDB(t *testing.T) *tsdb.DB {
+	t.Helper()
+	db := tsdb.Open(tsdb.DefaultOptions())
+	for i := int64(0); i <= 20; i++ {
+		ts := i * 15000
+		if err := db.Append(labels.FromStrings(labels.MetricName, "energy_joules_total", "node", "n1"), ts, float64(i)*1500); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(labels.FromStrings(labels.MetricName, "energy_joules_total", "node", "n2"), ts, float64(i)*3000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestEvalGroupWritesRecords(t *testing.T) {
+	db := seedDB(t)
+	g := &Group{
+		Name: "energy",
+		Rules: []Rule{
+			{Record: "node:power_watts", Expr: `rate(energy_joules_total[2m])`},
+			{Record: "cluster:power_watts", Expr: `sum(rate(energy_joules_total[2m]))`,
+				Labels: map[string]string{"cluster": "jz"}},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	eng := NewEngine(nil)
+	ts := model.MillisToTime(300 * 1000)
+	if err := eng.EvalGroup(g, db, db, ts); err != nil {
+		t.Fatalf("EvalGroup: %v", err)
+	}
+	// Per-node records.
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "node:power_watts"))
+	if len(got) != 2 {
+		t.Fatalf("node records = %d", len(got))
+	}
+	if v := got[0].Samples[0].V; v != 100 { // 1500 J per 15 s
+		t.Errorf("n1 power = %v, want 100", v)
+	}
+	// Aggregate record with static label.
+	got, _ = db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "cluster:power_watts"))
+	if len(got) != 1 {
+		t.Fatalf("cluster records = %d", len(got))
+	}
+	if got[0].Labels.Get("cluster") != "jz" {
+		t.Errorf("static label missing: %v", got[0].Labels)
+	}
+	if v := got[0].Samples[0].V; v != 300 {
+		t.Errorf("cluster power = %v, want 300", v)
+	}
+	// Stats recorded.
+	st := eng.Stats()["energy"]
+	if st.EvalCount != 1 || st.SeriesLastWrite != 3 || st.FailureCount != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Group{
+		{Name: "", Rules: []Rule{{Record: "r", Expr: "1"}}},
+		{Name: "g", Rules: []Rule{{Record: "", Expr: "1"}}},
+		{Name: "g", Rules: []Rule{{Record: "r", Expr: "sum("}}},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEvalGroupContinuesOnError(t *testing.T) {
+	db := seedDB(t)
+	g := &Group{
+		Name: "mixed",
+		Rules: []Rule{
+			// label_replace with bad regex fails at eval time.
+			{Record: "bad", Expr: `label_replace(energy_joules_total, "a", "$1", "b", "(")`},
+			{Record: "good", Expr: `energy_joules_total`},
+		},
+	}
+	eng := NewEngine(nil)
+	err := eng.EvalGroup(g, db, db, model.MillisToTime(300*1000))
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("expected error mentioning rule, got %v", err)
+	}
+	// Second rule still ran.
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "good"))
+	if len(got) != 2 {
+		t.Errorf("good rule did not run: %d series", len(got))
+	}
+	if eng.Stats()["mixed"].FailureCount != 1 {
+		t.Errorf("failure not recorded")
+	}
+}
+
+func TestScalarRule(t *testing.T) {
+	db := seedDB(t)
+	g := &Group{Name: "s", Rules: []Rule{{Record: "answer", Expr: "6 * 7"}}}
+	eng := NewEngine(nil)
+	if err := eng.EvalGroup(g, db, db, model.MillisToTime(1000)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "answer"))
+	if len(got) != 1 || got[0].Samples[0].V != 42 {
+		t.Errorf("scalar rule = %+v", got)
+	}
+}
+
+func TestManagerEvalAll(t *testing.T) {
+	db := seedDB(t)
+	m := &Manager{
+		Engine: NewEngine(nil),
+		Query:  db,
+		Dest:   db,
+		Groups: []*Group{
+			{Name: "b", Rules: []Rule{{Record: "r1", Expr: "1"}}},
+			{Name: "a", Rules: []Rule{{Record: "r2", Expr: "2"}}},
+		},
+	}
+	if err := m.EvalAll(model.MillisToTime(1000)); err != nil {
+		t.Fatalf("EvalAll: %v", err)
+	}
+	for _, rec := range []string{"r1", "r2"} {
+		got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, rec))
+		if len(got) != 1 {
+			t.Errorf("%s not written", rec)
+		}
+	}
+	names := m.SortedGroupNames()
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("sorted names = %v", names)
+	}
+}
+
+// Rules chained across evaluations: rule 2 reads rule 1's output from the
+// previous EvalAll.
+func TestChainedRulesAcrossIntervals(t *testing.T) {
+	db := seedDB(t)
+	m := &Manager{
+		Engine: NewEngine(nil),
+		Query:  db,
+		Dest:   db,
+		Groups: []*Group{{
+			Name: "chain",
+			Rules: []Rule{
+				{Record: "lvl1", Expr: `sum(energy_joules_total)`},
+				{Record: "lvl2", Expr: `lvl1 * 2`},
+			},
+		}},
+	}
+	// First eval: lvl1 written; lvl2 sees nothing yet (same timestamp
+	// lookback does include lvl1 written in the same pass at an earlier
+	// wall moment? No: lvl1's sample carries ts, and lvl2's selector reads
+	// storage at the same ts — the appended sample is visible).
+	if err := m.EvalAll(model.MillisToTime(300 * 1000)); err != nil {
+		t.Fatalf("EvalAll: %v", err)
+	}
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "lvl2"))
+	if len(got) != 1 {
+		t.Fatalf("lvl2 missing")
+	}
+	want := (20*1500.0 + 20*3000.0) * 2
+	if got[0].Samples[0].V != want {
+		t.Errorf("lvl2 = %v, want %v", got[0].Samples[0].V, want)
+	}
+}
+
+func BenchmarkEvalGroup(b *testing.B) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	for n := 0; n < 100; n++ {
+		ls := labels.FromStrings(labels.MetricName, "energy_joules_total", "node", string(rune('a'+n%26))+string(rune('0'+n/26)))
+		for i := int64(0); i <= 20; i++ {
+			db.Append(ls, i*15000, float64(i)*1500)
+		}
+	}
+	g := &Group{Name: "g", Rules: []Rule{
+		{Record: "node:power", Expr: `rate(energy_joules_total[2m])`},
+		{Record: "total:power", Expr: `sum(rate(energy_joules_total[2m]))`},
+	}}
+	eng := NewEngine(nil)
+	ts := model.MillisToTime(300 * 1000)
+	sink := tsdb.Open(tsdb.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.EvalGroup(g, db, &tsShift{sink, int64(i)}, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tsShift offsets appends so repeated benchmark iterations do not collide
+// on out-of-order timestamps.
+type tsShift struct {
+	db  *tsdb.DB
+	off int64
+}
+
+func (s *tsShift) Append(l labels.Labels, t int64, v float64) error {
+	return s.db.Append(l, t+s.off, v)
+}
+
+var _ promql.Queryable = (*tsdb.DB)(nil)
+var _ Appender = (*tsdb.DB)(nil)
+var _ = time.Second

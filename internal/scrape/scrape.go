@@ -1,0 +1,275 @@
+// Package scrape implements the Prometheus scrape loop: it polls exporter
+// endpoints on an interval, parses the text exposition format and appends
+// the samples to storage with target labels attached, plus the synthetic
+// `up` and `scrape_duration_seconds` series.
+//
+// Targets are fetched through the Fetcher interface. HTTPFetcher speaks
+// real HTTP (with optional basic auth); simulations can scrape thousands of
+// in-process exporters by providing a direct Fetcher, avoiding socket
+// exhaustion while exercising the same parse/append path.
+package scrape
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/expofmt"
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// Appender receives scraped samples; *tsdb.DB satisfies it.
+type Appender interface {
+	Append(lset labels.Labels, t int64, v float64) error
+}
+
+// Fetcher retrieves the exposition payload of one target.
+type Fetcher interface {
+	Fetch(ctx context.Context, target string) (io.ReadCloser, error)
+}
+
+// HTTPFetcher fetches over HTTP with optional basic auth.
+type HTTPFetcher struct {
+	Client   *http.Client
+	Username string
+	Password string
+}
+
+// Fetch issues GET http://<target>/metrics unless target already looks like
+// a URL.
+func (f *HTTPFetcher) Fetch(ctx context.Context, target string) (io.ReadCloser, error) {
+	url := target
+	if len(url) < 7 || (url[:7] != "http://" && (len(url) < 8 || url[:8] != "https://")) {
+		url = "http://" + target + "/metrics"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Username != "" {
+		req.SetBasicAuth(f.Username, f.Password)
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("scrape: %s returned %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// TargetGroup is a set of targets scraped with common settings, mirroring a
+// Prometheus scrape config. The paper relies on distinct groups per
+// hardware class ("grouping them in different scrape target groups").
+type TargetGroup struct {
+	// JobName becomes the `job` label.
+	JobName string `yaml:"job_name"`
+	// Targets are exporter addresses (host:port or full URLs).
+	Targets []string `yaml:"targets"`
+	// Labels are attached to every sample of the group.
+	Labels map[string]string `yaml:"labels"`
+	// Interval between scrapes; default 15s.
+	Interval time.Duration `yaml:"interval"`
+	// Timeout per scrape; default 10s.
+	Timeout time.Duration `yaml:"timeout"`
+}
+
+// Manager drives scrape loops for a set of target groups.
+type Manager struct {
+	Dest    Appender
+	Fetcher Fetcher
+	Groups  []*TargetGroup
+	// HonorTimestamps controls whether explicit exposition timestamps are
+	// kept; when false (default) the scrape time is used, as Prometheus
+	// does by default.
+	HonorTimestamps bool
+	// Now supplies the scrape timestamp; defaults to time.Now.
+	Now func() time.Time
+	// OnError receives scrape errors; nil drops them.
+	OnError func(target string, err error)
+
+	mu     sync.Mutex
+	health map[string]TargetHealth
+	// seen tracks, per target, the series appended by the previous scrape
+	// so vanished series get staleness markers (as Prometheus does).
+	seen map[string]map[uint64]labels.Labels
+}
+
+// TargetHealth is the status of one target.
+type TargetHealth struct {
+	Up           bool
+	LastScrape   time.Time
+	LastDuration time.Duration
+	LastError    string
+	Samples      int
+}
+
+// Run scrapes all groups on their intervals until ctx is cancelled.
+func (m *Manager) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, g := range m.Groups {
+		interval := g.Interval
+		if interval <= 0 {
+			interval = 15 * time.Second
+		}
+		for _, target := range g.Targets {
+			wg.Add(1)
+			go func(g *TargetGroup, target string) {
+				defer wg.Done()
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						m.ScrapeTarget(ctx, g, target)
+					}
+				}
+			}(g, target)
+		}
+	}
+	wg.Wait()
+}
+
+// ScrapeAll scrapes every target of every group once; simulations use this
+// with a virtual clock instead of Run.
+func (m *Manager) ScrapeAll(ctx context.Context) {
+	for _, g := range m.Groups {
+		for _, target := range g.Targets {
+			m.ScrapeTarget(ctx, g, target)
+		}
+	}
+}
+
+// ScrapeTarget performs one scrape of one target, appending samples and the
+// synthetic up/duration series.
+func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target string) {
+	now := time.Now
+	if m.Now != nil {
+		now = m.Now
+	}
+	timeout := g.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	start := now()
+	ts := start.UnixMilli()
+	samples, err := m.scrapeOnce(sctx, g, target, ts)
+	dur := time.Since(start)
+	if m.Now != nil {
+		dur = 0 // wall-clock duration is meaningless under a virtual clock
+	}
+
+	upVal := 1.0
+	errStr := ""
+	if err != nil {
+		upVal = 0
+		errStr = err.Error()
+		if m.OnError != nil {
+			m.OnError(target, err)
+		}
+	}
+	base := m.targetLabels(g, target)
+	up := labels.NewBuilder(base).Set(labels.MetricName, "up").Labels()
+	sd := labels.NewBuilder(base).Set(labels.MetricName, "scrape_duration_seconds").Labels()
+	m.Dest.Append(up, ts, upVal)
+	m.Dest.Append(sd, ts, dur.Seconds())
+
+	m.mu.Lock()
+	if m.health == nil {
+		m.health = map[string]TargetHealth{}
+	}
+	m.health[g.JobName+"/"+target] = TargetHealth{
+		Up: upVal == 1, LastScrape: start, LastDuration: dur,
+		LastError: errStr, Samples: samples,
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) scrapeOnce(ctx context.Context, g *TargetGroup, target string, ts int64) (int, error) {
+	body, err := m.Fetcher.Fetch(ctx, target)
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	fams, err := expofmt.Parse(body)
+	if err != nil {
+		return 0, err
+	}
+	base := m.targetLabels(g, target)
+	n := 0
+	cur := make(map[uint64]labels.Labels)
+	for _, fam := range fams {
+		for _, metric := range fam.Metrics {
+			b := labels.NewBuilder(metric.Labels)
+			// Target labels win over exposed labels (honor_labels=false).
+			for _, l := range base {
+				b.Set(l.Name, l.Value)
+			}
+			ls := b.Labels()
+			t := ts
+			if m.HonorTimestamps && metric.TS != 0 {
+				t = metric.TS
+			}
+			if err := m.Dest.Append(ls, t, metric.Value); err != nil {
+				// Out-of-order duplicates can occur when a scrape overlaps
+				// a retry; skip the sample but keep scraping.
+				continue
+			}
+			cur[ls.Hash()] = ls
+			n++
+		}
+	}
+	// Staleness: series present last scrape but absent now get a marker so
+	// queries stop seeing them immediately.
+	key := g.JobName + "/" + target
+	m.mu.Lock()
+	prev := m.seen[key]
+	if m.seen == nil {
+		m.seen = map[string]map[uint64]labels.Labels{}
+	}
+	m.seen[key] = cur
+	m.mu.Unlock()
+	for h, ls := range prev {
+		if _, still := cur[h]; !still {
+			m.Dest.Append(ls, ts, model.StaleNaN())
+		}
+	}
+	return n, nil
+}
+
+func (m *Manager) targetLabels(g *TargetGroup, target string) labels.Labels {
+	b := labels.NewBuilder(nil)
+	b.Set("job", g.JobName)
+	b.Set("instance", target)
+	for k, v := range g.Labels {
+		b.Set(k, v)
+	}
+	return b.Labels()
+}
+
+// Health returns a copy of the per-target health map keyed by
+// "<job>/<target>".
+func (m *Manager) Health() map[string]TargetHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TargetHealth, len(m.health))
+	for k, v := range m.health {
+		out[k] = v
+	}
+	return out
+}

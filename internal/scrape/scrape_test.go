@@ -1,0 +1,233 @@
+package scrape
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/tsdb"
+)
+
+// stringFetcher serves a fixed payload per target.
+type stringFetcher struct {
+	payloads map[string]string
+	calls    atomic.Int64
+}
+
+func (f *stringFetcher) Fetch(_ context.Context, target string) (io.ReadCloser, error) {
+	f.calls.Add(1)
+	p, ok := f.payloads[target]
+	if !ok {
+		return nil, errors.New("no such target")
+	}
+	return io.NopCloser(strings.NewReader(p)), nil
+}
+
+const payload = `# TYPE node_energy_joules_total counter
+node_energy_joules_total{domain="cpu"} 12345.6
+node_energy_joules_total{domain="dram"} 789.1
+# TYPE node_cpus gauge
+node_cpus 64
+`
+
+func TestScrapeAppendsWithTargetLabels(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{"n1:9100": payload}}
+	fixed := time.Unix(1000, 0)
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups: []*TargetGroup{{
+			JobName: "ceems", Targets: []string{"n1:9100"},
+			Labels: map[string]string{"cluster": "jz"},
+		}},
+		Now: func() time.Time { return fixed },
+	}
+	m.ScrapeAll(context.Background())
+
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "node_energy_joules_total"))
+	if len(got) != 2 {
+		t.Fatalf("series = %d, want 2", len(got))
+	}
+	ls := got[0].Labels
+	if ls.Get("job") != "ceems" || ls.Get("instance") != "n1:9100" || ls.Get("cluster") != "jz" {
+		t.Errorf("target labels missing: %v", ls)
+	}
+	if got[0].Samples[0].T != fixed.UnixMilli() {
+		t.Errorf("scrape ts = %d", got[0].Samples[0].T)
+	}
+	// up = 1 recorded.
+	up, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "up"))
+	if len(up) != 1 || up[0].Samples[0].V != 1 {
+		t.Errorf("up = %+v", up)
+	}
+	h := m.Health()["ceems/n1:9100"]
+	if !h.Up || h.Samples != 3 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestScrapeFailureRecordsDown(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{}}
+	var gotErr atomic.Bool
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups:  []*TargetGroup{{JobName: "j", Targets: []string{"down:9100"}}},
+		Now:     func() time.Time { return time.Unix(1000, 0) },
+		OnError: func(string, error) { gotErr.Store(true) },
+	}
+	m.ScrapeAll(context.Background())
+	up, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "up"))
+	if len(up) != 1 || up[0].Samples[0].V != 0 {
+		t.Fatalf("up = %+v, want 0", up)
+	}
+	if !gotErr.Load() {
+		t.Error("OnError not invoked")
+	}
+	if h := m.Health()["j/down:9100"]; h.Up || h.LastError == "" {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestScrapeSuccessiveTimestamps(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{"n1": "m 1\n"}}
+	now := time.Unix(1000, 0)
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups: []*TargetGroup{{JobName: "j", Targets: []string{"n1"}}},
+		Now:    func() time.Time { return now },
+	}
+	for i := 0; i < 3; i++ {
+		m.ScrapeAll(context.Background())
+		now = now.Add(15 * time.Second)
+	}
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 1 || len(got[0].Samples) != 3 {
+		t.Fatalf("scrape accumulation: %+v", got)
+	}
+}
+
+func TestHonorTimestamps(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{"n1": "m 5 12345\n"}}
+	m := &Manager{
+		Dest: db, Fetcher: f, HonorTimestamps: true,
+		Groups: []*TargetGroup{{JobName: "j", Targets: []string{"n1"}}},
+		Now:    func() time.Time { return time.Unix(1000, 0) },
+	}
+	m.ScrapeAll(context.Background())
+	got, _ := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if got[0].Samples[0].T != 12345 {
+		t.Errorf("honored ts = %d, want 12345", got[0].Samples[0].T)
+	}
+}
+
+func TestHTTPFetcher(t *testing.T) {
+	var sawAuth atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if u, p, ok := r.BasicAuth(); ok && u == "ceems" && p == "secret" {
+			sawAuth.Store(true)
+		}
+		w.Write([]byte(payload))
+	}))
+	defer srv.Close()
+
+	f := &HTTPFetcher{Username: "ceems", Password: "secret"}
+	body, err := f.Fetch(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	data, _ := io.ReadAll(body)
+	body.Close()
+	if !strings.Contains(string(data), "node_cpus 64") {
+		t.Errorf("payload = %s", data)
+	}
+	if !sawAuth.Load() {
+		t.Error("basic auth not sent")
+	}
+}
+
+func TestHTTPFetcherHostPort(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok 1\n"))
+	}))
+	defer srv.Close()
+	hostport := strings.TrimPrefix(srv.URL, "http://")
+	f := &HTTPFetcher{}
+	body, err := f.Fetch(context.Background(), hostport)
+	if err != nil {
+		t.Fatalf("Fetch host:port: %v", err)
+	}
+	body.Close()
+}
+
+func TestHTTPFetcherNon200(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{}
+	if _, err := f.Fetch(context.Background(), srv.URL); err == nil {
+		t.Error("expected error for 403")
+	}
+}
+
+func TestRunScrapesOnInterval(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{"n1": "m 1\n"}}
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups: []*TargetGroup{{
+			JobName: "j", Targets: []string{"n1"},
+			Interval: 10 * time.Millisecond,
+		}},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	m.Run(ctx)
+	if calls := f.calls.Load(); calls < 3 {
+		t.Errorf("expected >=3 scrapes, got %d", calls)
+	}
+}
+
+func BenchmarkScrapeParseAppend(b *testing.B) {
+	// Build a realistic exporter payload: ~300 samples.
+	var sb strings.Builder
+	sb.WriteString("# TYPE node_cpu_seconds_total counter\n")
+	for cpu := 0; cpu < 64; cpu++ {
+		for _, mode := range []string{"user", "system", "idle", "iowait"} {
+			sb.WriteString("node_cpu_seconds_total{cpu=\"")
+			sb.WriteString(string(rune('0' + cpu%10)))
+			sb.WriteString("\",mode=\"")
+			sb.WriteString(mode)
+			sb.WriteString("\"} 123.45\n")
+		}
+	}
+	payload := sb.String()
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &stringFetcher{payloads: map[string]string{"n1": payload}}
+	now := time.Unix(0, 0)
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups: []*TargetGroup{{JobName: "j", Targets: []string{"n1"}}},
+		Now:    func() time.Time { return now },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(15 * time.Second)
+		m.ScrapeAll(context.Background())
+	}
+}

@@ -1,0 +1,110 @@
+package scrape
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/tsdb"
+)
+
+// mutableFetcher lets the test change the payload between scrapes.
+type mutableFetcher struct {
+	mu      sync.Mutex
+	payload string
+}
+
+func (f *mutableFetcher) set(p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.payload = p
+}
+
+func (f *mutableFetcher) Fetch(context.Context, string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return io.NopCloser(strings.NewReader(f.payload)), nil
+}
+
+// When a job's cgroup series vanishes from a scrape, a staleness marker
+// must end its visibility immediately — not after the 5-minute lookback.
+// This is the invariant that keeps Σ per-unit power conserved under job
+// churn (the E8 experiment regressed without it).
+func TestStalenessMarkersOnSeriesDisappearance(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	f := &mutableFetcher{payload: "job_cpu{uuid=\"1\"} 10\njob_cpu{uuid=\"2\"} 20\n"}
+	now := time.Unix(1000, 0)
+	m := &Manager{
+		Dest: db, Fetcher: f,
+		Groups: []*TargetGroup{{JobName: "j", Targets: []string{"n1"}}},
+		Now:    func() time.Time { return now },
+	}
+	ctx := context.Background()
+	m.ScrapeAll(ctx)
+
+	// Job 2 finishes: its series disappears from the exposition.
+	now = now.Add(15 * time.Second)
+	f.set("job_cpu{uuid=\"1\"} 11\n")
+	m.ScrapeAll(ctx)
+
+	eng := promql.NewEngine()
+	v, err := eng.Instant(db, `job_cpu`, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := v.(promql.Vector)
+	if len(vec) != 1 || vec[0].Labels.Get("uuid") != "1" {
+		t.Fatalf("stale series still visible: %+v", vec)
+	}
+	// Aggregations see only the live series.
+	v, _ = eng.Instant(db, `sum(job_cpu)`, now)
+	if sum := v.(promql.Vector)[0].V; sum != 11 {
+		t.Errorf("sum over stale = %v, want 11", sum)
+	}
+	// Range functions skip the marker.
+	now = now.Add(15 * time.Second)
+	f.set("job_cpu{uuid=\"1\"} 12\n")
+	m.ScrapeAll(ctx)
+	v, err = eng.Instant(db, `count_over_time(job_cpu{uuid="2"}[1m])`, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec = v.(promql.Vector)
+	if len(vec) != 1 || vec[0].V != 1 {
+		t.Errorf("stale sample counted in range: %+v", vec)
+	}
+	// A series that reappears becomes visible again.
+	now = now.Add(15 * time.Second)
+	f.set("job_cpu{uuid=\"1\"} 13\njob_cpu{uuid=\"2\"} 99\n")
+	m.ScrapeAll(ctx)
+	v, _ = eng.Instant(db, `job_cpu`, now)
+	if len(v.(promql.Vector)) != 2 {
+		t.Errorf("reappeared series missing: %+v", v)
+	}
+}
+
+func TestStaleNaNDistinctFromNaN(t *testing.T) {
+	if !model.IsStaleNaN(model.StaleNaN()) {
+		t.Error("StaleNaN not detected")
+	}
+	var plain float64 = 0
+	plain = plain / plain // NaN
+	if model.IsStaleNaN(plain) {
+		t.Error("ordinary NaN misdetected as stale")
+	}
+	// The marker survives the TSDB round trip.
+	db := tsdb.Open(tsdb.DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "m")
+	db.Append(ls, 1000, 5)
+	db.Append(ls, 2000, model.StaleNaN())
+	got, _ := db.Select(0, 3000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if !model.IsStaleNaN(got[0].Samples[1].V) {
+		t.Error("stale marker corrupted by chunk encoding")
+	}
+}

@@ -1,0 +1,333 @@
+package slurmsim
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newCluster(t *testing.T, nNodes int) *Scheduler {
+	t.Helper()
+	var nodes []*hw.Node
+	for i := 0; i < nNodes; i++ {
+		spec := hw.DefaultIntelSpec(nodeName(i))
+		spec.NoiseFrac = 0
+		n, err := hw.NewNode(spec, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	s, err := NewScheduler("test", t0, &Partition{Name: "cpu", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func nodeName(i int) string { return "node" + string(rune('a'+i)) }
+
+func TestSubmitAndRun(t *testing.T) {
+	s := newCluster(t, 2)
+	j, err := s.Submit(JobSpec{
+		Name: "train", User: "alice", Account: "projA", Partition: "cpu",
+		CPUsPerNode: 32, MemPerNode: 64 << 30, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.State != model.UnitPending {
+		t.Errorf("state = %s", j.State)
+	}
+	s.Advance(15 * time.Second)
+	if j.State != model.UnitRunning || len(j.NodeNames) != 1 {
+		t.Fatalf("job not started: %s %v", j.State, j.NodeNames)
+	}
+	// Cgroup exists on the node.
+	node, _ := s.Node(j.NodeNames[0])
+	if !node.FS.Exists("/sys/fs/cgroup/system.slice/slurmstepd.scope/job_1/cpu.stat") {
+		t.Error("cgroup missing")
+	}
+	// Run to completion (need elapsed >= 60s after start at t=15).
+	for i := 0; i < 4; i++ {
+		s.Advance(15 * time.Second)
+	}
+	if j.State != model.UnitCompleted {
+		t.Fatalf("state = %s, want completed", j.State)
+	}
+	if j.Truth.CPUSeconds <= 0 || j.Truth.HostJoules <= 0 {
+		t.Errorf("truth not accumulated: %+v", j.Truth)
+	}
+	if node.NumWorkloads() != 0 {
+		t.Error("workload not removed")
+	}
+	st := s.Stats()
+	if st.Finished != 1 || st.Running != 0 || st.Pending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	s := newCluster(t, 1) // 64 cpus
+	j1, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 64, MemPerNode: 1 << 30, Duration: time.Minute})
+	j2, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 64, MemPerNode: 1 << 30, Duration: time.Minute})
+	s.Advance(15 * time.Second)
+	if j1.State != model.UnitRunning || j2.State != model.UnitPending {
+		t.Fatalf("states = %s, %s", j1.State, j2.State)
+	}
+	// j1 completes at t=75 (started t=15); j2 starts on the same tick.
+	for i := 0; i < 5; i++ {
+		s.Advance(15 * time.Second)
+	}
+	if j1.State != model.UnitCompleted {
+		t.Errorf("j1 = %s", j1.State)
+	}
+	if j2.State != model.UnitRunning {
+		t.Errorf("j2 = %s", j2.State)
+	}
+}
+
+func TestBackfill(t *testing.T) {
+	s := newCluster(t, 1) // 64 cpus
+	s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 48, MemPerNode: 1 << 30, Duration: 10 * time.Minute})
+	big, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 64, MemPerNode: 1 << 30, Duration: time.Minute})
+	small, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 16, MemPerNode: 1 << 30, Duration: time.Minute})
+	s.Advance(15 * time.Second)
+	if big.State != model.UnitPending {
+		t.Errorf("big should wait: %s", big.State)
+	}
+	if small.State != model.UnitRunning {
+		t.Errorf("small should backfill: %s", small.State)
+	}
+}
+
+func TestMultiNodeJob(t *testing.T) {
+	s := newCluster(t, 3)
+	j, err := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		Nodes: 2, CPUsPerNode: 64, MemPerNode: 1 << 30, Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(15 * time.Second)
+	if len(j.NodeNames) != 2 {
+		t.Fatalf("nodes = %v", j.NodeNames)
+	}
+	for _, nn := range j.NodeNames {
+		n, _ := s.Node(nn)
+		if n.NumWorkloads() != 1 {
+			t.Errorf("node %s has %d workloads", nn, n.NumWorkloads())
+		}
+	}
+	u := s.Units(t0)[0]
+	if u.CPUs != 128 {
+		t.Errorf("unit cpus = %d, want 128", u.CPUs)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	s := newCluster(t, 1)
+	j, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 4, MemPerNode: 1 << 30,
+		Duration: time.Hour, TimeLimit: 30 * time.Second})
+	for i := 0; i < 4; i++ {
+		s.Advance(15 * time.Second)
+	}
+	if j.State != model.UnitTimeout {
+		t.Errorf("state = %s, want timeout", j.State)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	s := newCluster(t, 1)
+	j, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+		CPUsPerNode: 4, MemPerNode: 1 << 30, Duration: 15 * time.Second, ExitCode: 1})
+	s.Advance(15 * time.Second)
+	s.Advance(15 * time.Second)
+	if j.State != model.UnitFailed {
+		t.Errorf("state = %s, want failed", j.State)
+	}
+	u := s.Units(t0)
+	if u[0].ExitCode != 1 || u[0].State != model.UnitFailed {
+		t.Errorf("unit = %+v", u[0])
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := newCluster(t, 1)
+	if _, err := s.Submit(JobSpec{Partition: "nope", CPUsPerNode: 1}); err == nil {
+		t.Error("unknown partition accepted")
+	}
+	if _, err := s.Submit(JobSpec{Partition: "cpu"}); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+	if _, err := s.Submit(JobSpec{Partition: "cpu", CPUsPerNode: 1000}); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := s.Submit(JobSpec{Partition: "cpu", CPUsPerNode: 4, Nodes: 5}); err == nil {
+		t.Error("too many nodes accepted")
+	}
+}
+
+func TestGPUAllocation(t *testing.T) {
+	spec := hw.DefaultGPUSpec("gpunode", true, model.GPUA100, model.GPUA100, model.GPUA100, model.GPUA100)
+	spec.NoiseFrac = 0
+	n, _ := hw.NewNode(spec, t0)
+	s, _ := NewScheduler("test", t0, &Partition{Name: "gpu", Nodes: []*hw.Node{n}})
+	j1, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "gpu",
+		CPUsPerNode: 8, MemPerNode: 1 << 30, GPUsPerNode: 2, Duration: time.Minute})
+	j2, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "gpu",
+		CPUsPerNode: 8, MemPerNode: 1 << 30, GPUsPerNode: 2, Duration: time.Minute})
+	j3, _ := s.Submit(JobSpec{User: "u", Account: "a", Partition: "gpu",
+		CPUsPerNode: 8, MemPerNode: 1 << 30, GPUsPerNode: 1, Duration: time.Minute})
+	s.Advance(15 * time.Second)
+	if j1.State != model.UnitRunning || j2.State != model.UnitRunning {
+		t.Fatalf("gpu jobs not running: %s %s", j1.State, j2.State)
+	}
+	if j3.State != model.UnitPending {
+		t.Errorf("j3 should wait for GPUs: %s", j3.State)
+	}
+	// Disjoint ordinals.
+	o1 := j1.GPUOrdinals["gpunode"]
+	o2 := j2.GPUOrdinals["gpunode"]
+	seen := map[int]bool{}
+	for _, o := range append(append([]int{}, o1...), o2...) {
+		if seen[o] {
+			t.Errorf("GPU ordinal %d double-booked", o)
+		}
+		seen[o] = true
+	}
+	// Unit carries the ordinals (the map CEEMS must persist).
+	units := s.Units(t0)
+	if len(units[0].GPUOrdinals) != 2 {
+		t.Errorf("unit gpu ordinals = %v", units[0].GPUOrdinals)
+	}
+}
+
+func TestUnitsConversion(t *testing.T) {
+	s := newCluster(t, 1)
+	s.Submit(JobSpec{Name: "j", User: "bob", Account: "proj", Partition: "cpu",
+		CPUsPerNode: 4, MemPerNode: 2 << 30, Duration: 15 * time.Second})
+	s.Advance(15 * time.Second)
+	s.Advance(15 * time.Second)
+	units := s.Units(t0)
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	u := units[0]
+	if u.UUID != "test/slurm/1" || u.User != "bob" || u.Project != "proj" {
+		t.Errorf("unit = %+v", u)
+	}
+	if u.State != model.UnitCompleted || u.ElapsedSec != 15 {
+		t.Errorf("lifecycle = %s %d", u.State, u.ElapsedSec)
+	}
+	// Cutoff filtering: jobs finished before cutoff are excluded.
+	future := s.Now().Add(time.Hour)
+	if got := s.Units(future); len(got) != 0 {
+		t.Errorf("cutoff filter failed: %d", len(got))
+	}
+}
+
+func TestDBDHandler(t *testing.T) {
+	s := newCluster(t, 1)
+	s.Submit(JobSpec{Name: "j", User: "bob", Account: "p", Partition: "cpu",
+		CPUsPerNode: 4, MemPerNode: 1 << 30, Duration: time.Minute})
+	s.Advance(15 * time.Second)
+	srv := httptest.NewServer(s.DBDHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/slurmdbd/v1/jobs?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var units []model.Unit
+	if err := json.NewDecoder(resp.Body).Decode(&units); err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || units[0].User != "bob" {
+		t.Errorf("dbd units = %+v", units)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/slurmdbd/v1/jobs?since=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("bad since = %d", resp2.StatusCode)
+	}
+
+	resp3, err := srv.Client().Get(srv.URL + "/slurmdbd/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var st Stats
+	json.NewDecoder(resp3.Body).Decode(&st)
+	if st.Running != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	// Many short jobs across a small cluster: scheduler must stay
+	// consistent (no lost capacity).
+	s := newCluster(t, 4)
+	for i := 0; i < 40; i++ {
+		_, err := s.Submit(JobSpec{
+			User: "u", Account: "a", Partition: "cpu",
+			CPUsPerNode: 16, MemPerNode: 8 << 30,
+			Duration: time.Duration(15*(1+i%4)) * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		s.Advance(15 * time.Second)
+	}
+	st := s.Stats()
+	if st.Finished != 40 || st.Pending != 0 || st.Running != 0 {
+		t.Fatalf("churn stats = %+v", st)
+	}
+	// All capacity restored.
+	for _, n := range s.Nodes() {
+		if n.NumWorkloads() != 0 {
+			t.Errorf("node %s retains workloads", n.Spec.Name)
+		}
+	}
+	free := s.nodeFree["nodea"]
+	if free.cpusFree != 64 {
+		t.Errorf("cpusFree = %d", free.cpusFree)
+	}
+}
+
+func BenchmarkAdvanceWithChurn(b *testing.B) {
+	var nodes []*hw.Node
+	for i := 0; i < 16; i++ {
+		spec := hw.DefaultIntelSpec("n" + string(rune('a'+i)))
+		n, _ := hw.NewNode(spec, t0)
+		nodes = append(nodes, n)
+	}
+	s, _ := NewScheduler("bench", t0, &Partition{Name: "cpu", Nodes: nodes})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			s.Submit(JobSpec{User: "u", Account: "a", Partition: "cpu",
+				CPUsPerNode: 16, MemPerNode: 4 << 30, Duration: 2 * time.Minute})
+		}
+		s.Advance(15 * time.Second)
+	}
+}

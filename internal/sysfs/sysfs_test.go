@@ -1,0 +1,172 @@
+package sysfs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemFSReadWrite(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/a/b/c.txt", "hello")
+	data, err := fs.ReadFile("/a/b/c.txt")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// Path cleaning.
+	data, err = fs.ReadFile("a/b/../b/c.txt")
+	if err != nil || string(data) != "hello" {
+		t.Errorf("cleaned path read failed: %v", err)
+	}
+	if _, err := fs.ReadFile("/missing"); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestMemFSOverwrite(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/f", "1")
+	fs.WriteString("/f", "2")
+	data, _ := fs.ReadFile("/f")
+	if string(data) != "2" {
+		t.Errorf("overwrite failed: %q", data)
+	}
+	if fs.Len() != 1 {
+		t.Errorf("Len = %d", fs.Len())
+	}
+}
+
+func TestMemFSReadDir(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/sys/fs/cgroup/job_1/cpu.stat", "x")
+	fs.WriteString("/sys/fs/cgroup/job_2/cpu.stat", "x")
+	fs.WriteString("/sys/fs/cgroup/job_2/memory.current", "x")
+	fs.WriteString("/sys/fs/cgroup/top.txt", "x")
+	names, err := fs.ReadDir("/sys/fs/cgroup")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	want := []string{"job_1", "job_2", "top.txt"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("ReadDir = %v, want %v", names, want)
+	}
+	if _, err := fs.ReadDir("/nope"); !os.IsNotExist(err) {
+		t.Errorf("ReadDir missing error = %v", err)
+	}
+}
+
+func TestMemFSExists(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/d/e/f", "x")
+	if !fs.Exists("/d/e/f") {
+		t.Error("file should exist")
+	}
+	if !fs.Exists("/d/e") || !fs.Exists("/d") {
+		t.Error("directory prefixes should exist")
+	}
+	if fs.Exists("/d/e/g") {
+		t.Error("missing file exists")
+	}
+}
+
+func TestMemFSRemove(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/a/1", "x")
+	fs.WriteString("/a/2", "x")
+	fs.WriteString("/b/1", "x")
+	fs.Remove("/a/1")
+	if fs.Exists("/a/1") {
+		t.Error("Remove failed")
+	}
+	fs.RemoveAll("/a")
+	if fs.Exists("/a/2") || fs.Exists("/a") {
+		t.Error("RemoveAll failed")
+	}
+	if !fs.Exists("/b/1") {
+		t.Error("RemoveAll removed too much")
+	}
+}
+
+func TestReadUint64(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/v", "12345\n")
+	v, err := ReadUint64(fs, "/v")
+	if err != nil || v != 12345 {
+		t.Errorf("ReadUint64 = %d, %v", v, err)
+	}
+	fs.WriteString("/bad", "not a number\n")
+	if _, err := ReadUint64(fs, "/bad"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadUint64(fs, "/missing"); err == nil {
+		t.Error("expected not-exist error")
+	}
+}
+
+func TestReadKVFile(t *testing.T) {
+	fs := NewMemFS()
+	fs.WriteString("/cpu.stat", "usage_usec 100\nuser_usec 80\nsystem_usec 20\nweird line here\n")
+	kv, err := ReadKVFile(fs, "/cpu.stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["usage_usec"] != 100 || kv["user_usec"] != 80 {
+		t.Errorf("kv = %v", kv)
+	}
+	if _, ok := kv["weird"]; ok {
+		t.Error("malformed line parsed")
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sys", "test")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "value"), []byte("42\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := OSFS{Root: dir}
+	v, err := ReadUint64(fs, "/sys/test/value")
+	if err != nil || v != 42 {
+		t.Errorf("OSFS ReadUint64 = %d, %v", v, err)
+	}
+	names, err := fs.ReadDir("/sys/test")
+	if err != nil || len(names) != 1 || names[0] != "value" {
+		t.Errorf("OSFS ReadDir = %v, %v", names, err)
+	}
+	if !fs.Exists("/sys/test/value") || fs.Exists("/sys/nope") {
+		t.Error("OSFS Exists wrong")
+	}
+}
+
+// Property: what you write is what you read, for arbitrary path-safe names
+// and contents.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(name string, content []byte) bool {
+		if name == "" {
+			return true
+		}
+		// Normalize into a safe single segment.
+		safe := "/p/"
+		for _, r := range name {
+			if r == '/' || r == 0 {
+				r = '_'
+			}
+			safe += string(r)
+		}
+		if safe == "/p/" || safe == "/p/." || safe == "/p/.." {
+			return true
+		}
+		fs := NewMemFS()
+		fs.WriteFile(safe, content)
+		got, err := fs.ReadFile(safe)
+		return err == nil && reflect.DeepEqual(got, append([]byte(nil), content...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package thanos implements the long-term-storage substrate of the stack
+// (the Thanos role in the paper's Fig. 1): a sidecar ships immutable
+// blocks from the hot TSDB to an object-store-like directory, the store
+// serves them back with optional downsampling, and a fan-in querier merges
+// hot and cold data so long-range queries (the API server's aggregate
+// pass) transparently span both.
+package thanos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+// Store holds uploaded blocks, persisted one file per block.
+type Store struct {
+	dir string
+
+	mu     sync.RWMutex
+	blocks []*tsdb.Block
+}
+
+// NewStore opens a store directory, loading any existing blocks.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".blk") {
+			continue
+		}
+		b, err := tsdb.ReadBlockFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("thanos: loading %s: %w", e.Name(), err)
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	s.sortLocked()
+	return s, nil
+}
+
+func (s *Store) sortLocked() {
+	sort.Slice(s.blocks, func(i, j int) bool { return s.blocks[i].MinTime < s.blocks[j].MinTime })
+}
+
+// Upload persists and registers a block. Empty blocks are dropped.
+func (s *Store) Upload(b *tsdb.Block) error {
+	if b.NumSamples() == 0 {
+		return nil
+	}
+	if s.dir != "" {
+		path := tsdb.BlockFileName(s.dir, b.MinTime, b.MaxTime)
+		if err := b.WriteFile(path); err != nil {
+			return fmt.Errorf("thanos: upload: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.blocks = append(s.blocks, b)
+	s.sortLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// NumBlocks returns the number of registered blocks.
+func (s *Store) NumBlocks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Select implements promql.Queryable over all blocks, merging samples of
+// the same series across block boundaries (overlaps are deduplicated by
+// timestamp).
+func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	s.mu.RLock()
+	blocks := append([]*tsdb.Block(nil), s.blocks...)
+	s.mu.RUnlock()
+
+	merged := map[uint64]*model.Series{}
+	var order []uint64
+	for _, b := range blocks {
+		if b.MaxTime < mint || b.MinTime > maxt {
+			continue
+		}
+		for _, series := range b.Select(mint, maxt, ms...) {
+			h := series.Labels.Hash()
+			acc, ok := merged[h]
+			if !ok {
+				cp := series
+				cp.Samples = append([]model.Sample(nil), series.Samples...)
+				merged[h] = &cp
+				order = append(order, h)
+				continue
+			}
+			acc.Samples = append(acc.Samples, series.Samples...)
+		}
+	}
+	out := make([]model.Series, 0, len(order))
+	for _, h := range order {
+		sr := merged[h]
+		sort.Slice(sr.Samples, func(i, j int) bool { return sr.Samples[i].T < sr.Samples[j].T })
+		// Deduplicate equal timestamps (overlapping uploads).
+		dedup := sr.Samples[:0]
+		var lastT int64 = -1 << 62
+		for _, smp := range sr.Samples {
+			if smp.T == lastT {
+				continue
+			}
+			dedup = append(dedup, smp)
+			lastT = smp.T
+		}
+		sr.Samples = dedup
+		out = append(out, *sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+// Downsample rewrites every block older than `before` to the given
+// resolution (bucket means), reclaiming space for long-horizon queries, as
+// Thanos's compactor does.
+func (s *Store) Downsample(before int64, resolution time.Duration) (int, error) {
+	res := resolution.Milliseconds()
+	if res <= 0 {
+		return 0, fmt.Errorf("thanos: resolution must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i, b := range s.blocks {
+		if b.MaxTime >= before {
+			continue
+		}
+		db, err := downsampleBlock(b, res)
+		if err != nil {
+			return n, err
+		}
+		if s.dir != "" {
+			old := tsdb.BlockFileName(s.dir, b.MinTime, b.MaxTime)
+			if err := db.WriteFile(old); err != nil {
+				return n, err
+			}
+		}
+		s.blocks[i] = db
+		n++
+	}
+	return n, nil
+}
+
+func downsampleBlock(b *tsdb.Block, resMs int64) (*tsdb.Block, error) {
+	matchAll := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
+	series := b.Select(b.MinTime, b.MaxTime, matchAll)
+	agg := tsdb.Open(tsdb.DefaultOptions())
+	for _, sr := range series {
+		var bucketStart int64 = -1 << 62
+		var sum float64
+		var cnt int
+		flush := func() error {
+			if cnt == 0 {
+				return nil
+			}
+			return agg.Append(sr.Labels, bucketStart+resMs-1, sum/float64(cnt))
+		}
+		for _, smp := range sr.Samples {
+			bs := smp.T / resMs * resMs
+			if bs != bucketStart {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				bucketStart = bs
+				sum, cnt = 0, 0
+			}
+			sum += smp.V
+			cnt++
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return agg.CutBlock(b.MinTime, b.MaxTime+resMs)
+}
+
+// Sidecar ships blocks from the hot TSDB to the store on a cadence,
+// optionally truncating the head afterwards (the hot/short-term split of
+// Fig. 1).
+type Sidecar struct {
+	DB    *tsdb.DB
+	Store *Store
+	// HeadRetention bounds what stays in the hot TSDB after a ship;
+	// 0 keeps everything.
+	HeadRetention time.Duration
+
+	mu       sync.Mutex
+	lastShip int64 // ms; exclusive lower bound of the next block
+	Shipped  int
+}
+
+// Ship cuts a block of everything since the previous ship (up to now) and
+// uploads it.
+func (sc *Sidecar) Ship(now time.Time) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	maxt := now.UnixMilli()
+	mint := sc.lastShip + 1
+	if sc.lastShip == 0 {
+		if dbMin, ok := sc.DB.MinTime(); ok {
+			mint = dbMin
+		}
+	}
+	if mint > maxt {
+		return nil
+	}
+	blk, err := sc.DB.CutBlock(mint, maxt)
+	if err != nil {
+		return err
+	}
+	if err := sc.Store.Upload(blk); err != nil {
+		return err
+	}
+	if blk.NumSamples() > 0 {
+		sc.Shipped++
+	}
+	sc.lastShip = maxt
+	if sc.HeadRetention > 0 {
+		sc.DB.Truncate(maxt - sc.HeadRetention.Milliseconds())
+	}
+	return nil
+}
+
+// Querier fans a Select over the hot TSDB and the cold store, merging
+// results; it satisfies promql.Queryable so the engine (and therefore the
+// API server and Grafana) can query long ranges transparently.
+type Querier struct {
+	Hot  *tsdb.DB
+	Cold *Store
+}
+
+// Select implements promql.Queryable.
+func (q *Querier) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	cold, err := q.Cold.Select(mint, maxt, ms...)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := q.Hot.Select(mint, maxt, ms...)
+	if err != nil {
+		return nil, err
+	}
+	merged := map[uint64]*model.Series{}
+	var order []uint64
+	add := func(list []model.Series) {
+		for _, sr := range list {
+			h := sr.Labels.Hash()
+			acc, ok := merged[h]
+			if !ok {
+				cp := sr
+				cp.Samples = append([]model.Sample(nil), sr.Samples...)
+				merged[h] = &cp
+				order = append(order, h)
+				continue
+			}
+			acc.Samples = append(acc.Samples, sr.Samples...)
+		}
+	}
+	add(cold)
+	add(hot)
+	out := make([]model.Series, 0, len(order))
+	for _, h := range order {
+		sr := merged[h]
+		sort.Slice(sr.Samples, func(i, j int) bool { return sr.Samples[i].T < sr.Samples[j].T })
+		dedup := sr.Samples[:0]
+		var lastT int64 = -1 << 62
+		for _, smp := range sr.Samples {
+			if smp.T == lastT {
+				continue
+			}
+			dedup = append(dedup, smp)
+			lastT = smp.T
+		}
+		sr.Samples = dedup
+		out = append(out, *sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package thanos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/tsdb"
+)
+
+func seedDB(t *testing.T, nSeries, nSamples int, startMs int64) *tsdb.DB {
+	t.Helper()
+	db := tsdb.Open(tsdb.DefaultOptions())
+	for i := 0; i < nSeries; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m", "s", fmt.Sprintf("%d", i))
+		for j := 0; j < nSamples; j++ {
+			if err := db.Append(ls, startMs+int64(j)*15000, float64(i*1000+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestUploadAndSelect(t *testing.T) {
+	db := seedDB(t, 3, 100, 0)
+	blk, err := db.CutBlock(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Upload(blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0].Samples) != 100 {
+		t.Fatalf("select = %d series / %d samples", len(got), len(got[0].Samples))
+	}
+}
+
+func TestStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	db := seedDB(t, 2, 50, 0)
+	blk, _ := db.CutBlock(0, 1<<60)
+	store, _ := NewStore(dir)
+	store.Upload(blk)
+
+	// Reopen from disk.
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.NumBlocks() != 1 {
+		t.Fatalf("blocks after reopen = %d", store2.NumBlocks())
+	}
+	got, _ := store2.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 2 {
+		t.Errorf("series after reopen = %d", len(got))
+	}
+}
+
+func TestOverlappingBlocksDeduplicated(t *testing.T) {
+	db := seedDB(t, 1, 100, 0)
+	b1, _ := db.CutBlock(0, 800000)
+	b2, _ := db.CutBlock(600000, 1<<60) // overlaps b1
+	store, _ := NewStore("")
+	store.Upload(b1)
+	store.Upload(b2)
+	got, _ := store.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 1 {
+		t.Fatalf("series = %d", len(got))
+	}
+	if len(got[0].Samples) != 100 {
+		t.Errorf("dedup failed: %d samples", len(got[0].Samples))
+	}
+	for i := 1; i < len(got[0].Samples); i++ {
+		if got[0].Samples[i].T <= got[0].Samples[i-1].T {
+			t.Fatal("samples not strictly increasing")
+		}
+	}
+}
+
+func TestEmptyBlockDropped(t *testing.T) {
+	store, _ := NewStore("")
+	db := tsdb.Open(tsdb.DefaultOptions())
+	blk, _ := db.CutBlock(0, 1000)
+	if err := store.Upload(blk); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumBlocks() != 0 {
+		t.Error("empty block registered")
+	}
+}
+
+func TestSidecarShipAndTruncate(t *testing.T) {
+	db := seedDB(t, 2, 200, 0) // samples at 0..2985000 ms
+	store, _ := NewStore("")
+	sc := &Sidecar{DB: db, Store: store, HeadRetention: 10 * time.Minute}
+
+	// Ship at t=1500s.
+	if err := sc.Ship(time.UnixMilli(1_500_000)); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumBlocks() != 1 || sc.Shipped != 1 {
+		t.Fatalf("blocks = %d shipped = %d", store.NumBlocks(), sc.Shipped)
+	}
+	// Head was truncated to the retention window.
+	if mint, ok := db.MinTime(); !ok || mint < 1_500_000-600_000 {
+		t.Errorf("head not truncated: mint = %d", mint)
+	}
+	// Second ship picks up where the first ended, no overlap.
+	if err := sc.Ship(time.UnixMilli(3_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 2 {
+		t.Fatalf("series = %d", len(got))
+	}
+	if len(got[0].Samples) != 200 {
+		t.Errorf("cold samples = %d, want all 200", len(got[0].Samples))
+	}
+	// Ship with nothing new is a no-op.
+	before := store.NumBlocks()
+	sc.Ship(time.UnixMilli(3_000_000))
+	if store.NumBlocks() != before {
+		t.Error("empty ship created a block")
+	}
+}
+
+func TestQuerierMergesHotAndCold(t *testing.T) {
+	db := seedDB(t, 1, 100, 0)
+	store, _ := NewStore("")
+	sc := &Sidecar{DB: db, Store: store, HeadRetention: 5 * time.Minute}
+	sc.Ship(time.UnixMilli(1_000_000))
+
+	q := &Querier{Hot: db, Cold: store}
+	got, err := q.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("series = %d", len(got))
+	}
+	// All 100 samples visible across the hot/cold split.
+	if len(got[0].Samples) != 100 {
+		t.Errorf("merged samples = %d, want 100", len(got[0].Samples))
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	db := seedDB(t, 1, 400, 0) // 100 minutes at 15s
+	blk, _ := db.CutBlock(0, 1<<60)
+	store, _ := NewStore(t.TempDir())
+	store.Upload(blk)
+
+	n, err := store.Downsample(1<<60, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("downsampled %d blocks", n)
+	}
+	got, _ := store.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 1 {
+		t.Fatal("series lost")
+	}
+	// 400 samples over 100 min → 20 five-minute buckets.
+	if len(got[0].Samples) != 20 {
+		t.Errorf("downsampled samples = %d, want 20", len(got[0].Samples))
+	}
+	// Bucket means preserve the overall mean of a linear ramp.
+	var sum float64
+	for _, s := range got[0].Samples {
+		sum += s.V
+	}
+	mean := sum / float64(len(got[0].Samples))
+	if mean < 199 || mean > 200 {
+		t.Errorf("downsampled mean = %v, want ~199.5", mean)
+	}
+	// Invalid resolution.
+	if _, err := store.Downsample(0, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+}
+
+func BenchmarkStoreSelect(b *testing.B) {
+	src := tsdb.Open(tsdb.DefaultOptions())
+	for i := 0; i < 100; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m", "s", fmt.Sprintf("%d", i))
+		for j := 0; j < 500; j++ {
+			src.Append(ls, int64(j)*15000, float64(j))
+		}
+	}
+	store, _ := NewStore("")
+	for c := 0; c < 4; c++ {
+		blk, _ := src.CutBlock(int64(c)*1_875_000, int64(c+1)*1_875_000-1)
+		store.Upload(blk)
+	}
+	m := labels.MustMatcher(labels.MatchEqual, "s", "50")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Select(0, 1<<60, m)
+	}
+}

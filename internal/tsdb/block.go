@@ -1,0 +1,260 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb/chunkenc"
+)
+
+// Block is an immutable, time-bounded snapshot of series data, the unit of
+// replication from the hot TSDB to long-term storage (the Thanos sidecar
+// path in the paper's architecture).
+type Block struct {
+	MinTime int64
+	MaxTime int64
+	Series  []BlockSeries
+}
+
+// BlockSeries is one series inside a block.
+type BlockSeries struct {
+	Labels labels.Labels
+	Chunks []*chunkenc.Chunk
+}
+
+// CutBlock snapshots all samples in [mint, maxt] into a new immutable
+// block. The head is not modified; callers typically Truncate afterwards.
+func (db *DB) CutBlock(mint, maxt int64) (*Block, error) {
+	matchAll := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
+	series, err := db.Select(mint, maxt, matchAll)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{MinTime: maxt + 1, MaxTime: mint - 1}
+	for _, s := range series {
+		bs := BlockSeries{Labels: s.Labels}
+		c := chunkenc.NewChunk()
+		for _, smp := range s.Samples {
+			if c.NumSamples() >= db.opts.MaxSamplesPerChunk {
+				bs.Chunks = append(bs.Chunks, c)
+				c = chunkenc.NewChunk()
+			}
+			if err := c.Append(smp.T, smp.V); err != nil {
+				return nil, fmt.Errorf("tsdb: cut block: %w", err)
+			}
+		}
+		if c.NumSamples() > 0 {
+			bs.Chunks = append(bs.Chunks, c)
+		}
+		if len(bs.Chunks) == 0 {
+			continue
+		}
+		if s.Samples[0].T < b.MinTime {
+			b.MinTime = s.Samples[0].T
+		}
+		if s.Samples[len(s.Samples)-1].T > b.MaxTime {
+			b.MaxTime = s.Samples[len(s.Samples)-1].T
+		}
+		b.Series = append(b.Series, bs)
+	}
+	if len(b.Series) == 0 {
+		b.MinTime, b.MaxTime = mint, maxt
+	}
+	return b, nil
+}
+
+// Select returns the block's series overlapping [mint, maxt] that satisfy
+// the matchers, mirroring DB.Select.
+func (b *Block) Select(mint, maxt int64, ms ...*labels.Matcher) []model.Series {
+	var out []model.Series
+	for _, bs := range b.Series {
+		if !labels.MatchLabels(bs.Labels, ms...) {
+			continue
+		}
+		var samples []model.Sample
+		for _, c := range bs.Chunks {
+			it := c.Iterator()
+			for it.Next() {
+				t, v := it.At()
+				if t < mint {
+					continue
+				}
+				if t > maxt {
+					break
+				}
+				samples = append(samples, model.Sample{T: t, V: v})
+			}
+		}
+		if len(samples) > 0 {
+			out = append(out, model.Series{Labels: bs.Labels, Samples: samples})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out
+}
+
+// NumSamples counts all samples in the block.
+func (b *Block) NumSamples() int {
+	n := 0
+	for _, s := range b.Series {
+		for _, c := range s.Chunks {
+			n += c.NumSamples()
+		}
+	}
+	return n
+}
+
+const (
+	blockMagic   = "CEEMSBLK"
+	blockVersion = 1
+)
+
+// WriteFile persists the block to path atomically (write to temp + rename).
+func (b *Block) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := b.encode(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (b *Block) encode(w io.Writer) error {
+	if _, err := w.Write([]byte(blockMagic)); err != nil {
+		return err
+	}
+	hdr := []any{uint32(blockVersion), b.MinTime, b.MaxTime, uint32(len(b.Series))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range b.Series {
+		lj, err := json.Marshal(s.Labels.Map())
+		if err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(lj))); err != nil {
+			return err
+		}
+		if _, err := w.Write(lj); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(s.Chunks))); err != nil {
+			return err
+		}
+		for _, c := range s.Chunks {
+			cb := c.Bytes()
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(cb))); err != nil {
+				return err
+			}
+			if _, err := w.Write(cb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBlockFile loads a block previously written with WriteFile.
+func ReadBlockFile(path string) (*Block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeBlock(bufio.NewReader(f))
+}
+
+func decodeBlock(r io.Reader) (*Block, error) {
+	magic := make([]byte, len(blockMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("tsdb: block header: %w", err)
+	}
+	if string(magic) != blockMagic {
+		return nil, fmt.Errorf("tsdb: bad block magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != blockVersion {
+		return nil, fmt.Errorf("tsdb: unsupported block version %d", version)
+	}
+	b := &Block{}
+	var nSeries uint32
+	if err := binary.Read(r, binary.LittleEndian, &b.MinTime); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &b.MaxTime); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nSeries); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nSeries; i++ {
+		var lj uint32
+		if err := binary.Read(r, binary.LittleEndian, &lj); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, lj)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		var lm map[string]string
+		if err := json.Unmarshal(buf, &lm); err != nil {
+			return nil, fmt.Errorf("tsdb: block series %d labels: %w", i, err)
+		}
+		bs := BlockSeries{Labels: labels.FromMap(lm)}
+		var nChunks uint32
+		if err := binary.Read(r, binary.LittleEndian, &nChunks); err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nChunks; j++ {
+			var cl uint32
+			if err := binary.Read(r, binary.LittleEndian, &cl); err != nil {
+				return nil, err
+			}
+			cb := make([]byte, cl)
+			if _, err := io.ReadFull(r, cb); err != nil {
+				return nil, err
+			}
+			c, err := chunkenc.FromBytes(cb)
+			if err != nil {
+				return nil, err
+			}
+			bs.Chunks = append(bs.Chunks, c)
+		}
+		b.Series = append(b.Series, bs)
+	}
+	return b, nil
+}
+
+// BlockFileName returns the canonical file name for a block covering
+// [mint, maxt].
+func BlockFileName(dir string, mint, maxt int64) string {
+	return filepath.Join(dir, fmt.Sprintf("block-%020d-%020d.blk", mint, maxt))
+}

@@ -1,0 +1,443 @@
+// Package chunkenc implements Gorilla-style time-series chunk compression:
+// delta-of-delta encoded timestamps and XOR-encoded float64 values, the same
+// scheme Prometheus uses for its TSDB chunks. A chunk holds samples of one
+// series in timestamp order.
+package chunkenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Chunk is a compressed sequence of (timestamp, value) samples.
+type Chunk struct {
+	b   bstream
+	num uint16
+	// appender state
+	t        int64
+	v        float64
+	tDelta   uint64
+	leading  uint8
+	trailing uint8
+}
+
+// NewChunk returns an empty chunk.
+func NewChunk() *Chunk {
+	return &Chunk{leading: 0xff}
+}
+
+// FromBytes reconstructs a chunk from Bytes() output. The chunk is
+// read-only; appending to it is not supported.
+func FromBytes(data []byte) (*Chunk, error) {
+	if len(data) < 2 {
+		return nil, errors.New("chunkenc: truncated chunk header")
+	}
+	c := &Chunk{leading: 0xff}
+	c.num = binary.BigEndian.Uint16(data[:2])
+	c.b.stream = append([]byte(nil), data[2:]...)
+	c.b.count = 0 // full bytes, no partial bit state for reading
+	return c, nil
+}
+
+// NumSamples returns the number of samples in the chunk.
+func (c *Chunk) NumSamples() int { return int(c.num) }
+
+// Bytes serializes the chunk: 2-byte big-endian count, then the bit stream.
+func (c *Chunk) Bytes() []byte {
+	out := make([]byte, 2+len(c.b.stream))
+	binary.BigEndian.PutUint16(out[:2], c.num)
+	copy(out[2:], c.b.stream)
+	return out
+}
+
+// Append adds a sample. Timestamps must be strictly increasing.
+func (c *Chunk) Append(t int64, v float64) error {
+	switch c.num {
+	case 0:
+		// First sample: varint timestamp + raw value.
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], t)
+		for _, b := range buf[:n] {
+			c.b.writeByte(b)
+		}
+		c.b.writeBits(math.Float64bits(v), 64)
+	case 1:
+		if t <= c.t {
+			return fmt.Errorf("chunkenc: out-of-order timestamp %d <= %d", t, c.t)
+		}
+		tDelta := uint64(t - c.t)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], tDelta)
+		for _, b := range buf[:n] {
+			c.b.writeByte(b)
+		}
+		c.tDelta = tDelta
+		c.writeVDelta(v)
+	default:
+		if t <= c.t {
+			return fmt.Errorf("chunkenc: out-of-order timestamp %d <= %d", t, c.t)
+		}
+		tDelta := uint64(t - c.t)
+		dod := int64(tDelta - c.tDelta)
+		// Delta-of-delta buckets as in the Gorilla paper.
+		switch {
+		case dod == 0:
+			c.b.writeBit(false)
+		case bitRange(dod, 14):
+			c.b.writeBits(0b10, 2)
+			c.b.writeBits(uint64(dod), 14)
+		case bitRange(dod, 17):
+			c.b.writeBits(0b110, 3)
+			c.b.writeBits(uint64(dod), 17)
+		case bitRange(dod, 20):
+			c.b.writeBits(0b1110, 4)
+			c.b.writeBits(uint64(dod), 20)
+		default:
+			c.b.writeBits(0b1111, 4)
+			c.b.writeBits(uint64(dod), 64)
+		}
+		c.tDelta = tDelta
+		c.writeVDelta(v)
+	}
+	c.t = t
+	c.v = v
+	c.num++
+	return nil
+}
+
+func (c *Chunk) writeVDelta(v float64) {
+	vDelta := math.Float64bits(v) ^ math.Float64bits(c.v)
+	if vDelta == 0 {
+		c.b.writeBit(false)
+		return
+	}
+	c.b.writeBit(true)
+	leading := uint8(bits.LeadingZeros64(vDelta))
+	trailing := uint8(bits.TrailingZeros64(vDelta))
+	// Clamp to 31 so it fits the 5-bit field.
+	if leading >= 32 {
+		leading = 31
+	}
+	if c.leading != 0xff && leading >= c.leading && trailing >= c.trailing {
+		// Fits the previous window: reuse it.
+		c.b.writeBit(false)
+		c.b.writeBits(vDelta>>c.trailing, 64-int(c.leading)-int(c.trailing))
+		return
+	}
+	c.leading, c.trailing = leading, trailing
+	c.b.writeBit(true)
+	c.b.writeBits(uint64(leading), 5)
+	sigbits := 64 - int(leading) - int(trailing)
+	c.b.writeBits(uint64(sigbits), 6)
+	c.b.writeBits(vDelta>>trailing, sigbits)
+}
+
+func bitRange(x int64, nbits uint8) bool {
+	return -((1<<(nbits-1))-1) <= x && x <= 1<<(nbits-1)-1
+}
+
+// Iterator iterates the samples of a chunk.
+type Iterator struct {
+	br       breader
+	numTotal uint16
+	numRead  uint16
+	t        int64
+	v        float64
+	tDelta   uint64
+	leading  uint8
+	trailing uint8
+	err      error
+}
+
+// Iterator returns a fresh iterator positioned before the first sample.
+func (c *Chunk) Iterator() *Iterator {
+	return &Iterator{
+		br:       breader{stream: c.b.stream},
+		numTotal: c.num,
+	}
+}
+
+// Next advances to the next sample, returning false at the end or on error.
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.numRead == it.numTotal {
+		return false
+	}
+	if it.numRead == 0 {
+		t, err := it.br.readVarint()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		v, err := it.br.readBits(64)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.t = t
+		it.v = math.Float64frombits(v)
+		it.numRead++
+		return true
+	}
+	if it.numRead == 1 {
+		tDelta, err := it.br.readUvarint()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.tDelta = tDelta
+		it.t += int64(tDelta)
+		if !it.readValue() {
+			return false
+		}
+		it.numRead++
+		return true
+	}
+	// Delta-of-delta.
+	var d byte
+	for i := 0; i < 4; i++ {
+		bit, err := it.br.readBit()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if !bit {
+			break
+		}
+		d |= 1 << (3 - i)
+		if i == 3 {
+			break
+		}
+	}
+	var sz uint8
+	var dod int64
+	switch d {
+	case 0b0000:
+		// dod = 0
+	case 0b1000:
+		sz = 14
+	case 0b1100:
+		sz = 17
+	case 0b1110:
+		sz = 20
+	case 0b1111:
+		b, err := it.br.readBits(64)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		dod = int64(b)
+	default:
+		it.err = fmt.Errorf("chunkenc: invalid dod prefix %04b", d)
+		return false
+	}
+	if sz != 0 {
+		b, err := it.br.readBits(int(sz))
+		if err != nil {
+			it.err = err
+			return false
+		}
+		// Sign-extend.
+		if b > (1 << (sz - 1)) {
+			b -= 1 << sz
+		}
+		dod = int64(b)
+	}
+	it.tDelta = uint64(int64(it.tDelta) + dod)
+	it.t += int64(it.tDelta)
+	if !it.readValue() {
+		return false
+	}
+	it.numRead++
+	return true
+}
+
+func (it *Iterator) readValue() bool {
+	bit, err := it.br.readBit()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if !bit {
+		return true // value unchanged
+	}
+	bit, err = it.br.readBit()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if bit {
+		l, err := it.br.readBits(5)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		s, err := it.br.readBits(6)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.leading = uint8(l)
+		if s == 0 {
+			s = 64
+		}
+		it.trailing = 64 - uint8(l) - uint8(s)
+	}
+	sigbits := 64 - int(it.leading) - int(it.trailing)
+	b, err := it.br.readBits(sigbits)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	vbits := math.Float64bits(it.v) ^ (b << it.trailing)
+	it.v = math.Float64frombits(vbits)
+	return true
+}
+
+// At returns the current sample.
+func (it *Iterator) At() (int64, float64) { return it.t, it.v }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// bstream is an append-only bit stream.
+type bstream struct {
+	stream []byte
+	count  uint8 // bits free in the last byte
+}
+
+func (b *bstream) writeBit(bit bool) {
+	if b.count == 0 {
+		b.stream = append(b.stream, 0)
+		b.count = 8
+	}
+	i := len(b.stream) - 1
+	if bit {
+		b.stream[i] |= 1 << (b.count - 1)
+	}
+	b.count--
+}
+
+func (b *bstream) writeByte(byt byte) {
+	if b.count == 0 {
+		b.stream = append(b.stream, 0)
+		b.count = 8
+	}
+	i := len(b.stream) - 1
+	// Fill what's left of the current byte, spill into the next.
+	b.stream[i] |= byt >> (8 - b.count)
+	b.stream = append(b.stream, 0)
+	i++
+	b.stream[i] = byt << b.count
+}
+
+func (b *bstream) writeBits(u uint64, nbits int) {
+	u <<= 64 - uint(nbits)
+	for nbits >= 8 {
+		b.writeByte(byte(u >> 56))
+		u <<= 8
+		nbits -= 8
+	}
+	for nbits > 0 {
+		b.writeBit((u >> 63) == 1)
+		u <<= 1
+		nbits--
+	}
+}
+
+// breader reads a bit stream.
+type breader struct {
+	stream []byte
+	off    int   // byte offset
+	count  uint8 // bits already consumed in stream[off]
+}
+
+var errEOS = errors.New("chunkenc: end of stream")
+
+func (r *breader) readBit() (bool, error) {
+	if r.off >= len(r.stream) {
+		return false, errEOS
+	}
+	bit := (r.stream[r.off]>>(7-r.count))&1 == 1
+	r.count++
+	if r.count == 8 {
+		r.count = 0
+		r.off++
+	}
+	return bit, nil
+}
+
+func (r *breader) readByte() (byte, error) {
+	if r.off >= len(r.stream) {
+		return 0, errEOS
+	}
+	if r.count == 0 {
+		b := r.stream[r.off]
+		r.off++
+		return b, nil
+	}
+	if r.off+1 >= len(r.stream) {
+		return 0, errEOS
+	}
+	b := r.stream[r.off] << r.count
+	r.off++
+	b |= r.stream[r.off] >> (8 - r.count)
+	return b, nil
+}
+
+func (r *breader) readBits(nbits int) (uint64, error) {
+	var u uint64
+	for nbits >= 8 {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		u = u<<8 | uint64(b)
+		nbits -= 8
+	}
+	for nbits > 0 {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		u <<= 1
+		if bit {
+			u |= 1
+		}
+		nbits--
+	}
+	return u, nil
+}
+
+func (r *breader) readVarint() (int64, error) {
+	ux, err := r.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+func (r *breader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, errors.New("chunkenc: uvarint overflow")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}

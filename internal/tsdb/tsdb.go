@@ -1,0 +1,493 @@
+// Package tsdb implements the time-series database substrate of the CEEMS
+// stack: an in-memory head with Gorilla-compressed chunks, an inverted label
+// index, matcher-based series selection, retention, series deletion (used by
+// the CEEMS API server to reduce cardinality) and block cutting for
+// replication to long-term storage (the Thanos role in the paper's Fig. 1).
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb/chunkenc"
+)
+
+// ErrOutOfOrder is returned when appending a sample at or before the last
+// timestamp of its series.
+var ErrOutOfOrder = errors.New("tsdb: out of order sample")
+
+// Options configure a DB.
+type Options struct {
+	// MaxSamplesPerChunk bounds chunk size; 120 is the Prometheus default.
+	MaxSamplesPerChunk int
+	// RetentionMillis is the head retention window; 0 disables pruning.
+	RetentionMillis int64
+}
+
+// DefaultOptions returns production-like defaults (15 days retention).
+func DefaultOptions() Options {
+	return Options{MaxSamplesPerChunk: 120, RetentionMillis: 15 * 24 * 3600 * 1000}
+}
+
+// DB is the in-memory time-series database. All methods are safe for
+// concurrent use.
+type DB struct {
+	opts Options
+
+	mu      sync.RWMutex
+	series  map[uint64][]*memSeries // labels hash -> collision chain
+	byRef   map[uint64]*memSeries
+	nextRef uint64
+	// postings: label name -> value -> sorted-ish set of series refs
+	postings map[string]map[string]map[uint64]struct{}
+	minTime  int64 // smallest timestamp currently retained (approx)
+	maxTime  int64 // largest appended timestamp
+	appended uint64
+}
+
+type memSeries struct {
+	ref  uint64
+	lset labels.Labels
+
+	mu      sync.Mutex
+	chunks  []*chunkRange
+	head    *chunkenc.Chunk
+	headMin int64
+	lastT   int64
+	hasAny  bool
+}
+
+// chunkRange is a closed chunk plus its time bounds.
+type chunkRange struct {
+	min, max int64
+	chunk    *chunkenc.Chunk
+}
+
+// Open creates a DB with the given options.
+func Open(opts Options) *DB {
+	if opts.MaxSamplesPerChunk <= 0 {
+		opts.MaxSamplesPerChunk = 120
+	}
+	return &DB{
+		opts:     opts,
+		series:   make(map[uint64][]*memSeries),
+		byRef:    make(map[uint64]*memSeries),
+		postings: make(map[string]map[string]map[uint64]struct{}),
+		minTime:  int64(1) << 62,
+		maxTime:  -(int64(1) << 62),
+	}
+}
+
+// Append adds one sample for the series identified by lset. The series is
+// created on first append. Returns ErrOutOfOrder for non-increasing
+// timestamps within a series.
+func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
+	s := db.getOrCreate(lset)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasAny && t <= s.lastT {
+		return fmt.Errorf("%w: t=%d last=%d series=%s", ErrOutOfOrder, t, s.lastT, lset)
+	}
+	if s.head == nil {
+		s.head = chunkenc.NewChunk()
+		s.headMin = t
+	}
+	if err := s.head.Append(t, v); err != nil {
+		return err
+	}
+	s.lastT = t
+	s.hasAny = true
+	if s.head.NumSamples() >= db.opts.MaxSamplesPerChunk {
+		s.chunks = append(s.chunks, &chunkRange{min: s.headMin, max: s.lastT, chunk: s.head})
+		s.head = nil
+	}
+	db.mu.Lock()
+	if t < db.minTime {
+		db.minTime = t
+	}
+	if t > db.maxTime {
+		db.maxTime = t
+	}
+	db.appended++
+	db.mu.Unlock()
+	return nil
+}
+
+// AppendSeries appends a batch of samples of one series.
+func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
+	for _, s := range samples {
+		if err := db.Append(lset, s.T, s.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) getOrCreate(lset labels.Labels) *memSeries {
+	h := lset.Hash()
+	db.mu.RLock()
+	for _, s := range db.series[h] {
+		if s.lset.Equal(lset) {
+			db.mu.RUnlock()
+			return s
+		}
+	}
+	db.mu.RUnlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range db.series[h] { // re-check under write lock
+		if s.lset.Equal(lset) {
+			return s
+		}
+	}
+	db.nextRef++
+	s := &memSeries{ref: db.nextRef, lset: lset.Copy()}
+	db.series[h] = append(db.series[h], s)
+	db.byRef[s.ref] = s
+	for _, l := range s.lset {
+		vm, ok := db.postings[l.Name]
+		if !ok {
+			vm = make(map[string]map[uint64]struct{})
+			db.postings[l.Name] = vm
+		}
+		refs, ok := vm[l.Value]
+		if !ok {
+			refs = make(map[uint64]struct{})
+			vm[l.Value] = refs
+		}
+		refs[s.ref] = struct{}{}
+	}
+	return s
+}
+
+// Select returns all series matching the matchers, restricted to samples in
+// [mint, maxt]. Series with no samples in range are omitted. Results are
+// sorted by labels.
+func (db *DB) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("tsdb: Select requires at least one matcher")
+	}
+	refs := db.selectRefs(ms)
+	out := make([]model.Series, 0, len(refs))
+	db.mu.RLock()
+	series := make([]*memSeries, 0, len(refs))
+	for ref := range refs {
+		if s, ok := db.byRef[ref]; ok {
+			series = append(series, s)
+		}
+	}
+	db.mu.RUnlock()
+	for _, s := range series {
+		samples := s.samplesBetween(mint, maxt)
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, model.Series{Labels: s.lset, Samples: samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+// selectRefs computes the set of series refs satisfying all matchers.
+func (db *DB) selectRefs(ms []*labels.Matcher) map[uint64]struct{} {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	var result map[uint64]struct{}
+	intersect := func(set map[uint64]struct{}) {
+		if result == nil {
+			result = set
+			return
+		}
+		for ref := range result {
+			if _, ok := set[ref]; !ok {
+				delete(result, ref)
+			}
+		}
+	}
+
+	// Equality and regex matchers shrink via postings; negative matchers
+	// are applied as a filter pass afterwards.
+	var filters []*labels.Matcher
+	positive := 0
+	for _, m := range ms {
+		switch m.Type {
+		case labels.MatchEqual:
+			if m.Value == "" {
+				// {name=""} matches series missing the label entirely, so
+				// postings cannot serve it; filter instead.
+				filters = append(filters, m)
+				continue
+			}
+			positive++
+			set := make(map[uint64]struct{})
+			if vm, ok := db.postings[m.Name]; ok {
+				for ref := range vm[m.Value] {
+					set[ref] = struct{}{}
+				}
+			}
+			intersect(set)
+		case labels.MatchRegexp:
+			positive++
+			set := make(map[uint64]struct{})
+			if vm, ok := db.postings[m.Name]; ok {
+				for v, refs := range vm {
+					if m.Matches(v) {
+						for ref := range refs {
+							set[ref] = struct{}{}
+						}
+					}
+				}
+			}
+			// A regexp matching "" also matches series missing the label.
+			if m.Matches("") {
+				filters = append(filters, m)
+				positive--
+				continue
+			}
+			intersect(set)
+		default:
+			filters = append(filters, m)
+		}
+	}
+
+	if positive == 0 {
+		// Only negative/empty-matching matchers: scan everything.
+		result = make(map[uint64]struct{}, len(db.byRef))
+		for ref := range db.byRef {
+			result[ref] = struct{}{}
+		}
+	} else if result == nil {
+		result = map[uint64]struct{}{}
+	}
+	if len(filters) > 0 {
+		for ref := range result {
+			s := db.byRef[ref]
+			if !labels.MatchLabels(s.lset, filters...) {
+				delete(result, ref)
+			}
+		}
+	}
+	return result
+}
+
+func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []model.Sample
+	appendFrom := func(c *chunkenc.Chunk) {
+		it := c.Iterator()
+		for it.Next() {
+			t, v := it.At()
+			if t < mint {
+				continue
+			}
+			if t > maxt {
+				return
+			}
+			out = append(out, model.Sample{T: t, V: v})
+		}
+	}
+	for _, cr := range s.chunks {
+		if cr.max < mint || cr.min > maxt {
+			continue
+		}
+		appendFrom(cr.chunk)
+	}
+	if s.head != nil && !(s.lastT < mint || s.headMin > maxt) {
+		appendFrom(s.head)
+	}
+	return out
+}
+
+// LabelValues returns the sorted distinct values of a label name.
+func (db *DB) LabelValues(name string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vm := db.postings[name]
+	out := make([]string, 0, len(vm))
+	for v, refs := range vm {
+		if len(refs) > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelNames returns all label names in use, sorted.
+func (db *DB) LabelNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.postings))
+	for n, vm := range db.postings {
+		nonEmpty := false
+		for _, refs := range vm {
+			if len(refs) > 0 {
+				nonEmpty = true
+				break
+			}
+		}
+		if nonEmpty {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports database statistics.
+type Stats struct {
+	NumSeries     int
+	NumSamples    uint64 // total appended (monotonic)
+	MinTime       int64
+	MaxTime       int64
+	NumLabelNames int
+	BytesInChunks int
+}
+
+// Stats returns a snapshot of database statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	series := make([]*memSeries, 0, len(db.byRef))
+	for _, s := range db.byRef {
+		series = append(series, s)
+	}
+	st := Stats{
+		NumSeries:     len(db.byRef),
+		NumSamples:    db.appended,
+		MinTime:       db.minTime,
+		MaxTime:       db.maxTime,
+		NumLabelNames: len(db.postings),
+	}
+	db.mu.RUnlock()
+	for _, s := range series {
+		s.mu.Lock()
+		for _, cr := range s.chunks {
+			st.BytesInChunks += len(cr.chunk.Bytes())
+		}
+		if s.head != nil {
+			st.BytesInChunks += len(s.head.Bytes())
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Truncate drops all full chunks whose data lies entirely before mint and
+// removes series that have no chunks and have been silent since before mint.
+// It returns the number of series removed.
+func (db *DB) Truncate(mint int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for h, chain := range db.series {
+		keep := chain[:0]
+		for _, s := range chain {
+			s.mu.Lock()
+			kept := s.chunks[:0]
+			for _, cr := range s.chunks {
+				if cr.max >= mint {
+					kept = append(kept, cr)
+				}
+			}
+			for i := len(kept); i < len(s.chunks); i++ {
+				s.chunks[i] = nil
+			}
+			s.chunks = kept
+			empty := len(s.chunks) == 0 && s.head == nil && s.lastT < mint
+			s.mu.Unlock()
+			if empty {
+				db.dropSeriesLocked(s)
+				removed++
+				continue
+			}
+			keep = append(keep, s)
+		}
+		if len(keep) == 0 {
+			delete(db.series, h)
+		} else {
+			db.series[h] = keep
+		}
+	}
+	if mint > db.minTime {
+		db.minTime = mint
+	}
+	return removed
+}
+
+// DeleteSeries removes every series matching the matchers entirely,
+// returning the number deleted. The CEEMS API server uses this to clean up
+// metrics of short-lived jobs ("Clean TSDB" in Fig. 1).
+func (db *DB) DeleteSeries(ms ...*labels.Matcher) int {
+	refs := db.selectRefs(ms)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for ref := range refs {
+		s, ok := db.byRef[ref]
+		if !ok {
+			continue
+		}
+		h := s.lset.Hash()
+		chain := db.series[h]
+		keep := chain[:0]
+		for _, cs := range chain {
+			if cs.ref != ref {
+				keep = append(keep, cs)
+			}
+		}
+		if len(keep) == 0 {
+			delete(db.series, h)
+		} else {
+			db.series[h] = keep
+		}
+		db.dropSeriesLocked(s)
+		n++
+	}
+	return n
+}
+
+// dropSeriesLocked removes s from byRef and postings. Caller holds db.mu.
+func (db *DB) dropSeriesLocked(s *memSeries) {
+	delete(db.byRef, s.ref)
+	for _, l := range s.lset {
+		if vm, ok := db.postings[l.Name]; ok {
+			if refs, ok := vm[l.Value]; ok {
+				delete(refs, s.ref)
+				if len(refs) == 0 {
+					delete(vm, l.Value)
+				}
+			}
+			if len(vm) == 0 {
+				delete(db.postings, l.Name)
+			}
+		}
+	}
+}
+
+// MinTime returns the earliest retained timestamp (approximate after
+// truncation), or false when the DB is empty.
+func (db *DB) MinTime() (int64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.maxTime < db.minTime {
+		return 0, false
+	}
+	return db.minTime, true
+}
+
+// MaxTime returns the latest appended timestamp, or false when empty.
+func (db *DB) MaxTime() (int64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.maxTime < db.minTime {
+		return 0, false
+	}
+	return db.maxTime, true
+}

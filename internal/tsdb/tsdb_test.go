@@ -1,0 +1,413 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+func mustAppend(t *testing.T, db *DB, lset labels.Labels, samples ...model.Sample) {
+	t.Helper()
+	for _, s := range samples {
+		if err := db.Append(lset, s.T, s.V); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAppendSelect(t *testing.T) {
+	db := Open(DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "up", "instance", "n1")
+	mustAppend(t, db, ls, model.Sample{T: 1000, V: 1}, model.Sample{T: 2000, V: 0})
+
+	got, err := db.Select(0, 5000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "up"))
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("want 1 series, got %d", len(got))
+	}
+	want := []model.Sample{{T: 1000, V: 1}, {T: 2000, V: 0}}
+	if !reflect.DeepEqual(got[0].Samples, want) {
+		t.Errorf("samples = %v, want %v", got[0].Samples, want)
+	}
+}
+
+func TestSelectTimeRange(t *testing.T) {
+	db := Open(DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "m")
+	for i := int64(0); i < 10; i++ {
+		mustAppend(t, db, ls, model.Sample{T: i * 1000, V: float64(i)})
+	}
+	got, _ := db.Select(3000, 6000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 1 || len(got[0].Samples) != 4 {
+		t.Fatalf("range select wrong: %+v", got)
+	}
+	if got[0].Samples[0].T != 3000 || got[0].Samples[3].T != 6000 {
+		t.Errorf("bounds wrong: %v", got[0].Samples)
+	}
+	// Disjoint range yields nothing.
+	got, _ = db.Select(100000, 200000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 0 {
+		t.Errorf("expected empty result, got %v", got)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	db := Open(DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "m")
+	mustAppend(t, db, ls, model.Sample{T: 1000, V: 1})
+	if err := db.Append(ls, 1000, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("want ErrOutOfOrder, got %v", err)
+	}
+	if err := db.Append(ls, 500, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("want ErrOutOfOrder, got %v", err)
+	}
+}
+
+func TestMatcherSelection(t *testing.T) {
+	db := Open(DefaultOptions())
+	for i := 0; i < 10; i++ {
+		ls := labels.FromStrings(labels.MetricName, "cpu", "node", fmt.Sprintf("n%d", i), "dc", map[bool]string{true: "a", false: "b"}[i%2 == 0])
+		mustAppend(t, db, ls, model.Sample{T: 1000, V: float64(i)})
+	}
+	sel := func(ms ...*labels.Matcher) int {
+		t.Helper()
+		got, err := db.Select(0, 2000, ms...)
+		if err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+		return len(got)
+	}
+	if n := sel(labels.MustMatcher(labels.MatchEqual, "dc", "a")); n != 5 {
+		t.Errorf("dc=a: %d", n)
+	}
+	if n := sel(labels.MustMatcher(labels.MatchRegexp, "node", "n[0-2]")); n != 3 {
+		t.Errorf("regex: %d", n)
+	}
+	if n := sel(labels.MustMatcher(labels.MatchEqual, labels.MetricName, "cpu"),
+		labels.MustMatcher(labels.MatchNotEqual, "dc", "a")); n != 5 {
+		t.Errorf("negation: %d", n)
+	}
+	if n := sel(labels.MustMatcher(labels.MatchEqual, labels.MetricName, "cpu"),
+		labels.MustMatcher(labels.MatchNotRegexp, "node", "n[0-8]")); n != 1 {
+		t.Errorf("not-regexp: %d", n)
+	}
+	// Matcher for absent label value "" matches all (none have "rack").
+	if n := sel(labels.MustMatcher(labels.MatchEqual, labels.MetricName, "cpu"),
+		labels.MustMatcher(labels.MatchEqual, "rack", "")); n != 10 {
+		t.Errorf("empty-value matcher: %d", n)
+	}
+}
+
+func TestSelectRequiresMatcher(t *testing.T) {
+	db := Open(DefaultOptions())
+	if _, err := db.Select(0, 1); err == nil {
+		t.Error("expected error with no matchers")
+	}
+}
+
+func TestLabelValuesNames(t *testing.T) {
+	db := Open(DefaultOptions())
+	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m", "a", "2"), model.Sample{T: 1, V: 1})
+	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m", "a", "1"), model.Sample{T: 1, V: 1})
+	if got := db.LabelValues("a"); !reflect.DeepEqual(got, []string{"1", "2"}) {
+		t.Errorf("LabelValues = %v", got)
+	}
+	if got := db.LabelNames(); !reflect.DeepEqual(got, []string{labels.MetricName, "a"}) {
+		t.Errorf("LabelNames = %v", got)
+	}
+}
+
+func TestChunkRollover(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSamplesPerChunk = 10
+	db := Open(opts)
+	ls := labels.FromStrings(labels.MetricName, "m")
+	for i := int64(0); i < 55; i++ {
+		mustAppend(t, db, ls, model.Sample{T: i, V: float64(i)})
+	}
+	got, _ := db.Select(0, 100, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	if len(got) != 1 || len(got[0].Samples) != 55 {
+		t.Fatalf("rollover lost samples: %d", len(got[0].Samples))
+	}
+	for i, s := range got[0].Samples {
+		if s.T != int64(i) {
+			t.Fatalf("sample %d out of order: %v", i, s)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSamplesPerChunk = 5
+	db := Open(opts)
+	old := labels.FromStrings(labels.MetricName, "old")
+	live := labels.FromStrings(labels.MetricName, "live")
+	for i := int64(0); i < 20; i++ {
+		mustAppend(t, db, old, model.Sample{T: i * 100, V: 1})
+	}
+	for i := int64(0); i < 40; i++ {
+		mustAppend(t, db, live, model.Sample{T: i * 100, V: 1})
+	}
+	db.Truncate(2500)
+	// old's chunks: 4 chunks of 5 samples [0..400],[500..900],[1000..1400],[1500..1900]
+	// all < 2500 but lastT=1900 < 2500 and no head chunk... all four chunks were
+	// closed, so the series is removed entirely.
+	got, _ := db.Select(0, 10000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "old"))
+	if len(got) != 0 {
+		t.Errorf("old series should be gone, got %v", got)
+	}
+	got, _ = db.Select(0, 10000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "live"))
+	if len(got) != 1 {
+		t.Fatalf("live series missing")
+	}
+	if first := got[0].Samples[0].T; first < 2500 {
+		t.Errorf("truncated chunk data still present (first=%d)", first)
+	}
+}
+
+func TestDeleteSeries(t *testing.T) {
+	db := Open(DefaultOptions())
+	for i := 0; i < 10; i++ {
+		ls := labels.FromStrings(labels.MetricName, "job_cpu", "jobid", fmt.Sprintf("%d", i))
+		mustAppend(t, db, ls, model.Sample{T: 1000, V: 1})
+	}
+	n := db.DeleteSeries(labels.MustMatcher(labels.MatchRegexp, "jobid", "[0-4]"))
+	if n != 5 {
+		t.Fatalf("deleted %d, want 5", n)
+	}
+	got, _ := db.Select(0, 2000, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "job_cpu"))
+	if len(got) != 5 {
+		t.Errorf("remaining %d, want 5", len(got))
+	}
+	if db.Stats().NumSeries != 5 {
+		t.Errorf("stats series = %d", db.Stats().NumSeries)
+	}
+	// Label values index updated.
+	if vals := db.LabelValues("jobid"); len(vals) != 5 {
+		t.Errorf("jobid values = %v", vals)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := Open(DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "m")
+	mustAppend(t, db, ls, model.Sample{T: 5, V: 1}, model.Sample{T: 10, V: 2})
+	st := db.Stats()
+	if st.NumSeries != 1 || st.NumSamples != 2 || st.MinTime != 5 || st.MaxTime != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, ok := db.MinTime(); !ok {
+		t.Error("MinTime should be available")
+	}
+	empty := Open(DefaultOptions())
+	if _, ok := empty.MinTime(); ok {
+		t.Error("empty DB should have no MinTime")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	db := Open(DefaultOptions())
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const samplesEach = 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ls := labels.FromStrings(labels.MetricName, "m", "g", fmt.Sprintf("%d", g))
+			for i := int64(0); i < samplesEach; i++ {
+				if err := db.Append(ls, i, float64(i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := db.Stats()
+	if st.NumSeries != goroutines || st.NumSamples != goroutines*samplesEach {
+		t.Errorf("stats after concurrent append: %+v", st)
+	}
+}
+
+func TestCutBlockAndReadBack(t *testing.T) {
+	db := Open(DefaultOptions())
+	for i := 0; i < 5; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m", "i", fmt.Sprintf("%d", i))
+		for j := int64(0); j < 100; j++ {
+			mustAppend(t, db, ls, model.Sample{T: j * 1000, V: float64(i*1000) + float64(j)})
+		}
+	}
+	blk, err := db.CutBlock(10000, 50000)
+	if err != nil {
+		t.Fatalf("CutBlock: %v", err)
+	}
+	if len(blk.Series) != 5 {
+		t.Fatalf("block series = %d", len(blk.Series))
+	}
+	if blk.MinTime != 10000 || blk.MaxTime != 50000 {
+		t.Errorf("block bounds = [%d, %d]", blk.MinTime, blk.MaxTime)
+	}
+	if blk.NumSamples() != 5*41 {
+		t.Errorf("block samples = %d, want %d", blk.NumSamples(), 5*41)
+	}
+
+	path := filepath.Join(t.TempDir(), "b.blk")
+	if err := blk.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadBlockFile(path)
+	if err != nil {
+		t.Fatalf("ReadBlockFile: %v", err)
+	}
+	if got.NumSamples() != blk.NumSamples() || len(got.Series) != len(blk.Series) {
+		t.Fatalf("decoded block differs: %d/%d", got.NumSamples(), len(got.Series))
+	}
+	// Query the decoded block.
+	res := got.Select(10000, 20000, labels.MustMatcher(labels.MatchEqual, "i", "3"))
+	if len(res) != 1 || len(res[0].Samples) != 11 {
+		t.Errorf("block select = %+v", res)
+	}
+}
+
+func TestReadBlockFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadBlockFile(filepath.Join(dir, "missing.blk")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestCutBlockEmptyRange(t *testing.T) {
+	db := Open(DefaultOptions())
+	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m"), model.Sample{T: 1, V: 1})
+	blk, err := db.CutBlock(1000, 2000)
+	if err != nil {
+		t.Fatalf("CutBlock: %v", err)
+	}
+	if len(blk.Series) != 0 || blk.NumSamples() != 0 {
+		t.Errorf("expected empty block")
+	}
+}
+
+// Property: Select over the full range returns exactly what was appended,
+// regardless of chunk boundaries.
+func TestAppendSelectProperty(t *testing.T) {
+	f := func(seed int64, nSeries uint8, chunkSize uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := DefaultOptions()
+		opts.MaxSamplesPerChunk = int(chunkSize%50) + 2
+		db := Open(opts)
+		ns := int(nSeries%8) + 1
+		want := map[string][]model.Sample{}
+		for i := 0; i < ns; i++ {
+			key := fmt.Sprintf("%d", i)
+			ls := labels.FromStrings(labels.MetricName, "m", "s", key)
+			tcur := int64(0)
+			n := rng.Intn(300)
+			for j := 0; j < n; j++ {
+				tcur += rng.Int63n(5000) + 1
+				v := rng.NormFloat64()
+				if db.Append(ls, tcur, v) != nil {
+					return false
+				}
+				want[key] = append(want[key], model.Sample{T: tcur, V: v})
+			}
+		}
+		got, err := db.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, s := range got {
+			count++
+			if !reflect.DeepEqual(s.Samples, want[s.Labels.Get("s")]) {
+				return false
+			}
+		}
+		nonEmpty := 0
+		for _, w := range want {
+			if len(w) > 0 {
+				nonEmpty++
+			}
+		}
+		return count == nonEmpty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: block write/read round-trip preserves all samples.
+func TestBlockRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(DefaultOptions())
+		for i := 0; i < 3; i++ {
+			ls := labels.FromStrings(labels.MetricName, "m", "i", fmt.Sprintf("%d", i))
+			tcur := int64(0)
+			for j := 0; j < 50; j++ {
+				tcur += rng.Int63n(1000) + 1
+				db.Append(ls, tcur, rng.Float64()*100)
+			}
+		}
+		blk, err := db.CutBlock(0, 1<<60)
+		if err != nil {
+			return false
+		}
+		path := filepath.Join(dir, fmt.Sprintf("p%d.blk", seed))
+		if err := blk.WriteFile(path); err != nil {
+			return false
+		}
+		got, err := ReadBlockFile(path)
+		if err != nil {
+			return false
+		}
+		a := blk.Select(0, 1<<60, labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*"))
+		b := got.Select(0, 1<<60, labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*"))
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	db := Open(DefaultOptions())
+	ls := make([]labels.Labels, 100)
+	for i := range ls {
+		ls[i] = labels.FromStrings(labels.MetricName, "m", "series", fmt.Sprintf("%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append(ls[i%100], int64(i), float64(i))
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	db := Open(DefaultOptions())
+	for i := 0; i < 1000; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m", "series", fmt.Sprintf("%d", i))
+		for j := int64(0); j < 100; j++ {
+			db.Append(ls, j*15000, float64(j))
+		}
+	}
+	m1 := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m")
+	m2 := labels.MustMatcher(labels.MatchEqual, "series", "500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Select(0, 1<<60, m1, m2)
+	}
+}

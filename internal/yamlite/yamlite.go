@@ -1,0 +1,567 @@
+// Package yamlite implements the YAML subset the CEEMS stack uses for its
+// single-file configuration (paper §II.D: "All the CEEMS components can be
+// configured in a single YAML file"). It supports block mappings, block
+// sequences, nested indentation, quoted and plain scalars, flow sequences
+// ([a, b]) and flow mappings ({k: v}), comments, and decoding into Go
+// structs via `yaml` field tags.
+//
+// It deliberately omits anchors, aliases, multi-document streams and block
+// scalars — the configuration files in this repository do not need them.
+package yamlite
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse decodes YAML text into a generic tree: map[string]any, []any,
+// string, int64, float64, bool or nil.
+func Parse(data []byte) (any, error) {
+	p := &parser{}
+	p.split(string(data))
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next < len(p.lines) {
+		return nil, fmt.Errorf("yamlite: line %d: unexpected content %q", p.lines[next].no, p.lines[next].text)
+	}
+	return v, nil
+}
+
+// Unmarshal parses the YAML and decodes it into out, which must be a
+// non-nil pointer. Struct fields are matched by `yaml:"name"` tag, or the
+// lower-cased field name when untagged. Fields tagged `yaml:"-"` are
+// skipped. time.Duration fields accept Go duration strings ("15s").
+func Unmarshal(data []byte, out any) error {
+	tree, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("yamlite: Unmarshal target must be a non-nil pointer")
+	}
+	if tree == nil {
+		return nil
+	}
+	return decode(tree, rv.Elem(), "")
+}
+
+type line struct {
+	no     int // 1-based source line
+	indent int
+	text   string // content without indentation or comments
+}
+
+type parser struct {
+	lines []line
+}
+
+// split pre-processes the source into significant lines.
+func (p *parser) split(src string) {
+	for i, raw := range strings.Split(src, "\n") {
+		// Strip comments outside quotes.
+		text := stripComment(raw)
+		trimmed := strings.TrimRight(text, " \t")
+		content := strings.TrimLeft(trimmed, " ")
+		if content == "" || content == "---" {
+			continue
+		}
+		indent := len(trimmed) - len(content)
+		p.lines = append(p.lines, line{no: i + 1, indent: indent, text: content})
+	}
+}
+
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the block starting at line index i with the given
+// indentation, returning the value and the index of the first unconsumed
+// line.
+func (p *parser) parseBlock(i, indent int) (any, int, error) {
+	if i >= len(p.lines) {
+		return nil, i, nil
+	}
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *parser) parseSequence(i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.no)
+		}
+		if !strings.HasPrefix(ln.text, "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// Nested block on following lines.
+			if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+				v, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				seq = append(seq, v)
+				i = next
+				continue
+			}
+			seq = append(seq, nil)
+			i++
+			continue
+		}
+		// "- key: value" inline mapping start: rewrite as a mapping whose
+		// first line is the rest, nested lines follow deeper-indented.
+		if k, v, isMap := splitKV(rest); isMap {
+			m := map[string]any{}
+			itemIndent := ln.indent + 2 // canonical continuation indent
+			if v == "" {
+				// value is a nested block
+				if i+1 < len(p.lines) && p.lines[i+1].indent > ln.indent {
+					child, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+					if err != nil {
+						return nil, i, err
+					}
+					m[k] = child
+					i = next
+				} else {
+					m[k] = nil
+					i++
+				}
+			} else {
+				sv, err := scalar(v, ln.no)
+				if err != nil {
+					return nil, i, err
+				}
+				m[k] = sv
+				i++
+			}
+			// Continuation keys of this item are indented deeper than '-'.
+			for i < len(p.lines) && p.lines[i].indent >= itemIndent && !strings.HasPrefix(p.lines[i].text, "- ") {
+				mv, next, err := p.parseMapping(i, p.lines[i].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				for kk, vv := range mv.(map[string]any) {
+					m[kk] = vv
+				}
+				i = next
+			}
+			seq = append(seq, m)
+			continue
+		}
+		sv, err := scalar(rest, ln.no)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, sv)
+		i++
+	}
+	return seq, i, nil
+}
+
+func (p *parser) parseMapping(i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent {
+			if ln.indent < indent {
+				break
+			}
+			return nil, i, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.no)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		k, v, ok := splitKV(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("yamlite: line %d: expected 'key: value', got %q", ln.no, ln.text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("yamlite: line %d: duplicate key %q", ln.no, k)
+		}
+		if v == "" {
+			// Nested block or empty value.
+			if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+				child, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				m[k] = child
+				i = next
+				continue
+			}
+			m[k] = nil
+			i++
+			continue
+		}
+		sv, err := scalar(v, ln.no)
+		if err != nil {
+			return nil, i, err
+		}
+		m[k] = sv
+		i++
+	}
+	return m, i, nil
+}
+
+// splitKV splits "key: value" respecting quotes; returns ok=false when the
+// line is not a mapping entry.
+func splitKV(s string) (key, value string, ok bool) {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case ':':
+			if inS || inD {
+				continue
+			}
+			if i+1 == len(s) {
+				return strings.TrimSpace(unquoteKey(s[:i])), "", true
+			}
+			if s[i+1] == ' ' || s[i+1] == '\t' {
+				return strings.TrimSpace(unquoteKey(s[:i])), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func unquoteKey(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'') {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// scalar parses a scalar or flow collection.
+func scalar(s string, lineNo int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return flowSeq(s, lineNo)
+	case s[0] == '{':
+		return flowMap(s, lineNo)
+	case s[0] == '"':
+		uq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yamlite: line %d: bad quoted string %s", lineNo, s)
+		}
+		return uq, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yamlite: line %d: unterminated string %s", lineNo, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+func flowSeq(s string, lineNo int) (any, error) {
+	if s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated flow sequence %q", lineNo, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []any{}, nil
+	}
+	parts, err := splitFlow(inner, lineNo)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(parts))
+	for _, p := range parts {
+		v, err := scalar(p, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func flowMap(s string, lineNo int) (any, error) {
+	if s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated flow mapping %q", lineNo, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	m := map[string]any{}
+	if inner == "" {
+		return m, nil
+	}
+	parts, err := splitFlow(inner, lineNo)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		k, v, ok := splitKV(p)
+		if !ok {
+			// allow "k:v" without space inside flow maps
+			if idx := strings.IndexByte(p, ':'); idx > 0 {
+				k, v, ok = strings.TrimSpace(p[:idx]), strings.TrimSpace(p[idx+1:]), true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("yamlite: line %d: bad flow mapping entry %q", lineNo, p)
+		}
+		sv, err := scalar(v, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		m[k] = sv
+	}
+	return m, nil
+}
+
+// splitFlow splits a flow body on commas, respecting nesting and quotes.
+func splitFlow(s string, lineNo int) ([]string, error) {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[', '{':
+			if !inS && !inD {
+				depth++
+			}
+		case ']', '}':
+			if !inS && !inD {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("yamlite: line %d: unbalanced brackets in %q", lineNo, s)
+				}
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inS || inD {
+		return nil, fmt.Errorf("yamlite: line %d: unbalanced flow syntax in %q", lineNo, s)
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// decode assigns the generic tree value into rv.
+func decode(tree any, rv reflect.Value, path string) error {
+	if tree == nil {
+		return nil
+	}
+	// time.Duration special case.
+	if rv.Type() == durationType {
+		switch v := tree.(type) {
+		case string:
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return fmt.Errorf("yamlite: %s: bad duration %q: %w", path, v, err)
+			}
+			rv.SetInt(int64(d))
+			return nil
+		case int64:
+			rv.SetInt(v * int64(time.Second)) // bare numbers are seconds
+			return nil
+		}
+		return fmt.Errorf("yamlite: %s: cannot decode %T into time.Duration", path, tree)
+	}
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			rv.Set(reflect.New(rv.Type().Elem()))
+		}
+		return decode(tree, rv.Elem(), path)
+	case reflect.Interface:
+		rv.Set(reflect.ValueOf(tree))
+		return nil
+	case reflect.Struct:
+		m, ok := tree.(map[string]any)
+		if !ok {
+			return fmt.Errorf("yamlite: %s: expected mapping for struct, got %T", path, tree)
+		}
+		fields := structFields(rv.Type())
+		for k, v := range m {
+			idx, ok := fields[k]
+			if !ok {
+				continue // unknown keys are ignored, as in most YAML configs
+			}
+			if err := decode(v, rv.Field(idx), path+"."+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Map:
+		m, ok := tree.(map[string]any)
+		if !ok {
+			return fmt.Errorf("yamlite: %s: expected mapping, got %T", path, tree)
+		}
+		if rv.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("yamlite: %s: only string-keyed maps supported", path)
+		}
+		out := reflect.MakeMapWithSize(rv.Type(), len(m))
+		for k, v := range m {
+			ev := reflect.New(rv.Type().Elem()).Elem()
+			if err := decode(v, ev, path+"."+k); err != nil {
+				return err
+			}
+			out.SetMapIndex(reflect.ValueOf(k).Convert(rv.Type().Key()), ev)
+		}
+		rv.Set(out)
+		return nil
+	case reflect.Slice:
+		s, ok := tree.([]any)
+		if !ok {
+			return fmt.Errorf("yamlite: %s: expected sequence, got %T", path, tree)
+		}
+		out := reflect.MakeSlice(rv.Type(), len(s), len(s))
+		for i, v := range s {
+			if err := decode(v, out.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(out)
+		return nil
+	case reflect.String:
+		switch v := tree.(type) {
+		case string:
+			rv.SetString(v)
+		case int64:
+			rv.SetString(strconv.FormatInt(v, 10))
+		case float64:
+			rv.SetString(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			rv.SetString(strconv.FormatBool(v))
+		default:
+			return fmt.Errorf("yamlite: %s: cannot decode %T into string", path, tree)
+		}
+		return nil
+	case reflect.Bool:
+		b, ok := tree.(bool)
+		if !ok {
+			return fmt.Errorf("yamlite: %s: cannot decode %T into bool", path, tree)
+		}
+		rv.SetBool(b)
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		switch v := tree.(type) {
+		case int64:
+			rv.SetInt(v)
+		case float64:
+			rv.SetInt(int64(v))
+		default:
+			return fmt.Errorf("yamlite: %s: cannot decode %T into int", path, tree)
+		}
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		switch v := tree.(type) {
+		case int64:
+			if v < 0 {
+				return fmt.Errorf("yamlite: %s: negative value for unsigned field", path)
+			}
+			rv.SetUint(uint64(v))
+		default:
+			return fmt.Errorf("yamlite: %s: cannot decode %T into uint", path, tree)
+		}
+		return nil
+	case reflect.Float32, reflect.Float64:
+		switch v := tree.(type) {
+		case float64:
+			rv.SetFloat(v)
+		case int64:
+			rv.SetFloat(float64(v))
+		default:
+			return fmt.Errorf("yamlite: %s: cannot decode %T into float", path, tree)
+		}
+		return nil
+	}
+	return fmt.Errorf("yamlite: %s: unsupported kind %s", path, rv.Kind())
+}
+
+// structFields maps yaml key -> field index for a struct type.
+func structFields(t reflect.Type) map[string]int {
+	m := make(map[string]int, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("yaml")
+		name := strings.Split(tag, ",")[0]
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = strings.ToLower(f.Name)
+		}
+		m[name] = i
+	}
+	return m
+}

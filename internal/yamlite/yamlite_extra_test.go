@@ -1,0 +1,156 @@
+package yamlite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSequenceOfNestedBlocks(t *testing.T) {
+	in := `
+groups:
+  -
+    name: inline-dash-block
+  - name: with-map
+    labels: {a: b}
+`
+	v, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	groups := v.(map[string]any)["groups"].([]any)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].(map[string]any)["name"] != "inline-dash-block" {
+		t.Errorf("group0 = %#v", groups[0])
+	}
+	if groups[1].(map[string]any)["labels"].(map[string]any)["a"] != "b" {
+		t.Errorf("group1 = %#v", groups[1])
+	}
+}
+
+func TestBareDashNilItem(t *testing.T) {
+	v, err := Parse([]byte("items:\n  -\n  - x\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	items := v.(map[string]any)["items"].([]any)
+	if len(items) != 2 || items[0] != nil || items[1] != "x" {
+		t.Errorf("items = %#v", items)
+	}
+}
+
+func TestTopLevelSequence(t *testing.T) {
+	v, err := Parse([]byte("- a\n- b\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(v, []any{"a", "b"}) {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestQuotedKeys(t *testing.T) {
+	v, err := Parse([]byte(`"weird key": 1` + "\n'other': 2\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := v.(map[string]any)
+	if m["weird key"] != int64(1) || m["other"] != int64(2) {
+		t.Errorf("m = %#v", m)
+	}
+}
+
+func TestDocumentSeparatorSkipped(t *testing.T) {
+	v, err := Parse([]byte("---\na: 1\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v.(map[string]any)["a"] != int64(1) {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestNegativeAndFloatScalars(t *testing.T) {
+	v, err := Parse([]byte("neg: -5\nnegf: -2.5\nexp: 1e3\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := v.(map[string]any)
+	if m["neg"] != int64(-5) || m["negf"] != -2.5 || m["exp"] != 1000.0 {
+		t.Errorf("m = %#v", m)
+	}
+}
+
+func TestUnmarshalIntoMapOfStructs(t *testing.T) {
+	type entry struct {
+		Port int `yaml:"port"`
+	}
+	var out struct {
+		Services map[string]entry `yaml:"services"`
+	}
+	in := `
+services:
+  web:
+    port: 80
+  db:
+    port: 5432
+`
+	if err := Unmarshal([]byte(in), &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out.Services["web"].Port != 80 || out.Services["db"].Port != 5432 {
+		t.Errorf("services = %#v", out.Services)
+	}
+}
+
+func TestUnmarshalInterfaceField(t *testing.T) {
+	var out struct {
+		Anything any `yaml:"anything"`
+	}
+	if err := Unmarshal([]byte("anything: [1, two]"), &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := out.Anything.([]any)
+	if got[0] != int64(1) || got[1] != "two" {
+		t.Errorf("anything = %#v", out.Anything)
+	}
+}
+
+func TestUnmarshalUintAndErrors(t *testing.T) {
+	var out struct {
+		Count uint `yaml:"count"`
+	}
+	if err := Unmarshal([]byte("count: 7"), &out); err != nil || out.Count != 7 {
+		t.Errorf("uint = %d, %v", out.Count, err)
+	}
+	if err := Unmarshal([]byte("count: -7"), &out); err == nil {
+		t.Error("negative into uint accepted")
+	}
+	var bad struct {
+		S []string `yaml:"s"`
+	}
+	if err := Unmarshal([]byte("s: notalist"), &bad); err == nil {
+		t.Error("scalar into slice accepted")
+	}
+	var badMap struct {
+		M map[string]int `yaml:"m"`
+	}
+	if err := Unmarshal([]byte("m: [1]"), &badMap); err == nil {
+		t.Error("list into map accepted")
+	}
+}
+
+func TestStringCoercions(t *testing.T) {
+	var out struct {
+		A string `yaml:"a"`
+		B string `yaml:"b"`
+		C string `yaml:"c"`
+	}
+	if err := Unmarshal([]byte("a: 5\nb: 1.5\nc: true"), &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out.A != "5" || out.B != "1.5" || out.C != "true" {
+		t.Errorf("coercions = %+v", out)
+	}
+}
