@@ -1,0 +1,34 @@
+# Local targets mirror .github/workflows/ci.yml exactly, so `make ci` is the
+# same bar CI enforces.
+
+GO ?= go
+RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/...
+
+.PHONY: build test race bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Full benchmark run (real measurements; slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One-iteration smoke pass so the bench suite can never silently rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+
+ci: build lint test race bench-smoke
+	@echo "ci: all green"

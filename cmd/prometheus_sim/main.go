@@ -33,13 +33,16 @@ func main() {
 		ruleInt  = flag.Duration("rule-interval", time.Minute, "rule evaluation interval")
 		user     = flag.String("scrape-auth-user", "", "basic auth user for scraping")
 		pass     = flag.String("scrape-auth-pass", "", "basic auth password for scraping")
+		shards   = flag.Int("tsdb-shards", 0, "TSDB head shards (power of two; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *targets == "" {
 		log.Fatal("at least one -targets entry required")
 	}
 
-	db := tsdb.Open(tsdb.DefaultOptions())
+	opts := tsdb.DefaultOptions()
+	opts.Shards = *shards
+	db := tsdb.Open(opts)
 	sm := &scrape.Manager{
 		Dest:    db,
 		Fetcher: &scrape.HTTPFetcher{Username: *user, Password: *pass},

@@ -11,8 +11,13 @@ import (
 	"repro/internal/promql"
 	"repro/internal/relstore"
 	"repro/internal/resourcemanager"
-	"repro/internal/tsdb"
 )
+
+// SeriesDeleter deletes matching series from a metrics store; it is the
+// "Clean TSDB" edge of Fig. 1 (tsdb.DB implements it).
+type SeriesDeleter interface {
+	DeleteSeries(ms ...*labels.Matcher) int
+}
 
 // Updater implements the API server's periodic aggregation pass: fetch the
 // unit list from every resource manager, estimate each unit's aggregate
@@ -32,8 +37,9 @@ type Updater struct {
 	// ShortUnitCutoff: terminated units with less runtime than this get
 	// their TSDB series deleted to reduce cardinality; 0 disables.
 	ShortUnitCutoff time.Duration
-	// Cleaner is the TSDB to clean; nil disables cleanup.
-	Cleaner *tsdb.DB
+	// Cleaner is the TSDB to clean; nil disables cleanup. *tsdb.DB
+	// satisfies it, fanning the deletion across head shards.
+	Cleaner SeriesDeleter
 
 	lastUpdate time.Time
 	// Stats.

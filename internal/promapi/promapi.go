@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/model"
@@ -24,11 +25,23 @@ type Handler struct {
 	Now func() time.Time
 }
 
+// LabelStore is the optional metadata side of a Queryable. *tsdb.DB
+// implements it (fanning the lookup across head shards); when Query does,
+// the handler additionally serves /api/v1/labels and
+// /api/v1/label/<name>/values, the endpoints Grafana uses to populate
+// dashboard variable dropdowns.
+type LabelStore interface {
+	LabelNames() []string
+	LabelValues(name string) []string
+}
+
 // Mux returns the route tree.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/query", h.handleQuery)
 	mux.HandleFunc("/api/v1/query_range", h.handleQueryRange)
+	mux.HandleFunc("/api/v1/labels", h.handleLabels)
+	mux.HandleFunc("/api/v1/label/", h.handleLabelValues)
 	mux.HandleFunc("/api/v1/read", h.handleRead)
 	mux.HandleFunc("/-/healthy", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -142,6 +155,46 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		out[i] = matrixSeries{Metric: sr.Labels.Map(), Values: vals}
 	}
 	writeOK(w, "matrix", out)
+}
+
+// handleLabels serves /api/v1/labels when the backing store supports label
+// metadata.
+func (h *Handler) handleLabels(w http.ResponseWriter, _ *http.Request) {
+	ls, ok := h.Query.(LabelStore)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "label metadata not supported by this backend")
+		return
+	}
+	writeList(w, ls.LabelNames())
+}
+
+// handleLabelValues serves /api/v1/label/<name>/values.
+func (h *Handler) handleLabelValues(w http.ResponseWriter, r *http.Request) {
+	ls, ok := h.Query.(LabelStore)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "label metadata not supported by this backend")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/label/")
+	name, suffix, found := strings.Cut(rest, "/")
+	if !found || suffix != "values" || name == "" {
+		writeErr(w, http.StatusNotFound, "expected /api/v1/label/<name>/values")
+		return
+	}
+	writeList(w, ls.LabelValues(name))
+}
+
+// writeList emits the Prometheus label-list envelope ({"status":"success",
+// "data":[...]}), which has no resultType wrapper.
+func writeList(w http.ResponseWriter, list []string) {
+	if list == nil {
+		list = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status string   `json:"status"`
+		Data   []string `json:"data"`
+	}{Status: "success", Data: list})
 }
 
 func parseTime(s string) (time.Time, error) {

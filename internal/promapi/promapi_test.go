@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
 	"repro/internal/tsdb"
 )
 
@@ -146,5 +149,67 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if d, err := parseStep("30"); err != nil || d != 30*time.Second {
 		t.Errorf("numeric step = %v, %v", d, err)
+	}
+}
+
+func TestLabelsEndpoints(t *testing.T) {
+	h := testHandler(t).Mux()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/labels", nil))
+	var resp struct {
+		Status string   `json:"status"`
+		Data   []string `json:"data"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if rec.Code != 200 || resp.Status != "success" {
+		t.Fatalf("labels = %d %q", rec.Code, resp.Status)
+	}
+	want := []string{labels.MetricName, "instance"}
+	if len(resp.Data) != 2 || resp.Data[0] != want[0] || resp.Data[1] != want[1] {
+		t.Errorf("labels = %v, want %v", resp.Data, want)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/label/__name__/values", nil))
+	resp.Data = nil
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if rec.Code != 200 || len(resp.Data) != 2 {
+		t.Fatalf("label values = %d %v", rec.Code, resp.Data)
+	}
+	if resp.Data[0] != "reqs_total" || resp.Data[1] != "up" {
+		t.Errorf("values = %v", resp.Data)
+	}
+
+	// Absent label yields an empty (non-null) list.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/label/nope/values", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"data":[]`) {
+		t.Errorf("absent label = %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Malformed values path.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/label/x/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("malformed path = %d", rec.Code)
+	}
+}
+
+// queryableOnly hides tsdb.DB's label methods to exercise the fallback.
+type queryableOnly struct{ q promql.Queryable }
+
+func (q queryableOnly) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	return q.q.Select(mint, maxt, ms...)
+}
+
+func TestLabelsUnsupportedBackend(t *testing.T) {
+	db := tsdb.Open(tsdb.DefaultOptions())
+	h := (&Handler{Query: queryableOnly{db}}).Mux()
+	for _, path := range []string{"/api/v1/labels", "/api/v1/label/x/values"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != 404 {
+			t.Errorf("%s = %d, want 404", path, rec.Code)
+		}
 	}
 }

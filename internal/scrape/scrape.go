@@ -20,6 +20,7 @@ import (
 	"repro/internal/expofmt"
 	"repro/internal/labels"
 	"repro/internal/model"
+	"repro/internal/workpool"
 )
 
 // Appender receives scraped samples; *tsdb.DB satisfies it.
@@ -95,8 +96,13 @@ type Manager struct {
 	HonorTimestamps bool
 	// Now supplies the scrape timestamp; defaults to time.Now.
 	Now func() time.Time
-	// OnError receives scrape errors; nil drops them.
+	// OnError receives scrape errors; nil drops them. ScrapeAll may invoke
+	// it concurrently from its worker pool.
 	OnError func(target string, err error)
+	// Parallelism sets ScrapeAll's worker count (may exceed GOMAXPROCS —
+	// scraping is I/O-bound); 0 means GOMAXPROCS, 1 forces the old
+	// sequential behavior.
+	Parallelism int
 
 	mu     sync.Mutex
 	health map[string]TargetHealth
@@ -143,13 +149,26 @@ func (m *Manager) Run(ctx context.Context) {
 }
 
 // ScrapeAll scrapes every target of every group once; simulations use this
-// with a virtual clock instead of Run.
+// with a virtual clock instead of Run. Targets are scraped concurrently on
+// a bounded worker pool (Parallelism workers; see that field), which both
+// matches Run's per-target goroutines and exercises the sharded TSDB head
+// the way a real fleet does; each target writes disjoint series (distinct
+// instance labels), so concurrency cannot reorder samples within a series.
+// OnError may be invoked from multiple goroutines.
 func (m *Manager) ScrapeAll(ctx context.Context) {
+	type job struct {
+		g      *TargetGroup
+		target string
+	}
+	var jobs []job
 	for _, g := range m.Groups {
 		for _, target := range g.Targets {
-			m.ScrapeTarget(ctx, g, target)
+			jobs = append(jobs, job{g, target})
 		}
 	}
+	workpool.Do(len(jobs), m.Parallelism, func(i int) {
+		m.ScrapeTarget(ctx, jobs[i].g, jobs[i].target)
+	})
 }
 
 // ScrapeTarget performs one scrape of one target, appending samples and the

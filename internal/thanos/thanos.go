@@ -26,6 +26,11 @@ type Store struct {
 
 	mu     sync.RWMutex
 	blocks []*tsdb.Block
+	// labelIndex: name -> value set across all blocks, maintained on
+	// upload/load so the LabelStore endpoints don't scan every series.
+	// Blocks are never removed and downsampling preserves label sets, so
+	// the index only grows.
+	labelIndex map[string]map[string]struct{}
 }
 
 // NewStore opens a store directory, loading any existing blocks.
@@ -50,9 +55,28 @@ func NewStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("thanos: loading %s: %w", e.Name(), err)
 		}
 		s.blocks = append(s.blocks, b)
+		s.indexBlockLocked(b)
 	}
 	s.sortLocked()
 	return s, nil
+}
+
+// indexBlockLocked merges a block's label sets into the index. Caller holds
+// s.mu (or has exclusive access during construction).
+func (s *Store) indexBlockLocked(b *tsdb.Block) {
+	if s.labelIndex == nil {
+		s.labelIndex = map[string]map[string]struct{}{}
+	}
+	for _, bs := range b.Series {
+		for _, l := range bs.Labels {
+			vs, ok := s.labelIndex[l.Name]
+			if !ok {
+				vs = map[string]struct{}{}
+				s.labelIndex[l.Name] = vs
+			}
+			vs[l.Value] = struct{}{}
+		}
+	}
 }
 
 func (s *Store) sortLocked() {
@@ -72,6 +96,7 @@ func (s *Store) Upload(b *tsdb.Block) error {
 	}
 	s.mu.Lock()
 	s.blocks = append(s.blocks, b)
+	s.indexBlockLocked(b)
 	s.sortLocked()
 	s.mu.Unlock()
 	return nil
@@ -130,6 +155,29 @@ func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series,
 	}
 	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
 	return out, nil
+}
+
+// LabelNames returns the sorted distinct label names across all blocks
+// (with LabelValues, this makes the store — and the fan-in Querier —
+// satisfy promapi.LabelStore). Served from the maintained index, not a
+// block scan.
+func (s *Store) LabelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.labelIndex))
+	for n := range s.labelIndex {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelValues returns the sorted distinct values of a label name across all
+// blocks.
+func (s *Store) LabelValues(name string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return labels.SortedKeys(s.labelIndex[name])
 }
 
 // Downsample rewrites every block older than `before` to the given
@@ -245,21 +293,45 @@ func (sc *Sidecar) Ship(now time.Time) error {
 
 // Querier fans a Select over the hot TSDB and the cold store, merging
 // results; it satisfies promql.Queryable so the engine (and therefore the
-// API server and Grafana) can query long ranges transparently.
+// API server and Grafana) can query long ranges transparently. The two
+// backends are queried concurrently: the hot side is itself a parallel
+// fan-out over head shards, the cold side an iteration over blocks.
 type Querier struct {
 	Hot  *tsdb.DB
 	Cold *Store
 }
 
+// LabelNames unions hot and cold label names, sorted; with LabelValues it
+// makes the fan-in Querier satisfy promapi.LabelStore, so Grafana's
+// variable dropdowns work against the merged view.
+func (q *Querier) LabelNames() []string {
+	return labels.UnionSorted(q.Hot.LabelNames(), q.Cold.LabelNames())
+}
+
+// LabelValues unions hot and cold values of a label name, sorted.
+func (q *Querier) LabelValues(name string) []string {
+	return labels.UnionSorted(q.Hot.LabelValues(name), q.Cold.LabelValues(name))
+}
+
 // Select implements promql.Queryable.
 func (q *Querier) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
-	cold, err := q.Cold.Select(mint, maxt, ms...)
-	if err != nil {
-		return nil, err
+	var (
+		wg              sync.WaitGroup
+		cold, hot       []model.Series
+		coldErr, hotErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cold, coldErr = q.Cold.Select(mint, maxt, ms...)
+	}()
+	hot, hotErr = q.Hot.Select(mint, maxt, ms...)
+	wg.Wait()
+	if coldErr != nil {
+		return nil, coldErr
 	}
-	hot, err := q.Hot.Select(mint, maxt, ms...)
-	if err != nil {
-		return nil, err
+	if hotErr != nil {
+		return nil, hotErr
 	}
 	merged := map[uint64]*model.Series{}
 	var order []uint64

@@ -210,3 +210,52 @@ func BenchmarkStoreSelect(b *testing.B) {
 		store.Select(0, 1<<60, m)
 	}
 }
+
+// The fan-in Querier must expose label metadata from both tiers so the
+// promapi label endpoints work in front of it.
+func TestQuerierLabelStore(t *testing.T) {
+	cold := seedDB(t, 2, 10, 0) // series s=0,1 shipped to the store
+	blk, err := cold.CutBlock(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Upload(blk); err != nil {
+		t.Fatal(err)
+	}
+	hot := tsdb.Open(tsdb.DefaultOptions())
+	if err := hot.Append(labels.FromStrings(labels.MetricName, "m", "s", "9", "zone", "hot"), 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	q := &Querier{Hot: hot, Cold: store}
+
+	wantNames := []string{labels.MetricName, "s", "zone"}
+	if got := q.LabelNames(); !equalStrings(got, wantNames) {
+		t.Errorf("LabelNames = %v, want %v", got, wantNames)
+	}
+	wantS := []string{"0", "1", "9"}
+	if got := q.LabelValues("s"); !equalStrings(got, wantS) {
+		t.Errorf(`LabelValues("s") = %v, want %v`, got, wantS)
+	}
+	if got := q.LabelValues("zone"); !equalStrings(got, []string{"hot"}) {
+		t.Errorf(`LabelValues("zone") = %v`, got)
+	}
+	if got := q.LabelValues("absent"); len(got) != 0 {
+		t.Errorf(`LabelValues("absent") = %v`, got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package tsdb
+
+import (
+	"errors"
+
+	"repro/internal/labels"
+)
+
+// Appender accumulates samples for many series and routes them to their
+// shards on Commit. Grouping by shard lets a whole batch resolve its series
+// with one read-lock pass per shard (plus one write-lock pass for series
+// seen for the first time) instead of a lock round-trip per sample, which
+// is the shape of a scrape: hundreds of samples, a handful of shards.
+//
+// An Appender is not safe for concurrent use; create one per goroutine.
+type Appender struct {
+	db      *DB
+	byShard [][]pendingSample
+	count   int
+}
+
+type pendingSample struct {
+	hash uint64
+	lset labels.Labels
+	t    int64
+	v    float64
+}
+
+// Appender returns an empty batch appender for the DB.
+func (db *DB) Appender() *Appender {
+	return &Appender{db: db, byShard: make([][]pendingSample, len(db.shards))}
+}
+
+// Add buffers one sample; nothing is visible to queries until Commit.
+// The lset slice is retained (its hash decides the shard here, series
+// resolution happens at Commit) — the caller must not mutate it until
+// Commit returns, or a series could be created in the wrong shard and
+// break the one-shard-per-series invariant the query merge relies on.
+func (a *Appender) Add(lset labels.Labels, t int64, v float64) {
+	h := lset.Hash()
+	i := h & a.db.mask
+	a.byShard[i] = append(a.byShard[i], pendingSample{hash: h, lset: lset, t: t, v: v})
+	a.count++
+}
+
+// Pending returns the number of buffered samples.
+func (a *Appender) Pending() int { return a.count }
+
+// Commit appends all buffered samples and resets the appender. Out-of-order
+// samples are skipped (the scrape loop's tolerance for overlapping
+// retries); any other error aborts the commit. Returns the number of
+// samples actually appended.
+func (a *Appender) Commit() (int, error) {
+	appended := 0
+	var firstErr error
+	for i, batch := range a.byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		sh := a.db.shards[i]
+		series := sh.resolveBatch(batch)
+		mint := int64(1) << 62
+		maxt := -(int64(1) << 62)
+		n := uint64(0)
+		for j, p := range batch {
+			s := series[j]
+			s.mu.Lock()
+			err := s.appendLocked(p.t, p.v, a.db.opts.MaxSamplesPerChunk)
+			s.mu.Unlock()
+			if err != nil {
+				if errors.Is(err, ErrOutOfOrder) {
+					continue
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			if p.t < mint {
+				mint = p.t
+			}
+			if p.t > maxt {
+				maxt = p.t
+			}
+			n++
+		}
+		if n > 0 {
+			sh.noteAppend(mint, maxt, n)
+			appended += int(n)
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	a.count = 0
+	for i := range a.byShard {
+		a.byShard[i] = a.byShard[i][:0]
+	}
+	return appended, firstErr
+}
+
+// resolveBatch maps each pending sample to its memSeries, looking up the
+// whole batch under one read lock and creating any misses under one write
+// lock.
+func (sh *headShard) resolveBatch(batch []pendingSample) []*memSeries {
+	out := make([]*memSeries, len(batch))
+	missing := false
+	sh.mu.RLock()
+	for i, p := range batch {
+		if s := sh.lookupLocked(p.hash, p.lset); s != nil {
+			out[i] = s
+		} else {
+			missing = true
+		}
+	}
+	sh.mu.RUnlock()
+	if !missing {
+		return out
+	}
+	sh.mu.Lock()
+	for i, p := range batch {
+		if out[i] == nil {
+			out[i] = sh.getOrCreateLocked(p.hash, p.lset)
+		}
+	}
+	sh.mu.Unlock()
+	return out
+}

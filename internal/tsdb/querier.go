@@ -1,0 +1,133 @@
+package tsdb
+
+import (
+	"errors"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/workpool"
+)
+
+// forEachShard runs f(i, shard) for every shard on a bounded worker pool of
+// min(shards, GOMAXPROCS) goroutines. The single-shard case runs inline.
+func (db *DB) forEachShard(f func(i int, sh *headShard)) {
+	workpool.Do(len(db.shards), 0, func(i int) { f(i, db.shards[i]) })
+}
+
+// Select returns all series matching the matchers, restricted to samples in
+// [mint, maxt]. Series with no samples in range are omitted. Results are
+// sorted by labels: each shard selects and sorts its slice in parallel and
+// the slices are combined with a k-way merge, so output is identical for
+// any shard count.
+func (db *DB) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("tsdb: Select requires at least one matcher")
+	}
+	parts := make([][]model.Series, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i] = sh.selectSorted(mint, maxt, ms)
+	})
+	return mergeSortedSeries(parts), nil
+}
+
+// mergeSortedSeries merges per-shard slices, each sorted by labels, into one
+// sorted slice. Series are unique across shards (a label set hashes to one
+// shard), so this is a pure merge with no combining. Pairwise tournament
+// reduction keeps it O(total · log shards) even at high shard counts.
+func mergeSortedSeries(parts [][]model.Series) []model.Series {
+	live := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return []model.Series{}
+	case 1:
+		return live[0]
+	}
+	for len(live) > 1 {
+		merged := live[:0]
+		for i := 0; i < len(live); i += 2 {
+			if i+1 == len(live) {
+				merged = append(merged, live[i])
+				break
+			}
+			merged = append(merged, mergeTwoSorted(live[i], live[i+1]))
+		}
+		live = merged
+	}
+	return live[0]
+}
+
+// mergeTwoSorted merges two label-sorted series slices.
+func mergeTwoSorted(a, b []model.Series) []model.Series {
+	out := make([]model.Series, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if labels.Compare(a[i].Labels, b[j].Labels) < 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// LabelValues returns the sorted distinct values of a label name across all
+// shards.
+func (db *DB) LabelValues(name string) []string {
+	parts := make([][]string, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i] = sh.labelValues(name)
+	})
+	return labels.UnionSorted(parts...)
+}
+
+// LabelNames returns all label names in use, sorted.
+func (db *DB) LabelNames() []string {
+	parts := make([][]string, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i] = sh.labelNames()
+	})
+	return labels.UnionSorted(parts...)
+}
+
+// Stats reports database statistics.
+type Stats struct {
+	NumSeries     int
+	NumSamples    uint64 // total appended (monotonic)
+	MinTime       int64
+	MaxTime       int64
+	NumLabelNames int
+	BytesInChunks int
+	NumShards     int
+}
+
+// Stats returns a snapshot of database statistics, aggregated across shards
+// in parallel.
+func (db *DB) Stats() Stats {
+	parts := make([]shardStats, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i] = sh.stats()
+	})
+	names := make(map[string]struct{})
+	st := Stats{NumShards: len(db.shards)}
+	for _, p := range parts {
+		st.NumSeries += p.numSeries
+		st.BytesInChunks += p.bytesInChunks
+		for _, n := range p.labelNames {
+			names[n] = struct{}{}
+		}
+	}
+	st.NumLabelNames = len(names)
+	for _, sh := range db.shards {
+		st.NumSamples += sh.appended.Load()
+	}
+	st.MinTime, st.MaxTime = db.timeBounds()
+	return st
+}

@@ -1,0 +1,370 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// headShard is one lock stripe of the head: an independent series map,
+// inverted postings index and retention state guarded by its own RWMutex.
+// A series is owned by exactly one shard (labels hash & mask), so appends
+// and deletes never take more than one shard lock.
+type headShard struct {
+	mu      sync.RWMutex
+	series  map[uint64][]*memSeries // labels hash -> collision chain
+	byRef   map[uint64]*memSeries
+	nextRef uint64
+	// postings: label name -> value -> set of series refs (shard-local)
+	postings map[string]map[string]map[uint64]struct{}
+
+	// Time bounds and sample counter, updated off the lock path.
+	minTime  atomic.Int64 // smallest timestamp currently retained (approx)
+	maxTime  atomic.Int64 // largest appended timestamp
+	appended atomic.Uint64
+}
+
+func newHeadShard() *headShard {
+	sh := &headShard{
+		series:   make(map[uint64][]*memSeries),
+		byRef:    make(map[uint64]*memSeries),
+		postings: make(map[string]map[string]map[uint64]struct{}),
+	}
+	sh.minTime.Store(int64(1) << 62)
+	sh.maxTime.Store(-(int64(1) << 62))
+	return sh
+}
+
+// noteAppend widens the shard time bounds to [mint, maxt] and counts n
+// appended samples, using CAS loops so the hot append path takes no shard
+// lock.
+func (sh *headShard) noteAppend(mint, maxt int64, n uint64) {
+	for {
+		cur := sh.minTime.Load()
+		if mint >= cur || sh.minTime.CompareAndSwap(cur, mint) {
+			break
+		}
+	}
+	for {
+		cur := sh.maxTime.Load()
+		if maxt <= cur || sh.maxTime.CompareAndSwap(cur, maxt) {
+			break
+		}
+	}
+	sh.appended.Add(n)
+}
+
+// lookupLocked finds an existing series; the caller holds sh.mu (either mode).
+func (sh *headShard) lookupLocked(hash uint64, lset labels.Labels) *memSeries {
+	for _, s := range sh.series[hash] {
+		if s.lset.Equal(lset) {
+			return s
+		}
+	}
+	return nil
+}
+
+// getOrCreate returns the series for lset, creating it on first use.
+func (sh *headShard) getOrCreate(hash uint64, lset labels.Labels) *memSeries {
+	sh.mu.RLock()
+	s := sh.lookupLocked(hash, lset)
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.getOrCreateLocked(hash, lset)
+}
+
+// getOrCreateLocked is getOrCreate under an already-held write lock.
+func (sh *headShard) getOrCreateLocked(hash uint64, lset labels.Labels) *memSeries {
+	if s := sh.lookupLocked(hash, lset); s != nil { // re-check under write lock
+		return s
+	}
+	sh.nextRef++
+	s := &memSeries{ref: sh.nextRef, lset: lset.Copy()}
+	sh.series[hash] = append(sh.series[hash], s)
+	sh.byRef[s.ref] = s
+	for _, l := range s.lset {
+		vm, ok := sh.postings[l.Name]
+		if !ok {
+			vm = make(map[string]map[uint64]struct{})
+			sh.postings[l.Name] = vm
+		}
+		refs, ok := vm[l.Value]
+		if !ok {
+			refs = make(map[uint64]struct{})
+			vm[l.Value] = refs
+		}
+		refs[s.ref] = struct{}{}
+	}
+	return s
+}
+
+// selectRefs computes the set of shard-local series refs satisfying all
+// matchers.
+func (sh *headShard) selectRefs(ms []*labels.Matcher) map[uint64]struct{} {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+
+	var result map[uint64]struct{}
+	intersect := func(set map[uint64]struct{}) {
+		if result == nil {
+			result = set
+			return
+		}
+		for ref := range result {
+			if _, ok := set[ref]; !ok {
+				delete(result, ref)
+			}
+		}
+	}
+
+	// Equality and regex matchers shrink via postings; negative matchers
+	// are applied as a filter pass afterwards.
+	var filters []*labels.Matcher
+	positive := 0
+	for _, m := range ms {
+		switch m.Type {
+		case labels.MatchEqual:
+			if m.Value == "" {
+				// {name=""} matches series missing the label entirely, so
+				// postings cannot serve it; filter instead.
+				filters = append(filters, m)
+				continue
+			}
+			positive++
+			set := make(map[uint64]struct{})
+			if vm, ok := sh.postings[m.Name]; ok {
+				for ref := range vm[m.Value] {
+					set[ref] = struct{}{}
+				}
+			}
+			intersect(set)
+		case labels.MatchRegexp:
+			// A regexp matching "" also matches series missing the label,
+			// so postings cannot serve it (e.g. the match-all CutBlock
+			// uses); filter instead of building a set we would discard.
+			if m.Matches("") {
+				filters = append(filters, m)
+				continue
+			}
+			positive++
+			set := make(map[uint64]struct{})
+			if vm, ok := sh.postings[m.Name]; ok {
+				for v, refs := range vm {
+					if m.Matches(v) {
+						for ref := range refs {
+							set[ref] = struct{}{}
+						}
+					}
+				}
+			}
+			intersect(set)
+		default:
+			filters = append(filters, m)
+		}
+	}
+
+	if positive == 0 {
+		// Only negative/empty-matching matchers: scan everything.
+		result = make(map[uint64]struct{}, len(sh.byRef))
+		for ref := range sh.byRef {
+			result[ref] = struct{}{}
+		}
+	} else if result == nil {
+		result = map[uint64]struct{}{}
+	}
+	if len(filters) > 0 {
+		for ref := range result {
+			s := sh.byRef[ref]
+			if !labels.MatchLabels(s.lset, filters...) {
+				delete(result, ref)
+			}
+		}
+	}
+	return result
+}
+
+// selectSorted returns the shard's series matching ms with samples in
+// [mint, maxt], sorted by labels, ready for the cross-shard merge.
+func (sh *headShard) selectSorted(mint, maxt int64, ms []*labels.Matcher) []model.Series {
+	refs := sh.selectRefs(ms)
+	sh.mu.RLock()
+	series := make([]*memSeries, 0, len(refs))
+	for ref := range refs {
+		if s, ok := sh.byRef[ref]; ok {
+			series = append(series, s)
+		}
+	}
+	sh.mu.RUnlock()
+	out := make([]model.Series, 0, len(series))
+	for _, s := range series {
+		samples := s.samplesBetween(mint, maxt)
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, model.Series{Labels: s.lset, Samples: samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out
+}
+
+// truncate drops full chunks entirely before mint and removes series left
+// empty and silent since before mint, returning the number removed.
+func (sh *headShard) truncate(mint int64) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	removed := 0
+	for h, chain := range sh.series {
+		keep := chain[:0]
+		for _, s := range chain {
+			s.mu.Lock()
+			kept := s.chunks[:0]
+			for _, cr := range s.chunks {
+				if cr.max >= mint {
+					kept = append(kept, cr)
+				}
+			}
+			for i := len(kept); i < len(s.chunks); i++ {
+				s.chunks[i] = nil
+			}
+			s.chunks = kept
+			empty := len(s.chunks) == 0 && s.head == nil && s.lastT < mint
+			s.mu.Unlock()
+			if empty {
+				sh.dropSeriesLocked(s)
+				removed++
+				continue
+			}
+			keep = append(keep, s)
+		}
+		if len(keep) == 0 {
+			delete(sh.series, h)
+		} else {
+			sh.series[h] = keep
+		}
+	}
+	for {
+		cur := sh.minTime.Load()
+		if mint <= cur || sh.minTime.CompareAndSwap(cur, mint) {
+			break
+		}
+	}
+	return removed
+}
+
+// deleteSeries removes the shard's series matching ms, returning the count.
+func (sh *headShard) deleteSeries(ms []*labels.Matcher) int {
+	refs := sh.selectRefs(ms)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := 0
+	for ref := range refs {
+		s, ok := sh.byRef[ref]
+		if !ok {
+			continue
+		}
+		h := s.lset.Hash()
+		chain := sh.series[h]
+		keep := chain[:0]
+		for _, cs := range chain {
+			if cs.ref != ref {
+				keep = append(keep, cs)
+			}
+		}
+		if len(keep) == 0 {
+			delete(sh.series, h)
+		} else {
+			sh.series[h] = keep
+		}
+		sh.dropSeriesLocked(s)
+		n++
+	}
+	return n
+}
+
+// dropSeriesLocked removes s from byRef and postings. Caller holds sh.mu.
+func (sh *headShard) dropSeriesLocked(s *memSeries) {
+	delete(sh.byRef, s.ref)
+	for _, l := range s.lset {
+		if vm, ok := sh.postings[l.Name]; ok {
+			if refs, ok := vm[l.Value]; ok {
+				delete(refs, s.ref)
+				if len(refs) == 0 {
+					delete(vm, l.Value)
+				}
+			}
+			if len(vm) == 0 {
+				delete(sh.postings, l.Name)
+			}
+		}
+	}
+}
+
+// labelValues returns the shard's distinct values of a label name.
+func (sh *headShard) labelValues(name string) []string {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vm := sh.postings[name]
+	out := make([]string, 0, len(vm))
+	for v, refs := range vm {
+		if len(refs) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// labelNames returns the shard's label names in use.
+func (sh *headShard) labelNames() []string {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]string, 0, len(sh.postings))
+	for n, vm := range sh.postings {
+		nonEmpty := false
+		for _, refs := range vm {
+			if len(refs) > 0 {
+				nonEmpty = true
+				break
+			}
+		}
+		if nonEmpty {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// shardStats is the per-shard contribution to Stats.
+type shardStats struct {
+	numSeries     int
+	bytesInChunks int
+	labelNames    []string
+}
+
+func (sh *headShard) stats() shardStats {
+	sh.mu.RLock()
+	series := make([]*memSeries, 0, len(sh.byRef))
+	for _, s := range sh.byRef {
+		series = append(series, s)
+	}
+	st := shardStats{numSeries: len(sh.byRef)}
+	sh.mu.RUnlock()
+	st.labelNames = sh.labelNames()
+	for _, s := range series {
+		s.mu.Lock()
+		for _, cr := range s.chunks {
+			st.bytesInChunks += len(cr.chunk.Bytes())
+		}
+		if s.head != nil {
+			st.bytesInChunks += len(s.head.Bytes())
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

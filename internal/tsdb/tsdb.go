@@ -3,12 +3,30 @@
 // index, matcher-based series selection, retention, series deletion (used by
 // the CEEMS API server to reduce cardinality) and block cutting for
 // replication to long-term storage (the Thanos role in the paper's Fig. 1).
+//
+// # Sharded head
+//
+// The head is lock-striped into N shards (Options.Shards rounded up to a
+// power of two; the default is GOMAXPROCS rounded up). A series lives in
+// exactly one shard, chosen by its labels hash (shard = hash & (N-1)); each
+// shard owns an independent RWMutex, series map, inverted postings index and
+// retention state. Appends route by hash and touch only their stripe — two
+// goroutines writing different series contend only when the hashes collide
+// in one shard — and the per-shard sample counters and time bounds are
+// maintained with atomics, off the lock path entirely.
+//
+// Reads (Select, LabelValues, LabelNames, Stats) fan out across shards on a
+// bounded worker pool of min(N, GOMAXPROCS) workers. Each shard returns its
+// matching series already sorted by labels and the partial results are
+// combined with a k-way sorted merge, so Select output is byte-identical
+// regardless of shard count. DeleteSeries and retention pruning (Truncate)
+// run per shard on the same pool with no cross-shard locking.
 package tsdb
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
 
 	"repro/internal/labels"
@@ -26,6 +44,10 @@ type Options struct {
 	MaxSamplesPerChunk int
 	// RetentionMillis is the head retention window; 0 disables pruning.
 	RetentionMillis int64
+	// Shards is the number of lock stripes in the head, rounded up to a
+	// power of two; 0 picks GOMAXPROCS rounded up. 1 yields the old
+	// single-lock behavior (useful for equivalence testing).
+	Shards int
 }
 
 // DefaultOptions returns production-like defaults (15 days retention).
@@ -36,17 +58,9 @@ func DefaultOptions() Options {
 // DB is the in-memory time-series database. All methods are safe for
 // concurrent use.
 type DB struct {
-	opts Options
-
-	mu      sync.RWMutex
-	series  map[uint64][]*memSeries // labels hash -> collision chain
-	byRef   map[uint64]*memSeries
-	nextRef uint64
-	// postings: label name -> value -> sorted-ish set of series refs
-	postings map[string]map[string]map[uint64]struct{}
-	minTime  int64 // smallest timestamp currently retained (approx)
-	maxTime  int64 // largest appended timestamp
-	appended uint64
+	opts   Options
+	shards []*headShard
+	mask   uint64
 }
 
 type memSeries struct {
@@ -67,30 +81,93 @@ type chunkRange struct {
 	chunk    *chunkenc.Chunk
 }
 
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Open creates a DB with the given options.
 func Open(opts Options) *DB {
 	if opts.MaxSamplesPerChunk <= 0 {
 		opts.MaxSamplesPerChunk = 120
 	}
-	return &DB{
-		opts:     opts,
-		series:   make(map[uint64][]*memSeries),
-		byRef:    make(map[uint64]*memSeries),
-		postings: make(map[string]map[string]map[uint64]struct{}),
-		minTime:  int64(1) << 62,
-		maxTime:  -(int64(1) << 62),
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	n = nextPow2(n)
+	if n > 1024 {
+		n = 1024
+	}
+	opts.Shards = n
+	db := &DB{
+		opts:   opts,
+		shards: make([]*headShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range db.shards {
+		db.shards[i] = newHeadShard()
+	}
+	return db
+}
+
+// NumShards returns the number of head shards (a power of two).
+func (db *DB) NumShards() int { return len(db.shards) }
+
+func (db *DB) shardFor(hash uint64) *headShard {
+	return db.shards[hash&db.mask]
 }
 
 // Append adds one sample for the series identified by lset. The series is
 // created on first append. Returns ErrOutOfOrder for non-increasing
 // timestamps within a series.
 func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
-	s := db.getOrCreate(lset)
+	h := lset.Hash()
+	sh := db.shardFor(h)
+	s := sh.getOrCreate(h, lset)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	err := s.appendLocked(t, v, db.opts.MaxSamplesPerChunk)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sh.noteAppend(t, t, 1)
+	return nil
+}
+
+// AppendSeries appends a batch of samples of one series, resolving the
+// series and taking its lock once for the whole batch.
+func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	h := lset.Hash()
+	sh := db.shardFor(h)
+	s := sh.getOrCreate(h, lset)
+	s.mu.Lock()
+	appended := 0
+	var err error
+	for _, smp := range samples {
+		if err = s.appendLocked(smp.T, smp.V, db.opts.MaxSamplesPerChunk); err != nil {
+			break
+		}
+		appended++
+	}
+	s.mu.Unlock()
+	if appended > 0 {
+		sh.noteAppend(samples[0].T, samples[appended-1].T, uint64(appended))
+	}
+	return err
+}
+
+// appendLocked adds one sample; the caller holds s.mu.
+func (s *memSeries) appendLocked(t int64, v float64, maxPerChunk int) error {
 	if s.hasAny && t <= s.lastT {
-		return fmt.Errorf("%w: t=%d last=%d series=%s", ErrOutOfOrder, t, s.lastT, lset)
+		return fmt.Errorf("%w: t=%d last=%d series=%s", ErrOutOfOrder, t, s.lastT, s.lset)
 	}
 	if s.head == nil {
 		s.head = chunkenc.NewChunk()
@@ -101,179 +178,11 @@ func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
 	}
 	s.lastT = t
 	s.hasAny = true
-	if s.head.NumSamples() >= db.opts.MaxSamplesPerChunk {
+	if s.head.NumSamples() >= maxPerChunk {
 		s.chunks = append(s.chunks, &chunkRange{min: s.headMin, max: s.lastT, chunk: s.head})
 		s.head = nil
 	}
-	db.mu.Lock()
-	if t < db.minTime {
-		db.minTime = t
-	}
-	if t > db.maxTime {
-		db.maxTime = t
-	}
-	db.appended++
-	db.mu.Unlock()
 	return nil
-}
-
-// AppendSeries appends a batch of samples of one series.
-func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
-	for _, s := range samples {
-		if err := db.Append(lset, s.T, s.V); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (db *DB) getOrCreate(lset labels.Labels) *memSeries {
-	h := lset.Hash()
-	db.mu.RLock()
-	for _, s := range db.series[h] {
-		if s.lset.Equal(lset) {
-			db.mu.RUnlock()
-			return s
-		}
-	}
-	db.mu.RUnlock()
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, s := range db.series[h] { // re-check under write lock
-		if s.lset.Equal(lset) {
-			return s
-		}
-	}
-	db.nextRef++
-	s := &memSeries{ref: db.nextRef, lset: lset.Copy()}
-	db.series[h] = append(db.series[h], s)
-	db.byRef[s.ref] = s
-	for _, l := range s.lset {
-		vm, ok := db.postings[l.Name]
-		if !ok {
-			vm = make(map[string]map[uint64]struct{})
-			db.postings[l.Name] = vm
-		}
-		refs, ok := vm[l.Value]
-		if !ok {
-			refs = make(map[uint64]struct{})
-			vm[l.Value] = refs
-		}
-		refs[s.ref] = struct{}{}
-	}
-	return s
-}
-
-// Select returns all series matching the matchers, restricted to samples in
-// [mint, maxt]. Series with no samples in range are omitted. Results are
-// sorted by labels.
-func (db *DB) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
-	if len(ms) == 0 {
-		return nil, errors.New("tsdb: Select requires at least one matcher")
-	}
-	refs := db.selectRefs(ms)
-	out := make([]model.Series, 0, len(refs))
-	db.mu.RLock()
-	series := make([]*memSeries, 0, len(refs))
-	for ref := range refs {
-		if s, ok := db.byRef[ref]; ok {
-			series = append(series, s)
-		}
-	}
-	db.mu.RUnlock()
-	for _, s := range series {
-		samples := s.samplesBetween(mint, maxt)
-		if len(samples) == 0 {
-			continue
-		}
-		out = append(out, model.Series{Labels: s.lset, Samples: samples})
-	}
-	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
-	return out, nil
-}
-
-// selectRefs computes the set of series refs satisfying all matchers.
-func (db *DB) selectRefs(ms []*labels.Matcher) map[uint64]struct{} {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	var result map[uint64]struct{}
-	intersect := func(set map[uint64]struct{}) {
-		if result == nil {
-			result = set
-			return
-		}
-		for ref := range result {
-			if _, ok := set[ref]; !ok {
-				delete(result, ref)
-			}
-		}
-	}
-
-	// Equality and regex matchers shrink via postings; negative matchers
-	// are applied as a filter pass afterwards.
-	var filters []*labels.Matcher
-	positive := 0
-	for _, m := range ms {
-		switch m.Type {
-		case labels.MatchEqual:
-			if m.Value == "" {
-				// {name=""} matches series missing the label entirely, so
-				// postings cannot serve it; filter instead.
-				filters = append(filters, m)
-				continue
-			}
-			positive++
-			set := make(map[uint64]struct{})
-			if vm, ok := db.postings[m.Name]; ok {
-				for ref := range vm[m.Value] {
-					set[ref] = struct{}{}
-				}
-			}
-			intersect(set)
-		case labels.MatchRegexp:
-			positive++
-			set := make(map[uint64]struct{})
-			if vm, ok := db.postings[m.Name]; ok {
-				for v, refs := range vm {
-					if m.Matches(v) {
-						for ref := range refs {
-							set[ref] = struct{}{}
-						}
-					}
-				}
-			}
-			// A regexp matching "" also matches series missing the label.
-			if m.Matches("") {
-				filters = append(filters, m)
-				positive--
-				continue
-			}
-			intersect(set)
-		default:
-			filters = append(filters, m)
-		}
-	}
-
-	if positive == 0 {
-		// Only negative/empty-matching matchers: scan everything.
-		result = make(map[uint64]struct{}, len(db.byRef))
-		for ref := range db.byRef {
-			result[ref] = struct{}{}
-		}
-	} else if result == nil {
-		result = map[uint64]struct{}{}
-	}
-	if len(filters) > 0 {
-		for ref := range result {
-			s := db.byRef[ref]
-			if !labels.MatchLabels(s.lset, filters...) {
-				delete(result, ref)
-			}
-		}
-	}
-	return result
 }
 
 func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
@@ -305,189 +214,66 @@ func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 	return out
 }
 
-// LabelValues returns the sorted distinct values of a label name.
-func (db *DB) LabelValues(name string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	vm := db.postings[name]
-	out := make([]string, 0, len(vm))
-	for v, refs := range vm {
-		if len(refs) > 0 {
-			out = append(out, v)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// LabelNames returns all label names in use, sorted.
-func (db *DB) LabelNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.postings))
-	for n, vm := range db.postings {
-		nonEmpty := false
-		for _, refs := range vm {
-			if len(refs) > 0 {
-				nonEmpty = true
-				break
-			}
-		}
-		if nonEmpty {
-			out = append(out, n)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Stats reports database statistics.
-type Stats struct {
-	NumSeries     int
-	NumSamples    uint64 // total appended (monotonic)
-	MinTime       int64
-	MaxTime       int64
-	NumLabelNames int
-	BytesInChunks int
-}
-
-// Stats returns a snapshot of database statistics.
-func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	series := make([]*memSeries, 0, len(db.byRef))
-	for _, s := range db.byRef {
-		series = append(series, s)
-	}
-	st := Stats{
-		NumSeries:     len(db.byRef),
-		NumSamples:    db.appended,
-		MinTime:       db.minTime,
-		MaxTime:       db.maxTime,
-		NumLabelNames: len(db.postings),
-	}
-	db.mu.RUnlock()
-	for _, s := range series {
-		s.mu.Lock()
-		for _, cr := range s.chunks {
-			st.BytesInChunks += len(cr.chunk.Bytes())
-		}
-		if s.head != nil {
-			st.BytesInChunks += len(s.head.Bytes())
-		}
-		s.mu.Unlock()
-	}
-	return st
-}
-
 // Truncate drops all full chunks whose data lies entirely before mint and
 // removes series that have no chunks and have been silent since before mint.
-// It returns the number of series removed.
+// Each shard prunes independently. It returns the number of series removed.
 func (db *DB) Truncate(mint int64) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	removed := 0
-	for h, chain := range db.series {
-		keep := chain[:0]
-		for _, s := range chain {
-			s.mu.Lock()
-			kept := s.chunks[:0]
-			for _, cr := range s.chunks {
-				if cr.max >= mint {
-					kept = append(kept, cr)
-				}
-			}
-			for i := len(kept); i < len(s.chunks); i++ {
-				s.chunks[i] = nil
-			}
-			s.chunks = kept
-			empty := len(s.chunks) == 0 && s.head == nil && s.lastT < mint
-			s.mu.Unlock()
-			if empty {
-				db.dropSeriesLocked(s)
-				removed++
-				continue
-			}
-			keep = append(keep, s)
-		}
-		if len(keep) == 0 {
-			delete(db.series, h)
-		} else {
-			db.series[h] = keep
-		}
+	removed := make([]int, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		removed[i] = sh.truncate(mint)
+	})
+	total := 0
+	for _, n := range removed {
+		total += n
 	}
-	if mint > db.minTime {
-		db.minTime = mint
-	}
-	return removed
+	return total
 }
 
 // DeleteSeries removes every series matching the matchers entirely,
 // returning the number deleted. The CEEMS API server uses this to clean up
-// metrics of short-lived jobs ("Clean TSDB" in Fig. 1).
+// metrics of short-lived jobs ("Clean TSDB" in Fig. 1). Deletion fans out
+// per shard with no cross-shard locking.
 func (db *DB) DeleteSeries(ms ...*labels.Matcher) int {
-	refs := db.selectRefs(ms)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := 0
-	for ref := range refs {
-		s, ok := db.byRef[ref]
-		if !ok {
-			continue
-		}
-		h := s.lset.Hash()
-		chain := db.series[h]
-		keep := chain[:0]
-		for _, cs := range chain {
-			if cs.ref != ref {
-				keep = append(keep, cs)
-			}
-		}
-		if len(keep) == 0 {
-			delete(db.series, h)
-		} else {
-			db.series[h] = keep
-		}
-		db.dropSeriesLocked(s)
-		n++
+	deleted := make([]int, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		deleted[i] = sh.deleteSeries(ms)
+	})
+	total := 0
+	for _, n := range deleted {
+		total += n
 	}
-	return n
-}
-
-// dropSeriesLocked removes s from byRef and postings. Caller holds db.mu.
-func (db *DB) dropSeriesLocked(s *memSeries) {
-	delete(db.byRef, s.ref)
-	for _, l := range s.lset {
-		if vm, ok := db.postings[l.Name]; ok {
-			if refs, ok := vm[l.Value]; ok {
-				delete(refs, s.ref)
-				if len(refs) == 0 {
-					delete(vm, l.Value)
-				}
-			}
-			if len(vm) == 0 {
-				delete(db.postings, l.Name)
-			}
-		}
-	}
+	return total
 }
 
 // MinTime returns the earliest retained timestamp (approximate after
 // truncation), or false when the DB is empty.
 func (db *DB) MinTime() (int64, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.maxTime < db.minTime {
+	mint, maxt := db.timeBounds()
+	if maxt < mint {
 		return 0, false
 	}
-	return db.minTime, true
+	return mint, true
 }
 
 // MaxTime returns the latest appended timestamp, or false when empty.
 func (db *DB) MaxTime() (int64, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.maxTime < db.minTime {
+	mint, maxt := db.timeBounds()
+	if maxt < mint {
 		return 0, false
 	}
-	return db.maxTime, true
+	return maxt, true
+}
+
+func (db *DB) timeBounds() (int64, int64) {
+	mint := int64(1) << 62
+	maxt := -(int64(1) << 62)
+	for _, sh := range db.shards {
+		if m := sh.minTime.Load(); m < mint {
+			mint = m
+		}
+		if m := sh.maxTime.Load(); m > maxt {
+			maxt = m
+		}
+	}
+	return mint, maxt
 }

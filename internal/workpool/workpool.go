@@ -1,0 +1,48 @@
+// Package workpool provides the bounded fan-out primitive shared by the
+// TSDB shard querier and the scrape manager: run f(0..n-1) on a fixed pool
+// of workers and wait for all of them.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do invokes f(i) for every i in [0, n) from at most `workers` goroutines
+// and returns when all calls have finished. workers <= 0 means GOMAXPROCS;
+// the pool is always clamped to n. With one worker (or n == 1) f runs
+// inline on the caller's goroutine, preserving sequential semantics.
+func Do(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

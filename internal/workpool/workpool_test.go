@@ -1,0 +1,61 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAll(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	called := false
+	Do(0, 4, func(int) { called = true })
+	Do(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("f called for n <= 0")
+	}
+}
+
+func TestDoSequentialWhenOneWorker(t *testing.T) {
+	// With workers=1 the calls must run on the caller's goroutine in order.
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDoBoundsWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	var inflight, peak atomic.Int32
+	Do(64, 4, func(int) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inflight.Add(-1)
+	})
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrency %d > 4 (GOMAXPROCS %d)", p, prev)
+	}
+}
