@@ -301,6 +301,69 @@ func BenchmarkPromQLEq1Query(b *testing.B) {
 	}
 }
 
+// rangeBenchDB seeds a head with `series` distinct counter series, one
+// sample every intervalMs over spanMs.
+func rangeBenchDB(b *testing.B, series int, intervalMs, spanMs int64) *tsdb.DB {
+	b.Helper()
+	db := tsdb.Open(tsdb.DefaultOptions())
+	for s := 0; s < series; s++ {
+		ls := labels.FromStrings(
+			labels.MetricName, "bench_requests_total",
+			"instance", fmt.Sprintf("node%04d", s%(series/4+1)),
+			"shard", fmt.Sprintf("%d", s))
+		for ts := int64(0); ts <= spanMs; ts += intervalMs {
+			if err := db.Append(ls, ts, float64(ts)/1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func benchRangeQuery(b *testing.B, db *tsdb.DB, q string, spanMs, stepMs int64, wantSeries int) {
+	b.Helper()
+	eng := promql.NewEngine()
+	start := model.MillisToTime(0)
+	end := model.MillisToTime(spanMs)
+	step := time.Duration(stepMs) * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := eng.Range(db, q, start, end, step)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m) != wantSeries {
+			b.Fatalf("got %d series, want %d", len(m), wantSeries)
+		}
+	}
+}
+
+// BenchmarkRangeQuerySparse — a Grafana-style panel over sparse data: few
+// series, one sample per minute, queried at a 15 s step over 2 h (the steps
+// far outnumber the samples).
+func BenchmarkRangeQuerySparse(b *testing.B) {
+	const spanMs = 2 * 3600 * 1000
+	db := rangeBenchDB(b, 8, 60_000, spanMs)
+	benchRangeQuery(b, db, `rate(bench_requests_total[5m])`, spanMs, 15_000, 8)
+}
+
+// BenchmarkRangeQueryDense — dense scrape cadence (15 s) with an aggregation
+// over a rate, queried over 1 h at the scrape step.
+func BenchmarkRangeQueryDense(b *testing.B) {
+	const spanMs = 3600 * 1000
+	db := rangeBenchDB(b, 64, 15_000, spanMs)
+	benchRangeQuery(b, db, `sum by (instance) (rate(bench_requests_total[2m]))`, spanMs, 15_000, 17)
+}
+
+// BenchmarkRangeQueryHighCardinality — many series, short window: the
+// per-step Select tax is dominated by postings/merge overhead.
+func BenchmarkRangeQueryHighCardinality(b *testing.B) {
+	const spanMs = 15 * 60 * 1000
+	db := rangeBenchDB(b, 2000, 30_000, spanMs)
+	benchRangeQuery(b, db, `sum(rate(bench_requests_total[2m]))`, spanMs, 30_000, 1)
+}
+
 // BenchmarkClusterStep — E7: one 15 s step of the full simulated platform
 // at 1/10 Jean-Zay scale (~140 nodes).
 func BenchmarkClusterStep(b *testing.B) {

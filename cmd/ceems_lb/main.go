@@ -27,13 +27,14 @@ func main() {
 		apiURL   = flag.String("api-server", "", "CEEMS API server base URL for ownership checks (empty disables access control)")
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connection")
 		healthIv = flag.Duration("health-interval", 15*time.Second, "backend health check interval")
+		queryTmo = flag.Duration("query-timeout", 2*time.Minute, "per-query proxy deadline covering ownership check and backend round-trip (0 disables)")
 	)
 	flag.Parse()
 	if *backends == "" {
 		log.Fatal("-backends required")
 	}
 
-	balancer := &lb.LB{Strategy: lb.Strategy(*strategy)}
+	balancer := &lb.LB{Strategy: lb.Strategy(*strategy), QueryTimeout: *queryTmo}
 	for _, raw := range strings.Split(*backends, ",") {
 		b, err := lb.NewBackend(raw)
 		if err != nil {

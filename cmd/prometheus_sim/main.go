@@ -34,6 +34,7 @@ func main() {
 		user     = flag.String("scrape-auth-user", "", "basic auth user for scraping")
 		pass     = flag.String("scrape-auth-pass", "", "basic auth password for scraping")
 		shards   = flag.Int("tsdb-shards", 0, "TSDB head shards (power of two; 0 = GOMAXPROCS)")
+		queryTmo = flag.Duration("query-timeout", 2*time.Minute, "per-query evaluation deadline (0 disables)")
 	)
 	flag.Parse()
 	if *targets == "" {
@@ -44,8 +45,9 @@ func main() {
 	opts.Shards = *shards
 	db := tsdb.Open(opts)
 	sm := &scrape.Manager{
-		Dest:    db,
-		Fetcher: &scrape.HTTPFetcher{Username: *user, Password: *pass},
+		Dest:     db,
+		Fetcher:  &scrape.HTTPFetcher{Username: *user, Password: *pass},
+		NewBatch: func() scrape.Batch { return db.Appender() },
 		Groups: []*scrape.TargetGroup{{
 			JobName:  "ceems",
 			Targets:  strings.Split(*targets, ","),
@@ -64,7 +66,7 @@ func main() {
 	go sm.Run(ctx)
 	go rm.Run(ctx)
 
-	h := &promapi.Handler{Query: db}
+	h := &promapi.Handler{Query: db, Timeout: *queryTmo}
 	log.Printf("prometheus_sim: scraping %s (class %s) every %v, serving %s",
 		*targets, *class, *interval, *listen)
 	log.Fatal(http.ListenAndServe(*listen, h.Mux()))

@@ -195,7 +195,8 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 	}
 	sim.scrapeMgr = &scrape.Manager{
 		Dest: sim.DB, Fetcher: &exporterFetcher{sim: sim}, Groups: groups,
-		Now: func() time.Time { return sim.clock },
+		NewBatch: func() scrape.Batch { return sim.DB.Appender() },
+		Now:      func() time.Time { return sim.clock },
 	}
 
 	// Recording rules: all four hardware-class groups + emissions.

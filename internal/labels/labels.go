@@ -6,11 +6,33 @@ package labels
 
 import (
 	"fmt"
-	"hash/fnv"
 	"regexp"
 	"sort"
 	"strings"
 )
+
+// Inlined FNV-1a, byte-identical to hash/fnv's 64a variant. The stdlib
+// hash.Hash64 interface forces a []byte conversion (an allocation) per
+// Write; hashing label sets is on the append, query-merge and aggregation
+// hot paths, so these helpers keep it allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvAddSep(h uint64) uint64 {
+	h ^= 0xFF
+	h *= fnvPrime64
+	return h
+}
 
 // MetricName is the reserved label name holding the metric name.
 const MetricName = "__name__"
@@ -138,22 +160,18 @@ func Compare(a, b Labels) int {
 // cannot appear in valid UTF-8 label content, which keeps the encoding
 // unambiguous.
 func (ls Labels) Hash() uint64 {
-	h := fnv.New64a()
-	var sep = []byte{0xFF}
+	h := uint64(fnvOffset64)
 	for _, l := range ls {
-		h.Write([]byte(l.Name))
-		h.Write(sep)
-		h.Write([]byte(l.Value))
-		h.Write(sep)
+		h = fnvAddSep(fnvAddString(h, l.Name))
+		h = fnvAddSep(fnvAddString(h, l.Value))
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashWithout hashes the label set ignoring the given names (used by
 // aggregation "without").
 func (ls Labels) HashWithout(names ...string) uint64 {
-	h := fnv.New64a()
-	var sep = []byte{0xFF}
+	h := uint64(fnvOffset64)
 outer:
 	for _, l := range ls {
 		if l.Name == MetricName {
@@ -164,27 +182,25 @@ outer:
 				continue outer
 			}
 		}
-		h.Write([]byte(l.Name))
-		h.Write(sep)
-		h.Write([]byte(l.Value))
-		h.Write(sep)
+		h = fnvAddSep(fnvAddString(h, l.Name))
+		h = fnvAddSep(fnvAddString(h, l.Value))
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashFor hashes only the given label names (used by aggregation "by").
 func (ls Labels) HashFor(names ...string) uint64 {
-	h := fnv.New64a()
-	var sep = []byte{0xFF}
-	sorted := append([]string(nil), names...)
-	sort.Strings(sorted)
-	for _, n := range sorted {
-		h.Write([]byte(n))
-		h.Write(sep)
-		h.Write([]byte(ls.Get(n)))
-		h.Write(sep)
+	sorted := names
+	if !sort.StringsAreSorted(sorted) {
+		sorted = append([]string(nil), names...)
+		sort.Strings(sorted)
 	}
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for _, n := range sorted {
+		h = fnvAddSep(fnvAddString(h, n))
+		h = fnvAddSep(fnvAddString(h, ls.Get(n)))
+	}
+	return h
 }
 
 // WithoutNames returns a copy dropping the given names plus __name__.

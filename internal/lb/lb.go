@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/labels"
 	"repro/internal/promql"
@@ -138,6 +139,9 @@ type LB struct {
 	// Transport issues the proxied requests; defaults to
 	// http.DefaultTransport.
 	Transport http.RoundTripper
+	// QueryTimeout bounds each proxied request end to end (ownership check
+	// plus backend round-trip); 0 disables.
+	QueryTimeout time.Duration
 
 	rrNext atomic.Uint64
 	mu     sync.Mutex
@@ -183,7 +187,9 @@ func (lb *LB) pick() *Backend {
 // contribute each alternative. Regexps that cannot be enumerated return an
 // error — the LB fails closed.
 func ExtractUUIDs(query string) ([]string, error) {
-	expr, err := promql.ParseExpr(query)
+	// Grafana panels re-issue the same expressions on every refresh; the
+	// shared parse cache makes this introspection a lookup, not a parse.
+	expr, err := promql.ParseExprCached(query)
 	if err != nil {
 		return nil, fmt.Errorf("lb: unparseable query: %w", err)
 	}
@@ -265,6 +271,11 @@ func enumerateAlternation(pattern string) ([]string, bool) {
 
 // ServeHTTP authorizes and proxies one query request.
 func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if lb.QueryTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), lb.QueryTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	user := r.Header.Get("X-Grafana-User")
 	if user == "" {
 		http.Error(w, "missing X-Grafana-User header", http.StatusUnauthorized)

@@ -6,6 +6,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -39,6 +40,25 @@ type Series struct {
 	Labels  labels.Labels
 	Samples []Sample
 }
+
+// SelectHints carries per-query context to hint-aware storage so a Select
+// can do less work: the time bounds it will actually be read at, the query
+// resolution step, and a sample budget the storage may enforce mid-pass
+// instead of copying everything and letting the engine discard it.
+type SelectHints struct {
+	// Start and End are the inclusive sample-time bounds, Unix ms.
+	Start, End int64
+	// Step is the query resolution step in ms; 0 for instant queries.
+	Step int64
+	// SampleLimit bounds the total samples the Select may return; <= 0
+	// means unlimited. Storage that enforces it returns ErrSampleLimit
+	// (possibly wrapped) as soon as the budget is exceeded.
+	SampleLimit int64
+}
+
+// ErrSampleLimit is returned by hint-aware Selects when a query's sample
+// budget is exhausted mid-pass.
+var ErrSampleLimit = errors.New("storage: query sample limit exceeded")
 
 // TimeToMillis converts a time.Time to Unix milliseconds.
 func TimeToMillis(t time.Time) int64 { return t.UnixNano() / int64(time.Millisecond) }

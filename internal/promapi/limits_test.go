@@ -1,0 +1,68 @@
+package promapi
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/promql"
+)
+
+// TestQueryRangeRunawayRejected is the regression test for the ROADMAP
+// query-limits bug: /api/v1/query_range over a 63-year window at a 5 s step
+// (~400M steps) used to spin the engine eagerly with no timeout. It must
+// now fail fast with 422 — well before the request deadline — and without
+// touching storage.
+func TestQueryRangeRunawayRejected(t *testing.T) {
+	h := testHandler(t)
+	h.Timeout = 30 * time.Second
+	mux := h.Mux()
+
+	done := make(chan struct{})
+	var code int
+	var errMsg string
+	go func() {
+		defer close(done)
+		rec, resp := get(t, mux, "/api/v1/query_range?query=up&start=0&end=2000000000&step=5")
+		code, errMsg = rec.Code, resp.Error
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runaway query_range did not return within 5s")
+	}
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%s)", code, errMsg)
+	}
+	if !strings.Contains(errMsg, "steps") {
+		t.Errorf("error %q should name the step limit", errMsg)
+	}
+}
+
+// TestQueryRangeSampleBudgetRejected verifies the engine's sample budget
+// surfaces as 422 through the API.
+func TestQueryRangeSampleBudgetRejected(t *testing.T) {
+	h := testHandler(t)
+	eng := promql.NewEngine()
+	eng.MaxSamples = 2
+	h.Engine = eng
+	rec, resp := get(t, h.Mux(), "/api/v1/query_range?query=up&start=0&end=600&step=15")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d (%s), want 422", rec.Code, resp.Error)
+	}
+	if !strings.Contains(resp.Error, "sample budget") {
+		t.Errorf("error %q should name the sample budget", resp.Error)
+	}
+}
+
+// TestQueryTimeoutMapsTo503 verifies an already-expired deadline surfaces
+// as 503, Prometheus's timeout semantics.
+func TestQueryTimeoutMapsTo503(t *testing.T) {
+	h := testHandler(t)
+	h.Timeout = time.Nanosecond
+	rec, resp := get(t, h.Mux(), "/api/v1/query_range?query=up&start=0&end=600&step=15")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, resp.Error)
+	}
+}

@@ -6,7 +6,9 @@
 package promapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -23,6 +25,10 @@ type Handler struct {
 	Query  promql.Queryable
 	// Now supplies the default evaluation time; nil means time.Now.
 	Now func() time.Time
+	// Timeout bounds each query's evaluation; 0 disables. Queries that
+	// exceed it return 503; evaluation failures — including engine
+	// guardrail violations (step-count, sample budget) — return 422.
+	Timeout time.Duration
 }
 
 // LabelStore is the optional metadata side of a Queryable. *tsdb.DB
@@ -88,6 +94,28 @@ func (h *Handler) now() time.Time {
 	return time.Now()
 }
 
+// queryCtx derives the evaluation context for one request, applying the
+// handler's query timeout when configured.
+func (h *Handler) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.Timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), h.Timeout)
+}
+
+// writeQueryErr maps evaluation failures onto Prometheus-style statuses:
+// deadline/cancellation is 503, matching Prometheus's timeout semantics;
+// every other evaluation failure — parse/type errors and engine guardrail
+// violations (promql.LimitError: too many steps, sample budget) alike —
+// keeps this API's long-standing 422 convention.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	code := http.StatusUnprocessableEntity
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		code = http.StatusServiceUnavailable
+	}
+	writeErr(w, code, err.Error())
+}
+
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("query")
 	if q == "" {
@@ -103,9 +131,11 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		ts = t
 	}
-	val, err := h.engine().Instant(h.Query, q, ts)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	val, err := h.engine().InstantCtx(ctx, h.Query, q, ts)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeQueryErr(w, err)
 		return
 	}
 	switch tv := val.(type) {
@@ -141,9 +171,11 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	m, err := h.engine().Range(h.Query, q, start, end, step)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	m, err := h.engine().RangeCtx(ctx, h.Query, q, start, end, step)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeQueryErr(w, err)
 		return
 	}
 	out := make([]matrixSeries, len(m))

@@ -1,0 +1,79 @@
+package promql
+
+import (
+	"container/list"
+	"sync"
+)
+
+// parseCacheSize bounds the shared parsed-expression LRU. Grafana
+// dashboards and the LB's access-control introspection re-issue the same
+// panel queries continuously, so a small cache absorbs nearly all parses.
+const parseCacheSize = 512
+
+// parseCache is a bounded LRU of query text -> parsed expression.
+type parseCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type parseCacheEntry struct {
+	key  string
+	expr Expr
+}
+
+func newParseCache(max int) *parseCache {
+	return &parseCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *parseCache) get(key string) (Expr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*parseCacheEntry).expr, true
+}
+
+func (c *parseCache) put(key string, expr Expr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*parseCacheEntry).expr = expr
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&parseCacheEntry{key: key, expr: expr})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*parseCacheEntry).key)
+	}
+}
+
+func (c *parseCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+var sharedParseCache = newParseCache(parseCacheSize)
+
+// ParseExprCached is ParseExpr behind a process-wide bounded LRU keyed by
+// the query text. Parsed expressions are immutable after construction — the
+// evaluator and all tree walkers only read them — so cache hits are shared
+// freely across goroutines. Parse errors are not cached.
+func ParseExprCached(input string) (Expr, error) {
+	if expr, ok := sharedParseCache.get(input); ok {
+		return expr, nil
+	}
+	expr, err := ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	sharedParseCache.put(input, expr)
+	return expr, nil
+}

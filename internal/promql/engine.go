@@ -1,6 +1,8 @@
 package promql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -54,47 +56,148 @@ type Queryable interface {
 	Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error)
 }
 
+// HintedQueryable is optionally implemented by storage that can exploit
+// per-query hints — the evaluation bounds, resolution step, and a sample
+// budget enforced mid-pass. *tsdb.DB, the Thanos store and the fan-in
+// querier all implement it; the windowed range evaluator prefers it for
+// prefetch so oversized queries fail inside the storage pass instead of
+// after materializing every sample.
+type HintedQueryable interface {
+	SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error)
+}
+
 // Engine evaluates PromQL expressions against a Queryable.
 type Engine struct {
 	// LookbackDelta bounds how far an instant selector reaches back for the
 	// most recent sample; Prometheus defaults to 5 minutes.
 	LookbackDelta time.Duration
-	// MaxSamples guards against runaway queries; 0 means unlimited.
+	// MaxSamples bounds how many samples a range query may load during
+	// prefetch; 0 means unlimited. Violations surface as *LimitError.
 	MaxSamples int
+	// MaxSteps bounds how many steps a range query may evaluate; 0 falls
+	// back to a hard safety ceiling (absMaxSteps) so even a hand-built
+	// Engine cannot be driven into an unbounded per-step allocation.
+	// Violations surface as *LimitError before any storage work.
+	MaxSteps int
 }
+
+// absMaxSteps is the backstop applied when MaxSteps is unset: it bounds
+// the per-step result table a range query may allocate.
+const absMaxSteps = 10_000_000
+
+// DefaultMaxSteps matches Prometheus's 11 000-point limit per range query.
+const DefaultMaxSteps = 11000
 
 // NewEngine returns an Engine with Prometheus-like defaults.
 func NewEngine() *Engine {
-	return &Engine{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000}
+	return &Engine{
+		LookbackDelta: 5 * time.Minute,
+		MaxSamples:    50_000_000,
+		MaxSteps:      DefaultMaxSteps,
+	}
+}
+
+// LimitError reports a query that tripped an engine guardrail (step count
+// or sample budget). promapi maps it to HTTP 422: the query is well-formed
+// but unprocessable at this size.
+type LimitError struct {
+	Msg string
+}
+
+func (e *LimitError) Error() string { return e.Msg }
+
+// IsLimitError reports whether err (or anything it wraps) is an engine
+// guardrail violation.
+func IsLimitError(err error) bool {
+	var le *LimitError
+	return errors.As(err, &le)
 }
 
 // Instant evaluates the expression at a single timestamp.
 func (e *Engine) Instant(q Queryable, input string, ts time.Time) (Value, error) {
-	expr, err := ParseExpr(input)
+	return e.InstantCtx(context.Background(), q, input, ts)
+}
+
+// InstantCtx is Instant with cancellation/deadline support; the context is
+// checked before each storage access.
+func (e *Engine) InstantCtx(ctx context.Context, q Queryable, input string, ts time.Time) (Value, error) {
+	expr, err := ParseExprCached(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.InstantExpr(q, expr, ts)
+	return e.InstantExprCtx(ctx, q, expr, ts)
 }
 
 // InstantExpr is Instant for a pre-parsed expression.
 func (e *Engine) InstantExpr(q Queryable, expr Expr, ts time.Time) (Value, error) {
-	ev := &evaluator{engine: e, q: q, ts: model.TimeToMillis(ts)}
+	return e.InstantExprCtx(context.Background(), q, expr, ts)
+}
+
+// InstantExprCtx is InstantExpr with cancellation/deadline support.
+func (e *Engine) InstantExprCtx(ctx context.Context, q Queryable, expr Expr, ts time.Time) (Value, error) {
+	ev := &evaluator{engine: e, q: q, ts: model.TimeToMillis(ts), ctx: ctx}
 	return ev.eval(expr)
 }
 
 // Range evaluates the expression at every step in [start, end] and returns
 // a Matrix keyed by result labels.
 func (e *Engine) Range(q Queryable, input string, start, end time.Time, step time.Duration) (Matrix, error) {
-	expr, err := ParseExpr(input)
+	return e.RangeCtx(context.Background(), q, input, start, end, step)
+}
+
+// RangeCtx is Range with cancellation/deadline support.
+func (e *Engine) RangeCtx(ctx context.Context, q Queryable, input string, start, end time.Time, step time.Duration) (Matrix, error) {
+	expr, err := ParseExprCached(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.RangeExpr(q, expr, start, end, step)
+	return e.RangeExprCtx(ctx, q, expr, start, end, step)
 }
 
 // RangeExpr is Range for a pre-parsed expression.
 func (e *Engine) RangeExpr(q Queryable, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
+	return e.RangeExprCtx(context.Background(), q, expr, start, end, step)
+}
+
+// RangeExprCtx evaluates the expression over [start, end] at step
+// resolution with the windowed one-Select-per-selector strategy: every
+// selector in the tree is prefetched with a single storage Select spanning
+// the whole (lookback/range-padded) window, then steps are evaluated in
+// parallel batches against per-series cursors sliding over the prefetched
+// samples. Output is identical to evaluating InstantExpr per step.
+func (e *Engine) RangeExprCtx(ctx context.Context, q Queryable, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("promql: step must be positive")
+	}
+	if expr.Type() == ValueMatrix {
+		return nil, fmt.Errorf("promql: range queries require scalar or instant-vector expressions")
+	}
+	if start.After(end) {
+		return Matrix{}, nil
+	}
+	steps64 := int64(end.Sub(start)/step) + 1
+	maxSteps := int64(e.MaxSteps)
+	if maxSteps <= 0 {
+		maxSteps = absMaxSteps
+	}
+	if steps64 > maxSteps {
+		return nil, &LimitError{Msg: fmt.Sprintf(
+			"promql: query would evaluate %d steps, exceeding the limit of %d (shrink the range or increase the step)",
+			steps64, maxSteps)}
+	}
+	re := &rangeEvaluator{
+		engine: e, q: q, expr: expr,
+		start: start, step: step, steps: int(steps64),
+	}
+	return re.run(ctx)
+}
+
+// rangeExprNaive is the original per-step reference implementation: a full
+// InstantExpr evaluation — with one storage Select per selector — at every
+// step. It is retained as the oracle for the equivalence tests and as the
+// baseline the range benchmarks were recorded against; it enforces none of
+// the engine guardrails.
+func (e *Engine) rangeExprNaive(q Queryable, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("promql: step must be positive")
 	}
@@ -141,6 +244,18 @@ type evaluator struct {
 	engine *Engine
 	q      Queryable
 	ts     int64 // evaluation time in ms
+	ctx    context.Context
+	// win, when non-nil, serves selectors from the range evaluator's
+	// prefetched window instead of live storage Selects.
+	win *stepWindow
+}
+
+// ctxErr reports context cancellation; checked before storage accesses.
+func (ev *evaluator) ctxErr() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 func (ev *evaluator) eval(expr Expr) (Value, error) {
@@ -184,6 +299,12 @@ func (ev *evaluator) eval(expr Expr) (Value, error) {
 // vectorSelector returns, per matching series, the most recent sample
 // within the lookback window ending at the (offset-adjusted) eval time.
 func (ev *evaluator) vectorSelector(vs *VectorSelector) (Vector, error) {
+	if ev.win != nil {
+		return ev.win.vectorAt(vs, ev.ts)
+	}
+	if err := ev.ctxErr(); err != nil {
+		return nil, err
+	}
 	ts := ev.ts - model.DurationMillis(vs.Offset)
 	mint := ts - model.DurationMillis(ev.engine.LookbackDelta)
 	series, err := ev.q.Select(mint, ts, vs.Matchers...)
@@ -209,6 +330,12 @@ func (ev *evaluator) vectorSelector(vs *VectorSelector) (Vector, error) {
 // matrixSelector returns all samples per series in the range window ending
 // at the (offset-adjusted) eval time.
 func (ev *evaluator) matrixSelector(ms *MatrixSelector) (Matrix, error) {
+	if ev.win != nil {
+		return ev.win.matrixAt(ms, ev.ts)
+	}
+	if err := ev.ctxErr(); err != nil {
+		return nil, err
+	}
 	ts := ev.ts - model.DurationMillis(ms.VS.Offset)
 	mint := ts - model.DurationMillis(ms.Range)
 	series, err := ev.q.Select(mint+1, ts, ms.VS.Matchers...) // window is (ts-range, ts]
@@ -218,29 +345,37 @@ func (ev *evaluator) matrixSelector(ms *MatrixSelector) (Matrix, error) {
 	// Drop staleness markers: range functions must not see them as values.
 	out := make(Matrix, 0, len(series))
 	for _, s := range series {
-		kept := s.Samples
-		hasStale := false
-		for _, smp := range kept {
-			if model.IsStaleNaN(smp.V) {
-				hasStale = true
-				break
-			}
-		}
-		if hasStale {
-			filtered := make([]model.Sample, 0, len(kept))
-			for _, smp := range kept {
-				if !model.IsStaleNaN(smp.V) {
-					filtered = append(filtered, smp)
-				}
-			}
-			kept = filtered
-		}
+		kept := dropStaleMarkers(s.Samples)
 		if len(kept) == 0 {
 			continue
 		}
 		out = append(out, model.Series{Labels: s.Labels, Samples: kept})
 	}
 	return out, nil
+}
+
+// dropStaleMarkers filters staleness markers out of a sample window; the
+// common marker-free case returns the input slice unchanged. Both the live
+// matrixSelector and the windowed range path use it, so their staleness
+// semantics cannot diverge.
+func dropStaleMarkers(samples []model.Sample) []model.Sample {
+	hasStale := false
+	for _, smp := range samples {
+		if model.IsStaleNaN(smp.V) {
+			hasStale = true
+			break
+		}
+	}
+	if !hasStale {
+		return samples
+	}
+	filtered := make([]model.Sample, 0, len(samples))
+	for _, smp := range samples {
+		if !model.IsStaleNaN(smp.V) {
+			filtered = append(filtered, smp)
+		}
+	}
+	return filtered
 }
 
 // dropName removes the metric name, as PromQL does for derived values.
@@ -278,16 +413,23 @@ func (ev *evaluator) aggregate(agg *AggregateExpr) (Value, error) {
 	type group struct {
 		labels  labels.Labels
 		values  []float64
-		samples []Sample // retained for topk/bottomk
+		samples []Sample // retained for topk/bottomk only
 	}
+	// Pre-sort the "by" grouping once so HashFor never copies per sample.
+	grouping := agg.Grouping
+	if !agg.Without && !sort.StringsAreSorted(grouping) {
+		grouping = append([]string(nil), grouping...)
+		sort.Strings(grouping)
+	}
+	keepSamples := agg.Op == TOPK || agg.Op == BOTTOMK
 	groups := map[uint64]*group{}
 	var order []uint64
 	for _, s := range vec {
 		var h uint64
 		if agg.Without {
-			h = s.Labels.HashWithout(agg.Grouping...)
+			h = s.Labels.HashWithout(grouping...)
 		} else {
-			h = s.Labels.HashFor(agg.Grouping...)
+			h = s.Labels.HashFor(grouping...)
 		}
 		g, ok := groups[h]
 		if !ok {
@@ -297,12 +439,14 @@ func (ev *evaluator) aggregate(agg *AggregateExpr) (Value, error) {
 			} else {
 				gl = s.Labels.KeepNames(agg.Grouping...)
 			}
-			g = &group{labels: gl}
+			g = &group{labels: gl, values: make([]float64, 0, 8)}
 			groups[h] = g
 			order = append(order, h)
 		}
 		g.values = append(g.values, s.V)
-		g.samples = append(g.samples, s)
+		if keepSamples {
+			g.samples = append(g.samples, s)
+		}
 	}
 
 	out := make(Vector, 0, len(groups))
@@ -487,8 +631,22 @@ func matchKey(vm *VectorMatching, ls labels.Labels) uint64 {
 	return ls.HashWithout(vm.Labels...)
 }
 
+// sortedMatching returns vm with its On-labels sorted so the per-sample
+// HashFor calls never re-sort. The AST is shared (parse cache) and must not
+// be mutated, so an unsorted spec is shallow-cloned once per evaluation.
+func sortedMatching(vm *VectorMatching) *VectorMatching {
+	if vm == nil || !vm.On || sort.StringsAreSorted(vm.Labels) {
+		return vm
+	}
+	ls := append([]string(nil), vm.Labels...)
+	sort.Strings(ls)
+	cp := *vm
+	cp.Labels = ls
+	return &cp
+}
+
 func (ev *evaluator) vectorVector(b *BinaryExpr, lhs, rhs Vector) (Vector, error) {
-	vm := b.Matching
+	vm := sortedMatching(b.Matching)
 	// Identify the "one" side for many-to-one / one-to-many.
 	oneSide, manySide := rhs, lhs
 	swapped := false
@@ -575,7 +733,7 @@ func resultLabels(vm *VectorMatching, many, one labels.Labels) labels.Labels {
 
 // setOp implements and/or/unless.
 func (ev *evaluator) setOp(b *BinaryExpr, lhs, rhs Vector) (Vector, error) {
-	vm := b.Matching
+	vm := sortedMatching(b.Matching)
 	rkeys := make(map[uint64]bool, len(rhs))
 	for _, s := range rhs {
 		rkeys[matchKey(vm, s.Labels)] = true

@@ -309,6 +309,11 @@ func applyRange(ev *evaluator, arg Expr, fn func([]model.Sample, int64) (float64
 		}
 		return nil, fmt.Errorf("promql: range function requires a range selector argument")
 	}
+	if ev.win != nil {
+		// Windowed range evaluation: slide over the prefetched samples
+		// instead of re-selecting, with per-series cached label drops.
+		return ev.win.applyRangeFunc(ms, ev.ts, fn)
+	}
 	mv, err := ev.matrixSelector(ms)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,412 @@
+package promql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/workpool"
+)
+
+// rangeEvaluator implements the windowed range-query strategy. Instead of
+// re-running every storage Select at every step (O(steps × Select)), it
+//
+//  1. walks the expression tree once and registers every selector,
+//  2. prefetches each selector's series with ONE Select spanning the whole
+//     padded window [start − lookback/range − offset, lastStep − offset],
+//     charging a per-query sample budget inside the storage pass when the
+//     Queryable is hint-aware,
+//  3. evaluates the steps in parallel contiguous batches on the shared
+//     worker pool, each batch sliding monotonic per-series cursors over
+//     the prefetched samples (staleness markers are interpreted at this
+//     window layer, exactly as the live selector paths do), and
+//  4. merges the per-step vectors — independent by construction — into the
+//     output Matrix in step order.
+//
+// The result is byte-identical to the per-step reference implementation
+// (see rangeExprNaive and the equivalence tests).
+type rangeEvaluator struct {
+	engine *Engine
+	q      Queryable
+	expr   Expr
+	start  time.Time
+	step   time.Duration
+	steps  int
+
+	sels  []*selectorData
+	index map[Expr]int // selector node -> index into sels
+}
+
+// selectorData is one selector's prefetched window.
+type selectorData struct {
+	vs       *VectorSelector
+	isRange  bool
+	rangeMs  int64 // matrix selectors only
+	offsetMs int64
+	mint     int64 // prefetch bounds, inclusive ms
+	maxt     int64
+	series   []model.Series
+	// dropped caches dropName(series[i].Labels) for matrix selectors, so
+	// range functions pay the label copy once per series instead of once
+	// per series per step.
+	dropped []labels.Labels
+}
+
+// stepTime returns the evaluation time of step i, exactly as the per-step
+// loop `for ts := start; !ts.After(end); ts = ts.Add(step)` computes it.
+func (re *rangeEvaluator) stepTime(i int) time.Time {
+	return re.start.Add(time.Duration(i) * re.step)
+}
+
+func (re *rangeEvaluator) run(ctx context.Context) (Matrix, error) {
+	re.collect()
+	if err := re.prefetch(ctx); err != nil {
+		return nil, err
+	}
+	results, err := re.evalSteps(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return re.merge(results), nil
+}
+
+// collect registers every selector in the expression tree and computes its
+// prefetch bounds. Matrix selectors are registered as a unit (their inner
+// VectorSelector is not additionally registered as an instant selector).
+func (re *rangeEvaluator) collect() {
+	re.index = map[Expr]int{}
+	lookback := model.DurationMillis(re.engine.LookbackDelta)
+	startMs := model.TimeToMillis(re.start)
+	endMs := model.TimeToMillis(re.stepTime(re.steps - 1))
+	var add func(e Expr)
+	add = func(e Expr) {
+		switch t := e.(type) {
+		case *VectorSelector:
+			if _, dup := re.index[t]; dup {
+				return
+			}
+			off := model.DurationMillis(t.Offset)
+			re.index[t] = len(re.sels)
+			re.sels = append(re.sels, &selectorData{
+				vs: t, offsetMs: off,
+				mint: startMs - off - lookback,
+				maxt: endMs - off,
+			})
+		case *MatrixSelector:
+			if _, dup := re.index[t]; dup {
+				return
+			}
+			off := model.DurationMillis(t.VS.Offset)
+			rng := model.DurationMillis(t.Range)
+			re.index[t] = len(re.sels)
+			re.sels = append(re.sels, &selectorData{
+				vs: t.VS, isRange: true, rangeMs: rng, offsetMs: off,
+				mint: startMs - off - rng + 1, // windows are (t-range, t]
+				maxt: endMs - off,
+			})
+		case *ParenExpr:
+			add(t.Expr)
+		case *UnaryExpr:
+			add(t.Expr)
+		case *AggregateExpr:
+			add(t.Expr)
+			if t.Param != nil {
+				add(t.Param)
+			}
+		case *BinaryExpr:
+			add(t.LHS)
+			add(t.RHS)
+		case *Call:
+			for _, a := range t.Args {
+				add(a)
+			}
+		}
+	}
+	add(re.expr)
+}
+
+// prefetch issues exactly one Select per registered selector, accounting
+// every loaded sample against the engine's MaxSamples budget. Hint-aware
+// storage enforces the remaining budget mid-pass, so an oversized query
+// aborts during the copy instead of after it.
+func (re *rangeEvaluator) prefetch(ctx context.Context) error {
+	budget := int64(re.engine.MaxSamples)
+	var used int64
+	hq, hinted := re.q.(HintedQueryable)
+	stepMs := model.DurationMillis(re.step)
+	for _, sd := range re.sels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var (
+			series []model.Series
+			err    error
+		)
+		if hinted {
+			hints := model.SelectHints{Start: sd.mint, End: sd.maxt, Step: stepMs}
+			if budget > 0 {
+				rem := budget - used
+				if rem <= 0 {
+					// Budget exactly exhausted: 0 would mean "unlimited" to
+					// the storage, so pass 1 — a selector matching nothing
+					// still succeeds, any sample trips the limit.
+					rem = 1
+				}
+				hints.SampleLimit = rem
+			}
+			series, err = hq.SelectWithHints(hints, sd.vs.Matchers...)
+		} else {
+			series, err = re.q.Select(sd.mint, sd.maxt, sd.vs.Matchers...)
+		}
+		if err != nil {
+			if errors.Is(err, model.ErrSampleLimit) {
+				return re.sampleLimitErr()
+			}
+			return err
+		}
+		for _, s := range series {
+			used += int64(len(s.Samples))
+		}
+		if budget > 0 && used > budget {
+			return re.sampleLimitErr()
+		}
+		sd.series = series
+		if sd.isRange {
+			sd.dropped = make([]labels.Labels, len(series))
+			for i := range series {
+				sd.dropped[i] = dropName(series[i].Labels)
+			}
+		}
+	}
+	return nil
+}
+
+func (re *rangeEvaluator) sampleLimitErr() error {
+	return &LimitError{Msg: fmt.Sprintf(
+		"promql: query exceeds the sample budget of %d (narrow the selectors or the range)",
+		re.engine.MaxSamples)}
+}
+
+// evalSteps evaluates all steps, splitting them into contiguous batches on
+// the shared worker pool. Steps are independent; within a batch they run in
+// increasing time order so the window cursors only ever move forward.
+func (re *rangeEvaluator) evalSteps(ctx context.Context) ([]Vector, error) {
+	results := make([]Vector, re.steps)
+	var (
+		errMu    sync.Mutex
+		errStep  = -1
+		firstErr error
+	)
+	setErr := func(step int, err error) {
+		errMu.Lock()
+		if errStep < 0 || step < errStep {
+			errStep, firstErr = step, err
+		}
+		errMu.Unlock()
+	}
+	batches := runtime.GOMAXPROCS(0) * 4
+	if batches > re.steps {
+		batches = re.steps
+	}
+	workpool.Do(batches, 0, func(bi int) {
+		lo := re.steps * bi / batches
+		hi := re.steps * (bi + 1) / batches
+		win := re.newWindow()
+		for si := lo; si < hi; si++ {
+			if err := ctx.Err(); err != nil {
+				setErr(si, err)
+				return
+			}
+			ev := &evaluator{
+				engine: re.engine, q: re.q, ctx: ctx, win: win,
+				ts: model.TimeToMillis(re.stepTime(si)),
+			}
+			v, err := ev.eval(re.expr)
+			if err != nil {
+				setErr(si, err)
+				return
+			}
+			switch tv := v.(type) {
+			case Vector:
+				results[si] = tv
+			case Scalar:
+				results[si] = Vector{{Labels: labels.Labels{}, T: tv.T, V: tv.V}}
+			default:
+				setErr(si, fmt.Errorf("promql: unexpected %s result in range query", v.Type()))
+				return
+			}
+		}
+	})
+	if errStep >= 0 {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// merge folds the per-step vectors into a Matrix in step order, identical
+// to the accumulation the per-step reference performs.
+func (re *rangeEvaluator) merge(results []Vector) Matrix {
+	acc := map[uint64]*model.Series{}
+	var order []uint64
+	for si, vec := range results {
+		for _, s := range vec {
+			h := s.Labels.Hash()
+			sr, ok := acc[h]
+			if !ok {
+				capHint := re.steps - si
+				if capHint > 512 {
+					capHint = 512
+				}
+				sr = &model.Series{Labels: s.Labels, Samples: make([]model.Sample, 0, capHint)}
+				acc[h] = sr
+				order = append(order, h)
+			}
+			sr.Samples = append(sr.Samples, model.Sample{T: s.T, V: s.V})
+		}
+	}
+	out := make(Matrix, 0, len(order))
+	for _, h := range order {
+		out = append(out, *acc[h])
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out
+}
+
+// winCursor tracks one series' position in a prefetched sample slice for
+// one step batch: lo is the first index inside the current window, hi the
+// first index past it. Both only move forward as the batch's evaluation
+// time advances; the first access binary-searches to the batch's start.
+type winCursor struct {
+	lo, hi int
+	init   bool
+}
+
+// stepWindow serves selector lookups for one step batch from the
+// prefetched data. It is single-goroutine state: each batch owns its own.
+type stepWindow struct {
+	re      *rangeEvaluator
+	cursors [][]winCursor // [selector index][series index]
+}
+
+func (re *rangeEvaluator) newWindow() *stepWindow {
+	cur := make([][]winCursor, len(re.sels))
+	for i, sd := range re.sels {
+		cur[i] = make([]winCursor, len(sd.series))
+	}
+	return &stepWindow{re: re, cursors: cur}
+}
+
+// vectorAt mirrors evaluator.vectorSelector against the prefetched window:
+// the most recent sample at or before the (offset-adjusted) eval time,
+// dropped if it falls out of the lookback window or is a staleness marker.
+func (w *stepWindow) vectorAt(vs *VectorSelector, ts int64) (Vector, error) {
+	idx, ok := w.re.index[vs]
+	if !ok {
+		return nil, fmt.Errorf("promql: internal: selector %s missing from range prefetch", vs)
+	}
+	sd := w.re.sels[idx]
+	t := ts - sd.offsetMs
+	mint := t - model.DurationMillis(w.re.engine.LookbackDelta)
+	curs := w.cursors[idx]
+	out := make(Vector, 0, len(sd.series))
+	for i := range sd.series {
+		samples := sd.series[i].Samples
+		c := &curs[i]
+		if !c.init {
+			c.hi = sort.Search(len(samples), func(k int) bool { return samples[k].T > t })
+			c.init = true
+		} else {
+			for c.hi < len(samples) && samples[c.hi].T <= t {
+				c.hi++
+			}
+		}
+		if c.hi == 0 {
+			continue
+		}
+		last := samples[c.hi-1]
+		if last.T < mint || model.IsStaleNaN(last.V) {
+			// Out of lookback, or the series went stale: invisible.
+			continue
+		}
+		out = append(out, Sample{Labels: sd.series[i].Labels, T: ts, V: last.V})
+	}
+	return out, nil
+}
+
+// matrixAt mirrors evaluator.matrixSelector: all samples in the window
+// (t−range, t], with staleness markers filtered out and emptied series
+// dropped. The common no-stale case returns subslices of the prefetched
+// data — no copying.
+func (w *stepWindow) matrixAt(ms *MatrixSelector, ts int64) (Matrix, error) {
+	idx, ok := w.re.index[ms]
+	if !ok {
+		return nil, fmt.Errorf("promql: internal: selector %s missing from range prefetch", ms)
+	}
+	sd := w.re.sels[idx]
+	t := ts - sd.offsetMs
+	mint := t - sd.rangeMs // window is (mint, t]
+	curs := w.cursors[idx]
+	out := make(Matrix, 0, len(sd.series))
+	for i := range sd.series {
+		kept := windowSlice(sd.series[i].Samples, &curs[i], mint, t)
+		if len(kept) == 0 {
+			continue
+		}
+		out = append(out, model.Series{Labels: sd.series[i].Labels, Samples: kept})
+	}
+	return out, nil
+}
+
+// applyRangeFunc evaluates a range-vector function against the prefetched
+// window, emitting one sample per series whose window is non-empty. It is
+// the windowed counterpart of applyRange's live path, with the name-drop
+// served from the per-series cache.
+func (w *stepWindow) applyRangeFunc(ms *MatrixSelector, ts int64, fn func([]model.Sample, int64) (float64, bool)) (Value, error) {
+	idx, ok := w.re.index[ms]
+	if !ok {
+		return nil, fmt.Errorf("promql: internal: selector %s missing from range prefetch", ms)
+	}
+	sd := w.re.sels[idx]
+	t := ts - sd.offsetMs
+	mint := t - sd.rangeMs // window is (mint, t]
+	curs := w.cursors[idx]
+	out := make(Vector, 0, len(sd.series))
+	for i := range sd.series {
+		kept := windowSlice(sd.series[i].Samples, &curs[i], mint, t)
+		if len(kept) == 0 {
+			continue
+		}
+		v, keep := fn(kept, sd.rangeMs)
+		if !keep {
+			continue
+		}
+		out = append(out, Sample{Labels: sd.dropped[i], T: ts, V: v})
+	}
+	return out, nil
+}
+
+// windowSlice returns the samples in (mint, t], advancing the cursor
+// monotonically (binary-searching on its first use in a batch), with
+// staleness markers filtered out. The no-stale common case is a subslice of
+// the prefetched data — no copying.
+func windowSlice(samples []model.Sample, c *winCursor, mint, t int64) []model.Sample {
+	if !c.init {
+		c.hi = sort.Search(len(samples), func(k int) bool { return samples[k].T > t })
+		c.lo = sort.Search(len(samples), func(k int) bool { return samples[k].T > mint })
+		c.init = true
+	} else {
+		for c.hi < len(samples) && samples[c.hi].T <= t {
+			c.hi++
+		}
+		for c.lo < len(samples) && samples[c.lo].T <= mint {
+			c.lo++
+		}
+	}
+	return dropStaleMarkers(samples[c.lo:c.hi])
+}

@@ -1,0 +1,85 @@
+package scrape
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+// TestBatchedScrapeMatchesPerSample scrapes the same target sequence twice —
+// once through the per-sample Append path, once through the batch Appender —
+// and asserts the resulting storage contents are identical, including the
+// staleness marker for the series that vanishes between scrapes.
+func TestBatchedScrapeMatchesPerSample(t *testing.T) {
+	const first = `# TYPE m gauge
+m{k="a"} 1
+m{k="b"} 2
+`
+	const second = `# TYPE m gauge
+m{k="a"} 3
+`
+	run := func(batched bool) *tsdb.DB {
+		db := tsdb.Open(tsdb.DefaultOptions())
+		f := &stringFetcher{payloads: map[string]string{"n1:9100": first}}
+		now := time.Unix(1000, 0)
+		m := &Manager{
+			Dest: db, Fetcher: f,
+			Groups: []*TargetGroup{{JobName: "j", Targets: []string{"n1:9100"}}},
+			Now:    func() time.Time { return now },
+		}
+		if batched {
+			m.NewBatch = func() Batch { return db.Appender() }
+		}
+		m.ScrapeAll(context.Background())
+		f.payloads["n1:9100"] = second
+		now = now.Add(15 * time.Second)
+		m.ScrapeAll(context.Background())
+		return db
+	}
+	plain := run(false)
+	batched := run(true)
+
+	all := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".+")
+	want, err := plain.Select(0, 1<<60, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batched.Select(0, 1<<60, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("series count: batched %d, per-sample %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Labels.Equal(want[i].Labels) {
+			t.Fatalf("series %d labels: %v vs %v", i, got[i].Labels, want[i].Labels)
+		}
+		if len(got[i].Samples) != len(want[i].Samples) {
+			t.Fatalf("%v: %d vs %d samples", want[i].Labels, len(got[i].Samples), len(want[i].Samples))
+		}
+		for j := range want[i].Samples {
+			a, b := got[i].Samples[j], want[i].Samples[j]
+			if a.T != b.T || math.Float64bits(a.V) != math.Float64bits(b.V) {
+				t.Errorf("%v sample %d: %+v vs %+v", want[i].Labels, j, a, b)
+			}
+		}
+	}
+
+	// The vanished series must carry a staleness marker in both paths.
+	vanished, _ := batched.Select(0, 1<<60,
+		labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"),
+		labels.MustMatcher(labels.MatchEqual, "k", "b"))
+	if len(vanished) != 1 {
+		t.Fatalf("vanished series missing: %v", vanished)
+	}
+	last := vanished[0].Samples[len(vanished[0].Samples)-1]
+	if !model.IsStaleNaN(last.V) {
+		t.Errorf("expected staleness marker, got %v", last.V)
+	}
+}

@@ -28,6 +28,18 @@ type Appender interface {
 	Append(lset labels.Labels, t int64, v float64) error
 }
 
+// Batch buffers samples for bulk commits. *tsdb.Appender satisfies it
+// structurally: a scrape commits in O(1) shard-lock round-trips (one bulk
+// commit for the metric samples, one small commit for staleness markers
+// and synthetics) instead of a lock round-trip per sample. Commit skips
+// out-of-order samples — the tolerance the per-sample path implemented by
+// ignoring Append errors — returns how many samples landed, and must leave
+// the batch reusable, as tsdb.Appender does.
+type Batch interface {
+	Add(lset labels.Labels, t int64, v float64)
+	Commit() (int, error)
+}
+
 // Fetcher retrieves the exposition payload of one target.
 type Fetcher interface {
 	Fetch(ctx context.Context, target string) (io.ReadCloser, error)
@@ -103,6 +115,18 @@ type Manager struct {
 	// scraping is I/O-bound); 0 means GOMAXPROCS, 1 forces the old
 	// sequential behavior.
 	Parallelism int
+	// NewBatch, when set, supplies a buffered batch per scrape so a whole
+	// scrape pass (metrics, staleness markers and the synthetic
+	// up/duration series) commits to storage in O(1) bulk round-trips.
+	// Wire it to tsdb.DB's batch Appender: func() scrape.Batch { return
+	// db.Appender() }. Nil keeps the per-sample Append path.
+	//
+	// Staleness tracking in batch mode is exposition-based: a series that
+	// appears in the scrape counts as present even when its (honored)
+	// timestamp is dropped as out-of-order at Commit. The per-sample path
+	// would mark such a series stale and revive it next scrape; counting
+	// exposed series avoids that marker flapping.
+	NewBatch func() Batch
 
 	mu     sync.Mutex
 	health map[string]TargetHealth
@@ -171,8 +195,33 @@ func (m *Manager) ScrapeAll(ctx context.Context) {
 	})
 }
 
+// appendSink routes one scrape pass's samples either straight to the
+// Appender or into a per-scrape Batch flushed in bulk.
+type appendSink struct {
+	dest  Appender
+	batch Batch
+}
+
+func (s *appendSink) add(ls labels.Labels, t int64, v float64) error {
+	if s.batch != nil {
+		s.batch.Add(ls, t, v)
+		return nil
+	}
+	return s.dest.Append(ls, t, v)
+}
+
+// commit flushes staged samples in batch mode, returning how many landed
+// (Commit skips out-of-order samples). A no-op per-sample.
+func (s *appendSink) commit() (int, error) {
+	if s.batch == nil {
+		return 0, nil
+	}
+	return s.batch.Commit()
+}
+
 // ScrapeTarget performs one scrape of one target, appending samples and the
-// synthetic up/duration series.
+// synthetic up/duration series. With NewBatch configured, the entire pass —
+// metric samples, staleness markers and synthetics — lands in one commit.
 func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target string) {
 	now := time.Now
 	if m.Now != nil {
@@ -185,9 +234,13 @@ func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target strin
 	sctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	sink := &appendSink{dest: m.Dest}
+	if m.NewBatch != nil {
+		sink.batch = m.NewBatch()
+	}
 	start := now()
 	ts := start.UnixMilli()
-	samples, err := m.scrapeOnce(sctx, g, target, ts)
+	samples, err := m.scrapeOnce(sctx, sink, g, target, ts)
 	dur := time.Since(start)
 	if m.Now != nil {
 		dur = 0 // wall-clock duration is meaningless under a virtual clock
@@ -205,8 +258,14 @@ func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target strin
 	base := m.targetLabels(g, target)
 	up := labels.NewBuilder(base).Set(labels.MetricName, "up").Labels()
 	sd := labels.NewBuilder(base).Set(labels.MetricName, "scrape_duration_seconds").Labels()
-	m.Dest.Append(up, ts, upVal)
-	m.Dest.Append(sd, ts, dur.Seconds())
+	sink.add(up, ts, upVal)
+	sink.add(sd, ts, dur.Seconds())
+	// Second, small commit: staleness markers plus the synthetics. Their
+	// out-of-order skips are as silent as the per-sample path's unchecked
+	// Appends were.
+	if _, cerr := sink.commit(); cerr != nil && m.OnError != nil {
+		m.OnError(target, cerr)
+	}
 
 	m.mu.Lock()
 	if m.health == nil {
@@ -219,7 +278,7 @@ func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target strin
 	m.mu.Unlock()
 }
 
-func (m *Manager) scrapeOnce(ctx context.Context, g *TargetGroup, target string, ts int64) (int, error) {
+func (m *Manager) scrapeOnce(ctx context.Context, sink *appendSink, g *TargetGroup, target string, ts int64) (int, error) {
 	body, err := m.Fetcher.Fetch(ctx, target)
 	if err != nil {
 		return 0, err
@@ -244,13 +303,25 @@ func (m *Manager) scrapeOnce(ctx context.Context, g *TargetGroup, target string,
 			if m.HonorTimestamps && metric.TS != 0 {
 				t = metric.TS
 			}
-			if err := m.Dest.Append(ls, t, metric.Value); err != nil {
+			if err := sink.add(ls, t, metric.Value); err != nil {
 				// Out-of-order duplicates can occur when a scrape overlaps
-				// a retry; skip the sample but keep scraping.
+				// a retry; skip the sample but keep scraping. (The batch
+				// path defers this tolerance to Commit.)
 				continue
 			}
 			cur[ls.Hash()] = ls
 			n++
+		}
+	}
+	// Batch mode: commit the metric samples on their own so n reflects
+	// exactly what landed (Commit skips out-of-order duplicates), matching
+	// the per-sample path's count. The staleness markers staged below ride
+	// the scrape's second commit together with the synthetic series.
+	if sink.batch != nil {
+		appended, cerr := sink.commit()
+		n = appended
+		if cerr != nil && m.OnError != nil {
+			m.OnError(target, cerr)
 		}
 	}
 	// Staleness: series present last scrape but absent now get a marker so
@@ -265,7 +336,7 @@ func (m *Manager) scrapeOnce(ctx context.Context, g *TargetGroup, target string,
 	m.mu.Unlock()
 	for h, ls := range prev {
 		if _, still := cur[h]; !still {
-			m.Dest.Append(ls, ts, model.StaleNaN())
+			sink.add(ls, ts, model.StaleNaN())
 		}
 	}
 	return n, nil

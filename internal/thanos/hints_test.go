@@ -1,0 +1,47 @@
+package thanos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// TestStoreSelectWithHintsBudget verifies the cold-store sample budget:
+// the block decode itself must abort with ErrSampleLimit when one block
+// alone exceeds the budget, and an adequate budget must return the same
+// result as plain Select.
+func TestStoreSelectWithHintsBudget(t *testing.T) {
+	db := seedDB(t, 4, 200, 0) // 800 samples in one block
+	blk, err := db.CutBlock(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := NewStore("")
+	if err := store.Upload(blk); err != nil {
+		t.Fatal(err)
+	}
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m")
+
+	_, err = store.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 100}, m)
+	if !errors.Is(err, model.ErrSampleLimit) {
+		t.Fatalf("expected ErrSampleLimit from single-block overrun, got %v", err)
+	}
+
+	got, err := store.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 800}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := store.Select(0, 1<<60, m)
+	if len(got) != len(want) {
+		t.Fatalf("hinted select returned %d series, plain %d", len(got), len(want))
+	}
+
+	// The fan-in querier threads hints through both sides.
+	q := &Querier{Hot: db, Cold: store}
+	_, err = q.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 100}, m)
+	if !errors.Is(err, model.ErrSampleLimit) {
+		t.Fatalf("querier: expected ErrSampleLimit, got %v", err)
+	}
+}

@@ -113,17 +113,48 @@ func (s *Store) NumBlocks() int {
 // the same series across block boundaries (overlaps are deduplicated by
 // timestamp).
 func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	return s.selectLimited(mint, maxt, 0, ms)
+}
+
+// SelectWithHints is the hint-aware Select: identical output, but when
+// hints.SampleLimit is set the budget is threaded into each block's decode
+// (Block.SelectLimited), so an oversized query aborts mid-copy with
+// model.ErrSampleLimit instead of materializing every sample. The budget
+// is charged per copied sample BEFORE cross-block dedup — it bounds the
+// memory the scan materializes, so samples duplicated across overlapping
+// uploads are deliberately charged once per block.
+func (s *Store) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+	return s.selectLimited(hints.Start, hints.End, hints.SampleLimit, ms)
+}
+
+func (s *Store) selectLimited(mint, maxt, limit int64, ms []*labels.Matcher) ([]model.Series, error) {
 	s.mu.RLock()
 	blocks := append([]*tsdb.Block(nil), s.blocks...)
 	s.mu.RUnlock()
 
+	var copied int64
 	merged := map[uint64]*model.Series{}
 	var order []uint64
 	for _, b := range blocks {
 		if b.MaxTime < mint || b.MinTime > maxt {
 			continue
 		}
-		for _, series := range b.Select(mint, maxt, ms...) {
+		rem := int64(0)
+		if limit > 0 {
+			rem = limit - copied
+			if rem <= 0 {
+				// Exactly-at-budget so far: a later block may legitimately
+				// match nothing. Pass 1 so any further sample aborts
+				// mid-copy; the post-loop check below catches the ==1 case.
+				rem = 1
+			}
+		}
+		bs, err := b.SelectLimited(mint, maxt, rem, ms...)
+		if err != nil {
+			return nil, err
+		}
+		for _, series := range bs {
+			copied += int64(len(series.Samples))
 			h := series.Labels.Hash()
 			acc, ok := merged[h]
 			if !ok {
@@ -135,6 +166,9 @@ func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series,
 			}
 			acc.Samples = append(acc.Samples, series.Samples...)
 		}
+	}
+	if limit > 0 && copied > limit {
+		return nil, model.ErrSampleLimit
 	}
 	out := make([]model.Series, 0, len(order))
 	for _, h := range order {
@@ -315,6 +349,15 @@ func (q *Querier) LabelValues(name string) []string {
 
 // Select implements promql.Queryable.
 func (q *Querier) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	return q.SelectWithHints(model.SelectHints{Start: mint, End: maxt}, ms...)
+}
+
+// SelectWithHints fans the hint-aware Select over both backends. Each side
+// enforces the full budget independently, so the merged result may reach
+// 2× the limit in the worst case — a deliberate trade that keeps the two
+// concurrent passes free of shared accounting; a side that alone exceeds
+// the limit still fails the query.
+func (q *Querier) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
 	var (
 		wg              sync.WaitGroup
 		cold, hot       []model.Series
@@ -323,9 +366,9 @@ func (q *Querier) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Serie
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		cold, coldErr = q.Cold.Select(mint, maxt, ms...)
+		cold, coldErr = q.Cold.SelectWithHints(hints, ms...)
 	}()
-	hot, hotErr = q.Hot.Select(mint, maxt, ms...)
+	hot, hotErr = q.Hot.SelectWithHints(hints, ms...)
 	wg.Wait()
 	if coldErr != nil {
 		return nil, coldErr

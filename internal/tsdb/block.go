@@ -74,7 +74,17 @@ func (db *DB) CutBlock(mint, maxt int64) (*Block, error) {
 // Select returns the block's series overlapping [mint, maxt] that satisfy
 // the matchers, mirroring DB.Select.
 func (b *Block) Select(mint, maxt int64, ms ...*labels.Matcher) []model.Series {
+	out, _ := b.SelectLimited(mint, maxt, 0, ms...)
+	return out
+}
+
+// SelectLimited is Select with a sample budget: when limit > 0 the decode
+// stops as soon as more than limit samples have been copied and reports
+// model.ErrSampleLimit, so an oversized query aborts mid-copy instead of
+// materializing the whole block.
+func (b *Block) SelectLimited(mint, maxt, limit int64, ms ...*labels.Matcher) ([]model.Series, error) {
 	var out []model.Series
+	var copied int64
 	for _, bs := range b.Series {
 		if !labels.MatchLabels(bs.Labels, ms...) {
 			continue
@@ -91,6 +101,10 @@ func (b *Block) Select(mint, maxt int64, ms ...*labels.Matcher) []model.Series {
 					break
 				}
 				samples = append(samples, model.Sample{T: t, V: v})
+				copied++
+				if limit > 0 && copied > limit {
+					return nil, model.ErrSampleLimit
+				}
 			}
 		}
 		if len(samples) > 0 {
@@ -98,7 +112,7 @@ func (b *Block) Select(mint, maxt int64, ms ...*labels.Matcher) []model.Series {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
-	return out
+	return out, nil
 }
 
 // NumSamples counts all samples in the block.

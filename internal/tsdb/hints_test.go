@@ -1,0 +1,68 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+func hintsTestDB(t *testing.T) *DB {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Shards = 8
+	db := Open(opts)
+	for s := 0; s < 20; s++ {
+		ls := labels.FromStrings(labels.MetricName, "hint_metric",
+			"instance", fmt.Sprintf("n%02d", s))
+		for i := int64(0); i < 50; i++ {
+			if err := db.Append(ls, i*1000, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// TestSelectWithHintsMatchesSelect: without a budget the hint path must be
+// byte-identical to plain Select.
+func TestSelectWithHintsMatchesSelect(t *testing.T) {
+	db := hintsTestDB(t)
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "hint_metric")
+	want, err := db.Select(5000, 20000, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int64{0, 1 << 40} {
+		got, err := db.SelectWithHints(model.SelectHints{Start: 5000, End: 20000, SampleLimit: limit}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("limit %d: hinted select diverged from Select", limit)
+		}
+	}
+}
+
+// TestSelectWithHintsEnforcesBudget: a budget smaller than the matching
+// sample count aborts the pass with ErrSampleLimit.
+func TestSelectWithHintsEnforcesBudget(t *testing.T) {
+	db := hintsTestDB(t)
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "hint_metric")
+	// 20 series × 50 samples = 1000 matching samples.
+	_, err := db.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 100}, m)
+	if !errors.Is(err, model.ErrSampleLimit) {
+		t.Fatalf("expected ErrSampleLimit, got %v", err)
+	}
+	// A budget that fits must succeed.
+	got, err := db.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 1000}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Errorf("got %d series, want 20", len(got))
+	}
+}

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/labels"
 	"repro/internal/model"
@@ -25,10 +26,58 @@ func (db *DB) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, e
 	}
 	parts := make([][]model.Series, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
-		parts[i] = sh.selectSorted(mint, maxt, ms)
+		parts[i] = sh.selectSorted(mint, maxt, ms, nil)
 	})
 	return mergeSortedSeries(parts), nil
 }
+
+// SelectWithHints is the hint-aware Select path: identical output to
+// Select over [hints.Start, hints.End], but when hints.SampleLimit is set
+// the shards charge every copied sample against a shared budget and abort
+// the pass with model.ErrSampleLimit the moment it is exhausted — the
+// promql range evaluator's prefetch uses this so runaway queries fail
+// during the storage pass instead of after materializing everything.
+func (db *DB) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("tsdb: Select requires at least one matcher")
+	}
+	if hints.SampleLimit <= 0 {
+		return db.Select(hints.Start, hints.End, ms...)
+	}
+	budget := &sampleBudget{limit: hints.SampleLimit}
+	parts := make([][]model.Series, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i] = sh.selectSorted(hints.Start, hints.End, ms, budget)
+	})
+	if budget.exceeded.Load() {
+		return nil, model.ErrSampleLimit
+	}
+	return mergeSortedSeries(parts), nil
+}
+
+// sampleBudget is the shared per-query sample allowance charged by all
+// shards of one hint-aware Select.
+type sampleBudget struct {
+	limit    int64
+	used     atomic.Int64
+	exceeded atomic.Bool
+}
+
+// charge records n copied samples and reports whether the budget still
+// holds.
+func (b *sampleBudget) charge(n int) bool {
+	if b == nil {
+		return true
+	}
+	if b.used.Add(int64(n)) > b.limit {
+		b.exceeded.Store(true)
+		return false
+	}
+	return true
+}
+
+// blown reports whether any shard already exhausted the budget.
+func (b *sampleBudget) blown() bool { return b != nil && b.exceeded.Load() }
 
 // mergeSortedSeries merges per-shard slices, each sorted by labels, into one
 // sorted slice. Series are unique across shards (a label set hashes to one

@@ -191,8 +191,13 @@ func (sh *headShard) selectRefs(ms []*labels.Matcher) map[uint64]struct{} {
 }
 
 // selectSorted returns the shard's series matching ms with samples in
-// [mint, maxt], sorted by labels, ready for the cross-shard merge.
-func (sh *headShard) selectSorted(mint, maxt int64, ms []*labels.Matcher) []model.Series {
+// [mint, maxt], sorted by labels, ready for the cross-shard merge. A
+// non-nil budget is charged per series copy; once exhausted the pass stops
+// copying and the partial result is discarded by the caller.
+func (sh *headShard) selectSorted(mint, maxt int64, ms []*labels.Matcher, budget *sampleBudget) []model.Series {
+	if budget.blown() {
+		return nil
+	}
 	refs := sh.selectRefs(ms)
 	sh.mu.RLock()
 	series := make([]*memSeries, 0, len(refs))
@@ -204,9 +209,15 @@ func (sh *headShard) selectSorted(mint, maxt int64, ms []*labels.Matcher) []mode
 	sh.mu.RUnlock()
 	out := make([]model.Series, 0, len(series))
 	for _, s := range series {
+		if budget.blown() {
+			return nil
+		}
 		samples := s.samplesBetween(mint, maxt)
 		if len(samples) == 0 {
 			continue
+		}
+		if !budget.charge(len(samples)) {
+			return nil
 		}
 		out = append(out, model.Series{Labels: s.lset, Samples: samples})
 	}

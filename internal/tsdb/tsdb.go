@@ -203,7 +203,11 @@ func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 		}
 	}
 	for _, cr := range s.chunks {
-		if cr.max < mint || cr.min > maxt {
+		if cr.min > maxt {
+			// Chunks are in time order; nothing later can overlap.
+			break
+		}
+		if cr.max < mint {
 			continue
 		}
 		appendFrom(cr.chunk)
