@@ -4,7 +4,7 @@
 GO ?= go
 RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/...
 
-.PHONY: build test race bench lint ci
+.PHONY: build test race wal-recovery bench lint ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The crash/corruption harness is randomized; run it twice, under race.
+wal-recovery:
+	$(GO) test -race -count=2 -run 'WAL|Checkpoint' ./internal/tsdb/ ./internal/relstore/
 
 # Full benchmark run (real measurements; slow).
 bench:
@@ -30,5 +34,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint test race bench-smoke
+ci: build lint test race wal-recovery bench-smoke
 	@echo "ci: all green"

@@ -80,7 +80,7 @@ func BenchmarkExporterScrape(b *testing.B) {
 // BenchmarkRulesEvalNode — E8: one evaluation of the full Intel Eq. 1 rule
 // group over a populated node.
 func BenchmarkRulesEvalNode(b *testing.B) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	// 8 units × (cpu + mem) + node metrics, 20 scrapes.
 	for i := int64(0); i < 20; i++ {
 		ts := i * 15000
@@ -107,7 +107,7 @@ func BenchmarkRulesEvalNode(b *testing.B) {
 	}
 	g := ceemsrules.IntelGroup(ceemsrules.DefaultOptions())
 	eng := rules.NewEngine(nil)
-	sink := tsdb.Open(tsdb.DefaultOptions())
+	sink := tsdb.MustOpen(tsdb.DefaultOptions())
 	ts := model.MillisToTime(19 * 15000)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -130,7 +130,7 @@ func (s shiftedAppender) Append(l labels.Labels, t int64, v float64) error {
 // BenchmarkTSDBIngestFleet — E7 ingest path: appending one scrape's worth
 // of samples for a 100-node fleet.
 func BenchmarkTSDBIngestFleet(b *testing.B) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	const nodes = 100
 	const seriesPerNode = 40
 	sets := make([]labels.Labels, 0, nodes*seriesPerNode)
@@ -162,7 +162,7 @@ func BenchmarkTSDBIngestFleet(b *testing.B) {
 func BenchmarkShardedAppendParallel(b *testing.B) {
 	opts := tsdb.DefaultOptions()
 	opts.Shards = 16
-	db := tsdb.Open(opts)
+	db := tsdb.MustOpen(opts)
 	var worker atomic.Int64
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -195,7 +195,7 @@ func BenchmarkShardedAppendParallel(b *testing.B) {
 func BenchmarkShardedSelectParallel(b *testing.B) {
 	opts := tsdb.DefaultOptions()
 	opts.Shards = 16
-	db := tsdb.Open(opts)
+	db := tsdb.MustOpen(opts)
 	for n := 0; n < 200; n++ {
 		for s := 0; s < 20; s++ {
 			ls := labels.FromStrings(
@@ -260,7 +260,7 @@ func BenchmarkAPIServerUpdate(b *testing.B) {
 		Fetchers: []resourcemanager.Fetcher{
 			&resourcemanager.Local{Cluster: "bench", Kind: model.ManagerSLURM, Source: sched},
 		},
-		Query:  tsdb.Open(tsdb.DefaultOptions()),
+		Query:  tsdb.MustOpen(tsdb.DefaultOptions()),
 		Factor: emissions.OWID{},
 		Zone:   "FR",
 	}
@@ -276,7 +276,7 @@ func BenchmarkAPIServerUpdate(b *testing.B) {
 
 // BenchmarkPromQLEq1Query — E5 query path: an instant Eq. 1-style join.
 func BenchmarkPromQLEq1Query(b *testing.B) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	for n := 0; n < 50; n++ {
 		inst := fmt.Sprintf("n%02d", n)
 		for i := int64(0); i < 40; i++ {
@@ -305,7 +305,7 @@ func BenchmarkPromQLEq1Query(b *testing.B) {
 // sample every intervalMs over spanMs.
 func rangeBenchDB(b *testing.B, series int, intervalMs, spanMs int64) *tsdb.DB {
 	b.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	for s := 0; s < series; s++ {
 		ls := labels.FromStrings(
 			labels.MetricName, "bench_requests_total",

@@ -38,6 +38,7 @@ func main() {
 		promListen = flag.String("prom-listen", ":9090", "Prometheus API (behind LB) listen address")
 		apiListen  = flag.String("api-listen", ":9200", "CEEMS API server listen address")
 		report     = flag.Duration("report", 10*time.Minute, "simulated interval between dashboard prints")
+		walDir     = flag.String("wal-dir", "", "TSDB write-ahead-log directory; a restarted sim replays it (empty = memory-only head)")
 	)
 	flag.Parse()
 
@@ -66,10 +67,16 @@ func main() {
 	opts.ShipInterval = cfg.Thanos.ShipInterval
 	opts.ShortUnitCutoff = cfg.APIServer.ShortUnitCutoff
 	opts.Zone = cfg.Cluster.Zone
+	opts.WALDir = *walDir
 
 	sim, err := cluster.New(topo, opts, cfg.Sim.Users, cfg.Sim.Projects, cfg.Sim.JobsPerDay)
 	if err != nil {
 		log.Fatalf("sim: %v", err)
+	}
+	if ws, ok := sim.DB.WALStats(); ok {
+		r := ws.Replay
+		log.Printf("tsdb: wal replay: %d shards, %d segments, %d records, %d samples recovered, %d torn-tail repairs, in %v",
+			r.Shards, r.Segments, r.Records, r.Samples, r.TornRepairs, r.Duration)
 	}
 	for _, admin := range cfg.APIServer.AdminUsers {
 		sim.APIServer.AddAdmin(admin)

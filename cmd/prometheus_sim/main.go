@@ -35,6 +35,7 @@ func main() {
 		pass     = flag.String("scrape-auth-pass", "", "basic auth password for scraping")
 		shards   = flag.Int("tsdb-shards", 0, "TSDB head shards (power of two; 0 = GOMAXPROCS)")
 		queryTmo = flag.Duration("query-timeout", 2*time.Minute, "per-query evaluation deadline (0 disables)")
+		walDir   = flag.String("wal-dir", "", "per-shard TSDB write-ahead-log directory; restarts replay it (empty = memory-only head)")
 	)
 	flag.Parse()
 	if *targets == "" {
@@ -43,7 +44,16 @@ func main() {
 
 	opts := tsdb.DefaultOptions()
 	opts.Shards = *shards
-	db := tsdb.Open(opts)
+	opts.WALDir = *walDir
+	db, err := tsdb.Open(opts)
+	if err != nil {
+		log.Fatalf("tsdb: %v", err)
+	}
+	if ws, ok := db.WALStats(); ok {
+		r := ws.Replay
+		log.Printf("tsdb: wal replay: %d shards, %d segments, %d records, %d samples (%d series) recovered, %d torn-tail repairs, in %v",
+			r.Shards, r.Segments, r.Records, r.Samples, r.Series, r.TornRepairs, r.Duration)
+	}
 	sm := &scrape.Manager{
 		Dest:     db,
 		Fetcher:  &scrape.HTTPFetcher{Username: *user, Password: *pass},

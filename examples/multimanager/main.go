@@ -80,7 +80,7 @@ func main() {
 			&resourcemanager.Local{Cluster: "cloud", Kind: model.ManagerOpenstack, Source: cloud},
 			&resourcemanager.Local{Cluster: "k8s", Kind: model.ManagerK8s, Source: k8s},
 		},
-		Query:  tsdb.Open(tsdb.DefaultOptions()), // no metrics needed for the schema demo
+		Query:  tsdb.MustOpen(tsdb.DefaultOptions()), // no metrics needed for the schema demo
 		Factor: emissions.OWID{},
 		Zone:   "FR",
 	}

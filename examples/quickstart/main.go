@@ -56,7 +56,7 @@ func main() {
 	)
 
 	// 3. Scrape into the TSDB every 15 s; evaluate Eq. 1 rules every 60 s.
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	clock := start
 	sm := &scrape.Manager{
 		Dest: db, Fetcher: directFetcher{exp},

@@ -71,7 +71,7 @@ func newRig(t *testing.T, nNodes int) *testRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	rig := &testRig{sched: sched, db: db, clock: t0}
 	rig.sm = &scrape.Manager{
 		Dest:    db,

@@ -48,6 +48,10 @@ type Options struct {
 	// StoreDir persists the API store and Thanos blocks; "" keeps all in
 	// memory.
 	StoreDir string
+	// WALDir makes the hot TSDB head durable: shards journal appends to
+	// per-shard write-ahead logs under this directory and a restarted sim
+	// replays them in parallel. "" keeps the head memory-only.
+	WALDir string
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -157,7 +161,12 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 	}
 
 	// Exporters + scrape groups per class.
-	sim.DB = tsdb.Open(tsdb.DefaultOptions())
+	tsdbOpts := tsdb.DefaultOptions()
+	tsdbOpts.WALDir = opts.WALDir
+	sim.DB, err = tsdb.Open(tsdbOpts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open tsdb: %w", err)
+	}
 	var groups []*scrape.TargetGroup
 	for _, class := range Classes() {
 		nodes := nodesByClass[class]

@@ -17,7 +17,7 @@ import (
 
 func promBackend(t *testing.T) (*httptest.Server, *tsdb.DB) {
 	t.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "power_watts", "uuid", "7")
 	for i := int64(0); i <= 40; i++ {
 		db.Append(ls, i*15000, 100+float64(i))

@@ -16,7 +16,7 @@ import (
 
 func testHandler(t *testing.T) *Handler {
 	t.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "up", "instance", "n1")
 	for i := int64(0); i <= 40; i++ {
 		if err := db.Append(ls, i*15000, 1); err != nil {
@@ -203,7 +203,7 @@ func (q queryableOnly) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.
 }
 
 func TestLabelsUnsupportedBackend(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	h := (&Handler{Query: queryableOnly{db}}).Mux()
 	for _, path := range []string{"/api/v1/labels", "/api/v1/label/x/values"} {
 		rec := httptest.NewRecorder()

@@ -248,6 +248,56 @@ type evaluator struct {
 	// win, when non-nil, serves selectors from the range evaluator's
 	// prefetched window instead of live storage Selects.
 	win *stepWindow
+	// loaded counts samples materialized by this evaluation's live
+	// selectors, charged against Engine.MaxSamples. The range path budgets
+	// during prefetch instead (its selectors never hit live storage).
+	loaded int64
+}
+
+// selectSeries is the live selector storage access: one Select over
+// [mint, maxt] with the engine's sample budget threaded through. Hint-aware
+// storage (the TSDB head, the Thanos fan-in) enforces the remaining budget
+// mid-pass, so an oversized instant query aborts during the copy instead of
+// after materializing everything; plain Queryables are charged after the
+// fact, which still bounds what one evaluation can accumulate.
+func (ev *evaluator) selectSeries(mint, maxt int64, ms []*labels.Matcher) ([]model.Series, error) {
+	budget := int64(ev.engine.MaxSamples)
+	var series []model.Series
+	var err error
+	if hq, hinted := ev.q.(HintedQueryable); hinted {
+		hints := model.SelectHints{Start: mint, End: maxt}
+		if budget > 0 {
+			rem := budget - ev.loaded
+			if rem <= 0 {
+				// Exactly exhausted: 0 means "unlimited" to storage, so pass
+				// 1 — an empty selector still succeeds, any sample trips.
+				rem = 1
+			}
+			hints.SampleLimit = rem
+		}
+		series, err = hq.SelectWithHints(hints, ms...)
+	} else {
+		series, err = ev.q.Select(mint, maxt, ms...)
+	}
+	if err != nil {
+		if errors.Is(err, model.ErrSampleLimit) {
+			return nil, ev.sampleLimitErr()
+		}
+		return nil, err
+	}
+	for _, s := range series {
+		ev.loaded += int64(len(s.Samples))
+	}
+	if budget > 0 && ev.loaded > budget {
+		return nil, ev.sampleLimitErr()
+	}
+	return series, nil
+}
+
+func (ev *evaluator) sampleLimitErr() error {
+	return &LimitError{Msg: fmt.Sprintf(
+		"promql: query exceeds the sample budget of %d (narrow the selectors or the range)",
+		ev.engine.MaxSamples)}
 }
 
 // ctxErr reports context cancellation; checked before storage accesses.
@@ -307,7 +357,7 @@ func (ev *evaluator) vectorSelector(vs *VectorSelector) (Vector, error) {
 	}
 	ts := ev.ts - model.DurationMillis(vs.Offset)
 	mint := ts - model.DurationMillis(ev.engine.LookbackDelta)
-	series, err := ev.q.Select(mint, ts, vs.Matchers...)
+	series, err := ev.selectSeries(mint, ts, vs.Matchers)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +388,7 @@ func (ev *evaluator) matrixSelector(ms *MatrixSelector) (Matrix, error) {
 	}
 	ts := ev.ts - model.DurationMillis(ms.VS.Offset)
 	mint := ts - model.DurationMillis(ms.Range)
-	series, err := ev.q.Select(mint+1, ts, ms.VS.Matchers...) // window is (ts-range, ts]
+	series, err := ev.selectSeries(mint+1, ts, ms.VS.Matchers) // window is (ts-range, ts]
 	if err != nil {
 		return nil, err
 	}

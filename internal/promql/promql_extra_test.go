@@ -25,7 +25,7 @@ func TestUnaryMinusVector(t *testing.T) {
 }
 
 func TestGroupLeftIncludeLabels(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	// Per-unit metric and node metadata carrying an extra label to pull in.
 	db.Append(labels.FromStrings(labels.MetricName, "unit_cpu", "uuid", "1", "instance", "n1"), 1000, 4)
 	db.Append(labels.FromStrings(labels.MetricName, "unit_cpu", "uuid", "2", "instance", "n1"), 1000, 8)
@@ -45,7 +45,7 @@ func TestGroupLeftIncludeLabels(t *testing.T) {
 }
 
 func TestGroupRight(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	db.Append(labels.FromStrings(labels.MetricName, "one_side", "instance", "n1"), 1000, 100)
 	db.Append(labels.FromStrings(labels.MetricName, "many_side", "instance", "n1", "k", "a"), 1000, 1)
 	db.Append(labels.FromStrings(labels.MetricName, "many_side", "instance", "n1", "k", "b"), 1000, 2)
@@ -180,7 +180,7 @@ func TestRangeQueryErrors(t *testing.T) {
 }
 
 func TestVectorSelectorStaleSkipped(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "m")
 	db.Append(ls, 1000, 5)
 	db.Append(ls, 2000, model.StaleNaN())

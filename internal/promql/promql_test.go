@@ -14,7 +14,7 @@ import (
 // testStorage builds a DB with a fixed scrape pattern: samples every 15s
 // from t=0 to t=10min for several series.
 func testStorage(t testing.TB) *tsdb.DB {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	add := func(lset labels.Labels, f func(step int64) float64) {
 		for i := int64(0); i <= 40; i++ {
 			if err := db.Append(lset, i*15000, f(i)); err != nil {

@@ -32,7 +32,7 @@ func (c *countingQueryable) Select(mint, maxt int64, ms ...*labels.Matcher) ([]m
 // the window layer must interpret identically to the per-step path.
 func rangeTestStorage(t testing.TB) *tsdb.DB {
 	t.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	app := func(ls labels.Labels, ts int64, v float64) {
 		if err := db.Append(ls, ts, v); err != nil {
 			t.Fatalf("append: %v", err)

@@ -41,7 +41,10 @@ type snapTable struct {
 // Checkpoint writes a full snapshot and truncates the WAL. It is the
 // equivalent of a SQLite WAL checkpoint and also serves as the "in-built
 // punctual backup solution" of the CEEMS API server when pointed at a
-// backup directory via the replica.
+// backup directory via the replica. The snapshot is fsynced into place
+// (file and directory) before the WAL is truncated: a crash between the
+// two steps must find either the old WAL or the complete new snapshot on
+// stable storage, never neither.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -89,11 +92,36 @@ func (db *DB) writeSnapshotLocked(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	// The snapshot replaces the WAL as the source of truth the moment the
+	// rename lands; it must be on disk — not in the page cache — before
+	// that, and the rename itself must be durable before the caller
+	// truncates the WAL.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (db *DB) loadSnapshot(path string) error {

@@ -61,7 +61,7 @@ func newSimEnv(t *testing.T, spec hw.NodeSpec, class string, groups []*rules.Gro
 		}
 	}
 	exp := exporter.New(collectors...)
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	env := &simEnv{node: node, db: db, clock: t0}
 	env.sm = &scrape.Manager{
 		Dest:    db,

@@ -13,7 +13,7 @@ import (
 
 func seedDB(t *testing.T) *tsdb.DB {
 	t.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	for i := int64(0); i <= 20; i++ {
 		ts := i * 15000
 		if err := db.Append(labels.FromStrings(labels.MetricName, "energy_joules_total", "node", "n1"), ts, float64(i)*1500); err != nil {
@@ -181,7 +181,7 @@ func TestChainedRulesAcrossIntervals(t *testing.T) {
 }
 
 func BenchmarkEvalGroup(b *testing.B) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	for n := 0; n < 100; n++ {
 		ls := labels.FromStrings(labels.MetricName, "energy_joules_total", "node", string(rune('a'+n%26))+string(rune('0'+n/26)))
 		for i := int64(0); i <= 20; i++ {
@@ -194,7 +194,7 @@ func BenchmarkEvalGroup(b *testing.B) {
 	}}
 	eng := NewEngine(nil)
 	ts := model.MillisToTime(300 * 1000)
-	sink := tsdb.Open(tsdb.DefaultOptions())
+	sink := tsdb.MustOpen(tsdb.DefaultOptions())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

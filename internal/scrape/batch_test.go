@@ -24,7 +24,7 @@ m{k="b"} 2
 m{k="a"} 3
 `
 	run := func(batched bool) *tsdb.DB {
-		db := tsdb.Open(tsdb.DefaultOptions())
+		db := tsdb.MustOpen(tsdb.DefaultOptions())
 		f := &stringFetcher{payloads: map[string]string{"n1:9100": first}}
 		now := time.Unix(1000, 0)
 		m := &Manager{

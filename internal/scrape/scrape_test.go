@@ -38,7 +38,7 @@ node_cpus 64
 `
 
 func TestScrapeAppendsWithTargetLabels(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{"n1:9100": payload}}
 	fixed := time.Unix(1000, 0)
 	m := &Manager{
@@ -74,7 +74,7 @@ func TestScrapeAppendsWithTargetLabels(t *testing.T) {
 }
 
 func TestScrapeFailureRecordsDown(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{}}
 	var gotErr atomic.Bool
 	m := &Manager{
@@ -97,7 +97,7 @@ func TestScrapeFailureRecordsDown(t *testing.T) {
 }
 
 func TestScrapeSuccessiveTimestamps(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{"n1": "m 1\n"}}
 	now := time.Unix(1000, 0)
 	m := &Manager{
@@ -116,7 +116,7 @@ func TestScrapeSuccessiveTimestamps(t *testing.T) {
 }
 
 func TestHonorTimestamps(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{"n1": "m 5 12345\n"}}
 	m := &Manager{
 		Dest: db, Fetcher: f, HonorTimestamps: true,
@@ -185,7 +185,7 @@ func TestHTTPFetcherNon200(t *testing.T) {
 }
 
 func TestRunScrapesOnInterval(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{"n1": "m 1\n"}}
 	m := &Manager{
 		Dest: db, Fetcher: f,
@@ -216,7 +216,7 @@ func BenchmarkScrapeParseAppend(b *testing.B) {
 		}
 	}
 	payload := sb.String()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &stringFetcher{payloads: map[string]string{"n1": payload}}
 	now := time.Unix(0, 0)
 	m := &Manager{

@@ -37,7 +37,7 @@ func (f *mutableFetcher) Fetch(context.Context, string) (io.ReadCloser, error) {
 // This is the invariant that keeps Σ per-unit power conserved under job
 // churn (the E8 experiment regressed without it).
 func TestStalenessMarkersOnSeriesDisappearance(t *testing.T) {
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	f := &mutableFetcher{payload: "job_cpu{uuid=\"1\"} 10\njob_cpu{uuid=\"2\"} 20\n"}
 	now := time.Unix(1000, 0)
 	m := &Manager{
@@ -99,7 +99,7 @@ func TestStaleNaNDistinctFromNaN(t *testing.T) {
 		t.Error("ordinary NaN misdetected as stale")
 	}
 	// The marker survives the TSDB round trip.
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "m")
 	db.Append(ls, 1000, 5)
 	db.Append(ls, 2000, model.StaleNaN())

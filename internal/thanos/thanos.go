@@ -248,7 +248,7 @@ func (s *Store) Downsample(before int64, resolution time.Duration) (int, error) 
 func downsampleBlock(b *tsdb.Block, resMs int64) (*tsdb.Block, error) {
 	matchAll := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
 	series := b.Select(b.MinTime, b.MaxTime, matchAll)
-	agg := tsdb.Open(tsdb.DefaultOptions())
+	agg := tsdb.MustOpen(tsdb.DefaultOptions())
 	for _, sr := range series {
 		var bucketStart int64 = -1 << 62
 		var sum float64

@@ -11,7 +11,7 @@ import (
 
 func seedDB(t *testing.T, nSeries, nSamples int, startMs int64) *tsdb.DB {
 	t.Helper()
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	for i := 0; i < nSeries; i++ {
 		ls := labels.FromStrings(labels.MetricName, "m", "s", fmt.Sprintf("%d", i))
 		for j := 0; j < nSamples; j++ {
@@ -89,7 +89,7 @@ func TestOverlappingBlocksDeduplicated(t *testing.T) {
 
 func TestEmptyBlockDropped(t *testing.T) {
 	store, _ := NewStore("")
-	db := tsdb.Open(tsdb.DefaultOptions())
+	db := tsdb.MustOpen(tsdb.DefaultOptions())
 	blk, _ := db.CutBlock(0, 1000)
 	if err := store.Upload(blk); err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestDownsample(t *testing.T) {
 }
 
 func BenchmarkStoreSelect(b *testing.B) {
-	src := tsdb.Open(tsdb.DefaultOptions())
+	src := tsdb.MustOpen(tsdb.DefaultOptions())
 	for i := 0; i < 100; i++ {
 		ls := labels.FromStrings(labels.MetricName, "m", "s", fmt.Sprintf("%d", i))
 		for j := 0; j < 500; j++ {
@@ -226,7 +226,7 @@ func TestQuerierLabelStore(t *testing.T) {
 	if err := store.Upload(blk); err != nil {
 		t.Fatal(err)
 	}
-	hot := tsdb.Open(tsdb.DefaultOptions())
+	hot := tsdb.MustOpen(tsdb.DefaultOptions())
 	if err := hot.Append(labels.FromStrings(labels.MetricName, "m", "s", "9", "zone", "hot"), 5000, 1); err != nil {
 		t.Fatal(err)
 	}

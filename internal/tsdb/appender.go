@@ -50,15 +50,30 @@ func (a *Appender) Pending() int { return a.count }
 // samples are skipped (the scrape loop's tolerance for overlapping
 // retries); any other error aborts the commit. Returns the number of
 // samples actually appended.
+//
+// With a WAL-backed head, each shard's accepted samples (plus registrations
+// for series seen for the first time) are journalled as one buffered write
+// and one flush per shard per commit — the durability cost of a scrape is
+// O(shards touched), not O(samples). The shard's WAL mutex is held across
+// the memory apply and the journal write so the per-series log order always
+// matches the apply order.
 func (a *Appender) Commit() (int, error) {
 	appended := 0
 	var firstErr error
+	var walSamples []walSampleRec
+	var walSeries []walSeriesRec
 	for i, batch := range a.byShard {
 		if len(batch) == 0 {
 			continue
 		}
 		sh := a.db.shards[i]
 		series := sh.resolveBatch(batch)
+		w := sh.wal
+		if w != nil {
+			w.mu.Lock()
+			walSamples = walSamples[:0]
+			walSeries = walSeries[:0]
+		}
 		mint := int64(1) << 62
 		maxt := -(int64(1) << 62)
 		n := uint64(0)
@@ -76,6 +91,16 @@ func (a *Appender) Commit() (int, error) {
 				}
 				break
 			}
+			if w != nil && !s.dropped {
+				// A series detached by DeleteSeries/Truncate between our
+				// resolveBatch and this commit must not be journalled, or
+				// replay would resurrect it.
+				ref, isNew := w.refForLocked(s)
+				if isNew {
+					walSeries = append(walSeries, walSeriesRec{ref: ref, lset: s.lset})
+				}
+				walSamples = append(walSamples, walSampleRec{ref: ref, t: p.t, v: p.v})
+			}
 			if p.t < mint {
 				mint = p.t
 			}
@@ -83,6 +108,12 @@ func (a *Appender) Commit() (int, error) {
 				maxt = p.t
 			}
 			n++
+		}
+		if w != nil {
+			if err := w.logLocked(walSeries, walSamples, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			w.mu.Unlock()
 		}
 		if n > 0 {
 			sh.noteAppend(mint, maxt, n)

@@ -14,7 +14,7 @@ func hintsTestDB(t *testing.T) *DB {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.Shards = 8
-	db := Open(opts)
+	db := MustOpen(opts)
 	for s := 0; s < 20; s++ {
 		ls := labels.FromStrings(labels.MetricName, "hint_metric",
 			"instance", fmt.Sprintf("n%02d", s))

@@ -155,6 +155,10 @@ type Stats struct {
 	NumLabelNames int
 	BytesInChunks int
 	NumShards     int
+	// WAL summarizes the head's journals — replay outcome (segments,
+	// records, torn-tail repairs, duration) and writer activity since Open.
+	// Nil for memory-only heads.
+	WAL *WALStats
 }
 
 // Stats returns a snapshot of database statistics, aggregated across shards
@@ -178,5 +182,8 @@ func (db *DB) Stats() Stats {
 		st.NumSamples += sh.appended.Load()
 	}
 	st.MinTime, st.MaxTime = db.timeBounds()
+	if ws, ok := db.WALStats(); ok {
+		st.WAL = &ws
+	}
 	return st
 }

@@ -25,6 +25,10 @@ type headShard struct {
 	minTime  atomic.Int64 // smallest timestamp currently retained (approx)
 	maxTime  atomic.Int64 // largest appended timestamp
 	appended atomic.Uint64
+
+	// wal is the shard's journal; nil for memory-only heads. Set once by
+	// Open before the DB is shared, never mutated afterwards.
+	wal *shardWAL
 }
 
 func newHeadShard() *headShard {
@@ -269,12 +273,14 @@ func (sh *headShard) truncate(mint int64) int {
 	return removed
 }
 
-// deleteSeries removes the shard's series matching ms, returning the count.
-func (sh *headShard) deleteSeries(ms []*labels.Matcher) int {
+// deleteSeries removes the shard's series matching ms, returning the count
+// and the removed series (so the caller can journal tombstones).
+func (sh *headShard) deleteSeries(ms []*labels.Matcher) (int, []*memSeries) {
 	refs := sh.selectRefs(ms)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n := 0
+	var gone []*memSeries
 	for ref := range refs {
 		s, ok := sh.byRef[ref]
 		if !ok {
@@ -294,13 +300,16 @@ func (sh *headShard) deleteSeries(ms []*labels.Matcher) int {
 			sh.series[h] = keep
 		}
 		sh.dropSeriesLocked(s)
+		gone = append(gone, s)
 		n++
 	}
-	return n
+	return n, gone
 }
 
-// dropSeriesLocked removes s from byRef and postings. Caller holds sh.mu.
+// dropSeriesLocked removes s from byRef and postings. Caller holds sh.mu
+// (and the shard WAL mutex, when one exists).
 func (sh *headShard) dropSeriesLocked(s *memSeries) {
+	s.dropped = true
 	delete(sh.byRef, s.ref)
 	for _, l := range s.lset {
 		if vm, ok := sh.postings[l.Name]; ok {

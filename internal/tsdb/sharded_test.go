@@ -15,12 +15,12 @@ func TestShardCountRounding(t *testing.T) {
 	for _, tc := range []struct{ want, give int }{
 		{1, 1}, {2, 2}, {4, 3}, {8, 5}, {16, 16}, {32, 17},
 	} {
-		db := Open(Options{Shards: tc.give})
+		db := MustOpen(Options{Shards: tc.give})
 		if got := db.NumShards(); got != tc.want {
 			t.Errorf("Shards=%d: got %d shards, want %d", tc.give, got, tc.want)
 		}
 	}
-	if db := Open(Options{}); db.NumShards()&(db.NumShards()-1) != 0 {
+	if db := MustOpen(Options{}); db.NumShards()&(db.NumShards()-1) != 0 {
 		t.Errorf("default shard count %d not a power of two", db.NumShards())
 	}
 }
@@ -34,8 +34,8 @@ func TestShardEquivalence(t *testing.T) {
 	opts1.MaxSamplesPerChunk = 7 // force chunk rollovers
 	opts16 := opts1
 	opts16.Shards = 16
-	db1 := Open(opts1)
-	db16 := Open(opts16)
+	db1 := MustOpen(opts1)
+	db16 := MustOpen(opts16)
 
 	rng := rand.New(rand.NewSource(42))
 	for s := 0; s < 200; s++ {
@@ -113,7 +113,7 @@ func TestShardedStress(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxSamplesPerChunk = 9
 	opts.Shards = 8 // explicit: don't degrade to 1 shard on 1-core hosts
-	db := Open(opts)
+	db := MustOpen(opts)
 	const (
 		appenders   = 8
 		seriesEach  = 25
@@ -216,7 +216,7 @@ func TestShardedStress(t *testing.T) {
 }
 
 func TestAppenderBatch(t *testing.T) {
-	db := Open(Options{Shards: 4})
+	db := MustOpen(Options{Shards: 4})
 	app := db.Appender()
 	for s := 0; s < 10; s++ {
 		ls := labels.FromStrings(labels.MetricName, "m", "s", fmt.Sprintf("%d", s))
@@ -252,8 +252,8 @@ func TestAppenderBatch(t *testing.T) {
 // Appends through the batch Appender and direct Append must be
 // indistinguishable to queries.
 func TestAppenderEquivalence(t *testing.T) {
-	direct := Open(Options{Shards: 8})
-	batched := Open(Options{Shards: 8})
+	direct := MustOpen(Options{Shards: 8})
+	batched := MustOpen(Options{Shards: 8})
 	app := batched.Appender()
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 50; i++ {
@@ -280,7 +280,7 @@ func TestAppenderEquivalence(t *testing.T) {
 }
 
 func TestAppendSeriesBatching(t *testing.T) {
-	db := Open(Options{Shards: 4})
+	db := MustOpen(Options{Shards: 4})
 	ls := labels.FromStrings(labels.MetricName, "m")
 	samples := make([]model.Sample, 500)
 	for i := range samples {

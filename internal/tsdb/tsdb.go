@@ -48,6 +48,14 @@ type Options struct {
 	// power of two; 0 picks GOMAXPROCS rounded up. 1 yields the old
 	// single-lock behavior (useful for equivalence testing).
 	Shards int
+	// WALDir, when non-empty, makes the head durable: every shard journals
+	// its appends to a segmented write-ahead log under this directory and
+	// Open replays existing journals in parallel before returning (see
+	// wal.go / walreplay.go). Empty keeps the head memory-only.
+	WALDir string
+	// WALSegmentSize rotates WAL segments at this many bytes; 0 picks
+	// DefaultWALSegmentSize.
+	WALSegmentSize int64
 }
 
 // DefaultOptions returns production-like defaults (15 days retention).
@@ -55,17 +63,31 @@ func DefaultOptions() Options {
 	return Options{MaxSamplesPerChunk: 120, RetentionMillis: 15 * 24 * 3600 * 1000}
 }
 
-// DB is the in-memory time-series database. All methods are safe for
-// concurrent use.
+// DB is the in-memory time-series database, optionally backed by a
+// per-shard write-ahead log. All methods are safe for concurrent use.
 type DB struct {
 	opts   Options
 	shards []*headShard
 	mask   uint64
+
+	walReplay WALReplayStats
+	walErrMu  sync.Mutex
+	walErr    error
 }
 
 type memSeries struct {
 	ref  uint64
 	lset labels.Labels
+	// walRef is the series' ref in its shard's WAL (0 = not yet journalled).
+	// Guarded by the shard WAL's mutex, not s.mu: every WAL writer holds it,
+	// and replay finishes before writers exist.
+	walRef uint64
+	// dropped marks a series detached from its shard (DeleteSeries or
+	// retention pruning). Journal paths check it so a writer that resolved
+	// the series before a racing removal cannot journal records that would
+	// resurrect it on replay. Set under the shard lock — with the shard WAL
+	// mutex also held whenever a WAL exists — and read under the WAL mutex.
+	dropped bool
 
 	mu      sync.Mutex
 	chunks  []*chunkRange
@@ -90,8 +112,12 @@ func nextPow2(n int) int {
 	return p
 }
 
-// Open creates a DB with the given options.
-func Open(opts Options) *DB {
+// Open creates a DB with the given options. With Options.WALDir set it
+// replays any existing shard journals in parallel (rebuilding series,
+// postings and samples, repairing torn tails) and attaches a writer to
+// every shard before returning; WALReplayStats on Stats/WALStats describe
+// what was recovered.
+func Open(opts Options) (*DB, error) {
 	if opts.MaxSamplesPerChunk <= 0 {
 		opts.MaxSamplesPerChunk = 120
 	}
@@ -112,6 +138,22 @@ func Open(opts Options) *DB {
 	for i := range db.shards {
 		db.shards[i] = newHeadShard()
 	}
+	if opts.WALDir != "" {
+		if err := db.openWAL(); err != nil {
+			return nil, fmt.Errorf("tsdb: open wal: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// MustOpen is Open for callers that cannot fail — memory-only heads in
+// tests and examples. It panics on error, which a WALDir-less Open never
+// returns.
+func MustOpen(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
 	return db
 }
 
@@ -129,14 +171,37 @@ func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
 	h := lset.Hash()
 	sh := db.shardFor(h)
 	s := sh.getOrCreate(h, lset)
+	w := sh.wal
+	if w != nil {
+		// The WAL mutex spans the memory apply and the journal write so the
+		// log order per series matches the apply order under concurrency.
+		w.mu.Lock()
+	}
 	s.mu.Lock()
 	err := s.appendLocked(t, v, db.opts.MaxSamplesPerChunk)
 	s.mu.Unlock()
 	if err != nil {
+		if w != nil {
+			w.mu.Unlock()
+		}
 		return err
 	}
+	var lerr error
+	if w != nil {
+		if !s.dropped {
+			var newSeries []walSeriesRec
+			ref, isNew := w.refForLocked(s)
+			if isNew {
+				newSeries = []walSeriesRec{{ref: ref, lset: s.lset}}
+			}
+			lerr = w.logLocked(newSeries, []walSampleRec{{ref: ref, t: t, v: v}}, nil)
+		}
+		w.mu.Unlock()
+	}
+	// The sample is in the head either way, so the time bounds must reflect
+	// it; a WAL write error only means it may not survive a restart.
 	sh.noteAppend(t, t, 1)
-	return nil
+	return lerr
 }
 
 // AppendSeries appends a batch of samples of one series, resolving the
@@ -148,6 +213,10 @@ func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
 	h := lset.Hash()
 	sh := db.shardFor(h)
 	s := sh.getOrCreate(h, lset)
+	w := sh.wal
+	if w != nil {
+		w.mu.Lock()
+	}
 	s.mu.Lock()
 	appended := 0
 	var err error
@@ -158,6 +227,25 @@ func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
 		appended++
 	}
 	s.mu.Unlock()
+	if w != nil {
+		var lerr error
+		if appended > 0 && !s.dropped {
+			var newSeries []walSeriesRec
+			ref, isNew := w.refForLocked(s)
+			if isNew {
+				newSeries = []walSeriesRec{{ref: ref, lset: s.lset}}
+			}
+			recs := make([]walSampleRec, appended)
+			for i := 0; i < appended; i++ {
+				recs[i] = walSampleRec{ref: ref, t: samples[i].T, v: samples[i].V}
+			}
+			lerr = w.logLocked(newSeries, recs, nil)
+		}
+		w.mu.Unlock()
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+	}
 	if appended > 0 {
 		sh.noteAppend(samples[0].T, samples[appended-1].T, uint64(appended))
 	}
@@ -220,17 +308,55 @@ func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 
 // Truncate drops all full chunks whose data lies entirely before mint and
 // removes series that have no chunks and have been silent since before mint.
-// Each shard prunes independently. It returns the number of series removed.
+// Each shard prunes independently. When the head is WAL-backed, each shard
+// is checkpointed after pruning — the post-truncate state is snapshotted and
+// the pre-checkpoint segments dropped — so the journal stays bounded by head
+// size. Checkpoint errors are recorded and surfaced via WALErr. It returns
+// the number of series removed.
 func (db *DB) Truncate(mint int64) int {
 	removed := make([]int, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
-		removed[i] = sh.truncate(mint)
+		if sh.wal != nil {
+			// Pruning detaches series; hold the WAL mutex across it so no
+			// in-flight commit can journal a just-detached series (it sees
+			// s.dropped instead) — replay must never resurrect one.
+			sh.wal.mu.Lock()
+			removed[i] = sh.truncate(mint)
+			sh.wal.mu.Unlock()
+			db.noteWALErr(sh.wal.checkpoint(sh))
+		} else {
+			removed[i] = sh.truncate(mint)
+		}
 	})
 	total := 0
 	for _, n := range removed {
 		total += n
 	}
 	return total
+}
+
+// CheckpointWAL forces a checkpoint of every shard journal immediately:
+// each shard's retained state is snapshotted (fsynced before any segment is
+// unlinked) and its older segments dropped. It is what Truncate runs
+// implicitly; exposed for callers that want durability compaction without
+// pruning, e.g. after CutBlock has persisted a block. No-op without a WAL.
+func (db *DB) CheckpointWAL() error {
+	if db.opts.WALDir == "" {
+		return nil
+	}
+	errs := make([]error, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		if sh.wal != nil {
+			errs[i] = sh.wal.checkpoint(sh)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			db.noteWALErr(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // DeleteSeries removes every series matching the matchers entirely,
@@ -240,7 +366,30 @@ func (db *DB) Truncate(mint int64) int {
 func (db *DB) DeleteSeries(ms ...*labels.Matcher) int {
 	deleted := make([]int, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
-		deleted[i] = sh.deleteSeries(ms)
+		w := sh.wal
+		if w == nil {
+			deleted[i], _ = sh.deleteSeries(ms)
+			return
+		}
+		// Delete and tombstone under one WAL mutex hold: a concurrent commit
+		// is either fully journalled before (tombstone logged after its
+		// records wins on replay) or runs after and sees s.dropped — either
+		// way replay converges to the live head.
+		w.mu.Lock()
+		var gone []*memSeries
+		deleted[i], gone = sh.deleteSeries(ms)
+		refs := make([]uint64, 0, len(gone))
+		for _, s := range gone {
+			if s.walRef != 0 {
+				refs = append(refs, s.walRef)
+			}
+		}
+		var err error
+		if len(refs) > 0 {
+			err = w.logLocked(nil, nil, refs)
+		}
+		w.mu.Unlock()
+		db.noteWALErr(err)
 	})
 	total := 0
 	for _, n := range deleted {

@@ -24,7 +24,7 @@ func mustAppend(t *testing.T, db *DB, lset labels.Labels, samples ...model.Sampl
 }
 
 func TestAppendSelect(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "up", "instance", "n1")
 	mustAppend(t, db, ls, model.Sample{T: 1000, V: 1}, model.Sample{T: 2000, V: 0})
 
@@ -42,7 +42,7 @@ func TestAppendSelect(t *testing.T) {
 }
 
 func TestSelectTimeRange(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "m")
 	for i := int64(0); i < 10; i++ {
 		mustAppend(t, db, ls, model.Sample{T: i * 1000, V: float64(i)})
@@ -62,7 +62,7 @@ func TestSelectTimeRange(t *testing.T) {
 }
 
 func TestOutOfOrderRejected(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "m")
 	mustAppend(t, db, ls, model.Sample{T: 1000, V: 1})
 	if err := db.Append(ls, 1000, 2); !errors.Is(err, ErrOutOfOrder) {
@@ -74,7 +74,7 @@ func TestOutOfOrderRejected(t *testing.T) {
 }
 
 func TestMatcherSelection(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	for i := 0; i < 10; i++ {
 		ls := labels.FromStrings(labels.MetricName, "cpu", "node", fmt.Sprintf("n%d", i), "dc", map[bool]string{true: "a", false: "b"}[i%2 == 0])
 		mustAppend(t, db, ls, model.Sample{T: 1000, V: float64(i)})
@@ -109,14 +109,14 @@ func TestMatcherSelection(t *testing.T) {
 }
 
 func TestSelectRequiresMatcher(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	if _, err := db.Select(0, 1); err == nil {
 		t.Error("expected error with no matchers")
 	}
 }
 
 func TestLabelValuesNames(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m", "a", "2"), model.Sample{T: 1, V: 1})
 	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m", "a", "1"), model.Sample{T: 1, V: 1})
 	if got := db.LabelValues("a"); !reflect.DeepEqual(got, []string{"1", "2"}) {
@@ -130,7 +130,7 @@ func TestLabelValuesNames(t *testing.T) {
 func TestChunkRollover(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxSamplesPerChunk = 10
-	db := Open(opts)
+	db := MustOpen(opts)
 	ls := labels.FromStrings(labels.MetricName, "m")
 	for i := int64(0); i < 55; i++ {
 		mustAppend(t, db, ls, model.Sample{T: i, V: float64(i)})
@@ -149,7 +149,7 @@ func TestChunkRollover(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxSamplesPerChunk = 5
-	db := Open(opts)
+	db := MustOpen(opts)
 	old := labels.FromStrings(labels.MetricName, "old")
 	live := labels.FromStrings(labels.MetricName, "live")
 	for i := int64(0); i < 20; i++ {
@@ -176,7 +176,7 @@ func TestTruncate(t *testing.T) {
 }
 
 func TestDeleteSeries(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	for i := 0; i < 10; i++ {
 		ls := labels.FromStrings(labels.MetricName, "job_cpu", "jobid", fmt.Sprintf("%d", i))
 		mustAppend(t, db, ls, model.Sample{T: 1000, V: 1})
@@ -199,7 +199,7 @@ func TestDeleteSeries(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	ls := labels.FromStrings(labels.MetricName, "m")
 	mustAppend(t, db, ls, model.Sample{T: 5, V: 1}, model.Sample{T: 10, V: 2})
 	st := db.Stats()
@@ -209,14 +209,14 @@ func TestStats(t *testing.T) {
 	if _, ok := db.MinTime(); !ok {
 		t.Error("MinTime should be available")
 	}
-	empty := Open(DefaultOptions())
+	empty := MustOpen(DefaultOptions())
 	if _, ok := empty.MinTime(); ok {
 		t.Error("empty DB should have no MinTime")
 	}
 }
 
 func TestConcurrentAppend(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	var wg sync.WaitGroup
 	const goroutines = 8
 	const samplesEach = 500
@@ -241,7 +241,7 @@ func TestConcurrentAppend(t *testing.T) {
 }
 
 func TestCutBlockAndReadBack(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	for i := 0; i < 5; i++ {
 		ls := labels.FromStrings(labels.MetricName, "m", "i", fmt.Sprintf("%d", i))
 		for j := int64(0); j < 100; j++ {
@@ -288,7 +288,7 @@ func TestReadBlockFileErrors(t *testing.T) {
 }
 
 func TestCutBlockEmptyRange(t *testing.T) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	mustAppend(t, db, labels.FromStrings(labels.MetricName, "m"), model.Sample{T: 1, V: 1})
 	blk, err := db.CutBlock(1000, 2000)
 	if err != nil {
@@ -306,7 +306,7 @@ func TestAppendSelectProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		opts := DefaultOptions()
 		opts.MaxSamplesPerChunk = int(chunkSize%50) + 2
-		db := Open(opts)
+		db := MustOpen(opts)
 		ns := int(nSeries%8) + 1
 		want := map[string][]model.Sample{}
 		for i := 0; i < ns; i++ {
@@ -352,7 +352,7 @@ func TestBlockRoundTripProperty(t *testing.T) {
 	dir := t.TempDir()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		db := Open(DefaultOptions())
+		db := MustOpen(DefaultOptions())
 		for i := 0; i < 3; i++ {
 			ls := labels.FromStrings(labels.MetricName, "m", "i", fmt.Sprintf("%d", i))
 			tcur := int64(0)
@@ -383,7 +383,7 @@ func TestBlockRoundTripProperty(t *testing.T) {
 }
 
 func BenchmarkAppend(b *testing.B) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	ls := make([]labels.Labels, 100)
 	for i := range ls {
 		ls[i] = labels.FromStrings(labels.MetricName, "m", "series", fmt.Sprintf("%d", i))
@@ -396,7 +396,7 @@ func BenchmarkAppend(b *testing.B) {
 }
 
 func BenchmarkSelect(b *testing.B) {
-	db := Open(DefaultOptions())
+	db := MustOpen(DefaultOptions())
 	for i := 0; i < 1000; i++ {
 		ls := labels.FromStrings(labels.MetricName, "m", "series", fmt.Sprintf("%d", i))
 		for j := int64(0); j < 100; j++ {

@@ -1,0 +1,470 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/labels"
+)
+
+// Per-shard write-ahead log.
+//
+// Each head shard journals its own appends to an independent segmented WAL
+// under <WALDir>/shard-<i>/, mirroring how the shard owns its series map and
+// postings: the hot path takes the shard's WAL mutex and nothing else, so
+// durability adds no cross-shard locks. A batch Appender commit produces one
+// buffered write + flush per shard per scrape.
+//
+// On-disk format (all integers little-endian unless varint):
+//
+//	record  := type(1) | payloadLen(uint32) | crc32c(payload)(uint32) | payload
+//	series  := count uvarint, then per series:
+//	           ref uvarint, nLabels uvarint, {len uvarint + name bytes,
+//	           len uvarint + value bytes} per label
+//	samples := count uvarint, then per sample:
+//	           ref uvarint, t varint, value float64 bits (8 bytes)
+//	deletes := count uvarint, then ref uvarint per deleted series
+//
+// Segments are numbered 00000001.wal, 00000002.wal, ... and rotate at
+// Options.WALSegmentSize. A checkpoint (run per shard by Truncate) writes
+// checkpoint.snap — a full snapshot of the shard's retained series and
+// samples in the same record format — fsyncs it into place, and then drops
+// every segment that predates it, so the WAL stays bounded by head size.
+//
+// Replay (walreplay.go) tolerates a torn final record per file: the file is
+// truncated back to the last whole record and recovery continues, exactly
+// like Prometheus's WAL repair.
+
+const (
+	walRecSeries  byte = 1
+	walRecSamples byte = 2
+	walRecDeletes byte = 3
+
+	// walHeaderSize is type + payload length + payload CRC.
+	walHeaderSize = 1 + 4 + 4
+
+	// walMaxPayload is the decoder's sanity bound on a record payload; a
+	// longer length is treated as corruption, not an allocation request.
+	walMaxPayload = 1 << 30
+
+	walMetaFile       = "wal-meta.json"
+	walCheckpointFile = "checkpoint.snap"
+
+	// DefaultWALSegmentSize rotates segments at 4 MiB, small enough that
+	// checkpoints delete files promptly and large enough to amortize file
+	// creation.
+	DefaultWALSegmentSize = 4 << 20
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// walSeriesRec is one series registration: a shard-local WAL ref bound to a
+// label set. Samples reference the ref, never the labels.
+type walSeriesRec struct {
+	ref  uint64
+	lset labels.Labels
+}
+
+// walSampleRec is one journalled sample.
+type walSampleRec struct {
+	ref uint64
+	t   int64
+	v   float64
+}
+
+// shardWAL is the journal of one head shard. Its mutex serializes every
+// append to the shard's memory AND the matching WAL write, so the log order
+// per series always matches the in-memory apply order — replay cannot be
+// tricked into out-of-order skips by concurrent writers.
+type shardWAL struct {
+	mu       sync.Mutex
+	dir      string
+	segLimit int64
+
+	f        *os.File
+	bw       *bufio.Writer
+	segIndex int   // index of the open segment
+	firstSeg int   // oldest segment still on disk
+	segBytes int64 // bytes written to the open segment
+	nextRef  uint64
+	buf      []byte // scratch encode buffer, reused across commits
+
+	records     atomic.Uint64 // records written since open
+	checkpoints atomic.Uint64
+}
+
+func walShardDir(walDir string, shard int) string {
+	return filepath.Join(walDir, fmt.Sprintf("shard-%04d", shard))
+}
+
+func walSegName(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.wal", index))
+}
+
+// openShardWAL creates (or continues) the journal of one shard, opening a
+// fresh segment with the given index. Replay always hands over a new
+// segment index so a possibly-repaired tail file is never appended to.
+func openShardWAL(dir string, segLimit int64, segIndex, firstSeg int, nextRef uint64) (*shardWAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if segLimit <= 0 {
+		segLimit = DefaultWALSegmentSize
+	}
+	w := &shardWAL{dir: dir, segLimit: segLimit, segIndex: segIndex, firstSeg: firstSeg, nextRef: nextRef}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *shardWAL) openSegmentLocked() error {
+	f, err := os.OpenFile(walSegName(w.dir, w.segIndex), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64*1024)
+	w.segBytes = 0
+	return nil
+}
+
+// refForLocked returns the series' WAL ref, assigning one on first use.
+// walRef is guarded by the shard WAL mutex: every writer holds it, and
+// replay runs before any writer exists.
+func (w *shardWAL) refForLocked(s *memSeries) (ref uint64, isNew bool) {
+	if s.walRef != 0 {
+		return s.walRef, false
+	}
+	w.nextRef++
+	s.walRef = w.nextRef
+	return s.walRef, true
+}
+
+// appendFramed frames one record onto dst: it reserves the header, lets enc
+// append the payload in place, then backfills length and CRC — no payload
+// staging buffer, no copy.
+func appendFramed(dst []byte, typ byte, enc func([]byte) []byte) []byte {
+	start := len(dst)
+	dst = append(dst, typ, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = enc(dst)
+	payload := dst[start+walHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start+1:start+5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+5:start+9], crc32.Checksum(payload, walCRC))
+	return dst
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+func encodeSeriesPayload(dst []byte, recs []walSeriesRec) []byte {
+	dst = appendUvarint(dst, uint64(len(recs)))
+	for _, r := range recs {
+		dst = appendUvarint(dst, r.ref)
+		dst = appendUvarint(dst, uint64(len(r.lset)))
+		for _, l := range r.lset {
+			dst = appendUvarint(dst, uint64(len(l.Name)))
+			dst = append(dst, l.Name...)
+			dst = appendUvarint(dst, uint64(len(l.Value)))
+			dst = append(dst, l.Value...)
+		}
+	}
+	return dst
+}
+
+func encodeSamplesPayload(dst []byte, recs []walSampleRec) []byte {
+	dst = appendUvarint(dst, uint64(len(recs)))
+	for _, r := range recs {
+		dst = appendUvarint(dst, r.ref)
+		dst = appendVarint(dst, r.t)
+		var vb [8]byte
+		binary.LittleEndian.PutUint64(vb[:], math.Float64bits(r.v))
+		dst = append(dst, vb[:]...)
+	}
+	return dst
+}
+
+func encodeDeletesPayload(dst []byte, refs []uint64) []byte {
+	dst = appendUvarint(dst, uint64(len(refs)))
+	for _, r := range refs {
+		dst = appendUvarint(dst, r)
+	}
+	return dst
+}
+
+// logLocked journals one commit's worth of records — new series first, then
+// samples, then deletes — as one buffered write followed by one flush. The
+// caller holds w.mu.
+func (w *shardWAL) logLocked(series []walSeriesRec, samples []walSampleRec, deletes []uint64) error {
+	w.buf = w.buf[:0]
+	nrec := uint64(0)
+	if len(series) > 0 {
+		w.buf = appendFramed(w.buf, walRecSeries, func(b []byte) []byte { return encodeSeriesPayload(b, series) })
+		nrec++
+	}
+	if len(samples) > 0 {
+		w.buf = appendFramed(w.buf, walRecSamples, func(b []byte) []byte { return encodeSamplesPayload(b, samples) })
+		nrec++
+	}
+	if len(deletes) > 0 {
+		w.buf = appendFramed(w.buf, walRecDeletes, func(b []byte) []byte { return encodeDeletesPayload(b, deletes) })
+		nrec++
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if w.f == nil {
+		// A previous rotation closed the old segment but failed to open the
+		// next one (e.g. transient ENOSPC); retry here instead of writing
+		// through a nil writer.
+		if err := w.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if w.segBytes >= w.segLimit {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("tsdb: wal append: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("tsdb: wal flush: %w", err)
+	}
+	w.segBytes += int64(len(w.buf))
+	w.records.Add(nrec)
+	return nil
+}
+
+// rotateLocked closes the current segment (flushed and fsynced — a closed
+// segment is durable) and opens the next one.
+func (w *shardWAL) rotateLocked() error {
+	if err := w.closeSegmentLocked(); err != nil {
+		return err
+	}
+	w.segIndex++
+	return w.openSegmentLocked()
+}
+
+func (w *shardWAL) closeSegmentLocked() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	err := w.f.Close()
+	w.f, w.bw = nil, nil
+	return err
+}
+
+// Close flushes and fsyncs the open segment.
+func (w *shardWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closeSegmentLocked()
+}
+
+// checkpoint makes the shard's current retained state durable and bounded:
+// it rotates the open segment, writes a full snapshot of the shard (series
+// registrations plus every retained sample, in normal record format) to
+// checkpoint.snap via tmp + fsync + rename + directory sync, and only then
+// deletes all segments that predate the rotation. A crash at any point
+// leaves either the old segments or the complete new snapshot on disk —
+// never neither — so acknowledged writes survive any interleaving.
+//
+// Commits to this shard block for the duration (they take w.mu); other
+// shards are unaffected.
+func (w *shardWAL) checkpoint(sh *headShard) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	// Rotate first: everything committed before this point lives in
+	// segments [firstSeg, old], everything after goes to the new segment.
+	// The snapshot below captures at least the pre-rotation state; samples
+	// that race in after rotation appear in both the snapshot and the new
+	// segment, and replay deduplicates them via the out-of-order skip.
+	if err := w.rotateLocked(); err != nil {
+		return err
+	}
+	oldLast := w.segIndex - 1
+
+	snap, err := w.encodeSnapshotLocked(sh)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(w.dir, walCheckpointFile)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// The snapshot must be on stable storage before the rename publishes it
+	// and before any segment it replaces is unlinked.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	for i := w.firstSeg; i <= oldLast; i++ {
+		if err := os.Remove(walSegName(w.dir, i)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	w.firstSeg = w.segIndex
+	w.checkpoints.Add(1)
+	return nil
+}
+
+// encodeSnapshotLocked serializes the shard's full retained state. The
+// caller holds w.mu, which excludes every writer to this shard, so the
+// series/sample view is coherent with the rotated-away segments.
+func (w *shardWAL) encodeSnapshotLocked(sh *headShard) ([]byte, error) {
+	return encodeShardSnapshot(sh, func(s *memSeries) uint64 {
+		ref, _ := w.refForLocked(s)
+		return ref
+	}), nil
+}
+
+// encodeShardSnapshot serializes every series and retained sample of a
+// shard in normal record format; refFor supplies (or assigns) the WAL ref
+// per series. Callers must exclude concurrent WAL writers to the shard.
+func encodeShardSnapshot(sh *headShard, refFor func(*memSeries) uint64) []byte {
+	sh.mu.RLock()
+	series := make([]*memSeries, 0, len(sh.byRef))
+	for _, s := range sh.byRef {
+		series = append(series, s)
+	}
+	sh.mu.RUnlock()
+
+	var out []byte
+	srecs := make([]walSeriesRec, 0, len(series))
+	for _, s := range series {
+		srecs = append(srecs, walSeriesRec{ref: refFor(s), lset: s.lset})
+	}
+	if len(srecs) > 0 {
+		out = appendFramed(out, walRecSeries, func(b []byte) []byte { return encodeSeriesPayload(b, srecs) })
+	}
+	// One samples record per series keeps record payloads proportional to a
+	// single series, not the whole shard.
+	for _, s := range series {
+		samples := s.samplesBetween(-(int64(1) << 62), int64(1)<<62)
+		if len(samples) == 0 {
+			continue
+		}
+		recs := make([]walSampleRec, len(samples))
+		for i, smp := range samples {
+			recs[i] = walSampleRec{ref: s.walRef, t: smp.T, v: smp.V}
+		}
+		out = appendFramed(out, walRecSamples, func(b []byte) []byte { return encodeSamplesPayload(b, recs) })
+	}
+	return out
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALStats is the live summary of the head's journals.
+type WALStats struct {
+	// Replay describes the recovery performed by Open; zero-valued when the
+	// WAL directory was empty.
+	Replay WALReplayStats
+	// Records and Checkpoints count writer activity since Open.
+	Records     uint64
+	Checkpoints uint64
+}
+
+// WALStats reports WAL activity; ok is false when the head runs without a
+// WAL.
+func (db *DB) WALStats() (WALStats, bool) {
+	if db.opts.WALDir == "" {
+		return WALStats{}, false
+	}
+	st := WALStats{Replay: db.walReplay}
+	for _, sh := range db.shards {
+		if sh.wal != nil {
+			st.Records += sh.wal.records.Load()
+			st.Checkpoints += sh.wal.checkpoints.Load()
+		}
+	}
+	return st, true
+}
+
+// WALErr returns the first WAL write or checkpoint error recorded on a path
+// that cannot surface one directly (Truncate, DeleteSeries). A healthy head
+// returns nil.
+func (db *DB) WALErr() error {
+	db.walErrMu.Lock()
+	defer db.walErrMu.Unlock()
+	return db.walErr
+}
+
+func (db *DB) noteWALErr(err error) {
+	if err == nil {
+		return
+	}
+	db.walErrMu.Lock()
+	if db.walErr == nil {
+		db.walErr = err
+	}
+	db.walErrMu.Unlock()
+}
+
+// Close flushes and fsyncs every shard WAL. Memory-only heads are a no-op.
+func (db *DB) Close() error {
+	var firstErr error
+	for _, sh := range db.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if err := sh.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

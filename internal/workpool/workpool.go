@@ -9,6 +9,16 @@ import (
 	"sync/atomic"
 )
 
+// tasks counts every f(i) invocation ever dispatched through Do. It exists
+// so tests can assert that a code path really fanned out through the pool
+// (the counting-pool pattern); one atomic add per task is noise next to the
+// work each task performs.
+var tasks atomic.Uint64
+
+// Tasks returns the monotonic count of task invocations dispatched through
+// Do since process start.
+func Tasks() uint64 { return tasks.Load() }
+
 // Do invokes f(i) for every i in [0, n) from at most `workers` goroutines
 // and returns when all calls have finished. workers <= 0 means GOMAXPROCS;
 // the pool is always clamped to n. With one worker (or n == 1) f runs
@@ -17,6 +27,7 @@ func Do(n, workers int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
+	tasks.Add(uint64(n))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
