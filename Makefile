@@ -2,9 +2,9 @@
 # same bar CI enforces.
 
 GO ?= go
-RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/...
+RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/querycache/...
 
-.PHONY: build test race wal-recovery bench lint ci
+.PHONY: build test race wal-recovery querycache bench bench-querycache lint ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 # The crash/corruption harness is randomized; run it twice, under race.
 wal-recovery:
 	$(GO) test -race -count=2 -run 'WAL|Checkpoint' ./internal/tsdb/ ./internal/relstore/
+
+# Splice-correctness property test and cache concurrency, twice, under race.
+querycache:
+	$(GO) test -race -count=2 ./internal/querycache/
+
+# Real measurements for BENCH_querycache.json (slow).
+bench-querycache:
+	$(GO) test -run '^$$' -bench QueryCache -benchmem -benchtime=2s ./internal/querycache/
 
 # Full benchmark run (real measurements; slow).
 bench:
@@ -34,5 +42,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint test race wal-recovery bench-smoke
+ci: build lint test race wal-recovery querycache bench-smoke
 	@echo "ci: all green"

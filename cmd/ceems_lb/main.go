@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/lb"
+	"repro/internal/querycache"
 )
 
 func main() {
@@ -28,6 +29,9 @@ func main() {
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connection")
 		healthIv = flag.Duration("health-interval", 15*time.Second, "backend health check interval")
 		queryTmo = flag.Duration("query-timeout", 2*time.Minute, "per-query proxy deadline covering ownership check and backend round-trip (0 disables)")
+		cacheSz  = flag.Int64("cache-bytes", 32<<20, "response cache byte budget; repeat dashboard queries are served without hitting a backend (0 disables)")
+		cacheTTL = flag.Duration("cache-ttl", lb.DefaultCacheTTL, "max staleness of cached responses whose window touches the present")
+		cacheSet = flag.Duration("cache-settled-ttl", lb.DefaultCacheSettledTTL, "TTL for cached range responses whose window ended in the past")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -35,6 +39,11 @@ func main() {
 	}
 
 	balancer := &lb.LB{Strategy: lb.Strategy(*strategy), QueryTimeout: *queryTmo}
+	if *cacheSz > 0 {
+		balancer.Cache = querycache.New(querycache.Options{MaxBytes: *cacheSz})
+		balancer.CacheTTL = *cacheTTL
+		balancer.CacheSettledTTL = *cacheSet
+	}
 	for _, raw := range strings.Split(*backends, ",") {
 		b, err := lb.NewBackend(raw)
 		if err != nil {

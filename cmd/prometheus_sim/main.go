@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/promapi"
+	"repro/internal/promql"
+	"repro/internal/querycache"
 	"repro/internal/rules"
 	"repro/internal/rules/ceemsrules"
 	"repro/internal/scrape"
@@ -36,6 +38,7 @@ func main() {
 		shards   = flag.Int("tsdb-shards", 0, "TSDB head shards (power of two; 0 = GOMAXPROCS)")
 		queryTmo = flag.Duration("query-timeout", 2*time.Minute, "per-query evaluation deadline (0 disables)")
 		walDir   = flag.String("wal-dir", "", "per-shard TSDB write-ahead-log directory; restarts replay it (empty = memory-only head)")
+		cacheSz  = flag.Int64("query-cache-bytes", 64<<20, "query-result cache byte budget; repeated dashboard range queries reuse cached steps and evaluate only the new tail (0 disables)")
 	)
 	flag.Parse()
 	if *targets == "" {
@@ -77,7 +80,16 @@ func main() {
 	go rm.Run(ctx)
 
 	h := &promapi.Handler{Query: db, Timeout: *queryTmo}
-	log.Printf("prometheus_sim: scraping %s (class %s) every %v, serving %s",
-		*targets, *class, *interval, *listen)
+	if *cacheSz > 0 {
+		eng := promql.NewEngine() // the handler's implicit engine: same defaults
+		h.Cache = querycache.New(querycache.Options{
+			MaxBytes: *cacheSz,
+			Head:     db,
+			Lookback: eng.LookbackDelta,
+			MaxSteps: eng.MaxSteps,
+		})
+	}
+	log.Printf("prometheus_sim: scraping %s (class %s) every %v, serving %s (query cache %d bytes)",
+		*targets, *class, *interval, *listen, *cacheSz)
 	log.Fatal(http.ListenAndServe(*listen, h.Mux()))
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/model"
 	"repro/internal/promql"
+	"repro/internal/querycache"
 	"repro/internal/relstore"
 	"repro/internal/resourcemanager"
 	"repro/internal/rules"
@@ -261,10 +262,17 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 
 	// Load balancer over the (single, in this sim) query backend; the
 	// backend handler is installed by callers that serve HTTP. Ownership
-	// checks go straight to the API server.
+	// checks go straight to the API server. The response cache runs on the
+	// simulated clock so TTL expiry tracks simulated, not wall, time.
 	sim.LB = &lb.LB{
 		Strategy: lb.RoundRobin,
 		Checker:  &lb.APIServerChecker{Server: sim.APIServer},
+		Cache: querycache.New(querycache.Options{
+			MaxBytes: 16 << 20,
+			Clock:    func() time.Time { return sim.clock },
+		}),
+		CacheTTL: opts.ScrapeInterval,
+		CacheNow: func() time.Time { return sim.clock },
 	}
 
 	sim.Gen = NewWorkloadGen(topo.Seed, users, projects, jobsPerDay, cpuParts, gpuParts)

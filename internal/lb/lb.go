@@ -9,19 +9,22 @@
 package lb
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/labels"
 	"repro/internal/promql"
+	"repro/internal/querycache"
 )
 
 // OwnershipChecker answers whether a user may see a compute unit's
@@ -142,18 +145,45 @@ type LB struct {
 	// QueryTimeout bounds each proxied request end to end (ownership check
 	// plus backend round-trip); 0 disables.
 	QueryTimeout time.Duration
+	// Cache, when set, stores successful GET responses of the query API
+	// endpoints in the shared query-result cache (blob entries with TTL
+	// expiry — the LB proxies opaque JSON, it does not evaluate PromQL).
+	// Lookups run strictly after access control, and keys exclude the
+	// requesting user: any user authorized for a query receives the same
+	// payload a backend would return. The LB answers
+	// /api/v1/status/querycache itself with the cache's counters.
+	Cache *querycache.Cache
+	// CacheTTL bounds how long a cached response whose window touches the
+	// present may be served; 0 picks DefaultCacheTTL. It is the LB's
+	// staleness bound: unlike promapi's head-watermark invalidation, a
+	// proxy cannot observe backend append progress, so freshness decays on
+	// a clock.
+	CacheTTL time.Duration
+	// CacheSettledTTL is the TTL for range responses whose window ended
+	// more than a lookback ago — data that no longer changes; 0 picks
+	// DefaultCacheSettledTTL.
+	CacheSettledTTL time.Duration
+	// CacheNow supplies the clock for settledness decisions; nil means
+	// time.Now. The cluster simulator wires its simulated clock here.
+	CacheNow func() time.Time
 
 	rrNext atomic.Uint64
-	mu     sync.Mutex
-	denied int64
+	denied atomic.Int64
 }
 
+// Default cache TTLs: fresh windows ride the typical scrape cadence,
+// settled windows stick around for dashboard pans over old data.
+const (
+	DefaultCacheTTL        = 15 * time.Second
+	DefaultCacheSettledTTL = 10 * time.Minute
+	// settledMargin is how far behind now a range window must end to be
+	// considered settled — one Prometheus lookback, so late samples within
+	// the lookback window cannot be frozen into a long-lived entry.
+	settledMargin = 5 * time.Minute
+)
+
 // Denied returns how many queries were rejected by access control.
-func (lb *LB) Denied() int64 {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.denied
-}
+func (lb *LB) Denied() int64 { return lb.denied.Load() }
 
 // pick selects a backend per the strategy; nil when none are healthy.
 func (lb *LB) pick() *Backend {
@@ -269,8 +299,13 @@ func enumerateAlternation(pattern string) ([]string, bool) {
 	return parts, true
 }
 
-// ServeHTTP authorizes and proxies one query request.
+// ServeHTTP authorizes and proxies one query request, serving repeat
+// queries from the response cache when one is configured.
 func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if lb.Cache != nil && r.URL.Path == "/api/v1/status/querycache" {
+		lb.serveCacheStatus(w)
+		return
+	}
 	if lb.QueryTimeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), lb.QueryTimeout)
 		defer cancel()
@@ -285,12 +320,132 @@ func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if query != "" && !lb.authorize(w, r, user, query) {
 		return
 	}
+	// Cache lookup strictly after access control: a denied request never
+	// reaches here, and a cached payload is keyed only by what the backend
+	// would compute, never by who asked.
+	key, cacheable := lb.cacheKey(r)
+	if cacheable {
+		if body, ok := lb.Cache.GetBlob(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Querycache", "hit")
+			w.Write(body)
+			return
+		}
+	}
 	backend := lb.pick()
 	if backend == nil {
 		http.Error(w, "no healthy backends", http.StatusBadGateway)
 		return
 	}
-	lb.proxy(w, r, backend)
+	if !cacheable {
+		lb.proxy(w, r, backend)
+		return
+	}
+	w.Header().Set("X-Querycache", "miss")
+	cw := &captureWriter{ResponseWriter: w, limit: maxCachedBody}
+	complete := lb.proxy(cw, r, backend)
+	// Cache only fully-streamed 200s: a backend dying mid-body leaves a
+	// truncated buffer that must never be served as a hit.
+	if complete && cw.status == http.StatusOK && !cw.overflowed {
+		lb.Cache.PutBlob(key, cw.buf.Bytes(), lb.ttlFor(r))
+	}
+}
+
+// maxCachedBody bounds how large a response body the LB will buffer for
+// the cache; larger responses stream through uncached.
+const maxCachedBody = 4 << 20
+
+// cacheKey builds the cache key for a request, reporting false for
+// requests the LB does not cache (non-GET, or paths outside the query
+// API). PromQL queries are normalized so formatting variants of the same
+// panel share an entry; everything else (labels, label values) falls back
+// to the raw encoded parameters.
+func (lb *LB) cacheKey(r *http.Request) (string, bool) {
+	if lb.Cache == nil || r.Method != http.MethodGet {
+		return "", false
+	}
+	p := r.URL.Path
+	switch {
+	case strings.HasSuffix(p, "/api/v1/query"), strings.HasSuffix(p, "/api/v1/query_range"),
+		strings.HasSuffix(p, "/api/v1/labels"),
+		strings.Contains(p, "/api/v1/label/") && strings.HasSuffix(p, "/values"):
+	default:
+		return "", false
+	}
+	q := r.URL.Query()
+	if expr := q.Get("query"); expr != "" {
+		q.Set("query", querycache.NormalizeQuery(expr))
+	}
+	return p + "?" + q.Encode(), true // Encode sorts keys: stable across clients
+}
+
+// ttlFor picks the entry TTL: range windows that ended well in the past
+// are settled (long TTL); anything touching the present decays on the
+// fresh TTL so dashboard refreshes track new appends.
+func (lb *LB) ttlFor(r *http.Request) time.Duration {
+	fresh, settled := lb.CacheTTL, lb.CacheSettledTTL
+	if fresh <= 0 {
+		fresh = DefaultCacheTTL
+	}
+	if settled <= 0 {
+		settled = DefaultCacheSettledTTL
+	}
+	if !strings.HasSuffix(r.URL.Path, "/api/v1/query_range") {
+		return fresh
+	}
+	end, err := strconv.ParseFloat(r.URL.Query().Get("end"), 64)
+	if err != nil {
+		return fresh
+	}
+	now := time.Now
+	if lb.CacheNow != nil {
+		now = lb.CacheNow
+	}
+	if time.Unix(int64(end), 0).Add(settledMargin).Before(now()) {
+		return settled
+	}
+	return fresh
+}
+
+// serveCacheStatus answers /api/v1/status/querycache from the LB's own
+// cache (the same envelope promapi uses).
+func (lb *LB) serveCacheStatus(w http.ResponseWriter) {
+	st := lb.Cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "success",
+		"data":   map[string]any{"resultType": "querycache", "result": map[string]any{"enabled": true, "stats": st}},
+	})
+}
+
+// captureWriter tees a proxied response into a bounded buffer so the body
+// can be cached after it has streamed to the client.
+type captureWriter struct {
+	http.ResponseWriter
+	status     int
+	buf        bytes.Buffer
+	limit      int
+	overflowed bool
+}
+
+func (cw *captureWriter) WriteHeader(code int) {
+	cw.status = code
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *captureWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	if !cw.overflowed {
+		if cw.buf.Len()+len(p) > cw.limit {
+			cw.overflowed = true
+			cw.buf.Reset()
+		} else {
+			cw.buf.Write(p)
+		}
+	}
+	return cw.ResponseWriter.Write(p)
 }
 
 // authorize checks every uuid in the query; it writes the error response
@@ -314,9 +469,7 @@ func (lb *LB) authorize(w http.ResponseWriter, r *http.Request, user, query stri
 			return false
 		}
 		if !owns {
-			lb.mu.Lock()
-			lb.denied++
-			lb.mu.Unlock()
+			lb.denied.Add(1)
 			http.Error(w, fmt.Sprintf("user %s does not own unit %s", user, uuid), http.StatusForbidden)
 			return false
 		}
@@ -324,8 +477,9 @@ func (lb *LB) authorize(w http.ResponseWriter, r *http.Request, user, query stri
 	return true
 }
 
-// proxy forwards the request to the backend and streams the response.
-func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) {
+// proxy forwards the request to the backend and streams the response,
+// reporting whether the body was relayed to completion.
+func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
 	b.active.Add(1)
 	defer b.active.Add(-1)
 	b.served.Add(1)
@@ -345,16 +499,22 @@ func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) {
 	if err != nil {
 		b.SetHealthy(false)
 		http.Error(w, "backend error: "+err.Error(), http.StatusBadGateway)
-		return
+		return false
 	}
 	defer resp.Body.Close()
 	for k, vals := range resp.Header {
+		if k == "X-Querycache" && w.Header().Get(k) != "" {
+			// The LB already stamped its own cache outcome; don't stack the
+			// backend's on top when both layers run a cache.
+			continue
+		}
 		for _, v := range vals {
 			w.Header().Add(k, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	_, err = io.Copy(w, resp.Body)
+	return err == nil
 }
 
 func singleJoin(a, b string) string {

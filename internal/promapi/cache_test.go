@@ -1,0 +1,108 @@
+package promapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/promql"
+	"repro/internal/querycache"
+	"repro/internal/tsdb"
+)
+
+// cachedHandler builds a handler pair over one head: h serves through the
+// cache (paranoid, so every splice self-verifies), plain serves cold.
+func cachedHandler(t *testing.T) (h, plain *Handler, db *tsdb.DB) {
+	t.Helper()
+	db = tsdb.MustOpen(tsdb.DefaultOptions())
+	ls := labels.FromStrings(labels.MetricName, "up", "instance", "n1")
+	for i := int64(0); i <= 40; i++ {
+		if err := db.Append(ls, i*15000, float64(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := promql.NewEngine()
+	now := func() time.Time { return time.UnixMilli(600_000) }
+	cache := querycache.New(querycache.Options{
+		MaxBytes: 1 << 20, Head: db, Lookback: eng.LookbackDelta, Paranoid: true,
+	})
+	h = &Handler{Engine: eng, Query: db, Now: now, Cache: cache}
+	plain = &Handler{Engine: eng, Query: db, Now: now}
+	return h, plain, db
+}
+
+func TestRangeQueryThroughCache(t *testing.T) {
+	h, plain, db := cachedHandler(t)
+	mux, plainMux := h.Mux(), plain.Mux()
+	const path = "/api/v1/query_range?query=up&start=100&end=600&step=15"
+
+	rec1, resp1 := get(t, mux, path)
+	if rec1.Code != 200 || resp1.Status != "success" {
+		t.Fatalf("first = %d %s", rec1.Code, resp1.Error)
+	}
+	if got := rec1.Header().Get("X-Querycache"); got != "miss" {
+		t.Fatalf("first X-Querycache = %q", got)
+	}
+	rec2, _ := get(t, mux, path)
+	if got := rec2.Header().Get("X-Querycache"); got != "hit" {
+		t.Fatalf("repeat X-Querycache = %q", got)
+	}
+	recCold, _ := get(t, plainMux, path)
+	if rec2.Body.String() != recCold.Body.String() {
+		t.Fatalf("cached response differs from cold:\n%s\n%s", rec2.Body, recCold.Body)
+	}
+
+	// The head advances; the slid window splices and still matches cold.
+	for i := int64(41); i <= 45; i++ {
+		db.Append(labels.FromStrings(labels.MetricName, "up", "instance", "n1"), i*15000, float64(i%5))
+	}
+	const slid = "/api/v1/query_range?query=up&start=175&end=675&step=15"
+	rec3, _ := get(t, mux, slid)
+	if got := rec3.Header().Get("X-Querycache"); got != "splice" {
+		t.Fatalf("slid window X-Querycache = %q, want splice", got)
+	}
+	recCold3, _ := get(t, plainMux, slid)
+	if rec3.Body.String() != recCold3.Body.String() {
+		t.Fatalf("spliced response differs from cold:\n%s\n%s", rec3.Body, recCold3.Body)
+	}
+}
+
+func TestInstantQueryThroughCache(t *testing.T) {
+	h, plain, _ := cachedHandler(t)
+	mux, plainMux := h.Mux(), plain.Mux()
+	const path = "/api/v1/query?query=sum(up)&time=300"
+
+	get(t, mux, path)
+	rec, _ := get(t, mux, path)
+	if got := rec.Header().Get("X-Querycache"); got != "hit" {
+		t.Fatalf("repeat X-Querycache = %q", got)
+	}
+	recCold, _ := get(t, plainMux, path)
+	if rec.Body.String() != recCold.Body.String() {
+		t.Fatal("cached instant response differs from cold")
+	}
+}
+
+func TestQuerycacheStatusEndpoint(t *testing.T) {
+	h, plain, _ := cachedHandler(t)
+	mux := h.Mux()
+	get(t, mux, "/api/v1/query_range?query=up&start=100&end=600&step=15")
+	get(t, mux, "/api/v1/query_range?query=up&start=100&end=600&step=15")
+
+	rec, resp := get(t, mux, "/api/v1/status/querycache")
+	if rec.Code != 200 || resp.Status != "success" {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"enabled":true`, `"hits":1`, `"misses":1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status body missing %q: %s", want, body)
+		}
+	}
+	// Without a cache the endpoint reports disabled rather than 404ing.
+	rec2, _ := get(t, plain.Mux(), "/api/v1/status/querycache")
+	if rec2.Code != 200 || !strings.Contains(rec2.Body.String(), `"enabled":false`) {
+		t.Fatalf("uncached status = %d %s", rec2.Code, rec2.Body)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/promql"
+	"repro/internal/querycache"
 )
 
 // Handler serves the query API.
@@ -29,6 +30,14 @@ type Handler struct {
 	// exceed it return 503; evaluation failures — including engine
 	// guardrail violations (step-count, sample budget) — return 422.
 	Timeout time.Duration
+	// Cache, when set, serves /api/v1/query and /api/v1/query_range through
+	// the query-result cache: exact repeats answer without evaluation and
+	// overlapping range windows re-evaluate only the uncovered steps. Build
+	// it with querycache.New over the same head this handler queries (its
+	// Lookback and MaxSteps must match the engine's). Responses carry an X-Querycache
+	// header (hit/miss/splice/bypass) and /api/v1/status/querycache reports
+	// its counters.
+	Cache *querycache.Cache
 }
 
 // LabelStore is the optional metadata side of a Queryable. *tsdb.DB
@@ -49,6 +58,7 @@ func (h *Handler) Mux() *http.ServeMux {
 	mux.HandleFunc("/api/v1/labels", h.handleLabels)
 	mux.HandleFunc("/api/v1/label/", h.handleLabelValues)
 	mux.HandleFunc("/api/v1/read", h.handleRead)
+	mux.HandleFunc("/api/v1/status/querycache", h.handleCacheStatus)
 	mux.HandleFunc("/-/healthy", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
@@ -133,7 +143,19 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
-	val, err := h.engine().InstantCtx(ctx, h.Query, q, ts)
+	var (
+		val promql.Value
+		err error
+	)
+	if h.Cache != nil {
+		var outcome querycache.Outcome
+		val, outcome, err = h.Cache.InstantQuery(ctx, q, ts, func(ctx context.Context) (promql.Value, error) {
+			return h.engine().InstantCtx(ctx, h.Query, q, ts)
+		})
+		w.Header().Set("X-Querycache", string(outcome))
+	} else {
+		val, err = h.engine().InstantCtx(ctx, h.Query, q, ts)
+	}
 	if err != nil {
 		writeQueryErr(w, err)
 		return
@@ -173,9 +195,22 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
-	m, err := h.engine().RangeCtx(ctx, h.Query, q, start, end, step)
-	if err != nil {
-		writeQueryErr(w, err)
+	var (
+		m    promql.Matrix
+		merr error
+	)
+	if h.Cache != nil {
+		var outcome querycache.Outcome
+		m, outcome, merr = h.Cache.RangeQuery(ctx, q, start, end, step,
+			func(ctx context.Context, s, e time.Time, st time.Duration) (promql.Matrix, error) {
+				return h.engine().RangeCtx(ctx, h.Query, q, s, e, st)
+			})
+		w.Header().Set("X-Querycache", string(outcome))
+	} else {
+		m, merr = h.engine().RangeCtx(ctx, h.Query, q, start, end, step)
+	}
+	if merr != nil {
+		writeQueryErr(w, merr)
 		return
 	}
 	out := make([]matrixSeries, len(m))
@@ -187,6 +222,22 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		out[i] = matrixSeries{Metric: sr.Labels.Map(), Values: vals}
 	}
 	writeOK(w, "matrix", out)
+}
+
+// handleCacheStatus serves /api/v1/status/querycache: the result cache's
+// hit/miss/splice/evict counters and occupancy, or enabled:false when the
+// handler runs uncached.
+func (h *Handler) handleCacheStatus(w http.ResponseWriter, _ *http.Request) {
+	type status struct {
+		Enabled bool              `json:"enabled"`
+		Stats   *querycache.Stats `json:"stats,omitempty"`
+	}
+	out := status{}
+	if h.Cache != nil {
+		st := h.Cache.Stats()
+		out = status{Enabled: true, Stats: &st}
+	}
+	writeOK(w, "querycache", out)
 }
 
 // handleLabels serves /api/v1/labels when the backing store supports label

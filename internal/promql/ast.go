@@ -59,7 +59,11 @@ func (*VectorSelector) Type() ValueType { return ValueVector }
 func (v *VectorSelector) String() string {
 	var parts []string
 	for _, m := range v.Matchers {
-		if m.Name == labels.MetricName && m.Type == labels.MatchEqual {
+		// Skip only the matcher synthesized from the metric name itself; an
+		// explicit, conflicting __name__ matcher must survive reprinting —
+		// the query cache keys on String(), and two selectors that match
+		// different series must never share a key.
+		if m.Name == labels.MetricName && m.Type == labels.MatchEqual && m.Value == v.Name {
 			continue
 		}
 		parts = append(parts, m.String())

@@ -37,11 +37,43 @@ type Vector []Sample
 
 func (Vector) Type() ValueType { return ValueVector }
 
+// Clone returns a deep copy of the vector (fresh label slices); see
+// Matrix.Clone for why retained results must be snapshotted.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	for i, s := range v {
+		out[i] = Sample{Labels: s.Labels.Copy(), T: s.T, V: s.V}
+	}
+	return out
+}
+
 // Matrix is a set of series over time: the result of a range query or a
 // range selector.
 type Matrix []model.Series
 
 func (Matrix) Type() ValueType { return ValueMatrix }
+
+// Clone returns a deep copy of the matrix: fresh series, label and sample
+// slices sharing nothing with the receiver. Result label slices otherwise
+// alias storage-owned label sets (see the aliasing note on the range
+// merge), so anything that retains a result beyond the request — the query
+// result cache above all — must snapshot it with Clone.
+func (m Matrix) Clone() Matrix {
+	if m == nil {
+		return nil
+	}
+	out := make(Matrix, len(m))
+	for i, s := range m {
+		out[i] = model.Series{
+			Labels:  s.Labels.Copy(),
+			Samples: append([]model.Sample(nil), s.Samples...),
+		}
+	}
+	return out
+}
 
 // String is a string literal value.
 type String struct {

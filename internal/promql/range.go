@@ -251,6 +251,14 @@ func (re *rangeEvaluator) evalSteps(ctx context.Context) ([]Vector, error) {
 
 // merge folds the per-step vectors into a Matrix in step order, identical
 // to the accumulation the per-step reference performs.
+//
+// Aliasing: the sample slices are freshly allocated here, but the Labels
+// values flow through from the per-step vectors and may alias storage-owned
+// label sets (a bare selector hands out the head's memSeries labels).
+// Results are safe to read and to append samples to, but their label
+// slices must not be mutated in place, and anything retaining a result
+// beyond the request must snapshot it with Matrix.Clone — the query-result
+// cache does this on every insert and hit.
 func (re *rangeEvaluator) merge(results []Vector) Matrix {
 	acc := map[uint64]*model.Series{}
 	var order []uint64

@@ -1,0 +1,137 @@
+package querycache
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/tsdb"
+)
+
+// TestSpliceCorrectnessProperty is the splice-correctness property test:
+// random sequences of (append progress, window, step, query) — with series
+// deletions and retention pruning mixed in — must produce, through the
+// cache, results byte-identical to a cold evaluation oracle. Paranoid mode
+// is on, so every splice is additionally self-verified inside the cache.
+// The CI querycache job runs this under -race -count=2.
+func TestSpliceCorrectnessProperty(t *testing.T) {
+	trials, ops := 10, 150
+	if testing.Short() {
+		trials, ops = 3, 60
+	}
+	queries := []string{
+		"p0",
+		`p0{i="1"}`,
+		"sum by (i) (p0)",
+		"rate(p1[1m])",
+		"sum(rate(p1[2m]))",
+		"p0 + ignoring(i) group_left sum(p0)",
+		"max_over_time(p0[45s])",
+		"p0 > 0",
+	}
+	stepChoices := []int64{15_000, 30_000, 60_000}
+
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*7919 + 17))
+			db := tsdb.MustOpen(tsdb.Options{MaxSamplesPerChunk: 60, Shards: 1 << rng.Intn(3)})
+			eng := promql.NewEngine()
+			cache := New(Options{
+				MaxBytes: 1 << 21, Shards: 4,
+				Head: db, Lookback: eng.LookbackDelta, Paranoid: true,
+			})
+			ctx := context.Background()
+
+			now := int64(1_000_000_000)
+			const tick = 15_000
+			nSeries := 3 + rng.Intn(4)
+			appendTick := func() {
+				now += tick
+				for i := 0; i < nSeries; i++ {
+					// Series occasionally skip a scrape, so lookback gaps and
+					// per-series raggedness are exercised; the global
+					// watermark still only moves forward.
+					if rng.Float64() < 0.08 {
+						continue
+					}
+					g := labels.FromStrings(labels.MetricName, "p0", "i", fmt.Sprint(i))
+					if err := db.Append(g, now, float64(rng.Intn(1000))-200); err != nil {
+						t.Fatal(err)
+					}
+					c := labels.FromStrings(labels.MetricName, "p1", "i", fmt.Sprint(i))
+					if err := db.Append(c, now, float64(now/100+int64(i))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < 50; i++ {
+				appendTick()
+			}
+
+			for op := 0; op < ops; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.35: // head advances a few scrapes
+					for i := 0; i < 1+rng.Intn(5); i++ {
+						appendTick()
+					}
+				case r < 0.40 && op > 10: // destructive mutation
+					db.DeleteSeries(labels.MustMatcher(labels.MatchEqual, "i", fmt.Sprint(rng.Intn(nSeries))))
+				case r < 0.45: // retention pruning
+					db.Truncate(now - int64(20+rng.Intn(40))*tick)
+				case r < 0.90: // range query vs cold oracle
+					q := queries[rng.Intn(len(queries))]
+					step := stepChoices[rng.Intn(len(stepChoices))]
+					endMs := now + int64(rng.Intn(5)-2)*tick // sometimes past the watermark
+					startMs := endMs - int64(5+rng.Intn(40))*step
+					start, end := model.MillisToTime(startMs), model.MillisToTime(endMs)
+					stepDur := time.Duration(step) * time.Millisecond
+					got, outcome, err := cache.RangeQuery(ctx, q, start, end, stepDur,
+						func(ctx context.Context, s, e time.Time, st time.Duration) (promql.Matrix, error) {
+							return eng.RangeCtx(ctx, db, q, s, e, st)
+						})
+					if err != nil {
+						t.Fatalf("op %d: RangeQuery(%s) [%s]: %v", op, q, outcome, err)
+					}
+					want, err := eng.RangeCtx(ctx, db, q, start, end, stepDur)
+					if err != nil {
+						t.Fatalf("op %d: oracle: %v", op, err)
+					}
+					if !EqualMatrix(got, want) {
+						t.Fatalf("op %d: %s over [%d..%d] step %d (%s) diverged from cold oracle:\n got %v\nwant %v",
+							op, q, startMs, endMs, step, outcome, got, want)
+					}
+				default: // instant query vs cold oracle
+					q := queries[rng.Intn(len(queries))]
+					tsMs := now + int64(rng.Intn(3)-1)*tick
+					ts := model.MillisToTime(tsMs)
+					got, _, err := cache.InstantQuery(ctx, q, ts, func(ctx context.Context) (promql.Value, error) {
+						return eng.InstantCtx(ctx, db, q, ts)
+					})
+					if err != nil {
+						t.Fatalf("op %d: InstantQuery(%s): %v", op, q, err)
+					}
+					want, err := eng.InstantCtx(ctx, db, q, ts)
+					if err != nil {
+						t.Fatalf("op %d: instant oracle: %v", op, err)
+					}
+					if !EqualValue(got, want) {
+						t.Fatalf("op %d: instant %s at %d diverged:\n got %v\nwant %v", op, q, tsMs, got, want)
+					}
+				}
+			}
+			st := cache.Stats()
+			if st.SpliceFails != 0 {
+				t.Fatalf("paranoid verification failed %d times", st.SpliceFails)
+			}
+			if st.Hits+st.Splices == 0 {
+				t.Fatalf("property run never reused the cache (stats %+v); workload too cold to prove anything", st)
+			}
+		})
+	}
+}

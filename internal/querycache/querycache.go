@@ -1,0 +1,454 @@
+// Package querycache is the query-result cache shared by the promapi front
+// end and the CEEMS load balancer. Grafana dashboards re-issue the same
+// PromQL range queries every refresh against a head that advanced only a
+// few scrape intervals; this package turns that repeat traffic from
+// O(window) re-evaluation into O(1) lookups (exact repeats) or O(delta)
+// incremental work (overlapping windows, see RangeQuery's splice path).
+//
+// # Structure
+//
+// The cache is lock-striped like the TSDB head: a power-of-two number of
+// shards, each an independent mutex + map + cost-based LRU list, with
+// entries routed by FNV-1a hash of their key. The total byte budget is
+// divided evenly across shards; inserting over budget evicts from that
+// shard's LRU tail. Three entry kinds share the striping:
+//
+//   - range entries: immutable promql.Matrix results on a step grid,
+//     reusable incrementally (RangeQuery),
+//   - instant entries: immutable promql.Vector / Scalar results
+//     (InstantQuery),
+//   - blob entries: opaque byte payloads with TTL expiry (GetBlob/PutBlob)
+//     — the fallback the LB uses for response bodies it cannot interpret
+//     structurally.
+//
+// # Staleness contract
+//
+// PromQL entries record the head's append progress at fill time: the
+// MaxTime watermark, the AppendEpoch sample counter and the MutationGen
+// destructive-op counter (see Head). A cached step at time t is served
+// only when it is provably unchanged:
+//
+//   - gen mismatch (a DeleteSeries ran): the entry is dropped entirely;
+//   - epoch unchanged (no sample landed since fill): every cached step is
+//     valid, including steps that were still mutable at fill;
+//   - epoch advanced: only steps with t <= fill-time MaxTime are served —
+//     their read windows were complete when evaluated. Steps whose window
+//     was still mutable at fill time are re-evaluated, never served stale.
+//
+// The settled rule assumes appends never land at or behind the global
+// MaxTime watermark. The scrape pipeline satisfies this (each scrape batch
+// carries one timestamp >= every earlier one); deployments appending
+// behind the watermark should disable the cache or accept staleness
+// bounded by the lag. Entries also never serve steps whose padded read
+// window reaches below the head's pruned watermark (PrunedThrough), so
+// results cannot resurrect data that retention already removed.
+//
+// All cached PromQL results are immutable snapshots: values are deep-cloned
+// on insert and on every hit, so callers can mutate what they receive
+// without corrupting the cache (and cache entries never alias head-owned
+// label slices).
+package querycache
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/promql"
+)
+
+// Head reports the head's append progress; *tsdb.DB implements it. The
+// cache uses it to decide which cached steps are still provably correct.
+type Head interface {
+	// MaxTime returns the latest appended timestamp, or false when empty.
+	MaxTime() (int64, bool)
+	// PrunedThrough returns the highest retention cutoff ever applied —
+	// samples below it may be gone, samples at or above it are untouched —
+	// or false when nothing was ever pruned.
+	PrunedThrough() (int64, bool)
+	// AppendEpoch returns a counter that advances on every appended sample.
+	AppendEpoch() uint64
+	// MutationGen returns a counter that advances on destructive operations
+	// (series deletion); any change invalidates every PromQL entry.
+	MutationGen() uint64
+}
+
+// DefaultMaxBytes is the byte budget used when Options.MaxBytes is unset.
+const DefaultMaxBytes = 64 << 20
+
+// Options configure a Cache.
+type Options struct {
+	// MaxBytes is the total byte budget across all shards; <= 0 picks
+	// DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the number of lock stripes, rounded up to a power of two;
+	// <= 0 picks 16.
+	Shards int
+	// Head supplies append progress. Required for PromQL caching
+	// (RangeQuery / InstantQuery cache nothing without it); the blob API
+	// works without one.
+	Head Head
+	// Lookback must match the evaluating engine's LookbackDelta; it is part
+	// of every PromQL key and of the padding used for the retention floor.
+	Lookback time.Duration
+	// MaxSteps must match the evaluating engine's MaxSteps; range requests
+	// beyond it bypass the cache so the engine's step guardrail fires
+	// exactly as it would uncached — splicing must never assemble a window
+	// the engine would refuse to evaluate. 0 picks promql.DefaultMaxSteps.
+	// (Oversized results are additionally bounded by the byte budget: an
+	// entry larger than one shard's share is never stored.)
+	MaxSteps int
+	// Paranoid re-runs the cold evaluation after every splice and fails the
+	// query if the spliced result is not byte-identical — the always-on test
+	// oracle. Production paths leave it off.
+	Paranoid bool
+	// Clock supplies the time used for blob TTL expiry; nil means time.Now.
+	// The cluster simulator wires its simulated clock here.
+	Clock func() time.Time
+}
+
+// Outcome classifies how a lookup was served.
+type Outcome string
+
+const (
+	// OutcomeHit: served entirely from cache, no evaluation.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss: no reusable entry; evaluated cold and stored.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeSplice: cached steps reused, only the uncovered remainder
+	// evaluated.
+	OutcomeSplice Outcome = "splice"
+	// OutcomeBypass: the cache did not apply (no head, unparseable query,
+	// degenerate window); evaluated cold, nothing stored.
+	OutcomeBypass Outcome = "bypass"
+)
+
+// Stats is a point-in-time counter snapshot, JSON-shaped for the
+// /api/v1/status/querycache endpoint.
+type Stats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Splices       uint64 `json:"splices"`
+	SpliceFails   uint64 `json:"spliceFails"` // paranoid-mode mismatches
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	MaxBytes      int64  `json:"maxBytes"`
+	Shards        int    `json:"shards"`
+}
+
+// Cache is the sharded, memory-bounded result cache. All methods are safe
+// for concurrent use. The zero value is not usable; call New.
+type Cache struct {
+	opts   Options
+	shards []*cacheShard
+	mask   uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	splices       atomic.Uint64
+	spliceFails   atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// New returns a Cache with the given options.
+func New(opts Options) *Cache {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	n = p
+	if opts.Lookback <= 0 {
+		opts.Lookback = 5 * time.Minute
+	}
+	c := &Cache{opts: opts, shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			budget:  opts.MaxBytes / int64(n),
+			entries: make(map[string]*entry),
+		}
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cache counters and occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Splices:       c.splices.Load(),
+		SpliceFails:   c.spliceFails.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		MaxBytes:      c.opts.MaxBytes,
+		Shards:        len(c.shards),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Purge drops every entry (counted as invalidations).
+func (c *Cache) Purge() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n := len(sh.entries)
+		sh.entries = make(map[string]*entry)
+		sh.head, sh.tail = nil, nil
+		sh.bytes = 0
+		sh.mu.Unlock()
+		c.invalidations.Add(uint64(n))
+	}
+}
+
+// maxSteps returns the range-request size beyond which the cache steps
+// aside (Options.MaxSteps, defaulted like the engine defaults).
+func (c *Cache) maxSteps() int64 {
+	if c.opts.MaxSteps > 0 {
+		return int64(c.opts.MaxSteps)
+	}
+	return promql.DefaultMaxSteps
+}
+
+func (c *Cache) now() time.Time {
+	if c.opts.Clock != nil {
+		return c.opts.Clock()
+	}
+	return time.Now()
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	return c.shards[fnv64a(key)&c.mask]
+}
+
+// fnv64a hashes the key with the same FNV-1a the TSDB head stripes by.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// entry kinds.
+const (
+	kindRange uint8 = iota
+	kindInstant
+	kindBlob
+)
+
+// entry is one cached result. Entries are immutable after insertion —
+// updates replace the whole entry — so a pointer read under the shard lock
+// can be dereferenced after releasing it.
+type entry struct {
+	key        string
+	kind       uint8
+	cost       int64
+	prev, next *entry // LRU links; head = most recently used
+
+	// Fill-time head state (range + instant kinds).
+	fillMax   int64 // head MaxTime at fill; minInt64 when head was empty
+	fillEpoch uint64
+	fillGen   uint64
+
+	// Range payload: matrix on the grid startMs, startMs+stepMs, ... lastMs.
+	matrix          promql.Matrix
+	startMs, lastMs int64
+	stepMs          int64
+
+	// Instant payload (promql.Vector or promql.Scalar).
+	value promql.Value
+
+	// Blob payload.
+	blob      []byte
+	expiresMs int64 // cache-clock deadline, Unix ms; 0 = no expiry
+}
+
+// cacheShard is one lock stripe: a map plus an intrusive LRU list with a
+// byte budget.
+type cacheShard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[string]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+}
+
+// get returns the live entry for key, marking it most-recently-used.
+func (sh *cacheShard) get(key string) *entry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
+	if e != nil {
+		sh.touchLocked(e)
+	}
+	return e
+}
+
+// put inserts e, replacing any entry under the same key, and evicts from
+// the LRU tail while the shard exceeds its budget. It returns the number
+// of entries evicted (not counting the replacement). Entries larger than
+// the whole shard budget are not stored.
+func (sh *cacheShard) put(e *entry) (evicted int, stored bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.cost > sh.budget {
+		return 0, false
+	}
+	if old := sh.entries[e.key]; old != nil {
+		sh.removeLocked(old)
+	}
+	sh.entries[e.key] = e
+	sh.pushFrontLocked(e)
+	sh.bytes += e.cost
+	for sh.bytes > sh.budget && sh.tail != nil && sh.tail != e {
+		evicted++
+		sh.removeLocked(sh.tail)
+	}
+	return evicted, true
+}
+
+// remove drops the entry under key if it is still the same pointer.
+func (sh *cacheShard) remove(key string, e *entry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur := sh.entries[key]; cur == e {
+		sh.removeLocked(cur)
+	}
+}
+
+func (sh *cacheShard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.unlinkLocked(e)
+	sh.bytes -= e.cost
+}
+
+func (sh *cacheShard) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if sh.head == e {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if sh.tail == e {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) pushFrontLocked(e *entry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *cacheShard) touchLocked(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlinkLocked(e)
+	sh.pushFrontLocked(e)
+}
+
+// --- blob API -------------------------------------------------------------
+
+// GetBlob returns the payload stored under key, or false when absent or
+// expired. The returned slice is the cache's copy: callers must treat it as
+// read-only (write it to a response, do not modify it).
+func (c *Cache) GetBlob(key string) ([]byte, bool) {
+	key = "b\x00" + key
+	sh := c.shardFor(key)
+	e := sh.get(key)
+	if e == nil || e.kind != kindBlob {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if e.expiresMs != 0 && c.now().UnixMilli() >= e.expiresMs {
+		sh.remove(key, e)
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.blob, true
+}
+
+// PutBlob stores an opaque payload under key for at most ttl (<= 0 stores
+// without expiry). The body is copied; the caller keeps ownership of its
+// slice.
+func (c *Cache) PutBlob(key string, body []byte, ttl time.Duration) {
+	key = "b\x00" + key
+	e := &entry{
+		key:  key,
+		kind: kindBlob,
+		blob: append([]byte(nil), body...),
+		cost: int64(len(key)+len(body)) + entryOverhead,
+	}
+	if ttl > 0 {
+		e.expiresMs = c.now().Add(ttl).UnixMilli()
+	}
+	evicted, _ := c.shardFor(key).put(e)
+	c.evictions.Add(uint64(evicted))
+}
+
+// --- key building & costing ----------------------------------------------
+
+// NormalizeQuery returns the canonical form of a PromQL query (the parsed
+// expression reprinted), so whitespace and formatting variants of the same
+// panel query share one cache entry. Unparseable input is returned trimmed;
+// it will fail identically in the evaluator.
+func NormalizeQuery(q string) string {
+	if expr, err := promql.ParseExprCached(q); err == nil {
+		return expr.String()
+	}
+	return strings.TrimSpace(q)
+}
+
+const entryOverhead = 128
+
+func labelsCost(ls labels.Labels) int64 {
+	n := int64(32)
+	for _, l := range ls {
+		n += int64(len(l.Name)+len(l.Value)) + 32
+	}
+	return n
+}
+
+func matrixCost(m promql.Matrix) int64 {
+	n := int64(entryOverhead)
+	for _, s := range m {
+		n += labelsCost(s.Labels) + 16*int64(len(s.Samples)) + 48
+	}
+	return n
+}
+
+func vectorCost(v promql.Vector) int64 {
+	n := int64(entryOverhead)
+	for _, s := range v {
+		n += labelsCost(s.Labels) + 24
+	}
+	return n
+}

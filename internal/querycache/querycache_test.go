@@ -1,0 +1,454 @@
+package querycache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/tsdb"
+)
+
+const stepMs = 15_000
+
+// testEnv is one head + engine + cache with an eval-call ledger.
+type testEnv struct {
+	t     *testing.T
+	db    *tsdb.DB
+	eng   *promql.Engine
+	cache *Cache
+	now   int64 // last appended timestamp, ms
+
+	mu        sync.Mutex
+	evalCalls int
+	evalSteps int // total steps the eval closure was asked to produce
+}
+
+func newEnv(t *testing.T, opts Options) *testEnv {
+	t.Helper()
+	env := &testEnv{
+		t:   t,
+		db:  tsdb.MustOpen(tsdb.Options{MaxSamplesPerChunk: 120, Shards: 4}),
+		eng: promql.NewEngine(),
+		now: 1_000_000_000,
+	}
+	opts.Head = env.db
+	opts.Lookback = env.eng.LookbackDelta
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = 1 << 22
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 4
+	}
+	opts.Paranoid = true
+	env.cache = New(opts)
+	return env
+}
+
+// appendTick advances the head one scrape interval: every series gets one
+// sample at the new watermark.
+func (e *testEnv) appendTick() {
+	e.now += stepMs
+	for i := 0; i < 4; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m0", "i", fmt.Sprint(i))
+		if err := e.db.Append(ls, e.now, float64(e.now/1000+int64(i))); err != nil {
+			e.t.Fatal(err)
+		}
+		cs := labels.FromStrings(labels.MetricName, "m1", "i", fmt.Sprint(i))
+		if err := e.db.Append(cs, e.now, float64(e.now/100)); err != nil {
+			e.t.Fatal(err)
+		}
+	}
+}
+
+func (e *testEnv) fill(ticks int) {
+	for i := 0; i < ticks; i++ {
+		e.appendTick()
+	}
+}
+
+func (e *testEnv) eval(query string) RangeEval {
+	return func(ctx context.Context, s, end time.Time, st time.Duration) (promql.Matrix, error) {
+		e.mu.Lock()
+		e.evalCalls++
+		e.evalSteps += int(end.Sub(s)/st) + 1
+		e.mu.Unlock()
+		return e.eng.RangeCtx(ctx, e.db, query, s, end, st)
+	}
+}
+
+func (e *testEnv) rangeQuery(query string, startMs, endMs int64) (promql.Matrix, Outcome) {
+	e.t.Helper()
+	m, out, err := e.cache.RangeQuery(context.Background(), query,
+		model.MillisToTime(startMs), model.MillisToTime(endMs), stepMs*time.Millisecond, e.eval(query))
+	if err != nil {
+		e.t.Fatalf("RangeQuery(%s): %v", query, err)
+	}
+	return m, out
+}
+
+func (e *testEnv) cold(query string, startMs, endMs int64) promql.Matrix {
+	e.t.Helper()
+	m, err := e.eng.RangeCtx(context.Background(), e.db, query,
+		model.MillisToTime(startMs), model.MillisToTime(endMs), stepMs*time.Millisecond)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return m
+}
+
+func (e *testEnv) mustEqualCold(query string, startMs, endMs int64, got promql.Matrix) {
+	e.t.Helper()
+	if want := e.cold(query, startMs, endMs); !EqualMatrix(got, want) {
+		e.t.Fatalf("cached result differs from cold evaluation for %s [%d..%d]:\n got %v\nwant %v",
+			query, startMs, endMs, got, want)
+	}
+}
+
+func TestExactRepeatIsHit(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := env.now-20*stepMs, env.now
+
+	m1, out1 := env.rangeQuery("sum by (i) (m0)", start, end)
+	if out1 != OutcomeMiss {
+		t.Fatalf("first lookup = %s, want miss", out1)
+	}
+	if len(m1) == 0 {
+		t.Fatal("empty result; test workload broken")
+	}
+	callsAfterFill := env.evalCalls
+	m2, out2 := env.rangeQuery("sum by (i) (m0)", start, end)
+	if out2 != OutcomeHit {
+		t.Fatalf("repeat lookup = %s, want hit", out2)
+	}
+	if env.evalCalls != callsAfterFill {
+		t.Fatalf("hit ran %d extra evaluations", env.evalCalls-callsAfterFill)
+	}
+	if !EqualMatrix(m1, m2) {
+		t.Fatal("hit returned different result than fill")
+	}
+	env.mustEqualCold("sum by (i) (m0)", start, end, m2)
+	if st := env.cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestSpliceEvaluatesOnlyTheDelta(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(200)
+	const q = "rate(m1[1m])"
+	const window = 100 // steps
+
+	start, end := env.now-window*stepMs, env.now
+	env.rangeQuery(q, start, end)
+
+	// Dashboard refresh: the head advanced 5 scrapes, the window slid with
+	// it — 95% overlap with the cached entry.
+	env.fill(5)
+	env.mu.Lock()
+	env.evalSteps = 0
+	env.mu.Unlock()
+	start, end = env.now-window*stepMs, env.now
+	got, out := env.rangeQuery(q, start, end)
+	if out != OutcomeSplice {
+		t.Fatalf("overlapping refresh = %s, want splice", out)
+	}
+	env.mustEqualCold(q, start, end, got)
+	// Paranoid mode re-runs the full cold evaluation (window+1 steps); the
+	// incremental part is everything beyond that. The head moved 5 steps
+	// and the last cached step was mutable at fill, so ~6 steps re-run.
+	env.mu.Lock()
+	delta := env.evalSteps - (window + 1)
+	env.mu.Unlock()
+	if delta > 8 {
+		t.Fatalf("splice re-evaluated %d steps, want <= 8", delta)
+	}
+	if st := env.cache.Stats(); st.Splices != 1 {
+		t.Fatalf("stats = %+v, want 1 splice", st)
+	}
+}
+
+func TestMutableTailNeverServedStale(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	const q = "m0"
+	// Window extends one step beyond the watermark: that last step was
+	// still mutable when the entry filled.
+	start, end := env.now-10*stepMs, env.now+stepMs
+	first, _ := env.rangeQuery(q, start, end)
+
+	// The scrape that was pending arrives; the last step's value changes.
+	// A repeat of the identical window must reflect it.
+	env.appendTick()
+	got, out := env.rangeQuery(q, start, end)
+	if out == OutcomeHit {
+		t.Fatal("mutable tail served as pure hit after the head advanced")
+	}
+	if EqualMatrix(first, got) {
+		t.Fatal("test workload broken: new scrape did not change the last step")
+	}
+	env.mustEqualCold(q, start, end, got)
+}
+
+func TestEpochUnchangedServesMutableSteps(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := env.now-10*stepMs, env.now+5*stepMs // tail entirely mutable
+	env.rangeQuery("m0", start, end)
+	// Nothing appended since fill: the whole entry, mutable steps included,
+	// is provably current.
+	_, out := env.rangeQuery("m0", start, end)
+	if out != OutcomeHit {
+		t.Fatalf("repeat with unchanged epoch = %s, want hit", out)
+	}
+}
+
+func TestDeleteSeriesInvalidates(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := env.now-20*stepMs, env.now
+	env.rangeQuery("m0", start, end)
+
+	env.db.DeleteSeries(labels.MustMatcher(labels.MatchEqual, "i", "2"))
+	got, out := env.rangeQuery("m0", start, end)
+	if out == OutcomeHit || out == OutcomeSplice {
+		t.Fatalf("post-delete lookup = %s, want full miss", out)
+	}
+	for _, s := range got {
+		if s.Labels.Get("i") == "2" {
+			t.Fatal("deleted series served from cache")
+		}
+	}
+	env.mustEqualCold("m0", start, end, got)
+	if st := env.cache.Stats(); st.Invalidations == 0 {
+		t.Fatalf("stats = %+v, want an invalidation", st)
+	}
+}
+
+func TestRetentionTrimsCachedSteps(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(200)
+	start, end := env.now-180*stepMs, env.now
+	env.rangeQuery("m0", start, end)
+
+	// Prune everything older than 20 steps; most of the cached window's
+	// read windows now dip below MinTime.
+	env.db.Truncate(env.now - 20*stepMs)
+	got, out := env.rangeQuery("m0", start, end)
+	if out == OutcomeHit {
+		t.Fatal("window overlapping pruned data served as pure hit")
+	}
+	env.mustEqualCold("m0", start, end, got)
+}
+
+// TestMutationAfterReturn is the immutable-snapshot regression test: a
+// caller scribbling over a returned result — samples and labels alike —
+// must not corrupt the cached entry.
+func TestMutationAfterReturn(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := env.now-20*stepMs, env.now
+	const q = "sum by (i) (m0)"
+
+	first, _ := env.rangeQuery(q, start, end)
+	pristine := first.Clone()
+	for i := range first {
+		for j := range first[i].Samples {
+			first[i].Samples[j].V = -12345
+			first[i].Samples[j].T = 1
+		}
+		for j := range first[i].Labels {
+			first[i].Labels[j].Value = "corrupted"
+		}
+	}
+	got, out := env.rangeQuery(q, start, end)
+	if out != OutcomeHit {
+		t.Fatalf("repeat = %s, want hit", out)
+	}
+	if !EqualMatrix(got, pristine) {
+		t.Fatalf("cached entry corrupted by caller mutation:\n got %v\nwant %v", got, pristine)
+	}
+
+	// Same discipline on the instant side.
+	ts := model.MillisToTime(env.now)
+	iv, _, err := env.cache.InstantQuery(context.Background(), "m0", ts, func(ctx context.Context) (promql.Value, error) {
+		return env.eng.InstantCtx(ctx, env.db, "m0", ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := iv.(promql.Vector)
+	want := vec.Clone()
+	for i := range vec {
+		vec[i].V = -1
+		vec[i].Labels[0].Value = "corrupted"
+	}
+	iv2, out2, err := env.cache.InstantQuery(context.Background(), "m0", ts, func(ctx context.Context) (promql.Value, error) {
+		return env.eng.InstantCtx(ctx, env.db, "m0", ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != OutcomeHit {
+		t.Fatalf("instant repeat = %s, want hit", out2)
+	}
+	if !EqualValue(iv2, promql.Value(want)) {
+		t.Fatal("cached instant entry corrupted by caller mutation")
+	}
+}
+
+func TestInstantHitAndStaleness(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	ctx := context.Background()
+	eval := func(ctx context.Context) (promql.Value, error) {
+		return env.eng.InstantCtx(ctx, env.db, "sum(m0)", model.MillisToTime(env.now+stepMs))
+	}
+	tsFuture := model.MillisToTime(env.now + stepMs) // beyond the watermark
+
+	if _, out, err := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval); err != nil || out != OutcomeMiss {
+		t.Fatalf("first = %s (%v), want miss", out, err)
+	}
+	// Epoch unchanged: even a mutable timestamp repeats as a hit.
+	if _, out, _ := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval); out != OutcomeHit {
+		t.Fatalf("repeat = %s, want hit", out)
+	}
+	// The head advances past the timestamp: the cached value is now for a
+	// window that was mutable at fill — never served.
+	env.appendTick()
+	v, out, err := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == OutcomeHit {
+		t.Fatal("mutable instant result served after head advanced")
+	}
+	want, _ := eval(ctx)
+	if !EqualValue(v, want) {
+		t.Fatalf("instant result stale: got %v want %v", v, want)
+	}
+	// That re-evaluation refilled the entry; the timestamp is now at the
+	// watermark (settled), so hits survive further appends.
+	env.appendTick()
+	if _, out, _ := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval); out != OutcomeHit {
+		t.Fatalf("settled repeat = %s, want hit", out)
+	}
+}
+
+func TestNormalizationSharesEntries(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := env.now-10*stepMs, env.now
+	env.rangeQuery("sum by (i) (m0)", start, end)
+	_, out := env.rangeQuery("sum   by (i)    ( m0 )", start, end)
+	if out != OutcomeHit {
+		t.Fatalf("formatting variant = %s, want hit (normalization failed)", out)
+	}
+	// A semantically different query must not collide.
+	got, out2 := env.rangeQuery(`sum by (i) (m0{i="1"})`, start, end)
+	if out2 == OutcomeHit {
+		t.Fatal("different query served from another query's entry")
+	}
+	env.mustEqualCold(`sum by (i) (m0{i="1"})`, start, end, got)
+}
+
+func TestEvictionKeepsBudget(t *testing.T) {
+	env := newEnv(t, Options{MaxBytes: 16 << 10, Shards: 2})
+	env.fill(120)
+	for i := 0; i < 40; i++ {
+		q := fmt.Sprintf(`sum by (i) (m0) + %d`, i)
+		start := env.now - int64(40+i)*stepMs
+		got, _ := env.rangeQuery(q, start, env.now)
+		env.mustEqualCold(q, start, env.now, got)
+	}
+	st := env.cache.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("cache over budget: %d > %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions under a tiny budget", st)
+	}
+}
+
+func TestBlobTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Options{Clock: func() time.Time { return now }})
+	c.PutBlob("k", []byte("payload"), 10*time.Second)
+	if b, ok := c.GetBlob("k"); !ok || string(b) != "payload" {
+		t.Fatalf("GetBlob = %q, %v", b, ok)
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok := c.GetBlob("k"); ok {
+		t.Fatal("expired blob served")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 invalidation", st)
+	}
+	// No-TTL blobs persist.
+	c.PutBlob("k2", []byte("x"), 0)
+	now = now.Add(24 * time.Hour)
+	if _, ok := c.GetBlob("k2"); !ok {
+		t.Fatal("no-TTL blob expired")
+	}
+}
+
+func TestDegenerateRequestsBypass(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	start, end := model.MillisToTime(env.now-10*stepMs), model.MillisToTime(env.now)
+	eval := func(ctx context.Context, s, e time.Time, st time.Duration) (promql.Matrix, error) {
+		return env.eng.RangeCtx(ctx, env.db, "m0", s, e, st)
+	}
+	// Sub-millisecond step: truncates to 0 on the ms grid; must evaluate
+	// cold, not divide by zero.
+	narrow := model.MillisToTime(env.now - 1000)
+	if _, out, err := env.cache.RangeQuery(context.Background(), "m0", narrow, end, 500*time.Microsecond, eval); err != nil || out != OutcomeBypass {
+		t.Fatalf("sub-ms step: outcome %s, err %v", out, err)
+	}
+	// Requests beyond the engine's step guardrail bypass so the engine's
+	// own LimitError fires instead of a splice assembling a refused window.
+	wide := model.MillisToTime(env.now + int64(env.eng.MaxSteps+10)*stepMs)
+	_, out, err := env.cache.RangeQuery(context.Background(), "m0", start, wide, stepMs*time.Millisecond, eval)
+	if out != OutcomeBypass || !promql.IsLimitError(err) {
+		t.Fatalf("oversized range: outcome %s, err %v; want bypass + LimitError", out, err)
+	}
+}
+
+func TestConcurrentMixedAccess(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(80)
+	queries := []string{"m0", "sum by (i) (m0)", "rate(m1[1m])", "m0 + m0"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(g+i)%len(queries)]
+				start := env.now - int64(10+(g+i)%30)*stepMs
+				m, _, err := env.cache.RangeQuery(context.Background(), q,
+					model.MillisToTime(start), model.MillisToTime(env.now), stepMs*time.Millisecond,
+					func(ctx context.Context, s, e time.Time, st time.Duration) (promql.Matrix, error) {
+						return env.eng.RangeCtx(ctx, env.db, q, s, e, st)
+					})
+				if err != nil {
+					t.Errorf("RangeQuery: %v", err)
+					return
+				}
+				if len(m) == 0 {
+					t.Error("empty result")
+					return
+				}
+				env.cache.PutBlob(fmt.Sprint("g", g), []byte("x"), time.Minute)
+				env.cache.GetBlob(fmt.Sprint("g", (g+1)%8))
+			}
+		}()
+	}
+	wg.Wait()
+}

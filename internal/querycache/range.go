@@ -1,0 +1,414 @@
+package querycache
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/promql"
+)
+
+// RangeEval evaluates the query this lookup is for over a sub-window; the
+// cache calls it with grid-aligned bounds and the original step. promapi
+// passes a closure over Engine.RangeCtx.
+type RangeEval func(ctx context.Context, start, end time.Time, step time.Duration) (promql.Matrix, error)
+
+// InstantEval evaluates the query at its instant timestamp.
+type InstantEval func(ctx context.Context) (promql.Value, error)
+
+// headState is one consistent-enough snapshot of append progress. gen and
+// epoch are read before the time bounds so a racing append can only make
+// the snapshot look staler than it is, never fresher.
+type headState struct {
+	gen       uint64
+	epoch     uint64
+	pruned    int64
+	hasPruned bool
+	maxT      int64
+}
+
+func (c *Cache) snapshot() headState {
+	h := c.opts.Head
+	st := headState{gen: h.MutationGen(), epoch: h.AppendEpoch(), maxT: math.MinInt64}
+	st.pruned, st.hasPruned = h.PrunedThrough()
+	if maxT, ok := h.MaxTime(); ok {
+		st.maxT = maxT
+	}
+	return st
+}
+
+// RangeQuery serves a range query through the cache. Repeats of a cached
+// window are answered without evaluation; windows overlapping a cached
+// entry re-evaluate only the uncovered steps via eval and splice them onto
+// the cached part; everything else evaluates cold and is stored. The
+// returned Matrix never shares sample or label slices with the cache.
+func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Time, step time.Duration, eval RangeEval) (promql.Matrix, Outcome, error) {
+	if c == nil || c.opts.Head == nil || step <= 0 || start.After(end) {
+		m, err := eval(ctx, start, end, step)
+		return m, OutcomeBypass, err
+	}
+	expr, err := promql.ParseExprCached(query)
+	if err != nil {
+		// Let the evaluator produce its own (identical) parse error.
+		m, err := eval(ctx, start, end, step)
+		return m, OutcomeBypass, err
+	}
+	stepMs := model.DurationMillis(step)
+	if stepMs <= 0 {
+		// A sub-millisecond step truncates to 0 on the millisecond grid;
+		// evaluate cold rather than divide by zero below.
+		m, err := eval(ctx, start, end, step)
+		return m, OutcomeBypass, err
+	}
+	var (
+		startMs = model.TimeToMillis(start)
+		endMs   = model.TimeToMillis(end)
+		lastMs  = startMs + (endMs-startMs)/stepMs*stepMs // last grid step
+		phase   = floorMod(startMs, stepMs)
+		padMs   = maxPadMs(expr, c.opts.Lookback)
+		key     = fmt.Sprintf("r\x00%s\x00%d\x00%d\x00%d", NormalizeQuery(query), stepMs, phase, padMs)
+	)
+	if steps := (endMs-startMs)/stepMs + 1; steps > c.maxSteps() {
+		// Beyond the engine's step guardrail: evaluate cold so the request
+		// gets the engine's own LimitError. Splicing here could assemble a
+		// union window the engine would have refused to evaluate.
+		m, err := eval(ctx, start, end, step)
+		return m, OutcomeBypass, err
+	}
+	st := c.snapshot()
+	sh := c.shardFor(key)
+	ent := sh.get(key)
+	if ent != nil && ent.fillGen != st.gen {
+		// A destructive mutation (DeleteSeries) ran since fill: any cached
+		// step may now be wrong. Drop the entry.
+		sh.remove(key, ent)
+		c.invalidations.Add(1)
+		ent = nil
+	}
+	if ent == nil {
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+	}
+
+	// Reusable sub-window of the cached grid.
+	lo := max(startMs, ent.startMs)
+	hi := min(lastMs, ent.lastMs)
+	if st.epoch != ent.fillEpoch {
+		// Samples landed since fill: only steps settled at fill time — read
+		// window complete below the fill watermark — are still provably
+		// identical to a cold evaluation.
+		if ent.fillMax == math.MinInt64 {
+			// Filled against an empty head; nothing was settled.
+			return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+		}
+		hi = min(hi, alignDown(ent.fillMax, phase, stepMs))
+	}
+	if st.hasPruned {
+		// Steps whose padded read window reaches below the pruned watermark
+		// are trimmed: a cold evaluation may no longer see their data.
+		lo = max(lo, alignUp(st.pruned+padMs, phase, stepMs))
+	}
+	if lo > hi {
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+	}
+	mid := extractRange(ent.matrix, lo, hi)
+	if lo == startMs && hi == lastMs {
+		c.hits.Add(1)
+		return cloneMatrix(mid), OutcomeHit, nil
+	}
+
+	// Splice: evaluate only the uncovered head and tail of the grid.
+	var headM, tailM promql.Matrix
+	if startMs < lo {
+		headM, err = eval(ctx, model.MillisToTime(startMs), model.MillisToTime(lo-stepMs), step)
+		if err != nil {
+			return nil, OutcomeBypass, err
+		}
+	}
+	if hi < lastMs {
+		tailM, err = eval(ctx, model.MillisToTime(hi+stepMs), model.MillisToTime(lastMs), step)
+		if err != nil {
+			return nil, OutcomeBypass, err
+		}
+	}
+	out := spliceMerge(headM, cloneMatrix(mid), tailM)
+	if c.opts.Paranoid {
+		cold, err := eval(ctx, start, end, step)
+		if err != nil {
+			return nil, OutcomeBypass, err
+		}
+		if !EqualMatrix(out, cold) {
+			c.spliceFails.Add(1)
+			return nil, OutcomeBypass, fmt.Errorf(
+				"querycache: spliced result differs from cold evaluation for %q [%d..%d] step %dms", query, startMs, lastMs, stepMs)
+		}
+	}
+	c.splices.Add(1)
+	c.storeRange(key, st, out, startMs, lastMs, stepMs)
+	return out, OutcomeSplice, nil
+}
+
+// rangeMiss evaluates cold and stores the result.
+func (c *Cache) rangeMiss(ctx context.Context, key string, st headState, startMs, lastMs, stepMs int64, start, end time.Time, step time.Duration, eval RangeEval) (promql.Matrix, Outcome, error) {
+	m, err := eval(ctx, start, end, step)
+	if err != nil {
+		return nil, OutcomeMiss, err
+	}
+	c.misses.Add(1)
+	c.storeRange(key, st, m, startMs, lastMs, stepMs)
+	return m, OutcomeMiss, nil
+}
+
+// storeRange inserts a deep clone of m, so later caller mutations of the
+// returned matrix cannot corrupt the entry.
+func (c *Cache) storeRange(key string, st headState, m promql.Matrix, startMs, lastMs, stepMs int64) {
+	snap := cloneMatrix(m)
+	e := &entry{
+		key: key, kind: kindRange,
+		fillMax: st.maxT, fillEpoch: st.epoch, fillGen: st.gen,
+		matrix: snap, startMs: startMs, lastMs: lastMs, stepMs: stepMs,
+		cost: matrixCost(snap) + int64(len(key)),
+	}
+	evicted, _ := c.shardFor(key).put(e)
+	c.evictions.Add(uint64(evicted))
+}
+
+// InstantQuery serves an instant query through the cache. Only Vector and
+// Scalar results are cached; the returned value never shares slices with
+// the cache.
+func (c *Cache) InstantQuery(ctx context.Context, query string, ts time.Time, eval InstantEval) (promql.Value, Outcome, error) {
+	if c == nil || c.opts.Head == nil {
+		v, err := eval(ctx)
+		return v, OutcomeBypass, err
+	}
+	expr, err := promql.ParseExprCached(query)
+	if err != nil {
+		v, err := eval(ctx)
+		return v, OutcomeBypass, err
+	}
+	var (
+		tsMs  = model.TimeToMillis(ts)
+		padMs = maxPadMs(expr, c.opts.Lookback)
+		key   = fmt.Sprintf("i\x00%s\x00%d\x00%d", NormalizeQuery(query), tsMs, padMs)
+	)
+	st := c.snapshot()
+	sh := c.shardFor(key)
+	if ent := sh.get(key); ent != nil {
+		switch {
+		case ent.fillGen != st.gen:
+			sh.remove(key, ent)
+			c.invalidations.Add(1)
+		case st.epoch != ent.fillEpoch && tsMs > ent.fillMax:
+			// The result was mutable at fill and the head has advanced:
+			// re-evaluate. Keep the entry; a repeat of the same timestamp
+			// after yet more appends would fail the same test anyway, and
+			// the fresh fill below replaces it.
+		case st.hasPruned && tsMs-padMs < st.pruned:
+			sh.remove(key, ent)
+			c.invalidations.Add(1)
+		default:
+			c.hits.Add(1)
+			return cloneValue(ent.value), OutcomeHit, nil
+		}
+	}
+	v, err := eval(ctx)
+	if err != nil {
+		return nil, OutcomeMiss, err
+	}
+	c.misses.Add(1)
+	switch v.(type) {
+	case promql.Vector, promql.Scalar:
+		snap := cloneValue(v)
+		e := &entry{
+			key: key, kind: kindInstant,
+			fillMax: st.maxT, fillEpoch: st.epoch, fillGen: st.gen,
+			value: snap, cost: valueCost(snap) + int64(len(key)),
+		}
+		evicted, _ := sh.put(e)
+		c.evictions.Add(uint64(evicted))
+	}
+	return v, OutcomeMiss, nil
+}
+
+// --- grid math ------------------------------------------------------------
+
+func floorMod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// alignDown returns the largest grid time (== phase mod step) <= t.
+func alignDown(t, phase, step int64) int64 {
+	return t - floorMod(t-phase, step)
+}
+
+// alignUp returns the smallest grid time (== phase mod step) >= t.
+func alignUp(t, phase, step int64) int64 {
+	if d := floorMod(t-phase, step); d != 0 {
+		return t + step - d
+	}
+	return t
+}
+
+// maxPadMs returns how far below its evaluation time a step of expr reads:
+// the maximum over selectors of offset + lookback (instant) or offset +
+// range (matrix). It is part of the cache key — an engine with a different
+// lookback must not share entries — and of the retention floor.
+func maxPadMs(expr promql.Expr, lookback time.Duration) int64 {
+	pad := model.DurationMillis(lookback)
+	var add func(e promql.Expr)
+	add = func(e promql.Expr) {
+		switch t := e.(type) {
+		case *promql.VectorSelector:
+			if p := model.DurationMillis(t.Offset + lookback); p > pad {
+				pad = p
+			}
+		case *promql.MatrixSelector:
+			if p := model.DurationMillis(t.VS.Offset + t.Range); p > pad {
+				pad = p
+			}
+		case *promql.ParenExpr:
+			add(t.Expr)
+		case *promql.UnaryExpr:
+			add(t.Expr)
+		case *promql.AggregateExpr:
+			add(t.Expr)
+			if t.Param != nil {
+				add(t.Param)
+			}
+		case *promql.BinaryExpr:
+			add(t.LHS)
+			add(t.RHS)
+		case *promql.Call:
+			for _, a := range t.Args {
+				add(a)
+			}
+		}
+	}
+	add(expr)
+	return pad
+}
+
+// --- matrix splicing ------------------------------------------------------
+
+// extractRange returns the sub-matrix of m with sample times in [lo, hi].
+// Series left empty are dropped. Sample slices are sub-slices of m (no
+// copy); callers that hand the result out clone it first. Range-query
+// sample timestamps are always the step evaluation times (every evaluator
+// path stamps T with the step time), so selecting by T selects whole steps.
+func extractRange(m promql.Matrix, lo, hi int64) promql.Matrix {
+	out := make(promql.Matrix, 0, len(m))
+	for _, s := range m {
+		a := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= lo })
+		b := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > hi })
+		if a == b {
+			continue
+		}
+		out = append(out, model.Series{Labels: s.Labels, Samples: s.Samples[a:b]})
+	}
+	return out
+}
+
+// spliceMerge concatenates per-series samples across matrices covering
+// disjoint, increasing time windows, producing exactly what one cold
+// evaluation of the union window produces: series union, samples in time
+// order, sorted by labels.
+func spliceMerge(parts ...promql.Matrix) promql.Matrix {
+	acc := map[uint64]*model.Series{}
+	var order []uint64
+	for _, part := range parts {
+		for _, s := range part {
+			h := s.Labels.Hash()
+			sr, ok := acc[h]
+			if !ok {
+				sr = &model.Series{Labels: s.Labels}
+				acc[h] = sr
+				order = append(order, h)
+			}
+			sr.Samples = append(sr.Samples, s.Samples...)
+		}
+	}
+	out := make(promql.Matrix, 0, len(order))
+	for _, h := range order {
+		out = append(out, *acc[h])
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out
+}
+
+// cloneMatrix deep-copies a matrix via promql's cloning discipline.
+func cloneMatrix(m promql.Matrix) promql.Matrix { return m.Clone() }
+
+func cloneValue(v promql.Value) promql.Value {
+	switch tv := v.(type) {
+	case promql.Vector:
+		return tv.Clone()
+	case promql.Matrix:
+		return tv.Clone()
+	default: // Scalar, String: value types, already copies
+		return v
+	}
+}
+
+func valueCost(v promql.Value) int64 {
+	switch tv := v.(type) {
+	case promql.Vector:
+		return vectorCost(tv)
+	case promql.Matrix:
+		return matrixCost(tv)
+	default:
+		return entryOverhead
+	}
+}
+
+// EqualMatrix reports byte-for-byte equality of two matrices: same series
+// in the same order, same labels, and per-sample identical timestamps and
+// bit-identical values (NaNs with equal payloads compare equal, unlike ==).
+func EqualMatrix(a, b promql.Matrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Labels.Equal(b[i].Labels) || len(a[i].Samples) != len(b[i].Samples) {
+			return false
+		}
+		for j := range a[i].Samples {
+			x, y := a[i].Samples[j], b[i].Samples[j]
+			if x.T != y.T || math.Float64bits(x.V) != math.Float64bits(y.V) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualValue is EqualMatrix's instant-vector counterpart.
+func EqualValue(a, b promql.Value) bool {
+	switch av := a.(type) {
+	case promql.Vector:
+		bv, ok := b.(promql.Vector)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !av[i].Labels.Equal(bv[i].Labels) || av[i].T != bv[i].T ||
+				math.Float64bits(av[i].V) != math.Float64bits(bv[i].V) {
+				return false
+			}
+		}
+		return true
+	case promql.Scalar:
+		bv, ok := b.(promql.Scalar)
+		return ok && av.T == bv.T && math.Float64bits(av.V) == math.Float64bits(bv.V)
+	case promql.Matrix:
+		bv, ok := b.(promql.Matrix)
+		return ok && EqualMatrix(av, bv)
+	}
+	return false
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/labels"
 	"repro/internal/model"
@@ -69,6 +70,13 @@ type DB struct {
 	opts   Options
 	shards []*headShard
 	mask   uint64
+
+	// mutations counts destructive cross-series operations (DeleteSeries);
+	// the query-result cache invalidates on any change (see MutationGen).
+	mutations atomic.Uint64
+	// pruned is the highest retention cutoff ever applied (Truncate's mint),
+	// or minInt64 when the head was never pruned; see PrunedThrough.
+	pruned atomic.Int64
 
 	walReplay WALReplayStats
 	walErrMu  sync.Mutex
@@ -135,6 +143,7 @@ func Open(opts Options) (*DB, error) {
 		shards: make([]*headShard, n),
 		mask:   uint64(n - 1),
 	}
+	db.pruned.Store(-(int64(1) << 62))
 	for i := range db.shards {
 		db.shards[i] = newHeadShard()
 	}
@@ -314,6 +323,15 @@ func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 // size. Checkpoint errors are recorded and surfaced via WALErr. It returns
 // the number of series removed.
 func (db *DB) Truncate(mint int64) int {
+	// Raise the pruned watermark first: a cache fill racing the pruning
+	// sees the new floor and refuses to reuse steps whose read windows
+	// reach below it.
+	for {
+		cur := db.pruned.Load()
+		if mint <= cur || db.pruned.CompareAndSwap(cur, mint) {
+			break
+		}
+	}
 	removed := make([]int, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
 		if sh.wal != nil {
@@ -364,6 +382,15 @@ func (db *DB) CheckpointWAL() error {
 // metrics of short-lived jobs ("Clean TSDB" in Fig. 1). Deletion fans out
 // per shard with no cross-shard locking.
 func (db *DB) DeleteSeries(ms ...*labels.Matcher) int {
+	// Bump the mutation generation before AND after the per-shard fan-out.
+	// A cache fill that snapshots between the two bumps may evaluate a
+	// half-deleted head, but its recorded generation is already stale by
+	// the time the delete finishes, so the entry can never be served; a
+	// fill snapshotting after the second bump evaluates a fully-deleted
+	// head. One bump alone would let the in-between fill stamp itself with
+	// the final generation and serve deleted series forever.
+	db.mutations.Add(1)
+	defer db.mutations.Add(1)
 	deleted := make([]int, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
 		w := sh.wal
@@ -415,6 +442,35 @@ func (db *DB) MaxTime() (int64, bool) {
 		return 0, false
 	}
 	return maxt, true
+}
+
+// AppendEpoch returns the total number of samples ever appended across all
+// shards. It is monotonically non-decreasing; two equal readings bracket a
+// window in which no append completed. The query-result cache uses it to
+// prove that cached results — including ones whose read windows were still
+// open — are identical to what a fresh evaluation would produce.
+func (db *DB) AppendEpoch() uint64 {
+	var n uint64
+	for _, sh := range db.shards {
+		n += sh.appended.Load()
+	}
+	return n
+}
+
+// MutationGen returns a counter that advances on destructive cross-series
+// operations (DeleteSeries). Retention pruning (Truncate) deliberately does
+// not advance it: truncation only removes samples strictly below the
+// pruned watermark, and the cache refuses to serve any step whose padded
+// read window reaches below PrunedThrough.
+func (db *DB) MutationGen() uint64 { return db.mutations.Load() }
+
+// PrunedThrough returns the highest retention cutoff ever applied: every
+// sample below it may have been removed, everything at or above it is
+// untouched by pruning (Truncate only drops chunks ending strictly below
+// the cutoff). ok is false when the head was never pruned.
+func (db *DB) PrunedThrough() (int64, bool) {
+	p := db.pruned.Load()
+	return p, p != -(int64(1) << 62)
 }
 
 func (db *DB) timeBounds() (int64, int64) {
