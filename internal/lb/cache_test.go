@@ -167,15 +167,71 @@ func TestLBCacheStatusEndpoint(t *testing.T) {
 	lb, _, _ := newCachedLB(t, 1)
 	get(t, lb, `/api/v1/query?query=up`, "alice")
 	get(t, lb, `/api/v1/query?query=up`, "alice")
-	rec := get(t, lb, "/api/v1/status/querycache", "alice")
+	// The status endpoint is an admin surface: anonymous and non-admin
+	// requests are rejected before any counters leak.
+	if rec := get(t, lb, "/api/v1/status/querycache", ""); rec.Code != 401 {
+		t.Fatalf("anonymous status = %d, want 401", rec.Code)
+	}
+	if rec := get(t, lb, "/api/v1/status/querycache", "alice"); rec.Code != 403 {
+		t.Fatalf("non-admin status = %d, want 403", rec.Code)
+	}
+	rec := get(t, lb, "/api/v1/status/querycache", "root")
 	if rec.Code != 200 {
-		t.Fatalf("status endpoint = %d", rec.Code)
+		t.Fatalf("admin status endpoint = %d", rec.Code)
 	}
 	body := rec.Body.String()
 	for _, want := range []string{`"enabled":true`, `"hits":1`} {
 		if !contains(body, want) {
 			t.Fatalf("status body missing %q: %s", want, body)
 		}
+	}
+}
+
+// TestLBLabelsMatchersAuthorized: the labels/label-values endpoints carry
+// their scoping in match[] selectors, not a query expression; those must
+// pass the same ownership check — especially now that their responses are
+// cached and shared across users.
+func TestLBLabelsMatchersAuthorized(t *testing.T) {
+	lb, counts, _ := newCachedLB(t, 1)
+
+	// Foreign uuid in a match[] selector: denied, nothing cached.
+	if rec := get(t, lb, `/api/v1/labels?match%5B%5D=m%7Buuid%3D%22b7%22%7D`, "alice"); rec.Code != 403 {
+		t.Fatalf("foreign match[] = %d, want 403", rec.Code)
+	}
+	if (*counts)[0] != 0 {
+		t.Fatalf("backend served %d denied requests", (*counts)[0])
+	}
+	// Owned uuid: allowed and cached.
+	owned := `/api/v1/label/instance/values?match%5B%5D=m%7Buuid%3D%22a1%22%7D`
+	if rec := get(t, lb, owned, "alice"); rec.Code != 200 {
+		t.Fatalf("owned match[] = %d", rec.Code)
+	}
+	// A non-owner repeat of the identical request must be denied, never
+	// served from the warm cache.
+	if rec := get(t, lb, owned, "bob"); rec.Code != 403 {
+		t.Fatalf("non-owner with warm label cache = %d, want 403", rec.Code)
+	}
+	// Unenumerable match[] regexps fail closed like query expressions.
+	if rec := get(t, lb, `/api/v1/labels?match%5B%5D=m%7Buuid%3D~%22a.%2A%22%7D`, "alice"); rec.Code != 400 {
+		t.Fatalf("wildcard match[] = %d, want 400", rec.Code)
+	}
+	if (*counts)[0] != 1 {
+		t.Fatalf("backend served %d, want 1 (only the authorized request)", (*counts)[0])
+	}
+}
+
+func TestLBCacheSettledRFC3339End(t *testing.T) {
+	lb, counts, now := newCachedLB(t, 1)
+	// Same settled window as the float-format test, end given as RFC3339
+	// (unix 6000 = 1970-01-01T01:40:00Z): must get the long settled TTL.
+	settled := "/api/v1/query_range?query=up&start=1970-01-01T01%3A23%3A20Z&end=1970-01-01T01%3A40%3A00Z&step=15"
+	get(t, lb, settled, "alice")
+	*now = now.Add(1 * time.Minute)
+	if rec := get(t, lb, settled, "alice"); rec.Header().Get("X-Querycache") != "hit" {
+		t.Fatalf("RFC3339 settled window after 1m = %q, want hit", rec.Header().Get("X-Querycache"))
+	}
+	if (*counts)[0] != 1 {
+		t.Fatalf("backend served %d, want 1", (*counts)[0])
 	}
 }
 

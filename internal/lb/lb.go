@@ -148,10 +148,12 @@ type LB struct {
 	// Cache, when set, stores successful GET responses of the query API
 	// endpoints in the shared query-result cache (blob entries with TTL
 	// expiry — the LB proxies opaque JSON, it does not evaluate PromQL).
-	// Lookups run strictly after access control, and keys exclude the
-	// requesting user: any user authorized for a query receives the same
-	// payload a backend would return. The LB answers
-	// /api/v1/status/querycache itself with the cache's counters.
+	// Lookups run strictly after access control — both the query expression
+	// and any match[] selectors (labels / label-values endpoints) pass the
+	// ownership check first — and keys exclude the requesting user: any
+	// user authorized for a query receives the same payload a backend would
+	// return. The LB answers /api/v1/status/querycache itself with the
+	// cache's counters; that surface is admin-only under the Checker.
 	Cache *querycache.Cache
 	// CacheTTL bounds how long a cached response whose window touches the
 	// present may be served; 0 picks DefaultCacheTTL. It is the LB's
@@ -303,6 +305,17 @@ func enumerateAlternation(pattern string) ([]string, bool) {
 // queries from the response cache when one is configured.
 func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if lb.Cache != nil && r.URL.Path == "/api/v1/status/querycache" {
+		// Admin surface: counters leak which queries are warm; gate it like
+		// the rest of the admin bypasses (the checker decides who is admin).
+		user := r.Header.Get("X-Grafana-User")
+		if user == "" {
+			http.Error(w, "missing X-Grafana-User header", http.StatusUnauthorized)
+			return
+		}
+		if lb.Checker != nil && !lb.Checker.IsAdmin(r.Context(), user) {
+			http.Error(w, "querycache status is admin-only", http.StatusForbidden)
+			return
+		}
 		lb.serveCacheStatus(w)
 		return
 	}
@@ -316,9 +329,19 @@ func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing X-Grafana-User header", http.StatusUnauthorized)
 		return
 	}
-	query := r.URL.Query().Get("query")
-	if query != "" && !lb.authorize(w, r, user, query) {
+	params := r.URL.Query()
+	if query := params.Get("query"); query != "" && !lb.authorize(w, r, user, query) {
 		return
+	}
+	// The labels/label-values endpoints scope their answer with match[]
+	// selectors instead of a query expression; those selectors carry the
+	// same uuid matchers and must pass the same ownership check — without
+	// it the response (which the cache would then share across users) is
+	// never access-checked at all.
+	for _, sel := range params["match[]"] {
+		if !lb.authorize(w, r, user, sel) {
+			return
+		}
 	}
 	// Cache lookup strictly after access control: a denied request never
 	// reaches here, and a cached payload is keyed only by what the backend
@@ -393,15 +416,23 @@ func (lb *LB) ttlFor(r *http.Request) time.Duration {
 	if !strings.HasSuffix(r.URL.Path, "/api/v1/query_range") {
 		return fresh
 	}
-	end, err := strconv.ParseFloat(r.URL.Query().Get("end"), 64)
-	if err != nil {
+	// Prometheus accepts both unix floats and RFC3339 timestamps (promapi's
+	// parseTime does the same two-step); an unparseable end conservatively
+	// counts as fresh.
+	raw := r.URL.Query().Get("end")
+	var end time.Time
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		end = time.UnixMilli(int64(f * 1000))
+	} else if t, err := time.Parse(time.RFC3339Nano, raw); err == nil {
+		end = t
+	} else {
 		return fresh
 	}
 	now := time.Now
 	if lb.CacheNow != nil {
 		now = lb.CacheNow
 	}
-	if time.Unix(int64(end), 0).Add(settledMargin).Before(now()) {
+	if end.Add(settledMargin).Before(now()) {
 		return settled
 	}
 	return fresh

@@ -51,7 +51,27 @@ func TestSpliceCorrectnessProperty(t *testing.T) {
 			now := int64(1_000_000_000)
 			const tick = 15_000
 			nSeries := 3 + rng.Intn(4)
+			// Stragglers model the scrape pipeline's same-timestamp second
+			// commit (and parallel targets sharing a millisecond): some
+			// series hold their sample back and land it AT the current
+			// watermark in a later op, with cache fills racing in between.
+			type straggler struct {
+				ls labels.Labels
+				v  float64
+			}
+			var stragglers []straggler
+			flushStragglers := func() {
+				for _, s := range stragglers {
+					if err := db.Append(s.ls, now, s.v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				stragglers = stragglers[:0]
+			}
 			appendTick := func() {
+				// Unflushed stragglers from the previous tick land first, so
+				// appends never go strictly behind the watermark.
+				flushStragglers()
 				now += tick
 				for i := 0; i < nSeries; i++ {
 					// Series occasionally skip a scrape, so lookback gaps and
@@ -61,7 +81,9 @@ func TestSpliceCorrectnessProperty(t *testing.T) {
 						continue
 					}
 					g := labels.FromStrings(labels.MetricName, "p0", "i", fmt.Sprint(i))
-					if err := db.Append(g, now, float64(rng.Intn(1000))-200); err != nil {
+					if rng.Float64() < 0.15 {
+						stragglers = append(stragglers, straggler{g, float64(rng.Intn(1000)) - 200})
+					} else if err := db.Append(g, now, float64(rng.Intn(1000))-200); err != nil {
 						t.Fatal(err)
 					}
 					c := labels.FromStrings(labels.MetricName, "p1", "i", fmt.Sprint(i))
@@ -80,6 +102,8 @@ func TestSpliceCorrectnessProperty(t *testing.T) {
 					for i := 0; i < 1+rng.Intn(5); i++ {
 						appendTick()
 					}
+				case r < 0.38: // same-timestamp second commit at the watermark
+					flushStragglers()
 				case r < 0.40 && op > 10: // destructive mutation
 					db.DeleteSeries(labels.MustMatcher(labels.MatchEqual, "i", fmt.Sprint(rng.Intn(nSeries))))
 				case r < 0.45: // retention pruning

@@ -31,15 +31,23 @@
 //   - gen mismatch (a DeleteSeries ran): the entry is dropped entirely;
 //   - epoch unchanged (no sample landed since fill): every cached step is
 //     valid, including steps that were still mutable at fill;
-//   - epoch advanced: only steps with t <= fill-time MaxTime are served —
-//     their read windows were complete when evaluated. Steps whose window
-//     was still mutable at fill time are re-evaluated, never served stale.
+//   - epoch advanced: only steps with t strictly below the fill-time
+//     MaxTime are served — their read windows were complete when
+//     evaluated. The step AT the watermark is mutable: appends can land at
+//     MaxTime itself (the scrape pass commits metric samples and then
+//     synthetics at the same timestamp, and parallel targets can share a
+//     millisecond), so a fill racing between two same-timestamp commits
+//     may hold a partial boundary step. Mutable steps are re-evaluated,
+//     never served stale.
 //
-// The settled rule assumes appends never land at or behind the global
-// MaxTime watermark. The scrape pipeline satisfies this (each scrape batch
-// carries one timestamp >= every earlier one); deployments appending
-// behind the watermark should disable the cache or accept staleness
-// bounded by the lag. Entries also never serve steps whose padded read
+// The settled rule assumes appends never land strictly behind the global
+// MaxTime watermark; landing AT the watermark is fine, per the strict
+// inequality above. The scrape pipeline satisfies this (timestamps are
+// non-decreasing: each scrape batch carries one timestamp >= every
+// earlier one); deployments appending strictly behind the watermark
+// (bulk backfill, honored exposition timestamps from lagging clocks)
+// should disable the cache or accept staleness bounded by the lag.
+// Entries also never serve steps whose padded read
 // window reaches below the head's pruned watermark (PrunedThrough), so
 // results cannot resurrect data that retention already removed.
 //

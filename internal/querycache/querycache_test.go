@@ -332,11 +332,110 @@ func TestInstantHitAndStaleness(t *testing.T) {
 	if !EqualValue(v, want) {
 		t.Fatalf("instant result stale: got %v want %v", v, want)
 	}
-	// That re-evaluation refilled the entry; the timestamp is now at the
-	// watermark (settled), so hits survive further appends.
+	// That re-evaluation refilled the entry with the timestamp AT the new
+	// watermark — still mutable, since appends can legally land at MaxTime
+	// itself (same-ts second commit, parallel targets). Another append must
+	// re-evaluate again, not hit.
+	env.appendTick()
+	v2, out2, err := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 == OutcomeHit {
+		t.Fatal("watermark-coincident instant result served as hit after head advanced")
+	}
+	if want, _ := eval(ctx); !EqualValue(v2, want) {
+		t.Fatalf("instant result stale: got %v want %v", v2, want)
+	}
+	// This refill saw the head strictly past the timestamp: now settled, so
+	// hits survive further appends.
 	env.appendTick()
 	if _, out, _ := env.cache.InstantQuery(ctx, "sum(m0)", tsFuture, eval); out != OutcomeHit {
 		t.Fatalf("settled repeat = %s, want hit", out)
+	}
+}
+
+// TestSameTimestampAppendAtWatermark is the regression test for the
+// watermark off-by-one: the scrape pipeline commits metric samples and then
+// the up/scrape_duration synthetics at the SAME timestamp (and parallel
+// targets can share a millisecond), so a cache fill can land between two
+// commits carrying equal timestamps. The boundary step — cached while only
+// the first commit was visible — must never be served settled afterwards.
+func TestSameTimestampAppendAtWatermark(t *testing.T) {
+	env := newEnv(t, Options{})
+	env.fill(40)
+	const q = "m0"
+	ts := env.now + stepMs
+
+	// First commit of the scrape pass: half the series land at ts; ts is
+	// now the global watermark.
+	for i := 0; i < 2; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m0", "i", fmt.Sprint(i))
+		if err := env.db.Append(ls, ts, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cache fill races in between the two commits: the boundary step at ts
+	// sees only the first commit's samples.
+	start, end := env.now-10*stepMs, ts
+	first, _ := env.rangeQuery(q, start, end)
+
+	// Second commit of the same pass: the remaining series land AT the
+	// watermark.
+	for i := 2; i < 4; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m0", "i", fmt.Sprint(i))
+		if err := env.db.Append(ls, ts, 2.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, out := env.rangeQuery(q, start, end)
+	if out == OutcomeHit {
+		t.Fatal("boundary step cached between same-timestamp commits served as pure hit")
+	}
+	if EqualMatrix(first, got) {
+		t.Fatal("test workload broken: second commit did not change the boundary step")
+	}
+	env.mustEqualCold(q, start, end, got)
+
+	// The splice above re-stored the entry under the new epoch; the
+	// boundary step it carries is now genuinely complete, so a repeat is a
+	// hit — and still byte-identical to cold.
+	again, out2 := env.rangeQuery(q, start, end)
+	if out2 != OutcomeHit {
+		t.Fatalf("repeat after splice = %s, want hit", out2)
+	}
+	env.mustEqualCold(q, start, end, again)
+
+	// Instant side of the same race.
+	env.now = ts // the manual commits above moved the watermark one step
+	env.fill(2)
+	its := env.now + stepMs
+	ls := labels.FromStrings(labels.MetricName, "m0", "i", "0")
+	if err := env.db.Append(ls, its, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	ieval := func(ctx context.Context) (promql.Value, error) {
+		return env.eng.InstantCtx(ctx, env.db, "sum(m0)", model.MillisToTime(its))
+	}
+	ctx := context.Background()
+	if _, _, err := env.cache.InstantQuery(ctx, "sum(m0)", model.MillisToTime(its), ieval); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		ls := labels.FromStrings(labels.MetricName, "m0", "i", fmt.Sprint(i))
+		if err := env.db.Append(ls, its, 5.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, iout, err := env.cache.InstantQuery(ctx, "sum(m0)", model.MillisToTime(its), ieval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iout == OutcomeHit {
+		t.Fatal("watermark-coincident instant entry served after same-timestamp append")
+	}
+	if want, _ := ieval(ctx); !EqualValue(v, want) {
+		t.Fatalf("instant result stale after same-ts append: got %v want %v", v, want)
 	}
 }
 

@@ -98,13 +98,18 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 	hi := min(lastMs, ent.lastMs)
 	if st.epoch != ent.fillEpoch {
 		// Samples landed since fill: only steps settled at fill time — read
-		// window complete below the fill watermark — are still provably
-		// identical to a cold evaluation.
+		// window complete strictly below the fill watermark — are still
+		// provably identical to a cold evaluation. The step AT the watermark
+		// is never settled: appends can legally land at MaxTime itself (the
+		// scrape pass commits synthetics in a second commit at the same
+		// timestamp, and parallel targets can share a millisecond), so a fill
+		// racing between two same-timestamp commits may have seen a partial
+		// boundary step.
 		if ent.fillMax == math.MinInt64 {
 			// Filled against an empty head; nothing was settled.
 			return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
 		}
-		hi = min(hi, alignDown(ent.fillMax, phase, stepMs))
+		hi = min(hi, alignDown(ent.fillMax-1, phase, stepMs))
 	}
 	if st.hasPruned {
 		// Steps whose padded read window reaches below the pruned watermark
@@ -201,11 +206,14 @@ func (c *Cache) InstantQuery(ctx context.Context, query string, ts time.Time, ev
 		case ent.fillGen != st.gen:
 			sh.remove(key, ent)
 			c.invalidations.Add(1)
-		case st.epoch != ent.fillEpoch && tsMs > ent.fillMax:
+		case st.epoch != ent.fillEpoch && tsMs >= ent.fillMax:
 			// The result was mutable at fill and the head has advanced:
-			// re-evaluate. Keep the entry; a repeat of the same timestamp
-			// after yet more appends would fail the same test anyway, and
-			// the fresh fill below replaces it.
+			// re-evaluate. A timestamp AT the fill watermark counts as
+			// mutable too — appends can land at MaxTime itself (same-ts
+			// second commit, parallel targets sharing a millisecond). Keep
+			// the entry; a repeat of the same timestamp after yet more
+			// appends would fail the same test anyway, and the fresh fill
+			// below replaces it.
 		case st.hasPruned && tsMs-padMs < st.pruned:
 			sh.remove(key, ent)
 			c.invalidations.Add(1)
