@@ -1,21 +1,24 @@
 # Local targets mirror .github/workflows/ci.yml exactly, so `make ci` is the
-# same bar CI enforces.
+# same bar CI enforces. `make ci-sync-check` (also a CI step) diffs the
+# package lists between this file and ci.yml so they cannot drift.
 
 GO ?= go
-RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/querycache/...
+RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/...
 
-.PHONY: build test race wal-recovery querycache bench bench-querycache lint ci
+.PHONY: build test race wal-recovery querycache bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
 
 # The crash/corruption harness is randomized; run it twice, under race.
+# Covers the v2 (compressed) and mixed v1/v2 migration tests too — they all
+# match 'WAL'.
 wal-recovery:
 	$(GO) test -race -count=2 -run 'WAL|Checkpoint' ./internal/tsdb/ ./internal/relstore/
 
@@ -35,6 +38,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
+# Benchmark-regression gate: re-runs the suites and compares against the
+# committed baselines (BENCH_*.json), failing on >25% regressions. Slow;
+# runs nightly in CI (.github/workflows/bench.yml) or on demand.
+benchdiff:
+	$(GO) run ./tools/benchdiff -tolerance 0.25
+
+# Guard against Makefile <-> ci.yml drift (race package lists, .PHONY).
+ci-sync-check:
+	./tools/ci_sync_check.sh
+
 lint:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; \
@@ -42,5 +55,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint test race wal-recovery querycache bench-smoke
+ci: build lint ci-sync-check test race wal-recovery querycache bench-smoke
 	@echo "ci: all green"

@@ -39,6 +39,7 @@ func main() {
 		apiListen  = flag.String("api-listen", ":9200", "CEEMS API server listen address")
 		report     = flag.Duration("report", 10*time.Minute, "simulated interval between dashboard prints")
 		walDir     = flag.String("wal-dir", "", "TSDB write-ahead-log directory; a restarted sim replays it (empty = memory-only head)")
+		walComp    = flag.Bool("wal-compression", true, "write new WAL files in format v2 (Gorilla samples, block-compressed series); false keeps raw v1 records")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 	opts.ShortUnitCutoff = cfg.APIServer.ShortUnitCutoff
 	opts.Zone = cfg.Cluster.Zone
 	opts.WALDir = *walDir
+	opts.WALCompression = *walComp
 
 	sim, err := cluster.New(topo, opts, cfg.Sim.Users, cfg.Sim.Projects, cfg.Sim.JobsPerDay)
 	if err != nil {

@@ -53,6 +53,10 @@ type Options struct {
 	// per-shard write-ahead logs under this directory and a restarted sim
 	// replays them in parallel. "" keeps the head memory-only.
 	WALDir string
+	// WALCompression writes new WAL files in format v2 (Gorilla-encoded
+	// samples, block-compressed series records); false keeps raw v1
+	// records. Existing files of either format always replay.
+	WALCompression bool
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -67,6 +71,7 @@ func DefaultOptions() Options {
 		Zone:            "FR",
 		Factor:          emissions.OWID{},
 		HeadRetention:   2 * time.Hour,
+		WALCompression:  true,
 	}
 }
 
@@ -164,6 +169,7 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 	// Exporters + scrape groups per class.
 	tsdbOpts := tsdb.DefaultOptions()
 	tsdbOpts.WALDir = opts.WALDir
+	tsdbOpts.WALCompression = opts.WALCompression
 	sim.DB, err = tsdb.Open(tsdbOpts)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open tsdb: %w", err)

@@ -43,12 +43,18 @@ func TestEq1RulesConservationProperty(t *testing.T) {
 				cpus := 1 + rng.Intn(maxCPU)
 				cpusLeft -= cpus
 				util := 0.05 + 0.9*rng.Float64()
+				// Drawn once here, NOT inside the closure: hw.Node.Advance
+				// iterates its workload map in randomized order, so a
+				// closure pulling from the shared rng per call hands each
+				// job different values on every run — the subtest must be a
+				// pure function of the seed.
+				memUtil := 0.1 + 0.8*rng.Float64()
 				id := string(rune('1' + j))
 				err := env.node.AddWorkload(&hw.Workload{
 					ID: "job_" + id, CPUs: cpus,
 					MemLimit: spec.MemBytes / int64(nJobs),
 					CPUUtil:  func(time.Duration) float64 { return util },
-					MemUtil:  func(time.Duration) float64 { return 0.1 + 0.8*rng.Float64() },
+					MemUtil:  func(time.Duration) float64 { return memUtil },
 				})
 				if err != nil {
 					t.Fatal(err)

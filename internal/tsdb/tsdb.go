@@ -57,11 +57,19 @@ type Options struct {
 	// WALSegmentSize rotates WAL segments at this many bytes; 0 picks
 	// DefaultWALSegmentSize.
 	WALSegmentSize int64
+	// WALCompression writes new WAL files in format v2: Gorilla-encoded
+	// samples records and block-compressed series/tombstone records, ~3-4x
+	// fewer journal bytes (see walv2.go). Existing v1 files always replay;
+	// the format is chosen per file, so toggling this migrates the journal
+	// naturally at the next rotation or checkpoint. False keeps writing v1
+	// (raw payloads, inspectable with a hex dump).
+	WALCompression bool
 }
 
-// DefaultOptions returns production-like defaults (15 days retention).
+// DefaultOptions returns production-like defaults (15 days retention,
+// compressed WAL when one is configured).
 func DefaultOptions() Options {
-	return Options{MaxSamplesPerChunk: 120, RetentionMillis: 15 * 24 * 3600 * 1000}
+	return Options{MaxSamplesPerChunk: 120, RetentionMillis: 15 * 24 * 3600 * 1000, WALCompression: true}
 }
 
 // DB is the in-memory time-series database, optionally backed by a

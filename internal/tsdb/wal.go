@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -32,11 +33,20 @@ import (
 //	           ref uvarint, t varint, value float64 bits (8 bytes)
 //	deletes := count uvarint, then ref uvarint per deleted series
 //
+// That is format v1: self-describing, raw payloads. With
+// Options.WALCompression, new files are written in format v2 (walv2.go): a
+// 5-byte magic+version header, then the same framing with Gorilla-encoded
+// samples records and block-compressed series/tombstone records. The format
+// is chosen per file, so v1 and v2 files coexist in one shard directory and
+// toggling the option migrates the journal at the next rotation.
+//
 // Segments are numbered 00000001.wal, 00000002.wal, ... and rotate at
-// Options.WALSegmentSize. A checkpoint (run per shard by Truncate) writes
+// Options.WALSegmentSize. A checkpoint (run per shard by Truncate) streams
 // checkpoint.snap — a full snapshot of the shard's retained series and
-// samples in the same record format — fsyncs it into place, and then drops
-// every segment that predates it, so the WAL stays bounded by head size.
+// samples in the same record format, written series-by-series through a
+// buffered writer so the resident cost is O(series), not O(shard bytes) —
+// fsyncs it into place, and then drops every segment that predates it, so
+// the WAL stays bounded by head size.
 //
 // Replay (walreplay.go) tolerates a torn final record per file: the file is
 // truncated back to the last whole record and recovery continues, exactly
@@ -88,6 +98,11 @@ type shardWAL struct {
 	dir      string
 	segLimit int64
 
+	// walRecEncoder carries the format choice (v1 or v2) plus the encoder
+	// state of the OPEN SEGMENT; rotation resets it. Checkpoint files get
+	// their own encoder — their state must not leak into the segment's.
+	walRecEncoder
+
 	f        *os.File
 	bw       *bufio.Writer
 	segIndex int   // index of the open segment
@@ -98,6 +113,46 @@ type shardWAL struct {
 
 	records     atomic.Uint64 // records written since open
 	checkpoints atomic.Uint64
+}
+
+// walRecEncoder frames records in one format: v1 raw payloads, or v2 with
+// Gorilla samples and block-compressed series/tombstones. enc is the
+// per-file Gorilla state (nil in v1 mode).
+type walRecEncoder struct {
+	compress bool
+	enc      *walV2Enc
+	scratch  []byte // staging buffer for payloads compressed as a block
+}
+
+func newWalRecEncoder(compress bool) walRecEncoder {
+	e := walRecEncoder{compress: compress}
+	if compress {
+		e.enc = newWalV2Enc()
+	}
+	return e
+}
+
+func (e *walRecEncoder) appendSeriesRecord(dst []byte, recs []walSeriesRec) []byte {
+	if !e.compress {
+		return appendFramed(dst, walRecSeries, func(b []byte) []byte { return encodeSeriesPayload(b, recs) })
+	}
+	e.scratch = encodeSeriesPayload(e.scratch[:0], recs)
+	return appendFramed(dst, walRecSeriesV2, func(b []byte) []byte { return appendCompressed(b, e.scratch) })
+}
+
+func (e *walRecEncoder) appendSamplesRecord(dst []byte, recs []walSampleRec) []byte {
+	if !e.compress {
+		return appendFramed(dst, walRecSamples, func(b []byte) []byte { return encodeSamplesPayload(b, recs) })
+	}
+	return appendFramed(dst, walRecSamplesV2, func(b []byte) []byte { return e.enc.appendSamples(b, recs) })
+}
+
+func (e *walRecEncoder) appendDeletesRecord(dst []byte, refs []uint64) []byte {
+	if !e.compress {
+		return appendFramed(dst, walRecDeletes, func(b []byte) []byte { return encodeDeletesPayload(b, refs) })
+	}
+	e.scratch = encodeDeletesPayload(e.scratch[:0], refs)
+	return appendFramed(dst, walRecDeletesV2, func(b []byte) []byte { return appendCompressed(b, e.scratch) })
 }
 
 func walShardDir(walDir string, shard int) string {
@@ -111,14 +166,14 @@ func walSegName(dir string, index int) string {
 // openShardWAL creates (or continues) the journal of one shard, opening a
 // fresh segment with the given index. Replay always hands over a new
 // segment index so a possibly-repaired tail file is never appended to.
-func openShardWAL(dir string, segLimit int64, segIndex, firstSeg int, nextRef uint64) (*shardWAL, error) {
+func openShardWAL(dir string, segLimit int64, segIndex, firstSeg int, nextRef uint64, compress bool) (*shardWAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if segLimit <= 0 {
 		segLimit = DefaultWALSegmentSize
 	}
-	w := &shardWAL{dir: dir, segLimit: segLimit, segIndex: segIndex, firstSeg: firstSeg, nextRef: nextRef}
+	w := &shardWAL{dir: dir, segLimit: segLimit, walRecEncoder: newWalRecEncoder(compress), segIndex: segIndex, firstSeg: firstSeg, nextRef: nextRef}
 	if err := w.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -133,6 +188,14 @@ func (w *shardWAL) openSegmentLocked() error {
 	w.f = f
 	w.bw = bufio.NewWriterSize(f, 64*1024)
 	w.segBytes = 0
+	if w.compress {
+		// The v2 header travels with the first flushed record; a crash
+		// before then leaves an empty file or a magic prefix, both of which
+		// replay as zero records. Gorilla state starts fresh with the file.
+		w.bw.Write([]byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walFormatV2})
+		w.segBytes = walFileHeaderLen
+		w.enc = newWalV2Enc()
+	}
 	return nil
 }
 
@@ -212,21 +275,7 @@ func encodeDeletesPayload(dst []byte, refs []uint64) []byte {
 // samples, then deletes — as one buffered write followed by one flush. The
 // caller holds w.mu.
 func (w *shardWAL) logLocked(series []walSeriesRec, samples []walSampleRec, deletes []uint64) error {
-	w.buf = w.buf[:0]
-	nrec := uint64(0)
-	if len(series) > 0 {
-		w.buf = appendFramed(w.buf, walRecSeries, func(b []byte) []byte { return encodeSeriesPayload(b, series) })
-		nrec++
-	}
-	if len(samples) > 0 {
-		w.buf = appendFramed(w.buf, walRecSamples, func(b []byte) []byte { return encodeSamplesPayload(b, samples) })
-		nrec++
-	}
-	if len(deletes) > 0 {
-		w.buf = appendFramed(w.buf, walRecDeletes, func(b []byte) []byte { return encodeDeletesPayload(b, deletes) })
-		nrec++
-	}
-	if len(w.buf) == 0 {
+	if len(series) == 0 && len(samples) == 0 && len(deletes) == 0 {
 		return nil
 	}
 	if w.f == nil {
@@ -237,10 +286,27 @@ func (w *shardWAL) logLocked(series []walSeriesRec, samples []walSampleRec, dele
 			return err
 		}
 	}
+	// Rotate BEFORE encoding: the v2 Gorilla encoder state is per segment,
+	// so a record must be encoded against the state of the file it will
+	// land in (rotation resets the state).
 	if w.segBytes >= w.segLimit {
 		if err := w.rotateLocked(); err != nil {
 			return err
 		}
+	}
+	w.buf = w.buf[:0]
+	nrec := uint64(0)
+	if len(series) > 0 {
+		w.buf = w.appendSeriesRecord(w.buf, series)
+		nrec++
+	}
+	if len(samples) > 0 {
+		w.buf = w.appendSamplesRecord(w.buf, samples)
+		nrec++
+	}
+	if len(deletes) > 0 {
+		w.buf = w.appendDeletesRecord(w.buf, deletes)
+		nrec++
 	}
 	if _, err := w.bw.Write(w.buf); err != nil {
 		return fmt.Errorf("tsdb: wal append: %w", err)
@@ -286,12 +352,16 @@ func (w *shardWAL) Close() error {
 }
 
 // checkpoint makes the shard's current retained state durable and bounded:
-// it rotates the open segment, writes a full snapshot of the shard (series
+// it rotates the open segment, streams a full snapshot of the shard (series
 // registrations plus every retained sample, in normal record format) to
 // checkpoint.snap via tmp + fsync + rename + directory sync, and only then
 // deletes all segments that predate the rotation. A crash at any point
 // leaves either the old segments or the complete new snapshot on disk —
 // never neither — so acknowledged writes survive any interleaving.
+//
+// The snapshot is written series-by-series through a buffered writer: the
+// resident cost is the series pointer slice plus one series' samples, not
+// the whole shard's encoded bytes.
 //
 // Commits to this shard block for the duration (they take w.mu); other
 // shards are unaffected.
@@ -309,30 +379,17 @@ func (w *shardWAL) checkpoint(sh *headShard) error {
 	}
 	oldLast := w.segIndex - 1
 
-	snap, err := w.encodeSnapshotLocked(sh)
-	if err != nil {
-		return err
-	}
 	final := filepath.Join(w.dir, walCheckpointFile)
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	// w.mu excludes every writer to this shard, so the series/sample view
+	// is coherent with the rotated-away segments.
+	err := writeFileDurably(tmp, func(dst *bufio.Writer) error {
+		return streamShardSnapshot(dst, sh, w.compress, func(s *memSeries) uint64 {
+			ref, _ := w.refForLocked(s)
+			return ref
+		})
+	})
 	if err != nil {
-		return err
-	}
-	if _, err := f.Write(snap); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	// The snapshot must be on stable storage before the rename publishes it
-	// and before any segment it replaces is unlinked.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
@@ -351,20 +408,57 @@ func (w *shardWAL) checkpoint(sh *headShard) error {
 	return nil
 }
 
-// encodeSnapshotLocked serializes the shard's full retained state. The
-// caller holds w.mu, which excludes every writer to this shard, so the
-// series/sample view is coherent with the rotated-away segments.
-func (w *shardWAL) encodeSnapshotLocked(sh *headShard) ([]byte, error) {
-	return encodeShardSnapshot(sh, func(s *memSeries) uint64 {
-		ref, _ := w.refForLocked(s)
-		return ref
-	}), nil
+// writeFileDurably creates path, hands a buffered writer to fill, then
+// flushes and fsyncs before closing — the write-side half of the
+// tmp+rename+dir-sync discipline. The file is removed on any error.
+func writeFileDurably(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 256*1024)
+	if err := fill(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	// The contents must be on stable storage before the caller's rename
+	// publishes the file and before any data it replaces is unlinked.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
 }
 
-// encodeShardSnapshot serializes every series and retained sample of a
-// shard in normal record format; refFor supplies (or assigns) the WAL ref
-// per series. Callers must exclude concurrent WAL writers to the shard.
-func encodeShardSnapshot(sh *headShard, refFor func(*memSeries) uint64) []byte {
+// walSnapshotSeriesBatch is how many series registrations share one series
+// record in a snapshot: large enough to amortize framing (and give the v2
+// block compressor something to chew on), small enough to keep the encode
+// buffer a rounding error next to the shard.
+const walSnapshotSeriesBatch = 256
+
+// streamShardSnapshot writes a full snapshot of the shard — every retained
+// series registration, then one samples record per series — to dst in the
+// chosen format; refFor supplies (or assigns) the WAL ref per series.
+// Memory stays O(series + one series' samples): registrations are framed in
+// batches of walSnapshotSeriesBatch and each series' samples are encoded
+// into a reused buffer, never the whole shard at once. Callers must exclude
+// concurrent WAL writers to the shard.
+func streamShardSnapshot(dst io.Writer, sh *headShard, compress bool, refFor func(*memSeries) uint64) error {
+	if compress {
+		if _, err := dst.Write([]byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walFormatV2}); err != nil {
+			return err
+		}
+	}
 	sh.mu.RLock()
 	series := make([]*memSeries, 0, len(sh.byRef))
 	for _, s := range sh.byRef {
@@ -372,28 +466,47 @@ func encodeShardSnapshot(sh *headShard, refFor func(*memSeries) uint64) []byte {
 	}
 	sh.mu.RUnlock()
 
-	var out []byte
-	srecs := make([]walSeriesRec, 0, len(series))
+	enc := newWalRecEncoder(compress)
+	var buf []byte
+	srecs := make([]walSeriesRec, 0, walSnapshotSeriesBatch)
+	flushSeries := func() error {
+		if len(srecs) == 0 {
+			return nil
+		}
+		buf = enc.appendSeriesRecord(buf[:0], srecs)
+		srecs = srecs[:0]
+		_, err := dst.Write(buf)
+		return err
+	}
 	for _, s := range series {
 		srecs = append(srecs, walSeriesRec{ref: refFor(s), lset: s.lset})
+		if len(srecs) == walSnapshotSeriesBatch {
+			if err := flushSeries(); err != nil {
+				return err
+			}
+		}
 	}
-	if len(srecs) > 0 {
-		out = appendFramed(out, walRecSeries, func(b []byte) []byte { return encodeSeriesPayload(b, srecs) })
+	if err := flushSeries(); err != nil {
+		return err
 	}
-	// One samples record per series keeps record payloads proportional to a
-	// single series, not the whole shard.
+	// One samples record per series keeps record payloads (and the encode
+	// buffer) proportional to a single series, not the whole shard.
+	var recs []walSampleRec
 	for _, s := range series {
 		samples := s.samplesBetween(-(int64(1) << 62), int64(1)<<62)
 		if len(samples) == 0 {
 			continue
 		}
-		recs := make([]walSampleRec, len(samples))
-		for i, smp := range samples {
-			recs[i] = walSampleRec{ref: s.walRef, t: smp.T, v: smp.V}
+		recs = recs[:0]
+		for _, smp := range samples {
+			recs = append(recs, walSampleRec{ref: s.walRef, t: smp.T, v: smp.V})
 		}
-		out = appendFramed(out, walRecSamples, func(b []byte) []byte { return encodeSamplesPayload(b, recs) })
+		buf = enc.appendSamplesRecord(buf[:0], recs)
+		if _, err := dst.Write(buf); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
 
 // syncDir fsyncs a directory so renames and unlinks inside it are durable.

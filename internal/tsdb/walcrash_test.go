@@ -1,9 +1,12 @@
 package tsdb
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -18,11 +21,12 @@ import (
 
 // ---------------------------------------------------------------------------
 // Test-local WAL decoder: an independent oracle for what a damaged WAL is
-// supposed to recover to. It re-implements the record format from the spec
-// in wal.go (it shares only the constants), applies the same semantics the
-// head uses (out-of-order samples are skipped), and stops at the first
-// incomplete or corrupt record of each file — everything before the damage
-// is the durable prefix.
+// supposed to recover to. It re-implements the record format — v1 AND v2 —
+// from the specs in wal.go/walv2.go (it shares only the constants with the
+// production decoder), applies the same semantics the head uses
+// (out-of-order samples are skipped), and stops at the first incomplete or
+// corrupt record of each file — everything before the damage is the
+// durable prefix.
 // ---------------------------------------------------------------------------
 
 type oracleState struct {
@@ -41,15 +45,95 @@ func newOracle() *oracleState {
 	}
 }
 
+// oracleGorilla is the oracle's own per-series Gorilla decode state for one
+// v2 file; it works on raw value bits rather than floats.
+type oracleGorilla struct {
+	t        int64
+	tDelta   int64
+	vbits    uint64
+	leading  int
+	trailing int
+	n        int
+}
+
+// oracleBits is an independently-written bit reader: one absolute bit
+// cursor over the payload, no byte/offset split like the production reader.
+type oracleBits struct {
+	data []byte
+	pos  int // absolute bit position
+}
+
+func (r *oracleBits) bit() (uint64, bool) {
+	if r.pos >= 8*len(r.data) {
+		return 0, false
+	}
+	b := (r.data[r.pos/8] >> (7 - r.pos%8)) & 1
+	r.pos++
+	return uint64(b), true
+}
+
+func (r *oracleBits) bits(n int) (uint64, bool) {
+	var u uint64
+	for i := 0; i < n; i++ {
+		b, ok := r.bit()
+		if !ok {
+			return 0, false
+		}
+		u = u<<1 | b
+	}
+	return u, true
+}
+
+func (r *oracleBits) uvarint() (uint64, bool) {
+	var x uint64
+	var s uint
+	for {
+		b, ok := r.bits(8)
+		if !ok || s > 63 {
+			return 0, false
+		}
+		if b < 0x80 {
+			return x | b<<s, true
+		}
+		x |= (b & 0x7f) << s
+		s += 7
+	}
+}
+
+func (r *oracleBits) varint() (int64, bool) {
+	u, ok := r.uvarint()
+	if !ok {
+		return 0, false
+	}
+	v := int64(u >> 1)
+	if u&1 == 1 {
+		v = ^v
+	}
+	return v, true
+}
+
 // decodeFile applies one WAL file to the oracle, stopping (and reporting
-// torn=true) at the first incomplete or CRC-corrupt record.
+// torn=true) at the first incomplete or CRC-corrupt record. The file's
+// format is sniffed from the v2 magic, like the production replayer.
 func (o *oracleState) decodeFile(t *testing.T, path string) (torn bool) {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("oracle read %s: %v", path, err)
 	}
-	off := 0
+	off, maxType := 0, walRecDeletes
+	var gorilla map[uint64]*oracleGorilla
+	if len(data) > 0 && data[0] == 'C' {
+		// Possible v2 header.
+		if len(data) < 5 || string(data[:4]) != "CWAL" {
+			return true // strict prefix of the magic: torn at byte 0
+		}
+		if data[4] != 2 {
+			t.Fatalf("oracle: unknown wal format version %d", data[4])
+		}
+		off, maxType = 5, walRecDeletesV2
+		gorilla = map[uint64]*oracleGorilla{}
+	}
 	for off < len(data) {
 		if len(data)-off < walHeaderSize {
 			return true
@@ -57,17 +141,231 @@ func (o *oracleState) decodeFile(t *testing.T, path string) (torn bool) {
 		typ := data[off]
 		plen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
 		crc := binary.LittleEndian.Uint32(data[off+5 : off+9])
-		if typ == 0 || typ > walRecDeletes || plen > walMaxPayload || len(data)-off-walHeaderSize < plen {
+		if typ == 0 || typ > maxType || plen > walMaxPayload || len(data)-off-walHeaderSize < plen {
 			return true
 		}
 		payload := data[off+walHeaderSize : off+walHeaderSize+plen]
 		if crc32.Checksum(payload, walCRC) != crc {
 			return true
 		}
-		o.apply(t, typ, payload)
+		switch typ {
+		case walRecSeries, walRecSamples, walRecDeletes:
+			o.apply(t, typ, payload)
+		case walRecSeriesV2, walRecDeletesV2:
+			raw, ok := oracleInflate(t, payload)
+			if !ok {
+				return true
+			}
+			if typ == walRecSeriesV2 {
+				o.apply(t, walRecSeries, raw)
+			} else {
+				o.apply(t, walRecDeletes, raw)
+			}
+		case walRecSamplesV2:
+			if !o.applySamplesV2(payload, gorilla) {
+				return true
+			}
+		}
 		off += walHeaderSize + plen
 	}
 	return false
+}
+
+// oracleInflate undoes the v2 block compression (1-byte flag, then raw or
+// DEFLATE bytes).
+func oracleInflate(t *testing.T, payload []byte) ([]byte, bool) {
+	t.Helper()
+	if len(payload) == 0 {
+		return nil, false
+	}
+	switch payload[0] {
+	case 0:
+		return payload[1:], true
+	case 1:
+		out, err := io.ReadAll(flate.NewReader(bytes.NewReader(payload[1:])))
+		if err != nil {
+			return nil, false
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// applySamplesV2 decodes one Gorilla samples record with the oracle's own
+// reader and applies each sample. Returns false on any decode failure
+// (treated as a torn record by the caller).
+func (o *oracleState) applySamplesV2(payload []byte, gorilla map[uint64]*oracleGorilla) bool {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return false
+	}
+	r := &oracleBits{data: payload[n:]}
+	lastRef := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		// Ref delta buckets: 0 -> +1, 10 -> 0, 11 -> zigzag varint.
+		b1, ok := r.bit()
+		if !ok {
+			return false
+		}
+		ref := lastRef
+		if b1 == 0 {
+			ref = lastRef + 1
+		} else {
+			b2, ok := r.bit()
+			if !ok {
+				return false
+			}
+			if b2 == 1 {
+				zz, ok := r.uvarint()
+				if !ok {
+					return false
+				}
+				d := int64(zz >> 1)
+				if zz&1 == 1 {
+					d = ^d
+				}
+				ref = uint64(int64(lastRef) + d)
+			}
+		}
+		lastRef = ref
+		g := gorilla[ref]
+		if g == nil {
+			g = &oracleGorilla{leading: -1}
+			gorilla[ref] = g
+		}
+		var tv int64
+		var vbits uint64
+		switch g.n {
+		case 0:
+			tv, ok = r.varint()
+			if !ok {
+				return false
+			}
+			vbits, ok = r.bits(64)
+			if !ok {
+				return false
+			}
+		case 1:
+			td, ok2 := r.uvarint()
+			if !ok2 {
+				return false
+			}
+			g.tDelta = int64(td)
+			tv = g.t + g.tDelta
+			vbits, ok = o.readOracleXOR(r, g)
+			if !ok {
+				return false
+			}
+		default:
+			dod, ok2 := readOracleDOD(r)
+			if !ok2 {
+				return false
+			}
+			g.tDelta += dod
+			tv = g.t + g.tDelta
+			vbits, ok = o.readOracleXOR(r, g)
+			if !ok {
+				return false
+			}
+		}
+		g.t, g.vbits = tv, vbits
+		g.n++
+		o.applySample(ref, tv, math.Float64frombits(vbits))
+	}
+	return true
+}
+
+func readOracleDOD(r *oracleBits) (int64, bool) {
+	// Read the unary-ish prefix: up to four 1-bits.
+	ones := 0
+	for ones < 4 {
+		b, ok := r.bit()
+		if !ok {
+			return 0, false
+		}
+		if b == 0 {
+			break
+		}
+		ones++
+	}
+	var sz int
+	switch ones {
+	case 0:
+		return 0, true
+	case 1:
+		sz = 14
+	case 2:
+		sz = 17
+	case 3:
+		sz = 20
+	case 4:
+		u, ok := r.bits(64)
+		if !ok {
+			return 0, false
+		}
+		return int64(u), true
+	}
+	u, ok := r.bits(sz)
+	if !ok {
+		return 0, false
+	}
+	if u > 1<<(sz-1) {
+		u -= 1 << sz
+	}
+	return int64(u), true
+}
+
+func (o *oracleState) readOracleXOR(r *oracleBits, g *oracleGorilla) (uint64, bool) {
+	ctrl, ok := r.bit()
+	if !ok {
+		return 0, false
+	}
+	if ctrl == 0 {
+		return g.vbits, true
+	}
+	newWin, ok := r.bit()
+	if !ok {
+		return 0, false
+	}
+	if newWin == 1 {
+		l, ok := r.bits(5)
+		if !ok {
+			return 0, false
+		}
+		sig, ok := r.bits(6)
+		if !ok {
+			return 0, false
+		}
+		if sig == 0 {
+			sig = 64
+		}
+		g.leading = int(l)
+		g.trailing = 64 - int(l) - int(sig)
+	}
+	if g.leading < 0 {
+		return 0, false // window bits before any window was established
+	}
+	sigbits := 64 - g.leading - g.trailing
+	u, ok := r.bits(sigbits)
+	if !ok {
+		return 0, false
+	}
+	return g.vbits ^ (u << g.trailing), true
+}
+
+// applySample applies one decoded sample with the head's semantics
+// (unknown refs dropped, out-of-order skipped).
+func (o *oracleState) applySample(ref uint64, tv int64, v float64) {
+	key, ok := o.series[ref]
+	if !ok {
+		return
+	}
+	if last, seen := o.lastT[key]; seen && tv <= last {
+		return // out-of-order: the head skips these too
+	}
+	o.lastT[key] = tv
+	o.samples[key] = append(o.samples[key], model.Sample{T: tv, V: v})
 }
 
 func (o *oracleState) apply(t *testing.T, typ byte, p []byte) {
@@ -113,15 +411,7 @@ func (o *oracleState) apply(t *testing.T, typ byte, p []byte) {
 			p = p[n:]
 			v := math.Float64frombits(binary.LittleEndian.Uint64(p[:8]))
 			p = p[8:]
-			key, ok := o.series[ref]
-			if !ok {
-				continue
-			}
-			if last, seen := o.lastT[key]; seen && tv <= last {
-				continue // out-of-order: the head skips these too
-			}
-			o.lastT[key] = tv
-			o.samples[key] = append(o.samples[key], model.Sample{T: tv, V: v})
+			o.applySample(ref, tv, v)
 		}
 	case walRecDeletes:
 		count := u()
@@ -173,9 +463,9 @@ func crashSeries(i int) labels.Labels {
 // fillWAL appends nBatches scrape-shaped batches of nSeries samples each
 // through the batch Appender (the scrape commit path) plus a few direct
 // Appends, then closes the head. Returns the final in-memory contents.
-func fillWAL(t *testing.T, dir string, shards, nSeries, nBatches int, segSize int64) []model.Series {
+func fillWAL(t *testing.T, dir string, shards, nSeries, nBatches int, segSize int64, compress bool) []model.Series {
 	t.Helper()
-	db, err := Open(Options{Shards: shards, WALDir: dir, WALSegmentSize: segSize})
+	db, err := Open(Options{Shards: shards, WALDir: dir, WALSegmentSize: segSize, WALCompression: compress})
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -304,91 +594,97 @@ func assertPrefix(t *testing.T, got, full []model.Series, what string) {
 // crash before the tail reached disk looks like), reopen, and require the
 // recovered head to be sample-identical to an independent decoder replaying
 // the same durable prefix. The head must also keep working: appends after
-// recovery, and a second clean reopen, must see consistent data.
+// recovery, and a second clean reopen, must see consistent data. The whole
+// property runs in both formats: a cut mid-way through a v2 compressed
+// block must truncate to the last whole record exactly like v1.
 func TestWALCrashRecoveryAtRandomOffsets(t *testing.T) {
-	baseDir := t.TempDir()
-	full := fillWAL(t, filepath.Join(baseDir, "wal"), 1, 8, 60, 2048)
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			baseDir := t.TempDir()
+			full := fillWAL(t, filepath.Join(baseDir, "wal"), 1, 8, 60, 2048, compress)
 
-	files := walFiles(t, filepath.Join(baseDir, "wal"))
-	if len(files) < 3 {
-		t.Fatalf("expected multiple segments (rotation), got %d files", len(files))
-	}
-	var total int64
-	sizes := make([]int64, len(files))
-	for i, f := range files {
-		st, err := os.Stat(f)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sizes[i] = st.Size()
-		total += st.Size()
-	}
-
-	rng := rand.New(rand.NewSource(0xBADC0FFE))
-	trials := 25
-	if testing.Short() {
-		trials = 6
-	}
-	for trial := 0; trial < trials; trial++ {
-		offset := rng.Int63n(total + 1) // total itself = clean shutdown
-		t.Run(fmt.Sprintf("offset=%d", offset), func(t *testing.T) {
-			scratch := t.TempDir()
-			crashed := filepath.Join(scratch, "wal")
-			copyDir(t, filepath.Join(baseDir, "wal"), crashed)
-
-			// Hard-stop: truncate the file holding the offset, delete every
-			// later file (those bytes were never written).
-			cut := offset
-			crashedFiles := walFiles(t, crashed)
-			for i, f := range crashedFiles {
-				if cut > sizes[i] {
-					cut -= sizes[i]
-					continue
-				}
-				if err := os.Truncate(f, cut); err != nil {
+			files := walFiles(t, filepath.Join(baseDir, "wal"))
+			if len(files) < 3 {
+				t.Fatalf("expected multiple segments (rotation), got %d files", len(files))
+			}
+			var total int64
+			sizes := make([]int64, len(files))
+			for i, f := range files {
+				st, err := os.Stat(f)
+				if err != nil {
 					t.Fatal(err)
 				}
-				for _, later := range crashedFiles[i+1:] {
-					if err := os.Remove(later); err != nil {
+				sizes[i] = st.Size()
+				total += st.Size()
+			}
+
+			rng := rand.New(rand.NewSource(0xBADC0FFE))
+			trials := 25
+			if testing.Short() {
+				trials = 6
+			}
+			for trial := 0; trial < trials; trial++ {
+				offset := rng.Int63n(total + 1) // total itself = clean shutdown
+				t.Run(fmt.Sprintf("offset=%d", offset), func(t *testing.T) {
+					scratch := t.TempDir()
+					crashed := filepath.Join(scratch, "wal")
+					copyDir(t, filepath.Join(baseDir, "wal"), crashed)
+
+					// Hard-stop: truncate the file holding the offset, delete every
+					// later file (those bytes were never written).
+					cut := offset
+					crashedFiles := walFiles(t, crashed)
+					for i, f := range crashedFiles {
+						if cut > sizes[i] {
+							cut -= sizes[i]
+							continue
+						}
+						if err := os.Truncate(f, cut); err != nil {
+							t.Fatal(err)
+						}
+						for _, later := range crashedFiles[i+1:] {
+							if err := os.Remove(later); err != nil {
+								t.Fatal(err)
+							}
+						}
+						break
+					}
+
+					// Oracle: decode the damaged prefix independently.
+					oracle := newOracle()
+					for _, f := range walFiles(t, crashed) {
+						if oracle.decodeFile(t, f) {
+							break // torn: nothing after this file survives
+						}
+					}
+					want := oracle.expected()
+
+					db, err := Open(Options{Shards: 1, WALDir: crashed, WALSegmentSize: 2048, WALCompression: compress})
+					if err != nil {
+						t.Fatalf("reopen after crash at %d: %v", offset, err)
+					}
+					assertSeriesEqual(t, selectAll(t, db), want, "recovered head vs oracle")
+					assertPrefix(t, selectAll(t, db), full, "recovered head vs full history")
+
+					// The repaired head must accept new writes and survive a second
+					// reopen without losing them.
+					post := labels.FromStrings(labels.MetricName, "wal_post_crash", "trial", fmt.Sprint(trial))
+					if err := db.Append(post, 1<<50, 42); err != nil {
+						t.Fatalf("append after recovery: %v", err)
+					}
+					afterAppend := selectAll(t, db)
+					if err := db.Close(); err != nil {
 						t.Fatal(err)
 					}
-				}
-				break
-			}
-
-			// Oracle: decode the damaged prefix independently.
-			oracle := newOracle()
-			for _, f := range walFiles(t, crashed) {
-				if oracle.decodeFile(t, f) {
-					break // torn: nothing after this file survives
-				}
-			}
-			want := oracle.expected()
-
-			db, err := Open(Options{Shards: 1, WALDir: crashed, WALSegmentSize: 2048})
-			if err != nil {
-				t.Fatalf("reopen after crash at %d: %v", offset, err)
-			}
-			assertSeriesEqual(t, selectAll(t, db), want, "recovered head vs oracle")
-			assertPrefix(t, selectAll(t, db), full, "recovered head vs full history")
-
-			// The repaired head must accept new writes and survive a second
-			// reopen without losing them.
-			post := labels.FromStrings(labels.MetricName, "wal_post_crash", "trial", fmt.Sprint(trial))
-			if err := db.Append(post, 1<<50, 42); err != nil {
-				t.Fatalf("append after recovery: %v", err)
-			}
-			afterAppend := selectAll(t, db)
-			if err := db.Close(); err != nil {
-				t.Fatal(err)
-			}
-			db2, err := Open(Options{Shards: 1, WALDir: crashed, WALSegmentSize: 2048})
-			if err != nil {
-				t.Fatalf("second reopen: %v", err)
-			}
-			assertSeriesEqual(t, selectAll(t, db2), afterAppend, "second reopen")
-			if err := db2.Close(); err != nil {
-				t.Fatal(err)
+					db2, err := Open(Options{Shards: 1, WALDir: crashed, WALSegmentSize: 2048, WALCompression: compress})
+					if err != nil {
+						t.Fatalf("second reopen: %v", err)
+					}
+					assertSeriesEqual(t, selectAll(t, db2), afterAppend, "second reopen")
+					if err := db2.Close(); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 		})
 	}
@@ -399,9 +695,17 @@ func TestWALCrashRecoveryAtRandomOffsets(t *testing.T) {
 // tail — every recovered series is a prefix of what was written, and series
 // of undamaged shards are complete.
 func TestWALCrashRecoveryShardedPrefix(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALCrashRecoveryShardedPrefix(t, compress)
+		})
+	}
+}
+
+func testWALCrashRecoveryShardedPrefix(t *testing.T, compress bool) {
 	baseDir := t.TempDir()
 	walDir := filepath.Join(baseDir, "wal")
-	full := fillWAL(t, walDir, 16, 64, 30, 1024)
+	full := fillWAL(t, walDir, 16, 64, 30, 1024, compress)
 
 	rng := rand.New(rand.NewSource(42))
 	trials := 10
@@ -438,7 +742,7 @@ func TestWALCrashRecoveryShardedPrefix(t *testing.T) {
 				}
 			}
 
-			db, err := Open(Options{Shards: 16, WALDir: crashed, WALSegmentSize: 1024})
+			db, err := Open(Options{Shards: 16, WALDir: crashed, WALSegmentSize: 1024, WALCompression: compress})
 			if err != nil {
 				t.Fatalf("reopen: %v", err)
 			}
@@ -476,12 +780,22 @@ func TestWALCrashRecoveryShardedPrefix(t *testing.T) {
 
 // TestWALCorruptRecordCRC flips one payload byte of a record in the middle
 // of the journal. Recovery must keep every record before the corrupt one,
-// drop the rest, and repair the file so the next open replays cleanly.
+// drop the rest, and repair the file so the next open replays cleanly. In
+// v2 mode the flipped byte lands inside a compressed payload — the CRC
+// must catch it before any decompression or Gorilla decode runs.
 func TestWALCorruptRecordCRC(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALCorruptRecordCRC(t, compress)
+		})
+	}
+}
+
+func testWALCorruptRecordCRC(t *testing.T, compress bool) {
 	dir := t.TempDir()
 	walDir := filepath.Join(dir, "wal")
 	// One big segment so the corrupt record has whole records after it.
-	fillWAL(t, walDir, 1, 4, 40, 1<<20)
+	fillWAL(t, walDir, 1, 4, 40, 1<<20, compress)
 
 	files := walFiles(t, walDir)
 	if len(files) != 1 {
@@ -494,9 +808,13 @@ func TestWALCorruptRecordCRC(t *testing.T) {
 	}
 
 	// Walk the record stream to find each record's payload bounds.
+	hdr := 0
+	if compress {
+		hdr = walFileHeaderLen
+	}
 	type recBounds struct{ payloadStart, payloadLen int }
 	var recs []recBounds
-	for off := 0; off+walHeaderSize <= len(data); {
+	for off := hdr; off+walHeaderSize <= len(data); {
 		plen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
 		recs = append(recs, recBounds{off + walHeaderSize, plen})
 		off += walHeaderSize + plen
@@ -519,7 +837,7 @@ func TestWALCorruptRecordCRC(t *testing.T) {
 		t.Fatal("oracle recovered nothing; corruption landed too early for a meaningful test")
 	}
 
-	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20})
+	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20, WALCompression: compress})
 	if err != nil {
 		t.Fatalf("reopen over corrupt record: %v", err)
 	}
@@ -533,7 +851,7 @@ func TestWALCorruptRecordCRC(t *testing.T) {
 	}
 
 	// The repair must be idempotent: a second open finds a clean journal.
-	db2, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20})
+	db2, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -550,9 +868,17 @@ func TestWALCorruptRecordCRC(t *testing.T) {
 // must be removed, so a second open cannot resurrect records the first
 // recovery declared dead.
 func TestWALCorruptSegmentDropsLaterSegments(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALCorruptSegmentDropsLaterSegments(t, compress)
+		})
+	}
+}
+
+func testWALCorruptSegmentDropsLaterSegments(t *testing.T, compress bool) {
 	dir := t.TempDir()
 	walDir := filepath.Join(dir, "wal")
-	fillWAL(t, walDir, 1, 8, 60, 2048) // small segments: several files
+	fillWAL(t, walDir, 1, 8, 60, 2048, compress) // small segments: several files
 
 	segs, _ := filepath.Glob(filepath.Join(walDir, "shard-0000", "*.wal"))
 	sort.Strings(segs)
@@ -565,7 +891,11 @@ func TestWALCorruptSegmentDropsLaterSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[walHeaderSize+2] ^= 0x01
+	hdr := 0
+	if compress {
+		hdr = walFileHeaderLen
+	}
+	data[hdr+walHeaderSize+2] ^= 0x01
 	if err := os.WriteFile(mid, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -576,7 +906,7 @@ func TestWALCorruptSegmentDropsLaterSegments(t *testing.T) {
 			break
 		}
 	}
-	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048})
+	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -593,8 +923,16 @@ func TestWALCorruptSegmentDropsLaterSegments(t *testing.T) {
 // checkpoint's lost tail — the intact segments journalled after it must
 // still replay, not be deleted alongside it.
 func TestWALCorruptCheckpointKeepsSegments(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALCorruptCheckpointKeepsSegments(t, compress)
+		})
+	}
+}
+
+func testWALCorruptCheckpointKeepsSegments(t *testing.T, compress bool) {
 	walDir := filepath.Join(t.TempDir(), "wal")
-	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20})
+	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -628,7 +966,7 @@ func TestWALCorruptCheckpointKeepsSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20})
+	re, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 1 << 20, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -728,8 +1066,22 @@ func TestWALRebuildCrashLeftovers(t *testing.T) {
 // segments dropped) and more appends, a reopen must reconstruct exactly the
 // live head — nothing acknowledged before the close may be missing.
 func TestWALCheckpointNeverLosesAcknowledgedWrites(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALCheckpointNeverLosesAcknowledgedWrites(t, compress)
+		})
+	}
+}
+
+func testWALCheckpointNeverLosesAcknowledgedWrites(t *testing.T, compress bool) {
 	walDir := filepath.Join(t.TempDir(), "wal")
-	db, err := Open(Options{Shards: 4, WALDir: walDir, WALSegmentSize: 1024})
+	// v2 journals the same commits in ~4x fewer bytes; shrink the segment
+	// limit so the test still rotates several times before the checkpoint.
+	segSize := int64(1024)
+	if compress {
+		segSize = 256
+	}
+	db, err := Open(Options{Shards: 4, WALDir: walDir, WALSegmentSize: segSize, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -777,7 +1129,7 @@ func TestWALCheckpointNeverLosesAcknowledgedWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, err := Open(Options{Shards: 4, WALDir: walDir, WALSegmentSize: 1024})
+	re, err := Open(Options{Shards: 4, WALDir: walDir, WALSegmentSize: segSize, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -785,11 +1137,19 @@ func TestWALCheckpointNeverLosesAcknowledgedWrites(t *testing.T) {
 	assertSeriesEqual(t, selectAll(t, re), live, "reopen after checkpoint")
 }
 
-// TestWALDeleteSeriesDurable: DeleteSeries journals tombstones, so a
-// reopened head must not resurrect deleted series.
+// TestWALDeleteSeriesDurable: DeleteSeries journals tombstones (block-
+// compressed in v2), so a reopened head must not resurrect deleted series.
 func TestWALDeleteSeriesDurable(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			testWALDeleteSeriesDurable(t, compress)
+		})
+	}
+}
+
+func testWALDeleteSeriesDurable(t *testing.T, compress bool) {
 	walDir := filepath.Join(t.TempDir(), "wal")
-	db, err := Open(Options{Shards: 2, WALDir: walDir})
+	db, err := Open(Options{Shards: 2, WALDir: walDir, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -811,7 +1171,7 @@ func TestWALDeleteSeriesDurable(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := Open(Options{Shards: 2, WALDir: walDir})
+	re, err := Open(Options{Shards: 2, WALDir: walDir, WALCompression: compress})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -138,7 +139,7 @@ func (db *DB) openWAL() error {
 					e.s.walRef = ref
 				}
 			}
-			w, err := openShardWAL(walShardDir(dir, i), db.opts.WALSegmentSize, segIndex, firstSeg, nextRef)
+			w, err := openShardWAL(walShardDir(dir, i), db.opts.WALSegmentSize, segIndex, firstSeg, nextRef, db.opts.WALCompression)
 			if err != nil {
 				return err
 			}
@@ -198,26 +199,17 @@ func (db *DB) rebuildWAL(dir string) error {
 		if err := os.MkdirAll(sdir, 0o755); err != nil {
 			return err
 		}
-		// Fresh refs per shard; no writers exist yet, so no lock needed.
-		snap := encodeShardSnapshot(sh, func(s *memSeries) uint64 {
-			nextRefs[i]++
-			s.walRef = nextRefs[i]
-			return s.walRef
-		})
+		// Fresh refs per shard, streamed series-by-series like a checkpoint;
+		// no writers exist yet, so no lock needed.
 		path := filepath.Join(sdir, walCheckpointFile)
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		err := writeFileDurably(path, func(dst *bufio.Writer) error {
+			return streamShardSnapshot(dst, sh, db.opts.WALCompression, func(s *memSeries) uint64 {
+				nextRefs[i]++
+				s.walRef = nextRefs[i]
+				return s.walRef
+			})
+		})
 		if err != nil {
-			return err
-		}
-		if _, err := f.Write(snap); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 		if err := syncDir(sdir); err != nil {
@@ -238,7 +230,7 @@ func (db *DB) rebuildWAL(dir string) error {
 		return err
 	}
 	for i, sh := range db.shards {
-		w, err := openShardWAL(walShardDir(dir, i), db.opts.WALSegmentSize, 1, 1, nextRefs[i])
+		w, err := openShardWAL(walShardDir(dir, i), db.opts.WALSegmentSize, 1, 1, nextRefs[i], db.opts.WALCompression)
 		if err != nil {
 			return err
 		}
@@ -475,15 +467,35 @@ func fileExists(path string) bool {
 	return err == nil
 }
 
-// replayWALFile applies one file's records. It returns torn=true when the
-// file ended in a cut-short or CRC-corrupt record, in which case the file
-// has been truncated back to its last whole record.
+// replayWALFile applies one file's records. The file's format is sniffed
+// from its (optional) header: v1 files are raw record streams, v2 files
+// carry compressed payloads decoded through a per-file walV2Dec whose
+// Gorilla state spans records but never files. It returns torn=true when
+// the file ended in a cut-short or CRC-corrupt record, in which case the
+// file has been truncated back to its last whole record.
 func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
 	}
-	off := 0
+	version, off, hdrTorn, err := walSniffVersion(data)
+	if err != nil {
+		return false, fmt.Errorf("tsdb: wal replay %s: %w", path, err)
+	}
+	if hdrTorn {
+		// Crash during the very first write: the file is a strict prefix of
+		// the v2 header. Truncate to empty and report the tear.
+		if err := os.Truncate(path, 0); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
+	maxType := walMaxRecType(version)
+	var dec *walV2Dec
+	if version >= walFormatV2 {
+		dec = newWalV2Dec()
+	}
+	var scratch []walSampleRec
 	for off < len(data) {
 		if len(data)-off < walHeaderSize {
 			break // cut short mid-header
@@ -491,7 +503,7 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 		typ := data[off]
 		plen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
 		crc := binary.LittleEndian.Uint32(data[off+5 : off+9])
-		if plen > walMaxPayload || typ == 0 || typ > walRecDeletes {
+		if plen > walMaxPayload || typ == 0 || typ > maxType {
 			break // framing garbage: treat as torn at this offset
 		}
 		if len(data)-off-walHeaderSize < plen {
@@ -501,7 +513,34 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 		if crc32.Checksum(payload, walCRC) != crc {
 			break // flipped bits: everything before this record is good
 		}
-		if err := db.applyWALRecord(typ, payload, dr, acc); err != nil {
+		// A record whose CRC passed but whose payload does not decode is
+		// fatal corruption (encoder bug or CRC collision), like v1's
+		// malformed-payload errors — never silently dropped.
+		switch typ {
+		case walRecSeries:
+			err = db.applySeriesPayload(payload, dr)
+		case walRecSeriesV2:
+			var raw []byte
+			if raw, err = walDecompress(payload); err == nil {
+				err = db.applySeriesPayload(raw, dr)
+			}
+		case walRecSamples:
+			if scratch, err = decodeSamplesPayload(scratch[:0], payload); err == nil {
+				db.applySamples(scratch, dr, acc)
+			}
+		case walRecSamplesV2:
+			if scratch, err = dec.decodeSamples(scratch[:0], payload); err == nil {
+				db.applySamples(scratch, dr, acc)
+			}
+		case walRecDeletes:
+			err = db.applyDeletesPayload(payload, dr)
+		case walRecDeletesV2:
+			var raw []byte
+			if raw, err = walDecompress(payload); err == nil {
+				err = db.applyDeletesPayload(raw, dr)
+			}
+		}
+		if err != nil {
 			return false, fmt.Errorf("tsdb: wal replay %s: %w", path, err)
 		}
 		dr.records++
@@ -516,106 +555,121 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 	return true, nil
 }
 
-// applyWALRecord decodes one record payload and applies it to the head.
-func (db *DB) applyWALRecord(typ byte, payload []byte, dr *dirReplay, acc []shardAcc) error {
-	switch typ {
-	case walRecSeries:
-		count, payload, err := readUvarint(payload)
-		if err != nil {
+// applySeriesPayload registers every series of one (decoded) series payload
+// with the head, hash-routing each to its shard.
+func (db *DB) applySeriesPayload(payload []byte, dr *dirReplay) error {
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var ref, nLabels uint64
+		if ref, payload, err = readUvarint(payload); err != nil {
 			return err
 		}
-		for i := uint64(0); i < count; i++ {
-			var ref, nLabels uint64
-			if ref, payload, err = readUvarint(payload); err != nil {
-				return err
-			}
-			if nLabels, payload, err = readUvarint(payload); err != nil {
-				return err
-			}
-			lset := make(labels.Labels, 0, nLabels)
-			for j := uint64(0); j < nLabels; j++ {
-				var name, value string
-				if name, payload, err = readString(payload); err != nil {
-					return err
-				}
-				if value, payload, err = readString(payload); err != nil {
-					return err
-				}
-				lset = append(lset, labels.Label{Name: name, Value: value})
-			}
-			h := lset.Hash()
-			s := db.shardFor(h).getOrCreate(h, lset)
-			dr.refMap[ref] = walEntry{s: s, shard: int(h & db.mask)}
-			if ref > dr.maxRef {
-				dr.maxRef = ref
-			}
-			dr.series++
-		}
-	case walRecSamples:
-		count, payload, err := readUvarint(payload)
-		if err != nil {
+		if nLabels, payload, err = readUvarint(payload); err != nil {
 			return err
 		}
-		maxPerChunk := db.opts.MaxSamplesPerChunk
-		for i := uint64(0); i < count; i++ {
-			var ref uint64
-			var t int64
-			if ref, payload, err = readUvarint(payload); err != nil {
+		lset := make(labels.Labels, 0, nLabels)
+		for j := uint64(0); j < nLabels; j++ {
+			var name, value string
+			if name, payload, err = readString(payload); err != nil {
 				return err
 			}
-			if t, payload, err = readVarint(payload); err != nil {
+			if value, payload, err = readString(payload); err != nil {
 				return err
 			}
-			if len(payload) < 8 {
-				return fmt.Errorf("truncated sample value")
-			}
-			v := math.Float64frombits(binary.LittleEndian.Uint64(payload[:8]))
-			payload = payload[8:]
-			e, ok := dr.refMap[ref]
-			if !ok {
-				dr.dropped++
-				continue
-			}
-			s := e.s
-			s.mu.Lock()
-			aerr := s.appendLocked(t, v, maxPerChunk)
-			s.mu.Unlock()
-			if aerr != nil {
-				// Out-of-order here means the sample is already in the head
-				// (a checkpoint raced a commit, or the record was journalled
-				// for a rejected append) — skipping reproduces the write
-				// path's behavior exactly.
-				dr.skipped++
-				continue
-			}
-			a := &acc[e.shard]
-			if t < a.mint {
-				a.mint = t
-			}
-			if t > a.maxt {
-				a.maxt = t
-			}
-			a.n++
-			dr.samples++
+			lset = append(lset, labels.Label{Name: name, Value: value})
 		}
-	case walRecDeletes:
-		count, payload, err := readUvarint(payload)
-		if err != nil {
+		h := lset.Hash()
+		s := db.shardFor(h).getOrCreate(h, lset)
+		dr.refMap[ref] = walEntry{s: s, shard: int(h & db.mask)}
+		if ref > dr.maxRef {
+			dr.maxRef = ref
+		}
+		dr.series++
+	}
+	return nil
+}
+
+// decodeSamplesPayload decodes one v1 samples payload onto dst.
+func decodeSamplesPayload(dst []walSampleRec, payload []byte) ([]walSampleRec, error) {
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return dst, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var ref uint64
+		var t int64
+		if ref, payload, err = readUvarint(payload); err != nil {
+			return dst, err
+		}
+		if t, payload, err = readVarint(payload); err != nil {
+			return dst, err
+		}
+		if len(payload) < 8 {
+			return dst, fmt.Errorf("truncated sample value")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[:8]))
+		payload = payload[8:]
+		dst = append(dst, walSampleRec{ref: ref, t: t, v: v})
+	}
+	return dst, nil
+}
+
+// applySamples re-appends decoded samples to the head, resolving each
+// through the replay ref map.
+func (db *DB) applySamples(recs []walSampleRec, dr *dirReplay, acc []shardAcc) {
+	maxPerChunk := db.opts.MaxSamplesPerChunk
+	for _, r := range recs {
+		e, ok := dr.refMap[r.ref]
+		if !ok {
+			dr.dropped++
+			continue
+		}
+		s := e.s
+		s.mu.Lock()
+		aerr := s.appendLocked(r.t, r.v, maxPerChunk)
+		s.mu.Unlock()
+		if aerr != nil {
+			// Out-of-order here means the sample is already in the head
+			// (a checkpoint raced a commit, or the record was journalled
+			// for a rejected append) — skipping reproduces the write
+			// path's behavior exactly.
+			dr.skipped++
+			continue
+		}
+		a := &acc[e.shard]
+		if r.t < a.mint {
+			a.mint = r.t
+		}
+		if r.t > a.maxt {
+			a.maxt = r.t
+		}
+		a.n++
+		dr.samples++
+	}
+}
+
+// applyDeletesPayload removes every series named by one (decoded) tombstone
+// payload from the head.
+func (db *DB) applyDeletesPayload(payload []byte, dr *dirReplay) error {
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var ref uint64
+		if ref, payload, err = readUvarint(payload); err != nil {
 			return err
 		}
-		for i := uint64(0); i < count; i++ {
-			var ref uint64
-			if ref, payload, err = readUvarint(payload); err != nil {
-				return err
-			}
-			e, ok := dr.refMap[ref]
-			if !ok {
-				continue
-			}
-			delete(dr.refMap, ref)
-			h := e.s.lset.Hash()
-			db.shardFor(h).removeSeries(h, e.s)
+		e, ok := dr.refMap[ref]
+		if !ok {
+			continue
 		}
+		delete(dr.refMap, ref)
+		h := e.s.lset.Hash()
+		db.shardFor(h).removeSeries(h, e.s)
 	}
 	return nil
 }

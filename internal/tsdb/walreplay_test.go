@@ -33,13 +33,26 @@ func replayFill(t *testing.T, db *DB, nSeries, nSamples int) {
 // 16-shard WAL round-trip over identical input must produce identical
 // Select results — and both must equal the pre-restart head. This is the
 // WAL companion of the PR-1 shard-equivalence tests: durability, like
-// querying, must be invisible to shard layout.
+// querying, must be invisible to shard layout. The matrix runs with
+// compression off AND on: the format, like the layout, must be invisible —
+// all four recoveries are required to be byte-equivalent.
 func TestWALReplayShardCountEquivalence(t *testing.T) {
 	base := t.TempDir()
-	var results [][]model.Series
+	type variant struct {
+		shards   int
+		compress bool
+	}
+	var variants []variant
 	for _, shards := range []int{1, 16} {
-		walDir := filepath.Join(base, fmt.Sprintf("wal-%d", shards))
-		db, err := Open(Options{Shards: shards, WALDir: walDir, WALSegmentSize: 4096})
+		for _, compress := range []bool{false, true} {
+			variants = append(variants, variant{shards: shards, compress: compress})
+		}
+	}
+	var results [][]model.Series
+	for _, vr := range variants {
+		walDir := filepath.Join(base, fmt.Sprintf("wal-%d-%v", vr.shards, vr.compress))
+		opts := Options{Shards: vr.shards, WALDir: walDir, WALSegmentSize: 4096, WALCompression: vr.compress}
+		db, err := Open(opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +61,7 @@ func TestWALReplayShardCountEquivalence(t *testing.T) {
 		if err := db.Close(); err != nil {
 			t.Fatal(err)
 		}
-		re, err := Open(Options{Shards: shards, WALDir: walDir, WALSegmentSize: 4096})
+		re, err := Open(opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,11 +69,13 @@ func TestWALReplayShardCountEquivalence(t *testing.T) {
 		if err := re.Close(); err != nil {
 			t.Fatal(err)
 		}
-		assertSeriesEqual(t, recovered, live, fmt.Sprintf("%d-shard WAL round-trip", shards))
+		assertSeriesEqual(t, recovered, live, fmt.Sprintf("%d-shard compress=%v WAL round-trip", vr.shards, vr.compress))
 		results = append(results, recovered)
 	}
-	if !reflect.DeepEqual(results[0], results[1]) {
-		t.Fatal("1-shard and 16-shard WAL replays are not byte-equivalent")
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("WAL replay of variant %+v is not byte-equivalent to %+v", variants[i], variants[0])
+		}
 	}
 }
 

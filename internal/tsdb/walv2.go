@@ -1,0 +1,723 @@
+package tsdb
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// WAL format v2: compressed record payloads.
+//
+// The outer framing (type | payloadLen | crc32c | payload, see wal.go) is
+// unchanged — torn-tail repair and CRC validation work byte-for-byte like v1
+// — but v2 payloads are compressed:
+//
+//   - samplesV2 records are Gorilla-encoded: per series, timestamps are
+//     delta-of-delta and values are XOR compressed, exactly the scheme the
+//     in-memory chunks (chunkenc) and Prometheus's TSDB use. The encoder
+//     keeps per-series state (previous t, t-delta, value, XOR window) for
+//     the lifetime of one segment file, so a 15s-cadence scrape stream
+//     costs ~2 bits per timestamp and a handful of bits per value instead
+//     of varint t + 8 value bytes. State resets at every rotation, which
+//     keeps each segment self-contained: replay decodes a file from its
+//     first byte and never needs another file's state.
+//   - seriesV2 / deletesV2 records carry a block-compressed (DEFLATE,
+//     fastest level) copy of the v1 payload, with a one-byte flag so
+//     payloads that would grow under compression are stored raw.
+//
+// A v2 file starts with a 5-byte header: the magic "CWAL" followed by the
+// format version byte. v1 files have no header — their first byte is a
+// record type in 1..3 — and the magic's first byte (0x43) can never be a
+// valid v1 record type, so sniffing is unambiguous. Versioning is per file:
+// a shard directory may freely mix v1 and v2 checkpoints and segments
+// (toggling Options.WALCompression migrates the journal at the next
+// rotation or checkpoint), and replay dispatches per file on the header.
+const (
+	walRecSamplesV2 byte = 4
+	walRecSeriesV2  byte = 5
+	walRecDeletesV2 byte = 6
+
+	walFormatV1 = 1
+	walFormatV2 = 2
+
+	// walFileHeaderLen is the v2 file header: 4 magic bytes + version.
+	walFileHeaderLen = 5
+)
+
+// walMagic opens every v2 WAL file. Its first byte is far outside the v1
+// record-type range, so a v1 decoder can never mistake a header for a
+// record (and vice versa).
+var walMagic = [4]byte{'C', 'W', 'A', 'L'}
+
+// walSniffVersion classifies a WAL file's bytes. A file that is a strict
+// prefix of the header (crash during the very first write) reports
+// torn=true and must be truncated to zero. An unknown version is an error:
+// silently treating it as corruption would delete a newer format's data.
+func walSniffVersion(data []byte) (version, hdrLen int, torn bool, err error) {
+	if len(data) == 0 {
+		return walFormatV1, 0, false, nil
+	}
+	n := len(data)
+	if n > len(walMagic) {
+		n = len(walMagic)
+	}
+	if !bytes.Equal(data[:n], walMagic[:n]) {
+		return walFormatV1, 0, false, nil
+	}
+	if len(data) < walFileHeaderLen {
+		return walFormatV2, 0, true, nil
+	}
+	if v := data[len(walMagic)]; v != walFormatV2 {
+		return 0, 0, false, fmt.Errorf("tsdb: unsupported wal format version %d", v)
+	}
+	return walFormatV2, walFileHeaderLen, false, nil
+}
+
+// walMaxRecType returns the highest record type valid in a file of the
+// given format version. v1 files accept only v1 types (preserving v1's torn
+// semantics exactly); v2 files accept both sets.
+func walMaxRecType(version int) byte {
+	if version >= walFormatV2 {
+		return walRecDeletesV2
+	}
+	return walRecDeletes
+}
+
+// ---------------------------------------------------------------------------
+// Bit stream
+// ---------------------------------------------------------------------------
+
+// walBitWriter appends bits onto a byte slice (the record payload under
+// construction). Unlike chunkenc's bstream it builds directly onto the
+// caller's buffer so appendFramed's in-place encoding keeps working.
+type walBitWriter struct {
+	b    []byte
+	free uint8 // bits still unset in the final byte of b
+}
+
+func (w *walBitWriter) writeBit(bit bool) {
+	if w.free == 0 {
+		w.b = append(w.b, 0)
+		w.free = 8
+	}
+	if bit {
+		w.b[len(w.b)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+func (w *walBitWriter) writeByte(byt byte) {
+	if w.free == 0 {
+		w.b = append(w.b, byt)
+		return
+	}
+	i := len(w.b) - 1
+	w.b[i] |= byt >> (8 - w.free)
+	w.b = append(w.b, byt<<w.free)
+}
+
+func (w *walBitWriter) writeBits(u uint64, nbits int) {
+	u <<= 64 - uint(nbits)
+	for nbits >= 8 {
+		w.writeByte(byte(u >> 56))
+		u <<= 8
+		nbits -= 8
+	}
+	for nbits > 0 {
+		w.writeBit((u >> 63) == 1)
+		u <<= 1
+		nbits--
+	}
+}
+
+func (w *walBitWriter) writeUvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	for _, b := range buf[:n] {
+		w.writeByte(b)
+	}
+}
+
+func (w *walBitWriter) writeVarint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	for _, b := range buf[:n] {
+		w.writeByte(b)
+	}
+}
+
+// walBitReader reads a bit stream produced by walBitWriter. It keeps up to
+// 64 pending bits MSB-aligned in buf so the replay hot path reads whole
+// fields with shifts instead of per-bit byte indexing.
+type walBitReader struct {
+	stream []byte
+	off    int    // next byte of stream to load into buf
+	buf    uint64 // pending bits, MSB first
+	nbits  uint   // valid bits in buf
+}
+
+func (r *walBitReader) fill() {
+	for r.nbits <= 56 && r.off < len(r.stream) {
+		r.buf |= uint64(r.stream[r.off]) << (56 - r.nbits)
+		r.off++
+		r.nbits += 8
+	}
+}
+
+func (r *walBitReader) readBit() (bool, error) {
+	if r.nbits == 0 {
+		r.fill()
+		if r.nbits == 0 {
+			return false, io.ErrUnexpectedEOF
+		}
+	}
+	bit := r.buf>>63 == 1
+	r.buf <<= 1
+	r.nbits--
+	return bit, nil
+}
+
+func (r *walBitReader) readByte() (byte, error) {
+	u, err := r.readBits(8)
+	return byte(u), err
+}
+
+func (r *walBitReader) readBits(nbits int) (uint64, error) {
+	if nbits > 57 {
+		// The cache tops out at 57 guaranteed bits; split wide reads.
+		hi, err := r.readBits(nbits - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.readBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	if r.nbits < uint(nbits) {
+		r.fill()
+		if r.nbits < uint(nbits) {
+			return 0, io.ErrUnexpectedEOF
+		}
+	}
+	u := r.buf >> (64 - uint(nbits))
+	r.buf <<= uint(nbits)
+	r.nbits -= uint(nbits)
+	return u, nil
+}
+
+func (r *walBitReader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, fmt.Errorf("tsdb: wal v2 uvarint overflow")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+func (r *walBitReader) readVarint() (int64, error) {
+	ux, err := r.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// ---------------------------------------------------------------------------
+// Gorilla samples codec
+// ---------------------------------------------------------------------------
+
+// walSeriesV2State is the per-series Gorilla state shared (structurally) by
+// the encoder and decoder: previous timestamp, previous t-delta, previous
+// value bits and the current XOR leading/trailing-zero window. It is valid
+// for exactly one segment file.
+type walSeriesV2State struct {
+	t        int64
+	tDelta   uint64
+	v        float64
+	leading  uint8
+	trailing uint8
+	n        uint64 // samples of this series seen in this file
+}
+
+// walV2Enc encodes samplesV2 records. One encoder belongs to one open
+// segment (or one checkpoint file being written); its state map is keyed by
+// WAL series ref.
+type walV2Enc struct {
+	series map[uint64]*walSeriesV2State
+}
+
+func newWalV2Enc() *walV2Enc {
+	return &walV2Enc{series: make(map[uint64]*walSeriesV2State)}
+}
+
+func (e *walV2Enc) state(ref uint64) *walSeriesV2State {
+	s := e.series[ref]
+	if s == nil {
+		s = &walSeriesV2State{leading: 0xff}
+		e.series[ref] = s
+	}
+	return s
+}
+
+// appendSamples encodes recs as a samplesV2 payload onto dst: a plain
+// uvarint count, then a bit stream of (ref delta, timestamp, value) tuples.
+// Per-series timestamps must be strictly increasing across the whole file —
+// the WAL write path guarantees this (appends are accepted in memory before
+// they are journalled, and the shard WAL mutex serializes them).
+//
+// Refs are delta-encoded with a tiny bucket scheme tuned to the two batch
+// shapes the appender produces: a scrape commit walks the shard's series in
+// a stable order (delta +1 dominates — one bit), a per-series batch repeats
+// one ref (delta 0 — two bits); anything else pays 2 bits + a zigzag
+// varint.
+func (e *walV2Enc) appendSamples(dst []byte, recs []walSampleRec) []byte {
+	dst = appendUvarint(dst, uint64(len(recs)))
+	w := walBitWriter{b: dst}
+	lastRef := uint64(0)
+	for _, r := range recs {
+		switch d := int64(r.ref) - int64(lastRef); {
+		case d == 1:
+			w.writeBit(false)
+		case d == 0:
+			w.writeBits(0b10, 2)
+		default:
+			w.writeBits(0b11, 2)
+			w.writeUvarint(zigzag(d))
+		}
+		lastRef = r.ref
+		s := e.state(r.ref)
+		switch s.n {
+		case 0:
+			w.writeVarint(r.t)
+			w.writeBits(math.Float64bits(r.v), 64)
+		case 1:
+			s.tDelta = uint64(r.t - s.t)
+			w.writeUvarint(s.tDelta)
+			s.writeXOR(&w, r.v)
+		default:
+			tDelta := uint64(r.t - s.t)
+			dod := int64(tDelta - s.tDelta)
+			// Delta-of-delta buckets as in the Gorilla paper (and chunkenc).
+			switch {
+			case dod == 0:
+				w.writeBit(false)
+			case walBitRange(dod, 14):
+				w.writeBits(0b10, 2)
+				w.writeBits(uint64(dod), 14)
+			case walBitRange(dod, 17):
+				w.writeBits(0b110, 3)
+				w.writeBits(uint64(dod), 17)
+			case walBitRange(dod, 20):
+				w.writeBits(0b1110, 4)
+				w.writeBits(uint64(dod), 20)
+			default:
+				w.writeBits(0b1111, 4)
+				w.writeBits(uint64(dod), 64)
+			}
+			s.tDelta = tDelta
+			s.writeXOR(&w, r.v)
+		}
+		s.t, s.v = r.t, r.v
+		s.n++
+	}
+	return w.b
+}
+
+// writeXOR emits v XOR-compressed against the series' previous value,
+// reusing the previous leading/trailing window when it still fits.
+func (s *walSeriesV2State) writeXOR(w *walBitWriter, v float64) {
+	delta := math.Float64bits(v) ^ math.Float64bits(s.v)
+	if delta == 0 {
+		w.writeBit(false)
+		return
+	}
+	w.writeBit(true)
+	leading := uint8(bits.LeadingZeros64(delta))
+	trailing := uint8(bits.TrailingZeros64(delta))
+	if leading >= 32 {
+		leading = 31 // clamp into the 5-bit field
+	}
+	if s.leading != 0xff && leading >= s.leading && trailing >= s.trailing {
+		w.writeBit(false)
+		w.writeBits(delta>>s.trailing, 64-int(s.leading)-int(s.trailing))
+		return
+	}
+	s.leading, s.trailing = leading, trailing
+	w.writeBit(true)
+	w.writeBits(uint64(leading), 5)
+	sigbits := 64 - int(leading) - int(trailing)
+	w.writeBits(uint64(sigbits), 6)
+	w.writeBits(delta>>trailing, sigbits)
+}
+
+func walBitRange(x int64, nbits uint8) bool {
+	return -((1<<(nbits-1))-1) <= x && x <= 1<<(nbits-1)-1
+}
+
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// walV2Dec decodes samplesV2 records. One decoder belongs to one file being
+// replayed; like the encoder, its state spans records but never files.
+//
+// Refs are assigned sequentially per shard, so the decode state lives in a
+// ref-indexed slice — one bounds check per sample on the replay hot path
+// instead of a map probe. Refs beyond the dense window (possible only in a
+// pathological or corrupt stream) fall back to a map rather than letting a
+// decoded integer size an allocation.
+type walV2Dec struct {
+	dense  []walSeriesV2State
+	sparse map[uint64]*walSeriesV2State
+}
+
+// walV2DenseRefs caps the ref-indexed fast path (~40 MB of state at the
+// cap, far above any real shard's series count).
+const walV2DenseRefs = 1 << 20
+
+func newWalV2Dec() *walV2Dec {
+	return &walV2Dec{}
+}
+
+// state returns the series state for ref. The zero value is a valid fresh
+// state: the encoder always writes a full XOR window before reusing one, so
+// the decoder needs no 0xff sentinel.
+func (d *walV2Dec) state(ref uint64) *walSeriesV2State {
+	if ref < walV2DenseRefs {
+		if need := int(ref) + 1; need > len(d.dense) {
+			if need <= cap(d.dense) {
+				d.dense = d.dense[:need]
+			} else {
+				grown := make([]walSeriesV2State, need, 2*need)
+				copy(grown, d.dense)
+				d.dense = grown
+			}
+		}
+		return &d.dense[ref]
+	}
+	if d.sparse == nil {
+		d.sparse = make(map[uint64]*walSeriesV2State)
+	}
+	s := d.sparse[ref]
+	if s == nil {
+		s = &walSeriesV2State{}
+		d.sparse[ref] = s
+	}
+	return s
+}
+
+// decodeSamples decodes one samplesV2 payload, appending onto dst. A
+// payload whose CRC passed can only fail to decode through an encoder bug
+// or a CRC collision; the caller treats an error as fatal corruption.
+func (d *walV2Dec) decodeSamples(dst []walSampleRec, payload []byte) ([]walSampleRec, error) {
+	count, rest, err := readUvarint(payload)
+	if err != nil {
+		return dst, err
+	}
+	if count > uint64(len(rest))*8/3 {
+		// A sample costs >= 3 bits (sequential ref, dod 0, value unchanged);
+		// anything bigger is garbage masquerading as a count, not an
+		// allocation request.
+		return dst, fmt.Errorf("tsdb: wal v2 sample count %d exceeds payload", count)
+	}
+	r := walBitReader{stream: rest}
+	lastRef := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		ref := lastRef
+		// Fast path for the dominant '0' (ref+1) bucket, straight off the
+		// bit cache; the bucket decode below is the uncommon tail.
+		r.fill()
+		if r.nbits >= 1 && r.buf>>63 == 0 {
+			r.buf <<= 1
+			r.nbits--
+			ref = lastRef + 1
+		} else {
+			bit, err := r.readBit()
+			if err != nil {
+				return dst, err
+			}
+			if !bit {
+				ref = lastRef + 1
+			} else {
+				if bit, err = r.readBit(); err != nil {
+					return dst, err
+				}
+				if bit {
+					zz, err := r.readUvarint()
+					if err != nil {
+						return dst, err
+					}
+					ref = uint64(int64(lastRef) + unzigzag(zz))
+				}
+			}
+		}
+		lastRef = ref
+		s := d.state(ref)
+		var t int64
+		var v float64
+		switch s.n {
+		case 0:
+			if t, err = r.readVarint(); err != nil {
+				return dst, err
+			}
+			vb, err := r.readBits(64)
+			if err != nil {
+				return dst, err
+			}
+			v = math.Float64frombits(vb)
+		case 1:
+			td, err := r.readUvarint()
+			if err != nil {
+				return dst, err
+			}
+			s.tDelta = td
+			t = s.t + int64(td)
+			if v, err = s.readXOR(&r); err != nil {
+				return dst, err
+			}
+		default:
+			dod, err := readDOD(&r)
+			if err != nil {
+				return dst, err
+			}
+			s.tDelta = uint64(int64(s.tDelta) + dod)
+			t = s.t + int64(s.tDelta)
+			if v, err = s.readXOR(&r); err != nil {
+				return dst, err
+			}
+		}
+		s.t, s.v = t, v
+		s.n++
+		dst = append(dst, walSampleRec{ref: ref, t: t, v: v})
+	}
+	return dst, nil
+}
+
+// readDOD decodes one delta-of-delta bucket.
+func readDOD(r *walBitReader) (int64, error) {
+	// Fast path: dod == 0 (a single '0' bit) is the steady-cadence common
+	// case; peek it off the cache without the prefix loop.
+	r.fill()
+	if r.nbits >= 1 && r.buf>>63 == 0 {
+		r.buf <<= 1
+		r.nbits--
+		return 0, nil
+	}
+	var d byte
+	for i := 0; i < 4; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if !bit {
+			break
+		}
+		d |= 1 << (3 - i)
+		if i == 3 {
+			break
+		}
+	}
+	var sz uint8
+	var dod int64
+	switch d {
+	case 0b0000:
+		// dod = 0
+	case 0b1000:
+		sz = 14
+	case 0b1100:
+		sz = 17
+	case 0b1110:
+		sz = 20
+	case 0b1111:
+		b, err := r.readBits(64)
+		if err != nil {
+			return 0, err
+		}
+		dod = int64(b)
+	default:
+		return 0, fmt.Errorf("tsdb: wal v2 invalid dod prefix %04b", d)
+	}
+	if sz != 0 {
+		b, err := r.readBits(int(sz))
+		if err != nil {
+			return 0, err
+		}
+		if b > (1 << (sz - 1)) {
+			b -= 1 << sz // sign-extend
+		}
+		dod = int64(b)
+	}
+	return dod, nil
+}
+
+// readXOR decodes one XOR-compressed value against the series state.
+func (s *walSeriesV2State) readXOR(r *walBitReader) (float64, error) {
+	// Fast paths off the bit cache: '0' (value unchanged) and '10' +
+	// sigbits (window reuse, when the whole field is already buffered).
+	// Neither consumes anything on fall-through.
+	r.fill()
+	if r.nbits >= 2 {
+		if r.buf>>63 == 0 {
+			r.buf <<= 1
+			r.nbits--
+			return s.v, nil
+		}
+		if r.buf>>62 == 0b10 {
+			sigbits := 64 - int(s.leading) - int(s.trailing)
+			if need := uint(sigbits) + 2; need <= r.nbits {
+				u := (r.buf << 2) >> (64 - uint(sigbits))
+				r.buf <<= need
+				r.nbits -= need
+				return math.Float64frombits(math.Float64bits(s.v) ^ (u << s.trailing)), nil
+			}
+		}
+	}
+	bit, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !bit {
+		return s.v, nil // unchanged
+	}
+	bit, err = r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if bit {
+		l, err := r.readBits(5)
+		if err != nil {
+			return 0, err
+		}
+		sig, err := r.readBits(6)
+		if err != nil {
+			return 0, err
+		}
+		if sig == 0 {
+			sig = 64 // 64 significant bits encode as 0 in the 6-bit field
+		}
+		trailing := 64 - int(l) - int(sig)
+		if trailing < 0 {
+			// Impossible from our encoder; a CRC-colliding corruption.
+			return 0, fmt.Errorf("tsdb: wal v2 xor window overflows (leading=%d sig=%d)", l, sig)
+		}
+		s.leading, s.trailing = uint8(l), uint8(trailing)
+	}
+	sigbits := 64 - int(s.leading) - int(s.trailing)
+	b, err := r.readBits(sigbits)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(math.Float64bits(s.v) ^ (b << s.trailing)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Block compression for series / tombstone payloads
+// ---------------------------------------------------------------------------
+
+// flateEnc bundles a DEFLATE encoder with its output buffer so both are
+// pooled together: encoder state is large and the buffer would otherwise
+// be a fresh allocation per record, and series records are written
+// whenever a commit registers new series.
+type flateEnc struct {
+	bb bytes.Buffer
+	fw *flate.Writer
+}
+
+var flateEncs = sync.Pool{
+	New: func() any {
+		fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level; cannot happen
+		}
+		return &flateEnc{fw: fw}
+	},
+}
+
+// appendCompressed appends raw to dst behind a one-byte flag: 1 = DEFLATE
+// (fastest level), 0 = stored as-is because compression would have grown
+// it. Small registrations stay raw; checkpoint-sized batches compress.
+func appendCompressed(dst, raw []byte) []byte {
+	e := flateEncs.Get().(*flateEnc)
+	e.bb.Reset()
+	e.fw.Reset(&e.bb)
+	_, werr := e.fw.Write(raw)
+	cerr := e.fw.Close()
+	if werr == nil && cerr == nil && e.bb.Len() < len(raw) {
+		dst = append(dst, 1)
+		dst = append(dst, e.bb.Bytes()...)
+	} else {
+		dst = append(dst, 0)
+		dst = append(dst, raw...)
+	}
+	flateEncs.Put(e)
+	return dst
+}
+
+// flateDecs pools DEFLATE readers (each carries a ~32-64KB window): replay
+// inflates one series record per registration batch, so a multi-million-
+// series recovery would otherwise churn a reader per record on the
+// latency-critical restart path.
+var flateDecs = sync.Pool{
+	New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	},
+}
+
+// walDecompress reverses appendCompressed. The output is bounded by
+// walMaxPayload, like every decoded payload.
+func walDecompress(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("tsdb: wal v2 compressed payload empty")
+	}
+	flag, data := payload[0], payload[1:]
+	switch flag {
+	case 0:
+		return data, nil
+	case 1:
+		fr := flateDecs.Get().(io.ReadCloser)
+		if err := fr.(flate.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+			flateDecs.Put(fr)
+			return nil, fmt.Errorf("tsdb: wal v2 inflate reset: %w", err)
+		}
+		out, err := io.ReadAll(io.LimitReader(fr, walMaxPayload+1))
+		cerr := fr.Close()
+		flateDecs.Put(fr)
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: wal v2 inflate: %w", err)
+		}
+		if len(out) > walMaxPayload {
+			return nil, fmt.Errorf("tsdb: wal v2 inflated payload exceeds %d bytes", walMaxPayload)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tsdb: wal v2 unknown compression flag %d", flag)
+	}
+}

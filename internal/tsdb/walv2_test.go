@@ -1,0 +1,581 @@
+package tsdb
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+// staleNaN is the Prometheus staleness marker bit pattern: a NaN payload the
+// scrape pipeline appends when a target disappears. The codec must round-trip
+// it bit-exactly — value semantics (NaN != NaN) cannot be used for floats in
+// a journal.
+const staleNaN = 0x7ff0000000000002
+
+// ---------------------------------------------------------------------------
+// Codec property test
+// ---------------------------------------------------------------------------
+
+// TestWALGorillaCodecLosslessProperty drives the v2 samples codec with
+// randomized streams shaped like everything the head can journal: steady
+// scrape cadences, jittered and irregular timestamps, gauges (random walks),
+// counters with resets, constants, NaN/staleness markers, infinities and
+// denormals — interleaved across series in random order (per-series order
+// preserved, as the WAL mutex guarantees) and split into random record
+// boundaries. Decoding with a fresh walV2Dec must reproduce every (ref, t,
+// value-bits) triple exactly.
+func TestWALGorillaCodecLosslessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x60411A))
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		nSeries := 1 + rng.Intn(8)
+		type seriesGen struct {
+			ref     uint64
+			t       int64
+			tDelta  func() int64
+			v       float64
+			nextV   func(prev float64) float64
+			pending int
+		}
+		gens := make([]*seriesGen, nSeries)
+		usedRefs := map[uint64]bool{}
+		for i := range gens {
+			// Sparse, non-contiguous refs exercise the zigzag ref deltas.
+			ref := uint64(1 + rng.Intn(1000))
+			for usedRefs[ref] {
+				ref++
+			}
+			usedRefs[ref] = true
+			g := &seriesGen{
+				ref:     ref,
+				t:       int64(rng.Intn(1_000_000)) - 500_000,
+				pending: 1 + rng.Intn(200),
+			}
+			switch rng.Intn(3) {
+			case 0: // steady scrape cadence
+				g.tDelta = func() int64 { return 15_000 }
+			case 1: // jittered cadence
+				g.tDelta = func() int64 { return 14_000 + rng.Int63n(2000) }
+			default: // irregular, with occasional huge gaps
+				g.tDelta = func() int64 {
+					if rng.Intn(10) == 0 {
+						return rng.Int63n(1 << 40)
+					}
+					return 1 + rng.Int63n(60_000)
+				}
+			}
+			switch rng.Intn(4) {
+			case 0: // gauge: random walk
+				g.v = rng.Float64() * 100
+				g.nextV = func(prev float64) float64 { return prev + rng.NormFloat64() }
+			case 1: // counter with resets
+				g.v = 0
+				g.nextV = func(prev float64) float64 {
+					if rng.Intn(20) == 0 {
+						return 0 // counter reset
+					}
+					return prev + float64(rng.Intn(1000))
+				}
+			case 2: // constant (dod=0, XOR=0 fast paths)
+				g.v = 42.5
+				g.nextV = func(prev float64) float64 { return prev }
+			default: // adversarial bit patterns
+				g.v = math.Float64frombits(staleNaN)
+				g.nextV = func(prev float64) float64 {
+					switch rng.Intn(6) {
+					case 0:
+						return math.Float64frombits(staleNaN)
+					case 1:
+						return math.NaN()
+					case 2:
+						return math.Inf(1)
+					case 3:
+						return math.Inf(-1)
+					case 4:
+						return math.Float64frombits(uint64(rng.Int63())) // arbitrary bits
+					default:
+						return math.Float64frombits(1) // smallest denormal
+					}
+				}
+			}
+			gens[i] = g
+		}
+
+		// Interleave the series into a single stream of records with random
+		// boundaries, preserving per-series timestamp order.
+		var stream []walSampleRec
+		for {
+			live := gens[:0:0]
+			for _, g := range gens {
+				if g.pending > 0 {
+					live = append(live, g)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			g := live[rng.Intn(len(live))]
+			stream = append(stream, walSampleRec{ref: g.ref, t: g.t, v: g.v})
+			g.t += g.tDelta()
+			g.v = g.nextV(g.v)
+			g.pending--
+		}
+
+		enc := newWalV2Enc()
+		dec := newWalV2Dec()
+		var decoded []walSampleRec
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(50)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			payload := enc.appendSamples(nil, stream[off:off+n])
+			var err error
+			decoded, err = dec.decodeSamples(decoded, payload)
+			if err != nil {
+				t.Fatalf("round %d: decode failed at offset %d: %v", round, off, err)
+			}
+			off += n
+		}
+		if len(decoded) != len(stream) {
+			t.Fatalf("round %d: decoded %d samples, want %d", round, len(decoded), len(stream))
+		}
+		for i := range stream {
+			want, got := stream[i], decoded[i]
+			if got.ref != want.ref || got.t != want.t || math.Float64bits(got.v) != math.Float64bits(want.v) {
+				t.Fatalf("round %d: sample %d diverged: got (ref=%d t=%d v=%x) want (ref=%d t=%d v=%x)",
+					round, i, got.ref, got.t, math.Float64bits(got.v),
+					want.ref, want.t, math.Float64bits(want.v))
+			}
+		}
+	}
+}
+
+// TestWALCompressedPayloadRoundTrip covers the block codec used for series
+// and tombstone records, including the incompressible-payload raw fallback.
+func TestWALCompressedPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]byte{
+		{},
+		[]byte("a"),
+		bytes.Repeat([]byte("label_name=label_value;"), 200), // highly compressible
+	}
+	random := make([]byte, 1024) // incompressible: flate would grow it
+	rng.Read(random)
+	cases = append(cases, random)
+	for i, raw := range cases {
+		payload := appendCompressed(nil, raw)
+		got, err := walDecompress(payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("case %d: round trip diverged: %d bytes vs %d", i, len(got), len(raw))
+		}
+	}
+	if _, err := walDecompress(nil); err == nil {
+		t.Fatal("empty compressed payload must error")
+	}
+	if _, err := walDecompress([]byte{9, 1, 2}); err == nil {
+		t.Fatal("unknown compression flag must error")
+	}
+}
+
+// TestWALSniffVersion pins the header detection contract: v1 files (no
+// magic) and empty files sniff as v1, magic prefixes are torn, unknown
+// versions are errors (never silent truncation).
+func TestWALSniffVersion(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		version int
+		hdrLen  int
+		torn    bool
+		wantErr bool
+	}{
+		{name: "empty", data: nil, version: walFormatV1},
+		{name: "v1-record-start", data: []byte{walRecSeries, 0, 0, 0, 0}, version: walFormatV1},
+		{name: "magic-prefix-1", data: []byte{'C'}, version: walFormatV2, torn: true},
+		{name: "magic-prefix-3", data: []byte("CWA"), version: walFormatV2, torn: true},
+		{name: "magic-no-version", data: []byte("CWAL"), version: walFormatV2, torn: true},
+		{name: "v2", data: []byte{'C', 'W', 'A', 'L', 2, 1, 2, 3}, version: walFormatV2, hdrLen: walFileHeaderLen},
+		{name: "future-version", data: []byte{'C', 'W', 'A', 'L', 3}, wantErr: true},
+		{name: "not-magic", data: []byte("CWAX"), version: walFormatV1},
+	}
+	for _, tc := range cases {
+		version, hdrLen, torn, err := walSniffVersion(tc.data)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: want error, got version=%d", tc.name, version)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if version != tc.version || hdrLen != tc.hdrLen || torn != tc.torn {
+			t.Errorf("%s: got (version=%d hdrLen=%d torn=%v), want (%d %d %v)",
+				tc.name, version, hdrLen, torn, tc.version, tc.hdrLen, tc.torn)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-version directories and migration
+// ---------------------------------------------------------------------------
+
+// walPhaseFill appends a deterministic scrape-shaped phase of batches to the
+// head; phase offsets keep timestamps strictly increasing across phases.
+func walPhaseFill(t *testing.T, db *DB, phase, nSeries, nBatches int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(phase)))
+	for b := 0; b < nBatches; b++ {
+		app := db.Appender()
+		ts := int64(phase)*1_000_000 + int64(b)*15_000
+		for s := 0; s < nSeries; s++ {
+			app.Add(crashSeries(s), ts+int64(s), 100+rng.NormFloat64()*5)
+		}
+		if _, err := app.Commit(); err != nil {
+			t.Fatalf("phase %d commit %d: %v", phase, b, err)
+		}
+	}
+}
+
+// TestWALMixedVersionReplay builds a directory holding all three durability
+// artifacts the format transition can produce — a v1 checkpoint, v1
+// segments, and v2 segments — and requires replay to reconstruct exactly
+// the head an all-v1 (and an all-v2) run of the same appends produces.
+func TestWALMixedVersionReplay(t *testing.T) {
+	base := t.TempDir()
+	const nSeries, nBatches = 24, 40
+
+	// Mixed: phase 0 (v1) → checkpoint (v1) → phase 1 (v1) → reopen with
+	// compression → phase 2 (v2 segments appended to the same directory).
+	mixedDir := filepath.Join(base, "mixed")
+	db, err := Open(Options{Shards: 4, WALDir: mixedDir, WALSegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPhaseFill(t, db, 0, nSeries, nBatches)
+	if err := db.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	walPhaseFill(t, db, 1, nSeries, nBatches)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(Options{Shards: 4, WALDir: mixedDir, WALSegmentSize: 4096, WALCompression: true})
+	if err != nil {
+		t.Fatalf("reopen with compression over v1 journal: %v", err)
+	}
+	walPhaseFill(t, db, 2, nSeries, nBatches)
+	live := selectAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The directory must actually be mixed, or the test proves nothing.
+	v1Files, v2Files := 0, 0
+	files, err := filepath.Glob(filepath.Join(mixedDir, "shard-*", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		if len(data) >= 4 && string(data[:4]) == "CWAL" {
+			v2Files++
+		} else {
+			v1Files++
+		}
+	}
+	if v1Files == 0 || v2Files == 0 {
+		t.Fatalf("directory is not mixed: %d v1 files, %d v2 files", v1Files, v2Files)
+	}
+
+	// Oracles: the identical appends through all-v1 and all-v2 journals.
+	for _, compress := range []bool{false, true} {
+		dir := filepath.Join(base, fmt.Sprintf("pure-%v", compress))
+		ref, err := Open(Options{Shards: 4, WALDir: dir, WALSegmentSize: 4096, WALCompression: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for phase := 0; phase < 3; phase++ {
+			walPhaseFill(t, ref, phase, nSeries, nBatches)
+		}
+		if phase0 := selectAll(t, ref); !seriesEqual(phase0, live) {
+			t.Fatalf("test harness: pure compress=%v live head diverges from mixed live head", compress)
+		}
+		if err := ref.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reRef, err := Open(Options{Shards: 4, WALDir: dir, WALSegmentSize: 4096, WALCompression: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pure := selectAll(t, reRef)
+		if err := reRef.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertSeriesEqual(t, pure, live, fmt.Sprintf("pure compress=%v replay", compress))
+	}
+
+	// Replay the mixed directory (with either compression setting).
+	for _, compress := range []bool{false, true} {
+		re, err := Open(Options{Shards: 4, WALDir: mixedDir, WALSegmentSize: 4096, WALCompression: compress})
+		if err != nil {
+			t.Fatalf("mixed replay (compress=%v): %v", compress, err)
+		}
+		assertSeriesEqual(t, selectAll(t, re), live, fmt.Sprintf("mixed v1/v2 replay compress=%v", compress))
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func seriesEqual(a, b []model.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Labels.Equal(b[i].Labels) || len(a[i].Samples) != len(b[i].Samples) {
+			return false
+		}
+		for j := range a[i].Samples {
+			if a[i].Samples[j].T != b[i].Samples[j].T ||
+				math.Float64bits(a[i].Samples[j].V) != math.Float64bits(b[i].Samples[j].V) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWALCompressionMigratesAtRotation pins the migration story: enabling
+// compression on an existing v1 journal rewrites nothing — old segments
+// stay v1 — and every NEW file (segments from the reopen on, the next
+// checkpoint) is v2. Disabling it migrates back the same way.
+func TestWALCompressionMigratesAtRotation(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	db, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPhaseFill(t, db, 0, 16, 30)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(walDir, "shard-0000")
+	v1Segs, err := filepath.Glob(filepath.Join(shardDir, "*.wal"))
+	if err != nil || len(v1Segs) < 2 {
+		t.Fatalf("want several v1 segments, got %d (%v)", len(v1Segs), err)
+	}
+	isV2 := func(path string) bool {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(data) >= 4 && string(data[:4]) == "CWAL"
+	}
+
+	db, err = Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048, WALCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPhaseFill(t, db, 1, 16, 30)
+	// Old segments untouched (still v1), new ones v2.
+	for _, seg := range v1Segs {
+		if isV2(seg) {
+			t.Fatalf("pre-existing segment %s was rewritten to v2", seg)
+		}
+	}
+	allSegs, _ := filepath.Glob(filepath.Join(shardDir, "*.wal"))
+	newV2 := 0
+	for _, seg := range allSegs {
+		if isV2(seg) {
+			newV2++
+		}
+	}
+	if newV2 == 0 {
+		t.Fatal("no v2 segments after reopening with compression")
+	}
+	// A checkpoint converts the whole retained journal to v2.
+	if err := db.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if !isV2(filepath.Join(shardDir, walCheckpointFile)) {
+		t.Fatal("checkpoint written without the v2 header despite compression on")
+	}
+	live := selectAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And back: disabling compression writes v1 files after a v2 history.
+	db, err = Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, selectAll(t, db), live, "replay after v2 checkpoint")
+	walPhaseFill(t, db, 2, 16, 30)
+	live = selectAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Options{Shards: 1, WALDir: walDir, WALSegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSeriesEqual(t, selectAll(t, re), live, "replay after toggling compression off")
+}
+
+// ---------------------------------------------------------------------------
+// Compression ratio
+// ---------------------------------------------------------------------------
+
+// walDirJournalBytes sums the sizes of every WAL file under dir; shared by
+// the compression-ratio gate and the append benchmark's bytes/sample
+// metric so "journal footprint" can never mean two different things.
+func walDirJournalBytes(tb testing.TB, dir string) int64 {
+	tb.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return total
+}
+
+// TestWALCompressionRatio holds the headline claim to account in-tree: on a
+// scrape-shaped workload (steady cadence, CEEMS-like values: energy/CPU
+// counters ticking by integer amounts, utilization gauges that mostly hold
+// between 15s scrapes, small-integer occupancy gauges — the traffic the
+// paper's stack journals all day) v2 must shrink journal bytes by at least
+// 3x vs v1. Full-entropy mantissas (pure random walks) compress less; see
+// the README's guidance on when to keep v1.
+func TestWALCompressionRatio(t *testing.T) {
+	base := t.TempDir()
+	const nSeries, nBatches = 100, 200
+	fill := func(db *DB) {
+		rng := rand.New(rand.NewSource(0xBEEF))
+		vals := make([]float64, nSeries)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1_000_000))
+		}
+		for b := 0; b < nBatches; b++ {
+			app := db.Appender()
+			ts := int64(b) * 15_000
+			for s := 0; s < nSeries; s++ {
+				switch s % 3 {
+				case 0: // counter (energy joules, CPU seconds): integer ticks
+					vals[s] += float64(10 + rng.Intn(500))
+				case 1: // gauge that holds most scrapes (utilization plateaus)
+					if rng.Intn(5) == 0 {
+						vals[s] = float64(rng.Intn(100))
+					}
+				default: // small-integer gauge (jobs, pages, processes)
+					vals[s] = float64(rng.Intn(64))
+				}
+				app.Add(crashSeries(s), ts, vals[s])
+			}
+			if _, err := app.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sizes := map[bool]int64{}
+	for _, compress := range []bool{false, true} {
+		dir := filepath.Join(base, fmt.Sprintf("wal-%v", compress))
+		db, err := Open(Options{Shards: 4, WALDir: dir, WALCompression: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(db)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sizes[compress] = walDirJournalBytes(t, dir)
+	}
+	ratio := float64(sizes[false]) / float64(sizes[true])
+	t.Logf("journal bytes: v1=%d v2=%d ratio=%.2fx (%.2f vs %.2f bytes/sample)",
+		sizes[false], sizes[true], ratio,
+		float64(sizes[false])/(nSeries*nBatches), float64(sizes[true])/(nSeries*nBatches))
+	if ratio < 3 {
+		t.Fatalf("v2 journal reduction %.2fx, want >= 3x (v1=%d bytes, v2=%d bytes)", ratio, sizes[false], sizes[true])
+	}
+}
+
+// TestWALStreamingCheckpointLargeSeries sanity-checks the streamed
+// checkpoint on a shard whose biggest series spans many chunks: the
+// snapshot must hold every retained sample (in both formats), proving the
+// series-by-series writer loses nothing at batch boundaries.
+func TestWALStreamingCheckpointLargeSeries(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			walDir := filepath.Join(t.TempDir(), "wal")
+			db, err := Open(Options{Shards: 2, WALDir: walDir, WALCompression: compress})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// > walSnapshotSeriesBatch series so the registration batching
+			// path runs more than once, plus one deep series.
+			for s := 0; s < walSnapshotSeriesBatch+50; s++ {
+				if err := db.Append(crashSeries(s), int64(s), float64(s)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deep := labels.FromStrings(labels.MetricName, "wal_deep_series")
+			for i := int64(0); i < 5000; i++ {
+				if err := db.Append(deep, 1_000_000+i*1000, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.CheckpointWAL(); err != nil {
+				t.Fatal(err)
+			}
+			live := selectAll(t, db)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Drop the (empty) post-checkpoint segments so replay reads the
+			// snapshot alone — any loss in the streamed writer shows up.
+			segs, _ := filepath.Glob(filepath.Join(walDir, "shard-*", "*.wal"))
+			for _, seg := range segs {
+				if st, err := os.Stat(seg); err == nil && st.Size() <= int64(walFileHeaderLen) {
+					os.Remove(seg)
+				}
+			}
+			re, err := Open(Options{Shards: 2, WALDir: walDir, WALCompression: compress})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			assertSeriesEqual(t, selectAll(t, re), live, "checkpoint-only replay")
+		})
+	}
+}

@@ -1,0 +1,293 @@
+// Command benchdiff is the benchmark-regression gate: it runs the repo's
+// benchmark suite (or parses a pre-recorded `go test -bench` output) and
+// compares every measurement against the committed BENCH_*.json baselines,
+// failing when a metric regressed beyond the tolerance.
+//
+// Baselines opt in per entry with an explicit "bench" key naming the
+// benchmark exactly as `go test` prints it (minus the -GOMAXPROCS suffix),
+// e.g. {"bench": "BenchmarkWALAppend/wal-v2", "ns_op": 310, ...}. Entries
+// without a "bench" key (prose, shapes, historical "before" numbers) are
+// ignored, so the JSON files stay free-form documents.
+//
+// Metric keys are canonicalized (ns_op == ns_per_op == "ns/op", bytes_op ==
+// "B/op", allocs_op == "allocs/op"; custom b.ReportMetric units map by
+// replacing "/" with "_per_", so "walbytes/sample" matches a baseline key
+// "walbytes_per_sample"). Only metrics present on BOTH sides are compared.
+// Metrics named *_per_s are throughputs (higher is better); everything else
+// is a cost (lower is better).
+//
+// Usage:
+//
+//	go run ./tools/benchdiff                      # run + compare (slow)
+//	go run ./tools/benchdiff -input bench.txt     # compare a recorded run
+//	go run ./tools/benchdiff -tolerance 0.25 -out benchdiff.txt
+//
+// Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage
+// or execution error. Wired as `make benchdiff` and the nightly
+// .github/workflows/bench.yml job (non-required; uploads the report as an
+// artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baselines = flag.String("baselines", "BENCH_*.json", "glob of baseline JSON files (relative to -dir)")
+		dir       = flag.String("dir", ".", "repo root holding the baseline files")
+		bench     = flag.String("bench", "WAL|RangeQuery|QueryCache", "benchmark regexp passed to go test -bench")
+		pkgs      = flag.String("pkgs", "./internal/tsdb/ ./internal/querycache/ .", "space-separated packages to benchmark")
+		benchtime = flag.String("benchtime", "2s", "benchtime passed to go test")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression before failing (0.25 = 25%)")
+		input     = flag.String("input", "", "parse this pre-recorded `go test -bench` output instead of running")
+		out       = flag.String("out", "", "also write the report to this file")
+		metrics   = flag.String("metrics", "", "comma-separated allowlist of canonical metrics to compare (e.g. bytes_per_op,allocs_per_op,walbytes_per_sample); empty compares all. Use the allowlist on CI runners whose hardware differs from the machine that recorded the baselines — absolute ns/op does not travel across boxes, byte and alloc counts do")
+	)
+	flag.Parse()
+	var allow map[string]bool
+	if *metrics != "" {
+		allow = map[string]bool{}
+		for _, m := range strings.Split(*metrics, ",") {
+			allow[canonicalMetric(strings.TrimSpace(m))] = true
+		}
+	}
+
+	base, err := loadBaselines(*dir, *baselines)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no baseline entries with a \"bench\" key found under %s/%s\n", *dir, *baselines)
+		os.Exit(2)
+	}
+
+	var output []byte
+	if *input != "" {
+		output, err = os.ReadFile(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+		args = append(args, strings.Fields(*pkgs)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = *dir
+		cmd.Stderr = os.Stderr
+		output, err = cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: go test -bench failed: %v\n%s\n", err, output)
+			os.Exit(2)
+		}
+	}
+	measured := parseBenchOutput(string(output))
+
+	report, regressions, missing := diff(base, measured, *tolerance, allow)
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: write %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+	}
+	// A baseline with no measurement fails the gate too: a renamed or
+	// filtered-out benchmark would otherwise turn it silently vacuous —
+	// the exact rot this tool exists to catch. Narrow comparisons are
+	// still possible; prune or rename the baseline entry alongside the
+	// benchmark.
+	if regressions > 0 || missing > 0 {
+		os.Exit(1)
+	}
+}
+
+// baselineEntry is one opted-in benchmark baseline: canonical metric name ->
+// expected value.
+type baselineEntry struct {
+	file    string
+	metrics map[string]float64
+}
+
+// loadBaselines extracts every object carrying a "bench" key from the
+// matching JSON files, walking arbitrarily nested documents.
+func loadBaselines(dir, glob string) (map[string]baselineEntry, error) {
+	files, err := filepath.Glob(filepath.Join(dir, glob))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	out := map[string]baselineEntry{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var doc any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		collectBaselines(doc, filepath.Base(f), out)
+	}
+	return out, nil
+}
+
+func collectBaselines(v any, file string, out map[string]baselineEntry) {
+	switch node := v.(type) {
+	case map[string]any:
+		if name, ok := node["bench"].(string); ok {
+			entry := baselineEntry{file: file, metrics: map[string]float64{}}
+			for k, raw := range node {
+				if f, ok := raw.(float64); ok {
+					entry.metrics[canonicalMetric(k)] = f
+				}
+			}
+			if len(entry.metrics) > 0 {
+				out[name] = entry
+			}
+		}
+		for _, child := range node {
+			collectBaselines(child, file, out)
+		}
+	case []any:
+		for _, child := range node {
+			collectBaselines(child, file, out)
+		}
+	}
+}
+
+// canonicalMetric maps the spelling zoo (ns_op / ns_per_op / "ns/op",
+// bytes_op / "B/op", custom ReportMetric units) onto one namespace.
+func canonicalMetric(k string) string {
+	switch k {
+	case "ns_op", "ns/op":
+		return "ns_per_op"
+	case "bytes_op", "B/op":
+		return "bytes_per_op"
+	case "allocs_op", "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.ReplaceAll(k, "/", "_per_")
+}
+
+// higherIsBetter reports whether a canonical metric is a throughput.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "_per_s")
+}
+
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchOutput extracts per-benchmark canonical metrics from `go test
+// -bench` output.
+func parseBenchOutput(out string) map[string]map[string]float64 {
+	res := map[string]map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLineRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[2])
+		metrics := map[string]float64{}
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[canonicalMetric(fields[i+1])] = val
+		}
+		if len(metrics) > 0 {
+			res[name] = metrics
+		}
+	}
+	return res
+}
+
+// diff renders the comparison report, counting regressions beyond tol and
+// baselines that produced no measurement at all. A non-nil allow set
+// restricts which canonical metrics are compared.
+func diff(base map[string]baselineEntry, measured map[string]map[string]float64, tol float64, allow map[string]bool) (string, int, int) {
+	var b strings.Builder
+	regressions, missing := 0, 0
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "benchdiff: tolerance %.0f%%\n\n", tol*100)
+	for _, name := range names {
+		entry := base[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(&b, "MISSING     %-50s no measurement (baseline in %s)\n", name, entry.file)
+			missing++
+			continue
+		}
+		metrics := make([]string, 0, len(entry.metrics))
+		for m := range entry.metrics {
+			if allow != nil && !allow[m] {
+				continue
+			}
+			if _, ok := got[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			want, have := entry.metrics[m], got[m]
+			var rel float64
+			switch {
+			case want == 0:
+				if have == 0 || higherIsBetter(m) {
+					rel = 0
+				} else {
+					rel = 1 + tol // 0 -> nonzero cost: always a regression
+				}
+			case higherIsBetter(m):
+				rel = (want - have) / want
+			default:
+				rel = (have - want) / want
+			}
+			status := "ok"
+			switch {
+			case rel > tol:
+				status = "REGRESSION"
+				regressions++
+			case rel < -tol:
+				status = "improved"
+			}
+			fmt.Fprintf(&b, "%-11s %-50s %-22s base=%-14.6g got=%-14.6g delta=%+.1f%%\n",
+				status, name, m, want, have, signedDelta(rel, m))
+		}
+	}
+	var extras []string
+	for name := range measured {
+		if _, ok := base[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	if len(extras) > 0 {
+		fmt.Fprintf(&b, "\nmeasured without baseline (informational): %s\n", strings.Join(extras, ", "))
+	}
+	fmt.Fprintf(&b, "\n%d regression(s), %d missing measurement(s)\n", regressions, missing)
+	return b.String(), regressions, missing
+}
+
+// signedDelta reports the user-facing percentage change in the metric's own
+// direction (positive = got bigger), independent of better/worse.
+func signedDelta(rel float64, metric string) float64 {
+	if higherIsBetter(metric) {
+		return -rel * 100
+	}
+	return rel * 100
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro/internal/tsdb
+BenchmarkWALAppend/wal-v1-8      3000000   405.0 ns/op   22.10 walbytes/sample   153 B/op   0 allocs/op
+BenchmarkWALAppend/wal-v2-8      3500000   350.0 ns/op    5.40 walbytes/sample   160 B/op   0 allocs/op
+BenchmarkWALReplay/v2-8                200   6500000 ns/op   7700000 samples/s
+BenchmarkUnrelated-8             1000      12.0 ns/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := parseBenchOutput(sampleOutput)
+	v1 := got["BenchmarkWALAppend/wal-v1"]
+	if v1 == nil {
+		t.Fatalf("wal-v1 not parsed: %v", got)
+	}
+	if v1["ns_per_op"] != 405.0 || v1["walbytes_per_sample"] != 22.10 || v1["bytes_per_op"] != 153 || v1["allocs_per_op"] != 0 {
+		t.Fatalf("wal-v1 metrics wrong: %v", v1)
+	}
+	if got["BenchmarkWALReplay/v2"]["samples_per_s"] != 7700000 {
+		t.Fatalf("custom throughput metric not parsed: %v", got["BenchmarkWALReplay/v2"])
+	}
+}
+
+func TestLoadBaselinesAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	baseline := `{
+	  "description": "prose is ignored",
+	  "benchmarks": {
+	    "BenchmarkWALAppend": {
+	      "v1": {"bench": "BenchmarkWALAppend/wal-v1", "ns_op": 405.0, "walbytes_per_sample": 22.1, "allocs_op": 0},
+	      "v2": {"bench": "BenchmarkWALAppend/wal-v2", "ns_op": 250.0},
+	      "historical": {"ns_op": 9999.0}
+	    },
+	    "BenchmarkWALReplay": {"v2": {"bench": "BenchmarkWALReplay/v2", "samples_per_s": 12000000}},
+	    "gone": {"bench": "BenchmarkRemoved", "ns_op": 1.0}
+	  }
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaselines(dir, "BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 4 {
+		t.Fatalf("want 4 opted-in baselines, got %d: %v", len(base), base)
+	}
+	if _, ok := base["BenchmarkWALAppend/wal-v1"]; !ok {
+		t.Fatal("bench key not honored")
+	}
+
+	measured := parseBenchOutput(sampleOutput)
+	report, regressions, missing := diff(base, measured, 0.25, nil)
+
+	// wal-v1 within tolerance; wal-v2 350 vs 250 = +40% ns regression;
+	// replay throughput 7.7M vs 12M baseline = -36% regression;
+	// BenchmarkRemoved has no measurement — counted separately so a
+	// renamed benchmark can never make the gate vacuous.
+	if regressions != 2 {
+		t.Fatalf("want 2 regressions, got %d:\n%s", regressions, report)
+	}
+	if missing != 1 {
+		t.Fatalf("want 1 missing measurement, got %d:\n%s", missing, report)
+	}
+	for _, want := range []string{
+		"REGRESSION  BenchmarkWALAppend/wal-v2",
+		"REGRESSION  BenchmarkWALReplay/v2",
+		"MISSING     BenchmarkRemoved",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "REGRESSION  BenchmarkWALAppend/wal-v1") {
+		t.Fatalf("wal-v1 flagged despite being within tolerance:\n%s", report)
+	}
+
+	// Restricting to hardware-stable metrics (the CI runner mode) drops
+	// the two ns/throughput regressions; only missing stays.
+	reportHW, regressionsHW, missingHW := diff(base, measured, 0.25,
+		map[string]bool{"bytes_per_op": true, "allocs_per_op": true, "walbytes_per_sample": true})
+	if regressionsHW != 0 || missingHW != 1 {
+		t.Fatalf("metric allowlist: want 0 regressions / 1 missing, got %d / %d:\n%s", regressionsHW, missingHW, reportHW)
+	}
+	if strings.Contains(reportHW, "ns_per_op") {
+		t.Fatalf("allowlist did not filter ns_per_op:\n%s", reportHW)
+	}
+
+	// Zero-alloc baseline: a nonzero measurement is always a regression.
+	measured["BenchmarkWALAppend/wal-v1"]["allocs_per_op"] = 3
+	_, regressions, _ = diff(base, measured, 0.25, nil)
+	if regressions != 3 {
+		t.Fatalf("0 -> 3 allocs/op not flagged: got %d regressions", regressions)
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# ci_sync_check.sh — fail when the Makefile and .github/workflows/ci.yml
+# drift apart. Run from the repo root (make ci-sync-check, or the CI lint
+# job). Two invariants:
+#
+#   1. The race-detect package list is identical in both files (order
+#      ignored). This is the list that silently rotted once already —
+#      promql/promapi were raced in CI but not by `make race`.
+#   2. Every Makefile target is declared in .PHONY, so a stray file named
+#      like a target (e.g. `bench-smoke`) can never shadow it.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+norm() { tr ' ' '\n' | sed '/^$/d' | sort; }
+
+mk_pkgs=$(sed -n 's/^RACE_PKGS := //p' Makefile | norm)
+# Only the bare race job line (first argument is a package path); the
+# wal-recovery/querycache jobs also pass -race but with extra flags.
+ci_pkgs=$(sed -n 's/^ *run: go test -race \(\.\/.*\)$/\1/p' .github/workflows/ci.yml | norm)
+
+if [ -z "$mk_pkgs" ]; then
+    echo "ci-sync-check: could not extract RACE_PKGS from Makefile" >&2
+    fail=1
+fi
+if [ -z "$ci_pkgs" ]; then
+    echo "ci-sync-check: could not extract the race package list from ci.yml" >&2
+    fail=1
+fi
+if [ "$mk_pkgs" != "$ci_pkgs" ]; then
+    echo "ci-sync-check: race package lists differ between Makefile and ci.yml:" >&2
+    echo "--- Makefile RACE_PKGS" >&2
+    echo "$mk_pkgs" >&2
+    echo "--- ci.yml race job" >&2
+    echo "$ci_pkgs" >&2
+    fail=1
+fi
+
+phony=$(sed -n 's/^\.PHONY: //p' Makefile | norm)
+targets=$(sed -n 's/^\([a-z][a-z-]*\):.*/\1/p' Makefile | norm)
+for t in $targets; do
+    if ! echo "$phony" | grep -qx "$t"; then
+        echo "ci-sync-check: Makefile target '$t' is missing from .PHONY" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "ci-sync-check: Makefile and ci.yml are in sync"
