@@ -5,7 +5,7 @@
 GO ?= go
 RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/...
 
-.PHONY: build test race wal-recovery querycache bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
+.PHONY: build test race wal-recovery querycache cluster-chaos bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ wal-recovery:
 querycache:
 	$(GO) test -race -count=2 ./internal/querycache/
 
+# Cluster quorum/chaos/handoff harness: kill mid-scrape, partition,
+# disk-full, WAL-backed rejoin — randomized, so two passes, under race.
+# Set CHAOS_ARTIFACT_DIR to keep the per-node WAL dirs and replay-stats
+# logs (CI uploads them on failure).
+cluster-chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Quorum|Handoff' ./internal/cluster/
+
 # Real measurements for BENCH_querycache.json (slow).
 bench-querycache:
 	$(GO) test -run '^$$' -bench QueryCache -benchmem -benchtime=2s ./internal/querycache/
@@ -38,11 +45,13 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Benchmark-regression gate: re-runs the suites and compares against the
-# committed baselines (BENCH_*.json), failing on >25% regressions. Slow;
-# runs nightly in CI (.github/workflows/bench.yml) or on demand.
+# Benchmark-regression gate: re-runs the suites 5x and compares medians
+# against the committed baselines (BENCH_*.json) with the
+# confidence-interval rule (median ± 3×MAD overlap; flat 25% fallback for
+# legacy entries). Slow; runs nightly in CI (.github/workflows/bench.yml)
+# or on demand.
 benchdiff:
-	$(GO) run ./tools/benchdiff -tolerance 0.25
+	$(GO) run ./tools/benchdiff -count 5
 
 # Guard against Makefile <-> ci.yml drift (race package lists, .PHONY).
 ci-sync-check:
@@ -55,5 +64,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint ci-sync-check test race wal-recovery querycache bench-smoke
+ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos bench-smoke
 	@echo "ci: all green"

@@ -32,6 +32,9 @@ func main() {
 		cacheSz  = flag.Int64("cache-bytes", 32<<20, "response cache byte budget; repeat dashboard queries are served without hitting a backend (0 disables)")
 		cacheTTL = flag.Duration("cache-ttl", lb.DefaultCacheTTL, "max staleness of cached responses whose window touches the present")
 		cacheSet = flag.Duration("cache-settled-ttl", lb.DefaultCacheSettledTTL, "TTL for cached range responses whose window ended in the past")
+		replFact = flag.Int("replication-factor", 0, "replication factor R of the TSDB cluster behind the LB; with -write-quorum derives the failover budget R-W (0 disables failover)")
+		writeQ   = flag.Int("write-quorum", 0, "write quorum W of the cluster; reads tolerate R-W node losses, so GET/HEAD requests retry up to R-W other backends on transport error")
+		retries  = flag.Int("proxy-retries", -1, "explicit failover budget for safe requests; overrides the R-W derivation when >= 0")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -39,6 +42,15 @@ func main() {
 	}
 
 	balancer := &lb.LB{Strategy: lb.Strategy(*strategy), QueryTimeout: *queryTmo}
+	switch {
+	case *retries >= 0:
+		balancer.ProxyRetries = *retries
+	case *replFact > 0 && *writeQ > 0:
+		if *writeQ > *replFact {
+			log.Fatalf("-write-quorum %d exceeds -replication-factor %d", *writeQ, *replFact)
+		}
+		balancer.ProxyRetries = *replFact - *writeQ
+	}
 	if *cacheSz > 0 {
 		balancer.Cache = querycache.New(querycache.Options{MaxBytes: *cacheSz})
 		balancer.CacheTTL = *cacheTTL
@@ -64,7 +76,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("ceems_lb: %d backends, strategy %s, serving %s",
-		len(balancer.Backends), *strategy, *listen)
+	log.Printf("ceems_lb: %d backends, strategy %s, failover budget %d, serving %s",
+		len(balancer.Backends), *strategy, balancer.ProxyRetries, *listen)
 	log.Fatal(http.ListenAndServe(*listen, balancer))
 }

@@ -40,6 +40,10 @@ func main() {
 		report     = flag.Duration("report", 10*time.Minute, "simulated interval between dashboard prints")
 		walDir     = flag.String("wal-dir", "", "TSDB write-ahead-log directory; a restarted sim replays it (empty = memory-only head)")
 		walComp    = flag.Bool("wal-compression", true, "write new WAL files in format v2 (Gorilla samples, block-compressed series); false keeps raw v1 records")
+		nodes      = flag.Int("cluster-nodes", 1, "number of TSDB storage nodes; >1 runs the consistent-hash ring with quorum replication (per-node WALs under -wal-dir/<node>)")
+		replFactor = flag.Int("replication-factor", 0, "ring replication factor R (copies per series); 0 picks min(3, cluster-nodes)")
+		writeQ     = flag.Int("write-quorum", 0, "write quorum W (node acks before a scrape commit returns); 0 picks the majority R/2+1; reads need R-W+1 live replicas")
+		chaos      = flag.String("chaos", "", "chaos scenario on the ring: kill | partition | diskfull (inject at 1/3 of the run, recover at 2/3; needs -cluster-nodes > 1)")
 	)
 	flag.Parse()
 
@@ -70,12 +74,28 @@ func main() {
 	opts.Zone = cfg.Cluster.Zone
 	opts.WALDir = *walDir
 	opts.WALCompression = *walComp
+	opts.ClusterNodes = *nodes
+	opts.ReplicationFactor = *replFactor
+	opts.WriteQuorum = *writeQ
+	if *chaos != "" && *nodes <= 1 {
+		log.Fatalf("-chaos %q needs -cluster-nodes > 1", *chaos)
+	}
 
 	sim, err := cluster.New(topo, opts, cfg.Sim.Users, cfg.Sim.Projects, cfg.Sim.JobsPerDay)
 	if err != nil {
 		log.Fatalf("sim: %v", err)
 	}
-	if ws, ok := sim.DB.WALStats(); ok {
+	if sim.Ring != nil {
+		log.Printf("cluster: %d-node ring, R=%d W=%d (reads need %d live replicas per owner group)",
+			len(sim.Ring.MemberNames()), sim.Ring.R, sim.Ring.W, sim.Ring.R-sim.Ring.W+1)
+		for _, n := range sim.Ring.MemberNames() {
+			if ws, ok := sim.Ring.Member(n).DB().WALStats(); ok && ws.Replay.Samples > 0 {
+				r := ws.Replay
+				log.Printf("%s: wal replay: %d segments, %d samples recovered, %d torn-tail repairs, in %v",
+					n, r.Segments, r.Samples, r.TornRepairs, r.Duration)
+			}
+		}
+	} else if ws, ok := sim.DB.WALStats(); ok {
 		r := ws.Replay
 		log.Printf("tsdb: wal replay: %d shards, %d segments, %d records, %d samples recovered, %d torn-tail repairs, in %v",
 			r.Shards, r.Segments, r.Records, r.Samples, r.TornRepairs, r.Duration)
@@ -87,7 +107,10 @@ func main() {
 		topo.Name, topo.TotalNodes(), topo.TotalGPUs(), cfg.Sim.JobsPerDay, *accel)
 
 	// HTTP endpoints: Prometheus API behind the LB, plus the CEEMS API.
-	promHandler := (&promapi.Handler{Query: sim.Querier, Now: sim.Now}).Mux()
+	// The query source is the thanos fan-in, or the quorum scatter-gather
+	// when clustered — sim.Engine() picks the right one.
+	_, qsrc := sim.Engine()
+	promHandler := (&promapi.Handler{Query: qsrc, Now: sim.Now}).Mux()
 	promSrv := &http.Server{Addr: "127.0.0.1:0"}
 	_ = promSrv
 	go func() {
@@ -115,8 +138,19 @@ func main() {
 	total := int(*duration / opts.ScrapeInterval)
 	reportEvery := int(*report / opts.ScrapeInterval)
 	sleep := time.Duration(float64(time.Second) / stepsPerWallSec)
+	// Chaos schedule: break one node a third of the way in, repair it at
+	// two thirds, and let the final third prove convergence.
+	injectAt, recoverAt := total/3, 2*total/3
 	for i := 0; i < total; i++ {
 		sim.Step(ctx)
+		if *chaos != "" {
+			if i == injectAt {
+				injectChaos(sim, *chaos)
+			}
+			if i == recoverAt {
+				recoverChaos(sim, *chaos)
+			}
+		}
 		if reportEvery > 0 && i%reportEvery == reportEvery-1 {
 			printReport(sim)
 		}
@@ -131,12 +165,82 @@ func main() {
 	}
 }
 
+// chaosVictim picks the highest-named ring member as the node to break.
+func chaosVictim(sim *cluster.Sim) string {
+	names := sim.Ring.MemberNames()
+	return names[len(names)-1]
+}
+
+func injectChaos(sim *cluster.Sim, kind string) {
+	victim := chaosVictim(sim)
+	switch kind {
+	case "kill":
+		if err := sim.Ring.Kill(victim); err != nil {
+			log.Printf("chaos: kill %s: %v", victim, err)
+			return
+		}
+		log.Printf("chaos: killed %s mid-scrape; scrapes continue on W=%d acks", victim, sim.Ring.W)
+	case "partition":
+		sim.Ring.Partition(victim)
+		log.Printf("chaos: partitioned %s from the coordinator", victim)
+	case "diskfull":
+		sim.Ring.SetDiskFull(victim, true)
+		log.Printf("chaos: %s rejects writes (WAL disk full); it still serves reads", victim)
+	default:
+		log.Fatalf("unknown -chaos scenario %q (want kill | partition | diskfull)", kind)
+	}
+}
+
+func recoverChaos(sim *cluster.Sim, kind string) {
+	victim := chaosVictim(sim)
+	switch kind {
+	case "kill":
+		replay, sync, err := sim.Ring.Rejoin(victim)
+		if err != nil {
+			log.Printf("chaos: rejoin %s: %v", victim, err)
+			return
+		}
+		log.Printf("chaos: %s rejoined: WAL replayed %d samples (%d series, %d torn-tail repairs), handoff pulled %d missed samples from peers",
+			victim, replay.Samples, replay.Series, replay.TornRepairs, sync.SamplesApplied)
+	case "partition":
+		sim.Ring.Heal()
+		if sync, err := sim.Ring.SyncNode(victim); err != nil {
+			log.Printf("chaos: post-heal sync %s: %v", victim, err)
+		} else {
+			log.Printf("chaos: %s healed; anti-entropy repaired %d samples", victim, sync.SamplesApplied)
+		}
+	case "diskfull":
+		sim.Ring.SetDiskFull(victim, false)
+		if sync, err := sim.Ring.SyncNode(victim); err != nil {
+			log.Printf("chaos: post-diskfull sync %s: %v", victim, err)
+		} else {
+			log.Printf("chaos: %s writable again; anti-entropy repaired %d samples", victim, sync.SamplesApplied)
+		}
+	}
+}
+
 func printReport(sim *cluster.Sim) {
 	st := sim.Sched.Stats()
-	ts := sim.DB.Stats()
 	fmt.Printf("\n===== %s (simulated) =====\n", sim.Now().Format(time.RFC3339))
-	fmt.Printf("jobs: %d pending / %d running / %d finished | tsdb: %d series, %d samples | cold blocks: %d\n",
-		st.Pending, st.Running, st.Finished, ts.NumSeries, ts.NumSamples, sim.Cold.NumBlocks())
+	if sim.Ring != nil {
+		var series int
+		var samples uint64
+		live := 0
+		for _, n := range sim.Ring.MemberNames() {
+			if db := sim.Ring.Member(n).DB(); db != nil {
+				s := db.Stats()
+				series += s.NumSeries
+				samples += s.NumSamples
+				live++
+			}
+		}
+		fmt.Printf("jobs: %d pending / %d running / %d finished | ring: %d/%d nodes up, %d series, %d samples (replicated)\n",
+			st.Pending, st.Running, st.Finished, live, len(sim.Ring.MemberNames()), series, samples)
+	} else {
+		ts := sim.DB.Stats()
+		fmt.Printf("jobs: %d pending / %d running / %d finished | tsdb: %d series, %d samples | cold blocks: %d\n",
+			st.Pending, st.Running, st.Finished, ts.NumSeries, ts.NumSamples, sim.Cold.NumBlocks())
+	}
 	// Top users table (Fig 2a shape).
 	rows, err := sim.Store.Select("users", relstore.Query{OrderBy: "total_energy_j", Desc: true, Limit: 5})
 	if err == nil && len(rows) > 0 {

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/lb"
+	"repro/internal/model"
+	"repro/internal/promql"
+	"repro/internal/tsdb"
+)
+
+// chaosDir returns the directory holding a test's per-node WAL dirs and
+// logs. Under CHAOS_ARTIFACT_DIR (set by the CI cluster-chaos job) the
+// directory survives the test so a red run uploads it as an artifact;
+// otherwise it is a normal temp dir. Unique per invocation so -count=2
+// reruns don't collide.
+func chaosDir(t *testing.T) string {
+	base := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		t.Fatalf("chaos artifact dir: %v", err)
+	}
+	dir, err := os.MkdirTemp(base, strings.ReplaceAll(t.Name(), "/", "_")+"-")
+	if err != nil {
+		t.Fatalf("chaos artifact dir: %v", err)
+	}
+	return dir
+}
+
+// chaosEnv drives a replicated ring and a single-node oracle through the
+// same deterministic workload. Every batch the ring ACKS is also applied
+// to the oracle, so at any quiet point the quorum read over the cluster
+// must be byte-identical to the oracle — the cluster-level version of the
+// PR 3/5 crash-oracle discipline.
+type chaosEnv struct {
+	t      *testing.T
+	dir    string
+	ring   *RingDB
+	oracle *tsdb.DB
+	series []labels.Labels
+}
+
+func newChaosEnv(t *testing.T, nodes, rf, w, nseries int) *chaosEnv {
+	t.Helper()
+	dir := chaosDir(t)
+	open := func(name string) (*tsdb.DB, error) {
+		opts := tsdb.DefaultOptions()
+		opts.WALDir = filepath.Join(dir, "wal", name)
+		return tsdb.Open(opts)
+	}
+	ring, err := NewRingDB(rf, w, 0, open, names(nodes)...)
+	if err != nil {
+		t.Fatalf("NewRingDB: %v", err)
+	}
+	e := &chaosEnv{t: t, dir: dir, ring: ring, oracle: tsdb.MustOpen(tsdb.DefaultOptions())}
+	t.Cleanup(func() {
+		ring.Close()
+		e.oracle.Close()
+	})
+	for i := 0; i < nseries; i++ {
+		e.series = append(e.series, labels.FromStrings(
+			labels.MetricName, "chaos_metric",
+			"idx", fmt.Sprintf("%03d", i),
+			"cluster", "chaos"))
+	}
+	return e
+}
+
+// batch builds the deterministic scrape payload of one tick: every series
+// gets one sample at t=tick*15000 with a value derived from (series, tick).
+func (e *chaosEnv) batch(tick int) []tsdb.BatchSample {
+	out := make([]tsdb.BatchSample, 0, len(e.series))
+	for i, ls := range e.series {
+		out = append(out, tsdb.BatchSample{
+			Lset: ls,
+			T:    int64(tick) * 15000,
+			V:    float64(i)*1000 + float64(tick),
+		})
+	}
+	return out
+}
+
+// commit routes one tick through the quorum path; on ack the oracle gets
+// the identical batch.
+func (e *chaosEnv) commit(tick int) error {
+	b := e.ring.NewBatch()
+	batch := e.batch(tick)
+	for _, s := range batch {
+		b.Add(s.Lset, s.T, s.V)
+	}
+	if _, err := b.Commit(); err != nil {
+		return err
+	}
+	if _, err := e.oracle.BatchAppend(batch); err != nil {
+		e.t.Fatalf("oracle append tick %d: %v", tick, err)
+	}
+	return nil
+}
+
+// run commits ticks [from, to) and requires every one to reach quorum.
+func (e *chaosEnv) run(from, to int) {
+	e.t.Helper()
+	for tick := from; tick < to; tick++ {
+		if err := e.commit(tick); err != nil {
+			e.t.Fatalf("tick %d failed quorum: %v", tick, err)
+		}
+	}
+}
+
+// mustFail commits ticks [from, to) and requires every one to MISS quorum
+// (the oracle sees nothing — nothing was acked).
+func (e *chaosEnv) mustFail(from, to int) {
+	e.t.Helper()
+	for tick := from; tick < to; tick++ {
+		err := e.commit(tick)
+		var qerr *QuorumWriteError
+		if !errors.As(err, &qerr) {
+			e.t.Fatalf("tick %d should have missed quorum, got %v", tick, err)
+		}
+	}
+}
+
+func dumpAll(t *testing.T, sel func(model.SelectHints, ...*labels.Matcher) ([]model.Series, error)) []model.Series {
+	t.Helper()
+	out, err := sel(model.SelectHints{Start: math.MinInt64, End: math.MaxInt64}, matchAll())
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	return out
+}
+
+// assertByteExact compares the quorum read over the cluster against the
+// oracle, series by series and sample by sample.
+func (e *chaosEnv) assertByteExact() {
+	e.t.Helper()
+	got := dumpAll(e.t, e.ring.Scatter().SelectWithHints)
+	want := dumpAll(e.t, e.oracle.SelectWithHints)
+	compareDumps(e.t, "cluster", got, want)
+}
+
+// assertCoversOracle checks the weaker invariant that holds even while a
+// write quorum is down: every acked sample (everything the oracle holds)
+// is present in the quorum read, though unacked partial writes may appear
+// alongside.
+func (e *chaosEnv) assertCoversOracle() {
+	e.t.Helper()
+	got := dumpAll(e.t, e.ring.Scatter().SelectWithHints)
+	byLabels := map[string][]model.Sample{}
+	for _, s := range got {
+		byLabels[s.Labels.String()] = s.Samples
+	}
+	for _, w := range dumpAll(e.t, e.oracle.SelectWithHints) {
+		have := byLabels[w.Labels.String()]
+		idx := map[int64]float64{}
+		for _, smp := range have {
+			idx[smp.T] = smp.V
+		}
+		for _, smp := range w.Samples {
+			if v, ok := idx[smp.T]; !ok || v != smp.V {
+				e.t.Fatalf("acked sample lost: %v t=%d v=%v (cluster has %v)",
+					w.Labels, smp.T, smp.V, have)
+			}
+		}
+	}
+}
+
+func compareDumps(t *testing.T, what string, got, want []model.Series) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d series, oracle has %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Labels.Equal(want[i].Labels) {
+			t.Fatalf("%s: series %d is %v, oracle has %v", what, i, got[i].Labels, want[i].Labels)
+		}
+		if len(got[i].Samples) != len(want[i].Samples) {
+			t.Fatalf("%s: %v has %d samples, oracle has %d",
+				what, got[i].Labels, len(got[i].Samples), len(want[i].Samples))
+		}
+		for j := range want[i].Samples {
+			if got[i].Samples[j] != want[i].Samples[j] {
+				t.Fatalf("%s: %v sample %d is %+v, oracle has %+v",
+					what, got[i].Labels, j, got[i].Samples[j], want[i].Samples[j])
+			}
+		}
+	}
+}
+
+// TestChaosKillNodeMidScrape: R=3/W=2 on three nodes — killing ANY one
+// node mid-scrape loses zero acked samples: every subsequent commit still
+// reaches quorum and the quorum read stays byte-identical to the oracle.
+func TestChaosKillNodeMidScrape(t *testing.T) {
+	for _, victim := range names(3) {
+		t.Run(victim, func(t *testing.T) {
+			e := newChaosEnv(t, 3, 3, 2, 40)
+			e.run(0, 20)
+			if err := e.ring.Kill(victim); err != nil {
+				t.Fatalf("kill %s: %v", victim, err)
+			}
+			e.run(20, 50)
+			e.assertByteExact()
+		})
+	}
+}
+
+// TestHandoffRejoinRecovery: a killed node revives from its own WAL
+// (replay stats prove it), pulls the scrapes it missed through the
+// anti-entropy sync, and afterwards holds a byte-exact copy of everything
+// it owns — proven the hard way by killing a DIFFERENT node and requiring
+// the quorum read (which now depends on the revived node) to still match
+// the oracle.
+func TestHandoffRejoinRecovery(t *testing.T) {
+	e := newChaosEnv(t, 3, 3, 2, 40)
+	e.run(0, 20)
+	if err := e.ring.Kill("node-1"); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	e.run(20, 35)
+
+	replay, sync, err := e.ring.Rejoin("node-1")
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	logPath := filepath.Join(e.dir, "replay-stats.log")
+	os.WriteFile(logPath, []byte(fmt.Sprintf("replay: %+v\nhandoff: %+v\n", replay, sync)), 0o644)
+
+	// The WAL brought back everything node-1 acked before the kill...
+	if replay.Samples < 40*20 {
+		t.Fatalf("WAL replay recovered %d samples, want >= %d (ticks 0-19)", replay.Samples, 40*20)
+	}
+	if replay.Series < 40 {
+		t.Fatalf("WAL replay registered %d series, want >= 40", replay.Series)
+	}
+	// ...and the handoff landed exactly the missed window (ticks 20-34).
+	if want := 40 * 15; sync.SamplesApplied != want {
+		t.Fatalf("handoff applied %d samples, want %d (the missed ticks)", sync.SamplesApplied, want)
+	}
+	if sync.SeriesOwned != 40 {
+		t.Fatalf("handoff owned %d series, want 40 (R=N means every node owns all)", sync.SeriesOwned)
+	}
+
+	e.run(35, 50)
+	// Force reads to depend on the revived node: without node-2, coverage
+	// is node-0 + node-1, so any hole in node-1's recovery becomes visible.
+	if err := e.ring.Kill("node-2"); err != nil {
+		t.Fatalf("kill node-2: %v", err)
+	}
+	e.assertByteExact()
+
+	// And node-1's own copy is byte-exact on its own.
+	node1 := dumpAll(t, e.ring.Member("node-1").DB().SelectWithHints)
+	compareDumps(t, "revived node-1", node1, dumpAll(t, e.oracle.SelectWithHints))
+}
+
+// TestQuorumPartitionHealRetry: one partitioned node is invisible — writes
+// keep acking, reads stay exact. Partitioning a second node breaks both
+// quorums: commits fail with QuorumWriteError, reads fail with coverage
+// errors instead of silently dropping acked data. After the partition
+// heals, the ingest layer re-sends the unacked window (retry is safe:
+// replicas skip what they already hold) and the cluster is byte-exact
+// again.
+func TestQuorumPartitionHealRetry(t *testing.T) {
+	e := newChaosEnv(t, 3, 3, 2, 40)
+	e.run(0, 20)
+
+	e.ring.Partition("node-2")
+	e.run(20, 30)
+	e.assertByteExact()
+
+	e.ring.Partition("node-1")
+	e.mustFail(30, 35)
+	var qerr *lb.ErrQuorumUnavailable
+	if _, err := e.ring.Scatter().Select(0, math.MaxInt64, matchAll()); !errors.As(err, &qerr) {
+		t.Fatalf("read with one reachable replica should lose coverage, got %v", err)
+	}
+
+	e.ring.Heal()
+	// Re-send the unacked window, then continue; the oracle gets the
+	// batches only now, on ack.
+	e.run(30, 50)
+	e.assertByteExact()
+}
+
+// TestChaosDiskFullQuorum: a node whose WAL volume fills stops acking
+// writes but keeps serving reads. One full disk costs nothing (W=2 of the
+// other two); a full disk plus a dead node breaks the write quorum while
+// reads still answer — the full-disk node counts toward read coverage.
+func TestChaosDiskFullQuorum(t *testing.T) {
+	e := newChaosEnv(t, 3, 3, 2, 40)
+	e.run(0, 20)
+
+	e.ring.SetDiskFull("node-0", true)
+	e.run(20, 30)
+	e.assertByteExact()
+
+	if err := e.ring.Kill("node-1"); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	e.mustFail(30, 35)
+	// Reads still answer: node-0 (disk full, readable) + node-2 cover.
+	// They may surface the unacked samples node-2 applied before its group
+	// missed quorum — quorum reads promise no ACKED loss, not invisibility
+	// of partial writes — so here the check is containment, and byte
+	// exactness is re-established once the window is retried below.
+	e.assertCoversOracle()
+
+	// Space reclaimed + node revived: retry the unacked window, converge.
+	e.ring.SetDiskFull("node-0", false)
+	if _, _, err := e.ring.Rejoin("node-1"); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	e.run(30, 50)
+	e.assertByteExact()
+}
+
+// TestQuorumCommitIdempotent: re-sending an already-acked batch applies
+// zero samples and no error — the property every retry and handoff path
+// leans on.
+func TestQuorumCommitIdempotent(t *testing.T) {
+	e := newChaosEnv(t, 3, 3, 2, 10)
+	e.run(0, 5)
+	b := e.ring.NewBatch()
+	for _, s := range e.batch(4) {
+		b.Add(s.Lset, s.T, s.V)
+	}
+	n, err := b.Commit()
+	if err != nil {
+		t.Fatalf("re-commit: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("re-commit applied %d samples, want 0 (all duplicates)", n)
+	}
+	e.assertByteExact()
+}
+
+// TestHandoffJoinLeave: a joining node enters the ring warming, pulls its
+// owned history, and serves; a leaving node hands its ranges to the
+// survivors before closing. Reads stay byte-exact across both topology
+// changes.
+func TestHandoffJoinLeave(t *testing.T) {
+	e := newChaosEnv(t, 3, 2, 2, 40)
+	e.run(0, 20)
+
+	sync, err := e.ring.Join("node-3")
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if sync.SeriesOwned == 0 || sync.SamplesApplied == 0 {
+		t.Fatalf("join handoff moved nothing: %+v (the ring should remap ~1/4 of series)", sync)
+	}
+	if got := e.ring.MemberNames(); len(got) != 4 {
+		t.Fatalf("membership after join: %v", got)
+	}
+	e.run(20, 35)
+	e.assertByteExact()
+
+	if _, err := e.ring.Leave("node-0"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := e.ring.MemberNames(); len(got) != 3 || got[0] != "node-1" {
+		t.Fatalf("membership after leave: %v", got)
+	}
+	e.run(35, 50)
+	e.assertByteExact()
+}
+
+// TestChaosClusterSim runs the whole simulated platform (scrape, rules,
+// updater, query cache) on a 3-node ring with R=3/W=2, kills a storage
+// node mid-run, and checks the stack keeps operating: scrapes ack, PromQL
+// answers from the surviving quorum, and the node rejoins through WAL
+// replay plus handoff without any subsystem error.
+func TestChaosClusterSim(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ClusterNodes = 3
+	opts.ReplicationFactor = 3
+	opts.WriteQuorum = 2
+	opts.WALDir = filepath.Join(chaosDir(t), "simwal")
+	sim, err := New(smallTopo(), opts, 4, 2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sim.Ring.Close() })
+	ctx := context.Background()
+
+	sim.RunFor(ctx, 20*time.Minute)
+	if err := sim.Ring.Kill("tsdb-1"); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	sim.RunFor(ctx, 20*time.Minute)
+
+	// Quorum reads keep answering with one replica down.
+	eng, q := sim.Engine()
+	v, err := eng.Instant(q, `count(ceems_ipmi_dcmi_current_watts)`, sim.Now())
+	if err != nil {
+		t.Fatalf("query with one node down: %v", err)
+	}
+	if vec := v.(promql.Vector); len(vec) != 1 || int(vec[0].V) != 7 {
+		t.Fatalf("ipmi series with one node down = %+v, want all 7 nodes", vec)
+	}
+
+	replay, sync, err := sim.Ring.Rejoin("tsdb-1")
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if replay.Samples == 0 {
+		t.Fatal("rejoin replayed no WAL samples; node was scraped for 20 minutes before the kill")
+	}
+	if sync.SamplesApplied == 0 {
+		t.Fatal("handoff applied nothing; node missed 20 minutes of scrapes")
+	}
+	sim.RunFor(ctx, 10*time.Minute)
+	if err := sim.FinalizeUpdate(ctx); err != nil {
+		t.Fatalf("final update: %v", err)
+	}
+	for _, e := range sim.Errors {
+		t.Errorf("subsystem error: %s", e)
+	}
+}

@@ -1,0 +1,159 @@
+// WAL-backed handoff: the anti-entropy pass that brings a warming member
+// up to date. A member that was down, newly joined, or partitioned has two
+// recovery layers: its own WAL replay restores everything it ever acked
+// (tsdb.Open does that before the member is visible), and this sync pulls
+// the tail it missed from its peers. The pull is a plain scatter read —
+// every reachable peer streams its copy of the member's owned series, the
+// copies merge-dedup, and the member batch-appends the result. The tsdb
+// batch appender skips out-of-order samples, so everything the member
+// already holds is a silent no-op and only the missing suffix lands — and
+// it lands through the member's own WAL, so handoff output is exactly as
+// durable as scraped input. Running the sync twice is therefore free, and
+// running it concurrently with live writes converges (late routed writes
+// and the sync race benignly: both sides append the same values).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/labels"
+	"repro/internal/lb"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+	"repro/internal/workpool"
+)
+
+// handoffBatchSize bounds one BatchAppend during sync, keeping the
+// member's per-commit WAL records near scrape-sized.
+const handoffBatchSize = 4096
+
+// HandoffStats describes one anti-entropy pass.
+type HandoffStats struct {
+	// Peers is how many members served as sources.
+	Peers int
+	// SeriesScanned is the distinct series seen across sources.
+	SeriesScanned int
+	// SeriesOwned is how many of those the target owns on the current ring.
+	SeriesOwned int
+	// SamplesOffered is the sample total shipped to the target.
+	SamplesOffered int
+	// SamplesApplied is how many actually landed — the rest were already
+	// present and skipped as out-of-order duplicates.
+	SamplesApplied int
+}
+
+func (h *HandoffStats) add(o HandoffStats) {
+	h.Peers += o.Peers
+	h.SeriesScanned += o.SeriesScanned
+	h.SeriesOwned += o.SeriesOwned
+	h.SamplesOffered += o.SamplesOffered
+	h.SamplesApplied += o.SamplesApplied
+}
+
+// matchAll matches every series (every label set matches __name__ =~ ".*",
+// including a missing name).
+func matchAll() *labels.Matcher {
+	return labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
+}
+
+// SyncNode runs the handoff for one member: pull each peer's full series
+// dump, keep the series the member owns under the current ring, and
+// batch-append them. On success the member leaves warming state and counts
+// toward read coverage again. The target must be up; peers that are down,
+// partitioned or themselves warming are skipped as sources (quorum
+// placement guarantees the reachable peers jointly hold every acked
+// sample whenever reads are answerable at all).
+func (r *RingDB) SyncNode(name string) (HandoffStats, error) {
+	ring, members := r.snapshot()
+	target := members[name]
+	if target == nil {
+		return HandoffStats{}, fmt.Errorf("cluster: sync: no member %q", name)
+	}
+	if target.db.Load() == nil {
+		return HandoffStats{}, fmt.Errorf("cluster: sync: member %q is down", name)
+	}
+
+	var peers []*Member
+	for _, n := range sortedNames(members) {
+		m := members[n]
+		if n == name || m.warming.Load() {
+			continue
+		}
+		if _, err := m.reachable(); err != nil {
+			continue
+		}
+		peers = append(peers, m)
+	}
+
+	stats := HandoffStats{Peers: len(peers)}
+	hints := model.SelectHints{Start: math.MinInt64, End: math.MaxInt64}
+	dumps := make([][]model.Series, len(peers))
+	workpool.Do(len(peers), 0, func(i int) {
+		// A peer dropping out mid-sync just contributes nothing; the merged
+		// remainder still converges and the next sync finishes the job.
+		db := peers[i].DB()
+		if db == nil {
+			return
+		}
+		if series, err := db.SelectWithHints(hints, matchAll()); err == nil {
+			dumps[i] = series
+		}
+	})
+
+	merged := lb.MergeReplicaSeries(dumps)
+	stats.SeriesScanned = len(merged)
+
+	var batch []tsdb.BatchSample
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		n, err := target.BatchAppend(batch)
+		if err != nil {
+			return fmt.Errorf("cluster: sync %s: %w", name, err)
+		}
+		stats.SamplesOffered += len(batch)
+		stats.SamplesApplied += n
+		batch = batch[:0]
+		return nil
+	}
+	for _, s := range merged {
+		owned := false
+		for _, o := range ring.Owners(s.Labels.Hash(), r.R) {
+			if o == name {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		stats.SeriesOwned++
+		for _, smp := range s.Samples {
+			batch = append(batch, tsdb.BatchSample{Lset: s.Labels, T: smp.T, V: smp.V})
+			if len(batch) >= handoffBatchSize {
+				if err := flush(); err != nil {
+					return stats, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return stats, err
+	}
+
+	target.warming.Store(false)
+	r.topoGen.Add(1)
+	return stats, nil
+}
+
+func sortedNames(members map[string]*Member) []string {
+	names := make([]string, 0, len(members))
+	for n := range members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the vnode count per member: high enough that one
+// membership change moves close to the theoretical 1/(N+1) share of the
+// keyspace, low enough that Owners stays a handful of binary searches.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes, keyed by the same
+// FNV-1a hash the TSDB head stripes series with: a series' labels hash is
+// looked up on the ring and the first R distinct members clockwise own its
+// replicas. Rings are immutable — WithNode/WithoutNode return a new ring —
+// so readers never lock, and construction is fully deterministic: tokens
+// derive only from member names and vnode indexes (no map iteration, no
+// process-local state), so every process that knows the member set places
+// every series identically.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted member names
+	tokens []ringToken
+}
+
+// ringToken is one vnode position: a point on the uint64 ring owned by a
+// member.
+type ringToken struct {
+	token uint64
+	node  string
+}
+
+// NewRing builds a ring over the given members. vnodes <= 0 picks
+// DefaultVirtualNodes. Duplicate names collapse; order does not matter.
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	var nodes []string
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			nodes = append(nodes, m)
+		}
+	}
+	sort.Strings(nodes)
+	r := &Ring{vnodes: vnodes, nodes: nodes}
+	r.tokens = make([]ringToken, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.tokens = append(r.tokens, ringToken{token: vnodeToken(n, i), node: n})
+		}
+	}
+	// Sort by (token, node): the node tiebreak keeps placement deterministic
+	// even in the astronomically unlikely event of a token collision.
+	sort.Slice(r.tokens, func(i, j int) bool {
+		a, b := r.tokens[i], r.tokens[j]
+		if a.token != b.token {
+			return a.token < b.token
+		}
+		return a.node < b.node
+	})
+	return r
+}
+
+// vnodeToken hashes "name\x00index" with FNV-1a — the same function the
+// TSDB head and querycache stripe by.
+func vnodeToken(node string, idx int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 1099511628211
+	}
+	h ^= 0
+	h *= 1099511628211
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= uint64(idx>>shift) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+// WithNode returns a new ring with the member added (no-op copy if already
+// present).
+func (r *Ring) WithNode(name string) *Ring {
+	return NewRing(r.vnodes, append(append([]string{}, r.nodes...), name)...)
+}
+
+// WithoutNode returns a new ring with the member removed.
+func (r *Ring) WithoutNode(name string) *Ring {
+	var keep []string
+	for _, n := range r.nodes {
+		if n != name {
+			keep = append(keep, n)
+		}
+	}
+	return NewRing(r.vnodes, keep...)
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owners returns the rf distinct members owning the key hash: the owners
+// of the first rf distinct vnodes at or clockwise after the hash. rf is
+// clamped to the member count. The returned slice is freshly allocated, in
+// ring-walk order (the first element is the primary).
+func (r *Ring) Owners(hash uint64, rf int) []string {
+	if len(r.tokens) == 0 || rf <= 0 {
+		return nil
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	i := sort.Search(len(r.tokens), func(j int) bool { return r.tokens[j].token >= hash })
+	owners := make([]string, 0, rf)
+	for n := 0; n < len(r.tokens) && len(owners) < rf; n++ {
+		cand := r.tokens[(i+n)%len(r.tokens)].node
+		dup := false
+		for _, o := range owners {
+			if o == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, cand)
+		}
+	}
+	return owners
+}
+
+// OwnerGroups returns every distinct owner set the ring produces at
+// replication factor rf, each sorted internally, the list sorted by its
+// joined key. A quorum reader uses this to verify that every keyspace
+// region has enough live replicas before trusting a merged answer.
+func (r *Ring) OwnerGroups(rf int) [][]string {
+	if len(r.tokens) == 0 {
+		return nil
+	}
+	seen := map[string][]string{}
+	var keys []string
+	for i := range r.tokens {
+		owners := r.Owners(r.tokens[i].token, rf)
+		sorted := append([]string(nil), owners...)
+		sort.Strings(sorted)
+		key := fmt.Sprint(sorted)
+		if _, ok := seen[key]; !ok {
+			seen[key] = sorted
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys returns a deterministic stream of pseudo-random key hashes.
+func ringKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+// TestRingStabilityAdd: adding one node to N remaps close to the
+// theoretical 1/(N+1) of primary ownership — and never more than twice
+// that — and every remapped key lands on the new node (consistent hashing
+// moves keys only toward the joiner, never between survivors).
+func TestRingStabilityAdd(t *testing.T) {
+	const n = 8
+	keys := ringKeys(20000)
+	before := NewRing(0, names(n)...)
+	after := before.WithNode("node-new")
+
+	moved := 0
+	for _, k := range keys {
+		a := before.Owners(k, 1)[0]
+		b := after.Owners(k, 1)[0]
+		if a != b {
+			moved++
+			if b != "node-new" {
+				t.Fatalf("key %x moved %s -> %s, not to the joining node", k, a, b)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if limit := 2.0 / float64(n+1); frac > limit {
+		t.Fatalf("add remapped %.3f of keys, want <= %.3f", frac, limit)
+	}
+	if frac == 0 {
+		t.Fatal("adding a node remapped nothing; ring is not spreading load")
+	}
+
+	// Same bound for full R=3 owner sets: a join may enter up to R owner
+	// slots, so the set-change fraction is bounded by 2R/(N+1).
+	const rf = 3
+	changed := 0
+	for _, k := range keys {
+		if fmt.Sprint(before.Owners(k, rf)) != fmt.Sprint(after.Owners(k, rf)) {
+			changed++
+		}
+	}
+	frac = float64(changed) / float64(len(keys))
+	if limit := 2.0 * rf / float64(n+1); frac > limit {
+		t.Fatalf("add changed %.3f of R=%d owner sets, want <= %.3f", frac, rf, limit)
+	}
+}
+
+// TestRingStabilityRemove mirrors the add bound: removing one of N nodes
+// remaps at most 2/N of primary ownership, and only keys the removed node
+// owned move.
+func TestRingStabilityRemove(t *testing.T) {
+	const n = 8
+	keys := ringKeys(20000)
+	before := NewRing(0, names(n)...)
+	after := before.WithoutNode("node-3")
+
+	moved := 0
+	for _, k := range keys {
+		a := before.Owners(k, 1)[0]
+		b := after.Owners(k, 1)[0]
+		if a != b {
+			moved++
+			if a != "node-3" {
+				t.Fatalf("key %x moved %s -> %s though its owner stayed in the ring", k, a, b)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if limit := 2.0 / float64(n); frac > limit {
+		t.Fatalf("remove remapped %.3f of keys, want <= %.3f", frac, limit)
+	}
+}
+
+// TestRingDeterministicPlacement: placement depends only on the member
+// set — not insertion order, duplicates, or map iteration — and matches a
+// pinned golden, so two processes (or two releases) route identically.
+func TestRingDeterministicPlacement(t *testing.T) {
+	base := NewRing(16, "alpha", "beta", "gamma", "delta")
+	perms := [][]string{
+		{"delta", "gamma", "beta", "alpha"},
+		{"beta", "alpha", "delta", "gamma", "beta", "alpha"}, // dups collapse
+		{"gamma", "delta", "alpha", "beta"},
+	}
+	keys := ringKeys(1000)
+	for _, p := range perms {
+		r := NewRing(16, p...)
+		for _, k := range keys {
+			if got, want := fmt.Sprint(r.Owners(k, 3)), fmt.Sprint(base.Owners(k, 3)); got != want {
+				t.Fatalf("permuted ring %v places %x at %s, base places at %s", p, k, got, want)
+			}
+		}
+	}
+
+	// Golden checksum over the token stream: FNV-1a of every (token, node)
+	// pair in ring order. Any change to the hash function, vnode key
+	// derivation, or sort order breaks cross-process placement and must
+	// show up here as a deliberate diff.
+	sum := uint64(14695981039346656037)
+	mix := func(b byte) { sum ^= uint64(b); sum *= 1099511628211 }
+	for _, tok := range base.tokens {
+		for shift := 0; shift < 64; shift += 8 {
+			mix(byte(tok.token >> shift))
+		}
+		for i := 0; i < len(tok.node); i++ {
+			mix(tok.node[i])
+		}
+	}
+	const golden = uint64(0xa91869c939d4203a)
+	if sum != golden {
+		t.Fatalf("token stream checksum %#x, want pinned golden %#x", sum, golden)
+	}
+}
+
+// TestRingOwnersQuorumShape: owner lists are distinct, clamped, and the
+// OwnerGroups enumeration covers every group at the right size.
+func TestRingOwnersQuorumShape(t *testing.T) {
+	r := NewRing(0, names(5)...)
+	for _, k := range ringKeys(500) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners returned %d nodes, want 3", len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %s for key %x", o, k)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners(ringKeys(1)[0], 9); len(got) != 5 {
+		t.Fatalf("rf beyond member count returned %d owners, want clamp to 5", len(got))
+	}
+	if got := r.Owners(ringKeys(1)[0], 0); got != nil {
+		t.Fatalf("rf=0 returned %v, want nil", got)
+	}
+	for _, g := range r.OwnerGroups(3) {
+		if len(g) != 3 {
+			t.Fatalf("owner group %v has size %d, want 3", g, len(g))
+		}
+	}
+	if groups := NewRing(0).OwnerGroups(3); groups != nil {
+		t.Fatalf("empty ring produced owner groups %v", groups)
+	}
+}

@@ -57,6 +57,20 @@ type Options struct {
 	// samples, block-compressed series records); false keeps raw v1
 	// records. Existing files of either format always replay.
 	WALCompression bool
+	// ClusterNodes > 1 replaces the single hot TSDB with a consistent-hash
+	// ring of that many tsdb nodes: scrapes route through quorum batch
+	// appends, queries scatter-gather across replicas, and the thanos
+	// sidecar/cold tier is disabled (retention prunes each node instead).
+	// Each node journals to WALDir/<node> when WALDir is set.
+	ClusterNodes int
+	// ReplicationFactor is the ring's R (copies per series); 0 picks
+	// min(3, ClusterNodes). Only used when ClusterNodes > 1.
+	ReplicationFactor int
+	// WriteQuorum is the ring's W (acks before a commit returns); 0 picks
+	// the majority R/2+1. Reads need R−W+1 replicas per owner group.
+	WriteQuorum int
+	// VirtualNodes per member on the ring; 0 picks the default.
+	VirtualNodes int
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -80,8 +94,12 @@ type Sim struct {
 	Topo Topology
 	Opts Options
 
-	Sched     *slurmsim.Scheduler
-	DB        *tsdb.DB
+	Sched *slurmsim.Scheduler
+	// DB is the hot TSDB in single-node mode; nil when clustered.
+	DB *tsdb.DB
+	// Ring is the replicated storage layer when Opts.ClusterNodes > 1;
+	// nil in single-node mode.
+	Ring      *RingDB
 	Cold      *thanos.Store
 	Sidecar   *thanos.Sidecar
 	Querier   *thanos.Querier
@@ -166,13 +184,43 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		return nil, err
 	}
 
-	// Exporters + scrape groups per class.
-	tsdbOpts := tsdb.DefaultOptions()
-	tsdbOpts.WALDir = opts.WALDir
-	tsdbOpts.WALCompression = opts.WALCompression
-	sim.DB, err = tsdb.Open(tsdbOpts)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: open tsdb: %w", err)
+	// Storage: one hot TSDB, or a replicated ring of them.
+	if opts.ClusterNodes > 1 {
+		rf := opts.ReplicationFactor
+		if rf <= 0 {
+			rf = 3
+			if rf > opts.ClusterNodes {
+				rf = opts.ClusterNodes
+			}
+		}
+		w := opts.WriteQuorum
+		if w <= 0 {
+			w = rf/2 + 1
+		}
+		open := func(name string) (*tsdb.DB, error) {
+			o := tsdb.DefaultOptions()
+			o.WALCompression = opts.WALCompression
+			if opts.WALDir != "" {
+				o.WALDir = opts.WALDir + "/" + name
+			}
+			return tsdb.Open(o)
+		}
+		nodeNames := make([]string, opts.ClusterNodes)
+		for i := range nodeNames {
+			nodeNames[i] = fmt.Sprintf("tsdb-%d", i)
+		}
+		sim.Ring, err = NewRingDB(rf, w, opts.VirtualNodes, open, nodeNames...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open ring: %w", err)
+		}
+	} else {
+		tsdbOpts := tsdb.DefaultOptions()
+		tsdbOpts.WALDir = opts.WALDir
+		tsdbOpts.WALCompression = opts.WALCompression
+		sim.DB, err = tsdb.Open(tsdbOpts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open tsdb: %w", err)
+		}
 	}
 	var groups []*scrape.TargetGroup
 	for _, class := range Classes() {
@@ -209,9 +257,32 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 			Interval: opts.ScrapeInterval,
 		})
 	}
+	// The write destination, query source and series cleaner are the ring
+	// in cluster mode, the single DB otherwise; everything downstream wires
+	// against these.
+	var (
+		scrapeDest scrape.Appender
+		newBatch   func() scrape.Batch
+		hotQuery   promql.Queryable
+		ruleDest   rules.Appender
+		cleaner    api.SeriesDeleter
+	)
+	if sim.Ring != nil {
+		scrapeDest = sim.Ring
+		newBatch = func() scrape.Batch { return sim.Ring.NewBatch() }
+		hotQuery = sim.Ring.Scatter()
+		ruleDest = sim.Ring
+		cleaner = sim.Ring
+	} else {
+		scrapeDest = sim.DB
+		newBatch = func() scrape.Batch { return sim.DB.Appender() }
+		hotQuery = sim.DB
+		ruleDest = sim.DB
+		cleaner = sim.DB
+	}
 	sim.scrapeMgr = &scrape.Manager{
-		Dest: sim.DB, Fetcher: &exporterFetcher{sim: sim}, Groups: groups,
-		NewBatch: func() scrape.Batch { return sim.DB.Appender() },
+		Dest: scrapeDest, Fetcher: &exporterFetcher{sim: sim}, Groups: groups,
+		NewBatch: newBatch,
 		Now:      func() time.Time { return sim.clock },
 	}
 
@@ -219,21 +290,27 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 	ropts := ceemsrules.DefaultOptions()
 	ropts.Interval = opts.RuleInterval
 	sim.rulesMgr = &rules.Manager{
-		Engine: rules.NewEngine(nil), Query: sim.DB, Dest: sim.DB,
+		Engine: rules.NewEngine(nil), Query: hotQuery, Dest: ruleDest,
 		Groups: ceemsrules.AllGroups(ropts),
 	}
 
-	// Long-term storage.
-	coldDir := ""
-	if opts.StoreDir != "" {
-		coldDir = opts.StoreDir + "/thanos"
+	// Long-term storage. The thanos sidecar ships blocks from one concrete
+	// hot DB; in cluster mode every replica retains its own head instead
+	// (Step prunes on the ship cadence) and queries stay on the ring.
+	updaterQuery := hotQuery
+	if sim.Ring == nil {
+		coldDir := ""
+		if opts.StoreDir != "" {
+			coldDir = opts.StoreDir + "/thanos"
+		}
+		sim.Cold, err = thanos.NewStore(coldDir)
+		if err != nil {
+			return nil, err
+		}
+		sim.Sidecar = &thanos.Sidecar{DB: sim.DB, Store: sim.Cold, HeadRetention: opts.HeadRetention}
+		sim.Querier = &thanos.Querier{Hot: sim.DB, Cold: sim.Cold}
+		updaterQuery = sim.Querier
 	}
-	sim.Cold, err = thanos.NewStore(coldDir)
-	if err != nil {
-		return nil, err
-	}
-	sim.Sidecar = &thanos.Sidecar{DB: sim.DB, Store: sim.Cold, HeadRetention: opts.HeadRetention}
-	sim.Querier = &thanos.Querier{Hot: sim.DB, Cold: sim.Cold}
 
 	// API server.
 	storeDir := ""
@@ -258,11 +335,11 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		Fetchers: []resourcemanager.Fetcher{
 			&resourcemanager.Local{Cluster: topo.Name, Kind: model.ManagerSLURM, Source: sim.Sched},
 		},
-		Query:           sim.Querier,
+		Query:           updaterQuery,
 		Factor:          factor,
 		Zone:            opts.Zone,
 		ShortUnitCutoff: opts.ShortUnitCutoff,
-		Cleaner:         sim.DB,
+		Cleaner:         cleaner,
 	}
 	sim.APIServer = &api.Server{Store: sim.Store, Updater: sim.Updater}
 
@@ -270,13 +347,20 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 	// backend handler is installed by callers that serve HTTP. Ownership
 	// checks go straight to the API server. The response cache runs on the
 	// simulated clock so TTL expiry tracks simulated, not wall, time.
+	cacheOpts := querycache.Options{
+		MaxBytes: 16 << 20,
+		Clock:    func() time.Time { return sim.clock },
+	}
+	if sim.Ring != nil {
+		// The ring implements the cache's Head watermark (freshest member
+		// MaxTime, mutation gen folding in topology changes), so PromQL
+		// result caching stays correct across kills and rejoins.
+		cacheOpts.Head = sim.Ring
+	}
 	sim.LB = &lb.LB{
 		Strategy: lb.RoundRobin,
 		Checker:  &lb.APIServerChecker{Server: sim.APIServer},
-		Cache: querycache.New(querycache.Options{
-			MaxBytes: 16 << 20,
-			Clock:    func() time.Time { return sim.clock },
-		}),
+		Cache:    querycache.New(cacheOpts),
 		CacheTTL: opts.ScrapeInterval,
 		CacheNow: func() time.Time { return sim.clock },
 	}
@@ -303,9 +387,14 @@ func (s *Sim) Step(ctx context.Context) {
 
 	// Emission factor as a series (so rules can join against it).
 	if f, err := s.Opts.Factor.Factor(ctx, s.Opts.Zone); err == nil {
-		s.DB.Append(
-			labels.FromStrings(labels.MetricName, "ceems_emission_factor_gco2_kwh", "zone", s.Opts.Zone),
-			s.clock.UnixMilli(), f.GramsPerKWh)
+		ls := labels.FromStrings(labels.MetricName, "ceems_emission_factor_gco2_kwh", "zone", s.Opts.Zone)
+		if s.Ring != nil {
+			if err := s.Ring.Append(ls, s.clock.UnixMilli(), f.GramsPerKWh); err != nil {
+				s.recordError("emissions", err)
+			}
+		} else {
+			s.DB.Append(ls, s.clock.UnixMilli(), f.GramsPerKWh)
+		}
 	}
 
 	if s.every(s.Opts.RuleInterval) {
@@ -319,8 +408,14 @@ func (s *Sim) Step(ctx context.Context) {
 		}
 	}
 	if s.every(s.Opts.ShipInterval) {
-		if err := s.Sidecar.Ship(s.clock); err != nil {
-			s.recordError("sidecar", err)
+		if s.Sidecar != nil {
+			if err := s.Sidecar.Ship(s.clock); err != nil {
+				s.recordError("sidecar", err)
+			}
+		} else if s.Ring != nil && s.Opts.HeadRetention > 0 {
+			// No cold tier in cluster mode: every replica prunes its own
+			// head on the same cadence the sidecar would have shipped.
+			s.Ring.Truncate(s.clock.Add(-s.Opts.HeadRetention).UnixMilli())
 		}
 	}
 }
@@ -357,8 +452,12 @@ func (s *Sim) FinalizeUpdate(ctx context.Context) error {
 	return s.Updater.Update(ctx, s.clock)
 }
 
-// Engine returns a PromQL engine bound to the fan-in querier for ad-hoc
-// queries against the simulation.
+// Engine returns a PromQL engine bound to the fan-in querier (or, in
+// cluster mode, the quorum scatter-gather) for ad-hoc queries against the
+// simulation.
 func (s *Sim) Engine() (*promql.Engine, promql.Queryable) {
+	if s.Ring != nil {
+		return promql.NewEngine(), s.Ring.Scatter()
+	}
 	return promql.NewEngine(), s.Querier
 }

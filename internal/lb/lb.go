@@ -168,9 +168,19 @@ type LB struct {
 	// CacheNow supplies the clock for settledness decisions; nil means
 	// time.Now. The cluster simulator wires its simulated clock here.
 	CacheNow func() time.Time
+	// ProxyRetries is how many additional distinct backends a safe (GET or
+	// HEAD) request may fail over to when a backend dies before sending any
+	// response byte; 0 disables failover. In front of a replicated cluster
+	// the right budget is quorum-derived: reads tolerate R−W node losses,
+	// so R−W retries reach every backend that could still answer. Requests
+	// with bodies never retry — the body was consumed by the first attempt.
+	ProxyRetries int
 
 	rrNext atomic.Uint64
 	denied atomic.Int64
+	// failovers counts proxied requests that succeeded only on a retry
+	// backend.
+	failovers atomic.Int64
 }
 
 // Default cache TTLs: fresh windows ride the typical scrape cadence,
@@ -508,13 +518,14 @@ func (lb *LB) authorize(w http.ResponseWriter, r *http.Request, user, query stri
 	return true
 }
 
-// proxy forwards the request to the backend and streams the response,
-// reporting whether the body was relayed to completion.
-func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
-	b.active.Add(1)
-	defer b.active.Add(-1)
-	b.served.Add(1)
+// Failovers returns how many requests succeeded only after failing over
+// to another backend.
+func (lb *LB) Failovers() int64 { return lb.failovers.Load() }
 
+// roundTrip issues the request against one backend, marking it unhealthy
+// on a transport error. No response byte has been written on error, so
+// the caller may retry elsewhere.
+func (lb *LB) roundTrip(r *http.Request, b *Backend) (*http.Response, error) {
 	out := r.Clone(r.Context())
 	out.URL.Scheme = b.URL.Scheme
 	out.URL.Host = b.URL.Host
@@ -529,6 +540,54 @@ func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
 	resp, err := transport.RoundTrip(out)
 	if err != nil {
 		b.SetHealthy(false)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// pickExcluding selects a healthy backend not yet tried; nil when none
+// remain.
+func (lb *LB) pickExcluding(tried map[*Backend]bool) *Backend {
+	for range lb.Backends {
+		b := lb.pick()
+		if b == nil {
+			return nil
+		}
+		if !tried[b] {
+			return b
+		}
+	}
+	return nil
+}
+
+// proxy forwards the request to the backend and streams the response,
+// reporting whether the body was relayed to completion. When the backend
+// fails before a single response byte (transport error), safe requests
+// fail over to up to ProxyRetries other healthy backends before giving up
+// with a 502 — the HTTP face of the quorum read path: one dead replica
+// node must not surface as a query error.
+func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
+	b.active.Add(1)
+	defer b.active.Add(-1)
+	b.served.Add(1)
+
+	resp, err := lb.roundTrip(r, b)
+	if err != nil && lb.ProxyRetries > 0 && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+		tried := map[*Backend]bool{b: true}
+		for i := 0; i < lb.ProxyRetries && err != nil; i++ {
+			nb := lb.pickExcluding(tried)
+			if nb == nil {
+				break
+			}
+			tried[nb] = true
+			nb.served.Add(1)
+			resp, err = lb.roundTrip(r, nb)
+			if err == nil {
+				lb.failovers.Add(1)
+			}
+		}
+	}
+	if err != nil {
 		http.Error(w, "backend error: "+err.Error(), http.StatusBadGateway)
 		return false
 	}

@@ -280,6 +280,60 @@ func TestHTTPChecker(t *testing.T) {
 	}
 }
 
+func TestProxyFailover(t *testing.T) {
+	// Backend 0 is dead (connection refused) but still marked healthy —
+	// the health checker hasn't noticed yet. With a retry budget the GET
+	// must fail over to backend 1 transparently.
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"success"}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	b0, _ := NewBackend(dead.URL)
+	b1, _ := NewBackend(live.URL)
+	dead.Close()
+
+	lb := &LB{Backends: []*Backend{b0, b1}, Checker: &stubChecker{}, ProxyRetries: 1}
+	// pick() round-robins; loop until the dead backend is attempted first.
+	var sawFailover bool
+	for i := 0; i < 4; i++ {
+		rec := get(t, lb, "/api/v1/query?query=up", "alice")
+		if rec.Code != 200 {
+			t.Fatalf("request %d = %d: %s", i, rec.Code, rec.Body)
+		}
+		if lb.Failovers() > 0 {
+			sawFailover = true
+		}
+	}
+	if !sawFailover {
+		t.Error("no failover recorded despite dead backend in rotation")
+	}
+	if b0.Healthy() {
+		t.Error("dead backend still marked healthy after transport error")
+	}
+
+	// Unsafe methods never retry: the body was consumed by the attempt.
+	b0.SetHealthy(true)
+	lb2 := &LB{Backends: []*Backend{b0}, Checker: &stubChecker{}, ProxyRetries: 3}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/query", nil)
+	req.Header.Set("X-Grafana-User", "alice")
+	rec := httptest.NewRecorder()
+	lb2.ServeHTTP(rec, req)
+	if rec.Code != 502 {
+		t.Errorf("POST to dead backend = %d, want 502", rec.Code)
+	}
+	if lb2.Failovers() != 0 {
+		t.Errorf("POST failed over %d times, want 0", lb2.Failovers())
+	}
+
+	// Budget exhausted (every backend dead) still ends in one 502.
+	b0.SetHealthy(true)
+	lb3 := &LB{Backends: []*Backend{b0}, Checker: &stubChecker{}, ProxyRetries: 2}
+	if rec := get(t, lb3, "/api/v1/query?query=up", "alice"); rec.Code != 502 {
+		t.Errorf("all-dead status = %d, want 502", rec.Code)
+	}
+}
+
 func TestBadBackendURL(t *testing.T) {
 	if _, err := NewBackend("://bad"); err == nil {
 		t.Error("bad URL accepted")

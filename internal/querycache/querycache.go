@@ -142,6 +142,7 @@ type Stats struct {
 	SpliceFails   uint64 `json:"spliceFails"` // paranoid-mode mismatches
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
+	Coalesced     uint64 `json:"coalesced"` // waited behind an identical in-flight eval
 	Entries       int    `json:"entries"`
 	Bytes         int64  `json:"bytes"`
 	MaxBytes      int64  `json:"maxBytes"`
@@ -155,12 +156,17 @@ type Cache struct {
 	shards []*cacheShard
 	mask   uint64
 
+	// flights collapses concurrent cold evaluations of one key into a
+	// single backend call (see singleflight.go).
+	flights flightGroup
+
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	splices       atomic.Uint64
 	spliceFails   atomic.Uint64
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
+	coalesced     atomic.Uint64
 }
 
 // New returns a Cache with the given options.
@@ -199,6 +205,7 @@ func (c *Cache) Stats() Stats {
 		SpliceFails:   c.spliceFails.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Coalesced:     c.coalesced.Load(),
 		MaxBytes:      c.opts.MaxBytes,
 		Shards:        len(c.shards),
 	}

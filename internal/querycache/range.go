@@ -79,6 +79,14 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 		m, err := eval(ctx, start, end, step)
 		return m, OutcomeBypass, err
 	}
+	return c.rangeLookup(ctx, key, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, true)
+}
+
+// rangeLookup probes the cache once and serves the hit/splice/miss result.
+// latch controls whether a full cold miss goes through the singleflight
+// latch; the follower retry passes false so a failed leader cannot convoy
+// followers behind one another forever.
+func (c *Cache) rangeLookup(ctx context.Context, key string, startMs, lastMs, stepMs, phase, padMs int64, start, end time.Time, step time.Duration, eval RangeEval, latch bool) (promql.Matrix, Outcome, error) {
 	st := c.snapshot()
 	sh := c.shardFor(key)
 	ent := sh.get(key)
@@ -90,7 +98,7 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 		ent = nil
 	}
 	if ent == nil {
-		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+		return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
 	}
 
 	// Reusable sub-window of the cached grid.
@@ -107,7 +115,7 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 		// boundary step.
 		if ent.fillMax == math.MinInt64 {
 			// Filled against an empty head; nothing was settled.
-			return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+			return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
 		}
 		hi = min(hi, alignDown(ent.fillMax-1, phase, stepMs))
 	}
@@ -117,7 +125,7 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 		lo = max(lo, alignUp(st.pruned+padMs, phase, stepMs))
 	}
 	if lo > hi {
-		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+		return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
 	}
 	mid := extractRange(ent.matrix, lo, hi)
 	if lo == startMs && hi == lastMs {
@@ -128,16 +136,18 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 	// Splice: evaluate only the uncovered head and tail of the grid.
 	var headM, tailM promql.Matrix
 	if startMs < lo {
-		headM, err = eval(ctx, model.MillisToTime(startMs), model.MillisToTime(lo-stepMs), step)
+		m, err := eval(ctx, model.MillisToTime(startMs), model.MillisToTime(lo-stepMs), step)
 		if err != nil {
 			return nil, OutcomeBypass, err
 		}
+		headM = m
 	}
 	if hi < lastMs {
-		tailM, err = eval(ctx, model.MillisToTime(hi+stepMs), model.MillisToTime(lastMs), step)
+		m, err := eval(ctx, model.MillisToTime(hi+stepMs), model.MillisToTime(lastMs), step)
 		if err != nil {
 			return nil, OutcomeBypass, err
 		}
+		tailM = m
 	}
 	out := spliceMerge(headM, cloneMatrix(mid), tailM)
 	if c.opts.Paranoid {
@@ -148,12 +158,36 @@ func (c *Cache) RangeQuery(ctx context.Context, query string, start, end time.Ti
 		if !EqualMatrix(out, cold) {
 			c.spliceFails.Add(1)
 			return nil, OutcomeBypass, fmt.Errorf(
-				"querycache: spliced result differs from cold evaluation for %q [%d..%d] step %dms", query, startMs, lastMs, stepMs)
+				"querycache: spliced result differs from cold evaluation for key %q [%d..%d] step %dms", key, startMs, lastMs, stepMs)
 		}
 	}
 	c.splices.Add(1)
 	c.storeRange(key, st, out, startMs, lastMs, stepMs)
 	return out, OutcomeSplice, nil
+}
+
+// rangeColdFlight funnels a full cold miss through the per-key latch: one
+// leader evaluates and fills; followers park until it finishes, then retry
+// the lookup once — which normally hits what the leader stored. A retry
+// that still misses (leader errored, entry too large to store, fresh
+// invalidation) evaluates unlatched rather than queueing behind a new
+// leader.
+func (c *Cache) rangeColdFlight(ctx context.Context, key string, st headState, startMs, lastMs, stepMs, phase, padMs int64, start, end time.Time, step time.Duration, eval RangeEval, latch bool) (promql.Matrix, Outcome, error) {
+	if !latch {
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+	}
+	leader, f := c.flights.begin(key)
+	if leader {
+		defer c.flights.end(key)
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, OutcomeBypass, ctx.Err()
+	}
+	c.coalesced.Add(1)
+	return c.rangeLookup(ctx, key, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, false)
 }
 
 // rangeMiss evaluates cold and stores the result.
@@ -199,6 +233,13 @@ func (c *Cache) InstantQuery(ctx context.Context, query string, ts time.Time, ev
 		padMs = maxPadMs(expr, c.opts.Lookback)
 		key   = fmt.Sprintf("i\x00%s\x00%d\x00%d", NormalizeQuery(query), tsMs, padMs)
 	)
+	return c.instantLookup(ctx, key, tsMs, padMs, eval, true)
+}
+
+// instantLookup probes the cache once; cold evaluations go through the
+// singleflight latch when latch is set (follower retries pass false, same
+// discipline as rangeLookup).
+func (c *Cache) instantLookup(ctx context.Context, key string, tsMs, padMs int64, eval InstantEval, latch bool) (promql.Value, Outcome, error) {
 	st := c.snapshot()
 	sh := c.shardFor(key)
 	if ent := sh.get(key); ent != nil {
@@ -221,6 +262,19 @@ func (c *Cache) InstantQuery(ctx context.Context, query string, ts time.Time, ev
 			c.hits.Add(1)
 			return cloneValue(ent.value), OutcomeHit, nil
 		}
+	}
+	if latch {
+		leader, f := c.flights.begin(key)
+		if !leader {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, OutcomeBypass, ctx.Err()
+			}
+			c.coalesced.Add(1)
+			return c.instantLookup(ctx, key, tsMs, padMs, eval, false)
+		}
+		defer c.flights.end(key)
 	}
 	v, err := eval(ctx)
 	if err != nil {

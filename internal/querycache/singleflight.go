@@ -1,0 +1,66 @@
+package querycache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress cold evaluation; followers block on done until
+// the leader stores its result (or gives up).
+type flight struct {
+	done    chan struct{}
+	waiters atomic.Int32
+}
+
+// flightGroup collapses concurrent cold evaluations of one cache key into a
+// single backend call: the first caller (the leader) evaluates and fills
+// the entry; everyone else parks on the latch and retries the lookup once
+// the leader finishes, which normally serves them from what it stored.
+// Grafana dashboards produce exactly this shape — a panel refresh fans the
+// same query out N times within milliseconds of a cold or just-invalidated
+// cache — and without the latch every copy re-evaluates the full window.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// begin either makes the caller the leader for key (leader=true; it must
+// call end once its evaluation is stored or abandoned, error included) or
+// registers it as a waiter on the current leader's flight.
+func (g *flightGroup) begin(key string) (leader bool, f *flight) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f := g.m[key]; f != nil {
+		f.waiters.Add(1)
+		return false, f
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return true, f
+}
+
+// end releases the latch for key, waking every parked follower.
+func (g *flightGroup) end(key string) {
+	g.mu.Lock()
+	f := g.m[key]
+	delete(g.m, key)
+	g.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+}
+
+// waiting reports how many callers are parked across all in-flight
+// evaluations; the stampede test uses it as a deterministic barrier.
+func (g *flightGroup) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.m {
+		n += int(f.waiters.Load())
+	}
+	return n
+}

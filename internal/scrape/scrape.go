@@ -261,10 +261,17 @@ func (m *Manager) ScrapeTarget(ctx context.Context, g *TargetGroup, target strin
 	sink.add(up, ts, upVal)
 	sink.add(sd, ts, dur.Seconds())
 	// Second, small commit: staleness markers plus the synthetics. Their
-	// out-of-order skips are as silent as the per-sample path's unchecked
-	// Appends were.
-	if _, cerr := sink.commit(); cerr != nil && m.OnError != nil {
-		m.OnError(target, cerr)
+	// out-of-order skips are silent, but a commit ERROR (e.g. a lost write
+	// quorum) marks the target down just like the metric commit would —
+	// none of this scrape's samples are reliably durable.
+	if _, cerr := sink.commit(); cerr != nil {
+		if m.OnError != nil {
+			m.OnError(target, cerr)
+		}
+		upVal = 0
+		if errStr == "" {
+			errStr = fmt.Sprintf("commit: %v", cerr)
+		}
 	}
 
 	m.mu.Lock()
@@ -317,12 +324,16 @@ func (m *Manager) scrapeOnce(ctx context.Context, sink *appendSink, g *TargetGro
 	// exactly what landed (Commit skips out-of-order duplicates), matching
 	// the per-sample path's count. The staleness markers staged below ride
 	// the scrape's second commit together with the synthetic series.
+	// A commit error is a failed scrape, not a skippable hiccup: a
+	// ring-routed batch that misses its write quorum was NOT durably
+	// ingested, and the target must show down with the error in its
+	// health — so it propagates like a fetch failure after the staleness
+	// bookkeeping below.
+	var commitErr error
 	if sink.batch != nil {
 		appended, cerr := sink.commit()
 		n = appended
-		if cerr != nil && m.OnError != nil {
-			m.OnError(target, cerr)
-		}
+		commitErr = cerr
 	}
 	// Staleness: series present last scrape but absent now get a marker so
 	// queries stop seeing them immediately.
@@ -338,6 +349,9 @@ func (m *Manager) scrapeOnce(ctx context.Context, sink *appendSink, g *TargetGro
 		if _, still := cur[h]; !still {
 			sink.add(ls, ts, model.StaleNaN())
 		}
+	}
+	if commitErr != nil {
+		return n, fmt.Errorf("commit: %w", commitErr)
 	}
 	return n, nil
 }

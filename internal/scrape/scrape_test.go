@@ -231,3 +231,39 @@ func BenchmarkScrapeParseAppend(b *testing.B) {
 		m.ScrapeAll(context.Background())
 	}
 }
+
+// failingBatch accepts adds but fails every commit — the shape of a
+// ring-routed batch that cannot reach its write quorum.
+type failingBatch struct{ adds int }
+
+func (b *failingBatch) Add(labels.Labels, int64, float64) { b.adds++ }
+func (b *failingBatch) Commit() (int, error)              { return 0, errors.New("write quorum failed") }
+
+// TestScrapeCommitErrorRecordsDown: a batch commit failure is a failed
+// scrape — the target goes down with the commit error in its health, it
+// doesn't silently stay green while nothing was durably ingested.
+func TestScrapeCommitErrorRecordsDown(t *testing.T) {
+	f := &stringFetcher{payloads: map[string]string{"n1:9100": payload}}
+	var errCount atomic.Int64
+	m := &Manager{
+		Dest: tsdb.MustOpen(tsdb.DefaultOptions()), Fetcher: f,
+		Groups:   []*TargetGroup{{JobName: "j", Targets: []string{"n1:9100"}}},
+		NewBatch: func() Batch { return &failingBatch{} },
+		Now:      func() time.Time { return time.Unix(1000, 0) },
+		OnError:  func(string, error) { errCount.Add(1) },
+	}
+	m.ScrapeAll(context.Background())
+	h := m.Health()["j/n1:9100"]
+	if h.Up {
+		t.Fatalf("target should be down after commit failure, health = %+v", h)
+	}
+	if !strings.Contains(h.LastError, "write quorum failed") {
+		t.Fatalf("LastError should carry the commit error, got %q", h.LastError)
+	}
+	if h.Samples != 0 {
+		t.Fatalf("no samples were durable, health reports %d", h.Samples)
+	}
+	if errCount.Load() == 0 {
+		t.Fatal("OnError not invoked for commit failure")
+	}
+}

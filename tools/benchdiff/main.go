@@ -1,13 +1,30 @@
 // Command benchdiff is the benchmark-regression gate: it runs the repo's
 // benchmark suite (or parses a pre-recorded `go test -bench` output) and
 // compares every measurement against the committed BENCH_*.json baselines,
-// failing when a metric regressed beyond the tolerance.
+// failing when a metric regressed beyond what measurement noise explains.
 //
 // Baselines opt in per entry with an explicit "bench" key naming the
 // benchmark exactly as `go test` prints it (minus the -GOMAXPROCS suffix),
 // e.g. {"bench": "BenchmarkWALAppend/wal-v2", "ns_op": 310, ...}. Entries
 // without a "bench" key (prose, shapes, historical "before" numbers) are
 // ignored, so the JSON files stay free-form documents.
+//
+// Metric values come in two shapes:
+//
+//   - a bare number ("ns_op": 405.0) — a legacy single-run value with
+//     unknown dispersion; it is gated with the flat -tolerance rule;
+//   - an object ("ns_op": {"median": 405.0, "mad": 2.3, "runs": 5}) — the
+//     median of `runs` repetitions with its median-absolute-deviation.
+//
+// When BOTH sides carry dispersion (baseline recorded with runs > 1 and
+// benchdiff invoked with -count > 1), the gate is confidence-interval
+// overlap instead of a blunt percentage: each side spans median ±
+// ci-mult×MAD, and a metric only fails when the two intervals are disjoint
+// in the worse direction AND the median moved more than -min-delta. A tight
+// benchmark therefore catches a 10% slip that a 25% tolerance would wave
+// through, while a noisy one is not failed for jitter its own baseline
+// already exhibited. Either side lacking dispersion falls back to the flat
+// -tolerance comparison on medians.
 //
 // Metric keys are canonicalized (ns_op == ns_per_op == "ns/op", bytes_op ==
 // "B/op", allocs_op == "allocs/op"; custom b.ReportMetric units map by
@@ -18,9 +35,9 @@
 //
 // Usage:
 //
-//	go run ./tools/benchdiff                      # run + compare (slow)
+//	go run ./tools/benchdiff -count 5             # run 5x + compare (slow)
 //	go run ./tools/benchdiff -input bench.txt     # compare a recorded run
-//	go run ./tools/benchdiff -tolerance 0.25 -out benchdiff.txt
+//	go run ./tools/benchdiff -count 5 -emit-stats # print medians/MADs for re-recording baselines
 //
 // Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage
 // or execution error. Wired as `make benchdiff` and the nightly
@@ -32,6 +49,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -48,9 +66,13 @@ func main() {
 		bench     = flag.String("bench", "WAL|RangeQuery|QueryCache", "benchmark regexp passed to go test -bench")
 		pkgs      = flag.String("pkgs", "./internal/tsdb/ ./internal/querycache/ .", "space-separated packages to benchmark")
 		benchtime = flag.String("benchtime", "2s", "benchtime passed to go test")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression before failing (0.25 = 25%)")
+		count     = flag.Int("count", 1, "benchmark repetitions (go test -count); > 1 yields medians with dispersion and enables the interval gate")
+		tolerance = flag.Float64("tolerance", 0.25, "fallback flat tolerance when either side lacks dispersion (0.25 = 25%)")
+		ciMult    = flag.Float64("ci-mult", 3, "half-width multiplier: each side's interval is median ± ci-mult×MAD")
+		minDelta  = flag.Float64("min-delta", 0.05, "median shift below this relative floor never fails, however tight the intervals (guards zero-MAD metrics)")
 		input     = flag.String("input", "", "parse this pre-recorded `go test -bench` output instead of running")
 		out       = flag.String("out", "", "also write the report to this file")
+		emitStats = flag.Bool("emit-stats", false, "print the measured {median, mad, runs} per benchmark as JSON and exit (for re-recording baselines)")
 		metrics   = flag.String("metrics", "", "comma-separated allowlist of canonical metrics to compare (e.g. bytes_per_op,allocs_per_op,walbytes_per_sample); empty compares all. Use the allowlist on CI runners whose hardware differs from the machine that recorded the baselines — absolute ns/op does not travel across boxes, byte and alloc counts do")
 	)
 	flag.Parse()
@@ -80,7 +102,7 @@ func main() {
 			os.Exit(2)
 		}
 	} else {
-		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem"}
 		args = append(args, strings.Fields(*pkgs)...)
 		cmd := exec.Command("go", args...)
 		cmd.Dir = *dir
@@ -91,9 +113,19 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	measured := parseBenchOutput(string(output))
+	measured := aggregate(parseBenchOutput(string(output)))
 
-	report, regressions, missing := diff(base, measured, *tolerance, allow)
+	if *emitStats {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(measured); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	report, regressions, missing := diff(base, measured, gate{tol: *tolerance, ciMult: *ciMult, minDelta: *minDelta}, allow)
 	fmt.Print(report)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
@@ -111,11 +143,28 @@ func main() {
 	}
 }
 
+// stat is one metric's value with its measurement spread: the median of
+// Runs repetitions and their median absolute deviation. Runs <= 1 (legacy
+// bare-number baselines, single-run measurements) means the dispersion is
+// unknown and only the flat-tolerance gate applies.
+type stat struct {
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+	Runs   int     `json:"runs"`
+}
+
+// gate bundles the comparison knobs.
+type gate struct {
+	tol      float64 // flat fallback tolerance
+	ciMult   float64 // interval half-width = ciMult * MAD
+	minDelta float64 // median-shift floor below which nothing fails
+}
+
 // baselineEntry is one opted-in benchmark baseline: canonical metric name ->
-// expected value.
+// expected stat.
 type baselineEntry struct {
 	file    string
-	metrics map[string]float64
+	metrics map[string]stat
 }
 
 // loadBaselines extracts every object carrying a "bench" key from the
@@ -145,10 +194,10 @@ func collectBaselines(v any, file string, out map[string]baselineEntry) {
 	switch node := v.(type) {
 	case map[string]any:
 		if name, ok := node["bench"].(string); ok {
-			entry := baselineEntry{file: file, metrics: map[string]float64{}}
+			entry := baselineEntry{file: file, metrics: map[string]stat{}}
 			for k, raw := range node {
-				if f, ok := raw.(float64); ok {
-					entry.metrics[canonicalMetric(k)] = f
+				if s, ok := parseStat(raw); ok {
+					entry.metrics[canonicalMetric(k)] = s
 				}
 			}
 			if len(entry.metrics) > 0 {
@@ -163,6 +212,30 @@ func collectBaselines(v any, file string, out map[string]baselineEntry) {
 			collectBaselines(child, file, out)
 		}
 	}
+}
+
+// parseStat accepts the two baseline value shapes: a bare number (legacy,
+// single run, unknown spread) or a {"median": ..., "mad": ..., "runs": ...}
+// object.
+func parseStat(raw any) (stat, bool) {
+	switch val := raw.(type) {
+	case float64:
+		return stat{Median: val, Runs: 1}, true
+	case map[string]any:
+		med, ok := val["median"].(float64)
+		if !ok {
+			return stat{}, false
+		}
+		s := stat{Median: med, Runs: 1}
+		if mad, ok := val["mad"].(float64); ok {
+			s.MAD = mad
+		}
+		if runs, ok := val["runs"].(float64); ok {
+			s.Runs = int(runs)
+		}
+		return s, true
+	}
+	return stat{}, false
 }
 
 // canonicalMetric maps the spelling zoo (ns_op / ns_per_op / "ns/op",
@@ -186,10 +259,11 @@ func higherIsBetter(metric string) bool {
 
 var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
-// parseBenchOutput extracts per-benchmark canonical metrics from `go test
-// -bench` output.
-func parseBenchOutput(out string) map[string]map[string]float64 {
-	res := map[string]map[string]float64{}
+// parseBenchOutput extracts per-benchmark canonical metric samples from
+// `go test -bench` output; with -count > 1 each benchmark contributes one
+// sample per repetition.
+func parseBenchOutput(out string) map[string]map[string][]float64 {
+	res := map[string]map[string][]float64{}
 	for _, line := range strings.Split(out, "\n") {
 		m := benchLineRe.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -197,25 +271,125 @@ func parseBenchOutput(out string) map[string]map[string]float64 {
 		}
 		name := m[1]
 		fields := strings.Fields(m[2])
-		metrics := map[string]float64{}
+		samples := res[name]
+		if samples == nil {
+			samples = map[string][]float64{}
+			res[name] = samples
+		}
 		for i := 0; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			metrics[canonicalMetric(fields[i+1])] = val
+			k := canonicalMetric(fields[i+1])
+			samples[k] = append(samples[k], val)
 		}
-		if len(metrics) > 0 {
-			res[name] = metrics
+	}
+	for name, samples := range res {
+		empty := true
+		for _, v := range samples {
+			if len(v) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			delete(res, name)
 		}
 	}
 	return res
 }
 
-// diff renders the comparison report, counting regressions beyond tol and
-// baselines that produced no measurement at all. A non-nil allow set
-// restricts which canonical metrics are compared.
-func diff(base map[string]baselineEntry, measured map[string]map[string]float64, tol float64, allow map[string]bool) (string, int, int) {
+// aggregate reduces raw samples to median + MAD per metric.
+func aggregate(samples map[string]map[string][]float64) map[string]map[string]stat {
+	out := map[string]map[string]stat{}
+	for name, metrics := range samples {
+		agg := map[string]stat{}
+		for m, vals := range metrics {
+			if len(vals) == 0 {
+				continue
+			}
+			med := median(vals)
+			devs := make([]float64, len(vals))
+			for i, v := range vals {
+				devs[i] = math.Abs(v - med)
+			}
+			agg[m] = stat{Median: med, MAD: median(devs), Runs: len(vals)}
+		}
+		if len(agg) > 0 {
+			out[name] = agg
+		}
+	}
+	return out
+}
+
+// median returns the middle value (mean of the middle two for even n)
+// without mutating its input.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare gates one metric. rel is the relative change in the "worse"
+// direction (positive = regressed), whatever the metric's polarity.
+func compare(metric string, base, got stat, g gate) (status string, rel float64) {
+	if base.Median == 0 {
+		// 0 -> nonzero cost (e.g. allocs/op) is always a regression; a zero
+		// or any throughput stays ok (nothing meaningful to divide by).
+		if got.Median != 0 && !higherIsBetter(metric) {
+			return "REGRESSION", math.Inf(1)
+		}
+		return "ok", 0
+	}
+	if higherIsBetter(metric) {
+		rel = (base.Median - got.Median) / base.Median
+	} else {
+		rel = (got.Median - base.Median) / base.Median
+	}
+	if base.Runs > 1 && got.Runs > 1 {
+		// Interval gate: fail only when the two median±ciMult×MAD spans are
+		// disjoint in the worse direction and the shift clears the floor.
+		baseLo, baseHi := base.Median-g.ciMult*base.MAD, base.Median+g.ciMult*base.MAD
+		gotLo, gotHi := got.Median-g.ciMult*got.MAD, got.Median+g.ciMult*got.MAD
+		worse, better := gotLo > baseHi, gotHi < baseLo
+		if higherIsBetter(metric) {
+			worse, better = gotHi < baseLo, gotLo > baseHi
+		}
+		switch {
+		case worse && rel > g.minDelta:
+			return "REGRESSION", rel
+		case better && rel < -g.minDelta:
+			return "improved", rel
+		}
+		return "ok", rel
+	}
+	// Legacy flat tolerance: one side has no dispersion to reason with.
+	switch {
+	case rel > g.tol:
+		return "REGRESSION", rel
+	case rel < -g.tol:
+		return "improved", rel
+	}
+	return "ok", rel
+}
+
+// fmtStat renders "405±2.1(n5)" for dispersed values, a bare number for
+// single-run ones.
+func fmtStat(s stat) string {
+	if s.Runs > 1 {
+		return fmt.Sprintf("%.6g±%.3g(n%d)", s.Median, s.MAD, s.Runs)
+	}
+	return fmt.Sprintf("%.6g", s.Median)
+}
+
+// diff renders the comparison report, counting regressions and baselines
+// that produced no measurement at all. A non-nil allow set restricts which
+// canonical metrics are compared.
+func diff(base map[string]baselineEntry, measured map[string]map[string]stat, g gate, allow map[string]bool) (string, int, int) {
 	var b strings.Builder
 	regressions, missing := 0, 0
 	names := make([]string, 0, len(base))
@@ -223,7 +397,8 @@ func diff(base map[string]baselineEntry, measured map[string]map[string]float64,
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(&b, "benchdiff: tolerance %.0f%%\n\n", tol*100)
+	fmt.Fprintf(&b, "benchdiff: interval gate median±%.3g×MAD (min-delta %.0f%%), flat fallback %.0f%%\n\n",
+		g.ciMult, g.minDelta*100, g.tol*100)
 	for _, name := range names {
 		entry := base[name]
 		got, ok := measured[name]
@@ -244,29 +419,12 @@ func diff(base map[string]baselineEntry, measured map[string]map[string]float64,
 		sort.Strings(metrics)
 		for _, m := range metrics {
 			want, have := entry.metrics[m], got[m]
-			var rel float64
-			switch {
-			case want == 0:
-				if have == 0 || higherIsBetter(m) {
-					rel = 0
-				} else {
-					rel = 1 + tol // 0 -> nonzero cost: always a regression
-				}
-			case higherIsBetter(m):
-				rel = (want - have) / want
-			default:
-				rel = (have - want) / want
-			}
-			status := "ok"
-			switch {
-			case rel > tol:
-				status = "REGRESSION"
+			status, rel := compare(m, want, have, g)
+			if status == "REGRESSION" {
 				regressions++
-			case rel < -tol:
-				status = "improved"
 			}
-			fmt.Fprintf(&b, "%-11s %-50s %-22s base=%-14.6g got=%-14.6g delta=%+.1f%%\n",
-				status, name, m, want, have, signedDelta(rel, m))
+			fmt.Fprintf(&b, "%-11s %-50s %-22s base=%-20s got=%-20s delta=%+.1f%%\n",
+				status, name, m, fmtStat(want), fmtStat(have), signedDelta(rel, m))
 		}
 	}
 	var extras []string
