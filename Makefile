@@ -31,7 +31,7 @@ querycache:
 # Set CHAOS_ARTIFACT_DIR to keep the per-node WAL dirs and replay-stats
 # logs (CI uploads them on failure).
 cluster-chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Quorum|Handoff' ./internal/cluster/
+	$(GO) test -race -count=2 -run 'Chaos|Quorum|Handoff|Tombstone|ReadRepair|Hint' ./internal/cluster/
 
 # Real measurements for BENCH_querycache.json (slow).
 bench-querycache:

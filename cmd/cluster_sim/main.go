@@ -44,6 +44,7 @@ func main() {
 		replFactor = flag.Int("replication-factor", 0, "ring replication factor R (copies per series); 0 picks min(3, cluster-nodes)")
 		writeQ     = flag.Int("write-quorum", 0, "write quorum W (node acks before a scrape commit returns); 0 picks the majority R/2+1; reads need R-W+1 live replicas")
 		chaos      = flag.String("chaos", "", "chaos scenario on the ring: kill | partition | diskfull (inject at 1/3 of the run, recover at 2/3; needs -cluster-nodes > 1)")
+		hintLimit  = flag.Int("hint-limit", 0, "hinted-handoff queue bound per dead/partitioned node (drop-oldest past it); 0 keeps the default, -1 disables hinting")
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 	opts.ClusterNodes = *nodes
 	opts.ReplicationFactor = *replFactor
 	opts.WriteQuorum = *writeQ
+	opts.HintLimit = *hintLimit
 	if *chaos != "" && *nodes <= 1 {
 		log.Fatalf("-chaos %q needs -cluster-nodes > 1", *chaos)
 	}
@@ -200,8 +202,9 @@ func recoverChaos(sim *cluster.Sim, kind string) {
 			log.Printf("chaos: rejoin %s: %v", victim, err)
 			return
 		}
-		log.Printf("chaos: %s rejoined: WAL replayed %d samples (%d series, %d torn-tail repairs), handoff pulled %d missed samples from peers",
-			victim, replay.Samples, replay.Series, replay.TornRepairs, sync.SamplesApplied)
+		hs := sim.Ring.HintStats()
+		log.Printf("chaos: %s rejoined: WAL replayed %d samples (%d series, %d torn-tail repairs), hints drained %d samples, handoff pulled %d missed samples from peers",
+			victim, replay.Samples, replay.Series, replay.TornRepairs, hs.SamplesDrained, sync.SamplesApplied)
 	case "partition":
 		sim.Ring.Heal()
 		if sync, err := sim.Ring.SyncNode(victim); err != nil {
@@ -236,6 +239,14 @@ func printReport(sim *cluster.Sim) {
 		}
 		fmt.Printf("jobs: %d pending / %d running / %d finished | ring: %d/%d nodes up, %d series, %d samples (replicated)\n",
 			st.Pending, st.Running, st.Finished, live, len(sim.Ring.MemberNames()), series, samples)
+		if hs := sim.Ring.HintStats(); hs.SamplesQueued+hs.SamplesDropped+hs.TombstonesQueued > 0 || hs.Pending > 0 {
+			fmt.Printf("hints: %d queued / %d drained / %d dropped samples, %d tombstones, %d pending\n",
+				hs.SamplesQueued, hs.SamplesDrained, hs.SamplesDropped, hs.TombstonesQueued, hs.Pending)
+		}
+		if rs := sim.Ring.Scatter().RepairStatsSnapshot(); rs.SeriesRepaired+rs.Dropped+rs.Errors > 0 {
+			fmt.Printf("read-repair: %d series / %d samples back-filled, %d dropped, %d errors\n",
+				rs.SeriesRepaired, rs.SamplesRepaired, rs.Dropped, rs.Errors)
+		}
 	} else {
 		ts := sim.DB.Stats()
 		fmt.Printf("jobs: %d pending / %d running / %d finished | tsdb: %d series, %d samples | cold blocks: %d\n",

@@ -42,6 +42,15 @@ type HandoffStats struct {
 	// SamplesApplied is how many actually landed — the rest were already
 	// present and skipped as out-of-order duplicates.
 	SamplesApplied int
+	// HintSamples / HintTombstones count buffered hints drained into the
+	// target by this sync's opening hint drain (hints.go). When the hint
+	// queue covered the whole outage, HintSamples carries the recovery and
+	// SamplesApplied is zero — the peer pull found nothing left to fill.
+	HintSamples    int
+	HintTombstones int
+	// TombstonesApplied counts delete tombstones the tombstone union copied
+	// onto the target from its peers' durable logs.
+	TombstonesApplied int
 }
 
 func (h *HandoffStats) add(o HandoffStats) {
@@ -50,6 +59,9 @@ func (h *HandoffStats) add(o HandoffStats) {
 	h.SeriesOwned += o.SeriesOwned
 	h.SamplesOffered += o.SamplesOffered
 	h.SamplesApplied += o.SamplesApplied
+	h.HintSamples += o.HintSamples
+	h.HintTombstones += o.HintTombstones
+	h.TombstonesApplied += o.TombstonesApplied
 }
 
 // matchAll matches every series (every label set matches __name__ =~ ".*",
@@ -58,13 +70,23 @@ func matchAll() *labels.Matcher {
 	return labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
 }
 
-// SyncNode runs the handoff for one member: pull each peer's full series
-// dump, keep the series the member owns under the current ring, and
-// batch-append them. On success the member leaves warming state and counts
-// toward read coverage again. The target must be up; peers that are down,
-// partitioned or themselves warming are skipped as sources (quorum
-// placement guarantees the reachable peers jointly hold every acked
-// sample whenever reads are answerable at all).
+// SyncNode runs the handoff for one member in three passes. First it
+// drains the member's buffered hints (hints.go) — when the hint queue
+// covered the whole outage that alone restores the member. Second it
+// unions every reachable peer's durable tombstone log onto the target, so
+// acked deletes the member slept through can never resurrect from it (the
+// logs of tombstone-stale peers are themselves trustworthy — it is their
+// series data, not their delete history, that may be behind). Third it
+// pulls each usable peer's full series dump, keeps the series the member
+// owns under the current ring, and batch-appends them; peers that are
+// down, partitioned, warming or tombstone-stale are excluded as data
+// sources (a stale peer's dump could carry deleted series back in). On
+// success the member's warming, tombstone-stale and lossy-hint gates all
+// clear and it counts toward read coverage again.
+//
+// The target must be up. When other members exist but none is usable as a
+// data source, SyncNode fails instead of silently clearing the gates on an
+// unproven member.
 func (r *RingDB) SyncNode(name string) (HandoffStats, error) {
 	ring, members := r.snapshot()
 	target := members[name]
@@ -75,19 +97,46 @@ func (r *RingDB) SyncNode(name string) (HandoffStats, error) {
 		return HandoffStats{}, fmt.Errorf("cluster: sync: member %q is down", name)
 	}
 
+	stats := HandoffStats{}
+	// Pass 1: redeliver buffered hints. Best effort — a failed drain
+	// re-queues the remainder and the peer pull below fills the gap.
+	ds, _ := r.drainHints(name)
+	stats.HintSamples = ds.SamplesApplied
+	stats.HintTombstones = ds.Tombstones
+
+	// Pass 2: tombstone union from every reachable peer's durable log. The
+	// union writes through the target's own WAL (tsdb.ApplyTombstone), so a
+	// synced delete is as durable as an acked one.
+	var tombSources []*tsdb.DB
 	var peers []*Member
+	candidates := 0
 	for _, n := range sortedNames(members) {
 		m := members[n]
-		if n == name || m.warming.Load() {
+		if n == name {
 			continue
 		}
-		if _, err := m.reachable(); err != nil {
+		candidates++
+		db, err := m.reachable()
+		if err != nil {
+			continue
+		}
+		tombSources = append(tombSources, db)
+		if m.warming.Load() || m.tombStale.Load() {
 			continue
 		}
 		peers = append(peers, m)
 	}
+	applied, err := syncTombstones(target.db.Load(), tombSources...)
+	stats.TombstonesApplied = applied
+	if err != nil {
+		return stats, fmt.Errorf("cluster: sync %s: tombstone union: %w", name, err)
+	}
 
-	stats := HandoffStats{Peers: len(peers)}
+	if candidates > 0 && len(peers) == 0 {
+		return stats, fmt.Errorf("cluster: sync %s: no usable sources (%d candidates all down, partitioned, warming or tombstone-stale)", name, candidates)
+	}
+
+	stats.Peers = len(peers)
 	hints := model.SelectHints{Start: math.MinInt64, End: math.MaxInt64}
 	dumps := make([][]model.Series, len(peers))
 	workpool.Do(len(peers), 0, func(i int) {
@@ -144,6 +193,10 @@ func (r *RingDB) SyncNode(name string) (HandoffStats, error) {
 		return stats, err
 	}
 
+	// The full pull proved every hole filled: clear all three read gates,
+	// including the lossy-hint marker a bounded queue may have left behind.
+	r.clearHintLossy(name)
+	target.tombStale.Store(false)
 	target.warming.Store(false)
 	r.topoGen.Add(1)
 	return stats, nil

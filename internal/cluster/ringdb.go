@@ -41,6 +41,10 @@ var (
 	// ErrDiskFull marks a member whose WAL volume stopped accepting writes.
 	// The member still answers reads from what it holds.
 	ErrDiskFull = errors.New("cluster: node disk full, write rejected")
+	// ErrNodeStale marks a member that missed an acked delete tombstone: it
+	// refuses reads until the tombstone reaches it (hint drain or SyncNode),
+	// because a merge including its answer could resurrect deleted series.
+	ErrNodeStale = errors.New("cluster: node missing delete tombstones")
 )
 
 // QuorumWriteError reports a batch commit that could not reach W acks for
@@ -67,6 +71,9 @@ type Member struct {
 	partitioned atomic.Bool
 	warming     atomic.Bool
 	diskFull    atomic.Bool
+	// tombStale gates reads on a member that missed a delete tombstone
+	// (tombstones.go); serving reads from it could resurrect the series.
+	tombStale atomic.Bool
 }
 
 // Name returns the member's ring name.
@@ -100,42 +107,63 @@ func (m *Member) BatchAppend(batch []tsdb.BatchSample) (int, error) {
 	return db.BatchAppend(batch)
 }
 
-// SelectWithHints implements lb.SeriesBackend. Warming members refuse
-// reads: until handoff completes their history may miss acked samples, so
-// counting them toward read coverage would break the quorum intersection.
-func (m *Member) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+// readable is the read-path gate shared by the lb.SeriesBackend methods:
+// on top of reachability, warming members refuse reads (their history may
+// miss acked samples until handoff completes) and tombstone-stale members
+// refuse reads (their history may contain acked-deleted series) — counting
+// either toward read coverage would break the quorum merge.
+func (m *Member) readable() (*tsdb.DB, error) {
 	db, err := m.reachable()
 	if err != nil {
 		return nil, err
 	}
 	if m.warming.Load() {
 		return nil, ErrNodeWarming
+	}
+	if m.tombStale.Load() {
+		return nil, ErrNodeStale
+	}
+	return db, nil
+}
+
+// SelectWithHints implements lb.SeriesBackend.
+func (m *Member) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+	db, err := m.readable()
+	if err != nil {
+		return nil, err
 	}
 	return db.SelectWithHints(hints, ms...)
 }
 
 // LabelValues implements lb.SeriesBackend.
 func (m *Member) LabelValues(name string) ([]string, error) {
-	db, err := m.reachable()
+	db, err := m.readable()
 	if err != nil {
 		return nil, err
-	}
-	if m.warming.Load() {
-		return nil, ErrNodeWarming
 	}
 	return db.LabelValues(name), nil
 }
 
 // LabelNames implements lb.SeriesBackend.
 func (m *Member) LabelNames() ([]string, error) {
-	db, err := m.reachable()
+	db, err := m.readable()
 	if err != nil {
 		return nil, err
 	}
-	if m.warming.Load() {
-		return nil, ErrNodeWarming
-	}
 	return db.LabelNames(), nil
+}
+
+// RepairSamples implements lb.Repairer: the scatter-gather merge back-fills
+// a replica it caught returning stale or missing series. Repairs land
+// through the normal batch append seam (WAL-durable); out-of-order
+// duplicates skip silently, so repairing is always safe to retry.
+func (m *Member) RepairSamples(ls labels.Labels, samples []model.Sample) error {
+	batch := make([]tsdb.BatchSample, len(samples))
+	for i, s := range samples {
+		batch[i] = tsdb.BatchSample{Lset: ls, T: s.T, V: s.V}
+	}
+	_, err := m.BatchAppend(batch)
+	return err
 }
 
 // RingDB coordinates N members behind one tsdb-shaped facade. All methods
@@ -156,6 +184,15 @@ type RingDB struct {
 	// so the query cache drops every entry rather than trusting watermarks
 	// computed over a different member set.
 	topoGen atomic.Uint64
+
+	// deleteMu serializes quorum deletes; deleteSeq is the monotonic
+	// tombstone sequence allocator, seeded from the members' persisted logs
+	// (tombstones.go).
+	deleteMu  sync.Mutex
+	deleteSeq uint64
+
+	// hintState buffers missed writes/deletes per target (hints.go).
+	hintState
 }
 
 // NewRingDB opens one tsdb per name through open and assembles the ring.
@@ -175,6 +212,7 @@ func NewRingDB(rf, w, vnodes int, open func(name string) (*tsdb.DB, error), name
 		open:    open,
 	}
 	r.scatter = lb.NewScatterGather(r, rf-w+1)
+	r.hintLimit.Store(DefaultHintLimit)
 	for _, n := range r.ring.Nodes() {
 		db, err := open(n)
 		if err != nil {
@@ -190,6 +228,25 @@ func NewRingDB(rf, w, vnodes int, open func(name string) (*tsdb.DB, error), name
 		r.members[n] = m
 		r.scatter.SetReplica(n, m)
 	}
+	// Startup tombstone anti-entropy: a member that was down during a
+	// delete and a coordinator restart missed both the tombstone fan-out
+	// AND the (in-memory) hint queue. The WALs remember: union every
+	// member's persisted tombstone log and apply the missing entries to
+	// each, so the whole cluster agrees on the delete history before
+	// anything is read. The sequence allocator resumes past the max.
+	dbs := make([]*tsdb.DB, 0, len(r.members))
+	for _, n := range r.ring.Nodes() {
+		dbs = append(dbs, r.members[n].db.Load())
+	}
+	for i, db := range dbs {
+		if _, err := syncTombstones(db, dbs...); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: tombstone sync %s: %w", r.ring.Nodes()[i], err)
+		}
+		if seq := db.TombstoneSeq(); seq > r.deleteSeq {
+			r.deleteSeq = seq
+		}
+	}
 	return r, nil
 }
 
@@ -203,6 +260,17 @@ func (r *RingDB) Groups() [][]string {
 	ring := r.ring
 	r.mu.RUnlock()
 	return ring.OwnerGroups(r.R)
+}
+
+// OwnersFor reports which replica names own a series — the placement
+// detail the scatter-gather layer needs to know whether a replica that
+// failed to return the series was supposed to hold it (read repair,
+// lb/scatter.go).
+func (r *RingDB) OwnersFor(ls labels.Labels) []string {
+	r.mu.RLock()
+	ring := r.ring
+	r.mu.RUnlock()
+	return ring.Owners(ls.Hash(), r.R)
 }
 
 // Member returns a member by name, or nil.
@@ -305,6 +373,16 @@ func (a *RingAppender) Commit() (int, error) {
 		applied[i], errs[i] = m.BatchAppend(calls[i].g.samples)
 	})
 
+	// Every failed replica call becomes a hint: the dead / partitioned /
+	// disk-full owner's share of the batch is buffered per target and
+	// redelivered on Revive, Heal or SyncNode (hints.go), so a bounded
+	// outage recovers without a full peer-window sync.
+	for i := range calls {
+		if errs[i] != nil && members[calls[i].owner] != nil {
+			a.r.queueSampleHints(calls[i].owner, calls[i].g.samples)
+		}
+	}
+
 	total := 0
 	var firstErr error
 	for _, k := range order {
@@ -352,47 +430,36 @@ func (r *RingDB) Append(lset labels.Labels, t int64, v float64) error {
 // stands in for each node's own local janitor, which keeps running).
 func (r *RingDB) forEachLive(f func(m *Member, db *tsdb.DB)) {
 	_, members := r.snapshot()
-	names := make([]string, 0, len(members))
-	for n := range members {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range sortedNames(members) {
 		if db := members[n].db.Load(); db != nil {
 			f(members[n], db)
 		}
 	}
 }
 
-// Truncate prunes every member to mint and returns the largest per-member
-// drop count — replicas overlap, so a cluster-wide sum would overcount.
-func (r *RingDB) Truncate(mint int64) int {
+// Truncate prunes every member to mint. It returns the largest per-member
+// drop count — replicas overlap, so a cluster-wide sum would overcount —
+// plus the per-member outcome, sorted by name. Down members are skipped
+// with ErrNodeDown; partitioned and warming members still truncate, for
+// the same local-janitor reason forEachLive documents.
+func (r *RingDB) Truncate(mint int64) (int, []MemberOutcome) {
+	_, members := r.snapshot()
+	names := sortedNames(members)
 	max := 0
-	r.forEachLive(func(_ *Member, db *tsdb.DB) {
-		if n := db.Truncate(mint); n > max {
-			max = n
+	out := make([]MemberOutcome, len(names))
+	for i, n := range names {
+		db := members[n].db.Load()
+		if db == nil {
+			out[i] = MemberOutcome{Member: n, Err: ErrNodeDown}
+			continue
 		}
-	})
-	return max
-}
-
-// DeleteSeries deletes on every member and returns the largest per-member
-// count (an approximation for the same replica-overlap reason). Deletes on
-// a down or partitioned member are missed, not queued: the cluster keeps
-// no tombstones, so a revived member can resurrect deleted series via
-// handoff — documented trade-off, see the cluster_sim README.
-func (r *RingDB) DeleteSeries(ms ...*labels.Matcher) int {
-	max := 0
-	r.forEachLive(func(m *Member, db *tsdb.DB) {
-		if m.partitioned.Load() {
-			return
+		cnt := db.Truncate(mint)
+		out[i] = MemberOutcome{Member: n, Count: cnt}
+		if cnt > max {
+			max = cnt
 		}
-		if n := db.DeleteSeries(ms...); n > max {
-			max = n
-		}
-	})
-	r.topoGen.Add(1)
-	return max
+	}
+	return max, out
 }
 
 // MaxTime implements querycache.Head: the freshest watermark any member
@@ -440,8 +507,9 @@ func (r *RingDB) MutationGen() uint64 {
 	return sum
 }
 
-// Close shuts every member down.
+// Close shuts every member down and stops the read-repair worker.
 func (r *RingDB) Close() error {
+	r.scatter.StopRepairs()
 	var first error
 	r.forEachLive(func(m *Member, db *tsdb.DB) {
 		m.db.Store(nil)
@@ -493,6 +561,11 @@ func (r *RingDB) Revive(name string) (tsdb.WALReplayStats, error) {
 	m.diskFull.Store(false)
 	m.db.Store(db)
 	r.topoGen.Add(1)
+	// Redeliver buffered hints at once: a lossless drain hands the member
+	// everything the coordinator failed to deliver while it was down, which
+	// clears its warming gate without a full SyncNode. Best effort — a
+	// failed or lossy drain leaves the gates to SyncNode.
+	_, _ = r.drainHints(name)
 	st, _ := db.WALStats()
 	return st.Replay, nil
 }
@@ -521,14 +594,22 @@ func (r *RingDB) Partition(names ...string) {
 	}
 }
 
-// Heal restores every partitioned link. Members that missed writes stay
-// stale until the next SyncNode; quorum reads mask the staleness in the
-// meantime (any R−W+1 responders include a complete replica).
+// Heal restores every partitioned link, then redelivers each member's
+// buffered hints — the writes and tombstones the partition swallowed — so
+// the cluster converges without waiting for a SyncNode. Quorum reads mask
+// any residual staleness in the meantime (any R−W+1 responders include a
+// complete replica).
 func (r *RingDB) Heal() {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, m := range r.members {
+	names := make([]string, 0, len(r.members))
+	for n, m := range r.members {
 		m.partitioned.Store(false)
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		_, _ = r.drainHints(n) // best effort; SyncNode is the backstop
 	}
 }
 

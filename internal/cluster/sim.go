@@ -71,6 +71,10 @@ type Options struct {
 	WriteQuorum int
 	// VirtualNodes per member on the ring; 0 picks the default.
 	VirtualNodes int
+	// HintLimit bounds the hinted-handoff queue per dead/partitioned
+	// member (oldest hints are dropped past it); 0 keeps DefaultHintLimit,
+	// negative disables hinting entirely. Only used when ClusterNodes > 1.
+	HintLimit int
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -212,6 +216,13 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		sim.Ring, err = NewRingDB(rf, w, opts.VirtualNodes, open, nodeNames...)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: open ring: %w", err)
+		}
+		if opts.HintLimit != 0 {
+			limit := opts.HintLimit
+			if limit < 0 {
+				limit = 0
+			}
+			sim.Ring.SetHintLimit(limit)
 		}
 	} else {
 		tsdbOpts := tsdb.DefaultOptions()

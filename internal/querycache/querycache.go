@@ -143,6 +143,8 @@ type Stats struct {
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
 	Coalesced     uint64 `json:"coalesced"` // waited behind an identical in-flight eval
+	NegHits       uint64 `json:"negHits"`   // limit errors replayed from cache
+	NegStores     uint64 `json:"negStores"` // limit errors cached
 	Entries       int    `json:"entries"`
 	Bytes         int64  `json:"bytes"`
 	MaxBytes      int64  `json:"maxBytes"`
@@ -167,6 +169,8 @@ type Cache struct {
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
 	coalesced     atomic.Uint64
+	negHits       atomic.Uint64
+	negStores     atomic.Uint64
 }
 
 // New returns a Cache with the given options.
@@ -206,6 +210,8 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
 		Coalesced:     c.coalesced.Load(),
+		NegHits:       c.negHits.Load(),
+		NegStores:     c.negStores.Load(),
 		MaxBytes:      c.opts.MaxBytes,
 		Shards:        len(c.shards),
 	}
@@ -266,6 +272,14 @@ const (
 	kindRange uint8 = iota
 	kindInstant
 	kindBlob
+	// kindNegative caches a query-shaped failure (an engine *LimitError —
+	// the API's 422): a panel that trips MaxSamples re-trips it on every
+	// dashboard refresh, and the engine pays the full guardrail's worth of
+	// work each time before erroring. Negative entries obey the same
+	// staleness contract as positive ones — same fill-time watermark,
+	// epoch and generation checks — so the error is only replayed while a
+	// cold evaluation would provably fail identically.
+	kindNegative
 )
 
 // entry is one cached result. Entries are immutable after insertion —
@@ -293,6 +307,13 @@ type entry struct {
 	// Blob payload.
 	blob      []byte
 	expiresMs int64 // cache-clock deadline, Unix ms; 0 = no expiry
+
+	// Negative payload: the limit error a cold evaluation of exactly this
+	// window produced. padMs is the window's read padding, kept so the
+	// pruned-watermark check can tell when retention may have shrunk the
+	// window back under the limit.
+	negErr error
+	padMs  int64
 }
 
 // cacheShard is one lock stripe: a map plus an intrusive LRU list with a

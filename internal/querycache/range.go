@@ -100,6 +100,30 @@ func (c *Cache) rangeLookup(ctx context.Context, key string, startMs, lastMs, st
 	if ent == nil {
 		return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
 	}
+	if ent.kind == kindNegative {
+		// A cached limit error is replayed only when a cold evaluation
+		// would provably fail identically: same window, no append past the
+		// window since fill (appends never land strictly behind the
+		// watermark, so a settled window's sample count cannot grow), and
+		// retention has not reached into the window's read padding (pruning
+		// can only SHRINK the count back under the limit). Gen mismatch was
+		// already handled above, like every entry kind.
+		switch {
+		case ent.startMs != startMs || ent.lastMs != lastMs:
+			// A different window under the same key: evaluate it, leave the
+			// entry for repeats of the original window.
+		case st.epoch != ent.fillEpoch && ent.lastMs >= ent.fillMax:
+			sh.remove(key, ent)
+			c.invalidations.Add(1)
+		case st.hasPruned && startMs-padMs < st.pruned:
+			sh.remove(key, ent)
+			c.invalidations.Add(1)
+		default:
+			c.negHits.Add(1)
+			return nil, OutcomeHit, ent.negErr
+		}
+		return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
+	}
 
 	// Reusable sub-window of the cached grid.
 	lo := max(startMs, ent.startMs)
@@ -174,12 +198,12 @@ func (c *Cache) rangeLookup(ctx context.Context, key string, startMs, lastMs, st
 // leader.
 func (c *Cache) rangeColdFlight(ctx context.Context, key string, st headState, startMs, lastMs, stepMs, phase, padMs int64, start, end time.Time, step time.Duration, eval RangeEval, latch bool) (promql.Matrix, Outcome, error) {
 	if !latch {
-		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, padMs, start, end, step, eval)
 	}
 	leader, f := c.flights.begin(key)
 	if leader {
 		defer c.flights.end(key)
-		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, start, end, step, eval)
+		return c.rangeMiss(ctx, key, st, startMs, lastMs, stepMs, padMs, start, end, step, eval)
 	}
 	select {
 	case <-f.done:
@@ -190,15 +214,35 @@ func (c *Cache) rangeColdFlight(ctx context.Context, key string, st headState, s
 	return c.rangeLookup(ctx, key, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, false)
 }
 
-// rangeMiss evaluates cold and stores the result.
-func (c *Cache) rangeMiss(ctx context.Context, key string, st headState, startMs, lastMs, stepMs int64, start, end time.Time, step time.Duration, eval RangeEval) (promql.Matrix, Outcome, error) {
+// rangeMiss evaluates cold and stores the result — including a negative
+// entry when the evaluation tripped an engine guardrail, so dashboard
+// refreshes of an over-budget panel stop re-paying the full limit's worth
+// of evaluation for the same 422.
+func (c *Cache) rangeMiss(ctx context.Context, key string, st headState, startMs, lastMs, stepMs, padMs int64, start, end time.Time, step time.Duration, eval RangeEval) (promql.Matrix, Outcome, error) {
 	m, err := eval(ctx, start, end, step)
 	if err != nil {
+		if promql.IsLimitError(err) {
+			c.storeNegative(key, st, err, startMs, lastMs, stepMs, padMs)
+		}
 		return nil, OutcomeMiss, err
 	}
 	c.misses.Add(1)
 	c.storeRange(key, st, m, startMs, lastMs, stepMs)
 	return m, OutcomeMiss, nil
+}
+
+// storeNegative caches a limit error under the same key (and staleness
+// contract) a positive result would use.
+func (c *Cache) storeNegative(key string, st headState, err error, startMs, lastMs, stepMs, padMs int64) {
+	e := &entry{
+		key: key, kind: kindNegative,
+		fillMax: st.maxT, fillEpoch: st.epoch, fillGen: st.gen,
+		negErr: err, startMs: startMs, lastMs: lastMs, stepMs: stepMs, padMs: padMs,
+		cost: int64(len(key)+len(err.Error())) + entryOverhead,
+	}
+	evicted, _ := c.shardFor(key).put(e)
+	c.evictions.Add(uint64(evicted))
+	c.negStores.Add(1)
 }
 
 // storeRange inserts a deep clone of m, so later caller mutations of the
@@ -259,6 +303,10 @@ func (c *Cache) instantLookup(ctx context.Context, key string, tsMs, padMs int64
 			sh.remove(key, ent)
 			c.invalidations.Add(1)
 		default:
+			if ent.kind == kindNegative {
+				c.negHits.Add(1)
+				return nil, OutcomeHit, ent.negErr
+			}
 			c.hits.Add(1)
 			return cloneValue(ent.value), OutcomeHit, nil
 		}
@@ -278,6 +326,9 @@ func (c *Cache) instantLookup(ctx context.Context, key string, tsMs, padMs int64
 	}
 	v, err := eval(ctx)
 	if err != nil {
+		if promql.IsLimitError(err) {
+			c.storeNegative(key, st, err, tsMs, tsMs, 0, padMs)
+		}
 		return nil, OutcomeMiss, err
 	}
 	c.misses.Add(1)

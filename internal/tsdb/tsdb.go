@@ -86,6 +86,13 @@ type DB struct {
 	// or minInt64 when the head was never pruned; see PrunedThrough.
 	pruned atomic.Int64
 
+	// Tombstone log (tombstones.go): every matcher-level delete ever
+	// applied, deduped by coordinator-assigned seq. Guarded by tombMu.
+	tombMu   sync.Mutex
+	tombSeen map[uint64]struct{}
+	tombs    []TombstoneRec
+	tombMax  uint64
+
 	walReplay WALReplayStats
 	walErrMu  sync.Mutex
 	walErr    error
@@ -349,7 +356,7 @@ func (db *DB) Truncate(mint int64) int {
 			sh.wal.mu.Lock()
 			removed[i] = sh.truncate(mint)
 			sh.wal.mu.Unlock()
-			db.noteWALErr(sh.wal.checkpoint(sh))
+			db.noteWALErr(sh.wal.checkpoint(sh, db.Tombstones))
 		} else {
 			removed[i] = sh.truncate(mint)
 		}
@@ -373,7 +380,7 @@ func (db *DB) CheckpointWAL() error {
 	errs := make([]error, len(db.shards))
 	db.forEachShard(func(i int, sh *headShard) {
 		if sh.wal != nil {
-			errs[i] = sh.wal.checkpoint(sh)
+			errs[i] = sh.wal.checkpoint(sh, db.Tombstones)
 		}
 	})
 	for _, err := range errs {

@@ -365,7 +365,12 @@ func (w *shardWAL) Close() error {
 //
 // Commits to this shard block for the duration (they take w.mu); other
 // shards are unaffected.
-func (w *shardWAL) checkpoint(sh *headShard) error {
+//
+// tombs supplies the DB's tombstone log and is called AFTER w.mu is held:
+// ApplyTombstone records a tombstone in the log before journalling it under
+// w.mu, so any tombstone record living in a segment this checkpoint deletes
+// is guaranteed to be in the snapshot.
+func (w *shardWAL) checkpoint(sh *headShard, tombs func() []TombstoneRec) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
@@ -384,7 +389,7 @@ func (w *shardWAL) checkpoint(sh *headShard) error {
 	// w.mu excludes every writer to this shard, so the series/sample view
 	// is coherent with the rotated-away segments.
 	err := writeFileDurably(tmp, func(dst *bufio.Writer) error {
-		return streamShardSnapshot(dst, sh, w.compress, func(s *memSeries) uint64 {
+		return streamShardSnapshot(dst, sh, w.compress, tombs(), func(s *memSeries) uint64 {
 			ref, _ := w.refForLocked(s)
 			return ref
 		})
@@ -446,14 +451,17 @@ func writeFileDurably(path string, fill func(*bufio.Writer) error) error {
 // buffer a rounding error next to the shard.
 const walSnapshotSeriesBatch = 256
 
-// streamShardSnapshot writes a full snapshot of the shard — every retained
-// series registration, then one samples record per series — to dst in the
-// chosen format; refFor supplies (or assigns) the WAL ref per series.
-// Memory stays O(series + one series' samples): registrations are framed in
-// batches of walSnapshotSeriesBatch and each series' samples are encoded
-// into a reused buffer, never the whole shard at once. Callers must exclude
-// concurrent WAL writers to the shard.
-func streamShardSnapshot(dst io.Writer, sh *headShard, compress bool, refFor func(*memSeries) uint64) error {
+// streamShardSnapshot writes a full snapshot of the shard — the DB's
+// tombstone log first, then every retained series registration, then one
+// samples record per series — to dst in the chosen format; refFor supplies
+// (or assigns) the WAL ref per series. Tombstones go first so replay
+// restores the log (and deletes nothing — the snapshot's series were
+// registered after every tombstone in it and must survive). Memory stays
+// O(series + one series' samples): registrations are framed in batches of
+// walSnapshotSeriesBatch and each series' samples are encoded into a reused
+// buffer, never the whole shard at once. Callers must exclude concurrent
+// WAL writers to the shard.
+func streamShardSnapshot(dst io.Writer, sh *headShard, compress bool, tombs []TombstoneRec, refFor func(*memSeries) uint64) error {
 	if compress {
 		if _, err := dst.Write([]byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walFormatV2}); err != nil {
 			return err
@@ -468,6 +476,12 @@ func streamShardSnapshot(dst io.Writer, sh *headShard, compress bool, refFor fun
 
 	enc := newWalRecEncoder(compress)
 	var buf []byte
+	for _, tr := range tombs {
+		buf = enc.appendTombstoneRecord(buf[:0], tr.Seq, tr.Matchers)
+		if _, err := dst.Write(buf); err != nil {
+			return err
+		}
+	}
 	srecs := make([]walSeriesRec, 0, walSnapshotSeriesBatch)
 	flushSeries := func() error {
 		if len(srecs) == 0 {

@@ -203,7 +203,7 @@ func (db *DB) rebuildWAL(dir string) error {
 		// no writers exist yet, so no lock needed.
 		path := filepath.Join(sdir, walCheckpointFile)
 		err := writeFileDurably(path, func(dst *bufio.Writer) error {
-			return streamShardSnapshot(dst, sh, db.opts.WALCompression, func(s *memSeries) uint64 {
+			return streamShardSnapshot(dst, sh, db.opts.WALCompression, db.Tombstones(), func(s *memSeries) uint64 {
 				nextRefs[i]++
 				s.walRef = nextRefs[i]
 				return s.walRef
@@ -490,7 +490,6 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 		}
 		return true, nil
 	}
-	maxType := walMaxRecType(version)
 	var dec *walV2Dec
 	if version >= walFormatV2 {
 		dec = newWalV2Dec()
@@ -503,7 +502,7 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 		typ := data[off]
 		plen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
 		crc := binary.LittleEndian.Uint32(data[off+5 : off+9])
-		if plen > walMaxPayload || typ == 0 || typ > maxType {
+		if plen > walMaxPayload || !walRecTypeValid(version, typ) {
 			break // framing garbage: treat as torn at this offset
 		}
 		if len(data)-off-walHeaderSize < plen {
@@ -538,6 +537,13 @@ func (db *DB) replayWALFile(path string, dr *dirReplay, acc []shardAcc) (torn bo
 			var raw []byte
 			if raw, err = walDecompress(payload); err == nil {
 				err = db.applyDeletesPayload(raw, dr)
+			}
+		case walRecTombstone:
+			err = db.applyTombstonePayload(payload, dr)
+		case walRecTombstoneV2:
+			var raw []byte
+			if raw, err = walDecompress(payload); err == nil {
+				err = db.applyTombstonePayload(raw, dr)
 			}
 		}
 		if err != nil {

@@ -78,14 +78,19 @@ func walSniffVersion(data []byte) (version, hdrLen int, torn bool, err error) {
 	return walFormatV2, walFileHeaderLen, false, nil
 }
 
-// walMaxRecType returns the highest record type valid in a file of the
-// given format version. v1 files accept only v1 types (preserving v1's torn
-// semantics exactly); v2 files accept both sets.
-func walMaxRecType(version int) byte {
-	if version >= walFormatV2 {
-		return walRecDeletesV2
+// walRecTypeValid reports whether a record type may appear in a file of the
+// given format version. v1 files accept the raw-payload types only
+// (preserving v1's torn semantics exactly); v2 files accept the compressed
+// types too. The raw tombstone record (type 7, tombstones.go) is
+// format-agnostic and valid in both.
+func walRecTypeValid(version int, typ byte) bool {
+	switch typ {
+	case walRecSeries, walRecSamples, walRecDeletes, walRecTombstone:
+		return true
+	case walRecSamplesV2, walRecSeriesV2, walRecDeletesV2, walRecTombstoneV2:
+		return version >= walFormatV2
 	}
-	return walRecDeletes
+	return false
 }
 
 // ---------------------------------------------------------------------------
