@@ -3,9 +3,9 @@
 # package lists between this file and ci.yml so they cannot drift.
 
 GO ?= go
-RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/...
+RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/... ./internal/remotewrite/...
 
-.PHONY: build test race wal-recovery querycache cluster-chaos bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
+.PHONY: build test race wal-recovery querycache cluster-chaos remote-write bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ querycache:
 # logs (CI uploads them on failure).
 cluster-chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Quorum|Handoff|Tombstone|ReadRepair|Hint' ./internal/cluster/
+
+# Remote-write ingest harness: framing torn/corruption byte sweeps,
+# receiver backpressure and idempotent-retry tests, and the out-of-order
+# window paths including the OOO WAL crash test — randomized, so two
+# passes, under race.
+remote-write:
+	$(GO) test -race -count=2 -run 'RemoteWrite|Ingest|OOO' ./internal/remotewrite/ ./internal/promapi/ ./internal/tsdb/
 
 # Real measurements for BENCH_querycache.json (slow).
 bench-querycache:
@@ -64,5 +71,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos bench-smoke
+ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos remote-write bench-smoke
 	@echo "ci: all green"

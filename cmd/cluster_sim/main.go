@@ -28,6 +28,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/promapi"
 	"repro/internal/relstore"
+	"repro/internal/remotewrite"
+	"repro/internal/scrape"
 )
 
 func main() {
@@ -45,6 +47,9 @@ func main() {
 		writeQ     = flag.Int("write-quorum", 0, "write quorum W (node acks before a scrape commit returns); 0 picks the majority R/2+1; reads need R-W+1 live replicas")
 		chaos      = flag.String("chaos", "", "chaos scenario on the ring: kill | partition | diskfull (inject at 1/3 of the run, recover at 2/3; needs -cluster-nodes > 1)")
 		hintLimit  = flag.Int("hint-limit", 0, "hinted-handoff queue bound per dead/partitioned node (drop-oldest past it); 0 keeps the default, -1 disables hinting")
+		remoteWr   = flag.Bool("remote-write", false, "serve POST /api/v1/write on the Prometheus API: framed expofmt push ingest with 429 backpressure; clustered runs commit pushed samples with W-quorum semantics (see /api/v1/status/ingest)")
+		rwMaxInf   = flag.Int("remote-write-max-inflight", 0, "max concurrently committing remote-write requests before 429 (0 = 2x GOMAXPROCS)")
+		oooWin     = flag.Duration("ooo-window", 0, "accept samples up to this far behind each node's max time (remote-write retry tolerance); 0 keeps strict ordering")
 	)
 	flag.Parse()
 
@@ -79,6 +84,7 @@ func main() {
 	opts.ReplicationFactor = *replFactor
 	opts.WriteQuorum = *writeQ
 	opts.HintLimit = *hintLimit
+	opts.OutOfOrderWindow = *oooWin
 	if *chaos != "" && *nodes <= 1 {
 		log.Fatalf("-chaos %q needs -cluster-nodes > 1", *chaos)
 	}
@@ -112,7 +118,19 @@ func main() {
 	// The query source is the thanos fan-in, or the quorum scatter-gather
 	// when clustered — sim.Engine() picks the right one.
 	_, qsrc := sim.Engine()
-	promHandler := (&promapi.Handler{Query: qsrc, Now: sim.Now}).Mux()
+	promH := &promapi.Handler{Query: qsrc, Now: sim.Now}
+	if *remoteWr {
+		rcv := &remotewrite.Receiver{MaxInflight: *rwMaxInf}
+		if sim.Ring != nil {
+			// Pushed batches take the same W-quorum commit path as scrapes.
+			rcv.NewBatch = func() scrape.Batch { return sim.Ring.NewBatch() }
+		} else {
+			rcv.NewBatch = func() scrape.Batch { return sim.DB.Appender() }
+		}
+		promH.Ingest = rcv
+		log.Printf("remote-write ingest enabled (max in-flight %d, ooo window %v)", rcv.Stats().MaxInflight, *oooWin)
+	}
+	promHandler := promH.Mux()
 	promSrv := &http.Server{Addr: "127.0.0.1:0"}
 	_ = promSrv
 	go func() {

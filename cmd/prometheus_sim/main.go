@@ -19,6 +19,7 @@ import (
 	"repro/internal/promapi"
 	"repro/internal/promql"
 	"repro/internal/querycache"
+	"repro/internal/remotewrite"
 	"repro/internal/rules"
 	"repro/internal/rules/ceemsrules"
 	"repro/internal/scrape"
@@ -40,6 +41,9 @@ func main() {
 		walDir   = flag.String("wal-dir", "", "per-shard TSDB write-ahead-log directory; restarts replay it (empty = memory-only head)")
 		walComp  = flag.Bool("wal-compression", true, "write new WAL files in format v2 (Gorilla samples, block-compressed series; ~3-4x fewer journal bytes); false keeps raw v1 records — existing files always replay either way")
 		cacheSz  = flag.Int64("query-cache-bytes", 64<<20, "query-result cache byte budget; repeated dashboard range queries reuse cached steps and evaluate only the new tail (0 disables)")
+		remoteWr = flag.Bool("remote-write", false, "serve POST /api/v1/write: framed expofmt push ingest with 429 backpressure (see /api/v1/status/ingest)")
+		rwMaxInf = flag.Int("remote-write-max-inflight", 0, "max concurrently committing remote-write requests before 429 (0 = 2x GOMAXPROCS)")
+		oooWin   = flag.Duration("ooo-window", 0, "accept samples up to this far behind the head max time (remote-write retry tolerance); 0 keeps strict ordering")
 	)
 	flag.Parse()
 	if *targets == "" {
@@ -50,6 +54,7 @@ func main() {
 	opts.Shards = *shards
 	opts.WALDir = *walDir
 	opts.WALCompression = *walComp
+	opts.OutOfOrderWindow = oooWin.Milliseconds()
 	db, err := tsdb.Open(opts)
 	if err != nil {
 		log.Fatalf("tsdb: %v", err)
@@ -82,6 +87,12 @@ func main() {
 	go rm.Run(ctx)
 
 	h := &promapi.Handler{Query: db, Timeout: *queryTmo}
+	if *remoteWr {
+		h.Ingest = &remotewrite.Receiver{
+			NewBatch:    func() scrape.Batch { return db.Appender() },
+			MaxInflight: *rwMaxInf,
+		}
+	}
 	if *cacheSz > 0 {
 		eng := promql.NewEngine() // the handler's implicit engine: same defaults
 		h.Cache = querycache.New(querycache.Options{

@@ -507,6 +507,20 @@ func (r *RingDB) MutationGen() uint64 {
 	return sum
 }
 
+// OutOfOrderWindow reports the widest out-of-order acceptance window of
+// any live member, in milliseconds (members are normally configured
+// identically; the max is the safe answer if they are not). The
+// query-result cache probes it to widen its mutable-tail watermark.
+func (r *RingDB) OutOfOrderWindow() int64 {
+	var w int64
+	r.forEachLive(func(_ *Member, db *tsdb.DB) {
+		if ow := db.OutOfOrderWindow(); ow > w {
+			w = ow
+		}
+	})
+	return w
+}
+
 // Close shuts every member down and stops the read-repair worker.
 func (r *RingDB) Close() error {
 	r.scatter.StopRepairs()

@@ -75,6 +75,11 @@ type Options struct {
 	// member (oldest hints are dropped past it); 0 keeps DefaultHintLimit,
 	// negative disables hinting entirely. Only used when ClusterNodes > 1.
 	HintLimit int
+	// OutOfOrderWindow lets the TSDB heads accept samples up to this far
+	// behind their max time (tsdb.Options.OutOfOrderWindow) so retrying
+	// remote-write agents don't hard-fail; 0 keeps strict ordering. Applies
+	// to the single node and to every ring member alike.
+	OutOfOrderWindow time.Duration
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -204,6 +209,7 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		open := func(name string) (*tsdb.DB, error) {
 			o := tsdb.DefaultOptions()
 			o.WALCompression = opts.WALCompression
+			o.OutOfOrderWindow = opts.OutOfOrderWindow.Milliseconds()
 			if opts.WALDir != "" {
 				o.WALDir = opts.WALDir + "/" + name
 			}
@@ -228,6 +234,7 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		tsdbOpts := tsdb.DefaultOptions()
 		tsdbOpts.WALDir = opts.WALDir
 		tsdbOpts.WALCompression = opts.WALCompression
+		tsdbOpts.OutOfOrderWindow = opts.OutOfOrderWindow.Milliseconds()
 		sim.DB, err = tsdb.Open(tsdbOpts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: open tsdb: %w", err)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/promql"
 	"repro/internal/querycache"
+	"repro/internal/remotewrite"
 )
 
 // Handler serves the query API.
@@ -38,6 +39,15 @@ type Handler struct {
 	// header (hit/miss/splice/bypass) and /api/v1/status/querycache reports
 	// its counters.
 	Cache *querycache.Cache
+	// Ingest, when set, serves POST /api/v1/write: the streaming
+	// remote-write receiver (framed expofmt batches, explicit 429
+	// backpressure — see internal/remotewrite). Its counters surface via
+	// /api/v1/status/ingest whether or not it is enabled.
+	Ingest *remotewrite.Receiver
+	// Logf receives handler-side I/O failures that can no longer change
+	// the response (e.g. a mid-stream encode error on /api/v1/read); nil
+	// uses the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // LabelStore is the optional metadata side of a Queryable. *tsdb.DB
@@ -58,6 +68,10 @@ func (h *Handler) Mux() *http.ServeMux {
 	mux.HandleFunc("/api/v1/labels", h.handleLabels)
 	mux.HandleFunc("/api/v1/label/", h.handleLabelValues)
 	mux.HandleFunc("/api/v1/read", h.handleRead)
+	if h.Ingest != nil {
+		mux.Handle("/api/v1/write", h.Ingest)
+	}
+	mux.HandleFunc("/api/v1/status/ingest", h.handleIngestStatus)
 	mux.HandleFunc("/api/v1/status/querycache", h.handleCacheStatus)
 	mux.HandleFunc("/-/healthy", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -238,6 +252,22 @@ func (h *Handler) handleCacheStatus(w http.ResponseWriter, _ *http.Request) {
 		out = status{Enabled: true, Stats: &st}
 	}
 	writeOK(w, "querycache", out)
+}
+
+// handleIngestStatus serves /api/v1/status/ingest: the remote-write
+// receiver's counters and trailing samples/s, or enabled:false when push
+// ingest is off.
+func (h *Handler) handleIngestStatus(w http.ResponseWriter, _ *http.Request) {
+	type status struct {
+		Enabled bool                     `json:"enabled"`
+		Stats   *remotewrite.IngestStats `json:"stats,omitempty"`
+	}
+	out := status{}
+	if h.Ingest != nil {
+		st := h.Ingest.Stats()
+		out = status{Enabled: true, Stats: &st}
+	}
+	writeOK(w, "ingest", out)
 }
 
 // handleLabels serves /api/v1/labels when the backing store supports label

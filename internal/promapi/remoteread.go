@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"time"
 
 	"repro/internal/labels"
 	"repro/internal/model"
+	"repro/internal/promql"
 )
 
 // Remote read: a JSON equivalent of Prometheus's remote-read protocol so a
@@ -40,7 +43,13 @@ type readSeries struct {
 	Samples [][2]float64      `json:"samples"` // [unix_ms, value]
 }
 
-// handleRead serves POST /api/v1/read.
+// handleRead serves POST /api/v1/read. The Select is budgeted like the
+// query paths: when the backing store is hint-aware, the engine's
+// MaxSamples caps how much one read request may materialize server-side,
+// and blowing the budget returns 422. The response streams series by
+// series — the handler never holds the full result set encoded in memory —
+// and when Timeout is set it doubles as the response write deadline, so a
+// stalled client cannot pin the connection forever.
 func (h *Handler) handleRead(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -74,21 +83,73 @@ func (h *Handler) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		ms = append(ms, m)
 	}
-	series, err := h.Query.Select(req.MinTime, req.MaxTime, ms...)
+	var (
+		series []model.Series
+		err    error
+	)
+	if hq, ok := h.Query.(promql.HintedQueryable); ok {
+		hints := model.SelectHints{
+			Start:       req.MinTime,
+			End:         req.MaxTime,
+			SampleLimit: int64(h.engine().MaxSamples),
+		}
+		series, err = hq.SelectWithHints(hints, ms...)
+	} else {
+		series, err = h.Query.Select(req.MinTime, req.MaxTime, ms...)
+	}
 	if err != nil {
+		if errors.Is(err, model.ErrSampleLimit) {
+			writeReadErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
 		writeReadErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	resp := readResponse{Series: make([]readSeries, len(series))}
+	if h.Timeout > 0 {
+		// Best effort: recorders and exotic ResponseWriters don't support
+		// deadlines; real servers do.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(h.Timeout))
+	}
+	// Stream the response: the envelope by hand, one readSeries encode per
+	// series. The wire shape stays exactly readResponse, but peak memory is
+	// one series, not the whole result set.
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := io.WriteString(w, `{"series":[`); err != nil {
+		h.logf("promapi: remote read: write response: %v", err)
+		return
+	}
+	enc := json.NewEncoder(w)
 	for i, sr := range series {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				h.logf("promapi: remote read: write response: %v", err)
+				return
+			}
+		}
 		out := readSeries{Labels: sr.Labels.Map(), Samples: make([][2]float64, len(sr.Samples))}
 		for j, s := range sr.Samples {
 			out.Samples[j] = [2]float64{float64(s.T), s.V}
 		}
-		resp.Series[i] = out
+		if err := enc.Encode(out); err != nil {
+			// Mid-stream failure: the status line is gone, all we can do
+			// is log and drop the connection (the truncated JSON will fail
+			// to parse client-side, which is the correct signal).
+			h.logf("promapi: remote read: encode series %d/%d: %v", i+1, len(series), err)
+			return
+		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if _, err := io.WriteString(w, `]}`); err != nil {
+		h.logf("promapi: remote read: write response: %v", err)
+	}
+}
+
+// logf routes handler-side I/O failures to Logf or the standard logger.
+func (h *Handler) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 func writeReadErr(w http.ResponseWriter, code int, msg string) {
@@ -97,6 +158,10 @@ func writeReadErr(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(readResponse{Error: msg})
 }
 
+// DefaultRemoteReadMaxBody caps how much of a remote read response the
+// client will buffer when RemoteQueryable.MaxBodyBytes is unset.
+const DefaultRemoteReadMaxBody = 256 << 20
+
 // RemoteQueryable is a promql.Queryable backed by a remote /api/v1/read
 // endpoint; the standalone CEEMS API server uses it to aggregate against a
 // separately-deployed TSDB.
@@ -104,9 +169,16 @@ type RemoteQueryable struct {
 	BaseURL string
 	Client  *http.Client
 	Timeout time.Duration
+	// MaxBodyBytes caps the response body read; 0 picks
+	// DefaultRemoteReadMaxBody. A response past the cap fails rather than
+	// exhausting memory.
+	MaxBodyBytes int64
 }
 
-// Select implements promql.Queryable over HTTP.
+// Select implements promql.Queryable over HTTP. Non-200 responses fail
+// with the status code and a snippet of the body — a proxy's 502 HTML page
+// is reported as such instead of surfacing as a JSON decode error — and
+// the body read is capped either way.
 func (rq *RemoteQueryable) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
 	req := readRequest{MinTime: mint, MaxTime: maxt}
 	for _, m := range ms {
@@ -138,9 +210,23 @@ func (rq *RemoteQueryable) Select(mint, maxt int64, ms ...*labels.Matcher) ([]mo
 		return nil, fmt.Errorf("promapi: remote read: %w", err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		// Error bodies are small (or not ours at all — a proxy error
+		// page); read just enough to be diagnostic.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("promapi: remote read: unexpected status %s: %s",
+			resp.Status, bytes.TrimSpace(snippet))
+	}
+	maxBody := rq.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultRemoteReadMaxBody
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(data)) > maxBody {
+		return nil, fmt.Errorf("promapi: remote read: response body exceeds %d-byte cap", maxBody)
 	}
 	var rr readResponse
 	if err := json.Unmarshal(data, &rr); err != nil {

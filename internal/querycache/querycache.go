@@ -44,9 +44,15 @@
 // MaxTime watermark; landing AT the watermark is fine, per the strict
 // inequality above. The scrape pipeline satisfies this (timestamps are
 // non-decreasing: each scrape batch carries one timestamp >= every
-// earlier one); deployments appending strictly behind the watermark
-// (bulk backfill, honored exposition timestamps from lagging clocks)
-// should disable the cache or accept staleness bounded by the lag.
+// earlier one). Heads that accept bounded out-of-order appends declare it
+// by implementing OutOfOrderWindow() int64 (tsdb.DB and the cluster ring
+// do): the cache widens the mutable tail by that window, serving only
+// steps strictly below fillMax − window. That is sound because an
+// accepted out-of-order sample must land above (head MaxTime − window) at
+// commit time, and the fill-time watermark is never ahead of the
+// commit-time one. Deployments appending behind even that window (bulk
+// backfill) should disable the cache or accept staleness bounded by the
+// lag.
 // Entries also never serve steps whose padded read
 // window reaches below the head's pruned watermark (PrunedThrough), so
 // results cannot resurrect data that retention already removed.
@@ -58,6 +64,7 @@
 package querycache
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -162,6 +169,10 @@ type Cache struct {
 	// single backend call (see singleflight.go).
 	flights flightGroup
 
+	// oooWindow widens the mutable tail for heads that accept bounded
+	// out-of-order appends (probed from Head at New; 0 for strict heads).
+	oooWindow int64
+
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	splices       atomic.Uint64
@@ -191,6 +202,11 @@ func New(opts Options) *Cache {
 		opts.Lookback = 5 * time.Minute
 	}
 	c := &Cache{opts: opts, shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	if ow, ok := opts.Head.(interface{ OutOfOrderWindow() int64 }); ok {
+		if w := ow.OutOfOrderWindow(); w > 0 {
+			c.oooWindow = w
+		}
+	}
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{
 			budget:  opts.MaxBytes / int64(n),
@@ -198,6 +214,18 @@ func New(opts Options) *Cache {
 		}
 	}
 	return c
+}
+
+// settledBefore returns the timestamp strictly below which steps filled at
+// watermark fillMax are immutable: fillMax itself for strict heads, fillMax
+// minus the out-of-order window when the head accepts bounded backwards
+// appends. A MinInt64 fillMax (filled against an empty head) stays MinInt64
+// — nothing was settled.
+func (c *Cache) settledBefore(fillMax int64) int64 {
+	if fillMax == math.MinInt64 {
+		return fillMax
+	}
+	return fillMax - c.oooWindow
 }
 
 // Stats returns a snapshot of the cache counters and occupancy.

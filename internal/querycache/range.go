@@ -112,7 +112,7 @@ func (c *Cache) rangeLookup(ctx context.Context, key string, startMs, lastMs, st
 		case ent.startMs != startMs || ent.lastMs != lastMs:
 			// A different window under the same key: evaluate it, leave the
 			// entry for repeats of the original window.
-		case st.epoch != ent.fillEpoch && ent.lastMs >= ent.fillMax:
+		case st.epoch != ent.fillEpoch && ent.lastMs >= c.settledBefore(ent.fillMax):
 			sh.remove(key, ent)
 			c.invalidations.Add(1)
 		case st.hasPruned && startMs-padMs < st.pruned:
@@ -141,7 +141,11 @@ func (c *Cache) rangeLookup(ctx context.Context, key string, startMs, lastMs, st
 			// Filled against an empty head; nothing was settled.
 			return c.rangeColdFlight(ctx, key, st, startMs, lastMs, stepMs, phase, padMs, start, end, step, eval, latch)
 		}
-		hi = min(hi, alignDown(ent.fillMax-1, phase, stepMs))
+		// settledBefore widens the mutable tail by the head's out-of-order
+		// window: with the window on, appends may land up to window behind
+		// the watermark, so only steps strictly below fillMax − window were
+		// provably complete at fill.
+		hi = min(hi, alignDown(c.settledBefore(ent.fillMax)-1, phase, stepMs))
 	}
 	if st.hasPruned {
 		// Steps whose padded read window reaches below the pruned watermark
@@ -291,7 +295,7 @@ func (c *Cache) instantLookup(ctx context.Context, key string, tsMs, padMs int64
 		case ent.fillGen != st.gen:
 			sh.remove(key, ent)
 			c.invalidations.Add(1)
-		case st.epoch != ent.fillEpoch && tsMs >= ent.fillMax:
+		case st.epoch != ent.fillEpoch && tsMs >= c.settledBefore(ent.fillMax):
 			// The result was mutable at fill and the head has advanced:
 			// re-evaluate. A timestamp AT the fill watermark counts as
 			// mutable too — appends can land at MaxTime itself (same-ts

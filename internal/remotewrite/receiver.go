@@ -1,0 +1,252 @@
+package remotewrite
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scrape"
+	"repro/internal/tsdb"
+)
+
+// DefaultRetryAfter is the Retry-After hint sent with 429 responses when
+// the receiver has no configured value.
+const DefaultRetryAfter = time.Second
+
+// commitStatser is the optional interface a Batch may implement to report
+// the out-of-order/duplicate breakdown of its last Commit. *tsdb.Appender
+// does; the cluster ring batch does not (quorum commits only report a
+// landed-sample count).
+type commitStatser interface {
+	LastCommitStats() tsdb.CommitStats
+}
+
+// Receiver serves POST /api/v1/write. Each request is a framed stream (see
+// the package comment); the receiver decodes and commits one frame at a
+// time through a Batch from NewBatch, so memory per request is bounded by
+// one frame regardless of body size.
+//
+// Backpressure is explicit: at most MaxInflight requests hold commit slots
+// at once. A request that cannot take a slot immediately — before its body
+// is read at all — is answered 429 with a Retry-After header instead of
+// queueing, so a storm of pushing agents backs off at the edge rather than
+// buffering unboundedly in front of the shard commit path. A 200 response
+// means every frame was committed (durably, under the node's WAL policy, or
+// with W-quorum acks on the cluster ring); agents may retry any other
+// response — the store's out-of-order window makes resends of partially
+// committed batches idempotent.
+type Receiver struct {
+	// NewBatch returns a fresh commit batch: db.Appender() on a single
+	// node, ring.NewBatch() on the cluster ring.
+	NewBatch func() scrape.Batch
+	// MaxInflight bounds concurrently committing requests; 0 picks
+	// 2×GOMAXPROCS.
+	MaxInflight int
+	// RetryAfter is the backoff hint on 429 responses; 0 picks
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+
+	once  sync.Once
+	slots chan struct{}
+
+	requests    atomic.Uint64
+	frames      atomic.Uint64
+	samples     atomic.Uint64
+	appended    atomic.Uint64
+	oooAccepted atomic.Uint64
+	duplicates  atomic.Uint64
+	tooOld      atomic.Uint64
+	rejected    atomic.Uint64
+	badRequests atomic.Uint64
+	failed      atomic.Uint64
+	inFlight    atomic.Int64
+
+	rate rateWindow
+}
+
+// IngestStats is the JSON shape served by /api/v1/status/ingest.
+type IngestStats struct {
+	Requests        uint64  `json:"requests"`
+	Frames          uint64  `json:"frames"`
+	SamplesDecoded  uint64  `json:"samples_decoded"`
+	SamplesAppended uint64  `json:"samples_appended"`
+	OOOAccepted     uint64  `json:"ooo_accepted"`
+	Duplicates      uint64  `json:"duplicates_skipped"`
+	TooOld          uint64  `json:"ooo_too_old"`
+	Rejected429     uint64  `json:"rejected_backpressure"`
+	BadRequests     uint64  `json:"bad_requests"`
+	Failed          uint64  `json:"failed_commits"`
+	SamplesPerSec   float64 `json:"samples_per_s"`
+	InFlight        int64   `json:"in_flight"`
+	MaxInflight     int     `json:"max_inflight"`
+}
+
+func (rcv *Receiver) init() {
+	rcv.once.Do(func() {
+		n := rcv.MaxInflight
+		if n <= 0 {
+			n = 2 * runtime.GOMAXPROCS(0)
+		}
+		rcv.MaxInflight = n
+		rcv.slots = make(chan struct{}, n)
+	})
+}
+
+// Stats snapshots the ingest counters.
+func (rcv *Receiver) Stats() IngestStats {
+	rcv.init()
+	return IngestStats{
+		Requests:        rcv.requests.Load(),
+		Frames:          rcv.frames.Load(),
+		SamplesDecoded:  rcv.samples.Load(),
+		SamplesAppended: rcv.appended.Load(),
+		OOOAccepted:     rcv.oooAccepted.Load(),
+		Duplicates:      rcv.duplicates.Load(),
+		TooOld:          rcv.tooOld.Load(),
+		Rejected429:     rcv.rejected.Load(),
+		BadRequests:     rcv.badRequests.Load(),
+		Failed:          rcv.failed.Load(),
+		SamplesPerSec:   rcv.rate.perSec(time.Now()),
+		InFlight:        rcv.inFlight.Load(),
+		MaxInflight:     rcv.MaxInflight,
+	}
+}
+
+func (rcv *Receiver) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rcv.init()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeIngestErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	rcv.requests.Add(1)
+	// Take a commit slot before touching the body: when the commit path is
+	// saturated the bytes stay in the client's socket, not in our heap.
+	select {
+	case rcv.slots <- struct{}{}:
+	default:
+		rcv.rejected.Add(1)
+		ra := rcv.RetryAfter
+		if ra <= 0 {
+			ra = DefaultRetryAfter
+		}
+		secs := int(ra.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeIngestErr(w, http.StatusTooManyRequests, "ingest saturated; retry later")
+		return
+	}
+	defer func() { <-rcv.slots }()
+	rcv.inFlight.Add(1)
+	defer rcv.inFlight.Add(-1)
+
+	dec := NewDecoder(r.Body)
+	defer dec.Release()
+	var appended, frames, decoded int
+	for {
+		fams, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rcv.badRequests.Add(1)
+			writeIngestErr(w, http.StatusBadRequest,
+				fmt.Sprintf("frame %d: %v (%d frames committed)", frames, err, frames))
+			return
+		}
+		batch := rcv.NewBatch()
+		n := 0
+		for _, f := range fams {
+			for _, m := range f.Metrics {
+				if m.TS == 0 {
+					rcv.badRequests.Add(1)
+					writeIngestErr(w, http.StatusBadRequest,
+						fmt.Sprintf("frame %d: metric %s has no timestamp; remote write requires explicit timestamps (%d frames committed)", frames, f.Name, frames))
+					return
+				}
+				batch.Add(m.Labels, m.TS, m.Value)
+				n++
+			}
+		}
+		decoded += n
+		rcv.samples.Add(uint64(n))
+		got, err := batch.Commit()
+		if err != nil {
+			rcv.failed.Add(1)
+			// Commit failures (WAL write error, lost quorum) are the
+			// store's fault, not the client's, and are retryable.
+			writeIngestErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("frame %d: commit: %v (%d frames committed)", frames, err, frames))
+			return
+		}
+		appended += got
+		frames++
+		rcv.frames.Add(1)
+		rcv.appended.Add(uint64(got))
+		rcv.rate.add(time.Now(), uint64(got))
+		if cs, ok := batch.(commitStatser); ok {
+			st := cs.LastCommitStats()
+			rcv.oooAccepted.Add(uint64(st.OOOAccepted))
+			rcv.duplicates.Add(uint64(st.Duplicates))
+			rcv.tooOld.Add(uint64(st.TooOld))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "success",
+		"data": map[string]int{
+			"frames":   frames,
+			"decoded":  decoded,
+			"appended": appended,
+		},
+	})
+}
+
+func writeIngestErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": "error", "error": msg})
+}
+
+// rateWindow tracks a trailing samples/s over ~10 one-second buckets.
+type rateWindow struct {
+	mu      sync.Mutex
+	buckets [10]uint64
+	seconds [10]int64
+}
+
+func (rw *rateWindow) add(now time.Time, n uint64) {
+	sec := now.Unix()
+	i := int(sec % int64(len(rw.buckets)))
+	rw.mu.Lock()
+	if rw.seconds[i] != sec {
+		rw.seconds[i] = sec
+		rw.buckets[i] = 0
+	}
+	rw.buckets[i] += n
+	rw.mu.Unlock()
+}
+
+func (rw *rateWindow) perSec(now time.Time) float64 {
+	sec := now.Unix()
+	var total uint64
+	rw.mu.Lock()
+	for i := range rw.buckets {
+		// Only buckets from the trailing window count; stale slots are
+		// leftovers from >10s ago.
+		if sec-rw.seconds[i] < int64(len(rw.buckets)) {
+			total += rw.buckets[i]
+		}
+	}
+	rw.mu.Unlock()
+	return float64(total) / float64(len(rw.buckets))
+}

@@ -14,9 +14,22 @@ import (
 //
 // An Appender is not safe for concurrent use; create one per goroutine.
 type Appender struct {
-	db      *DB
-	byShard [][]pendingSample
-	count   int
+	db        *DB
+	byShard   [][]pendingSample
+	count     int
+	lastStats CommitStats
+}
+
+// CommitStats breaks down what happened to the samples of the last Commit.
+// Appended counts samples applied in order; OOOAccepted counts samples that
+// landed in the out-of-order buffer (always 0 with the window off);
+// Duplicates counts exact (series, timestamp) repeats silently skipped under
+// the window; TooOld counts samples rejected for falling outside it.
+type CommitStats struct {
+	Appended    int
+	OOOAccepted int
+	Duplicates  int
+	TooOld      int
 }
 
 type pendingSample struct {
@@ -59,9 +72,13 @@ func (a *Appender) Pending() int { return a.count }
 // matches the apply order.
 func (a *Appender) Commit() (int, error) {
 	appended := 0
+	var stats CommitStats
 	var firstErr error
 	var walSamples []walSampleRec
 	var walSeries []walSeriesRec
+	// One acceptance bound for the whole commit: every sample in the batch
+	// is judged against the head's max time as of commit start.
+	ooo := a.db.oooCtx()
 	for i, batch := range a.byShard {
 		if len(batch) == 0 {
 			continue
@@ -80,16 +97,28 @@ func (a *Appender) Commit() (int, error) {
 		for j, p := range batch {
 			s := series[j]
 			s.mu.Lock()
-			err := s.appendLocked(p.t, p.v, a.db.opts.MaxSamplesPerChunk)
+			outcome, err := s.appendLocked(p.t, p.v, a.db.opts.MaxSamplesPerChunk, ooo)
 			s.mu.Unlock()
 			if err != nil {
 				if errors.Is(err, ErrOutOfOrder) {
+					if errors.Is(err, ErrTooOld) {
+						stats.TooOld++
+					}
 					continue
 				}
 				if firstErr == nil {
 					firstErr = err
 				}
 				break
+			}
+			if outcome == appendDuplicate {
+				stats.Duplicates++
+				continue
+			}
+			if outcome == appendOOO {
+				stats.OOOAccepted++
+			} else {
+				stats.Appended++
 			}
 			if w != nil && !s.dropped {
 				// A series detached by DeleteSeries/Truncate between our
@@ -127,8 +156,14 @@ func (a *Appender) Commit() (int, error) {
 	for i := range a.byShard {
 		a.byShard[i] = a.byShard[i][:0]
 	}
+	a.lastStats = stats
 	return appended, firstErr
 }
+
+// LastCommitStats returns the outcome breakdown of the most recent Commit.
+// The remote-write receiver reads it to report out-of-order/duplicate
+// counts per request.
+func (a *Appender) LastCommitStats() CommitStats { return a.lastStats }
 
 // resolveBatch maps each pending sample to its memSeries, looking up the
 // whole batch under one read lock and creating any misses under one write

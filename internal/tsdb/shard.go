@@ -249,7 +249,16 @@ func (sh *headShard) truncate(mint int64) int {
 				s.chunks[i] = nil
 			}
 			s.chunks = kept
-			empty := len(s.chunks) == 0 && s.head == nil && s.lastT < mint
+			if len(s.ooo) > 0 {
+				lo := sort.Search(len(s.ooo), func(i int) bool { return s.ooo[i].T >= mint })
+				if lo > 0 {
+					s.ooo = append(s.ooo[:0], s.ooo[lo:]...)
+				}
+				if len(s.ooo) == 0 {
+					s.ooo = nil
+				}
+			}
+			empty := len(s.chunks) == 0 && s.head == nil && s.lastT < mint && len(s.ooo) == 0
 			s.mu.Unlock()
 			if empty {
 				sh.dropSeriesLocked(s)

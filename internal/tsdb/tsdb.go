@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,12 @@ import (
 // ErrOutOfOrder is returned when appending a sample at or before the last
 // timestamp of its series.
 var ErrOutOfOrder = errors.New("tsdb: out of order sample")
+
+// ErrTooOld is returned when the head accepts bounded out-of-order samples
+// (Options.OutOfOrderWindow > 0) but the sample is older than the window.
+// It wraps ErrOutOfOrder so existing skip-on-out-of-order call sites treat
+// both the same way.
+var ErrTooOld = fmt.Errorf("%w: older than the out-of-order window", ErrOutOfOrder)
 
 // Options configure a DB.
 type Options struct {
@@ -64,6 +71,19 @@ type Options struct {
 	// naturally at the next rotation or checkpoint. False keeps writing v1
 	// (raw payloads, inspectable with a hex dump).
 	WALCompression bool
+	// OutOfOrderWindow, in milliseconds, bounds how far behind the head's
+	// newest sample an append may land and still be accepted (the
+	// remote-write retry case: an agent resends a batch that partially
+	// committed before a timeout). 0 — the default — keeps the strict
+	// behavior: any non-increasing timestamp within a series fails with
+	// ErrOutOfOrder. When > 0, a sample older than its series' last
+	// timestamp is accepted iff it is newer than (head max time − window);
+	// samples past the window fail with ErrTooOld and exact duplicates
+	// (same series, same timestamp) are silently skipped, which is what
+	// makes retries idempotent. Accepted out-of-order samples journal as
+	// ordinary WAL sample records (v1 and v2 both round-trip backwards
+	// timestamps) and queries merge them in timestamp order.
+	OutOfOrderWindow int64
 }
 
 // DefaultOptions returns production-like defaults (15 days retention,
@@ -118,6 +138,11 @@ type memSeries struct {
 	headMin int64
 	lastT   int64
 	hasAny  bool
+	// ooo holds accepted out-of-order samples, sorted by timestamp and
+	// deduplicated; queries merge it with the in-order chunks (in-order
+	// wins on a timestamp tie). Always empty when Options.OutOfOrderWindow
+	// is 0.
+	ooo []model.Sample
 }
 
 // chunkRange is a closed chunk plus its time bounds.
@@ -195,6 +220,7 @@ func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
 	h := lset.Hash()
 	sh := db.shardFor(h)
 	s := sh.getOrCreate(h, lset)
+	ooo := db.oooCtx()
 	w := sh.wal
 	if w != nil {
 		// The WAL mutex spans the memory apply and the journal write so the
@@ -202,9 +228,9 @@ func (db *DB) Append(lset labels.Labels, t int64, v float64) error {
 		w.mu.Lock()
 	}
 	s.mu.Lock()
-	err := s.appendLocked(t, v, db.opts.MaxSamplesPerChunk)
+	outcome, err := s.appendLocked(t, v, db.opts.MaxSamplesPerChunk, ooo)
 	s.mu.Unlock()
-	if err != nil {
+	if err != nil || outcome == appendDuplicate {
 		if w != nil {
 			w.mu.Unlock()
 		}
@@ -237,31 +263,39 @@ func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
 	h := lset.Hash()
 	sh := db.shardFor(h)
 	s := sh.getOrCreate(h, lset)
+	ooo := db.oooCtx()
 	w := sh.wal
 	if w != nil {
 		w.mu.Lock()
 	}
 	s.mu.Lock()
-	appended := 0
+	// Accepted samples are no longer a contiguous prefix once the window can
+	// skip duplicates mid-batch, so collect them as we go.
+	accepted := make([]model.Sample, 0, len(samples))
 	var err error
 	for _, smp := range samples {
-		if err = s.appendLocked(smp.T, smp.V, db.opts.MaxSamplesPerChunk); err != nil {
+		outcome, aerr := s.appendLocked(smp.T, smp.V, db.opts.MaxSamplesPerChunk, ooo)
+		if aerr != nil {
+			err = aerr
 			break
 		}
-		appended++
+		if outcome == appendDuplicate {
+			continue
+		}
+		accepted = append(accepted, smp)
 	}
 	s.mu.Unlock()
 	if w != nil {
 		var lerr error
-		if appended > 0 && !s.dropped {
+		if len(accepted) > 0 && !s.dropped {
 			var newSeries []walSeriesRec
 			ref, isNew := w.refForLocked(s)
 			if isNew {
 				newSeries = []walSeriesRec{{ref: ref, lset: s.lset}}
 			}
-			recs := make([]walSampleRec, appended)
-			for i := 0; i < appended; i++ {
-				recs[i] = walSampleRec{ref: ref, t: samples[i].T, v: samples[i].V}
+			recs := make([]walSampleRec, len(accepted))
+			for i, smp := range accepted {
+				recs[i] = walSampleRec{ref: ref, t: smp.T, v: smp.V}
 			}
 			lerr = w.logLocked(newSeries, recs, nil)
 		}
@@ -270,23 +304,99 @@ func (db *DB) AppendSeries(lset labels.Labels, samples []model.Sample) error {
 			err = lerr
 		}
 	}
-	if appended > 0 {
-		sh.noteAppend(samples[0].T, samples[appended-1].T, uint64(appended))
+	if len(accepted) > 0 {
+		mint, maxt := accepted[0].T, accepted[0].T
+		for _, smp := range accepted[1:] {
+			if smp.T < mint {
+				mint = smp.T
+			}
+			if smp.T > maxt {
+				maxt = smp.T
+			}
+		}
+		sh.noteAppend(mint, maxt, uint64(len(accepted)))
 	}
 	return err
 }
 
-// appendLocked adds one sample; the caller holds s.mu.
-func (s *memSeries) appendLocked(t int64, v float64, maxPerChunk int) error {
+// appendOutcome says where appendLocked put a sample (or why it didn't).
+type appendOutcome uint8
+
+const (
+	appendInOrder appendOutcome = iota
+	appendOOO
+	appendDuplicate
+	appendFailed
+)
+
+// oooAppendCtx carries the out-of-order acceptance bound for one append or
+// batch commit. A nil ctx means the window is off (strict ordering). The
+// bound is snapshotted once per commit from the head's max time, matching
+// Prometheus' global out-of-order window: acceptance depends on how far the
+// whole head has advanced, not on the individual series.
+type oooAppendCtx struct {
+	bound int64
+}
+
+// oooCtx returns the acceptance context for one append/commit, or nil when
+// the window is disabled. Samples at or below the returned bound are too old.
+func (db *DB) oooCtx() *oooAppendCtx {
+	w := db.opts.OutOfOrderWindow
+	if w <= 0 {
+		return nil
+	}
+	_, maxt := db.timeBounds()
+	if maxt == -(int64(1) << 62) {
+		// Empty head: nothing to be out of order against.
+		return &oooAppendCtx{bound: -(int64(1) << 62)}
+	}
+	return &oooAppendCtx{bound: maxt - w}
+}
+
+// OutOfOrderWindow returns Options.OutOfOrderWindow in milliseconds (0 when
+// the head is strictly ordered). The query-result cache probes it to widen
+// its mutable-tail watermark.
+func (db *DB) OutOfOrderWindow() int64 { return db.opts.OutOfOrderWindow }
+
+// appendLocked adds one sample; the caller holds s.mu. ooo carries the
+// out-of-order acceptance bound, or nil for strict ordering. The outcome
+// tells the caller whether the sample landed in order, landed in the
+// out-of-order buffer, or was skipped as an exact duplicate (nil error —
+// duplicates must not be journalled or counted).
+func (s *memSeries) appendLocked(t int64, v float64, maxPerChunk int, ooo *oooAppendCtx) (appendOutcome, error) {
 	if s.hasAny && t <= s.lastT {
-		return fmt.Errorf("%w: t=%d last=%d series=%s", ErrOutOfOrder, t, s.lastT, s.lset)
+		if ooo == nil {
+			return appendFailed, fmt.Errorf("%w: t=%d last=%d series=%s", ErrOutOfOrder, t, s.lastT, s.lset)
+		}
+		if t == s.lastT {
+			return appendDuplicate, nil
+		}
+		if t <= ooo.bound {
+			return appendFailed, fmt.Errorf("%w: t=%d bound=%d series=%s", ErrTooOld, t, ooo.bound, s.lset)
+		}
+		// Insert into the sorted out-of-order buffer, skipping duplicates.
+		i := sort.Search(len(s.ooo), func(i int) bool { return s.ooo[i].T >= t })
+		if i < len(s.ooo) && s.ooo[i].T == t {
+			return appendDuplicate, nil
+		}
+		if s.hasInOrderSampleLocked(t) {
+			// The retry case: the timestamp already landed in order before
+			// the agent resent it. Skipping keeps the invariant that the
+			// head (and therefore the WAL) never stores two samples at one
+			// (series, timestamp) — retries are idempotent, not additive.
+			return appendDuplicate, nil
+		}
+		s.ooo = append(s.ooo, model.Sample{})
+		copy(s.ooo[i+1:], s.ooo[i:])
+		s.ooo[i] = model.Sample{T: t, V: v}
+		return appendOOO, nil
 	}
 	if s.head == nil {
 		s.head = chunkenc.NewChunk()
 		s.headMin = t
 	}
 	if err := s.head.Append(t, v); err != nil {
-		return err
+		return appendFailed, err
 	}
 	s.lastT = t
 	s.hasAny = true
@@ -294,7 +404,37 @@ func (s *memSeries) appendLocked(t int64, v float64, maxPerChunk int) error {
 		s.chunks = append(s.chunks, &chunkRange{min: s.headMin, max: s.lastT, chunk: s.head})
 		s.head = nil
 	}
-	return nil
+	return appendInOrder, nil
+}
+
+// hasInOrderSampleLocked reports whether timestamp t is already present in
+// the series' in-order data (closed chunks or the open head chunk). The
+// caller holds s.mu. Cost is one chunk decode (≤ MaxSamplesPerChunk
+// samples) — paid only on the out-of-order path, where a hit means a
+// resent batch.
+func (s *memSeries) hasInOrderSampleLocked(t int64) bool {
+	scan := func(c *chunkenc.Chunk) bool {
+		it := c.Iterator()
+		for it.Next() {
+			ct, _ := it.At()
+			if ct == t {
+				return true
+			}
+			if ct > t {
+				return false
+			}
+		}
+		return false
+	}
+	// Chunks are in time order; find the first one that could hold t.
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].max >= t })
+	if i < len(s.chunks) && s.chunks[i].min <= t {
+		return scan(s.chunks[i].chunk)
+	}
+	if s.head != nil && t >= s.headMin && t <= s.lastT {
+		return scan(s.head)
+	}
+	return false
 }
 
 func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
@@ -327,7 +467,38 @@ func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 	if s.head != nil && !(s.lastT < mint || s.headMin > maxt) {
 		appendFrom(s.head)
 	}
-	return out
+	if len(s.ooo) == 0 {
+		return out
+	}
+	// Merge the out-of-order buffer (sorted, deduped) with the in-order
+	// samples. On a timestamp tie the in-order sample wins: replay can park
+	// a checkpoint-duplicated sample in the buffer, and first-write-wins
+	// keeps query output identical to the pre-crash head.
+	lo := sort.Search(len(s.ooo), func(i int) bool { return s.ooo[i].T >= mint })
+	hi := sort.Search(len(s.ooo), func(i int) bool { return s.ooo[i].T > maxt })
+	if lo == hi {
+		return out
+	}
+	oooPart := s.ooo[lo:hi]
+	merged := make([]model.Sample, 0, len(out)+len(oooPart))
+	i, j := 0, 0
+	for i < len(out) && j < len(oooPart) {
+		switch {
+		case out[i].T < oooPart[j].T:
+			merged = append(merged, out[i])
+			i++
+		case out[i].T > oooPart[j].T:
+			merged = append(merged, oooPart[j])
+			j++
+		default:
+			merged = append(merged, out[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, out[i:]...)
+	merged = append(merged, oooPart[j:]...)
+	return merged
 }
 
 // Truncate drops all full chunks whose data lies entirely before mint and

@@ -34,6 +34,14 @@ type oracleState struct {
 	lastT   map[string]int64
 	samples map[string][]model.Sample
 	labels  map[string]labels.Labels
+	// ooo switches the oracle to the out-of-order-window head semantics:
+	// backwards samples are accepted, the first write at a (series,
+	// timestamp) wins, and expected() emits each series sorted by time.
+	// The write path never journals two samples at one (series, timestamp)
+	// — the duplicate checks run before the WAL record is built — so the
+	// dedup map only fires on checkpoint/segment overlap after a crash.
+	ooo  bool
+	seen map[string]map[int64]bool
 }
 
 func newOracle() *oracleState {
@@ -42,7 +50,14 @@ func newOracle() *oracleState {
 		lastT:   map[string]int64{},
 		samples: map[string][]model.Sample{},
 		labels:  map[string]labels.Labels{},
+		seen:    map[string]map[int64]bool{},
 	}
+}
+
+func newOOOOracle() *oracleState {
+	o := newOracle()
+	o.ooo = true
+	return o
 }
 
 // oracleGorilla is the oracle's own per-series Gorilla decode state for one
@@ -361,6 +376,19 @@ func (o *oracleState) applySample(ref uint64, tv int64, v float64) {
 	if !ok {
 		return
 	}
+	if o.ooo {
+		m := o.seen[key]
+		if m == nil {
+			m = map[int64]bool{}
+			o.seen[key] = m
+		}
+		if m[tv] {
+			return // duplicate (checkpoint overlap): first write wins
+		}
+		m[tv] = true
+		o.samples[key] = append(o.samples[key], model.Sample{T: tv, V: v})
+		return
+	}
 	if last, seen := o.lastT[key]; seen && tv <= last {
 		return // out-of-order: the head skips these too
 	}
@@ -427,10 +455,15 @@ func (o *oracleState) apply(t *testing.T, typ byte, p []byte) {
 	}
 }
 
-// expected returns the oracle's series sorted by labels, like Select.
+// expected returns the oracle's series sorted by labels, like Select. In
+// out-of-order mode each series' samples are additionally sorted by time —
+// the head's read path merges its ooo buffer the same way.
 func (o *oracleState) expected() []model.Series {
 	out := make([]model.Series, 0, len(o.samples))
 	for key, smps := range o.samples {
+		if o.ooo {
+			sort.Slice(smps, func(i, j int) bool { return smps[i].T < smps[j].T })
+		}
 		out = append(out, model.Series{Labels: o.labels[key], Samples: smps})
 	}
 	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
@@ -1182,5 +1215,180 @@ func testWALDeleteSeriesDurable(t *testing.T, compress bool) {
 		if v := s.Labels.Get("series"); v == "s000" || v == "s001" || v == "s002" || v == "s003" {
 			t.Fatalf("deleted series %s resurrected by replay", s.Labels)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order window crash harness
+// ---------------------------------------------------------------------------
+
+// fillWALOOO drives a head with OutOfOrderWindow set through a
+// remote-write-shaped workload: batch commits where roughly a third of the
+// samples land backwards (inside the window), plus resends of earlier
+// timestamps that must dedup. Returns the final in-memory contents.
+func fillWALOOO(t *testing.T, dir string, window int64, nSeries, nBatches int, segSize int64, compress bool) []model.Series {
+	t.Helper()
+	db, err := Open(Options{
+		Shards: 1, WALDir: dir, WALSegmentSize: segSize,
+		WALCompression: compress, OutOfOrderWindow: window,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	rng := rand.New(rand.NewSource(0x00CAFE))
+	base := int64(1_000_000)
+	for b := 0; b < nBatches; b++ {
+		app := db.Appender()
+		for s := 0; s < nSeries; s++ {
+			ts := base + int64(b)*1000 + int64(s)
+			if b > 2 {
+				switch rng.Intn(3) {
+				case 0:
+					// Backwards inside the window.
+					ts -= int64(rng.Intn(int(window / 2)))
+				case 1:
+					// Resend of an earlier batch's exact timestamp
+					// (duplicate; must not journal a second copy).
+					ts = base + int64(b-1-rng.Intn(2))*1000 + int64(s)
+				}
+			}
+			app.Add(crashSeries(s), ts, rng.Float64()*100)
+		}
+		if _, err := app.Commit(); err != nil {
+			t.Fatalf("commit batch %d: %v", b, err)
+		}
+	}
+	full := selectAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return full
+}
+
+// TestWALOOOCrashRecoveryAtRandomOffsets is the kill-at-any-byte property
+// for the out-of-order window: journals holding accepted backwards samples
+// must replay byte-exact against the independent oracle in both formats —
+// v1 (varint timestamps) and v2 (Gorilla, whose delta encoding must
+// round-trip negative deltas losslessly).
+func TestWALOOOCrashRecoveryAtRandomOffsets(t *testing.T) {
+	const window = int64(30_000)
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			baseDir := t.TempDir()
+			full := fillWALOOO(t, filepath.Join(baseDir, "wal"), window, 6, 200, 2048, compress)
+
+			files := walFiles(t, filepath.Join(baseDir, "wal"))
+			if len(files) < 3 {
+				t.Fatalf("expected multiple segments (rotation), got %d files", len(files))
+			}
+			var total int64
+			sizes := make([]int64, len(files))
+			for i, f := range files {
+				st, err := os.Stat(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sizes[i] = st.Size()
+				total += st.Size()
+			}
+
+			rng := rand.New(rand.NewSource(0xFADEBEE))
+			trials := 25
+			if testing.Short() {
+				trials = 6
+			}
+			for trial := 0; trial < trials; trial++ {
+				offset := rng.Int63n(total + 1) // total itself = clean shutdown
+				t.Run(fmt.Sprintf("offset=%d", offset), func(t *testing.T) {
+					scratch := t.TempDir()
+					crashed := filepath.Join(scratch, "wal")
+					copyDir(t, filepath.Join(baseDir, "wal"), crashed)
+
+					cut := offset
+					crashedFiles := walFiles(t, crashed)
+					for i, f := range crashedFiles {
+						if cut > sizes[i] {
+							cut -= sizes[i]
+							continue
+						}
+						if err := os.Truncate(f, cut); err != nil {
+							t.Fatal(err)
+						}
+						for _, later := range crashedFiles[i+1:] {
+							if err := os.Remove(later); err != nil {
+								t.Fatal(err)
+							}
+						}
+						break
+					}
+
+					oracle := newOOOOracle()
+					for _, f := range walFiles(t, crashed) {
+						if oracle.decodeFile(t, f) {
+							break // torn: nothing after this file survives
+						}
+					}
+					want := oracle.expected()
+
+					db, err := Open(Options{
+						Shards: 1, WALDir: crashed, WALSegmentSize: 2048,
+						WALCompression: compress, OutOfOrderWindow: window,
+					})
+					if err != nil {
+						t.Fatalf("reopen after crash at %d: %v", offset, err)
+					}
+					got := selectAll(t, db)
+					assertSeriesEqual(t, got, want, "recovered ooo head vs oracle")
+					// Every recovered sample must exist in the full history
+					// with the same value (crash loses suffixes, never
+					// invents or reorders data).
+					fullByKey := map[string]map[int64]float64{}
+					for _, s := range full {
+						m := map[int64]float64{}
+						for _, smp := range s.Samples {
+							m[smp.T] = smp.V
+						}
+						fullByKey[s.Labels.String()] = m
+					}
+					for _, s := range got {
+						m := fullByKey[s.Labels.String()]
+						if m == nil {
+							t.Fatalf("recovered unknown series %s", s.Labels)
+						}
+						for _, smp := range s.Samples {
+							if v, ok := m[smp.T]; !ok || v != smp.V {
+								t.Fatalf("recovered sample %s t=%d v=%g not in full history",
+									s.Labels, smp.T, smp.V)
+							}
+						}
+					}
+
+					// The repaired head must keep accepting writes — in
+					// order and backwards — and survive a second reopen.
+					post := crashSeries(0)
+					if err := db.Append(post, 1<<50, 42); err != nil {
+						t.Fatalf("append after recovery: %v", err)
+					}
+					if err := db.Append(post, 1<<50-5, 43); err != nil {
+						t.Fatalf("ooo append after recovery: %v", err)
+					}
+					afterAppend := selectAll(t, db)
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+					db2, err := Open(Options{
+						Shards: 1, WALDir: crashed, WALSegmentSize: 2048,
+						WALCompression: compress, OutOfOrderWindow: window,
+					})
+					if err != nil {
+						t.Fatalf("second reopen: %v", err)
+					}
+					assertSeriesEqual(t, selectAll(t, db2), afterAppend, "second reopen")
+					if err := db2.Close(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
 	}
 }

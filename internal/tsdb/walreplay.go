@@ -627,6 +627,16 @@ func decodeSamplesPayload(dst []walSampleRec, payload []byte) ([]walSampleRec, e
 // through the replay ref map.
 func (db *DB) applySamples(recs []walSampleRec, dr *dirReplay, acc []shardAcc) {
 	maxPerChunk := db.opts.MaxSamplesPerChunk
+	// With the out-of-order window on, replay accepts any journalled
+	// backwards sample regardless of the configured width: the write path
+	// only journals samples it accepted, so re-checking the window here
+	// (against time bounds that are not maintained incrementally during
+	// replay) would drop durable data. Duplicates from checkpoint overlap
+	// still dedup via the t==lastT / buffer-duplicate skips.
+	var ooo *oooAppendCtx
+	if db.opts.OutOfOrderWindow > 0 {
+		ooo = &oooAppendCtx{bound: math.MinInt64}
+	}
 	for _, r := range recs {
 		e, ok := dr.refMap[r.ref]
 		if !ok {
@@ -635,13 +645,13 @@ func (db *DB) applySamples(recs []walSampleRec, dr *dirReplay, acc []shardAcc) {
 		}
 		s := e.s
 		s.mu.Lock()
-		aerr := s.appendLocked(r.t, r.v, maxPerChunk)
+		outcome, aerr := s.appendLocked(r.t, r.v, maxPerChunk, ooo)
 		s.mu.Unlock()
-		if aerr != nil {
-			// Out-of-order here means the sample is already in the head
-			// (a checkpoint raced a commit, or the record was journalled
-			// for a rejected append) — skipping reproduces the write
-			// path's behavior exactly.
+		if aerr != nil || outcome == appendDuplicate {
+			// Out-of-order or duplicate here means the sample is already in
+			// the head (a checkpoint raced a commit, or the record was
+			// journalled for a rejected append) — skipping reproduces the
+			// write path's behavior exactly.
 			dr.skipped++
 			continue
 		}
