@@ -3,9 +3,9 @@
 # package lists between this file and ci.yml so they cannot drift.
 
 GO ?= go
-RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/... ./internal/remotewrite/...
+RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/... ./internal/remotewrite/... ./internal/telemetry/...
 
-.PHONY: build test race wal-recovery querycache cluster-chaos remote-write bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
+.PHONY: build test race wal-recovery querycache cluster-chaos remote-write telemetry bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ cluster-chaos:
 remote-write:
 	$(GO) test -race -count=2 -run 'RemoteWrite|Ingest|OOO' ./internal/remotewrite/ ./internal/promapi/ ./internal/tsdb/
 
+# Self-telemetry suite: registry/trace unit tests plus the self-scrape
+# e2e loop (a prometheus_sim-shaped harness scraping its own /metrics and
+# range-querying the telemetry_ series back out) — twice, under race.
+telemetry:
+	$(GO) test -race -count=2 ./internal/telemetry/
+
 # Real measurements for BENCH_querycache.json (slow).
 bench-querycache:
 	$(GO) test -run '^$$' -bench QueryCache -benchmem -benchtime=2s ./internal/querycache/
@@ -71,5 +77,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos remote-write bench-smoke
+ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos remote-write telemetry bench-smoke
 	@echo "ci: all green"

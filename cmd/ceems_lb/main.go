@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/lb"
 	"repro/internal/querycache"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		log.Fatal("-backends required")
 	}
 
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterProcess(reg)
 	balancer := &lb.LB{Strategy: lb.Strategy(*strategy), QueryTimeout: *queryTmo}
 	switch {
 	case *retries >= 0:
@@ -52,7 +55,9 @@ func main() {
 		balancer.ProxyRetries = *replFact - *writeQ
 	}
 	if *cacheSz > 0 {
-		balancer.Cache = querycache.New(querycache.Options{MaxBytes: *cacheSz})
+		balancer.Cache = querycache.New(querycache.Options{
+			MaxBytes: *cacheSz, Telemetry: reg, Name: "lb",
+		})
 		balancer.CacheTTL = *cacheTTL
 		balancer.CacheSettledTTL = *cacheSet
 	}
@@ -68,6 +73,8 @@ func main() {
 	} else {
 		log.Print("warning: running WITHOUT access control (-api-server empty)")
 	}
+	// After Backends: the per-backend bridges close over the final list.
+	balancer.InstrumentTelemetry(reg)
 	go func() {
 		tick := time.NewTicker(*healthIv)
 		defer tick.Stop()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof-addr listener
 	"os"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/remotewrite"
 	"repro/internal/scrape"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +52,9 @@ func main() {
 		remoteWr   = flag.Bool("remote-write", false, "serve POST /api/v1/write on the Prometheus API: framed expofmt push ingest with 429 backpressure; clustered runs commit pushed samples with W-quorum semantics (see /api/v1/status/ingest)")
 		rwMaxInf   = flag.Int("remote-write-max-inflight", 0, "max concurrently committing remote-write requests before 429 (0 = 2x GOMAXPROCS)")
 		oooWin     = flag.Duration("ooo-window", 0, "accept samples up to this far behind each node's max time (remote-write retry tolerance); 0 keeps strict ordering")
+		slowThr    = flag.Duration("slow-query-threshold", 0, "queries at or above this duration land in the slow-query ring at /api/v1/status/queries (0 disables the slow log; active-query tracking always on)")
+		slowCap    = flag.Int("slow-query-capacity", 0, "slow-query ring size (0 = 128)")
+		pprofAdr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); kept off the query listeners so profiling is never exposed to query clients")
 	)
 	flag.Parse()
 
@@ -85,6 +90,12 @@ func main() {
 	opts.WriteQuorum = *writeQ
 	opts.HintLimit = *hintLimit
 	opts.OutOfOrderWindow = *oooWin
+	// One registry for the whole process: the sim registers the TSDB (or
+	// ring), scrape manager, and caches; /metrics on the Prometheus API
+	// serves it for self-scraping.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterProcess(reg)
+	opts.Telemetry = reg
 	if *chaos != "" && *nodes <= 1 {
 		log.Fatalf("-chaos %q needs -cluster-nodes > 1", *chaos)
 	}
@@ -118,9 +129,13 @@ func main() {
 	// The query source is the thanos fan-in, or the quorum scatter-gather
 	// when clustered — sim.Engine() picks the right one.
 	_, qsrc := sim.Engine()
-	promH := &promapi.Handler{Query: qsrc, Now: sim.Now}
+	promH := &promapi.Handler{
+		Query: qsrc, Now: sim.Now,
+		Metrics: reg,
+		Queries: &telemetry.QueryLog{SlowThreshold: *slowThr, SlowCapacity: *slowCap},
+	}
 	if *remoteWr {
-		rcv := &remotewrite.Receiver{MaxInflight: *rwMaxInf}
+		rcv := &remotewrite.Receiver{MaxInflight: *rwMaxInf, Telemetry: reg}
 		if sim.Ring != nil {
 			// Pushed batches take the same W-quorum commit path as scrapes.
 			rcv.NewBatch = func() scrape.Batch { return sim.Ring.NewBatch() }
@@ -142,6 +157,9 @@ func main() {
 			log.Fatalf("lb backend: %v", err)
 		}
 		sim.LB.Backends = []*lb.Backend{b}
+		// After Backends: the per-backend bridges close over the final list.
+		// The LB then also answers /metrics itself from the same registry.
+		sim.LB.InstrumentTelemetry(reg)
 		log.Printf("prometheus API via LB on %s (access controlled)", *promListen)
 		log.Fatal(http.ListenAndServe(*promListen, sim.LB))
 	}()
@@ -149,6 +167,14 @@ func main() {
 		log.Printf("CEEMS API on %s", *apiListen)
 		log.Fatal(http.ListenAndServe(*apiListen, sim.APIServer.Handler()))
 	}()
+	if *pprofAdr != "" {
+		go func() {
+			// net/http/pprof registered itself on DefaultServeMux; serve that
+			// mux only here, never on the query listeners.
+			log.Printf("pprof: serving on %s", *pprofAdr)
+			log.Fatal(http.ListenAndServe(*pprofAdr, nil))
+		}()
+	}
 
 	ctx := context.Background()
 	stepsPerWallSec := *accel / opts.ScrapeInterval.Seconds()

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof-addr listener
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/rules/ceemsrules"
 	"repro/internal/scrape"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
@@ -44,17 +46,27 @@ func main() {
 		remoteWr = flag.Bool("remote-write", false, "serve POST /api/v1/write: framed expofmt push ingest with 429 backpressure (see /api/v1/status/ingest)")
 		rwMaxInf = flag.Int("remote-write-max-inflight", 0, "max concurrently committing remote-write requests before 429 (0 = 2x GOMAXPROCS)")
 		oooWin   = flag.Duration("ooo-window", 0, "accept samples up to this far behind the head max time (remote-write retry tolerance); 0 keeps strict ordering")
+		slowThr  = flag.Duration("slow-query-threshold", 0, "queries at or above this duration land in the slow-query ring at /api/v1/status/queries (0 disables the slow log; active-query tracking always on)")
+		slowCap  = flag.Int("slow-query-capacity", 0, "slow-query ring size (0 = 128)")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); kept off the main listener so profiling is never exposed to query clients")
 	)
 	flag.Parse()
 	if *targets == "" {
 		log.Fatal("at least one -targets entry required")
 	}
 
+	// One registry for the whole process: tsdb, scrape, engine, caches and
+	// ingest all register here, and /metrics serves it — the self-telemetry
+	// loop our own scrape path can ingest.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterProcess(reg)
+
 	opts := tsdb.DefaultOptions()
 	opts.Shards = *shards
 	opts.WALDir = *walDir
 	opts.WALCompression = *walComp
 	opts.OutOfOrderWindow = oooWin.Milliseconds()
+	opts.Telemetry = reg
 	db, err := tsdb.Open(opts)
 	if err != nil {
 		log.Fatalf("tsdb: %v", err)
@@ -75,6 +87,7 @@ func main() {
 			Interval: *interval,
 		}},
 	}
+	sm.InstrumentTelemetry(reg)
 	ropts := ceemsrules.DefaultOptions()
 	ropts.Interval = *ruleInt
 	rm := &rules.Manager{
@@ -86,21 +99,39 @@ func main() {
 	go sm.Run(ctx)
 	go rm.Run(ctx)
 
-	h := &promapi.Handler{Query: db, Timeout: *queryTmo}
+	eng := promql.NewEngine()
+	eng.InstrumentTelemetry(reg)
+	h := &promapi.Handler{
+		Engine:  eng,
+		Query:   db,
+		Timeout: *queryTmo,
+		Metrics: reg,
+		Queries: &telemetry.QueryLog{SlowThreshold: *slowThr, SlowCapacity: *slowCap},
+	}
 	if *remoteWr {
 		h.Ingest = &remotewrite.Receiver{
 			NewBatch:    func() scrape.Batch { return db.Appender() },
 			MaxInflight: *rwMaxInf,
+			Telemetry:   reg,
 		}
 	}
 	if *cacheSz > 0 {
-		eng := promql.NewEngine() // the handler's implicit engine: same defaults
 		h.Cache = querycache.New(querycache.Options{
-			MaxBytes: *cacheSz,
-			Head:     db,
-			Lookback: eng.LookbackDelta,
-			MaxSteps: eng.MaxSteps,
+			MaxBytes:  *cacheSz,
+			Head:      db,
+			Lookback:  eng.LookbackDelta,
+			MaxSteps:  eng.MaxSteps,
+			Telemetry: reg,
+			Name:      "promapi",
 		})
+	}
+	if *pprofAdr != "" {
+		go func() {
+			// net/http/pprof registered itself on DefaultServeMux; serve that
+			// mux only here, never on the query listener.
+			log.Printf("pprof: serving on %s", *pprofAdr)
+			log.Fatal(http.ListenAndServe(*pprofAdr, nil))
+		}()
 	}
 	log.Printf("prometheus_sim: scraping %s (class %s) every %v, serving %s (query cache %d bytes)",
 		*targets, *class, *interval, *listen, *cacheSz)

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/labels"
 	"repro/internal/lb"
@@ -193,6 +194,9 @@ type RingDB struct {
 
 	// hintState buffers missed writes/deletes per target (hints.go).
 	hintState
+
+	// metrics holds the ring's instruments; nil until InstrumentTelemetry.
+	metrics *ringMetrics
 }
 
 // NewRingDB opens one tsdb per name through open and assembles the ring.
@@ -332,6 +336,9 @@ func (a *RingAppender) Commit() (int, error) {
 	a.buf = a.buf[:0]
 	if len(buf) == 0 {
 		return 0, nil
+	}
+	if m := a.r.metrics; m != nil {
+		defer m.quorumCommitSeconds.ObserveSince(time.Now())
 	}
 	ring, members := a.r.snapshot()
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/rules/ceemsrules"
 	"repro/internal/scrape"
 	"repro/internal/slurmsim"
+	"repro/internal/telemetry"
 	"repro/internal/thanos"
 	"repro/internal/tsdb"
 )
@@ -80,6 +81,12 @@ type Options struct {
 	// remote-write agents don't hard-fail; 0 keeps strict ordering. Applies
 	// to the single node and to every ring member alike.
 	OutOfOrderWindow time.Duration
+	// Telemetry, when set, registers the stack's self-instrumentation into
+	// this registry: the single-node TSDB internals, the scrape manager, and
+	// (in cluster mode) the ring's quorum/hint/repair metrics. Ring member
+	// TSDBs are not individually instrumented — their series would collide
+	// on one registry; the ring-level metrics cover the replicated path.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns the deployment cadence used in the experiments.
@@ -230,11 +237,15 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 			}
 			sim.Ring.SetHintLimit(limit)
 		}
+		if opts.Telemetry != nil {
+			sim.Ring.InstrumentTelemetry(opts.Telemetry)
+		}
 	} else {
 		tsdbOpts := tsdb.DefaultOptions()
 		tsdbOpts.WALDir = opts.WALDir
 		tsdbOpts.WALCompression = opts.WALCompression
 		tsdbOpts.OutOfOrderWindow = opts.OutOfOrderWindow.Milliseconds()
+		tsdbOpts.Telemetry = opts.Telemetry
 		sim.DB, err = tsdb.Open(tsdbOpts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: open tsdb: %w", err)
@@ -302,6 +313,9 @@ func New(topo Topology, opts Options, users, projects int, jobsPerDay float64) (
 		Dest: scrapeDest, Fetcher: &exporterFetcher{sim: sim}, Groups: groups,
 		NewBatch: newBatch,
 		Now:      func() time.Time { return sim.clock },
+	}
+	if opts.Telemetry != nil {
+		sim.scrapeMgr.InstrumentTelemetry(opts.Telemetry)
 	}
 
 	// Recording rules: all four hardware-class groups + emissions.

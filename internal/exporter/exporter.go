@@ -161,7 +161,9 @@ func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !strings.HasSuffix(r.URL.Path, "/metrics") && r.URL.Path != "/" {
+	// Exact-path match: a suffix check would also accept /foo/metrics and
+	// quietly serve the exposition on paths that should 404.
+	if r.URL.Path != "/metrics" && r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}

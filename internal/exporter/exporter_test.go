@@ -331,6 +331,35 @@ func TestHTTPEndpointAndAuth(t *testing.T) {
 	}
 }
 
+// TestMetricsPathExactMatch pins the regression where the handler accepted
+// any path ending in /metrics (e.g. /foo/metrics): only the exact /metrics
+// path (and / for convenience) serves the exposition.
+func TestMetricsPathExactMatch(t *testing.T) {
+	n := busyNode(t)
+	e := New(&RAPLCollector{FS: n.FS})
+	srv := httptest.NewServer(e)
+	defer srv.Close()
+
+	for path, want := range map[string]int{
+		"/metrics":         200,
+		"/":                200,
+		"/foo/metrics":     404,
+		"/api/v1/metrics":  404,
+		"/metricsextra":    404,
+		"/metrics/nested":  404,
+		"/-/not-a-metrics": 404,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
 // httpGet issues a GET with basic auth.
 func httpGet(url, user, pass string) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)

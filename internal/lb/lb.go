@@ -25,6 +25,7 @@ import (
 	"repro/internal/labels"
 	"repro/internal/promql"
 	"repro/internal/querycache"
+	"repro/internal/telemetry"
 )
 
 // OwnershipChecker answers whether a user may see a compute unit's
@@ -176,11 +177,62 @@ type LB struct {
 	// with bodies never retry — the body was consumed by the first attempt.
 	ProxyRetries int
 
+	// Metrics, when set (see InstrumentTelemetry), serves the registry's
+	// exposition at GET /metrics — before access control, like any
+	// exporter's scrape endpoint.
+	Metrics *telemetry.Registry
+
 	rrNext atomic.Uint64
 	denied atomic.Int64
 	// failovers counts proxied requests that succeeded only on a retry
 	// backend.
 	failovers atomic.Int64
+	// proxied counts requests forwarded to a backend (cache hits excluded);
+	// proxyErrors counts the ones answered 502 after exhausting retries.
+	proxied     atomic.Int64
+	proxyErrors atomic.Int64
+}
+
+// InstrumentTelemetry registers the LB's counters on reg as gather-time
+// bridges over the same atomics Denied()/Failovers() read — the JSON-ish
+// accessors and /metrics can never disagree — and arranges for ServeHTTP to
+// serve the registry at GET /metrics. Call once at wiring time, after
+// Backends is populated.
+func (lb *LB) InstrumentTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("telemetry_lb_denied_total",
+		"Queries rejected by the ownership check.",
+		func() float64 { return float64(lb.denied.Load()) })
+	reg.CounterFunc("telemetry_lb_failovers_total",
+		"Proxied requests that succeeded only on a retry backend.",
+		func() float64 { return float64(lb.failovers.Load()) })
+	reg.CounterFunc("telemetry_lb_proxied_total",
+		"Requests forwarded to a backend (cache hits excluded).",
+		func() float64 { return float64(lb.proxied.Load()) })
+	reg.CounterFunc("telemetry_lb_proxy_errors_total",
+		"Requests answered 502 after every eligible backend failed.",
+		func() float64 { return float64(lb.proxyErrors.Load()) })
+	reg.GaugeFunc("telemetry_lb_backends_healthy",
+		"Backends currently passing health checks.",
+		func() float64 {
+			n := 0
+			for _, b := range lb.Backends {
+				if b.Healthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for _, b := range lb.Backends {
+		b := b
+		addr := b.URL.String()
+		reg.CounterFunc("telemetry_lb_backend_served_total",
+			"Requests proxied to this backend.",
+			func() float64 { return float64(b.Served()) }, "backend", addr)
+		reg.GaugeFunc("telemetry_lb_backend_active",
+			"In-flight requests on this backend.",
+			func() float64 { return float64(b.Active()) }, "backend", addr)
+	}
+	lb.Metrics = reg
 }
 
 // Default cache TTLs: fresh windows ride the typical scrape cadence,
@@ -314,6 +366,13 @@ func enumerateAlternation(pattern string) ([]string, bool) {
 // ServeHTTP authorizes and proxies one query request, serving repeat
 // queries from the response cache when one is configured.
 func (lb *LB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if lb.Metrics != nil && r.URL.Path == "/metrics" {
+		// Self-telemetry scrape surface: exact path only, and — like any
+		// exporter's /metrics — ahead of the user header requirement so a
+		// plain scrape loop can reach it.
+		lb.Metrics.ServeHTTP(w, r)
+		return
+	}
 	if lb.Cache != nil && r.URL.Path == "/api/v1/status/querycache" {
 		// Admin surface: counters leak which queries are warm; gate it like
 		// the rest of the admin bypasses (the checker decides who is admin).
@@ -567,6 +626,7 @@ func (lb *LB) pickExcluding(tried map[*Backend]bool) *Backend {
 // with a 502 — the HTTP face of the quorum read path: one dead replica
 // node must not surface as a query error.
 func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
+	lb.proxied.Add(1)
 	b.active.Add(1)
 	defer b.active.Add(-1)
 	b.served.Add(1)
@@ -588,6 +648,7 @@ func (lb *LB) proxy(w http.ResponseWriter, r *http.Request, b *Backend) bool {
 		}
 	}
 	if err != nil {
+		lb.proxyErrors.Add(1)
 		http.Error(w, "backend error: "+err.Error(), http.StatusBadGateway)
 		return false
 	}

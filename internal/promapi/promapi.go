@@ -19,7 +19,13 @@ import (
 	"repro/internal/promql"
 	"repro/internal/querycache"
 	"repro/internal/remotewrite"
+	"repro/internal/telemetry"
 )
+
+// TraceHeader is the opt-in per-query tracing header: a request that sends
+// it (any value) gets the same header back on the response, carrying the
+// evaluation's stage timings ("parse=0.000012 eval=0.000345 ...").
+const TraceHeader = "X-Query-Trace"
 
 // Handler serves the query API.
 type Handler struct {
@@ -48,6 +54,16 @@ type Handler struct {
 	// the response (e.g. a mid-stream encode error on /api/v1/read); nil
 	// uses the standard logger.
 	Logf func(format string, args ...any)
+	// Metrics, when set, serves the registry's exposition at GET /metrics —
+	// the self-telemetry endpoint a scrape loop (our own or a peer's) can
+	// ingest like any exporter.
+	Metrics *telemetry.Registry
+	// Queries, when set, tracks every in-flight query plus a ring of slow
+	// ones (see telemetry.QueryLog), served at /api/v1/status/queries.
+	// Queries also get per-stage traces; sending the X-Query-Trace request
+	// header returns the stage timings on the response whether or not a
+	// QueryLog is configured.
+	Queries *telemetry.QueryLog
 }
 
 // LabelStore is the optional metadata side of a Queryable. *tsdb.DB
@@ -73,6 +89,12 @@ func (h *Handler) Mux() *http.ServeMux {
 	}
 	mux.HandleFunc("/api/v1/status/ingest", h.handleIngestStatus)
 	mux.HandleFunc("/api/v1/status/querycache", h.handleCacheStatus)
+	mux.HandleFunc("/api/v1/status/queries", h.handleQueriesStatus)
+	if h.Metrics != nil {
+		// Exact path only: the bare pattern (no trailing slash) never
+		// matches /foo/metrics.
+		mux.Handle("/metrics", h.Metrics)
+	}
 	mux.HandleFunc("/-/healthy", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
@@ -127,6 +149,28 @@ func (h *Handler) queryCtx(r *http.Request) (context.Context, context.CancelFunc
 	return context.WithTimeout(r.Context(), h.Timeout)
 }
 
+// beginQuery registers the query with the handler's QueryLog (when
+// configured) and attaches a stage trace to the evaluation context — the
+// log's own trace, or a standalone one when the client opted in via the
+// X-Query-Trace header without a log running.
+func (h *Handler) beginQuery(ctx context.Context, r *http.Request, kind, query string) (context.Context, *telemetry.RunningQuery, *telemetry.QueryTrace) {
+	rq := h.Queries.Begin(kind, query)
+	trace := rq.Trace()
+	if trace == nil && r.Header.Get(TraceHeader) != "" {
+		trace = &telemetry.QueryTrace{}
+	}
+	return telemetry.ContextWithTrace(ctx, trace), rq, trace
+}
+
+// finishQuery completes the log entry and answers the trace header opt-in.
+// Must run before the response body is written.
+func finishQuery(w http.ResponseWriter, r *http.Request, rq *telemetry.RunningQuery, trace *telemetry.QueryTrace, err error) {
+	rq.End(err)
+	if trace != nil && r.Header.Get(TraceHeader) != "" {
+		w.Header().Set(TraceHeader, trace.HeaderValue())
+	}
+}
+
 // writeQueryErr maps evaluation failures onto Prometheus-style statuses:
 // deadline/cancellation is 503, matching Prometheus's timeout semantics;
 // every other evaluation failure — parse/type errors and engine guardrail
@@ -157,6 +201,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
+	ctx, rq, trace := h.beginQuery(ctx, r, "instant", q)
 	var (
 		val promql.Value
 		err error
@@ -170,6 +215,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		val, err = h.engine().InstantCtx(ctx, h.Query, q, ts)
 	}
+	finishQuery(w, r, rq, trace, err)
 	if err != nil {
 		writeQueryErr(w, err)
 		return
@@ -209,6 +255,7 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
+	ctx, rq, trace := h.beginQuery(ctx, r, "range", q)
 	var (
 		m    promql.Matrix
 		merr error
@@ -223,6 +270,7 @@ func (h *Handler) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	} else {
 		m, merr = h.engine().RangeCtx(ctx, h.Query, q, start, end, step)
 	}
+	finishQuery(w, r, rq, trace, merr)
 	if merr != nil {
 		writeQueryErr(w, merr)
 		return
@@ -268,6 +316,21 @@ func (h *Handler) handleIngestStatus(w http.ResponseWriter, _ *http.Request) {
 		out = status{Enabled: true, Stats: &st}
 	}
 	writeOK(w, "ingest", out)
+}
+
+// handleQueriesStatus serves /api/v1/status/queries: the in-flight queries
+// and the slow-query ring, or enabled:false when no QueryLog is configured.
+func (h *Handler) handleQueriesStatus(w http.ResponseWriter, _ *http.Request) {
+	type status struct {
+		Enabled bool                      `json:"enabled"`
+		Log     *telemetry.QueryLogStatus `json:"log,omitempty"`
+	}
+	out := status{}
+	if h.Queries != nil {
+		st := h.Queries.Status()
+		out = status{Enabled: true, Log: &st}
+	}
+	writeOK(w, "queries", out)
 }
 
 // handleLabels serves /api/v1/labels when the backing store supports label

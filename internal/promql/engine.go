@@ -111,6 +111,10 @@ type Engine struct {
 	// Engine cannot be driven into an unbounded per-step allocation.
 	// Violations surface as *LimitError before any storage work.
 	MaxSteps int
+
+	// metrics holds the per-stage latency histograms; nil until
+	// InstrumentTelemetry.
+	metrics *stageMetrics
 }
 
 // absMaxSteps is the backstop applied when MaxSteps is unset: it bounds
@@ -153,11 +157,16 @@ func (e *Engine) Instant(q Queryable, input string, ts time.Time) (Value, error)
 // InstantCtx is Instant with cancellation/deadline support; the context is
 // checked before each storage access.
 func (e *Engine) InstantCtx(ctx context.Context, q Queryable, input string, ts time.Time) (Value, error) {
+	parseStart := time.Now()
 	expr, err := ParseExprCached(input)
+	e.noteStage(ctx, "parse", parseStart)
 	if err != nil {
 		return nil, err
 	}
-	return e.InstantExprCtx(ctx, q, expr, ts)
+	evalStart := time.Now()
+	v, err := e.InstantExprCtx(ctx, q, expr, ts)
+	e.noteStage(ctx, "eval", evalStart)
+	return v, err
 }
 
 // InstantExpr is Instant for a pre-parsed expression.
@@ -179,7 +188,9 @@ func (e *Engine) Range(q Queryable, input string, start, end time.Time, step tim
 
 // RangeCtx is Range with cancellation/deadline support.
 func (e *Engine) RangeCtx(ctx context.Context, q Queryable, input string, start, end time.Time, step time.Duration) (Matrix, error) {
+	parseStart := time.Now()
 	expr, err := ParseExprCached(input)
+	e.noteStage(ctx, "parse", parseStart)
 	if err != nil {
 		return nil, err
 	}

@@ -65,15 +65,22 @@ func (re *rangeEvaluator) stepTime(i int) time.Time {
 }
 
 func (re *rangeEvaluator) run(ctx context.Context) (Matrix, error) {
+	start := time.Now()
 	re.collect()
 	if err := re.prefetch(ctx); err != nil {
 		return nil, err
 	}
+	re.engine.noteStage(ctx, "prefetch", start)
+	start = time.Now()
 	results, err := re.evalSteps(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return re.merge(results), nil
+	re.engine.noteStage(ctx, "eval", start)
+	start = time.Now()
+	m := re.merge(results)
+	re.engine.noteStage(ctx, "merge", start)
+	return m, nil
 }
 
 // collect registers every selector in the expression tree and computes its

@@ -67,11 +67,11 @@ import (
 	"math"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/labels"
 	"repro/internal/promql"
+	"repro/internal/telemetry"
 )
 
 // Head reports the head's append progress; *tsdb.DB implements it. The
@@ -122,6 +122,15 @@ type Options struct {
 	// Clock supplies the time used for blob TTL expiry; nil means time.Now.
 	// The cluster simulator wires its simulated clock here.
 	Clock func() time.Time
+	// Telemetry, when set, registers the cache's counters and occupancy
+	// gauges on this registry; the /api/v1/status/querycache JSON and the
+	// /metrics exposition then read the very same instruments and can never
+	// disagree. Nil keeps the counters private to Stats().
+	Telemetry *telemetry.Registry
+	// Name labels the telemetry series (`cache="<name>"`) so multiple
+	// caches in one process (promapi and the LB both run one) stay
+	// distinguishable; empty picks "default".
+	Name string
 }
 
 // Outcome classifies how a lookup was served.
@@ -173,15 +182,19 @@ type Cache struct {
 	// out-of-order appends (probed from Head at New; 0 for strict heads).
 	oooWindow int64
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	splices       atomic.Uint64
-	spliceFails   atomic.Uint64
-	evictions     atomic.Uint64
-	invalidations atomic.Uint64
-	coalesced     atomic.Uint64
-	negHits       atomic.Uint64
-	negStores     atomic.Uint64
+	// Outcome counters are telemetry instruments (one atomic add each, same
+	// cost as the atomic.Uint64 fields they replaced). When
+	// Options.Telemetry is set they are registered there; otherwise they
+	// live on a private registry and only Stats() sees them.
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	splices       *telemetry.Counter
+	spliceFails   *telemetry.Counter
+	evictions     *telemetry.Counter
+	invalidations *telemetry.Counter
+	coalesced     *telemetry.Counter
+	negHits       *telemetry.Counter
+	negStores     *telemetry.Counter
 }
 
 // New returns a Cache with the given options.
@@ -213,7 +226,65 @@ func New(opts Options) *Cache {
 			entries: make(map[string]*entry),
 		}
 	}
+	c.instrument()
 	return c
+}
+
+// instrument creates the outcome counters, on Options.Telemetry when set
+// (exposing them at /metrics) or on a private registry otherwise.
+func (c *Cache) instrument() {
+	reg := c.opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	name := c.opts.Name
+	if name == "" {
+		name = "default"
+	}
+	lbl := []string{"cache", name}
+	c.hits = reg.Counter("telemetry_querycache_hits_total",
+		"Lookups served entirely from cache.", lbl...)
+	c.misses = reg.Counter("telemetry_querycache_misses_total",
+		"Lookups with no reusable entry (evaluated cold and stored).", lbl...)
+	c.splices = reg.Counter("telemetry_querycache_splices_total",
+		"Range lookups that reused cached steps and evaluated only the remainder.", lbl...)
+	c.spliceFails = reg.Counter("telemetry_querycache_splice_fails_total",
+		"Paranoid-mode splice results that mismatched the cold evaluation.", lbl...)
+	c.evictions = reg.Counter("telemetry_querycache_evictions_total",
+		"Entries evicted to stay inside the byte budget.", lbl...)
+	c.invalidations = reg.Counter("telemetry_querycache_invalidations_total",
+		"Entries dropped as stale (mutation gen change, purge, expiry).", lbl...)
+	c.coalesced = reg.Counter("telemetry_querycache_coalesced_total",
+		"Lookups that waited behind an identical in-flight evaluation.", lbl...)
+	c.negHits = reg.Counter("telemetry_querycache_neg_hits_total",
+		"Limit errors replayed from the negative cache.", lbl...)
+	c.negStores = reg.Counter("telemetry_querycache_neg_stores_total",
+		"Limit errors stored in the negative cache.", lbl...)
+	reg.GaugeFunc("telemetry_querycache_entries",
+		"Live cache entries across shards.",
+		func() float64 {
+			n := 0
+			for _, sh := range c.shards {
+				sh.mu.Lock()
+				n += len(sh.entries)
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		}, lbl...)
+	reg.GaugeFunc("telemetry_querycache_bytes",
+		"Bytes held across shards (byte budget in telemetry_querycache_max_bytes).",
+		func() float64 {
+			var b int64
+			for _, sh := range c.shards {
+				sh.mu.Lock()
+				b += sh.bytes
+				sh.mu.Unlock()
+			}
+			return float64(b)
+		}, lbl...)
+	reg.GaugeFunc("telemetry_querycache_max_bytes",
+		"Configured byte budget.",
+		func() float64 { return float64(c.opts.MaxBytes) }, lbl...)
 }
 
 // settledBefore returns the timestamp strictly below which steps filled at
@@ -231,15 +302,15 @@ func (c *Cache) settledBefore(fillMax int64) int64 {
 // Stats returns a snapshot of the cache counters and occupancy.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Splices:       c.splices.Load(),
-		SpliceFails:   c.spliceFails.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
-		Coalesced:     c.coalesced.Load(),
-		NegHits:       c.negHits.Load(),
-		NegStores:     c.negStores.Load(),
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Splices:       c.splices.Value(),
+		SpliceFails:   c.spliceFails.Value(),
+		Evictions:     c.evictions.Value(),
+		Invalidations: c.invalidations.Value(),
+		Coalesced:     c.coalesced.Value(),
+		NegHits:       c.negHits.Value(),
+		NegStores:     c.negStores.Value(),
 		MaxBytes:      c.opts.MaxBytes,
 		Shards:        len(c.shards),
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/scrape"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
@@ -51,20 +52,24 @@ type Receiver struct {
 	// RetryAfter is the backoff hint on 429 responses; 0 picks
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+	// Telemetry, when set before the first request, exposes the ingest
+	// counters as telemetry_remotewrite_* series; /api/v1/status/ingest
+	// reads the same instruments. Nil keeps them private.
+	Telemetry *telemetry.Registry
 
 	once  sync.Once
 	slots chan struct{}
 
-	requests    atomic.Uint64
-	frames      atomic.Uint64
-	samples     atomic.Uint64
-	appended    atomic.Uint64
-	oooAccepted atomic.Uint64
-	duplicates  atomic.Uint64
-	tooOld      atomic.Uint64
-	rejected    atomic.Uint64
-	badRequests atomic.Uint64
-	failed      atomic.Uint64
+	requests    *telemetry.Counter
+	frames      *telemetry.Counter
+	samples     *telemetry.Counter
+	appended    *telemetry.Counter
+	oooAccepted *telemetry.Counter
+	duplicates  *telemetry.Counter
+	tooOld      *telemetry.Counter
+	rejected    *telemetry.Counter
+	badRequests *telemetry.Counter
+	failed      *telemetry.Counter
 	inFlight    atomic.Int64
 
 	rate rateWindow
@@ -95,6 +100,33 @@ func (rcv *Receiver) init() {
 		}
 		rcv.MaxInflight = n
 		rcv.slots = make(chan struct{}, n)
+		reg := rcv.Telemetry
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		rcv.requests = reg.Counter("telemetry_remotewrite_requests_total",
+			"Remote-write POST requests received (including rejected ones).")
+		rcv.frames = reg.Counter("telemetry_remotewrite_frames_total",
+			"Frames decoded and committed.")
+		rcv.samples = reg.Counter("telemetry_remotewrite_samples_decoded_total",
+			"Samples decoded from frames before commit.")
+		rcv.appended = reg.Counter("telemetry_remotewrite_samples_appended_total",
+			"Samples the store accepted at commit.")
+		rcv.oooAccepted = reg.Counter("telemetry_remotewrite_ooo_accepted_total",
+			"Committed samples that landed through the out-of-order window.")
+		rcv.duplicates = reg.Counter("telemetry_remotewrite_duplicates_total",
+			"Exact duplicate samples silently skipped at commit.")
+		rcv.tooOld = reg.Counter("telemetry_remotewrite_too_old_total",
+			"Samples rejected for falling outside the out-of-order window.")
+		rcv.rejected = reg.Counter("telemetry_remotewrite_rejected_total",
+			"Requests answered 429 because every commit slot was taken.")
+		rcv.badRequests = reg.Counter("telemetry_remotewrite_bad_requests_total",
+			"Requests answered 400 (framing or validation errors).")
+		rcv.failed = reg.Counter("telemetry_remotewrite_failed_commits_total",
+			"Frames whose commit failed (WAL error, lost quorum).")
+		reg.GaugeFunc("telemetry_remotewrite_in_flight",
+			"Requests currently holding a commit slot.",
+			func() float64 { return float64(rcv.inFlight.Load()) })
 	})
 }
 
@@ -102,16 +134,16 @@ func (rcv *Receiver) init() {
 func (rcv *Receiver) Stats() IngestStats {
 	rcv.init()
 	return IngestStats{
-		Requests:        rcv.requests.Load(),
-		Frames:          rcv.frames.Load(),
-		SamplesDecoded:  rcv.samples.Load(),
-		SamplesAppended: rcv.appended.Load(),
-		OOOAccepted:     rcv.oooAccepted.Load(),
-		Duplicates:      rcv.duplicates.Load(),
-		TooOld:          rcv.tooOld.Load(),
-		Rejected429:     rcv.rejected.Load(),
-		BadRequests:     rcv.badRequests.Load(),
-		Failed:          rcv.failed.Load(),
+		Requests:        rcv.requests.Value(),
+		Frames:          rcv.frames.Value(),
+		SamplesDecoded:  rcv.samples.Value(),
+		SamplesAppended: rcv.appended.Value(),
+		OOOAccepted:     rcv.oooAccepted.Value(),
+		Duplicates:      rcv.duplicates.Value(),
+		TooOld:          rcv.tooOld.Value(),
+		Rejected429:     rcv.rejected.Value(),
+		BadRequests:     rcv.badRequests.Value(),
+		Failed:          rcv.failed.Value(),
 		SamplesPerSec:   rcv.rate.perSec(time.Now()),
 		InFlight:        rcv.inFlight.Load(),
 		MaxInflight:     rcv.MaxInflight,

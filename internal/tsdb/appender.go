@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/labels"
 )
@@ -74,6 +75,11 @@ func (a *Appender) Commit() (int, error) {
 	appended := 0
 	var stats CommitStats
 	var firstErr error
+	m := a.db.metrics
+	var commitStart time.Time
+	if m != nil {
+		commitStart = time.Now()
+	}
 	var walSamples []walSampleRec
 	var walSeries []walSeriesRec
 	// One acceptance bound for the whole commit: every sample in the batch
@@ -157,6 +163,18 @@ func (a *Appender) Commit() (int, error) {
 		a.byShard[i] = a.byShard[i][:0]
 	}
 	a.lastStats = stats
+	if m != nil {
+		if stats.OOOAccepted > 0 {
+			m.oooAccepted.Add(uint64(stats.OOOAccepted))
+		}
+		if stats.Duplicates > 0 {
+			m.duplicates.Add(uint64(stats.Duplicates))
+		}
+		if stats.TooOld > 0 {
+			m.tooOld.Add(uint64(stats.TooOld))
+		}
+		m.commitSeconds.ObserveSince(commitStart)
+	}
 	return appended, firstErr
 }
 

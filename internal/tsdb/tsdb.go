@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/labels"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb/chunkenc"
 )
 
@@ -84,6 +85,11 @@ type Options struct {
 	// ordinary WAL sample records (v1 and v2 both round-trip backwards
 	// timestamps) and queries merge them in timestamp order.
 	OutOfOrderWindow int64
+	// Telemetry, when set, registers the head's instruments (append
+	// outcome counters, batch commit latency, WAL flush/fsync bytes and
+	// latency, live-series gauge) on the registry; see telemetry.go. Nil
+	// leaves the head uninstrumented at one branch per commit.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns production-like defaults (15 days retention,
@@ -116,6 +122,10 @@ type DB struct {
 	walReplay WALReplayStats
 	walErrMu  sync.Mutex
 	walErr    error
+
+	// metrics is the hot-path instrumentation, nil when Options.Telemetry
+	// was unset; commit paths branch on it once per commit.
+	metrics *tsdbMetrics
 }
 
 type memSeries struct {
@@ -191,6 +201,9 @@ func Open(opts Options) (*DB, error) {
 		if err := db.openWAL(); err != nil {
 			return nil, fmt.Errorf("tsdb: open wal: %w", err)
 		}
+	}
+	if opts.Telemetry != nil {
+		db.instrument(opts.Telemetry)
 	}
 	return db, nil
 }

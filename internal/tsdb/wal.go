@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/labels"
 )
@@ -113,6 +114,10 @@ type shardWAL struct {
 
 	records     atomic.Uint64 // records written since open
 	checkpoints atomic.Uint64
+
+	// metrics shares the DB's instrumentation (nil = uninstrumented); the
+	// write paths branch on it once per flush/fsync.
+	metrics *tsdbMetrics
 }
 
 // walRecEncoder frames records in one format: v1 raw payloads, or v2 with
@@ -308,11 +313,19 @@ func (w *shardWAL) logLocked(series []walSeriesRec, samples []walSampleRec, dele
 		w.buf = w.appendDeletesRecord(w.buf, deletes)
 		nrec++
 	}
+	var ioStart time.Time
+	if w.metrics != nil {
+		ioStart = time.Now()
+	}
 	if _, err := w.bw.Write(w.buf); err != nil {
 		return fmt.Errorf("tsdb: wal append: %w", err)
 	}
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("tsdb: wal flush: %w", err)
+	}
+	if w.metrics != nil {
+		w.metrics.walFlushSeconds.ObserveSince(ioStart)
+		w.metrics.walFlushBytes.Add(uint64(len(w.buf)))
 	}
 	w.segBytes += int64(len(w.buf))
 	w.records.Add(nrec)
@@ -336,8 +349,15 @@ func (w *shardWAL) closeSegmentLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
+	var syncStart time.Time
+	if w.metrics != nil {
+		syncStart = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return err
+	}
+	if w.metrics != nil {
+		w.metrics.walFsyncSeconds.ObserveSince(syncStart)
 	}
 	err := w.f.Close()
 	w.f, w.bw = nil, nil
