@@ -1,11 +1,13 @@
 # Local targets mirror .github/workflows/ci.yml exactly, so `make ci` is the
 # same bar CI enforces. `make ci-sync-check` (also a CI step) diffs the
 # package lists between this file and ci.yml so they cannot drift.
+# The storage stages these harnesses cover (head/WAL/blocks/downsampling)
+# are mapped in docs/ARCHITECTURE.md; benchmark baselines in docs/BENCHMARKS.md.
 
 GO ?= go
 RACE_PKGS := ./internal/tsdb/... ./internal/api/... ./internal/lb/... ./internal/scrape/... ./internal/thanos/... ./internal/workpool/... ./internal/cluster/... ./internal/promql/... ./internal/promapi/... ./internal/querycache/... ./internal/remotewrite/... ./internal/telemetry/...
 
-.PHONY: build test race wal-recovery querycache cluster-chaos remote-write telemetry bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
+.PHONY: build test race wal-recovery querycache cluster-chaos remote-write telemetry blocks bench bench-querycache bench-smoke benchdiff ci-sync-check lint ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +48,15 @@ remote-write:
 telemetry:
 	$(GO) test -race -count=2 ./internal/telemetry/
 
+# Block-store lifecycle harness (docs/ARCHITECTURE.md): block format
+# round-trip/corruption tests, the kill-at-any-byte publication sweep,
+# compaction/downsample crash-window recovery, and the downsampling
+# equivalence property test — randomized, so two passes, under race. Set
+# BLOCKS_ARTIFACT_DIR to keep the store directories of failing crash
+# states (CI uploads them on failure).
+blocks:
+	$(GO) test -race -count=2 -run 'Block|Compact|Downsample' ./internal/tsdb/ ./internal/thanos/
+
 # Real measurements for BENCH_querycache.json (slow).
 bench-querycache:
 	$(GO) test -run '^$$' -bench QueryCache -benchmem -benchtime=2s ./internal/querycache/
@@ -77,5 +88,5 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
-ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos remote-write telemetry bench-smoke
+ci: build lint ci-sync-check test race wal-recovery querycache cluster-chaos remote-write telemetry blocks bench-smoke
 	@echo "ci: all green"

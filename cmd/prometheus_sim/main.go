@@ -25,6 +25,7 @@ import (
 	"repro/internal/rules/ceemsrules"
 	"repro/internal/scrape"
 	"repro/internal/telemetry"
+	"repro/internal/thanos"
 	"repro/internal/tsdb"
 )
 
@@ -49,6 +50,10 @@ func main() {
 		slowThr  = flag.Duration("slow-query-threshold", 0, "queries at or above this duration land in the slow-query ring at /api/v1/status/queries (0 disables the slow log; active-query tracking always on)")
 		slowCap  = flag.Int("slow-query-capacity", 0, "slow-query ring size (0 = 128)")
 		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); kept off the main listener so profiling is never exposed to query clients")
+		blockDir = flag.String("blocks-dir", "", "persistent block store directory: the head is cut into immutable blocks every -block-range, compacted and downsampled in the background, and queries fan in over head + blocks (see docs/ARCHITECTURE.md); empty keeps the head-only lifecycle")
+		blockRng = flag.Duration("block-range", 2*time.Hour, "block cut cadence; the head keeps 2x this after each cut so lookback windows never straddle a gap")
+		compactN = flag.Int("compaction-factor", 0, "consecutive same-level blocks merged per compaction level (0 = 3); overlapping blocks always compact first regardless")
+		downsmpl = flag.Bool("downsample", true, "maintain 5m/1h downsampled aggregates alongside raw blocks (cut after 2x/10x -block-range); hinted range queries then read sum/count/min/max points instead of raw chunks")
 	)
 	flag.Parse()
 	if *targets == "" {
@@ -99,11 +104,56 @@ func main() {
 	go sm.Run(ctx)
 	go rm.Run(ctx)
 
+	// Block-store lifecycle: ship head cuts into the cold store on a
+	// ticker, compact and downsample in the same pass, and serve queries
+	// through the hot/cold fan-in querier so dashboards never notice the
+	// seam. Without -blocks-dir the head (plus its WAL) is the only store.
+	var queryable promql.Queryable = db
+	if *blockDir != "" {
+		store, err := thanos.NewStore(*blockDir)
+		if err != nil {
+			log.Fatalf("blocks: %v", err)
+		}
+		store.CompactionFactor = *compactN
+		store.Instrument(reg)
+		log.Printf("blocks: store %s opened with %d blocks, cutting every %v", *blockDir, store.NumBlocks(), *blockRng)
+		sc := &thanos.Sidecar{DB: db, Store: store, HeadRetention: 2 * *blockRng}
+		queryable = &thanos.Querier{Hot: db, Cold: store}
+		go func() {
+			tick := time.NewTicker(*blockRng)
+			defer tick.Stop()
+			for now := range tick.C {
+				if err := sc.Ship(now); err != nil {
+					log.Printf("blocks: ship: %v", err)
+					continue
+				}
+				if n, err := store.Compact(db.Tombstones()); err != nil {
+					log.Printf("blocks: compact: %v", err)
+				} else if n > 0 {
+					log.Printf("blocks: compacted %d block sets", n)
+				}
+				if *downsmpl {
+					for _, lvl := range []struct {
+						age time.Duration
+						res time.Duration
+					}{{2 * *blockRng, 5 * time.Minute}, {10 * *blockRng, time.Hour}} {
+						n, err := store.Downsample(now.Add(-lvl.age).UnixMilli(), lvl.res)
+						if err != nil {
+							log.Printf("blocks: downsample %v: %v", lvl.res, err)
+						} else if n > 0 {
+							log.Printf("blocks: downsampled %d blocks to %v", n, lvl.res)
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	eng := promql.NewEngine()
 	eng.InstrumentTelemetry(reg)
 	h := &promapi.Handler{
 		Engine:  eng,
-		Query:   db,
+		Query:   queryable,
 		Timeout: *queryTmo,
 		Metrics: reg,
 		Queries: &telemetry.QueryLog{SlowThreshold: *slowThr, SlowCapacity: *slowCap},

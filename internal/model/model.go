@@ -54,6 +54,20 @@ type SelectHints struct {
 	// means unlimited. Storage that enforces it returns ErrSampleLimit
 	// (possibly wrapped) as soon as the budget is exceeded.
 	SampleLimit int64
+	// Func is the PromQL function consuming the selector ("" for a bare
+	// selector). Downsampling-aware storage uses it to decide whether a
+	// pre-aggregated stream (sum/count/min/max per resolution bucket) can
+	// substitute for raw samples; counter functions like rate force raw.
+	Func string
+	// Range is the matrix selector's window in ms (0 for instant
+	// selectors). Storage must not serve data sparser than the window, or
+	// steps would see empty windows between points.
+	Range int64
+	// RawAfter, when non-zero, forbids serving downsampled data at or after
+	// this timestamp. The hot/cold fan-in querier sets it to the hot head's
+	// minimum time so the overlap region is never double-represented (raw
+	// from the head plus aggregate points from the store).
+	RawAfter int64
 }
 
 // ErrSampleLimit is returned by hint-aware Selects when a query's sample

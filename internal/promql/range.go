@@ -51,6 +51,11 @@ type selectorData struct {
 	offsetMs int64
 	mint     int64 // prefetch bounds, inclusive ms
 	maxt     int64
+	// funcName is the PromQL function directly consuming this selector
+	// ("" for a bare selector), forwarded as SelectHints.Func so
+	// downsampling-aware storage knows whether an aggregate stream may
+	// substitute for raw samples (rate and friends force raw).
+	funcName string
 	series   []model.Series
 	// dropped caches dropName(series[i].Labels) for matrix selectors, so
 	// range functions pay the label copy once per series instead of once
@@ -91,8 +96,10 @@ func (re *rangeEvaluator) collect() {
 	lookback := model.DurationMillis(re.engine.LookbackDelta)
 	startMs := model.TimeToMillis(re.start)
 	endMs := model.TimeToMillis(re.stepTime(re.steps - 1))
-	var add func(e Expr)
-	add = func(e Expr) {
+	// fn is the function whose call directly encloses the selector; any
+	// other intervening node resets it, which errs on the side of raw data.
+	var add func(e Expr, fn string)
+	add = func(e Expr, fn string) {
 		switch t := e.(type) {
 		case *VectorSelector:
 			if _, dup := re.index[t]; dup {
@@ -101,7 +108,7 @@ func (re *rangeEvaluator) collect() {
 			off := model.DurationMillis(t.Offset)
 			re.index[t] = len(re.sels)
 			re.sels = append(re.sels, &selectorData{
-				vs: t, offsetMs: off,
+				vs: t, offsetMs: off, funcName: fn,
 				mint: startMs - off - lookback,
 				maxt: endMs - off,
 			})
@@ -113,29 +120,29 @@ func (re *rangeEvaluator) collect() {
 			rng := model.DurationMillis(t.Range)
 			re.index[t] = len(re.sels)
 			re.sels = append(re.sels, &selectorData{
-				vs: t.VS, isRange: true, rangeMs: rng, offsetMs: off,
+				vs: t.VS, isRange: true, rangeMs: rng, offsetMs: off, funcName: fn,
 				mint: startMs - off - rng + 1, // windows are (t-range, t]
 				maxt: endMs - off,
 			})
 		case *ParenExpr:
-			add(t.Expr)
+			add(t.Expr, fn)
 		case *UnaryExpr:
-			add(t.Expr)
+			add(t.Expr, "")
 		case *AggregateExpr:
-			add(t.Expr)
+			add(t.Expr, "")
 			if t.Param != nil {
-				add(t.Param)
+				add(t.Param, "")
 			}
 		case *BinaryExpr:
-			add(t.LHS)
-			add(t.RHS)
+			add(t.LHS, "")
+			add(t.RHS, "")
 		case *Call:
 			for _, a := range t.Args {
-				add(a)
+				add(a, t.Func.Name)
 			}
 		}
 	}
-	add(re.expr)
+	add(re.expr, "")
 }
 
 // prefetch issues exactly one Select per registered selector, accounting
@@ -156,7 +163,7 @@ func (re *rangeEvaluator) prefetch(ctx context.Context) error {
 			err    error
 		)
 		if hinted {
-			hints := model.SelectHints{Start: sd.mint, End: sd.maxt, Step: stepMs}
+			hints := model.SelectHints{Start: sd.mint, End: sd.maxt, Step: stepMs, Func: sd.funcName, Range: sd.rangeMs}
 			if budget > 0 {
 				rem := budget - used
 				if rem <= 0 {

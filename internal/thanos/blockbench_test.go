@@ -1,0 +1,106 @@
+package thanos
+
+// The downsampling payoff benchmark: a 30-day range query answered from
+// raw chunk decode vs from 1h sum/count aggregates. Baselines live in
+// BENCH_blocks.json and are gated by tools/benchdiff.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+const (
+	benchSeries  = 4
+	benchDays    = 30
+	benchScrapeS = 60 // 1-minute cadence: 43200 samples per series
+)
+
+// benchStore builds a store holding 30 days of raw data in 2-day blocks,
+// downsampled to 5m and 1h (the production lifecycle: raw → 5m → 1h).
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	store, err := NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blockDays = 2
+	for blk := 0; blk < benchDays/blockDays; blk++ {
+		db := tsdb.MustOpen(tsdb.DefaultOptions())
+		base := int64(blk) * blockDays * 86400_000
+		for s := 0; s < benchSeries; s++ {
+			ls := labels.FromStrings(labels.MetricName, "bench", "s", fmt.Sprintf("%d", s))
+			for ts := int64(0); ts < blockDays*86400_000; ts += benchScrapeS * 1000 {
+				if err := db.Append(ls, base+ts, float64(s)+float64(ts%3600_000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		cut, err := db.CutBlock(-1<<60, 1<<60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Upload(cut); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := store.Downsample(1<<60, 5*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Downsample(1<<60, time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func benchHints(aggr bool) model.SelectHints {
+	h := model.SelectHints{Start: 0, End: benchDays * 86400_000}
+	if aggr {
+		// A Grafana-scale 30d dashboard: ~6h steps make the 1h resolution
+		// eligible (maxRes = step/5).
+		h.Step = 6 * 3600_000
+		h.Func = "avg_over_time"
+	}
+	return h
+}
+
+// BenchmarkBlockQuery30dRaw decodes every raw chunk of the window.
+func BenchmarkBlockQuery30dRaw(b *testing.B) {
+	store := benchStore(b)
+	defer store.Close()
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := store.SelectWithHints(benchHints(false), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != benchSeries || len(got[0].Samples) != benchDays*86400/benchScrapeS {
+			b.Fatalf("raw: %d series x %d samples", len(got), len(got[0].Samples))
+		}
+	}
+}
+
+// BenchmarkBlockQuery30dDownsampled serves the same window from the 1h
+// aggregates: 720 points per series instead of 43200 raw samples.
+func BenchmarkBlockQuery30dDownsampled(b *testing.B) {
+	store := benchStore(b)
+	defer store.Close()
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := store.SelectWithHints(benchHints(true), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != benchSeries || len(got[0].Samples) != benchDays*24 {
+			b.Fatalf("downsampled: %d series x %d samples", len(got), len(got[0].Samples))
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package thanos
 
 import (
+	"time"
+
 	"errors"
 	"testing"
 
@@ -43,5 +45,61 @@ func TestStoreSelectWithHintsBudget(t *testing.T) {
 	_, err = q.SelectWithHints(model.SelectHints{Start: 0, End: 1 << 60, SampleLimit: 100}, m)
 	if !errors.Is(err, model.ErrSampleLimit) {
 		t.Fatalf("querier: expected ErrSampleLimit, got %v", err)
+	}
+}
+
+// TestStoreRawAfterCapsDownsampled: with RawAfter set (the hot head's min
+// time), downsampled groups must stop strictly before it — the tail of the
+// window is served raw so the head overlap is never double-represented.
+func TestStoreRawAfterCapsDownsampled(t *testing.T) {
+	db := seedDB(t, 1, 400, 0) // one series, 15s scrape, 100 minutes
+	blk, err := db.CutBlock(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := NewStore(t.TempDir())
+	if err := store.Upload(blk); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := store.Downsample(1<<60, 5*time.Minute); err != nil || n != 1 {
+		t.Fatalf("downsample = %d, %v", n, err)
+	}
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m")
+
+	const rawAfter = 3_000_000 // 50 min in: bucket boundary
+	got, err := store.SelectWithHints(model.SelectHints{
+		Start: 0, End: 1 << 60,
+		Step:     25 * 60 * 1000, // maxRes = 5m: downsampled eligible
+		Func:     "max_over_time",
+		RawAfter: rawAfter,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d series, want 1", len(got))
+	}
+	var aggr, raw int
+	for _, s := range got[0].Samples {
+		if s.T < rawAfter {
+			// Aggregate points: one per 5m bucket, at the bucket end,
+			// carrying the bucket max (values are 0..399 ascending).
+			if (s.T+1)%300000 != 0 {
+				t.Fatalf("pre-RawAfter point at %d is not a bucket end", s.T)
+			}
+			k := s.T / 300000
+			if want := float64(20*k + 19); s.V != want {
+				t.Fatalf("bucket %d max = %g, want %g", k, s.V, want)
+			}
+			aggr++
+		} else {
+			if s.T%15000 != 0 {
+				t.Fatalf("post-RawAfter point at %d is not a raw scrape", s.T)
+			}
+			raw++
+		}
+	}
+	if aggr != 10 || raw != 200 {
+		t.Fatalf("aggr=%d raw=%d, want 10 aggregate buckets and 200 raw samples", aggr, raw)
 	}
 }

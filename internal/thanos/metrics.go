@@ -1,0 +1,60 @@
+package thanos
+
+import (
+	"repro/internal/telemetry"
+)
+
+// storeMetrics holds the cold store's self-telemetry. Nil on stores that
+// were never instrumented; every update site nil-checks.
+type storeMetrics struct {
+	uploads           *telemetry.Counter
+	compactions       *telemetry.Counter
+	compactionSeconds *telemetry.Histogram
+	downsamples       *telemetry.Counter
+	downsampleSeconds *telemetry.Histogram
+}
+
+// Instrument registers the store's instruments on reg under the
+// telemetry_blocks_* namespace (block lifecycle: uploads, compactions,
+// downsampling, live block counts by kind).
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.metrics = &storeMetrics{
+		uploads: reg.Counter("telemetry_blocks_uploads_total",
+			"Blocks shipped into the cold store."),
+		compactions: reg.Counter("telemetry_blocks_compactions_total",
+			"Block compactions executed (merge + dedup + tombstones)."),
+		compactionSeconds: reg.Histogram("telemetry_blocks_compaction_seconds",
+			"Wall time of one block compaction.", telemetry.LatencyBuckets),
+		downsamples: reg.Counter("telemetry_blocks_downsamples_total",
+			"Downsampled sibling blocks created."),
+		downsampleSeconds: reg.Histogram("telemetry_blocks_downsample_seconds",
+			"Wall time of one block downsample pass.", telemetry.LatencyBuckets),
+	}
+	reg.GaugeFunc("telemetry_blocks_count",
+		"Registered cold-store blocks, raw and downsampled.",
+		func() float64 { return float64(s.NumBlocks()) })
+	reg.GaugeFunc("telemetry_blocks_downsampled_count",
+		"Registered downsampled (non-raw) cold-store blocks.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			n := 0
+			for _, b := range s.blocks {
+				if b.Meta().Resolution != 0 {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("telemetry_blocks_samples",
+		"Samples stored across all cold-store blocks (all resolutions).",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			n := 0
+			for _, b := range s.blocks {
+				n += b.NumSamples()
+			}
+			return float64(n)
+		})
+}

@@ -1,0 +1,740 @@
+package thanos
+
+// The cold tier: a directory of immutable persistent blocks
+// (internal/tsdb/blockdir.go) with background compaction and
+// multi-resolution downsampling, and a hint-aware read path that picks the
+// coarsest resolution a query step can afford. Crash recovery at open
+// sweeps aborted writes (.tmp dirs, meta-less dirs), migrates legacy .blk
+// files, and garbage-collects blocks superseded by a committed compaction
+// (same-resolution survivor listing them in Sources). See
+// docs/ARCHITECTURE.md for the full lifecycle.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb"
+)
+
+// DownsampleFactor is how many downsampled points a query step must span
+// before the store substitutes an aggregate stream for raw samples: a block
+// of resolution R is eligible only when hints.Step >= R*DownsampleFactor,
+// mirroring Thanos's rule of thumb of ~5 points per step.
+const DownsampleFactor = 5
+
+// defaultCompactionFactor is how many same-level blocks trigger a merge
+// when the store has no explicit CompactionFactor.
+const defaultCompactionFactor = 3
+
+// Store holds uploaded blocks as persistent block directories (see
+// tsdb/blockdir.go for the on-disk format), one ULID-named directory per
+// block plus raw/downsampled siblings. With dir == "" blocks are assembled
+// in memory instead — same byte layout, no files — which the cluster
+// simulator and tests use.
+//
+// The store is the cold half of the hot/cold seam: the sidecar uploads
+// immutable blocks cut from the hot head, Compact folds them into larger
+// higher-level blocks (applying delete tombstones), and Downsample derives
+// 5m/1h-style aggregate siblings that long-range queries read instead of
+// raw chunks.
+type Store struct {
+	dir string
+
+	// CompactionFactor is how many same-level blocks of one resolution are
+	// merged per compaction; 0 means defaultCompactionFactor. Overlapping
+	// blocks are always compacted first, regardless of the factor.
+	CompactionFactor int
+
+	mu     sync.RWMutex
+	blocks []*tsdb.PersistentBlock // sorted by MinTime
+	// labelIndex: name -> value set across all blocks, maintained on
+	// upload/load so the LabelStore endpoints don't scan every series.
+	// Compaction can delete tombstoned series, so the index may
+	// over-approximate after deletes — acceptable for label discovery.
+	labelIndex map[string]map[string]struct{}
+
+	metrics *storeMetrics
+}
+
+// NewStore opens a store directory, recovering crash leftovers and loading
+// every block:
+//
+//   - *.tmp directories (a block write that never reached its rename) and
+//     directories missing meta.json (a rename that never committed) are
+//     removed — their data is still in the sources that produced them.
+//   - legacy single-file .blk blocks are migrated in place to block
+//     directories, preserving their samples.
+//   - blocks fully superseded by a same-resolution block that lists them in
+//     its Sources (a compaction that crashed after publishing but before
+//     deleting) are garbage-collected. Downsampled children have a
+//     different resolution, so raw sources always survive this sweep.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		full := filepath.Join(dir, name)
+		if e.IsDir() {
+			if tsdb.IsTmpBlockDir(name) {
+				if err := os.RemoveAll(full); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(full, tsdb.MetaFilename)); os.IsNotExist(err) {
+				if err := os.RemoveAll(full); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			pb, err := tsdb.OpenBlockDir(full)
+			if err != nil {
+				return nil, fmt.Errorf("thanos: opening block %s: %w", name, err)
+			}
+			s.blocks = append(s.blocks, pb)
+			continue
+		}
+		if strings.HasSuffix(name, ".blk") {
+			b, err := tsdb.ReadBlockFile(full)
+			if err != nil {
+				return nil, fmt.Errorf("thanos: migrating %s: %w", name, err)
+			}
+			pb, err := tsdb.PersistBlock(dir, b)
+			if err != nil {
+				return nil, fmt.Errorf("thanos: migrating %s: %w", name, err)
+			}
+			if err := os.Remove(full); err != nil {
+				return nil, err
+			}
+			s.blocks = append(s.blocks, pb)
+		}
+	}
+	s.gcSupersededLocked()
+	for _, b := range s.blocks {
+		s.indexBlockLocked(b)
+	}
+	s.sortLocked()
+	s.syncDirBestEffort()
+	return s, nil
+}
+
+// gcSupersededLocked removes blocks that a surviving same-resolution block
+// lists among its compaction Sources. Exclusive access assumed (NewStore).
+func (s *Store) gcSupersededLocked() {
+	byULID := make(map[string]*tsdb.PersistentBlock, len(s.blocks))
+	for _, b := range s.blocks {
+		byULID[b.Meta().ULID] = b
+	}
+	dead := map[*tsdb.PersistentBlock]bool{}
+	for _, c := range s.blocks {
+		for _, src := range c.Meta().Sources {
+			if b, ok := byULID[src]; ok && b.Meta().Resolution == c.Meta().Resolution {
+				dead[b] = true
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	kept := s.blocks[:0]
+	for _, b := range s.blocks {
+		if !dead[b] {
+			kept = append(kept, b)
+			continue
+		}
+		dir := b.Dir()
+		b.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	s.blocks = kept
+}
+
+// indexBlockLocked merges a block's label sets into the index. Caller holds
+// s.mu (or has exclusive access during construction).
+func (s *Store) indexBlockLocked(b *tsdb.PersistentBlock) {
+	if s.labelIndex == nil {
+		s.labelIndex = map[string]map[string]struct{}{}
+	}
+	b.LabelSets(func(lset labels.Labels) {
+		for _, l := range lset {
+			vs, ok := s.labelIndex[l.Name]
+			if !ok {
+				vs = map[string]struct{}{}
+				s.labelIndex[l.Name] = vs
+			}
+			vs[l.Value] = struct{}{}
+		}
+	})
+}
+
+func (s *Store) sortLocked() {
+	sort.Slice(s.blocks, func(i, j int) bool {
+		a, b := s.blocks[i].Meta(), s.blocks[j].Meta()
+		if a.MinTime != b.MinTime {
+			return a.MinTime < b.MinTime
+		}
+		return a.ULID < b.ULID
+	})
+}
+
+// register publishes an open block to queries.
+func (s *Store) register(pb *tsdb.PersistentBlock) {
+	s.mu.Lock()
+	s.blocks = append(s.blocks, pb)
+	s.indexBlockLocked(pb)
+	s.sortLocked()
+	s.mu.Unlock()
+}
+
+// syncDirBestEffort fsyncs the store directory so deletions and renames
+// made by maintenance are durable; errors are ignored (the worst case is
+// re-doing the maintenance after a crash, which recovery handles).
+func (s *Store) syncDirBestEffort() {
+	if s.dir == "" {
+		return
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Upload persists a block cut from the hot head as a level-1 raw block
+// directory and registers it. Empty blocks are dropped.
+func (s *Store) Upload(b *tsdb.Block) error {
+	if b.NumSamples() == 0 {
+		return nil
+	}
+	pb, err := tsdb.PersistBlock(s.dir, b)
+	if err != nil {
+		return fmt.Errorf("thanos: upload: %w", err)
+	}
+	s.register(pb)
+	if m := s.metrics; m != nil {
+		m.uploads.Inc()
+	}
+	return nil
+}
+
+// NumBlocks returns the number of registered blocks (raw + downsampled).
+func (s *Store) NumBlocks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// BlockMetas returns a snapshot of every registered block's metadata,
+// sorted by MinTime — the store's equivalent of an object-store listing.
+func (s *Store) BlockMetas() []tsdb.BlockMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]tsdb.BlockMeta, len(s.blocks))
+	for i, b := range s.blocks {
+		out[i] = b.Meta()
+	}
+	return out
+}
+
+// aggrForFunc maps the PromQL function consuming a selector to the
+// downsampled stream that can substitute for raw samples. Only functions
+// whose plain evaluation over the aggregate stream matches the documented
+// semantics qualify:
+//
+//	avg_over_time   -> avg (mean of bucket means, not exact for uneven buckets)
+//	sum_over_time   -> sum (exact for bucket-aligned windows)
+//	min_over_time   -> min (exact for bucket-aligned windows)
+//	max_over_time   -> max (exact for bucket-aligned windows)
+//
+// Everything else is served raw only: rate/irate/increase and friends need
+// raw inter-sample deltas, count_over_time would count buckets instead of
+// samples, and bare selectors ("") would flicker whenever the resolution
+// is sparser than the engine's lookback window.
+func aggrForFunc(fn string) (tsdb.AggrType, bool) {
+	switch fn {
+	case "avg_over_time":
+		return tsdb.AggrAvg, true
+	case "sum_over_time":
+		return tsdb.AggrSum, true
+	case "min_over_time":
+		return tsdb.AggrMin, true
+	case "max_over_time":
+		return tsdb.AggrMax, true
+	}
+	return tsdb.AggrRaw, false
+}
+
+// Select implements promql.Queryable over all blocks from raw data only,
+// merging samples of the same series across block boundaries (overlaps are
+// deduplicated by timestamp).
+func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	return s.selectLimited(selParams{mint: mint, maxt: maxt, aggr: tsdb.AggrRaw}, ms)
+}
+
+// SelectWithHints is the hint-aware Select. Beyond the sample budget
+// (identical to the hot head's: charged per copied sample, aborting with
+// model.ErrSampleLimit), the hints drive resolution selection: when
+// hints.Func admits an aggregate substitute (see aggrForFunc) and
+// hints.Step spans at least DownsampleFactor points of a downsampled
+// resolution, that resolution becomes eligible and the store serves the
+// matching aggregate stream instead of decoding raw chunks. hints.RawAfter
+// fences downsampled reads out of the hot-overlap region.
+func (s *Store) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+	p := selParams{
+		mint:     hints.Start,
+		maxt:     hints.End,
+		limit:    hints.SampleLimit,
+		aggr:     tsdb.AggrRaw,
+		rawAfter: hints.RawAfter,
+	}
+	if a, ok := aggrForFunc(hints.Func); ok && hints.Step > 0 {
+		maxRes := hints.Step / DownsampleFactor
+		// Never serve data sparser than the selector's window, or steps
+		// between points would see an empty window and drop the series.
+		if hints.Range > 0 && hints.Range < maxRes {
+			maxRes = hints.Range
+		}
+		if maxRes > 0 {
+			p.aggr, p.maxRes = a, maxRes
+		}
+	}
+	return s.selectLimited(p, ms)
+}
+
+// selParams is one resolved cold-read request.
+type selParams struct {
+	mint, maxt int64
+	limit      int64         // sample budget; <= 0 unlimited
+	maxRes     int64         // coarsest eligible resolution; 0 = raw only
+	aggr       tsdb.AggrType // stream to read from downsampled blocks
+	rawAfter   int64         // no downsampled data at/after this ts; 0 = off
+}
+
+// selectLimited runs the resolution-aware merge across blocks.
+//
+// Candidate blocks are grouped by resolution and the groups are visited
+// coarsest-first, raw last. Each group claims only the query sub-intervals
+// no coarser group has covered, so a timestamp is served by exactly one
+// resolution and raw + downsampled siblings of the same data never double
+// count. Within a group, overlapping blocks carry identical values for
+// shared timestamps (uploads overlap only on re-ship; compaction output
+// equals merged sources), so the per-timestamp first-wins dedup below is
+// sufficient.
+func (s *Store) selectLimited(p selParams, ms []*labels.Matcher) ([]model.Series, error) {
+	if p.maxt < p.mint {
+		return nil, nil
+	}
+	// Snapshot and pin the candidate blocks so a concurrent compaction
+	// can't unmap chunks mid-read; Retain fails only for blocks already
+	// retired, which a compaction replaces before closing.
+	s.mu.RLock()
+	var blocks []*tsdb.PersistentBlock
+	for _, b := range s.blocks {
+		if b.MaxTime() < p.mint || b.MinTime() > p.maxt {
+			continue
+		}
+		if res := b.Meta().Resolution; res != 0 && res > p.maxRes {
+			continue
+		}
+		if b.Retain() {
+			blocks = append(blocks, b)
+		}
+	}
+	s.mu.RUnlock()
+	defer func() {
+		for _, b := range blocks {
+			b.Release()
+		}
+	}()
+
+	groups := map[int64][]*tsdb.PersistentBlock{}
+	for _, b := range blocks {
+		res := b.Meta().Resolution
+		groups[res] = append(groups[res], b)
+	}
+	resOrder := make([]int64, 0, len(groups))
+	for res := range groups {
+		resOrder = append(resOrder, res)
+	}
+	// Coarsest (fewest samples) first; raw (0) naturally sorts last.
+	sort.Slice(resOrder, func(i, j int) bool { return resOrder[i] > resOrder[j] })
+
+	var (
+		covered []span
+		copied  int64
+		merged  = map[uint64]*model.Series{}
+		order   []uint64
+	)
+	add := func(list []model.Series) {
+		for _, sr := range list {
+			copied += int64(len(sr.Samples))
+			h := sr.Labels.Hash()
+			acc, ok := merged[h]
+			if !ok {
+				cp := sr
+				cp.Samples = append([]model.Sample(nil), sr.Samples...)
+				merged[h] = &cp
+				order = append(order, h)
+				continue
+			}
+			acc.Samples = append(acc.Samples, sr.Samples...)
+		}
+	}
+	for _, res := range resOrder {
+		gmax := p.maxt
+		aggr := p.aggr
+		if res == 0 {
+			aggr = tsdb.AggrRaw
+		} else if p.rawAfter != 0 && p.rawAfter <= gmax {
+			gmax = p.rawAfter - 1
+		}
+		if gmax < p.mint {
+			continue
+		}
+		// A downsampled point sits at its bucket's END and represents the
+		// whole bucket [end-res+1, end], so a block's coverage starts one
+		// bucket-width before its first point. Claimed spans are then
+		// clamped to whole buckets inside the window: a partial bucket at
+		// either edge would smuggle in samples from outside the window (or
+		// drop the window's edge samples), so those edges stay raw.
+		var gspans []span
+		for _, b := range groups[res] {
+			coverLo, coverHi := b.MinTime(), b.MaxTime()
+			if res != 0 {
+				coverLo -= res - 1
+			}
+			lo, hi := maxInt64(coverLo, p.mint), minInt64(coverHi, gmax)
+			if res != 0 {
+				lo = floorDiv(lo+res-1, res) * res // round up to a bucket start
+				hi = floorDiv(hi+1, res)*res - 1   // round down to a bucket end
+			}
+			if lo <= hi {
+				gspans = addSpan(gspans, span{lo, hi})
+			}
+		}
+		for _, gs := range gspans {
+			for _, u := range subtractSpans(gs, covered) {
+				for _, b := range groups[res] {
+					coverLo := b.MinTime()
+					if res != 0 {
+						coverLo -= res - 1
+					}
+					if b.MaxTime() < u.lo || coverLo > u.hi {
+						continue
+					}
+					rem := int64(0)
+					if p.limit > 0 {
+						rem = p.limit - copied
+						if rem <= 0 {
+							// Exactly-at-budget so far: a later block may
+							// legitimately match nothing. Pass 1 so any
+							// further sample aborts mid-copy; the post-loop
+							// check catches the ==1 case.
+							rem = 1
+						}
+					}
+					bs, err := b.SelectAggr(u.lo, u.hi, rem, aggr, ms...)
+					if err != nil {
+						return nil, err
+					}
+					add(bs)
+				}
+			}
+		}
+		for _, gs := range gspans {
+			covered = addSpan(covered, gs)
+		}
+	}
+	if p.limit > 0 && copied > p.limit {
+		return nil, model.ErrSampleLimit
+	}
+	out := make([]model.Series, 0, len(order))
+	for _, h := range order {
+		sr := merged[h]
+		sort.Slice(sr.Samples, func(i, j int) bool { return sr.Samples[i].T < sr.Samples[j].T })
+		dedup := sr.Samples[:0]
+		var lastT int64 = -1 << 62
+		for _, smp := range sr.Samples {
+			if smp.T == lastT {
+				continue
+			}
+			dedup = append(dedup, smp)
+			lastT = smp.T
+		}
+		sr.Samples = dedup
+		out = append(out, *sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LabelNames returns the sorted distinct label names across all blocks
+// (with LabelValues, this makes the store — and the fan-in Querier —
+// satisfy promapi.LabelStore). Served from the maintained index, not a
+// block scan.
+func (s *Store) LabelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.labelIndex))
+	for n := range s.labelIndex {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelValues returns the sorted distinct values of a label name across all
+// blocks.
+func (s *Store) LabelValues(name string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return labels.SortedKeys(s.labelIndex[name])
+}
+
+func (s *Store) factor() int {
+	if s.CompactionFactor > 0 {
+		return s.CompactionFactor
+	}
+	return defaultCompactionFactor
+}
+
+// Compact runs the leveled compaction loop to a fixpoint: overlapping
+// same-resolution blocks are merged first (they cost every query a dedup
+// pass), then runs of CompactionFactor same-level blocks are folded into
+// one block of the next level. Matcher tombstones — typically
+// DB.Tombstones() from the hot head — drop deleted series from the merged
+// output, propagating deletes into cold storage.
+//
+// Each merge publishes the new block durably before deleting its sources;
+// a crash in between leaves duplicates the read path dedups and NewStore's
+// GC removes. Returns the number of compactions executed.
+func (s *Store) Compact(tombs []tsdb.TombstoneRec) (int, error) {
+	n := 0
+	for {
+		plan := s.planCompaction()
+		if len(plan) < 2 {
+			return n, nil
+		}
+		if err := s.compactSet(plan, tombs); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// planCompaction picks the next set of blocks to merge, or nil.
+func (s *Store) planCompaction() []*tsdb.PersistentBlock {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byRes := map[int64][]*tsdb.PersistentBlock{}
+	resKeys := []int64{}
+	for _, b := range s.blocks {
+		res := b.Meta().Resolution
+		if _, ok := byRes[res]; !ok {
+			resKeys = append(resKeys, res)
+		}
+		byRes[res] = append(byRes[res], b) // keeps MinTime order
+	}
+	sort.Slice(resKeys, func(i, j int) bool { return resKeys[i] < resKeys[j] })
+	for _, res := range resKeys {
+		grp := byRes[res]
+		// 1) Overlapping chain: merge eagerly, whatever the levels.
+		var chain []*tsdb.PersistentBlock
+		var chainMax int64
+		for _, b := range grp {
+			if len(chain) > 0 && b.MinTime() <= chainMax {
+				chain = append(chain, b)
+				if b.MaxTime() > chainMax {
+					chainMax = b.MaxTime()
+				}
+				continue
+			}
+			if len(chain) >= 2 {
+				return chain
+			}
+			chain = []*tsdb.PersistentBlock{b}
+			chainMax = b.MaxTime()
+		}
+		if len(chain) >= 2 {
+			return chain
+		}
+		// 2) A run of CompactionFactor consecutive same-level blocks.
+		f := s.factor()
+		runStart := 0
+		for i := 1; i <= len(grp); i++ {
+			if i < len(grp) && grp[i].Meta().Level == grp[runStart].Meta().Level {
+				continue
+			}
+			if i-runStart >= f {
+				return grp[runStart : runStart+f]
+			}
+			runStart = i
+		}
+	}
+	return nil
+}
+
+// compactSet merges plan into one block, publishes it, then retires the
+// sources (publish-before-delete).
+func (s *Store) compactSet(plan []*tsdb.PersistentBlock, tombs []tsdb.TombstoneRec) error {
+	start := time.Now()
+	nb, err := tsdb.CompactPersistentBlocks(s.dir, plan, tombs)
+	if err != nil {
+		return fmt.Errorf("thanos: compact: %w", err)
+	}
+	inPlan := map[*tsdb.PersistentBlock]bool{}
+	for _, b := range plan {
+		inPlan[b] = true
+	}
+	s.mu.Lock()
+	kept := s.blocks[:0]
+	for _, b := range s.blocks {
+		if !inPlan[b] {
+			kept = append(kept, b)
+		}
+	}
+	s.blocks = append(kept, nb)
+	s.indexBlockLocked(nb)
+	s.sortLocked()
+	s.mu.Unlock()
+	for _, b := range plan {
+		dir := b.Dir()
+		b.Close() // munmap deferred past in-flight reads via Retain
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	s.syncDirBestEffort()
+	if m := s.metrics; m != nil {
+		m.compactions.Inc()
+		m.compactionSeconds.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// Downsample derives, for every block whose data ends before `before`, a
+// sibling block at the given resolution holding per-bucket sum/count/min/
+// max aggregate streams (see tsdb.DownsamplePersistentBlock). Unlike
+// Thanos-the-paper's lossy rewrite, sources are KEPT: raw and downsampled
+// siblings coexist and SelectWithHints picks per query, so full-fidelity
+// reads stay possible. Blocks already downsampled to the target resolution
+// — or with a finer downsampled child that divides it, which then serves
+// as the cheaper source — are skipped, making the call idempotent.
+// Returns the number of blocks created.
+func (s *Store) Downsample(before int64, resolution time.Duration) (int, error) {
+	res := resolution.Milliseconds()
+	if res <= 0 {
+		return 0, fmt.Errorf("thanos: resolution must be positive")
+	}
+	s.mu.RLock()
+	blocks := append([]*tsdb.PersistentBlock(nil), s.blocks...)
+	s.mu.RUnlock()
+	// children[src ULID] = set of resolutions already derived from it.
+	children := map[string]map[int64]bool{}
+	for _, b := range blocks {
+		for _, src := range b.Meta().Sources {
+			m := children[src]
+			if m == nil {
+				m = map[int64]bool{}
+				children[src] = m
+			}
+			m[b.Meta().Resolution] = true
+		}
+	}
+	n := 0
+	for _, b := range blocks {
+		meta := b.Meta()
+		if meta.MaxTime >= before || meta.Resolution >= res {
+			continue
+		}
+		if meta.Resolution > 0 && res%meta.Resolution != 0 {
+			continue
+		}
+		ch := children[meta.ULID]
+		if ch[res] {
+			continue
+		}
+		finerChild := false
+		for cres := range ch {
+			if cres > meta.Resolution && cres < res && res%cres == 0 {
+				finerChild = true
+				break
+			}
+		}
+		if finerChild {
+			continue
+		}
+		if !b.Retain() { // concurrently retired by a compaction
+			continue
+		}
+		start := time.Now()
+		nb, err := tsdb.DownsamplePersistentBlock(s.dir, b, res)
+		b.Release()
+		if err != nil {
+			return n, fmt.Errorf("thanos: downsample: %w", err)
+		}
+		if nb.NumSamples() == 0 { // e.g. only staleness markers
+			dir := nb.Dir()
+			nb.Close()
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			continue
+		}
+		s.register(nb)
+		n++
+		if m := s.metrics; m != nil {
+			m.downsamples.Inc()
+			m.downsampleSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	if n > 0 {
+		s.syncDirBestEffort()
+	}
+	return n, nil
+}
+
+// Close releases every block mapping. The store must not be queried after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, b := range s.blocks {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.blocks = nil
+	return first
+}

@@ -1,17 +1,21 @@
 // Package thanos implements the long-term-storage substrate of the stack
 // (the Thanos role in the paper's Fig. 1): a sidecar ships immutable
-// blocks from the hot TSDB to an object-store-like directory, the store
-// serves them back with optional downsampling, and a fan-in querier merges
+// blocks from the hot TSDB into a persistent block store, background
+// maintenance compacts and downsamples them, and a fan-in querier merges
 // hot and cold data so long-range queries (the API server's aggregate
 // pass) transparently span both.
+//
+// The store half lives in store.go: blocks are ULID-named directories in
+// the on-disk format of tsdb/blockdir.go, compaction folds same-resolution
+// blocks into higher levels (applying delete tombstones), and
+// downsampling adds 5m/1h-style aggregate siblings next to the raw blocks
+// — SelectWithHints picks the coarsest resolution a query's step and
+// function admit. See docs/ARCHITECTURE.md for the full storage
+// lifecycle.
 package thanos
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -19,264 +23,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/tsdb"
 )
-
-// Store holds uploaded blocks, persisted one file per block.
-type Store struct {
-	dir string
-
-	mu     sync.RWMutex
-	blocks []*tsdb.Block
-	// labelIndex: name -> value set across all blocks, maintained on
-	// upload/load so the LabelStore endpoints don't scan every series.
-	// Blocks are never removed and downsampling preserves label sets, so
-	// the index only grows.
-	labelIndex map[string]map[string]struct{}
-}
-
-// NewStore opens a store directory, loading any existing blocks.
-func NewStore(dir string) (*Store, error) {
-	s := &Store{dir: dir}
-	if dir == "" {
-		return s, nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".blk") {
-			continue
-		}
-		b, err := tsdb.ReadBlockFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("thanos: loading %s: %w", e.Name(), err)
-		}
-		s.blocks = append(s.blocks, b)
-		s.indexBlockLocked(b)
-	}
-	s.sortLocked()
-	return s, nil
-}
-
-// indexBlockLocked merges a block's label sets into the index. Caller holds
-// s.mu (or has exclusive access during construction).
-func (s *Store) indexBlockLocked(b *tsdb.Block) {
-	if s.labelIndex == nil {
-		s.labelIndex = map[string]map[string]struct{}{}
-	}
-	for _, bs := range b.Series {
-		for _, l := range bs.Labels {
-			vs, ok := s.labelIndex[l.Name]
-			if !ok {
-				vs = map[string]struct{}{}
-				s.labelIndex[l.Name] = vs
-			}
-			vs[l.Value] = struct{}{}
-		}
-	}
-}
-
-func (s *Store) sortLocked() {
-	sort.Slice(s.blocks, func(i, j int) bool { return s.blocks[i].MinTime < s.blocks[j].MinTime })
-}
-
-// Upload persists and registers a block. Empty blocks are dropped.
-func (s *Store) Upload(b *tsdb.Block) error {
-	if b.NumSamples() == 0 {
-		return nil
-	}
-	if s.dir != "" {
-		path := tsdb.BlockFileName(s.dir, b.MinTime, b.MaxTime)
-		if err := b.WriteFile(path); err != nil {
-			return fmt.Errorf("thanos: upload: %w", err)
-		}
-	}
-	s.mu.Lock()
-	s.blocks = append(s.blocks, b)
-	s.indexBlockLocked(b)
-	s.sortLocked()
-	s.mu.Unlock()
-	return nil
-}
-
-// NumBlocks returns the number of registered blocks.
-func (s *Store) NumBlocks() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blocks)
-}
-
-// Select implements promql.Queryable over all blocks, merging samples of
-// the same series across block boundaries (overlaps are deduplicated by
-// timestamp).
-func (s *Store) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
-	return s.selectLimited(mint, maxt, 0, ms)
-}
-
-// SelectWithHints is the hint-aware Select: identical output, but when
-// hints.SampleLimit is set the budget is threaded into each block's decode
-// (Block.SelectLimited), so an oversized query aborts mid-copy with
-// model.ErrSampleLimit instead of materializing every sample. The budget
-// is charged per copied sample BEFORE cross-block dedup — it bounds the
-// memory the scan materializes, so samples duplicated across overlapping
-// uploads are deliberately charged once per block.
-func (s *Store) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
-	return s.selectLimited(hints.Start, hints.End, hints.SampleLimit, ms)
-}
-
-func (s *Store) selectLimited(mint, maxt, limit int64, ms []*labels.Matcher) ([]model.Series, error) {
-	s.mu.RLock()
-	blocks := append([]*tsdb.Block(nil), s.blocks...)
-	s.mu.RUnlock()
-
-	var copied int64
-	merged := map[uint64]*model.Series{}
-	var order []uint64
-	for _, b := range blocks {
-		if b.MaxTime < mint || b.MinTime > maxt {
-			continue
-		}
-		rem := int64(0)
-		if limit > 0 {
-			rem = limit - copied
-			if rem <= 0 {
-				// Exactly-at-budget so far: a later block may legitimately
-				// match nothing. Pass 1 so any further sample aborts
-				// mid-copy; the post-loop check below catches the ==1 case.
-				rem = 1
-			}
-		}
-		bs, err := b.SelectLimited(mint, maxt, rem, ms...)
-		if err != nil {
-			return nil, err
-		}
-		for _, series := range bs {
-			copied += int64(len(series.Samples))
-			h := series.Labels.Hash()
-			acc, ok := merged[h]
-			if !ok {
-				cp := series
-				cp.Samples = append([]model.Sample(nil), series.Samples...)
-				merged[h] = &cp
-				order = append(order, h)
-				continue
-			}
-			acc.Samples = append(acc.Samples, series.Samples...)
-		}
-	}
-	if limit > 0 && copied > limit {
-		return nil, model.ErrSampleLimit
-	}
-	out := make([]model.Series, 0, len(order))
-	for _, h := range order {
-		sr := merged[h]
-		sort.Slice(sr.Samples, func(i, j int) bool { return sr.Samples[i].T < sr.Samples[j].T })
-		// Deduplicate equal timestamps (overlapping uploads).
-		dedup := sr.Samples[:0]
-		var lastT int64 = -1 << 62
-		for _, smp := range sr.Samples {
-			if smp.T == lastT {
-				continue
-			}
-			dedup = append(dedup, smp)
-			lastT = smp.T
-		}
-		sr.Samples = dedup
-		out = append(out, *sr)
-	}
-	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
-	return out, nil
-}
-
-// LabelNames returns the sorted distinct label names across all blocks
-// (with LabelValues, this makes the store — and the fan-in Querier —
-// satisfy promapi.LabelStore). Served from the maintained index, not a
-// block scan.
-func (s *Store) LabelNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.labelIndex))
-	for n := range s.labelIndex {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// LabelValues returns the sorted distinct values of a label name across all
-// blocks.
-func (s *Store) LabelValues(name string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return labels.SortedKeys(s.labelIndex[name])
-}
-
-// Downsample rewrites every block older than `before` to the given
-// resolution (bucket means), reclaiming space for long-horizon queries, as
-// Thanos's compactor does.
-func (s *Store) Downsample(before int64, resolution time.Duration) (int, error) {
-	res := resolution.Milliseconds()
-	if res <= 0 {
-		return 0, fmt.Errorf("thanos: resolution must be positive")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for i, b := range s.blocks {
-		if b.MaxTime >= before {
-			continue
-		}
-		db, err := downsampleBlock(b, res)
-		if err != nil {
-			return n, err
-		}
-		if s.dir != "" {
-			old := tsdb.BlockFileName(s.dir, b.MinTime, b.MaxTime)
-			if err := db.WriteFile(old); err != nil {
-				return n, err
-			}
-		}
-		s.blocks[i] = db
-		n++
-	}
-	return n, nil
-}
-
-func downsampleBlock(b *tsdb.Block, resMs int64) (*tsdb.Block, error) {
-	matchAll := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
-	series := b.Select(b.MinTime, b.MaxTime, matchAll)
-	agg := tsdb.MustOpen(tsdb.DefaultOptions())
-	for _, sr := range series {
-		var bucketStart int64 = -1 << 62
-		var sum float64
-		var cnt int
-		flush := func() error {
-			if cnt == 0 {
-				return nil
-			}
-			return agg.Append(sr.Labels, bucketStart+resMs-1, sum/float64(cnt))
-		}
-		for _, smp := range sr.Samples {
-			bs := smp.T / resMs * resMs
-			if bs != bucketStart {
-				if err := flush(); err != nil {
-					return nil, err
-				}
-				bucketStart = bs
-				sum, cnt = 0, 0
-			}
-			sum += smp.V
-			cnt++
-		}
-		if err := flush(); err != nil {
-			return nil, err
-		}
-	}
-	return agg.CutBlock(b.MinTime, b.MaxTime+resMs)
-}
 
 // Sidecar ships blocks from the hot TSDB to the store on a cadence,
 // optionally truncating the head afterwards (the hot/short-term split of
@@ -329,7 +75,8 @@ func (sc *Sidecar) Ship(now time.Time) error {
 // results; it satisfies promql.Queryable so the engine (and therefore the
 // API server and Grafana) can query long ranges transparently. The two
 // backends are queried concurrently: the hot side is itself a parallel
-// fan-out over head shards, the cold side an iteration over blocks.
+// fan-out over head shards, the cold side a resolution-aware iteration
+// over blocks.
 type Querier struct {
 	Hot  *tsdb.DB
 	Cold *Store
@@ -357,7 +104,16 @@ func (q *Querier) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Serie
 // 2× the limit in the worst case — a deliberate trade that keeps the two
 // concurrent passes free of shared accounting; a side that alone exceeds
 // the limit still fails the query.
+//
+// The cold side's hints get RawAfter pinned to the hot head's minimum
+// time: inside the hot/cold overlap the store must serve raw samples (or
+// nothing), never downsampled points, so a timestamp is represented once
+// in the merge no matter how the tiers overlap.
 func (q *Querier) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher) ([]model.Series, error) {
+	coldHints := hints
+	if hmin, ok := q.Hot.MinTime(); ok && (coldHints.RawAfter == 0 || hmin < coldHints.RawAfter) {
+		coldHints.RawAfter = hmin
+	}
 	var (
 		wg              sync.WaitGroup
 		cold, hot       []model.Series
@@ -366,7 +122,7 @@ func (q *Querier) SelectWithHints(hints model.SelectHints, ms ...*labels.Matcher
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		cold, coldErr = q.Cold.SelectWithHints(hints, ms...)
+		cold, coldErr = q.Cold.SelectWithHints(coldHints, ms...)
 	}()
 	hot, hotErr = q.Hot.SelectWithHints(hints, ms...)
 	wg.Wait()

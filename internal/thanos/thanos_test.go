@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/labels"
+	"repro/internal/model"
 	"repro/internal/tsdb"
 )
 
@@ -167,11 +168,30 @@ func TestDownsample(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("downsampled %d blocks", n)
 	}
-	got, _ := store.Select(0, 1<<60, labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m"))
+	// Downsampling is additive: the raw block stays next to its sibling,
+	// and a plain (raw-only) Select is unchanged.
+	if store.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want raw + downsampled", store.NumBlocks())
+	}
+	m := labels.MustMatcher(labels.MatchEqual, labels.MetricName, "m")
+	got, _ := store.Select(0, 1<<60, m)
+	if len(got) != 1 || len(got[0].Samples) != 400 {
+		t.Fatalf("raw select = %d series / %d samples, want 1/400", len(got), len(got[0].Samples))
+	}
+	// A wide-step query whose function admits aggregates reads the
+	// 5m stream instead: 400 samples over 100 min → 20 buckets.
+	hints := model.SelectHints{
+		Start: 0, End: 1 << 60,
+		Step: 10 * 5 * 60 * 1000, // step spans 10 downsampled points
+		Func: "avg_over_time",
+	}
+	got, err = store.SelectWithHints(hints, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 {
 		t.Fatal("series lost")
 	}
-	// 400 samples over 100 min → 20 five-minute buckets.
 	if len(got[0].Samples) != 20 {
 		t.Errorf("downsampled samples = %d, want 20", len(got[0].Samples))
 	}
@@ -183,6 +203,19 @@ func TestDownsample(t *testing.T) {
 	mean := sum / float64(len(got[0].Samples))
 	if mean < 199 || mean > 200 {
 		t.Errorf("downsampled mean = %v, want ~199.5", mean)
+	}
+	// A counter function must never see aggregate points.
+	hints.Func = "rate"
+	got, err = store.SelectWithHints(hints, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Samples) != 400 {
+		t.Errorf("rate served %d samples, want 400 raw", len(got[0].Samples))
+	}
+	// Idempotent: a second pass finds the existing sibling and does nothing.
+	if n, err := store.Downsample(1<<60, 5*time.Minute); err != nil || n != 0 {
+		t.Errorf("second downsample: n=%d err=%v", n, err)
 	}
 	// Invalid resolution.
 	if _, err := store.Downsample(0, 0); err == nil {

@@ -32,43 +32,248 @@ type BlockSeries struct {
 
 // CutBlock snapshots all samples in [mint, maxt] into a new immutable
 // block. The head is not modified; callers typically Truncate afterwards.
+//
+// The cut fans out per shard on the shared worker pool: each shard walks
+// its own series, reusing closed immutable chunks that fall entirely inside
+// the range (zero re-encoding — the chunk pointer is shared, closed chunks
+// are never appended to) and re-encoding only boundary chunks, the open
+// head chunk and series holding out-of-order samples. The per-shard slices
+// arrive label-sorted and are combined with the same k-way merge Select
+// uses, so output is identical for any shard count.
 func (db *DB) CutBlock(mint, maxt int64) (*Block, error) {
-	matchAll := labels.MustMatcher(labels.MatchRegexp, labels.MetricName, ".*")
-	series, err := db.Select(mint, maxt, matchAll)
-	if err != nil {
-		return nil, err
+	parts := make([][]BlockSeries, len(db.shards))
+	mins := make([]int64, len(db.shards))
+	maxs := make([]int64, len(db.shards))
+	errs := make([]error, len(db.shards))
+	db.forEachShard(func(i int, sh *headShard) {
+		parts[i], mins[i], maxs[i], errs[i] = sh.cutSorted(mint, maxt, db.opts.MaxSamplesPerChunk)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: cut block: %w", err)
+		}
 	}
-	b := &Block{MinTime: maxt + 1, MaxTime: mint - 1}
-	for _, s := range series {
-		bs := BlockSeries{Labels: s.Labels}
-		c := chunkenc.NewChunk()
-		for _, smp := range s.Samples {
-			if c.NumSamples() >= db.opts.MaxSamplesPerChunk {
-				bs.Chunks = append(bs.Chunks, c)
-				c = chunkenc.NewChunk()
-			}
-			if err := c.Append(smp.T, smp.V); err != nil {
-				return nil, fmt.Errorf("tsdb: cut block: %w", err)
-			}
-		}
-		if c.NumSamples() > 0 {
-			bs.Chunks = append(bs.Chunks, c)
-		}
-		if len(bs.Chunks) == 0 {
+	b := &Block{MinTime: int64(1) << 62, MaxTime: -(int64(1) << 62)}
+	b.Series = mergeSortedBy(parts, func(a, c BlockSeries) int { return labels.Compare(a.Labels, c.Labels) })
+	for i := range db.shards {
+		if len(parts[i]) == 0 {
 			continue
 		}
-		if s.Samples[0].T < b.MinTime {
-			b.MinTime = s.Samples[0].T
+		if mins[i] < b.MinTime {
+			b.MinTime = mins[i]
 		}
-		if s.Samples[len(s.Samples)-1].T > b.MaxTime {
-			b.MaxTime = s.Samples[len(s.Samples)-1].T
+		if maxs[i] > b.MaxTime {
+			b.MaxTime = maxs[i]
 		}
-		b.Series = append(b.Series, bs)
 	}
 	if len(b.Series) == 0 {
 		b.MinTime, b.MaxTime = mint, maxt
 	}
 	return b, nil
+}
+
+// CutPersistentBlock is CutBlock straight to durable storage: the cut block
+// is written as a block directory under parent (crash-safe, see
+// blockdir.go) and returned as an open read handle. With parent == "" the
+// block is assembled in memory instead.
+func (db *DB) CutPersistentBlock(parent string, mint, maxt int64) (*PersistentBlock, error) {
+	b, err := db.CutBlock(mint, maxt)
+	if err != nil {
+		return nil, err
+	}
+	return PersistBlock(parent, b)
+}
+
+// PersistBlock converts an in-memory Block into a level-1 raw persistent
+// block under parent ("" assembles it in memory). The sidecar upload path
+// and the legacy-format migration both funnel through here.
+func PersistBlock(parent string, b *Block) (*PersistentBlock, error) {
+	series := make([]diskSeries, 0, len(b.Series))
+	for _, bs := range b.Series {
+		ds := diskSeries{lset: bs.Labels, chunks: make([]diskChunk, 0, len(bs.Chunks))}
+		for _, c := range bs.Chunks {
+			minT, maxT, err := chunkBounds(c)
+			if err != nil {
+				return nil, err
+			}
+			ds.chunks = append(ds.chunks, diskChunk{
+				aggr:       AggrRaw,
+				minT:       minT,
+				maxT:       maxT,
+				numSamples: c.NumSamples(),
+				payload:    c.Bytes(),
+			})
+		}
+		series = append(series, ds)
+	}
+	meta := &BlockMeta{MinTime: b.MinTime, MaxTime: b.MaxTime, Level: 1, Resolution: 0}
+	if parent == "" {
+		return newMemPersistentBlock(meta, series)
+	}
+	dir, err := writeBlockDir(parent, meta, series)
+	if err != nil {
+		return nil, err
+	}
+	return OpenBlockDir(dir)
+}
+
+// chunkBounds returns the first and last timestamps of a chunk.
+func chunkBounds(c *chunkenc.Chunk) (int64, int64, error) {
+	it := c.Iterator()
+	if !it.Next() {
+		return 0, 0, fmt.Errorf("tsdb: empty chunk in block")
+	}
+	minT, _ := it.At()
+	maxT := minT
+	for it.Next() {
+		maxT, _ = it.At()
+	}
+	return minT, maxT, it.Err()
+}
+
+// seriesCutter accumulates one series' chunks during a block cut: add
+// re-encodes individual samples, reuse adopts a closed chunk wholesale
+// (flushing any pending re-encoded samples first so time order holds).
+type seriesCutter struct {
+	maxPerChunk int
+	chunks      []*chunkenc.Chunk
+	cur         *chunkenc.Chunk
+	mint, maxt  int64
+	n           int
+}
+
+func newSeriesCutter(maxPerChunk int) *seriesCutter {
+	return &seriesCutter{maxPerChunk: maxPerChunk, mint: int64(1) << 62, maxt: -(int64(1) << 62)}
+}
+
+func (sc *seriesCutter) note(t int64) {
+	if t < sc.mint {
+		sc.mint = t
+	}
+	if t > sc.maxt {
+		sc.maxt = t
+	}
+}
+
+func (sc *seriesCutter) add(t int64, v float64) error {
+	if sc.cur == nil {
+		sc.cur = chunkenc.NewChunk()
+	}
+	if err := sc.cur.Append(t, v); err != nil {
+		return err
+	}
+	sc.note(t)
+	sc.n++
+	if sc.cur.NumSamples() >= sc.maxPerChunk {
+		sc.chunks = append(sc.chunks, sc.cur)
+		sc.cur = nil
+	}
+	return nil
+}
+
+func (sc *seriesCutter) flush() {
+	if sc.cur != nil && sc.cur.NumSamples() > 0 {
+		sc.chunks = append(sc.chunks, sc.cur)
+	}
+	sc.cur = nil
+}
+
+func (sc *seriesCutter) reuse(cr *chunkRange) {
+	sc.flush()
+	sc.chunks = append(sc.chunks, cr.chunk)
+	sc.note(cr.min)
+	sc.note(cr.max)
+	sc.n += cr.chunk.NumSamples()
+}
+
+// cutSorted builds the shard's contribution to a block cut: every series
+// with samples in [mint, maxt], label-sorted, plus the shard's actual
+// sample-time bounds within the range.
+func (sh *headShard) cutSorted(mint, maxt int64, maxPerChunk int) ([]BlockSeries, int64, int64, error) {
+	sh.mu.RLock()
+	series := make([]*memSeries, 0, len(sh.byRef))
+	for _, s := range sh.byRef {
+		series = append(series, s)
+	}
+	sh.mu.RUnlock()
+	out := make([]BlockSeries, 0, len(series))
+	shMin, shMax := int64(1)<<62, -(int64(1) << 62)
+	for _, s := range series {
+		sc, err := s.cut(mint, maxt, maxPerChunk)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if sc.n == 0 {
+			continue
+		}
+		out = append(out, BlockSeries{Labels: s.lset, Chunks: sc.chunks})
+		if sc.mint < shMin {
+			shMin = sc.mint
+		}
+		if sc.maxt > shMax {
+			shMax = sc.maxt
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].Labels, out[j].Labels) < 0 })
+	return out, shMin, shMax, nil
+}
+
+// cut snapshots the series' samples in [mint, maxt] into block chunks.
+// Series without out-of-order samples reuse closed chunks that lie fully in
+// range; everything else re-encodes.
+func (s *memSeries) cut(mint, maxt int64, maxPerChunk int) (*seriesCutter, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc := newSeriesCutter(maxPerChunk)
+	if len(s.ooo) == 0 {
+		decode := func(c *chunkenc.Chunk) error {
+			it := c.Iterator()
+			for it.Next() {
+				t, v := it.At()
+				if t < mint {
+					continue
+				}
+				if t > maxt {
+					break
+				}
+				if err := sc.add(t, v); err != nil {
+					return err
+				}
+			}
+			return it.Err()
+		}
+		for _, cr := range s.chunks {
+			if cr.min > maxt {
+				break
+			}
+			if cr.max < mint {
+				continue
+			}
+			if cr.min >= mint && cr.max <= maxt {
+				sc.reuse(cr)
+				continue
+			}
+			if err := decode(cr.chunk); err != nil {
+				return nil, err
+			}
+		}
+		if s.head != nil && !(s.lastT < mint || s.headMin > maxt) {
+			if err := decode(s.head); err != nil {
+				return nil, err
+			}
+		}
+		sc.flush()
+		return sc, nil
+	}
+	// Out-of-order samples present: the merged view is not chunk-aligned,
+	// re-encode it sample by sample.
+	for _, smp := range s.samplesBetweenLocked(mint, maxt) {
+		if err := sc.add(smp.T, smp.V); err != nil {
+			return nil, err
+		}
+	}
+	sc.flush()
+	return sc, nil
 }
 
 // Select returns the block's series overlapping [mint, maxt] that satisfy

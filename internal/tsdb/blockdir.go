@@ -1,0 +1,415 @@
+package tsdb
+
+// On-disk block directories.
+//
+// A persistent block is a directory holding exactly three files:
+//
+//	<ulid>/meta.json   block metadata (JSON; the commit point)
+//	<ulid>/index       series index: labels + per-chunk metadata
+//	<ulid>/chunks      Gorilla chunk segment, mmap'd by readers
+//
+// # index format (magic "CEEMSIDX", version 1)
+//
+//	magic [8]byte | version byte
+//	numSeries uvarint
+//	per series, sorted by labels:
+//	  numLabels uvarint, then per label: len uvarint + name, len uvarint + value
+//	  numChunks uvarint, then per chunk:
+//	    aggr byte | minT varint | maxT varint | offset uvarint |
+//	    length uvarint | numSamples uvarint
+//	crc32 uint32 LE   Castagnoli, over everything before it
+//
+// # chunks format (magic "CEEMSCHK", version 1)
+//
+//	magic [8]byte | version byte
+//	per chunk: crc32 uint32 LE (of payload) | len uvarint | payload
+//
+// where payload is chunkenc.Chunk.Bytes() — the same Gorilla codec the WAL
+// v2 samples records use. Index offsets point at the crc32 word; lengths
+// cover crc+len+payload, so a reader can slice a chunk without parsing its
+// neighbors.
+//
+// # crash-safety contract
+//
+// Blocks are written to `<ulid>.tmp/` first: chunks, then index, then
+// meta.json, each fsynced through writeFileDurably; the tmp directory is
+// fsynced, renamed to `<ulid>/`, and the parent directory fsynced. meta.json
+// inside a non-tmp directory is therefore the commit point — a directory
+// missing it, failing its CRCs, or still carrying the .tmp suffix is an
+// aborted write and is deleted by openers. A crash at any byte of the write
+// leaves either no block (the tmp dir is swept) or the complete block.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/labels"
+)
+
+// AggrType identifies what a chunk stores: raw samples, or one downsampled
+// aggregate of the samples in each resolution bucket.
+type AggrType uint8
+
+const (
+	AggrRaw   AggrType = iota // raw samples (the only type in resolution-0 blocks)
+	AggrSum                   // per-bucket sum of non-stale samples
+	AggrCount                 // per-bucket count of non-stale samples
+	AggrMin                   // per-bucket minimum
+	AggrMax                   // per-bucket maximum
+	AggrAvg                   // request-only: derived as sum/count, never stored
+)
+
+func (a AggrType) String() string {
+	switch a {
+	case AggrRaw:
+		return "raw"
+	case AggrSum:
+		return "sum"
+	case AggrCount:
+		return "count"
+	case AggrMin:
+		return "min"
+	case AggrMax:
+		return "max"
+	case AggrAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("aggr(%d)", uint8(a))
+}
+
+const (
+	indexMagic      = "CEEMSIDX"
+	chunksMagic     = "CEEMSCHK"
+	blockDirVersion = 1
+
+	// MetaFilename, IndexFilename and ChunksFilename are the three files of
+	// a block directory. meta.json is written last and is the commit point.
+	MetaFilename   = "meta.json"
+	IndexFilename  = "index"
+	ChunksFilename = "chunks"
+
+	tmpDirSuffix = ".tmp"
+)
+
+// BlockStats summarizes a block's contents, recorded in meta.json.
+type BlockStats struct {
+	NumSeries  int `json:"numSeries"`
+	NumChunks  int `json:"numChunks"`
+	NumSamples int `json:"numSamples"`
+}
+
+// BlockMeta is the meta.json payload of a block directory.
+type BlockMeta struct {
+	// Version of the block-dir format (blockDirVersion).
+	Version int `json:"version"`
+	// ULID is the block's unique id — also its directory name.
+	ULID string `json:"ulid"`
+	// MinTime and MaxTime are the inclusive sample-time bounds, Unix ms.
+	MinTime int64 `json:"minTime"`
+	MaxTime int64 `json:"maxTime"`
+	// Level counts compaction generations: 1 for a freshly cut block,
+	// max(inputs)+1 after each compaction.
+	Level int `json:"level"`
+	// Resolution is the downsampling bucket width in ms; 0 means raw.
+	Resolution int64 `json:"resolution"`
+	// Sources names the ULIDs this block was compacted or downsampled from.
+	Sources []string   `json:"sources,omitempty"`
+	Stats   BlockStats `json:"stats"`
+}
+
+// diskChunk is one chunk's index entry. payload is set while writing;
+// off/length locate the chunk in the chunks file when reading.
+type diskChunk struct {
+	aggr       AggrType
+	minT, maxT int64
+	numSamples int
+	payload    []byte
+	off        uint64
+	length     uint64
+}
+
+// diskSeries is one series of a block: its labels plus chunk entries in
+// time order (grouped by aggregate type for downsampled blocks).
+type diskSeries struct {
+	lset   labels.Labels
+	chunks []diskChunk
+}
+
+var blockSeq atomic.Uint64
+
+// newBlockULID returns a unique block id: wall-clock prefix for rough
+// time-sortability, a process-local sequence and random bytes so concurrent
+// writers (or a restarted process re-cutting the same range) never collide.
+func newBlockULID() string {
+	var rnd [4]byte
+	rand.Read(rnd[:])
+	return fmt.Sprintf("%016x-%04x-%08x", uint64(time.Now().UnixNano()), blockSeq.Add(1)&0xffff, binary.BigEndian.Uint32(rnd[:]))
+}
+
+// IsTmpBlockDir reports whether name is an aborted block write (sweep target).
+func IsTmpBlockDir(name string) bool {
+	return filepath.Ext(name) == tmpDirSuffix
+}
+
+// fillStats recomputes meta.Stats from the series set.
+func fillStats(meta *BlockMeta, series []diskSeries) {
+	st := BlockStats{NumSeries: len(series)}
+	for i := range series {
+		st.NumChunks += len(series[i].chunks)
+		for _, c := range series[i].chunks {
+			st.NumSamples += c.numSamples
+		}
+	}
+	meta.Stats = st
+}
+
+// encodeChunksStream writes the chunks file body to w and fills in each
+// chunk's off/length. The caller has already decided the series order;
+// chunks are laid out series-major in index order.
+func encodeChunksStream(series []diskSeries, w *bufio.Writer) error {
+	if _, err := w.WriteString(chunksMagic); err != nil {
+		return err
+	}
+	if err := w.WriteByte(blockDirVersion); err != nil {
+		return err
+	}
+	off := uint64(len(chunksMagic) + 1)
+	var hdr [4]byte
+	var vb [binary.MaxVarintLen64]byte
+	for si := range series {
+		for ci := range series[si].chunks {
+			c := &series[si].chunks[ci]
+			c.off = off
+			binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(c.payload, walCRC))
+			if _, err := w.Write(hdr[:]); err != nil {
+				return err
+			}
+			n := binary.PutUvarint(vb[:], uint64(len(c.payload)))
+			if _, err := w.Write(vb[:n]); err != nil {
+				return err
+			}
+			if _, err := w.Write(c.payload); err != nil {
+				return err
+			}
+			c.length = uint64(4 + n + len(c.payload))
+			off += c.length
+		}
+	}
+	return nil
+}
+
+// encodeIndex renders the index file (including trailing CRC) into a buffer.
+// Chunk offsets must already be filled in by encodeChunksStream.
+func encodeIndex(series []diskSeries) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(indexMagic)
+	buf.WriteByte(blockDirVersion)
+	var vb [binary.MaxVarintLen64]byte
+	putU := func(u uint64) {
+		n := binary.PutUvarint(vb[:], u)
+		buf.Write(vb[:n])
+	}
+	putI := func(i int64) {
+		n := binary.PutVarint(vb[:], i)
+		buf.Write(vb[:n])
+	}
+	putStr := func(s string) {
+		putU(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putU(uint64(len(series)))
+	for i := range series {
+		s := &series[i]
+		putU(uint64(len(s.lset)))
+		for _, l := range s.lset {
+			putStr(l.Name)
+			putStr(l.Value)
+		}
+		putU(uint64(len(s.chunks)))
+		for _, c := range s.chunks {
+			buf.WriteByte(byte(c.aggr))
+			putI(c.minT)
+			putI(c.maxT)
+			putU(c.off)
+			putU(c.length)
+			putU(uint64(c.numSamples))
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes(), walCRC))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+// decodeIndex parses an index file, verifying magic, version and CRC.
+func decodeIndex(data []byte) ([]diskSeries, error) {
+	hdr := len(indexMagic) + 1
+	if len(data) < hdr+4 {
+		return nil, fmt.Errorf("tsdb: index truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(indexMagic)]) != indexMagic {
+		return nil, fmt.Errorf("tsdb: bad index magic %q", data[:len(indexMagic)])
+	}
+	if data[len(indexMagic)] != blockDirVersion {
+		return nil, fmt.Errorf("tsdb: unsupported index version %d", data[len(indexMagic)])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, walCRC), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("tsdb: index crc mismatch (got %08x want %08x)", got, want)
+	}
+	r := bytes.NewReader(body[hdr:])
+	getU := func() (uint64, error) { return binary.ReadUvarint(r) }
+	getI := func() (int64, error) { return binary.ReadVarint(r) }
+	getStr := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(r.Len()) {
+			return "", fmt.Errorf("tsdb: index string length %d exceeds remainder", n)
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	nSeries, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	series := make([]diskSeries, 0, nSeries)
+	for i := uint64(0); i < nSeries; i++ {
+		var s diskSeries
+		nLabels, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		s.lset = make(labels.Labels, 0, nLabels)
+		for j := uint64(0); j < nLabels; j++ {
+			name, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			value, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			s.lset = append(s.lset, labels.Label{Name: name, Value: value})
+		}
+		nChunks, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		s.chunks = make([]diskChunk, 0, nChunks)
+		for j := uint64(0); j < nChunks; j++ {
+			var c diskChunk
+			ab, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			c.aggr = AggrType(ab)
+			if c.minT, err = getI(); err != nil {
+				return nil, err
+			}
+			if c.maxT, err = getI(); err != nil {
+				return nil, err
+			}
+			if c.off, err = getU(); err != nil {
+				return nil, err
+			}
+			if c.length, err = getU(); err != nil {
+				return nil, err
+			}
+			ns, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			c.numSamples = int(ns)
+			s.chunks = append(s.chunks, c)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// writeBlockDir persists a block directory under parent following the
+// crash-safety contract in the package comment (tmp dir → per-file fsync →
+// dir fsync → rename → parent fsync) and returns the final path. meta.ULID
+// is assigned when empty; meta.Version and meta.Stats are always filled.
+func writeBlockDir(parent string, meta *BlockMeta, series []diskSeries) (dir string, err error) {
+	if meta.ULID == "" {
+		meta.ULID = newBlockULID()
+	}
+	meta.Version = blockDirVersion
+	fillStats(meta, series)
+	final := filepath.Join(parent, meta.ULID)
+	tmp := final + tmpDirSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(tmp)
+		}
+	}()
+	if err := writeFileDurably(filepath.Join(tmp, ChunksFilename), func(w *bufio.Writer) error {
+		return encodeChunksStream(series, w)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFileDurably(filepath.Join(tmp, IndexFilename), func(w *bufio.Writer) error {
+		_, werr := w.Write(encodeIndex(series))
+		return werr
+	}); err != nil {
+		return "", err
+	}
+	mj, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := writeFileDurably(filepath.Join(tmp, MetaFilename), func(w *bufio.Writer) error {
+		_, werr := w.Write(mj)
+		return werr
+	}); err != nil {
+		return "", err
+	}
+	if err := syncDir(tmp); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if err := syncDir(parent); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// readBlockMeta loads and validates a block directory's meta.json.
+func readBlockMeta(dir string) (BlockMeta, error) {
+	var meta BlockMeta
+	data, err := os.ReadFile(filepath.Join(dir, MetaFilename))
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return meta, fmt.Errorf("tsdb: %s: %w", filepath.Join(dir, MetaFilename), err)
+	}
+	if meta.Version != blockDirVersion {
+		return meta, fmt.Errorf("tsdb: %s: unsupported block version %d", dir, meta.Version)
+	}
+	return meta, nil
+}

@@ -1,0 +1,544 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+)
+
+func blockSeedDB(t *testing.T, shards, nSeries, nSamples int, startMs, stepMs int64) *DB {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Shards = shards
+	db := MustOpen(opts)
+	for i := 0; i < nSeries; i++ {
+		ls := labels.FromStrings(labels.MetricName, "blk", "s", fmt.Sprintf("%03d", i))
+		for j := 0; j < nSamples; j++ {
+			if err := db.Append(ls, startMs+int64(j)*stepMs, float64(i*10_000+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// TestBlockDirRoundTrip: a block cut straight to a directory and reopened
+// must serve exactly what the head serves, and the in-memory assembly
+// (parent == "") must be indistinguishable from the mmap'd read path.
+func TestBlockDirRoundTrip(t *testing.T) {
+	db := blockSeedDB(t, 4, 20, 300, 0, 15_000)
+	want, err := db.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	pb, err := db.CutPersistentBlock(dir, -1<<60, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Meta().Level != 1 || pb.Meta().Resolution != 0 {
+		t.Fatalf("meta = %+v, want level 1 raw", pb.Meta())
+	}
+	if pb.Meta().Stats.NumSeries != 20 || pb.Meta().Stats.NumSamples != 20*300 {
+		t.Fatalf("stats = %+v", pb.Meta().Stats)
+	}
+	got, err := pb.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, got, want, "disk block vs head")
+
+	// Reopen from disk (fresh mmap) and compare again.
+	re, err := OpenBlockDir(pb.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got2, err := re.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, got2, want, "reopened block vs head")
+
+	// In-memory assembly must match too.
+	mem, err := db.CutPersistentBlock("", -1<<60, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, err := mem.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, got3, want, "mem block vs head")
+
+	// Sub-range reads must clip chunk-internally.
+	sub, err := pb.Select(1_000_000, 2_000_000, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub, _ := db.Select(1_000_000, 2_000_000, matchAll())
+	assertSeriesEqual(t, sub, wantSub, "sub-range")
+	if err := pb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockDirCorruptionDetected: any flipped byte in the index or chunk
+// segment must surface as an error — never as silently wrong samples.
+func TestBlockDirCorruptionDetected(t *testing.T) {
+	db := blockSeedDB(t, 1, 4, 200, 0, 1000)
+	dir := t.TempDir()
+	pb, err := db.CutPersistentBlock(dir, -1<<60, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockDir := pb.Dir()
+	pb.Close()
+
+	corrupt := func(t *testing.T, file string, flip func(data []byte) []byte) string {
+		t.Helper()
+		scratch := t.TempDir()
+		cp := filepath.Join(scratch, filepath.Base(blockDir))
+		if err := os.MkdirAll(cp, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{MetaFilename, IndexFilename, ChunksFilename} {
+			data, err := os.ReadFile(filepath.Join(blockDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == file {
+				data = flip(data)
+			}
+			if err := os.WriteFile(filepath.Join(cp, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cp
+	}
+
+	t.Run("index bit flip", func(t *testing.T) {
+		cp := corrupt(t, IndexFilename, func(d []byte) []byte {
+			d[len(d)/2] ^= 0x10
+			return d
+		})
+		if _, err := OpenBlockDir(cp); err == nil {
+			t.Fatal("corrupt index opened cleanly")
+		}
+	})
+	t.Run("index truncated", func(t *testing.T) {
+		cp := corrupt(t, IndexFilename, func(d []byte) []byte { return d[:len(d)/2] })
+		if _, err := OpenBlockDir(cp); err == nil {
+			t.Fatal("truncated index opened cleanly")
+		}
+	})
+	t.Run("chunk bit flip fails the read", func(t *testing.T) {
+		cp := corrupt(t, ChunksFilename, func(d []byte) []byte {
+			d[len(d)/2] ^= 0x10
+			return d
+		})
+		b, err := OpenBlockDir(cp)
+		if err != nil {
+			return // header landed on the flip: also acceptable
+		}
+		defer b.Close()
+		if _, err := b.Select(-1<<60, 1<<60, matchAll()); err == nil {
+			t.Fatal("flipped chunk byte served samples")
+		}
+	})
+	t.Run("chunks truncated", func(t *testing.T) {
+		cp := corrupt(t, ChunksFilename, func(d []byte) []byte { return d[:len(d)*2/3] })
+		b, err := OpenBlockDir(cp)
+		if err != nil {
+			return
+		}
+		defer b.Close()
+		if _, err := b.Select(-1<<60, 1<<60, matchAll()); err == nil {
+			t.Fatal("truncated chunks served samples")
+		}
+	})
+	t.Run("meta garbage", func(t *testing.T) {
+		cp := corrupt(t, MetaFilename, func(d []byte) []byte { return []byte("{") })
+		if _, err := OpenBlockDir(cp); err == nil {
+			t.Fatal("garbage meta opened cleanly")
+		}
+	})
+}
+
+// TestParallelCutMatchesSelect: the per-shard parallel CutBlock must be
+// sample-identical to Select for any shard count, including with
+// out-of-order data in flight and boundary chunks that need re-encoding.
+func TestParallelCutMatchesSelect(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Shards = shards
+			opts.OutOfOrderWindow = 60_000
+			opts.MaxSamplesPerChunk = 50
+			db := MustOpen(opts)
+			rng := rand.New(rand.NewSource(0xB10C + int64(shards)))
+			for i := 0; i < 30; i++ {
+				ls := labels.FromStrings(labels.MetricName, "cutpar", "s", fmt.Sprintf("%02d", i))
+				ts := int64(0)
+				for j := 0; j < 400; j++ {
+					ts += int64(rng.Intn(2000)) + 1
+					at := ts
+					if j > 10 && rng.Intn(4) == 0 {
+						at -= int64(rng.Intn(50_000)) // in-window backfill
+					}
+					db.Append(ls, at, rng.NormFloat64())
+				}
+			}
+			for _, bounds := range [][2]int64{{-1 << 60, 1 << 60}, {100_000, 300_000}, {0, 0}} {
+				mint, maxt := bounds[0], bounds[1]
+				want, err := db.Select(mint, maxt, matchAll())
+				if err != nil {
+					t.Fatal(err)
+				}
+				blk, err := db.CutBlock(mint, maxt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := blk.Select(mint, maxt, matchAll())
+				assertSeriesEqual(t, got, want, fmt.Sprintf("cut [%d,%d]", mint, maxt))
+			}
+		})
+	}
+}
+
+// cutMem cuts the whole head into an in-memory persistent block.
+func cutMem(t *testing.T, db *DB) *PersistentBlock {
+	t.Helper()
+	pb, err := db.CutPersistentBlock("", -1<<60, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+// TestCompactPersistentBlocks: merging overlapping blocks dedups on
+// timestamp with the earliest block winning, raises the level, records the
+// sources, and applies tombstones.
+func TestCompactPersistentBlocks(t *testing.T) {
+	mk := func(series string, vals map[int64]float64) *PersistentBlock {
+		opts := DefaultOptions()
+		opts.OutOfOrderWindow = 1 << 50
+		db := MustOpen(opts)
+		ls := labels.FromStrings(labels.MetricName, "cmp", "s", series)
+		ts := make([]int64, 0, len(vals))
+		for k := range vals {
+			ts = append(ts, k)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for _, k := range ts {
+			if err := db.Append(ls, k, vals[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cutMem(t, db)
+	}
+
+	b1 := mk("a", map[int64]float64{1000: 1, 2000: 2, 3000: 3})
+	b2 := mk("a", map[int64]float64{3000: 99, 4000: 4}) // 3000 collides; b1 wins
+	b3 := mk("b", map[int64]float64{1500: 7})
+
+	nb, err := CompactPersistentBlocks("", []*PersistentBlock{b1, b2, b3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := nb.Meta()
+	if meta.Level != 2 {
+		t.Errorf("level = %d, want 2", meta.Level)
+	}
+	if len(meta.Sources) != 3 {
+		t.Errorf("sources = %v", meta.Sources)
+	}
+	if meta.MinTime != 1000 || meta.MaxTime != 4000 {
+		t.Errorf("bounds = [%d,%d]", meta.MinTime, meta.MaxTime)
+	}
+	got, err := nb.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("series = %d, want 2", len(got))
+	}
+	wantA := []model.Sample{{T: 1000, V: 1}, {T: 2000, V: 2}, {T: 3000, V: 3}, {T: 4000, V: 4}}
+	if !reflect.DeepEqual(got[0].Samples, wantA) {
+		t.Errorf("merged a = %+v", got[0].Samples)
+	}
+
+	// Tombstones drop whole series during the merge.
+	tombs := []TombstoneRec{{Seq: 1, Matchers: []*labels.Matcher{
+		labels.MustMatcher(labels.MatchEqual, "s", "a"),
+	}}}
+	nb2, err := CompactPersistentBlocks("", []*PersistentBlock{b1, b2, b3}, tombs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := nb2.Select(-1<<60, 1<<60, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 || got2[0].Labels.Get("s") != "b" {
+		t.Fatalf("tombstoned compact kept %d series", len(got2))
+	}
+
+	// Mixed resolutions must refuse.
+	ds, err := DownsamplePersistentBlock("", b1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactPersistentBlocks("", []*PersistentBlock{b1, ds}, nil); err == nil {
+		t.Fatal("mixed-resolution compact accepted")
+	}
+}
+
+// rawBuckets computes the expected aggregate streams from raw samples — an
+// independent oracle for the downsampling property (stale markers dropped,
+// buckets aligned to floor(t/res)).
+func rawBuckets(raw []model.Sample, res int64) map[AggrType][]model.Sample {
+	type agg struct {
+		sum, min, max, count float64
+	}
+	buckets := map[int64]*agg{}
+	var starts []int64
+	for _, s := range raw {
+		if model.IsStaleNaN(s.V) {
+			continue
+		}
+		bs := floorDiv(s.T, res) * res
+		a, ok := buckets[bs]
+		if !ok {
+			a = &agg{min: math.Inf(1), max: math.Inf(-1)}
+			buckets[bs] = a
+			starts = append(starts, bs)
+		}
+		a.sum += s.V
+		a.count++
+		a.min = math.Min(a.min, s.V)
+		a.max = math.Max(a.max, s.V)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := map[AggrType][]model.Sample{}
+	for _, bs := range starts {
+		a := buckets[bs]
+		et := bs + res - 1
+		out[AggrSum] = append(out[AggrSum], model.Sample{T: et, V: a.sum})
+		out[AggrCount] = append(out[AggrCount], model.Sample{T: et, V: a.count})
+		out[AggrMin] = append(out[AggrMin], model.Sample{T: et, V: a.min})
+		out[AggrMax] = append(out[AggrMax], model.Sample{T: et, V: a.max})
+	}
+	return out
+}
+
+// aggrBuckets rebuckets already-downsampled aggregate streams to a coarser
+// resolution: sums of sums, sums of counts, min of mins, max of maxes, in
+// timestamp order — the oracle for aggregates-of-aggregates.
+func aggrBuckets(fine map[AggrType][]model.Sample, res int64) map[AggrType][]model.Sample {
+	fold := map[AggrType]func(a, b float64) float64{
+		AggrSum:   func(a, b float64) float64 { return a + b },
+		AggrCount: func(a, b float64) float64 { return a + b },
+		AggrMin:   math.Min,
+		AggrMax:   math.Max,
+	}
+	out := map[AggrType][]model.Sample{}
+	for aggr, pts := range fine {
+		var cur []model.Sample
+		for _, p := range pts {
+			et := floorDiv(p.T, res)*res + res - 1
+			if n := len(cur); n > 0 && cur[n-1].T == et {
+				cur[n-1].V = fold[aggr](cur[n-1].V, p.V)
+			} else {
+				cur = append(cur, model.Sample{T: et, V: p.V})
+			}
+		}
+		out[aggr] = cur
+	}
+	return out
+}
+
+// TestDownsamplePropertyRandom is the downsampling correctness property:
+// across random series shapes — uneven scrape intervals, counter resets,
+// staleness markers, negative values — the sum/count/min/max streams of a
+// downsampled block must exactly equal an independent per-bucket
+// computation over the raw samples, the derived avg stream must equal
+// sum/count, and downsampling in two hops (raw → fine → coarse) must
+// exactly equal rebucketing the fine aggregates (count/min/max therefore
+// match one hop bit-exactly; sum and avg match up to float associativity).
+func TestDownsamplePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD0D5))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			fine := int64(10_000 * (1 + rng.Intn(5))) // 10-50s buckets
+			coarse := fine * int64(2+rng.Intn(5))     // 2-6x coarser
+			opts := DefaultOptions()
+			opts.MaxSamplesPerChunk = 1 + rng.Intn(40) // stress chunk splits
+			db := MustOpen(opts)
+			nSeries := 1 + rng.Intn(5)
+			rawByKey := map[string][]model.Sample{}
+			for i := 0; i < nSeries; i++ {
+				ls := labels.FromStrings(labels.MetricName, "prop", "s", fmt.Sprintf("%d", i))
+				ts := int64(rng.Intn(5000)) - 2500 // may start negative
+				val := 0.0
+				n := 50 + rng.Intn(400)
+				for j := 0; j < n; j++ {
+					ts += int64(rng.Intn(20_000)) + 1 // uneven intervals, gaps
+					var v float64
+					switch rng.Intn(10) {
+					case 0:
+						v = model.StaleNaN() // staleness marker
+					case 1:
+						val = 0 // counter reset
+						v = val
+					default:
+						val += rng.Float64()*10 - 2 // may go negative
+						v = val
+					}
+					if err := db.Append(ls, ts, v); err != nil {
+						t.Fatal(err)
+					}
+					rawByKey[ls.String()] = append(rawByKey[ls.String()], model.Sample{T: ts, V: v})
+				}
+			}
+			raw := cutMem(t, db)
+
+			oneHop, err := DownsamplePersistentBlock("", raw, coarse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fineB, err := DownsamplePersistentBlock("", raw, fine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twoHop, err := DownsamplePersistentBlock("", fineB, coarse)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(b *PersistentBlock, what string, oracle func(key string) map[AggrType][]model.Sample) {
+				for _, aggr := range []AggrType{AggrSum, AggrCount, AggrMin, AggrMax} {
+					got, err := b.SelectAggr(-1<<60, 1<<60, 0, aggr, matchAll())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, sr := range got {
+						want := oracle(sr.Labels.String())[aggr]
+						if !reflect.DeepEqual(sr.Samples, want) {
+							t.Fatalf("%s %v %s: got %d pts, want %d (first diff around %+v vs %+v)",
+								what, aggr, sr.Labels, len(sr.Samples), len(want), head(sr.Samples), head(want))
+						}
+					}
+				}
+				// Derived avg = sum/count, pointwise.
+				avg, err := b.SelectAggr(-1<<60, 1<<60, 0, AggrAvg, matchAll())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, sr := range avg {
+					bk := oracle(sr.Labels.String())
+					sum, cnt := bk[AggrSum], bk[AggrCount]
+					if len(sr.Samples) != len(sum) {
+						t.Fatalf("%s avg %s: %d pts, want %d", what, sr.Labels, len(sr.Samples), len(sum))
+					}
+					for i, smp := range sr.Samples {
+						if want := sum[i].V / cnt[i].V; smp.V != want || smp.T != sum[i].T {
+							t.Fatalf("%s avg %s[%d] = (%d,%g), want (%d,%g)",
+								what, sr.Labels, i, smp.T, smp.V, sum[i].T, want)
+						}
+					}
+				}
+			}
+			check(oneHop, "one-hop", func(k string) map[AggrType][]model.Sample {
+				return rawBuckets(rawByKey[k], coarse)
+			})
+			check(fineB, "fine", func(k string) map[AggrType][]model.Sample {
+				return rawBuckets(rawByKey[k], fine)
+			})
+			check(twoHop, "two-hop", func(k string) map[AggrType][]model.Sample {
+				return aggrBuckets(rawBuckets(rawByKey[k], fine), coarse)
+			})
+
+			// Two-hop equals one-hop: bit-exact for count/min/max, up to
+			// float associativity for sum (and thus avg).
+			for _, aggr := range []AggrType{AggrSum, AggrCount, AggrMin, AggrMax, AggrAvg} {
+				a, err := oneHop.SelectAggr(-1<<60, 1<<60, 0, aggr, matchAll())
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := twoHop.SelectAggr(-1<<60, 1<<60, 0, aggr, matchAll())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("aggr %v: series count %d vs %d", aggr, len(a), len(b))
+				}
+				approx := aggr == AggrSum || aggr == AggrAvg
+				for i := range a {
+					if !a[i].Labels.Equal(b[i].Labels) || len(a[i].Samples) != len(b[i].Samples) {
+						t.Fatalf("aggr %v %s: shape mismatch", aggr, a[i].Labels)
+					}
+					for j := range a[i].Samples {
+						x, y := a[i].Samples[j], b[i].Samples[j]
+						if x.T != y.T {
+							t.Fatalf("aggr %v %s[%d]: t %d vs %d", aggr, a[i].Labels, j, x.T, y.T)
+						}
+						if x.V == y.V {
+							continue
+						}
+						if !approx || math.Abs(x.V-y.V) > 1e-9*math.Max(math.Abs(x.V), math.Abs(y.V)) {
+							t.Fatalf("aggr %v %s[%d]: v %g vs %g", aggr, a[i].Labels, j, x.V, y.V)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func head(s []model.Sample) []model.Sample {
+	if len(s) > 3 {
+		return s[:3]
+	}
+	return s
+}
+
+// TestDownsampleStaleOnlySeries: a series holding nothing but staleness
+// markers must vanish from the downsampled block entirely.
+func TestDownsampleStaleOnlySeries(t *testing.T) {
+	db := MustOpen(DefaultOptions())
+	live := labels.FromStrings(labels.MetricName, "ds", "s", "live")
+	stale := labels.FromStrings(labels.MetricName, "ds", "s", "stale")
+	for i := int64(0); i < 10; i++ {
+		if err := db.Append(live, i*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(stale, i*1000, model.StaleNaN()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := DownsamplePersistentBlock("", cutMem(t, db), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.SelectAggr(-1<<60, 1<<60, 0, AggrCount, matchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Labels.Get("s") != "live" {
+		t.Fatalf("stale-only series survived downsampling: %d series", len(got))
+	}
+}

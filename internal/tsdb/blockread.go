@@ -1,0 +1,398 @@
+package tsdb
+
+// Read path for on-disk block directories (format: blockdir.go).
+//
+// OpenBlockDir validates meta.json and the index CRC eagerly, mmaps the
+// chunk segment, and returns a PersistentBlock whose chunks decode lazily
+// per query — a Select touches only the chunks whose time bounds intersect
+// the window, and a CRC failure there surfaces as an error, never as
+// silently wrong samples. PersistentBlock handles are reference-counted
+// (Retain/Release): Close marks the block dead but the munmap is deferred
+// until the last in-flight reader releases, which is what lets the store's
+// compactor retire source blocks while queries still hold them.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/labels"
+	"repro/internal/model"
+	"repro/internal/tsdb/chunkenc"
+)
+
+// PersistentBlock is a read handle on one block directory: the parsed index
+// resident in memory, the chunk segment mmap'd (or heap-resident for
+// store-less in-memory blocks). Chunks are decoded lazily per query via
+// chunkenc.FromBytesNoCopy, so a Select touches only the pages of the
+// chunks it actually reads.
+//
+// All methods are safe for concurrent use. A reader that may race Close
+// (the compactor retires source blocks while queries are in flight) brackets
+// its reads with Retain/Release; Close defers the munmap until the last
+// retainer releases, so a mapped chunk slice can never be yanked mid-decode.
+type PersistentBlock struct {
+	dir    string // "" for in-memory blocks
+	meta   BlockMeta
+	series []diskSeries // sorted by labels; payloads nil, off/length set
+	chunks []byte       // mmap'd (or in-memory) chunks file
+
+	lifeMu sync.Mutex
+	refs   int
+	closed bool
+	munmap func() error
+}
+
+// OpenBlockDir opens a block directory written by writeBlockDir, validating
+// meta.json, the index magic/version/CRC and the chunks file header.
+// Per-chunk CRCs are verified lazily on decode.
+func OpenBlockDir(dir string) (*PersistentBlock, error) {
+	meta, err := readBlockMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, IndexFilename))
+	if err != nil {
+		return nil, err
+	}
+	series, err := decodeIndex(idx)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %s: %w", dir, err)
+	}
+	data, munmap, err := mmapFile(filepath.Join(dir, ChunksFilename))
+	if err != nil {
+		return nil, err
+	}
+	hdr := len(chunksMagic) + 1
+	if len(data) < hdr || string(data[:len(chunksMagic)]) != chunksMagic || data[len(chunksMagic)] != blockDirVersion {
+		munmap()
+		return nil, fmt.Errorf("tsdb: %s: bad chunks header", dir)
+	}
+	return &PersistentBlock{dir: dir, meta: meta, series: series, chunks: data, munmap: munmap}, nil
+}
+
+// newMemPersistentBlock assembles a PersistentBlock entirely in memory —
+// the store-less (dir == "") path used by tests and the in-process cluster
+// sim. The chunk payloads are laid out in one buffer exactly as the chunks
+// file would be, so read paths are identical to the mmap case.
+func newMemPersistentBlock(meta *BlockMeta, series []diskSeries) (*PersistentBlock, error) {
+	if meta.ULID == "" {
+		meta.ULID = newBlockULID()
+	}
+	meta.Version = blockDirVersion
+	fillStats(meta, series)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := encodeChunksStream(series, w); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	for i := range series {
+		for j := range series[i].chunks {
+			series[i].chunks[j].payload = nil
+		}
+	}
+	return &PersistentBlock{meta: *meta, series: series, chunks: buf.Bytes(), munmap: func() error { return nil }}, nil
+}
+
+// Meta returns the block's metadata.
+func (pb *PersistentBlock) Meta() BlockMeta { return pb.meta }
+
+// Dir returns the block's directory path ("" for in-memory blocks).
+func (pb *PersistentBlock) Dir() string { return pb.dir }
+
+// MinTime returns the block's inclusive minimum sample time.
+func (pb *PersistentBlock) MinTime() int64 { return pb.meta.MinTime }
+
+// MaxTime returns the block's inclusive maximum sample time.
+func (pb *PersistentBlock) MaxTime() int64 { return pb.meta.MaxTime }
+
+// NumSamples returns the total raw-equivalent sample count (for raw blocks,
+// the stored samples; for downsampled blocks, the stored aggregate points).
+func (pb *PersistentBlock) NumSamples() int { return pb.meta.Stats.NumSamples }
+
+// Retain marks a reader active, blocking the munmap until Release. It
+// reports false when the block is already closed (the caller must skip it).
+func (pb *PersistentBlock) Retain() bool {
+	pb.lifeMu.Lock()
+	defer pb.lifeMu.Unlock()
+	if pb.closed {
+		return false
+	}
+	pb.refs++
+	return true
+}
+
+// Release ends a Retain; the last release after Close performs the munmap.
+func (pb *PersistentBlock) Release() {
+	pb.lifeMu.Lock()
+	pb.refs--
+	var m func() error
+	if pb.closed && pb.refs == 0 {
+		m, pb.munmap = pb.munmap, nil
+	}
+	pb.lifeMu.Unlock()
+	if m != nil {
+		m()
+	}
+}
+
+// Close marks the block dead and releases the chunk mapping — immediately
+// when no reader holds a Retain, otherwise on the last Release.
+func (pb *PersistentBlock) Close() error {
+	pb.lifeMu.Lock()
+	pb.closed = true
+	var m func() error
+	if pb.refs == 0 {
+		m, pb.munmap = pb.munmap, nil
+	}
+	pb.lifeMu.Unlock()
+	if m != nil {
+		return m()
+	}
+	return nil
+}
+
+// decodeChunk extracts and validates one chunk from the segment.
+func (pb *PersistentBlock) decodeChunk(c diskChunk) (*chunkenc.Chunk, error) {
+	end := c.off + c.length
+	if c.off < uint64(len(chunksMagic)+1) || end > uint64(len(pb.chunks)) || c.length < 5 {
+		return nil, fmt.Errorf("tsdb: block %s: chunk ref out of bounds (off=%d len=%d segment=%d)", pb.meta.ULID, c.off, c.length, len(pb.chunks))
+	}
+	rec := pb.chunks[c.off:end]
+	want := binary.LittleEndian.Uint32(rec[:4])
+	plen, n := binary.Uvarint(rec[4:])
+	if n <= 0 || uint64(4+n)+plen != c.length {
+		return nil, fmt.Errorf("tsdb: block %s: chunk length mismatch at off=%d", pb.meta.ULID, c.off)
+	}
+	payload := rec[4+n:]
+	if got := crc32.Checksum(payload, walCRC); got != want {
+		return nil, fmt.Errorf("tsdb: block %s: chunk crc mismatch at off=%d (got %08x want %08x)", pb.meta.ULID, c.off, got, want)
+	}
+	return chunkenc.FromBytesNoCopy(payload)
+}
+
+// appendChunkRange decodes the samples of c in [mint, maxt] onto dst.
+func (pb *PersistentBlock) appendChunkRange(dst []model.Sample, c diskChunk, mint, maxt int64) ([]model.Sample, error) {
+	ch, err := pb.decodeChunk(c)
+	if err != nil {
+		return dst, err
+	}
+	it := ch.Iterator()
+	for it.Next() {
+		t, v := it.At()
+		if t < mint {
+			continue
+		}
+		if t > maxt {
+			break
+		}
+		dst = append(dst, model.Sample{T: t, V: v})
+	}
+	return dst, it.Err()
+}
+
+// seriesSamples decodes one series' samples in [mint, maxt] for the
+// requested aggregate. Raw blocks serve raw samples whatever was asked
+// (raw is exact for every aggregate). On downsampled blocks AggrAvg — and
+// AggrRaw, for callers that don't know the block is downsampled — derives
+// sum/count; other aggregates decode their stored stream.
+func (pb *PersistentBlock) seriesSamples(s *diskSeries, mint, maxt int64, aggr AggrType) ([]model.Sample, error) {
+	pick := func(want AggrType) ([]model.Sample, error) {
+		var out []model.Sample
+		var err error
+		for _, c := range s.chunks {
+			if c.aggr != want || c.maxT < mint || c.minT > maxt {
+				continue
+			}
+			if out, err = pb.appendChunkRange(out, c, mint, maxt); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if pb.meta.Resolution == 0 {
+		return pick(AggrRaw)
+	}
+	switch aggr {
+	case AggrSum, AggrCount, AggrMin, AggrMax:
+		return pick(aggr)
+	default: // AggrAvg and AggrRaw: derived average, the documented representative value
+		sums, err := pick(AggrSum)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := pick(AggrCount)
+		if err != nil {
+			return nil, err
+		}
+		if len(sums) != len(counts) {
+			return nil, fmt.Errorf("tsdb: block %s: sum/count streams disagree (%d vs %d points)", pb.meta.ULID, len(sums), len(counts))
+		}
+		out := sums[:0]
+		for i := range sums {
+			if sums[i].T != counts[i].T || counts[i].V == 0 {
+				return nil, fmt.Errorf("tsdb: block %s: sum/count streams misaligned at %d", pb.meta.ULID, sums[i].T)
+			}
+			out = append(out, model.Sample{T: sums[i].T, V: sums[i].V / counts[i].V})
+		}
+		return out, nil
+	}
+}
+
+// SelectAggr returns the block's series overlapping [mint, maxt] that
+// satisfy the matchers, decoded for the requested aggregate (see
+// seriesSamples for the raw/downsampled semantics). When limit > 0 the
+// decode aborts with model.ErrSampleLimit as soon as more than limit
+// samples have been copied.
+func (pb *PersistentBlock) SelectAggr(mint, maxt, limit int64, aggr AggrType, ms ...*labels.Matcher) ([]model.Series, error) {
+	var out []model.Series
+	var copied int64
+	for i := range pb.series {
+		s := &pb.series[i]
+		if !labels.MatchLabels(s.lset, ms...) {
+			continue
+		}
+		samples, err := pb.seriesSamples(s, mint, maxt, aggr)
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		copied += int64(len(samples))
+		if limit > 0 && copied > limit {
+			return nil, model.ErrSampleLimit
+		}
+		out = append(out, model.Series{Labels: s.lset, Samples: samples})
+	}
+	return out, nil
+}
+
+// Select is SelectAggr for raw consumers (promql.Queryable shape).
+func (pb *PersistentBlock) Select(mint, maxt int64, ms ...*labels.Matcher) ([]model.Series, error) {
+	return pb.SelectAggr(mint, maxt, 0, AggrRaw, ms...)
+}
+
+// LabelSets iterates the block's series label sets in index (sorted) order.
+func (pb *PersistentBlock) LabelSets(f func(labels.Labels)) {
+	for i := range pb.series {
+		f(pb.series[i].lset)
+	}
+}
+
+// aggrSeries is one series' per-aggregate sample streams, the working
+// representation of compaction and downsampling. Raw data lives under
+// AggrRaw; downsampled data under AggrSum..AggrMax.
+type aggrSeries struct {
+	lset    labels.Labels
+	streams map[AggrType][]model.Sample
+}
+
+// storedAggrs lists the aggregate streams a block of the given resolution
+// stores.
+func storedAggrs(resolution int64) []AggrType {
+	if resolution == 0 {
+		return []AggrType{AggrRaw}
+	}
+	return []AggrType{AggrSum, AggrCount, AggrMin, AggrMax}
+}
+
+// allAggrSeries decodes the whole block into per-aggregate streams, in
+// index (label-sorted) order — the input shape for compaction and
+// downsampling.
+func (pb *PersistentBlock) allAggrSeries() ([]aggrSeries, error) {
+	aggrs := storedAggrs(pb.meta.Resolution)
+	out := make([]aggrSeries, 0, len(pb.series))
+	for i := range pb.series {
+		s := &pb.series[i]
+		as := aggrSeries{lset: s.lset, streams: make(map[AggrType][]model.Sample, len(aggrs))}
+		for _, a := range aggrs {
+			var stream []model.Sample
+			var err error
+			for _, c := range s.chunks {
+				if c.aggr != a {
+					continue
+				}
+				if stream, err = pb.appendChunkRange(stream, c, c.minT, c.maxT); err != nil {
+					return nil, err
+				}
+			}
+			as.streams[a] = stream
+		}
+		out = append(out, as)
+	}
+	return out, nil
+}
+
+// diskSeriesFromAggr re-encodes per-aggregate streams into index entries,
+// splitting chunks at maxPerChunk samples. Streams must be sorted by
+// timestamp with strictly increasing timestamps per stream.
+func diskSeriesFromAggr(in []aggrSeries, maxPerChunk int) ([]diskSeries, int64, int64, error) {
+	mint, maxt := int64(1)<<62, -(int64(1) << 62)
+	out := make([]diskSeries, 0, len(in))
+	for _, as := range in {
+		var ds diskSeries
+		ds.lset = as.lset
+		for _, a := range []AggrType{AggrRaw, AggrSum, AggrCount, AggrMin, AggrMax} {
+			stream := as.streams[a]
+			if len(stream) == 0 {
+				continue
+			}
+			chunks, err := chunksFromSamples(stream, a, maxPerChunk)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			ds.chunks = append(ds.chunks, chunks...)
+			if stream[0].T < mint {
+				mint = stream[0].T
+			}
+			if t := stream[len(stream)-1].T; t > maxt {
+				maxt = t
+			}
+		}
+		if len(ds.chunks) == 0 {
+			continue
+		}
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return labels.Compare(out[i].lset, out[j].lset) < 0 })
+	return out, mint, maxt, nil
+}
+
+// chunksFromSamples encodes one sample stream into diskChunk entries.
+func chunksFromSamples(samples []model.Sample, aggr AggrType, maxPerChunk int) ([]diskChunk, error) {
+	if maxPerChunk <= 0 {
+		maxPerChunk = 120
+	}
+	var out []diskChunk
+	for len(samples) > 0 {
+		n := len(samples)
+		if n > maxPerChunk {
+			n = maxPerChunk
+		}
+		c := chunkenc.NewChunk()
+		for _, smp := range samples[:n] {
+			if err := c.Append(smp.T, smp.V); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, diskChunk{
+			aggr:       aggr,
+			minT:       samples[0].T,
+			maxT:       samples[n-1].T,
+			numSamples: n,
+			payload:    c.Bytes(),
+		})
+		samples = samples[n:]
+	}
+	return out, nil
+}

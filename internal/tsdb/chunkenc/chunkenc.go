@@ -42,6 +42,20 @@ func FromBytes(data []byte) (*Chunk, error) {
 	return c, nil
 }
 
+// FromBytesNoCopy is FromBytes without the defensive copy: the returned
+// chunk aliases data, so the caller must guarantee data stays immutable and
+// mapped for the chunk's lifetime. The block store uses it to iterate
+// chunks straight out of an mmap'd segment with zero per-chunk heap cost.
+func FromBytesNoCopy(data []byte) (*Chunk, error) {
+	if len(data) < 2 {
+		return nil, errors.New("chunkenc: truncated chunk header")
+	}
+	c := &Chunk{leading: 0xff}
+	c.num = binary.BigEndian.Uint16(data[:2])
+	c.b.stream = data[2:]
+	return c, nil
+}
+
 // NumSamples returns the number of samples in the chunk.
 func (c *Chunk) NumSamples() int { return int(c.num) }
 

@@ -1,0 +1,31 @@
+//go:build linux || darwin
+
+package tsdb
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the data plus an unmap closer.
+// Empty files map to a nil slice with a no-op closer (mmap of length 0 is
+// an error on Linux).
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

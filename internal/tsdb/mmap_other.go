@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package tsdb
+
+import "os"
+
+// mmapFile reads the whole file on platforms without the syscall mmap path.
+// Readers treat the slice as immutable either way, so the fallback is
+// behaviorally identical, just resident.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -81,9 +81,15 @@ func (b *sampleBudget) blown() bool { return b != nil && b.exceeded.Load() }
 
 // mergeSortedSeries merges per-shard slices, each sorted by labels, into one
 // sorted slice. Series are unique across shards (a label set hashes to one
-// shard), so this is a pure merge with no combining. Pairwise tournament
-// reduction keeps it O(total · log shards) even at high shard counts.
+// shard), so this is a pure merge with no combining.
 func mergeSortedSeries(parts [][]model.Series) []model.Series {
+	return mergeSortedBy(parts, func(a, b model.Series) int { return labels.Compare(a.Labels, b.Labels) })
+}
+
+// mergeSortedBy merges per-shard slices, each sorted under cmp, into one
+// sorted slice. Pairwise tournament reduction keeps it O(total · log shards)
+// even at high shard counts. Select and CutBlock share it.
+func mergeSortedBy[T any](parts [][]T, cmp func(a, b T) int) []T {
 	live := parts[:0]
 	for _, p := range parts {
 		if len(p) > 0 {
@@ -92,7 +98,7 @@ func mergeSortedSeries(parts [][]model.Series) []model.Series {
 	}
 	switch len(live) {
 	case 0:
-		return []model.Series{}
+		return []T{}
 	case 1:
 		return live[0]
 	}
@@ -103,19 +109,19 @@ func mergeSortedSeries(parts [][]model.Series) []model.Series {
 				merged = append(merged, live[i])
 				break
 			}
-			merged = append(merged, mergeTwoSorted(live[i], live[i+1]))
+			merged = append(merged, mergeTwoSortedBy(live[i], live[i+1], cmp))
 		}
 		live = merged
 	}
 	return live[0]
 }
 
-// mergeTwoSorted merges two label-sorted series slices.
-func mergeTwoSorted(a, b []model.Series) []model.Series {
-	out := make([]model.Series, 0, len(a)+len(b))
+// mergeTwoSortedBy merges two cmp-sorted slices.
+func mergeTwoSortedBy[T any](a, b []T, cmp func(x, y T) int) []T {
+	out := make([]T, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		if labels.Compare(a[i].Labels, b[j].Labels) < 0 {
+		if cmp(a[i], b[j]) < 0 {
 			out = append(out, a[i])
 			i++
 		} else {

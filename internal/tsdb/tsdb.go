@@ -21,6 +21,17 @@
 // combined with a k-way sorted merge, so Select output is byte-identical
 // regardless of shard count. DeleteSeries and retention pruning (Truncate)
 // run per shard on the same pool with no cross-shard locking.
+//
+// # Persistent blocks
+//
+// Beyond the head, the package owns the on-disk block layer the cold tier
+// (internal/thanos) is built from: CutBlock / CutPersistentBlock extract a
+// time window in parallel per shard (block.go), blockdir.go defines the
+// crash-safe directory format (meta.json commit point, CRC'd index +
+// mmap'd Gorilla chunk segment), blockread.go the lazy reference-counted
+// read path, and compact.go merging, tombstone application and 5m/1h
+// sum/count/min/max downsampling. The lifecycle end to end is documented
+// in docs/ARCHITECTURE.md.
 package tsdb
 
 import (
@@ -453,6 +464,12 @@ func (s *memSeries) hasInOrderSampleLocked(t int64) bool {
 func (s *memSeries) samplesBetween(mint, maxt int64) []model.Sample {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.samplesBetweenLocked(mint, maxt)
+}
+
+// samplesBetweenLocked is samplesBetween with s.mu already held (the block
+// cut path holds it across chunk reuse decisions and the sample copy).
+func (s *memSeries) samplesBetweenLocked(mint, maxt int64) []model.Sample {
 	var out []model.Sample
 	appendFrom := func(c *chunkenc.Chunk) {
 		it := c.Iterator()
